@@ -1,0 +1,166 @@
+//! The Global Buffer (Weight Buffer + Node-Feature Buffer) and the DRAM
+//! channel behind it (§III-C, Figure 3).
+//!
+//! BlockGNN deliberately avoids HyGCN-style eDRAM caching: "for running
+//! heavy GNNs on resource-limited edge platforms, computation is the
+//! primary bottleneck. Therefore, we just leverage node prefetching to
+//! fully utilize the memory bandwidth." The model here reflects that:
+//! the NFB is a ping-pong pair, loads overlap compute, and a layer's
+//! memory time only surfaces when it exceeds its compute time.
+
+use blockgnn_perf::resources::{NODE_FEATURE_BUFFER_BYTES, WEIGHT_BUFFER_BYTES};
+
+/// Capacity-tracked on-chip buffer pair.
+#[derive(Debug, Clone)]
+pub struct GlobalBuffer {
+    wb_capacity: usize,
+    nfb_capacity: usize,
+    wb_used: usize,
+    nfb_used: usize,
+}
+
+impl GlobalBuffer {
+    /// The prototype's sizes: 256 KB WB, 512 KB NFB.
+    #[must_use]
+    pub fn zc706() -> Self {
+        Self::with_capacity(WEIGHT_BUFFER_BYTES, NODE_FEATURE_BUFFER_BYTES)
+    }
+
+    /// Custom capacities (bytes).
+    #[must_use]
+    pub fn with_capacity(wb_bytes: usize, nfb_bytes: usize) -> Self {
+        Self { wb_capacity: wb_bytes, nfb_capacity: nfb_bytes, wb_used: 0, nfb_used: 0 }
+    }
+
+    /// Attempts to reserve weight-buffer space; `false` if it would
+    /// overflow.
+    #[must_use]
+    pub fn reserve_weights(&mut self, bytes: usize) -> bool {
+        if self.wb_used + bytes > self.wb_capacity {
+            return false;
+        }
+        self.wb_used += bytes;
+        true
+    }
+
+    /// Attempts to reserve node-feature space (half the NFB — the other
+    /// half is the ping-pong partner being filled by DMA).
+    #[must_use]
+    pub fn reserve_features(&mut self, bytes: usize) -> bool {
+        if self.nfb_used + bytes > self.nfb_capacity / 2 {
+            return false;
+        }
+        self.nfb_used += bytes;
+        true
+    }
+
+    /// Frees all feature reservations (a ping-pong swap).
+    pub fn swap_feature_banks(&mut self) {
+        self.nfb_used = 0;
+    }
+
+    /// Weight bytes in use.
+    #[must_use]
+    pub fn weight_bytes_used(&self) -> usize {
+        self.wb_used
+    }
+
+    /// Feature bytes in use (current bank).
+    #[must_use]
+    pub fn feature_bytes_used(&self) -> usize {
+        self.nfb_used
+    }
+
+    /// Whether a compressed model of `spectral_weight_bytes` fits the WB —
+    /// the §IV-B claim "the WB is set to 256KB, which is large enough to
+    /// store the compressed GNN model".
+    #[must_use]
+    pub fn model_fits(&self, spectral_weight_bytes: usize) -> bool {
+        spectral_weight_bytes <= self.wb_capacity
+    }
+}
+
+/// A flat-bandwidth DRAM channel (the ZC706's DDR3 on the PS side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramModel {
+    /// Sustained bandwidth in bytes per second.
+    pub bandwidth_bytes_per_s: f64,
+    /// Accelerator clock, to convert transfer time into cycles.
+    pub clock_hz: f64,
+}
+
+impl DramModel {
+    /// ZC706 defaults: 12.8 GB/s DDR3, 100 MHz fabric clock.
+    #[must_use]
+    pub fn zc706() -> Self {
+        Self { bandwidth_bytes_per_s: 12.8e9, clock_hz: 100.0e6 }
+    }
+
+    /// Cycles to move `bytes` at sustained bandwidth.
+    #[must_use]
+    pub fn transfer_cycles(&self, bytes: f64) -> u64 {
+        // The epsilon guards against 500.000000001-style float slop
+        // turning an exact multiple into an extra cycle.
+        (bytes / self.bandwidth_bytes_per_s * self.clock_hz - 1e-9).ceil().max(0.0) as u64
+    }
+
+    /// Effective cycles of a layer whose loads are prefetched behind
+    /// compute: memory only shows when it exceeds compute.
+    #[must_use]
+    pub fn overlapped_cycles(&self, compute_cycles: u64, bytes: f64) -> u64 {
+        compute_cycles.max(self.transfer_cycles(bytes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zc706_capacities() {
+        let buf = GlobalBuffer::zc706();
+        assert!(buf.model_fits(256 * 1024));
+        assert!(!buf.model_fits(256 * 1024 + 1));
+    }
+
+    #[test]
+    fn compressed_512x512_layers_fit_wb_but_dense_do_not() {
+        // Two 512×512 layers at n=128, complex spectra, 4-byte fixed
+        // point per component: p·q·n complex values = 16·128 = 2048 per
+        // layer → 2048·8 B = 16 KB per layer; dense = 512·512·4 = 1 MB.
+        let buf = GlobalBuffer::zc706();
+        let compressed_bytes = 2 * 16 * 128 * 8;
+        let dense_bytes = 2 * 512 * 512 * 4;
+        assert!(buf.model_fits(compressed_bytes));
+        assert!(!buf.model_fits(dense_bytes));
+    }
+
+    #[test]
+    fn reservation_tracking() {
+        let mut buf = GlobalBuffer::with_capacity(100, 100);
+        assert!(buf.reserve_weights(60));
+        assert!(!buf.reserve_weights(50));
+        assert_eq!(buf.weight_bytes_used(), 60);
+        // NFB ping-pong: only half usable per bank.
+        assert!(buf.reserve_features(50));
+        assert!(!buf.reserve_features(10));
+        buf.swap_feature_banks();
+        assert_eq!(buf.feature_bytes_used(), 0);
+        assert!(buf.reserve_features(40));
+    }
+
+    #[test]
+    fn dram_transfer_cycles() {
+        let dram = DramModel::zc706();
+        // 12.8 GB/s at 100 MHz = 128 bytes per cycle.
+        assert_eq!(dram.transfer_cycles(128.0), 1);
+        assert_eq!(dram.transfer_cycles(12_800.0), 100);
+    }
+
+    #[test]
+    fn prefetch_hides_memory_behind_compute() {
+        let dram = DramModel::zc706();
+        assert_eq!(dram.overlapped_cycles(1_000, 128.0 * 500.0), 1_000);
+        assert_eq!(dram.overlapped_cycles(100, 128.0 * 500.0), 500);
+    }
+}

@@ -1,0 +1,279 @@
+//! The host⇄accelerator command interface of Figure 3.
+//!
+//! "In each compute pass, the host CPU samples a batch of neighbor nodes
+//! and sends the corresponding features to the BlockGNN accelerator, as
+//! well as the control commands. The accelerator side conducts
+//! aggregation and combination according to the received commands and
+//! sends the updated node features back to the host side DRAM."
+//!
+//! [`CommandProcessor`] models that flow: commands enqueue into a FIFO
+//! and execute in order; weights live in named *slots* whose combined
+//! spectral footprint must fit the 256 KB Weight Buffer (the §IV-B claim
+//! is that the WB holds the whole compressed model — i.e. every layer at
+//! once); processed batches complete with a tag so the host can match
+//! write-backs to requests.
+
+use crate::system::{AccelError, BlockGnnAccelerator, PostOp};
+use blockgnn_core::BlockCirculantMatrix;
+use std::collections::{HashMap, VecDeque};
+
+/// A host-issued command.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Write a layer's compressed weights into WB slot `slot`.
+    LoadWeights {
+        /// Slot index (one per layer in practice).
+        slot: usize,
+        /// The block-circulant weights.
+        weights: BlockCirculantMatrix,
+    },
+    /// Make slot `slot` the active weights for subsequent batches.
+    SelectWeights {
+        /// Slot to activate.
+        slot: usize,
+    },
+    /// Stream a feature batch through CirCore + VPU.
+    ProcessBatch {
+        /// Host-chosen tag echoed in the completion.
+        tag: u32,
+        /// One feature vector per row.
+        features: Vec<Vec<f64>>,
+        /// VPU post-operation.
+        post: PostOp,
+    },
+}
+
+/// A completed batch, "written back to host DRAM".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The tag from the originating [`Command::ProcessBatch`].
+    pub tag: u32,
+    /// Output feature vectors.
+    pub outputs: Vec<Vec<f64>>,
+}
+
+/// Errors surfaced by command execution, with the offending FIFO index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommandError {
+    /// Position of the failing command in the executed stream.
+    pub index: usize,
+    /// Underlying accelerator error.
+    pub source: AccelError,
+}
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "command {} failed: {}", self.index, self.source)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+/// The command FIFO plus the accelerator it drives.
+#[derive(Debug)]
+pub struct CommandProcessor {
+    accel: BlockGnnAccelerator,
+    fifo: VecDeque<Command>,
+    slots: HashMap<usize, BlockCirculantMatrix>,
+    active_slot: Option<usize>,
+    executed: usize,
+}
+
+impl CommandProcessor {
+    /// Wraps an accelerator in a command interface.
+    #[must_use]
+    pub fn new(accel: BlockGnnAccelerator) -> Self {
+        Self { accel, fifo: VecDeque::new(), slots: HashMap::new(), active_slot: None, executed: 0 }
+    }
+
+    /// Enqueues a command (the host writing into the Cmd FIFO).
+    pub fn push(&mut self, command: Command) {
+        self.fifo.push_back(command);
+    }
+
+    /// Commands waiting in the FIFO.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Spectral bytes of every loaded slot combined (what the Weight
+    /// Buffer must hold to keep the whole model resident).
+    #[must_use]
+    pub fn resident_weight_bytes(&self) -> usize {
+        self.slots
+            .values()
+            .map(|w| w.grid_rows() * w.grid_cols() * w.block_size() * 8)
+            .sum()
+    }
+
+    /// Executes every queued command in order, returning the batch
+    /// completions.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing command and reports its FIFO position;
+    /// already-produced completions are returned inside the error path
+    /// never — the host should treat the stream as aborted.
+    pub fn run(&mut self) -> Result<Vec<Completion>, CommandError> {
+        let mut completions = Vec::new();
+        while let Some(command) = self.fifo.pop_front() {
+            let index = self.executed;
+            self.executed += 1;
+            match command {
+                Command::LoadWeights { slot, weights } => {
+                    // Whole-model residency: the new slot must fit next
+                    // to everything already loaded.
+                    let incoming =
+                        weights.grid_rows() * weights.grid_cols() * weights.block_size() * 8;
+                    let others: usize = self
+                        .slots
+                        .iter()
+                        .filter(|(s, _)| **s != slot)
+                        .map(|(_, w)| w.grid_rows() * w.grid_cols() * w.block_size() * 8)
+                        .sum();
+                    if others + incoming
+                        > blockgnn_perf::resources::WEIGHT_BUFFER_BYTES
+                    {
+                        return Err(CommandError {
+                            index,
+                            source: AccelError::WeightBufferOverflow {
+                                needed: others + incoming,
+                            },
+                        });
+                    }
+                    self.slots.insert(slot, weights);
+                    // Loading invalidates the active compilation if it
+                    // overwrote the active slot.
+                    if self.active_slot == Some(slot) {
+                        self.active_slot = None;
+                    }
+                }
+                Command::SelectWeights { slot } => {
+                    let weights = self.slots.get(&slot).ok_or(CommandError {
+                        index,
+                        source: AccelError::NoWeightsLoaded,
+                    })?;
+                    self.accel
+                        .load_weights(weights)
+                        .map_err(|source| CommandError { index, source })?;
+                    self.active_slot = Some(slot);
+                }
+                Command::ProcessBatch { tag, features, post } => {
+                    if self.active_slot.is_none() {
+                        return Err(CommandError {
+                            index,
+                            source: AccelError::NoWeightsLoaded,
+                        });
+                    }
+                    let outputs = self
+                        .accel
+                        .process_batch(&features, post)
+                        .map_err(|source| CommandError { index, source })?;
+                    completions.push(Completion { tag, outputs });
+                }
+            }
+        }
+        Ok(completions)
+    }
+
+    /// Borrows the wrapped accelerator (e.g. for cycle inspection).
+    #[must_use]
+    pub fn accelerator(&self) -> &BlockGnnAccelerator {
+        &self.accel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_perf::coeffs::HardwareCoeffs;
+    use blockgnn_perf::params::CirCoreParams;
+
+    fn processor() -> CommandProcessor {
+        CommandProcessor::new(BlockGnnAccelerator::new(
+            CirCoreParams::base(),
+            HardwareCoeffs::zc706(),
+        ))
+    }
+
+    fn weights(rows: usize, cols: usize, n: usize, seed: u64) -> BlockCirculantMatrix {
+        BlockCirculantMatrix::random(rows, cols, n, seed).unwrap()
+    }
+
+    fn batch(count: usize, dim: usize) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|b| (0..dim).map(|i| ((b * dim + i) as f64 * 0.05).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn two_layer_command_stream_executes_in_order() {
+        let mut proc = processor();
+        let w1 = weights(32, 24, 8, 1);
+        let w2 = weights(16, 32, 8, 2);
+        proc.push(Command::LoadWeights { slot: 0, weights: w1.clone() });
+        proc.push(Command::LoadWeights { slot: 1, weights: w2.clone() });
+        proc.push(Command::SelectWeights { slot: 0 });
+        proc.push(Command::ProcessBatch { tag: 100, features: batch(3, 24), post: PostOp::Relu });
+        proc.push(Command::SelectWeights { slot: 1 });
+        proc.push(Command::ProcessBatch { tag: 200, features: batch(2, 32), post: PostOp::None });
+        let completions = proc.run().unwrap();
+        assert_eq!(completions.len(), 2);
+        assert_eq!(completions[0].tag, 100);
+        assert_eq!(completions[0].outputs.len(), 3);
+        assert_eq!(completions[0].outputs[0].len(), 32);
+        assert_eq!(completions[1].tag, 200);
+        assert_eq!(completions[1].outputs[0].len(), 16);
+        assert_eq!(proc.pending(), 0);
+        // Both layers stay resident, as §IV-B's whole-model WB implies.
+        assert_eq!(proc.resident_weight_bytes(), (4 * 3 + 2 * 4) * 8 * 8);
+    }
+
+    #[test]
+    fn process_without_selected_weights_fails_with_position() {
+        let mut proc = processor();
+        proc.push(Command::ProcessBatch { tag: 1, features: batch(1, 8), post: PostOp::None });
+        let err = proc.run().unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(err.source, AccelError::NoWeightsLoaded);
+        assert!(err.to_string().contains("command 0"));
+    }
+
+    #[test]
+    fn whole_model_overflow_is_rejected() {
+        // Two dense-ish (n = 1) 256x256 layers: 2 * 256*256*8 B = 1 MB
+        // cannot co-reside in 256 KB.
+        let mut proc = processor();
+        proc.push(Command::LoadWeights { slot: 0, weights: weights(256, 256, 1, 3) });
+        proc.push(Command::LoadWeights { slot: 1, weights: weights(256, 256, 1, 4) });
+        let err = proc.run().unwrap_err();
+        assert!(matches!(err.source, AccelError::WeightBufferOverflow { .. }));
+        // But the compressed versions co-reside comfortably.
+        let mut proc2 = processor();
+        proc2.push(Command::LoadWeights { slot: 0, weights: weights(256, 256, 64, 3) });
+        proc2.push(Command::LoadWeights { slot: 1, weights: weights(256, 256, 64, 4) });
+        proc2.push(Command::SelectWeights { slot: 1 });
+        assert!(proc2.run().is_ok());
+    }
+
+    #[test]
+    fn selecting_missing_slot_fails() {
+        let mut proc = processor();
+        proc.push(Command::SelectWeights { slot: 9 });
+        let err = proc.run().unwrap_err();
+        assert_eq!(err.source, AccelError::NoWeightsLoaded);
+    }
+
+    #[test]
+    fn reloading_active_slot_requires_reselect() {
+        let mut proc = processor();
+        let w = weights(16, 16, 8, 5);
+        proc.push(Command::LoadWeights { slot: 0, weights: w.clone() });
+        proc.push(Command::SelectWeights { slot: 0 });
+        proc.push(Command::LoadWeights { slot: 0, weights: weights(16, 16, 8, 6) });
+        proc.push(Command::ProcessBatch { tag: 7, features: batch(1, 16), post: PostOp::None });
+        let err = proc.run().unwrap_err();
+        assert_eq!(err.index, 3, "stale weights must not silently serve batches");
+    }
+}

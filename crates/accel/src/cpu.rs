@@ -1,0 +1,90 @@
+//! The CPU baseline (§IV-A, architecture ③): an Intel Xeon Gold 5220
+//! running the uncompressed models under TensorFlow GraphSAGE.
+//!
+//! Modelled as a roofline: each phase takes
+//! `max(flops / effective_flops, bytes / memory_bandwidth)` seconds.
+//! The effective FLOP rate folds the framework efficiency the paper's
+//! measurements imply — TensorFlow GNN layers on a Xeon reach a few
+//! percent of peak on gather-heavy workloads.
+
+use blockgnn_gnn::workload::GnnWorkload;
+
+/// Roofline parameters for the Xeon Gold 5220 host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuModel {
+    /// Sustained FLOP/s the framework actually achieves on GNN kernels.
+    pub effective_flops: f64,
+    /// Sustained memory bandwidth in bytes/s.
+    pub memory_bandwidth: f64,
+    /// Package power in watts (the paper estimates 125 W).
+    pub power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's platform: Xeon Gold 5220 (18C/2.2 GHz, six-channel
+    /// DDR4). Peak fp32 ≈ 1.27 TFLOP/s; TensorFlow GraphSAGE sustains
+    /// ≈5% of it on these kernels; ~115 GB/s streaming bandwidth.
+    #[must_use]
+    pub fn xeon_gold_5220() -> Self {
+        Self { effective_flops: 64.0e9, memory_bandwidth: 115.0e9, power_w: 125.0 }
+    }
+
+    /// Seconds for one full uncompressed inference pass.
+    #[must_use]
+    pub fn simulate_workload(&self, workload: &GnnWorkload) -> f64 {
+        let mut total = 0.0;
+        for layer in &workload.layers {
+            for phase in [&layer.agg, &layer.comb] {
+                let flops = phase.total_flops(workload.num_nodes);
+                let bytes = phase.input_floats_per_node * 4.0 * workload.num_nodes as f64;
+                total += (flops / self.effective_flops).max(bytes / self.memory_bandwidth);
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_gnn::ModelKind;
+    use blockgnn_graph::datasets;
+
+    #[test]
+    fn ggcn_reddit_runs_minutes_on_cpu() {
+        // ~1.5e13 FLOPs (both layers, 2 FLOPs/MAC) at 64 GFLOP/s ≈ 4 min.
+        let cpu = CpuModel::xeon_gold_5220();
+        let spec = datasets::reddit_like();
+        let secs =
+            cpu.simulate_workload(&GnnWorkload::new(ModelKind::Ggcn, &spec, 512, &[25, 10]));
+        assert!((60.0..600.0).contains(&secs), "got {secs}s");
+    }
+
+    #[test]
+    fn gcn_aggregation_is_bandwidth_limited() {
+        // For GCN the aggregation phase has intensity ~0.5 FLOP/B, far
+        // below the machine balance (64e9/115e9 ≈ 0.56 → borderline);
+        // the roofline must charge it at least its streaming time.
+        let cpu = CpuModel::xeon_gold_5220();
+        let spec = datasets::reddit_like();
+        let w = GnnWorkload::new(ModelKind::Gcn, &spec, 512, &[25, 10]);
+        let layer = &w.layers[0];
+        let bytes = layer.agg.input_floats_per_node * 4.0 * spec.num_nodes as f64;
+        let stream_time = bytes / cpu.memory_bandwidth;
+        let total = cpu.simulate_workload(&w);
+        assert!(total >= stream_time);
+    }
+
+    #[test]
+    fn model_ordering_follows_flop_counts() {
+        let cpu = CpuModel::xeon_gold_5220();
+        let spec = datasets::reddit_like();
+        let t = |k: ModelKind| {
+            cpu.simulate_workload(&GnnWorkload::new(k, &spec, 512, &[25, 10]))
+        };
+        let (gcn, gsp, ggcn, gat) =
+            (t(ModelKind::Gcn), t(ModelKind::GsPool), t(ModelKind::Ggcn), t(ModelKind::Gat));
+        assert!(ggcn > gsp && gsp > gcn, "ordering: ggcn {ggcn} gsp {gsp} gcn {gcn}");
+        assert!(gat > gcn);
+    }
+}

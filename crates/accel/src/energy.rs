@@ -1,0 +1,65 @@
+//! Energy-efficiency accounting for Figure 7.
+//!
+//! The paper's metric is **Nodes-per-Joule**: processed nodes divided by
+//! `power × time`. BlockGNN-opt draws ≈4.6 W on the ZC706 versus the
+//! Xeon's 125 W, so its 2.3× average speedup compounds into a 33.9–111.9×
+//! (68.9× average) energy advantage.
+
+/// A completed run: how long it took, at what power, over how many nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Average power draw in watts.
+    pub power_w: f64,
+    /// Target nodes processed.
+    pub num_nodes: usize,
+}
+
+impl Measurement {
+    /// Energy consumed in joules.
+    #[must_use]
+    pub fn joules(&self) -> f64 {
+        self.seconds * self.power_w
+    }
+
+    /// The Figure 7 metric.
+    #[must_use]
+    pub fn nodes_per_joule(&self) -> f64 {
+        self.num_nodes as f64 / self.joules()
+    }
+
+    /// Energy-efficiency ratio of `self` over `baseline`
+    /// (`>1` means `self` is more efficient).
+    #[must_use]
+    pub fn efficiency_ratio_over(&self, baseline: &Measurement) -> f64 {
+        self.nodes_per_joule() / baseline.nodes_per_joule()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn joules_and_nodes_per_joule() {
+        let m = Measurement { seconds: 2.0, power_w: 5.0, num_nodes: 100 };
+        assert_eq!(m.joules(), 10.0);
+        assert_eq!(m.nodes_per_joule(), 10.0);
+    }
+
+    #[test]
+    fn ratio_compounds_speedup_and_power() {
+        // 2.3x faster at 125/4.6 = 27.2x lower power → ~62x energy.
+        let accel = Measurement { seconds: 1.0, power_w: 4.6, num_nodes: 1000 };
+        let cpu = Measurement { seconds: 2.3, power_w: 125.0, num_nodes: 1000 };
+        let ratio = accel.efficiency_ratio_over(&cpu);
+        assert!((ratio - 62.5).abs() < 0.1, "got {ratio}");
+    }
+
+    #[test]
+    fn identical_measurements_have_unit_ratio() {
+        let m = Measurement { seconds: 3.0, power_w: 10.0, num_nodes: 7 };
+        assert_eq!(m.efficiency_ratio_over(&m), 1.0);
+    }
+}

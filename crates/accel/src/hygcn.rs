@@ -1,0 +1,137 @@
+//! The HyGCN baseline (§IV-A, architecture ④).
+//!
+//! HyGCN is a hybrid two-engine accelerator: an edge-centric SIMD
+//! aggregation engine and a systolic combination engine. The paper
+//! re-scales it onto the same ZC706 budget as "a 6-lane SIMD-16 VPU and
+//! a 4×32 systolic array". Crucially, HyGCN runs the **uncompressed**
+//! models: every weight product costs its full dense MAC count.
+//!
+//! The two engines process different phases and are pipelined across
+//! nodes, so a layer's per-node cost is the maximum of the two engine
+//! times, overlapped with DRAM streaming.
+
+use crate::buffer::DramModel;
+use blockgnn_gnn::workload::{GnnWorkload, LayerWorkload};
+
+/// The scaled-to-ZC706 HyGCN configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyGcnModel {
+    /// SIMD lanes in the aggregation engine (each 16-wide).
+    pub simd_lanes: usize,
+    /// Systolic array shape of the combination engine.
+    pub systolic: (usize, usize),
+    /// Clock frequency in Hz.
+    pub clock_hz: f64,
+    /// DRAM behind the accelerator.
+    pub dram: DramModel,
+    /// Board power in watts (same class of FPGA implementation as
+    /// BlockGNN; used only for completeness — Figure 7 compares against
+    /// the CPU).
+    pub power_w: f64,
+}
+
+impl HyGcnModel {
+    /// The paper's scaled configuration: 6-lane SIMD-16 + 4×32 systolic
+    /// at 100 MHz.
+    #[must_use]
+    pub fn zc706_scaled() -> Self {
+        Self {
+            simd_lanes: 6,
+            systolic: (4, 32),
+            clock_hz: 100.0e6,
+            dram: DramModel::zc706(),
+            power_w: 6.0,
+        }
+    }
+
+    /// Dense MACs per cycle of the systolic combination engine.
+    #[must_use]
+    pub fn systolic_macs_per_cycle(&self) -> f64 {
+        (self.systolic.0 * self.systolic.1) as f64
+    }
+
+    /// MACs per cycle of the SIMD aggregation engine.
+    #[must_use]
+    pub fn simd_macs_per_cycle(&self) -> f64 {
+        (self.simd_lanes * 16) as f64
+    }
+
+    /// Per-node cycles for one layer: dense weight products on the
+    /// systolic engine, vector work on the SIMD engine, engines
+    /// pipelined, DRAM overlapped.
+    #[must_use]
+    pub fn layer_cycles_per_node(&self, layer: &LayerWorkload) -> u64 {
+        let dense_macs: f64 = layer
+            .agg
+            .matvecs
+            .iter()
+            .chain(&layer.comb.matvecs)
+            .map(|mv| mv.per_node * mv.out_dim as f64 * mv.in_dim as f64)
+            .sum();
+        let vector_macs =
+            layer.agg.vector_macs_per_node + layer.comb.vector_macs_per_node;
+        let systolic = (dense_macs / self.systolic_macs_per_cycle()).ceil() as u64;
+        let simd = (vector_macs / self.simd_macs_per_cycle()).ceil() as u64;
+        let compute = systolic.max(simd);
+        let bytes = (layer.agg.input_floats_per_node + layer.comb.input_floats_per_node)
+            * 4.0;
+        self.dram.overlapped_cycles(compute, bytes)
+    }
+
+    /// End-to-end seconds for a workload.
+    #[must_use]
+    pub fn simulate_workload(&self, workload: &GnnWorkload) -> f64 {
+        let per_node: u64 =
+            workload.layers.iter().map(|l| self.layer_cycles_per_node(l)).sum();
+        (per_node * workload.num_nodes as u64) as f64 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_gnn::ModelKind;
+    use blockgnn_graph::datasets;
+
+    #[test]
+    fn engine_throughputs() {
+        let h = HyGcnModel::zc706_scaled();
+        assert_eq!(h.systolic_macs_per_cycle(), 128.0);
+        assert_eq!(h.simd_macs_per_cycle(), 96.0);
+    }
+
+    #[test]
+    fn weighted_aggregators_crush_hygcn() {
+        // HyGCN must pay full dense cost for GS-Pool's W_pool products;
+        // its GS-Pool time should dwarf its GCN time.
+        let h = HyGcnModel::zc706_scaled();
+        let spec = datasets::cora_like();
+        let gcn = h.simulate_workload(&GnnWorkload::new(ModelKind::Gcn, &spec, 512, &[25, 10]));
+        let gsp =
+            h.simulate_workload(&GnnWorkload::new(ModelKind::GsPool, &spec, 512, &[25, 10]));
+        assert!(gsp > 5.0 * gcn, "GS-Pool {gsp}s vs GCN {gcn}s");
+    }
+
+    #[test]
+    fn ggcn_on_reddit_takes_hundreds_of_seconds() {
+        // Sanity-scale check: 2·3.7e12 MACs at 12.8 GMAC/s ≈ 300-600 s.
+        let h = HyGcnModel::zc706_scaled();
+        let spec = datasets::reddit_like();
+        let secs =
+            h.simulate_workload(&GnnWorkload::new(ModelKind::Ggcn, &spec, 512, &[25, 10]));
+        assert!((100.0..1200.0).contains(&secs), "got {secs}s");
+    }
+
+    #[test]
+    fn gcn_aggregation_runs_on_the_simd_engine() {
+        let h = HyGcnModel::zc706_scaled();
+        let spec = datasets::pubmed_like();
+        let w = GnnWorkload::new(ModelKind::Gcn, &spec, 512, &[25, 10]);
+        // GCN layer: dense MACs only in combination; the SIMD engine
+        // handles S·M aggregation MACs. Both must be nonzero.
+        let layer = &w.layers[0];
+        assert!(layer.agg.matvecs.is_empty());
+        assert!(layer.agg.vector_macs_per_node > 0.0);
+        assert!(h.layer_cycles_per_node(layer) > 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! The Vector Processing Unit: `m` SIMD-16 lanes (§III-C).
+//!
+//! The VPU owns everything that is not a weight product: non-linear
+//! functions (ReLU, Exp, Sigmoid), vector–vector arithmetic, max-pooling
+//! across neighbor vectors, and bias addition. Every operation reports
+//! the cycles Eq. 6 assigns it: `⌈elements / (m·16)⌉`.
+
+/// A SIMD vector unit with `m` lanes of 16 elements each.
+#[derive(Debug, Clone)]
+pub struct Vpu {
+    lanes: usize,
+    cycles: u64,
+}
+
+impl Vpu {
+    /// Creates a VPU with `lanes` SIMD-16 lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero.
+    #[must_use]
+    pub fn new(lanes: usize) -> Self {
+        assert!(lanes > 0, "the VPU needs at least one lane");
+        Self { lanes, cycles: 0 }
+    }
+
+    /// Lanes configured.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Total cycles consumed since construction or the last reset.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets the cycle counter.
+    pub fn reset_cycles(&mut self) {
+        self.cycles = 0;
+    }
+
+    fn charge(&mut self, elements: usize) {
+        let per_cycle = self.lanes * 16;
+        self.cycles += elements.div_ceil(per_cycle) as u64;
+    }
+
+    /// Element-wise ReLU.
+    pub fn relu(&mut self, x: &mut [f64]) {
+        self.charge(x.len());
+        for v in x {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+    }
+
+    /// Element-wise sigmoid.
+    pub fn sigmoid(&mut self, x: &mut [f64]) {
+        self.charge(x.len());
+        for v in x {
+            *v = 1.0 / (1.0 + (-*v).exp());
+        }
+    }
+
+    /// Element-wise ELU (α = 1).
+    pub fn elu(&mut self, x: &mut [f64]) {
+        self.charge(x.len());
+        for v in x {
+            if *v < 0.0 {
+                *v = v.exp() - 1.0;
+            }
+        }
+    }
+
+    /// `y += x` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add_assign(&mut self, y: &mut [f64], x: &[f64]) {
+        assert_eq!(y.len(), x.len(), "vpu add length mismatch");
+        self.charge(y.len());
+        for (a, b) in y.iter_mut().zip(x) {
+            *a += b;
+        }
+    }
+
+    /// `y *= x` element-wise (used by G-GCN's gates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn mul_assign(&mut self, y: &mut [f64], x: &[f64]) {
+        assert_eq!(y.len(), x.len(), "vpu mul length mismatch");
+        self.charge(y.len());
+        for (a, b) in y.iter_mut().zip(x) {
+            *a *= b;
+        }
+    }
+
+    /// `y += alpha * x` (GCN's normalized accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn axpy(&mut self, alpha: f64, x: &[f64], y: &mut [f64]) {
+        assert_eq!(y.len(), x.len(), "vpu axpy length mismatch");
+        self.charge(y.len());
+        for (a, b) in y.iter_mut().zip(x) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds a bias vector (§III-C: "VPU takes the responsibility of
+    /// adding bias to the outputs").
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn add_bias(&mut self, y: &mut [f64], bias: &[f64]) {
+        self.add_assign(y, bias);
+    }
+
+    /// Max-pooling across `vectors`, the GS-Pool aggregator kernel
+    /// (Eq. 6 models exactly this op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty or lengths differ.
+    #[must_use]
+    pub fn max_pool(&mut self, vectors: &[&[f64]]) -> Vec<f64> {
+        assert!(!vectors.is_empty(), "max_pool needs at least one vector");
+        let dim = vectors[0].len();
+        let mut out = vectors[0].to_vec();
+        for v in &vectors[1..] {
+            assert_eq!(v.len(), dim, "vpu max_pool length mismatch");
+            for (o, &x) in out.iter_mut().zip(*v) {
+                if x > *o {
+                    *o = x;
+                }
+            }
+        }
+        self.charge(dim * vectors.len());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accounting_matches_eq6() {
+        // m = 1 lane: 16 elements per cycle.
+        let mut vpu = Vpu::new(1);
+        let mut x = vec![0.5; 512];
+        vpu.relu(&mut x);
+        assert_eq!(vpu.cycles(), 32);
+        // m = 4 lanes: 64 elements per cycle.
+        let mut vpu4 = Vpu::new(4);
+        let mut x4 = vec![0.5; 512];
+        vpu4.relu(&mut x4);
+        assert_eq!(vpu4.cycles(), 8);
+    }
+
+    #[test]
+    fn relu_sigmoid_elu_functional() {
+        let mut vpu = Vpu::new(1);
+        let mut x = vec![-1.0, 2.0];
+        vpu.relu(&mut x);
+        assert_eq!(x, vec![0.0, 2.0]);
+        let mut s = vec![0.0];
+        vpu.sigmoid(&mut s);
+        assert!((s[0] - 0.5).abs() < 1e-12);
+        let mut e = vec![-1.0, 1.0];
+        vpu.elu(&mut e);
+        assert!((e[0] - ((-1.0f64).exp() - 1.0)).abs() < 1e-12);
+        assert_eq!(e[1], 1.0);
+    }
+
+    #[test]
+    fn max_pool_matches_gs_pool_semantics() {
+        let mut vpu = Vpu::new(2);
+        let a = vec![1.0, 5.0, -1.0];
+        let b = vec![2.0, 3.0, -4.0];
+        let pooled = vpu.max_pool(&[&a, &b]);
+        assert_eq!(pooled, vec![2.0, 5.0, -1.0]);
+        // S = 2 vectors of 3 elements => ceil(6/32) = 1 cycle.
+        assert_eq!(vpu.cycles(), 1);
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let mut vpu = Vpu::new(1);
+        let mut y = vec![1.0, 2.0];
+        vpu.add_assign(&mut y, &[0.5, 0.5]);
+        assert_eq!(y, vec![1.5, 2.5]);
+        vpu.mul_assign(&mut y, &[2.0, 0.0]);
+        assert_eq!(y, vec![3.0, 0.0]);
+        vpu.axpy(0.5, &[2.0, 2.0], &mut y);
+        assert_eq!(y, vec![4.0, 1.0]);
+        vpu.add_bias(&mut y, &[1.0, 1.0]);
+        assert_eq!(y, vec![5.0, 2.0]);
+        assert_eq!(vpu.cycles(), 4);
+        vpu.reset_cycles();
+        assert_eq!(vpu.cycles(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn zero_lanes_rejected() {
+        let _ = Vpu::new(0);
+    }
+}

@@ -1,0 +1,34 @@
+//! Ablation: §V's RFFT refinement versus the complex-FFT baseline for
+//! whole block-circulant matvecs.
+
+use blockgnn_core::{BlockCirculantMatrix, RealSpectralBlockCirculant, SpectralBlockCirculant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_rfft_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rfft_matvec_512");
+    for n in [64usize, 128] {
+        let w = BlockCirculantMatrix::random(512, 512, n, 13).unwrap();
+        let complex = SpectralBlockCirculant::new(&w).unwrap();
+        let real = RealSpectralBlockCirculant::new(&w).unwrap();
+        let x: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.29).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("complex", n), &n, |b, _| {
+            b.iter(|| black_box(complex.matvec(black_box(&x))));
+        });
+        group.bench_with_input(BenchmarkId::new("rfft", n), &n, |b, _| {
+            b.iter(|| black_box(real.matvec(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_rfft_matvec
+}
+criterion_main!(benches);

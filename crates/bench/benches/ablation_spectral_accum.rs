@@ -1,0 +1,33 @@
+//! Ablation: Algorithm 1's spectral-domain accumulation (p IFFTs) versus
+//! the CirCNN-style per-block flow (p·q IFFTs).
+
+use blockgnn_core::{BlockCirculantMatrix, SpectralBlockCirculant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_accumulation_flows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spectral_accumulation_512");
+    for n in [32usize, 64, 128] {
+        let w = BlockCirculantMatrix::random(512, 512, n, 11).unwrap();
+        let s = SpectralBlockCirculant::new(&w).unwrap();
+        let x: Vec<f64> = (0..512).map(|i| ((i as f64) * 0.19).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, _| {
+            b.iter(|| black_box(s.matvec(black_box(&x))));
+        });
+        group.bench_with_input(BenchmarkId::new("per_block", n), &n, |b, _| {
+            b.iter(|| black_box(s.matvec_per_block_ifft(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_accumulation_flows
+}
+criterion_main!(benches);

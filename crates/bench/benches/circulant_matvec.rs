@@ -1,0 +1,56 @@
+//! The headline algorithm-level claim (Table III's TCR column): a
+//! block-circulant matvec at block size n beats the dense product, with
+//! the advantage growing as n/log₂n. This bench measures the dense
+//! baseline against Algorithm 1 across the paper's block sizes on the
+//! 512×512 layer shape.
+
+use blockgnn_core::{BlockCirculantMatrix, FixedSpectralBlockCirculant, SpectralBlockCirculant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIM: usize = 512;
+
+fn input() -> Vec<f64> {
+    (0..DIM).map(|i| ((i as f64) * 0.37).sin()).collect()
+}
+
+fn bench_dense_baseline(c: &mut Criterion) {
+    let w = BlockCirculantMatrix::random(DIM, DIM, 16, 7).unwrap().to_dense();
+    let x = input();
+    c.bench_function("matvec_dense_512", |b| {
+        b.iter(|| black_box(w.matvec(black_box(&x))));
+    });
+}
+
+fn bench_spectral_block_sizes(c: &mut Criterion) {
+    let x = input();
+    let mut group = c.benchmark_group("matvec_spectral_512");
+    for n in [16usize, 32, 64, 128] {
+        let w = BlockCirculantMatrix::random(DIM, DIM, n, 7).unwrap();
+        let s = SpectralBlockCirculant::new(&w).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(s.matvec(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_point_path(c: &mut Criterion) {
+    let x = input();
+    let w = BlockCirculantMatrix::random(DIM, DIM, 128, 7).unwrap();
+    let s = FixedSpectralBlockCirculant::new(&w).unwrap();
+    c.bench_function("matvec_fixed_q16_n128", |b| {
+        b.iter(|| black_box(s.matvec(black_box(&x))));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_dense_baseline, bench_spectral_block_sizes, bench_fixed_point_path
+}
+criterion_main!(benches);

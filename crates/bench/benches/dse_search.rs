@@ -1,0 +1,34 @@
+//! Design-space exploration speed: the paper says the traversal search
+//! "only takes less than one minute on a desktop PC"; this bench shows
+//! our implementation's wall-clock per full search.
+
+use blockgnn_perf::coeffs::HardwareCoeffs;
+use blockgnn_perf::cycles::gs_pool_aggregation_task;
+use blockgnn_perf::dse::search_optimal;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_full_search(c: &mut Criterion) {
+    let coeffs = HardwareCoeffs::zc706();
+    let tasks = vec![
+        gs_pool_aggregation_task(25, 512, 1433),
+        gs_pool_aggregation_task(10, 512, 512),
+    ];
+    let mut group = c.benchmark_group("dse");
+    group.sample_size(10);
+    group.bench_function("gs_pool_cora_full_space", |b| {
+        b.iter(|| black_box(search_optimal(black_box(&tasks), 2708, 128, &coeffs)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_full_search
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! FFT substrate benchmarks: the O(n log n) engine behind every
+//! block-circulant product (underpins the TCR column of Table III).
+
+use blockgnn_fft::{Complex, FftPlan, FixedFftPlan, RealFftPlan};
+use blockgnn_fft::fixed_fft::FixedComplex;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_fft_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_forward");
+    for n in [16usize, 32, 64, 128, 256] {
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let data: Vec<Complex<f64>> =
+            (0..n).map(|i| Complex::new((i as f64 * 0.3).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                plan.forward(black_box(&mut buf));
+                black_box(buf)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rfft_vs_complex(c: &mut Criterion) {
+    let n = 128;
+    let cplan = FftPlan::<f64>::new(n).unwrap();
+    let rplan = RealFftPlan::<f64>::new(n).unwrap();
+    let real: Vec<f64> = (0..n).map(|i| (i as f64 * 0.13).cos()).collect();
+    let complex: Vec<Complex<f64>> = real.iter().map(|&v| Complex::from_real(v)).collect();
+    let mut group = c.benchmark_group("rfft_vs_complex_n128");
+    group.bench_function("complex", |b| {
+        b.iter(|| {
+            let mut buf = complex.clone();
+            cplan.forward(black_box(&mut buf));
+            black_box(buf)
+        });
+    });
+    group.bench_function("rfft", |b| {
+        b.iter(|| black_box(rplan.forward(black_box(&real)).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let n = 128;
+    let plan = FixedFftPlan::new(n).unwrap();
+    let data: Vec<FixedComplex> =
+        (0..n).map(|i| FixedComplex::from_real_f64((i as f64 * 0.21).sin())).collect();
+    c.bench_function("fixed_fft_n128", |b| {
+        b.iter(|| {
+            let mut buf = data.clone();
+            plan.forward(black_box(&mut buf));
+            black_box(buf)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_fft_sizes, bench_rfft_vs_complex, bench_fixed_point
+}
+criterion_main!(benches);

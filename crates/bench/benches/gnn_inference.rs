@@ -1,0 +1,58 @@
+//! End-to-end GNN inference: uncompressed vs block-circulant forward
+//! passes (the software-level view of Figure 6's compression win).
+
+use blockgnn_gnn::{build_model, Compression, ModelKind};
+use blockgnn_graph::datasets;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_gcn_compression(c: &mut Criterion) {
+    let ds = datasets::cora_like_small(3);
+    let mut group = c.benchmark_group("gcn_forward_cora_small");
+    group.sample_size(20);
+    for (label, compression) in [
+        ("dense", Compression::Dense),
+        ("n16", Compression::BlockCirculant { block_size: 16 }),
+        ("n32", Compression::BlockCirculant { block_size: 32 }),
+    ] {
+        let mut model =
+            build_model(ModelKind::Gcn, ds.feature_dim(), 64, ds.num_classes, compression, 1)
+                .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| black_box(model.forward(&ds.graph, &ds.features, false)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_models_forward(c: &mut Criterion) {
+    let ds = datasets::cora_like_small(3);
+    let mut group = c.benchmark_group("model_forward_n16");
+    group.sample_size(15);
+    for kind in ModelKind::all() {
+        let mut model = build_model(
+            kind,
+            ds.feature_dim(),
+            32,
+            ds.num_classes,
+            Compression::BlockCirculant { block_size: 16 },
+            2,
+        )
+        .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, _| {
+            b.iter(|| black_box(model.forward(&ds.graph, &ds.features, false)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_gcn_compression, bench_all_models_forward
+}
+criterion_main!(benches);

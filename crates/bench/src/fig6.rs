@@ -1,0 +1,267 @@
+//! Figure 6 — performance comparison of the four architectures on all
+//! model × dataset pairs, normalized to the CPU baseline.
+//!
+//! Architectures (§IV-A): ① BlockGNN-base (fixed parameters),
+//! ② BlockGNN-opt (per-task DSE), ③ Xeon Gold 5220 CPU running the
+//! uncompressed models, ④ HyGCN scaled onto the same FPGA. BlockGNN runs
+//! the n = 128 compressed models; CPU and HyGCN run dense.
+
+use blockgnn_accel::{BlockGnnAccelerator, CpuModel, HyGcnModel};
+use blockgnn_gnn::workload::GnnWorkload;
+use blockgnn_gnn::ModelKind;
+use blockgnn_graph::datasets::table4_specs;
+use blockgnn_perf::coeffs::HardwareCoeffs;
+use blockgnn_perf::dse::search_optimal;
+use blockgnn_perf::params::CirCoreParams;
+
+/// The block size BlockGNN deploys in the hardware evaluation.
+pub const DEPLOY_BLOCK_SIZE: usize = 128;
+
+/// One bar group of Figure 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig6Entry {
+    /// GNN algorithm.
+    pub model: ModelKind,
+    /// Dataset name.
+    pub dataset: String,
+    /// Target nodes.
+    pub num_nodes: usize,
+    /// CPU seconds (uncompressed).
+    pub cpu_seconds: f64,
+    /// HyGCN seconds (uncompressed).
+    pub hygcn_seconds: f64,
+    /// BlockGNN-base seconds (n = 128).
+    pub base_seconds: f64,
+    /// BlockGNN-opt seconds (n = 128, DSE-tuned).
+    pub opt_seconds: f64,
+    /// The DSE-chosen configuration.
+    pub opt_params: CirCoreParams,
+}
+
+impl Fig6Entry {
+    /// Speedup of BlockGNN-opt over the CPU.
+    #[must_use]
+    pub fn opt_speedup_vs_cpu(&self) -> f64 {
+        self.cpu_seconds / self.opt_seconds
+    }
+
+    /// Speedup of BlockGNN-opt over HyGCN.
+    #[must_use]
+    pub fn opt_speedup_vs_hygcn(&self) -> f64 {
+        self.hygcn_seconds / self.opt_seconds
+    }
+
+    /// Speedup of BlockGNN-base over the CPU.
+    #[must_use]
+    pub fn base_speedup_vs_cpu(&self) -> f64 {
+        self.cpu_seconds / self.base_seconds
+    }
+}
+
+/// Runs the 4 × 4 sweep.
+///
+/// BlockGNN timings use the *measured-system* calibration
+/// ([`HardwareCoeffs::zc706_measured`]) — the §V FFT-IP streaming
+/// efficiency included — because Figure 6 reports wall-clock on the
+/// as-built prototype, not the analytical model behind Table V.
+#[must_use]
+pub fn run() -> Vec<Fig6Entry> {
+    let coeffs = HardwareCoeffs::zc706_measured();
+    let cpu = CpuModel::xeon_gold_5220();
+    let hygcn = HyGcnModel::zc706_scaled();
+    let base_accel = BlockGnnAccelerator::new(CirCoreParams::base(), coeffs.clone());
+    let mut entries = Vec::new();
+    for model in ModelKind::all() {
+        for spec in table4_specs() {
+            let workload = GnnWorkload::new(model, &spec, 512, &[25, 10]);
+            let tasks: Vec<_> =
+                workload.layers.iter().map(BlockGnnAccelerator::layer_task).collect();
+            let dse =
+                search_optimal(&tasks, spec.num_nodes, DEPLOY_BLOCK_SIZE, &coeffs);
+            let opt_accel = BlockGnnAccelerator::new(dse.params, coeffs.clone());
+            entries.push(Fig6Entry {
+                model,
+                dataset: spec.name.clone(),
+                num_nodes: spec.num_nodes,
+                cpu_seconds: cpu.simulate_workload(&workload),
+                hygcn_seconds: hygcn.simulate_workload(&workload),
+                base_seconds: base_accel
+                    .simulate_workload(&workload, DEPLOY_BLOCK_SIZE)
+                    .seconds,
+                opt_seconds: opt_accel
+                    .simulate_workload(&workload, DEPLOY_BLOCK_SIZE)
+                    .seconds,
+                opt_params: dse.params,
+            });
+        }
+    }
+    entries
+}
+
+/// Renders the sweep as a speedup table (bars of Figure 6 as numbers).
+#[must_use]
+pub fn render(entries: &[Fig6Entry]) -> String {
+    let mut out = String::from(
+        "=== Figure 6: speedup normalized to CPU (higher is better) ===\n\n",
+    );
+    out.push_str(
+        "Model    Dataset        | base   | opt    | CPU  | HyGCN | opt cfg\n",
+    );
+    out.push_str(
+        "-------- ---------------+--------+--------+------+-------+--------------------\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "{:<8} {:<14} | {:>5.2}x | {:>5.2}x | 1.00 | {:>4.2}x | {}\n",
+            e.model.name(),
+            e.dataset,
+            e.base_speedup_vs_cpu(),
+            e.opt_speedup_vs_cpu(),
+            e.cpu_seconds / e.hygcn_seconds,
+            e.opt_params
+        ));
+    }
+    let avg_cpu: f64 =
+        entries.iter().map(Fig6Entry::opt_speedup_vs_cpu).sum::<f64>() / entries.len() as f64;
+    let avg_hygcn: f64 = entries.iter().map(Fig6Entry::opt_speedup_vs_hygcn).sum::<f64>()
+        / entries.len() as f64;
+    let max_hygcn = entries
+        .iter()
+        .map(Fig6Entry::opt_speedup_vs_hygcn)
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!(
+        "\nBlockGNN-opt average speedup: {avg_cpu:.1}x vs CPU (paper: 2.3x), \
+         {avg_hygcn:.1}x vs HyGCN (paper: 4.2x), max {max_hygcn:.1}x vs HyGCN \
+         (paper: 8.3x on G-GCN/RD).\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries() -> Vec<Fig6Entry> {
+        run()
+    }
+
+    #[test]
+    fn opt_never_loses_to_base() {
+        for e in entries() {
+            assert!(
+                e.opt_seconds <= e.base_seconds * 1.0001,
+                "{} {}: opt {} vs base {}",
+                e.model,
+                e.dataset,
+                e.opt_seconds,
+                e.base_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn blockgnn_beats_cpu_and_hygcn_on_weighted_aggregators() {
+        for e in entries() {
+            if e.model.has_weighted_aggregation() {
+                assert!(
+                    e.opt_speedup_vs_cpu() > 1.0,
+                    "{} {}: should beat CPU",
+                    e.model,
+                    e.dataset
+                );
+                assert!(
+                    e.opt_speedup_vs_hygcn() > 1.0,
+                    "{} {}: should beat HyGCN",
+                    e.model,
+                    e.dataset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn average_speedups_land_in_paper_band() {
+        let es = entries();
+        let avg_cpu: f64 =
+            es.iter().map(Fig6Entry::opt_speedup_vs_cpu).sum::<f64>() / es.len() as f64;
+        let avg_hygcn: f64 =
+            es.iter().map(Fig6Entry::opt_speedup_vs_hygcn).sum::<f64>() / es.len() as f64;
+        // Paper: 2.3x vs CPU, 4.2x vs HyGCN on average. Allow a loose
+        // band — the substrates are models, not the authors' testbed.
+        assert!((1.2..6.0).contains(&avg_cpu), "avg vs CPU {avg_cpu}");
+        assert!((2.0..13.0).contains(&avg_hygcn), "avg vs HyGCN {avg_hygcn}");
+    }
+
+    #[test]
+    fn largest_hygcn_win_sits_on_a_heavy_aggregator() {
+        // Paper: "On G-GCN and RD dataset, BlockGNN-opt achieves up to
+        // 8.3× speedup against HyGCN". Under our re-derived cost models
+        // GS-Pool and G-GCN are near-ties for the crown (both are
+        // aggregation-matvec-dominated); the reproduced claims are that
+        // the maximum (a) sits on a weighted-aggregation model, (b) falls
+        // in the high-single-digit/low-double-digit band, and (c) the
+        // paper's own G-GCN/RD point is within ~25% of our global max.
+        let es = entries();
+        let max = es
+            .iter()
+            .max_by(|a, b| {
+                a.opt_speedup_vs_hygcn().total_cmp(&b.opt_speedup_vs_hygcn())
+            })
+            .unwrap();
+        assert!(
+            max.model.has_weighted_aggregation(),
+            "max win landed on {}",
+            max.model
+        );
+        assert!(
+            (4.0..16.0).contains(&max.opt_speedup_vs_hygcn()),
+            "max speedup {:.1} (paper: 8.3)",
+            max.opt_speedup_vs_hygcn()
+        );
+        let ggcn_rd = es
+            .iter()
+            .find(|e| e.model == ModelKind::Ggcn && e.dataset.starts_with("reddit"))
+            .unwrap();
+        assert!(
+            ggcn_rd.opt_speedup_vs_hygcn() > 0.6 * max.opt_speedup_vs_hygcn(),
+            "G-GCN/RD ({:.1}) should sit near the global max ({:.1})",
+            ggcn_rd.opt_speedup_vs_hygcn(),
+            max.opt_speedup_vs_hygcn()
+        );
+        // The paper's headline data point: 8.3× on G-GCN/RD. Our
+        // simulator must land in its neighbourhood.
+        assert!(
+            (5.0..13.0).contains(&ggcn_rd.opt_speedup_vs_hygcn()),
+            "G-GCN/RD speedup {:.1} vs paper's 8.3",
+            ggcn_rd.opt_speedup_vs_hygcn()
+        );
+    }
+
+    #[test]
+    fn gcn_speedup_is_smallest() {
+        // "The speedup on GCN is not as high as the other models".
+        let es = entries();
+        let avg = |kind: ModelKind| -> f64 {
+            let v: Vec<f64> = es
+                .iter()
+                .filter(|e| e.model == kind)
+                .map(Fig6Entry::opt_speedup_vs_cpu)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let gcn = avg(ModelKind::Gcn);
+        for kind in [ModelKind::GsPool, ModelKind::Ggcn, ModelKind::Gat] {
+            assert!(
+                avg(kind) > gcn,
+                "{kind} average speedup should exceed GCN's {gcn:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_summarizes_averages() {
+        let text = render(&entries());
+        assert!(text.contains("average speedup"));
+        assert!(text.contains("GCN"));
+    }
+}

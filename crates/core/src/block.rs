@@ -1,0 +1,331 @@
+//! A single circulant block.
+//!
+//! Following the paper's Figure 2, a block `B` is described by its first
+//! row `(w¹, w², …, wⁿ)`; every subsequent row is the row above rotated
+//! one position to the right:
+//!
+//! ```text
+//! ⎡ w1  w2  w3 … wn  ⎤
+//! ⎢ wn  w1  w2 … wn-1⎥
+//! ⎢ wn-1 wn w1 … wn-2⎥
+//! ⎣ …                ⎦
+//! ```
+//!
+//! i.e. `B[i][j] = w[(j − i) mod n]`. Internally we store the equivalent
+//! *kernel* (first column) `c[i] = B[i][0] = w[(−i) mod n]`, because with
+//! the kernel the product `B·h` is literally the circular convolution
+//! `c ⊛ h`, and `FFT(c) ∘ FFT(h)` is its spectrum. Both views are exposed.
+
+use crate::error::CirculantError;
+use blockgnn_linalg::Matrix;
+
+/// One `n × n` circulant block, stored as its length-`n` kernel
+/// (first column).
+///
+/// ```
+/// use blockgnn_core::CirculantBlock;
+/// let b = CirculantBlock::from_first_row(vec![1.0, 2.0, 3.0]);
+/// let dense = b.to_dense();
+/// // second row is the first rotated right by one
+/// assert_eq!(dense.row(1), &[3.0, 1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CirculantBlock {
+    kernel: Vec<f64>,
+}
+
+impl CirculantBlock {
+    /// Builds a block from its kernel (first **column**).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` is empty.
+    #[must_use]
+    pub fn from_kernel(kernel: Vec<f64>) -> Self {
+        assert!(!kernel.is_empty(), "circulant kernel must be non-empty");
+        Self { kernel }
+    }
+
+    /// Builds a block from its first **row**, the representation used in
+    /// the paper's figures. The first row `w` maps to the kernel via
+    /// `c[i] = w[(n − i) mod n]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `first_row` is empty.
+    #[must_use]
+    pub fn from_first_row(first_row: Vec<f64>) -> Self {
+        assert!(!first_row.is_empty(), "circulant first row must be non-empty");
+        let n = first_row.len();
+        let kernel = (0..n).map(|i| first_row[(n - i) % n]).collect();
+        Self { kernel }
+    }
+
+    /// Block size `n`.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.kernel.len()
+    }
+
+    /// The kernel (first column).
+    #[must_use]
+    pub fn kernel(&self) -> &[f64] {
+        &self.kernel
+    }
+
+    /// The first row `w[j] = c[(n − j) mod n]`.
+    #[must_use]
+    pub fn first_row(&self) -> Vec<f64> {
+        let n = self.kernel.len();
+        (0..n).map(|j| self.kernel[(n - j) % n]).collect()
+    }
+
+    /// Entry `B[i][j] = c[(i − j) mod n]` without materializing the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    #[must_use]
+    pub fn entry(&self, i: usize, j: usize) -> f64 {
+        let n = self.kernel.len();
+        assert!(i < n && j < n, "circulant entry ({i},{j}) out of bounds for n={n}");
+        self.kernel[(i + n - j) % n]
+    }
+
+    /// Expands to a dense `n × n` matrix.
+    #[must_use]
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.kernel.len();
+        Matrix::from_fn(n, n, |i, j| self.kernel[(i + n - j) % n])
+    }
+
+    /// Direct O(n²) product `B·h` — the spatial-domain reference against
+    /// which the FFT paths are validated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::DimensionMismatch`] if `h.len() != n`.
+    pub fn matvec(&self, h: &[f64]) -> Result<Vec<f64>, CirculantError> {
+        let n = self.kernel.len();
+        if h.len() != n {
+            return Err(CirculantError::DimensionMismatch { expected: n, got: h.len() });
+        }
+        let mut out = vec![0.0; n];
+        for (i, o) in out.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for (j, &hj) in h.iter().enumerate() {
+                acc += self.kernel[(i + n - j) % n] * hj;
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// The transposed block `Bᵀ`, which is itself circulant with the
+    /// reversed kernel `cᵀ[d] = c[(n − d) mod n]`.
+    ///
+    /// Backpropagation through a circulant layer multiplies by `Bᵀ`, so
+    /// the transpose stays in O(n) storage during training too.
+    #[must_use]
+    pub fn transpose(&self) -> Self {
+        let n = self.kernel.len();
+        let kernel = (0..n).map(|d| self.kernel[(n - d) % n]).collect();
+        Self { kernel }
+    }
+
+    /// Gradient of a scalar loss with respect to the kernel, given the
+    /// gradient with respect to the dense block entries.
+    ///
+    /// Each kernel entry is shared by the `n` entries of its wrap-around
+    /// diagonal, so its gradient is the **sum** (not mean) along that
+    /// diagonal: `∂L/∂c[d] = Σ_{(i−j) mod n = d} ∂L/∂B[i][j]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::BadKernelLayout`] if `dense_grad` is not
+    /// square or is empty.
+    pub fn gradient_from_dense(dense_grad: &Matrix) -> Result<Vec<f64>, CirculantError> {
+        let (rows, cols) = dense_grad.shape();
+        if rows == 0 || rows != cols {
+            return Err(CirculantError::BadKernelLayout {
+                what: format!(
+                    "kernel gradient needs a square non-empty matrix, got {rows}x{cols}"
+                ),
+            });
+        }
+        let n = rows;
+        let mut grad = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                grad[(i + n - j) % n] += dense_grad[(i, j)];
+            }
+        }
+        Ok(grad)
+    }
+
+    /// Frobenius-optimal projection of an arbitrary square matrix onto the
+    /// circulant subspace: each kernel entry is the mean of the matrix
+    /// entries along its wrap-around diagonal,
+    /// `c[d] = mean{ A[i][j] : (i − j) mod n = d }`.
+    ///
+    /// This is the projection used during compression-aware training —
+    /// gradients of a dense layer are projected back onto the circulant
+    /// parameters (CirCNN-style), and it is also how a pre-trained dense
+    /// weight matrix is converted to block-circulant form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::BadKernelLayout`] if `a` is not square or
+    /// is empty.
+    pub fn project_from_dense(a: &Matrix) -> Result<Self, CirculantError> {
+        let (rows, cols) = a.shape();
+        if rows == 0 || rows != cols {
+            return Err(CirculantError::BadKernelLayout {
+                what: format!("projection needs a square non-empty matrix, got {rows}x{cols}"),
+            });
+        }
+        let n = rows;
+        let mut kernel = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                kernel[(i + n - j) % n] += a[(i, j)];
+            }
+        }
+        for k in &mut kernel {
+            *k /= n as f64;
+        }
+        Ok(Self { kernel })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_linalg::vector::linf_distance;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_row_kernel_round_trip() {
+        let w = vec![1.0, 2.0, 3.0, 4.0];
+        let b = CirculantBlock::from_first_row(w.clone());
+        assert_eq!(b.first_row(), w);
+        // kernel is reversed-rotated first row: c = [w1, w4, w3, w2]
+        assert_eq!(b.kernel(), &[1.0, 4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn dense_expansion_matches_paper_figure() {
+        // Figure 2: rows are successive right-rotations of the first row.
+        let b = CirculantBlock::from_first_row(vec![1.0, 2.0, 3.0, 4.0]);
+        let d = b.to_dense();
+        assert_eq!(d.row(0), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.row(1), &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(d.row(2), &[3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(d.row(3), &[2.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn entry_matches_dense() {
+        let b = CirculantBlock::from_kernel(vec![5.0, -1.0, 2.0]);
+        let d = b.to_dense();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(b.entry(i, j), d[(i, j)]);
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense_matvec() {
+        let b = CirculantBlock::from_first_row(vec![0.5, -1.0, 2.0, 0.0, 1.5, 3.0, -0.5, 1.0]);
+        let h: Vec<f64> = (0..8).map(|i| (i as f64 - 3.0) * 0.7).collect();
+        let fast = b.matvec(&h).unwrap();
+        let dense = b.to_dense().matvec(&h);
+        assert!(linf_distance(&fast, &dense) < 1e-12);
+    }
+
+    #[test]
+    fn matvec_rejects_wrong_length() {
+        let b = CirculantBlock::from_kernel(vec![1.0; 4]);
+        assert_eq!(
+            b.matvec(&[1.0; 3]).unwrap_err(),
+            CirculantError::DimensionMismatch { expected: 4, got: 3 }
+        );
+    }
+
+    #[test]
+    fn projection_of_circulant_is_identity() {
+        let b = CirculantBlock::from_kernel(vec![1.0, -2.0, 0.5, 3.0]);
+        let p = CirculantBlock::project_from_dense(&b.to_dense()).unwrap();
+        assert!(linf_distance(p.kernel(), b.kernel()) < 1e-12);
+    }
+
+    #[test]
+    fn projection_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(CirculantBlock::project_from_dense(&a).is_err());
+        assert!(CirculantBlock::project_from_dense(&Matrix::zeros(0, 0)).is_err());
+    }
+
+    #[test]
+    fn projection_averages_diagonals() {
+        // A = [[1, 0], [0, 3]]: main diagonal {1,3} -> mean 2; off {0,0} -> 0.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        let p = CirculantBlock::project_from_dense(&a).unwrap();
+        assert_eq!(p.kernel(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let b = CirculantBlock::from_kernel(vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(b.transpose().to_dense(), b.to_dense().transpose());
+        // transpose is an involution
+        assert_eq!(b.transpose().transpose(), b);
+    }
+
+    #[test]
+    fn gradient_sums_diagonals() {
+        // grad = [[1, 0], [0, 3]]: diagonal d=0 holds {1,3} -> 4.
+        let g = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 3.0]]).unwrap();
+        assert_eq!(CirculantBlock::gradient_from_dense(&g).unwrap(), vec![4.0, 0.0]);
+        assert!(CirculantBlock::gradient_from_dense(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_projection_is_frobenius_optimal(
+            vals in proptest::collection::vec(-3.0f64..3.0, 16),
+            perturb in proptest::collection::vec(-1.0f64..1.0, 4),
+        ) {
+            // The projection must beat any perturbed circulant in
+            // Frobenius distance to the original matrix.
+            let a = Matrix::from_flat(4, 4, vals).unwrap();
+            let proj = CirculantBlock::project_from_dense(&a).unwrap();
+            let base_err = (&proj.to_dense() - &a).frobenius_norm();
+            let mut k = proj.kernel().to_vec();
+            for (ki, pi) in k.iter_mut().zip(&perturb) {
+                *ki += pi;
+            }
+            let other = CirculantBlock::from_kernel(k);
+            let other_err = (&other.to_dense() - &a).frobenius_norm();
+            prop_assert!(base_err <= other_err + 1e-9);
+        }
+
+        #[test]
+        fn prop_matvec_linear(
+            kernel in proptest::collection::vec(-2.0f64..2.0, 8),
+            x in proptest::collection::vec(-2.0f64..2.0, 8),
+            y in proptest::collection::vec(-2.0f64..2.0, 8),
+            alpha in -2.0f64..2.0,
+        ) {
+            let b = CirculantBlock::from_kernel(kernel);
+            let combo: Vec<f64> = x.iter().zip(&y).map(|(a, c)| alpha * a + c).collect();
+            let lhs = b.matvec(&combo).unwrap();
+            let bx = b.matvec(&x).unwrap();
+            let by = b.matvec(&y).unwrap();
+            for i in 0..8 {
+                prop_assert!((lhs[i] - (alpha * bx[i] + by[i])).abs() < 1e-9);
+            }
+        }
+    }
+}

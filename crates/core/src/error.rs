@@ -1,0 +1,64 @@
+//! Error type shared by the block-circulant constructors and kernels.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or applying block-circulant matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CirculantError {
+    /// The block size is invalid (zero or, for spectral paths, not a
+    /// power of two).
+    BadBlockSize {
+        /// Requested block size.
+        n: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// A dimension (rows/cols) was zero.
+    EmptyDimension,
+    /// An input buffer did not match the expected logical dimension.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Supplied length.
+        got: usize,
+    },
+    /// The number or length of supplied first-row vectors was wrong.
+    BadKernelLayout {
+        /// Human-readable description.
+        what: String,
+    },
+}
+
+impl fmt::Display for CirculantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CirculantError::BadBlockSize { n, reason } => {
+                write!(f, "invalid block size {n}: {reason}")
+            }
+            CirculantError::EmptyDimension => write!(f, "matrix dimensions must be non-zero"),
+            CirculantError::DimensionMismatch { expected, got } => {
+                write!(f, "expected a vector of length {expected}, got {got}")
+            }
+            CirculantError::BadKernelLayout { what } => {
+                write!(f, "bad kernel layout: {what}")
+            }
+        }
+    }
+}
+
+impl Error for CirculantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CirculantError::BadBlockSize { n: 12, reason: "not a power of two" };
+        assert!(e.to_string().contains("12"));
+        assert!(CirculantError::EmptyDimension.to_string().contains("non-zero"));
+        let e = CirculantError::DimensionMismatch { expected: 8, got: 4 };
+        assert!(e.to_string().contains('8') && e.to_string().contains('4'));
+    }
+}

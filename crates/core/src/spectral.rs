@@ -1,0 +1,401 @@
+//! Spectral-domain execution of block-circulant products — Algorithm 1.
+//!
+//! The trained weights are transformed **once** into the spectral domain
+//! (the paper's pre-computed `Ŵ`); at inference time only the feature
+//! sub-vectors are FFT'd on the fly. Because the IFFT is linear,
+//! `Σ_j IFFT(Ŵ_ij ∘ X_j) = IFFT(Σ_j Ŵ_ij ∘ X_j)`, so the per-row
+//! accumulation happens in the spectral domain and only `p` IFFTs are
+//! required instead of `p·q` — the optimization the paper highlights over
+//! CirCNN’s original flow (its reference \[19\] made the same observation).
+//!
+//! [`SpectralBlockCirculant`] implements that optimized Algorithm 1 with
+//! complex FFTs; [`RealSpectralBlockCirculant`] applies the §V RFFT
+//! refinement, halving both the stored spectrum and the element-wise MAC
+//! work for the (always real) GNN features.
+
+use crate::error::CirculantError;
+use crate::matrix::BlockCirculantMatrix;
+use blockgnn_fft::{Complex, FftPlan, RealFftPlan};
+
+/// Pre-computed spectral form of a [`BlockCirculantMatrix`] using the
+/// complex FFT (the paper's baseline CirCore datapath).
+///
+/// ```
+/// use blockgnn_core::{BlockCirculantMatrix, SpectralBlockCirculant};
+/// let w = BlockCirculantMatrix::random(16, 8, 8, 5).unwrap();
+/// let spectral = SpectralBlockCirculant::new(&w).unwrap();
+/// let x = vec![0.25; 8];
+/// assert_eq!(spectral.matvec(&x).len(), 16);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpectralBlockCirculant {
+    out_dim: usize,
+    in_dim: usize,
+    block_size: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    /// `Ŵ_ij = FFT(kernel_ij)`, row-major grid order, each of length `n`.
+    spectra: Vec<Vec<Complex<f64>>>,
+    plan: FftPlan<f64>,
+}
+
+impl SpectralBlockCirculant {
+    /// Pre-computes `Ŵ` for every block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::BadBlockSize`] if the block size is not a
+    /// power of two (the radix-2 plan requirement).
+    pub fn new(matrix: &BlockCirculantMatrix) -> Result<Self, CirculantError> {
+        let n = matrix.block_size();
+        let plan = FftPlan::new(n).map_err(|_| CirculantError::BadBlockSize {
+            n,
+            reason: "spectral execution requires a power-of-two block size",
+        })?;
+        let mut spectra = Vec::with_capacity(matrix.grid_rows() * matrix.grid_cols());
+        for (_, _, block) in matrix.iter_blocks() {
+            let spec = plan
+                .forward_real(block.kernel())
+                .expect("kernel length equals plan length");
+            spectra.push(spec);
+        }
+        Ok(Self {
+            out_dim: matrix.out_dim(),
+            in_dim: matrix.in_dim(),
+            block_size: n,
+            grid_rows: matrix.grid_rows(),
+            grid_cols: matrix.grid_cols(),
+            spectra,
+            plan,
+        })
+    }
+
+    /// Logical output dimension `N`.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Logical input dimension `M`.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Circulant block size `n`.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Grid rows `p`.
+    #[must_use]
+    pub fn grid_rows(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Grid columns `q`.
+    #[must_use]
+    pub fn grid_cols(&self) -> usize {
+        self.grid_cols
+    }
+
+    /// Borrows the pre-computed spectrum `Ŵ_ij`.
+    ///
+    /// The hardware simulator loads these into the systolic array's
+    /// weight-stationary registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is outside the grid.
+    #[must_use]
+    pub fn spectrum(&self, i: usize, j: usize) -> &[Complex<f64>] {
+        assert!(i < self.grid_rows && j < self.grid_cols, "spectrum index out of grid");
+        &self.spectra[i * self.grid_cols + j]
+    }
+
+    /// **Algorithm 1**: `y = W·x` via q forward FFTs, `p·q` element-wise
+    /// spectral MACs, and `p` inverse FFTs (spectral-domain accumulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
+        let n = self.block_size;
+        // Stage 1: FFT each input sub-vector (q transforms).
+        let sub_spectra = self.input_spectra(x);
+        // Stage 2+3: accumulate in the spectral domain, one IFFT per grid row.
+        let mut y = Vec::with_capacity(self.grid_rows * n);
+        for i in 0..self.grid_rows {
+            let mut acc = vec![Complex::zero(); n];
+            for (j, xs) in sub_spectra.iter().enumerate() {
+                let w = &self.spectra[i * self.grid_cols + j];
+                for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xs) {
+                    *a += wv * xv;
+                }
+            }
+            self.plan.inverse(&mut acc);
+            y.extend(acc.iter().map(|c| c.re));
+        }
+        y.truncate(self.out_dim);
+        y
+    }
+
+    /// The unoptimized CirCNN-style flow: one IFFT **per block** (`p·q`
+    /// inverse transforms) with accumulation in the spatial domain.
+    ///
+    /// Numerically identical to [`SpectralBlockCirculant::matvec`] (up to
+    /// rounding); kept as the ablation baseline quantifying what the
+    /// spectral-accumulation optimization saves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec_per_block_ifft(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
+        let n = self.block_size;
+        let sub_spectra = self.input_spectra(x);
+        let mut y = vec![0.0; self.grid_rows * n];
+        for i in 0..self.grid_rows {
+            for (j, xs) in sub_spectra.iter().enumerate() {
+                let w = &self.spectra[i * self.grid_cols + j];
+                let mut prod: Vec<Complex<f64>> =
+                    w.iter().zip(xs).map(|(&a, &b)| a * b).collect();
+                self.plan.inverse(&mut prod);
+                for (acc, c) in y[i * n..(i + 1) * n].iter_mut().zip(&prod) {
+                    *acc += c.re;
+                }
+            }
+        }
+        y.truncate(self.out_dim);
+        y
+    }
+
+    /// Number of inverse FFTs Algorithm 1 performs per input vector (`p`),
+    /// versus `p·q` for the per-block flow. Used by the ablation report.
+    #[must_use]
+    pub fn ifft_count_optimized(&self) -> usize {
+        self.grid_rows
+    }
+
+    /// Number of inverse FFTs the CirCNN-style flow performs (`p·q`).
+    #[must_use]
+    pub fn ifft_count_per_block(&self) -> usize {
+        self.grid_rows * self.grid_cols
+    }
+
+    fn input_spectra(&self, x: &[f64]) -> Vec<Vec<Complex<f64>>> {
+        let n = self.block_size;
+        let mut padded = x.to_vec();
+        padded.resize(self.grid_cols * n, 0.0);
+        padded
+            .chunks_exact(n)
+            .map(|sub| self.plan.forward_real(sub).expect("chunk length equals plan length"))
+            .collect()
+    }
+}
+
+/// Pre-computed spectral form using the **real** FFT (§V refinement):
+/// spectra keep only `n/2 + 1` bins, roughly halving MAC work and weight
+/// storage relative to the complex path.
+#[derive(Debug, Clone)]
+pub struct RealSpectralBlockCirculant {
+    out_dim: usize,
+    in_dim: usize,
+    block_size: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    /// Half-spectra `Ŵ_ij`, each of length `n/2 + 1`.
+    spectra: Vec<Vec<Complex<f64>>>,
+    plan: RealFftPlan<f64>,
+}
+
+impl RealSpectralBlockCirculant {
+    /// Pre-computes the half-spectra `Ŵ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CirculantError::BadBlockSize`] if the block size is not a
+    /// power of two of at least 2.
+    pub fn new(matrix: &BlockCirculantMatrix) -> Result<Self, CirculantError> {
+        let n = matrix.block_size();
+        let plan = RealFftPlan::new(n).map_err(|_| CirculantError::BadBlockSize {
+            n,
+            reason: "real-spectral execution requires a power-of-two block size >= 2",
+        })?;
+        let mut spectra = Vec::with_capacity(matrix.grid_rows() * matrix.grid_cols());
+        for (_, _, block) in matrix.iter_blocks() {
+            spectra.push(plan.forward(block.kernel()).expect("kernel length matches plan"));
+        }
+        Ok(Self {
+            out_dim: matrix.out_dim(),
+            in_dim: matrix.in_dim(),
+            block_size: n,
+            grid_rows: matrix.grid_rows(),
+            grid_cols: matrix.grid_cols(),
+            spectra,
+            plan,
+        })
+    }
+
+    /// Logical output dimension `N`.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Logical input dimension `M`.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of complex bins stored per block (`n/2 + 1`).
+    #[must_use]
+    pub fn spectrum_len(&self) -> usize {
+        self.block_size / 2 + 1
+    }
+
+    /// Algorithm 1 over half-spectra: q RFFTs, `p·q` half-length MAC
+    /// passes, `p` IRFFTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
+        let n = self.block_size;
+        let bins = self.spectrum_len();
+        let mut padded = x.to_vec();
+        padded.resize(self.grid_cols * n, 0.0);
+        let sub_spectra: Vec<Vec<Complex<f64>>> = padded
+            .chunks_exact(n)
+            .map(|sub| self.plan.forward(sub).expect("chunk length equals plan length"))
+            .collect();
+        let mut y = Vec::with_capacity(self.grid_rows * n);
+        for i in 0..self.grid_rows {
+            let mut acc = vec![Complex::zero(); bins];
+            for (j, xs) in sub_spectra.iter().enumerate() {
+                let w = &self.spectra[i * self.grid_cols + j];
+                for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xs) {
+                    *a += wv * xv;
+                }
+            }
+            let spatial = self.plan.inverse(&acc).expect("accumulator matches spectrum len");
+            y.extend_from_slice(&spatial);
+        }
+        y.truncate(self.out_dim);
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_linalg::vector::linf_distance;
+    use proptest::prelude::*;
+
+    fn test_input(len: usize) -> Vec<f64> {
+        (0..len).map(|i| ((i as f64 + 1.0) * 0.37).sin() * 2.0).collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_blocks() {
+        let m = BlockCirculantMatrix::random(9, 9, 3, 0).unwrap();
+        assert!(matches!(
+            SpectralBlockCirculant::new(&m).unwrap_err(),
+            CirculantError::BadBlockSize { n: 3, .. }
+        ));
+        assert!(RealSpectralBlockCirculant::new(&m).is_err());
+    }
+
+    #[test]
+    fn algorithm1_matches_direct_product() {
+        for (rows, cols, n) in [(8, 8, 4), (16, 8, 8), (10, 6, 4), (7, 129, 16), (128, 512, 128)]
+        {
+            let m = BlockCirculantMatrix::random(rows, cols, n, 13).unwrap();
+            let s = SpectralBlockCirculant::new(&m).unwrap();
+            let x = test_input(cols);
+            let fast = s.matvec(&x);
+            let direct = m.matvec_direct(&x);
+            assert!(
+                linf_distance(&fast, &direct) < 1e-8,
+                "spectral mismatch at {rows}x{cols} n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn per_block_ifft_flow_is_equivalent() {
+        let m = BlockCirculantMatrix::random(24, 20, 8, 99).unwrap();
+        let s = SpectralBlockCirculant::new(&m).unwrap();
+        let x = test_input(20);
+        assert!(linf_distance(&s.matvec(&x), &s.matvec_per_block_ifft(&x)) < 1e-9);
+        // Accounting: the optimization reduces IFFTs from p*q to p.
+        assert_eq!(s.ifft_count_optimized(), 3);
+        assert_eq!(s.ifft_count_per_block(), 9);
+    }
+
+    #[test]
+    fn rfft_path_matches_complex_path() {
+        for (rows, cols, n) in [(8, 8, 4), (16, 24, 8), (50, 30, 16), (128, 100, 128)] {
+            let m = BlockCirculantMatrix::random(rows, cols, n, 31).unwrap();
+            let c = SpectralBlockCirculant::new(&m).unwrap();
+            let r = RealSpectralBlockCirculant::new(&m).unwrap();
+            let x = test_input(cols);
+            assert!(
+                linf_distance(&c.matvec(&x), &r.matvec(&x)) < 1e-8,
+                "rfft mismatch at {rows}x{cols} n={n}"
+            );
+            assert_eq!(r.spectrum_len(), n / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn spectrum_accessor_returns_fft_of_kernel() {
+        let m = BlockCirculantMatrix::random(8, 8, 4, 77).unwrap();
+        let s = SpectralBlockCirculant::new(&m).unwrap();
+        let plan = FftPlan::<f64>::new(4).unwrap();
+        let expect = plan.forward_real(m.block(1, 0).kernel()).unwrap();
+        for (a, b) in s.spectrum(1, 0).iter().zip(&expect) {
+            assert!(a.linf_distance(*b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimensions_are_preserved() {
+        let m = BlockCirculantMatrix::random(10, 6, 4, 1).unwrap();
+        let s = SpectralBlockCirculant::new(&m).unwrap();
+        assert_eq!(s.out_dim(), 10);
+        assert_eq!(s.in_dim(), 6);
+        assert_eq!(s.block_size(), 4);
+        assert_eq!((s.grid_rows(), s.grid_cols()), (3, 2));
+        assert_eq!(s.matvec(&test_input(6)).len(), 10);
+        let r = RealSpectralBlockCirculant::new(&m).unwrap();
+        assert_eq!((r.out_dim(), r.in_dim()), (10, 6));
+        assert_eq!(r.matvec(&test_input(6)).len(), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_spectral_equals_direct(
+            seed in 0u64..500,
+            p in 1usize..4,
+            q in 1usize..4,
+            logn in 1u32..5,
+        ) {
+            let n = 1usize << logn;
+            // exercise both exact and padded shapes
+            let rows = p * n - (seed as usize % n.min(p * n - 1).max(1));
+            let cols = q * n;
+            let m = BlockCirculantMatrix::random(rows.max(1), cols, n, seed).unwrap();
+            let s = SpectralBlockCirculant::new(&m).unwrap();
+            let x = test_input(cols);
+            prop_assert!(linf_distance(&s.matvec(&x), &m.matvec_direct(&x)) < 1e-8);
+        }
+    }
+}

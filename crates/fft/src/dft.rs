@@ -1,0 +1,91 @@
+//! Naive O(n²) discrete Fourier transform, used as a test oracle.
+//!
+//! The fast plans in [`crate::plan`] and [`crate::real`] are validated
+//! against these definitional implementations. They are also handy for
+//! non-power-of-two experiments, although BlockGNN itself only ever needs
+//! power-of-two block sizes.
+
+use crate::complex::Complex;
+use crate::float::FftFloat;
+
+/// Computes the unscaled forward DFT by direct summation.
+///
+/// `X[k] = Σ_j x[j] · e^{-2πi jk / n}`
+///
+/// ```
+/// use blockgnn_fft::{Complex, dft::dft_reference};
+/// let x = vec![Complex::from_real(1.0_f64); 4];
+/// let spectrum = dft_reference(&x);
+/// assert!((spectrum[0].re - 4.0).abs() < 1e-12);
+/// ```
+#[must_use]
+pub fn dft_reference<T: FftFloat>(input: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = input.len();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Complex::zero();
+        for (j, &x) in input.iter().enumerate() {
+            let theta = -(T::from_usize(2) * T::PI * T::from_usize(k * j))
+                / T::from_usize(n.max(1));
+            acc += x * Complex::from_polar_unit(theta);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Computes the inverse DFT by direct summation (scaled by `1/n`).
+///
+/// `x[j] = (1/n) Σ_k X[k] · e^{+2πi jk / n}`
+#[must_use]
+pub fn idft_reference<T: FftFloat>(input: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = input.len();
+    let inv_n = T::ONE / T::from_usize(n.max(1));
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut acc = Complex::zero();
+        for (k, &x) in input.iter().enumerate() {
+            let theta =
+                (T::from_usize(2) * T::PI * T::from_usize(k * j)) / T::from_usize(n.max(1));
+            acc += x * Complex::from_polar_unit(theta);
+        }
+        out.push(acc.scale(inv_n));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type C = Complex<f64>;
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        assert!(dft_reference::<f64>(&[]).is_empty());
+        assert!(idft_reference::<f64>(&[]).is_empty());
+    }
+
+    #[test]
+    fn roundtrip_non_power_of_two() {
+        let input: Vec<C> = (0..6).map(|i| C::new(i as f64, -(i as f64) / 2.0)).collect();
+        let spec = dft_reference(&input);
+        let back = idft_reference(&spec);
+        for (a, b) in back.iter().zip(&input) {
+            assert!(a.linf_distance(*b) < 1e-10);
+        }
+    }
+
+    #[test]
+    fn dft_of_shifted_impulse_is_complex_exponential() {
+        let n = 8;
+        let mut input = vec![C::zero(); n];
+        input[1] = C::one();
+        let spec = dft_reference(&input);
+        for (k, v) in spec.iter().enumerate() {
+            let expect =
+                C::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            assert!(v.linf_distance(expect) < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Fixed-point FFT matching the 32-bit datapath of the FPGA prototype.
+//!
+//! Data flows through the butterflies as [`FixedComplex`] (a pair of
+//! [`Q16_16`]); twiddle factors are stored in Q2.30 so the unit-circle
+//! coefficients keep 30 fractional bits, the standard arrangement in
+//! hardware FFT cores (data width ≠ coefficient width). The functional
+//! hardware simulator in `blockgnn-accel` uses this plan so every value it
+//! produces went through genuine fixed-point rounding/saturation.
+
+use crate::complex::Complex;
+use crate::fixed::Q16_16;
+use crate::is_power_of_two;
+use crate::plan::FftError;
+
+/// Fractional bits used for twiddle-factor storage (Q2.30).
+pub const TWIDDLE_FRAC: u32 = 30;
+
+/// A complex number with Q16.16 components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FixedComplex {
+    /// Real part.
+    pub re: Q16_16,
+    /// Imaginary part.
+    pub im: Q16_16,
+}
+
+impl FixedComplex {
+    /// Zero.
+    pub const ZERO: Self = Self { re: Q16_16::ZERO, im: Q16_16::ZERO };
+
+    /// Creates a fixed complex from parts.
+    #[inline]
+    #[must_use]
+    pub fn new(re: Q16_16, im: Q16_16) -> Self {
+        Self { re, im }
+    }
+
+    /// Quantizes a float complex into Q16.16.
+    #[must_use]
+    pub fn from_f64(c: Complex<f64>) -> Self {
+        Self { re: Q16_16::from_f64(c.re), im: Q16_16::from_f64(c.im) }
+    }
+
+    /// Converts back to a float complex.
+    #[must_use]
+    pub fn to_complex_f64(self) -> Complex<f64> {
+        Complex::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Quantizes a real value.
+    #[must_use]
+    pub fn from_real_f64(re: f64) -> Self {
+        Self { re: Q16_16::from_f64(re), im: Q16_16::ZERO }
+    }
+
+    /// Fixed-point complex addition (saturating).
+    #[inline]
+    #[must_use]
+    pub fn add(self, rhs: Self) -> Self {
+        Self { re: self.re + rhs.re, im: self.im + rhs.im }
+    }
+
+    /// Fixed-point complex subtraction (saturating).
+    #[inline]
+    #[must_use]
+    pub fn sub(self, rhs: Self) -> Self {
+        Self { re: self.re - rhs.re, im: self.im - rhs.im }
+    }
+
+    /// Fixed-point complex multiplication (4 multiplies, 2 adds — the
+    /// datapath a DSP-slice cluster implements).
+    #[inline]
+    #[must_use]
+    pub fn mul(self, rhs: Self) -> Self {
+        Self {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+
+    /// Multiplies by a Q2.30 twiddle factor `(tw_re, tw_im)`.
+    #[inline]
+    #[must_use]
+    pub fn mul_twiddle(self, tw_re: i32, tw_im: i32) -> Self {
+        Self {
+            re: self.re.mul_qformat(tw_re, TWIDDLE_FRAC)
+                - self.im.mul_qformat(tw_im, TWIDDLE_FRAC),
+            im: self.re.mul_qformat(tw_im, TWIDDLE_FRAC)
+                + self.im.mul_qformat(tw_re, TWIDDLE_FRAC),
+        }
+    }
+}
+
+/// A radix-2 fixed-point FFT plan with Q2.30 twiddle ROMs.
+///
+/// ```
+/// use blockgnn_fft::{FixedFftPlan, fixed_fft::FixedComplex};
+/// # fn main() -> Result<(), blockgnn_fft::FftError> {
+/// let plan = FixedFftPlan::new(8)?;
+/// let mut data: Vec<FixedComplex> =
+///     (0..8).map(|i| FixedComplex::from_real_f64(i as f64 * 0.25)).collect();
+/// let orig = data.clone();
+/// plan.forward(&mut data);
+/// plan.inverse(&mut data);
+/// for (a, b) in data.iter().zip(&orig) {
+///     assert!((a.re.to_f64() - b.re.to_f64()).abs() < 1e-3);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedFftPlan {
+    len: usize,
+    bit_rev: Vec<u32>,
+    /// Stage-major `(re, im)` twiddles in Q2.30 for the forward direction.
+    twiddles_fwd: Vec<(i32, i32)>,
+    /// Conjugates for the inverse direction.
+    twiddles_inv: Vec<(i32, i32)>,
+}
+
+impl FixedFftPlan {
+    /// Builds a fixed-point plan of length `len`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] if `len` is not a power of two.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if !is_power_of_two(len) {
+            return Err(FftError::NotPowerOfTwo { len });
+        }
+        let bits = len.trailing_zeros();
+        let mut bit_rev = Vec::with_capacity(len);
+        for i in 0..len {
+            bit_rev.push((i as u32).reverse_bits() >> (32 - bits.max(1)));
+        }
+        if len == 1 {
+            bit_rev[0] = 0;
+        }
+        let q = |x: f64| -> i32 {
+            let v = (x * (1i64 << TWIDDLE_FRAC) as f64).round();
+            v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+        };
+        let mut twiddles_fwd = Vec::with_capacity(len.saturating_sub(1));
+        let mut twiddles_inv = Vec::with_capacity(len.saturating_sub(1));
+        let mut m = 1usize;
+        while m < len {
+            for k in 0..m {
+                let theta = -std::f64::consts::PI * k as f64 / m as f64;
+                twiddles_fwd.push((q(theta.cos()), q(theta.sin())));
+                twiddles_inv.push((q(theta.cos()), q(-theta.sin())));
+            }
+            m <<= 1;
+        }
+        Ok(Self { len, bit_rev, twiddles_fwd, twiddles_inv })
+    }
+
+    /// The planned transform length.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` for the degenerate length-0 plan (never constructible).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// In-place forward fixed-point FFT (unscaled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn forward(&self, data: &mut [FixedComplex]) {
+        assert_eq!(data.len(), self.len, "fixed fft buffer length mismatch");
+        self.apply(data, &self.twiddles_fwd);
+    }
+
+    /// In-place inverse fixed-point FFT (scaled by `1/n` via arithmetic
+    /// right shift, which is exact for power-of-two lengths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the planned length.
+    pub fn inverse(&self, data: &mut [FixedComplex]) {
+        assert_eq!(data.len(), self.len, "fixed fft buffer length mismatch");
+        self.apply(data, &self.twiddles_inv);
+        let shift = self.len.trailing_zeros();
+        for v in data.iter_mut() {
+            // Arithmetic shift divides by n with rounding toward -inf;
+            // adding half-ulp first gives round-to-nearest like hardware.
+            let round = |x: Q16_16| {
+                let bits = x.to_bits() as i64;
+                let half = 1i64 << (shift.saturating_sub(1));
+                let adjusted = if shift == 0 { bits } else { (bits + half) >> shift };
+                Q16_16::from_bits(adjusted.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+            };
+            v.re = round(v.re);
+            v.im = round(v.im);
+        }
+    }
+
+    fn apply(&self, data: &mut [FixedComplex], twiddles: &[(i32, i32)]) {
+        let n = self.len;
+        if n <= 1 {
+            return;
+        }
+        for i in 0..n {
+            let r = self.bit_rev[i] as usize;
+            if r > i {
+                data.swap(i, r);
+            }
+        }
+        let mut m = 1usize;
+        let mut stage_base = 0usize;
+        while m < n {
+            let span = m << 1;
+            for start in (0..n).step_by(span) {
+                for k in 0..m {
+                    let (tw_re, tw_im) = twiddles[stage_base + k];
+                    let a = data[start + k];
+                    let b = data[start + k + m].mul_twiddle(tw_re, tw_im);
+                    data[start + k] = a.add(b);
+                    data[start + k + m] = a.sub(b);
+                }
+            }
+            stage_base += m;
+            m = span;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+    use proptest::prelude::*;
+
+    fn quantize(values: &[f64]) -> Vec<FixedComplex> {
+        values.iter().map(|&v| FixedComplex::from_real_f64(v)).collect()
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        assert!(FixedFftPlan::new(10).is_err());
+        assert!(FixedFftPlan::new(16).is_ok());
+    }
+
+    #[test]
+    fn matches_float_fft_for_small_signals() {
+        for n in [4usize, 16, 64, 128] {
+            let fplan = FftPlan::<f64>::new(n).unwrap();
+            let qplan = FixedFftPlan::new(n).unwrap();
+            let input: Vec<f64> =
+                (0..n).map(|i| ((i as f64 * 0.37).sin() * 2.0) - 0.5).collect();
+            let mut float_buf: Vec<Complex<f64>> =
+                input.iter().map(|&v| Complex::from_real(v)).collect();
+            fplan.forward(&mut float_buf);
+            let mut fixed_buf = quantize(&input);
+            qplan.forward(&mut fixed_buf);
+            for (f, q) in float_buf.iter().zip(&fixed_buf) {
+                let qc = q.to_complex_f64();
+                // Error grows with log2(n) stages of rounding.
+                let tol = 1e-3 * (n as f64).log2().max(1.0);
+                assert!(
+                    f.linf_distance(qc) < tol,
+                    "n={n}: float={f} fixed={qc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_error_stays_small() {
+        let n = 128;
+        let plan = FixedFftPlan::new(n).unwrap();
+        let input: Vec<f64> = (0..n).map(|i| ((i * 13 % 29) as f64 / 29.0) - 0.5).collect();
+        let mut buf = quantize(&input);
+        plan.forward(&mut buf);
+        plan.inverse(&mut buf);
+        for (q, &orig) in buf.iter().zip(&input) {
+            assert!((q.re.to_f64() - orig).abs() < 5e-4);
+            assert!(q.im.to_f64().abs() < 5e-4);
+        }
+    }
+
+    #[test]
+    fn fixed_complex_multiply_matches_float() {
+        let a = Complex::new(1.25, -0.5);
+        let b = Complex::new(-2.0, 0.75);
+        let fa = FixedComplex::from_f64(a);
+        let fb = FixedComplex::from_f64(b);
+        let prod = fa.mul(fb).to_complex_f64();
+        assert!(prod.linf_distance(a * b) < 1e-4);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fixed_roundtrip(values in proptest::collection::vec(-10.0f64..10.0, 32)) {
+            let plan = FixedFftPlan::new(32).unwrap();
+            let mut buf = quantize(&values);
+            plan.forward(&mut buf);
+            plan.inverse(&mut buf);
+            for (q, &orig) in buf.iter().zip(&values) {
+                prop_assert!((q.re.to_f64() - orig).abs() < 2e-3);
+            }
+        }
+    }
+}

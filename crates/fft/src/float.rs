@@ -1,0 +1,128 @@
+//! Floating-point abstraction so the FFT works for both `f32` and `f64`.
+//!
+//! The algorithm-level experiments in the paper run in floating point
+//! (training uses full precision; Table III), while the FPGA prototype is
+//! 32-bit fixed point. Making the plan generic lets the same code serve
+//! the accuracy experiments (`f64`) and a faithful single-precision mode
+//! (`f32`) without duplicating butterflies.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar floating-point trait required by the FFT kernels.
+///
+/// This is a deliberately small, sealed-in-practice trait: only `f32` and
+/// `f64` implement it, and only the operations the butterflies need are
+/// present.
+pub trait FftFloat:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Archimedes' constant π.
+    const PI: Self;
+
+    /// Lossy conversion from `usize`, used for twiddle angles and scaling.
+    fn from_usize(v: usize) -> Self;
+    /// Lossy conversion from `f64`, used for constants.
+    fn from_f64(v: f64) -> Self;
+    /// Lossy conversion to `f64`, used when exporting results.
+    fn to_f64(self) -> f64;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+}
+
+macro_rules! impl_fft_float {
+    ($t:ty, $pi:expr) => {
+        impl FftFloat for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const PI: Self = $pi;
+
+            #[inline]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                <$t>::sin(self)
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                <$t>::cos(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+        }
+    };
+}
+
+impl_fft_float!(f32, std::f32::consts::PI);
+impl_fft_float!(f64, std::f64::consts::PI);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: FftFloat>() {
+        assert_eq!(T::from_usize(7).to_f64(), 7.0);
+        assert_eq!(T::from_f64(0.5).to_f64(), 0.5);
+        assert!((T::PI.to_f64() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conversions_f32_f64() {
+        roundtrip::<f32>();
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn trig_matches_std() {
+        let x = 0.3_f64;
+        assert_eq!(FftFloat::sin(x), x.sin());
+        assert_eq!(FftFloat::cos(x), x.cos());
+        assert_eq!(FftFloat::sqrt(2.0_f64), 2.0_f64.sqrt());
+    }
+}

@@ -1,0 +1,117 @@
+//! GCN (Kipf & Welling): normalized-sum aggregation, `ReLU(W·a_v)`
+//! combination.
+//!
+//! GCN's aggregator has no weights (Table I), so compression only
+//! touches the two combiner matrices — the reason the paper's Figure 6
+//! shows the smallest speedup on GCN.
+
+use crate::adjacency::NormalizedAdjacency;
+use crate::models::{GnnModel, ModelKind};
+use blockgnn_graph::CsrGraph;
+use blockgnn_linalg::Matrix;
+use blockgnn_nn::{Compression, Layer, LinearLayer, NnError, Param, Relu};
+
+/// Two-layer GCN: `logits = W₂·Â·ReLU(W₁·Â·X)`.
+#[derive(Debug)]
+pub struct Gcn {
+    lin1: LinearLayer,
+    act1: Relu,
+    lin2: LinearLayer,
+}
+
+impl Gcn {
+    /// Builds the model. `compression` applies to both combiner weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction errors.
+    pub fn new(
+        in_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        compression: Compression,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Ok(Self {
+            lin1: LinearLayer::new(hidden_dim, in_dim, compression, seed)?,
+            act1: Relu::new(),
+            lin2: LinearLayer::new(num_classes, hidden_dim, compression, seed ^ 0xBEEF)?,
+        })
+    }
+
+    /// Borrows the two combiner layers, e.g. to export trained weights
+    /// for hardware deployment.
+    #[must_use]
+    pub fn combiner_layers(&self) -> (&LinearLayer, &LinearLayer) {
+        (&self.lin1, &self.lin2)
+    }
+}
+
+impl GnnModel for Gcn {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Gcn
+    }
+
+    fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
+        let adj = NormalizedAdjacency::new(graph);
+        let a1 = adj.apply(graph, features);
+        let h1 = self.act1.forward(&self.lin1.forward(&a1, train), train);
+        let a2 = adj.apply(graph, &h1);
+        self.lin2.forward(&a2, train)
+    }
+
+    fn backward(&mut self, graph: &CsrGraph, grad_logits: &Matrix) -> Matrix {
+        let adj = NormalizedAdjacency::new(graph);
+        let g_a2 = self.lin2.backward(grad_logits);
+        // Â is symmetric, so ∂L/∂h1 = Â·∂L/∂a2.
+        let g_h1 = adj.apply(graph, &g_a2);
+        let g_lin1_out = self.act1.backward(&g_h1);
+        let g_a1 = self.lin1.backward(&g_lin1_out);
+        adj.apply(graph, &g_a1)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.lin2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::{check_model_gradients, tiny_features, tiny_graph};
+
+    #[test]
+    fn forward_shape() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 10);
+        let mut model = Gcn::new(10, 8, 3, Compression::Dense, 1).unwrap();
+        let y = model.forward(&g, &x, false);
+        assert_eq!(y.shape(), (6, 3));
+    }
+
+    #[test]
+    fn gradients_dense() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 5);
+        let mut model = Gcn::new(5, 4, 3, Compression::Dense, 2).unwrap();
+        check_model_gradients(&mut model, &g, &x, 1e-4);
+    }
+
+    #[test]
+    fn gradients_circulant() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 6);
+        let mut model =
+            Gcn::new(6, 4, 3, Compression::BlockCirculant { block_size: 2 }, 3).unwrap();
+        check_model_gradients(&mut model, &g, &x, 1e-4);
+    }
+
+    #[test]
+    fn compressed_model_has_fewer_params() {
+        let mut dense = Gcn::new(32, 16, 4, Compression::Dense, 1).unwrap();
+        let mut circ =
+            Gcn::new(32, 16, 4, Compression::BlockCirculant { block_size: 8 }, 1).unwrap();
+        assert!(circ.num_params() < dense.num_params());
+    }
+}

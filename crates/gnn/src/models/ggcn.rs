@@ -1,0 +1,217 @@
+//! G-GCN (gated GCN, Marcheggiani & Titov).
+//!
+//! Table I: per-edge gates `η_u = σ(W_H·h_u + W_C·h_v)` modulate the
+//! neighbor sum `a_v = Σ_{u∈N(v)} η_u ⊙ h_u`; combination is
+//! `ReLU(W·a_v)`. The gate matrices `W_H`, `W_C` act on every sampled
+//! neighbor, which is why G-GCN tops Table II's aggregation FLOPs
+//! (3.7 × 10¹²) and shows the paper's largest speedup (8.3× on Reddit).
+
+use crate::models::{CompressionPolicy, GnnModel, ModelKind};
+use blockgnn_graph::CsrGraph;
+use blockgnn_linalg::Matrix;
+use blockgnn_nn::{Layer, LinearLayer, NnError, Param, Relu};
+
+/// One G-GCN layer. Gate dimension equals the input dimension so the
+/// Hadamard product `η_u ⊙ h_u` is well-typed.
+#[derive(Debug)]
+struct GgcnLayer {
+    w_h: LinearLayer,
+    w_c: LinearLayer,
+    comb: LinearLayer,
+    act: Option<Relu>,
+    in_dim: usize,
+    /// Cached input features (needed for gate gradients).
+    h_cache: Matrix,
+    /// Cached per-arc gate values, arc-major then feature.
+    gates: Vec<f64>,
+}
+
+impl GgcnLayer {
+    fn new(
+        in_dim: usize,
+        out_dim: usize,
+        policy: CompressionPolicy,
+        last: bool,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Ok(Self {
+            w_h: LinearLayer::new(in_dim, in_dim, policy.aggregator, seed)?,
+            w_c: LinearLayer::new(in_dim, in_dim, policy.aggregator, seed ^ 0x1111)?,
+            comb: LinearLayer::new(out_dim, in_dim, policy.combiner, seed ^ 0x2222)?,
+            act: if last { None } else { Some(Relu::new()) },
+            in_dim,
+            h_cache: Matrix::zeros(0, 0),
+            gates: Vec::new(),
+        })
+    }
+
+    fn forward(&mut self, graph: &CsrGraph, h: &Matrix, train: bool) -> Matrix {
+        assert_eq!(h.cols(), self.in_dim, "g-gcn layer input width mismatch");
+        let nodes = graph.num_nodes();
+        let dim = self.in_dim;
+        let p = self.w_h.forward(h, train); // per-source gate term
+        let q = self.w_c.forward(h, train); // per-target gate term
+        self.gates = vec![0.0; graph.num_arcs() * dim];
+        let mut a = Matrix::zeros(nodes, dim);
+        let mut arc = 0usize;
+        for v in 0..nodes {
+            let qv = q.row(v);
+            for &u in graph.neighbors(v) {
+                let u = u as usize;
+                let pu = p.row(u);
+                let hu = h.row(u);
+                let arow = a.row_mut(v);
+                let gslice = &mut self.gates[arc * dim..(arc + 1) * dim];
+                for d in 0..dim {
+                    let gate = 1.0 / (1.0 + (-(pu[d] + qv[d])).exp());
+                    gslice[d] = gate;
+                    arow[d] += gate * hu[d];
+                }
+                arc += 1;
+            }
+        }
+        self.h_cache = h.clone();
+        let y = self.comb.forward(&a, train);
+        match &mut self.act {
+            Some(act) => act.forward(&y, train),
+            None => y,
+        }
+    }
+
+    fn backward(&mut self, graph: &CsrGraph, grad: &Matrix) -> Matrix {
+        let nodes = graph.num_nodes();
+        let dim = self.in_dim;
+        let grad = match &mut self.act {
+            Some(act) => act.backward(grad),
+            None => grad.clone(),
+        };
+        let ga = self.comb.backward(&grad);
+        let mut gp = Matrix::zeros(nodes, dim);
+        let mut gq = Matrix::zeros(nodes, dim);
+        let mut gh = Matrix::zeros(nodes, dim);
+        let mut arc = 0usize;
+        for v in 0..nodes {
+            for &u in graph.neighbors(v) {
+                let u = u as usize;
+                let gav = ga.row(v);
+                let hu = self.h_cache.row(u);
+                let gates = &self.gates[arc * dim..(arc + 1) * dim];
+                for d in 0..dim {
+                    let g = gates[d];
+                    // ∂/∂h_u of (g ⊙ h_u): direct term.
+                    gh[(u, d)] += g * gav[d];
+                    // Gate gradient through the sigmoid.
+                    let pre = gav[d] * hu[d] * g * (1.0 - g);
+                    gp[(u, d)] += pre;
+                    gq[(v, d)] += pre;
+                }
+                arc += 1;
+            }
+        }
+        let gh_p = self.w_h.backward(&gp);
+        let gh_q = self.w_c.backward(&gq);
+        gh += &gh_p;
+        gh += &gh_q;
+        gh
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.w_h.visit_params(f);
+        self.w_c.visit_params(f);
+        self.comb.visit_params(f);
+    }
+}
+
+/// Two-layer G-GCN model.
+#[derive(Debug)]
+pub struct Ggcn {
+    layer1: GgcnLayer,
+    layer2: GgcnLayer,
+}
+
+impl Ggcn {
+    /// Builds the model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer-construction errors.
+    pub fn new(
+        in_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        policy: CompressionPolicy,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        Ok(Self {
+            layer1: GgcnLayer::new(in_dim, hidden_dim, policy, false, seed)?,
+            layer2: GgcnLayer::new(hidden_dim, num_classes, policy, true, seed ^ 0xD00D)?,
+        })
+    }
+}
+
+impl GnnModel for Ggcn {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Ggcn
+    }
+
+    fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
+        let h1 = self.layer1.forward(graph, features, train);
+        self.layer2.forward(graph, &h1, train)
+    }
+
+    fn backward(&mut self, graph: &CsrGraph, grad_logits: &Matrix) -> Matrix {
+        let g1 = self.layer2.backward(graph, grad_logits);
+        self.layer1.backward(graph, &g1)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.layer1.visit_params(f);
+        self.layer2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::testutil::{check_model_gradients, tiny_features, tiny_graph};
+    use blockgnn_nn::Compression;
+
+    #[test]
+    fn forward_shape() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 8);
+        let mut model =
+            Ggcn::new(8, 5, 3, CompressionPolicy::uniform(Compression::Dense), 1).unwrap();
+        assert_eq!(model.forward(&g, &x, false).shape(), (6, 3));
+    }
+
+    #[test]
+    fn gates_lie_in_unit_interval() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 4);
+        let mut model =
+            Ggcn::new(4, 3, 2, CompressionPolicy::uniform(Compression::Dense), 9).unwrap();
+        let _ = model.forward(&g, &x, false);
+        assert!(!model.layer1.gates.is_empty());
+        assert!(model.layer1.gates.iter().all(|&g| (0.0..=1.0).contains(&g)));
+    }
+
+    #[test]
+    fn gradients_dense() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 4);
+        let mut model =
+            Ggcn::new(4, 3, 2, CompressionPolicy::uniform(Compression::Dense), 2).unwrap();
+        check_model_gradients(&mut model, &g, &x, 1e-4);
+    }
+
+    #[test]
+    fn gradients_circulant() {
+        let g = tiny_graph();
+        let x = tiny_features(6, 4);
+        let policy =
+            CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
+        let mut model = Ggcn::new(4, 4, 2, policy, 3).unwrap();
+        check_model_gradients(&mut model, &g, &x, 1e-4);
+    }
+}

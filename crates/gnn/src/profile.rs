@@ -1,0 +1,131 @@
+//! The Table II profiler: total computations and arithmetic intensity.
+//!
+//! §II-B profiles the four GNN algorithms on Reddit with sampled
+//! aggregation (S = 25), 512-dim hidden features, and two 128-dim
+//! attention heads for GAT. [`table2_profile`] reproduces that analysis
+//! from the [`crate::workload`] inventories.
+
+use crate::models::ModelKind;
+use crate::workload::GnnWorkload;
+use blockgnn_graph::datasets;
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileRow {
+    /// Algorithm.
+    pub model: ModelKind,
+    /// Aggregation-phase operations (MACs, matching the paper's FLOP
+    /// accounting) across the whole graph, layer 1.
+    pub agg_ops: f64,
+    /// Combination-phase operations, layer 1.
+    pub comb_ops: f64,
+    /// Aggregation arithmetic intensity (FLOPs / byte).
+    pub agg_intensity: f64,
+    /// Combination arithmetic intensity (FLOPs / byte).
+    pub comb_intensity: f64,
+}
+
+/// Profiling configuration (defaults = the paper's §II-B setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileConfig {
+    /// Sampling fan-out.
+    pub sample_size: usize,
+    /// Hidden feature width.
+    pub hidden: usize,
+}
+
+impl Default for ProfileConfig {
+    fn default() -> Self {
+        Self { sample_size: 25, hidden: 512 }
+    }
+}
+
+/// Generates the Table II rows (Reddit, layer 1).
+#[must_use]
+pub fn table2_profile(config: &ProfileConfig) -> Vec<ProfileRow> {
+    let spec = datasets::reddit_like();
+    ModelKind::all()
+        .into_iter()
+        .map(|model| {
+            let w = GnnWorkload::new(model, &spec, config.hidden, &[config.sample_size]);
+            let layer = &w.layers[0];
+            let v = spec.num_nodes as f64;
+            ProfileRow {
+                model,
+                agg_ops: layer.agg.macs_per_node() * v,
+                comb_ops: layer.comb.macs_per_node() * v,
+                agg_intensity: layer.agg.arithmetic_intensity(),
+                comb_intensity: layer.comb.arithmetic_intensity(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the profile as an aligned text table (the `repro table2`
+/// output).
+#[must_use]
+pub fn render_table2(rows: &[ProfileRow]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Algorithm | Agg ops    | Comb ops   | Agg ops/B | Comb ops/B\n",
+    );
+    out.push_str("----------+------------+------------+-----------+-----------\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} | {:>10.2e} | {:>10.2e} | {:>9.1} | {:>10.1}\n",
+            r.model.name(),
+            r.agg_ops,
+            r.comb_ops,
+            r.agg_intensity,
+            r.comb_intensity
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_has_four_rows_in_paper_order() {
+        let rows = table2_profile(&ProfileConfig::default());
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[0].model, ModelKind::Gcn);
+        assert_eq!(rows[3].model, ModelKind::Gat);
+    }
+
+    #[test]
+    fn gcn_aggregation_is_three_orders_lighter_than_ggcn() {
+        let rows = table2_profile(&ProfileConfig::default());
+        let gcn = &rows[0];
+        let ggcn = &rows[2];
+        assert!(ggcn.agg_ops > 500.0 * gcn.agg_ops);
+    }
+
+    #[test]
+    fn weighted_aggregators_dominate_combination() {
+        // For GS-Pool/G-GCN/GAT the aggregation phase carries more
+        // compute than combination (the paper's core observation).
+        let rows = table2_profile(&ProfileConfig::default());
+        for r in &rows[1..] {
+            assert!(
+                r.agg_ops > r.comb_ops,
+                "{}: agg {:.2e} should exceed comb {:.2e}",
+                r.model,
+                r.agg_ops,
+                r.comb_ops
+            );
+        }
+        // ...but for GCN it is the opposite.
+        assert!(rows[0].comb_ops > rows[0].agg_ops);
+    }
+
+    #[test]
+    fn render_contains_all_models() {
+        let text = render_table2(&table2_profile(&ProfileConfig::default()));
+        for name in ["GCN", "GS-Pool", "G-GCN", "GAT"] {
+            assert!(text.contains(name), "missing {name} in\n{text}");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Compressed-sparse-row graph storage.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge referenced a node id ≥ the node count.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// The declared node count.
+        num_nodes: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "edge endpoint {node} out of range for {num_nodes} nodes")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// A directed graph in CSR form; undirected graphs store both arcs.
+///
+/// Neighbor lists are sorted, enabling binary-search `has_edge` and
+/// deterministic iteration (important for reproducible sampling).
+///
+/// ```
+/// use blockgnn_graph::CsrGraph;
+/// let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 3)], true).unwrap();
+/// assert_eq!(g.degree(0), 2);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(3, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    num_nodes: usize,
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from an edge list.
+    ///
+    /// With `undirected = true`, each `(u, v)` also inserts `(v, u)`.
+    /// Self-loops are kept as given (inserted once even when undirected);
+    /// parallel edges are kept, matching how citation datasets are
+    /// distributed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] if an endpoint is ≥
+    /// `num_nodes`.
+    pub fn from_edges(
+        num_nodes: usize,
+        edges: &[(usize, usize)],
+        undirected: bool,
+    ) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: u, num_nodes });
+            }
+            if v >= num_nodes {
+                return Err(GraphError::NodeOutOfRange { node: v, num_nodes });
+            }
+        }
+        let mut degree = vec![0usize; num_nodes];
+        for &(u, v) in edges {
+            degree[u] += 1;
+            if undirected && u != v {
+                degree[v] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; *offsets.last().unwrap()];
+        for &(u, v) in edges {
+            targets[cursor[u]] = v as u32;
+            cursor[u] += 1;
+            if undirected && u != v {
+                targets[cursor[v]] = u as u32;
+                cursor[v] += 1;
+            }
+        }
+        for u in 0..num_nodes {
+            targets[offsets[u]..offsets[u + 1]].sort_unstable();
+        }
+        Ok(Self { num_nodes, offsets, targets })
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of stored arcs (an undirected edge counts twice).
+    #[must_use]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Out-degree of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn degree(&self, u: usize) -> usize {
+        assert!(u < self.num_nodes, "node {u} out of range");
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Sorted neighbor slice of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, u: usize) -> &[u32] {
+        assert!(u < self.num_nodes, "node {u} out of range");
+        &self.targets[self.offsets[u]..self.offsets[u + 1]]
+    }
+
+    /// Whether arc `u → v` exists (binary search over the sorted list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    #[must_use]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&(v as u32)).is_ok()
+    }
+
+    /// Average degree across all nodes.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.num_nodes as f64
+        }
+    }
+
+    /// Maximum degree.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// Number of isolated (degree-0) nodes.
+    #[must_use]
+    pub fn num_isolated(&self) -> usize {
+        (0..self.num_nodes).filter(|&u| self.degree(u) == 0).count()
+    }
+
+    /// Iterates over all arcs as `(source, target)` pairs.
+    pub fn iter_arcs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.num_nodes).flat_map(move |u| {
+            self.neighbors(u).iter().map(move |&v| (u, v as usize))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn directed_construction() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (2, 1)], false).unwrap();
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[] as &[u32]);
+        assert!(g.has_edge(2, 1));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn undirected_doubles_arcs() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true).unwrap();
+        assert_eq!(g.num_arcs(), 4);
+        assert!(g.has_edge(1, 0) && g.has_edge(0, 1));
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn self_loop_inserted_once() {
+        let g = CsrGraph::from_edges(2, &[(0, 0), (0, 1)], true).unwrap();
+        assert_eq!(g.degree(0), 2); // loop + edge
+        assert_eq!(g.degree(1), 1);
+        assert!(g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn out_of_range_edge_rejected() {
+        assert_eq!(
+            CsrGraph::from_edges(2, &[(0, 5)], false).unwrap_err(),
+            GraphError::NodeOutOfRange { node: 5, num_nodes: 2 }
+        );
+        assert!(CsrGraph::from_edges(2, &[(7, 0)], false).is_err());
+    }
+
+    #[test]
+    fn statistics() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)], true).unwrap();
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.average_degree(), 6.0 / 4.0);
+        assert_eq!(g.num_isolated(), 0);
+        let g2 = CsrGraph::from_edges(3, &[(0, 1)], false).unwrap();
+        assert_eq!(g2.num_isolated(), 2); // nodes 1 and 2 have no out-arcs
+    }
+
+    #[test]
+    fn iter_arcs_yields_all() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true).unwrap();
+        let arcs: Vec<(usize, usize)> = g.iter_arcs().collect();
+        assert_eq!(arcs.len(), 4);
+        assert!(arcs.contains(&(2, 1)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[], true).unwrap();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_undirected_symmetry(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..60)
+        ) {
+            let g = CsrGraph::from_edges(20, &edges, true).unwrap();
+            for (u, v) in g.iter_arcs() {
+                prop_assert!(g.has_edge(v, u), "arc {u}->{v} lacks reverse");
+            }
+        }
+
+        #[test]
+        fn prop_degree_sums_to_arcs(
+            edges in proptest::collection::vec((0usize..15, 0usize..15), 0..40)
+        ) {
+            let g = CsrGraph::from_edges(15, &edges, false).unwrap();
+            let total: usize = (0..15).map(|u| g.degree(u)).sum();
+            prop_assert_eq!(total, g.num_arcs());
+        }
+    }
+}

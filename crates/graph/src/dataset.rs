@@ -1,0 +1,281 @@
+//! Node-classification datasets: graph + features + labels + splits.
+
+use crate::csr::CsrGraph;
+use crate::generate::{sbm, Rng64};
+use blockgnn_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Pure statistics of a dataset — all the performance and resource models
+/// need (Table IV row).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Dataset name (e.g. `"cora-like"`).
+    pub name: String,
+    /// Number of nodes `|V|`.
+    pub num_nodes: usize,
+    /// Number of (undirected) edges.
+    pub num_edges: usize,
+    /// Input feature dimension.
+    pub feature_dim: usize,
+    /// Number of label classes.
+    pub num_classes: usize,
+}
+
+impl DatasetSpec {
+    /// Creates a spec.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        num_nodes: usize,
+        num_edges: usize,
+        feature_dim: usize,
+        num_classes: usize,
+    ) -> Self {
+        Self { name: name.into(), num_nodes, num_edges, feature_dim, num_classes }
+    }
+
+    /// Average degree `2·E / V` (undirected accounting).
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.num_nodes == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_nodes as f64
+        }
+    }
+}
+
+/// Train/validation/test node index lists.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SplitMasks {
+    /// Training node indices.
+    pub train: Vec<usize>,
+    /// Validation node indices.
+    pub val: Vec<usize>,
+    /// Test node indices.
+    pub test: Vec<usize>,
+}
+
+impl SplitMasks {
+    /// Random split with the given fractions (test gets the remainder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_frac + val_frac > 1`.
+    #[must_use]
+    pub fn random(num_nodes: usize, train_frac: f64, val_frac: f64, seed: u64) -> Self {
+        assert!(
+            train_frac + val_frac <= 1.0 + 1e-9,
+            "train and validation fractions exceed 1"
+        );
+        let mut order: Vec<usize> = (0..num_nodes).collect();
+        let mut rng = Rng64::new(seed);
+        // Fisher–Yates shuffle.
+        for i in (1..num_nodes).rev() {
+            let j = rng.next_below(i + 1);
+            order.swap(i, j);
+        }
+        let n_train = (num_nodes as f64 * train_frac).round() as usize;
+        let n_val = (num_nodes as f64 * val_frac).round() as usize;
+        Self {
+            train: order[..n_train].to_vec(),
+            val: order[n_train..(n_train + n_val).min(num_nodes)].to_vec(),
+            test: order[(n_train + n_val).min(num_nodes)..].to_vec(),
+        }
+    }
+}
+
+/// A complete synthetic node-classification dataset.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Topology (undirected, CSR).
+    pub graph: CsrGraph,
+    /// `|V| × F` node feature matrix.
+    pub features: Matrix,
+    /// Per-node class label in `[0, num_classes)`.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Train/val/test split.
+    pub masks: SplitMasks,
+    /// Dataset name.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Synthesizes a learnable dataset: an SBM whose communities are the
+    /// classes, plus class-conditioned Gaussian features
+    /// (`x_v = μ_{label(v)} + σ·ε`). `signal` controls separability —
+    /// higher means class centroids farther apart relative to unit noise.
+    ///
+    /// The returned graph is undirected with exactly `spec.num_edges`
+    /// sampled edges (so `num_arcs == 2·num_edges` minus self-loop-free
+    /// duplicates folded by CSR, which keeps parallel edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has zero nodes, classes, or features.
+    #[must_use]
+    pub fn synthesize(spec: &DatasetSpec, homophily: f64, signal: f64, seed: u64) -> Self {
+        assert!(
+            spec.num_nodes > 0 && spec.num_classes > 0 && spec.feature_dim > 0,
+            "dataset spec must be non-degenerate"
+        );
+        let mut rng = Rng64::new(seed ^ 0xABCD_EF01);
+        // Balanced-ish random labels.
+        let labels: Vec<usize> =
+            (0..spec.num_nodes).map(|i| (i + rng.next_below(spec.num_classes)) % spec.num_classes).collect();
+        let edges = sbm(&labels, spec.num_classes, spec.num_edges, homophily, seed);
+        let graph = CsrGraph::from_edges(spec.num_nodes, &edges, true)
+            .expect("sbm only emits in-range endpoints");
+
+        // Class centroids: random Gaussian directions scaled by `signal`.
+        let mut centroid_rng = Rng64::new(seed ^ 0x1357_9BDF);
+        let centroids: Vec<Vec<f64>> = (0..spec.num_classes)
+            .map(|_| {
+                (0..spec.feature_dim)
+                    .map(|_| centroid_rng.next_normal() * signal / (spec.feature_dim as f64).sqrt())
+                    .collect()
+            })
+            .collect();
+        let mut feat_rng = Rng64::new(seed ^ 0x2468_ACE0);
+        let features = Matrix::from_fn(spec.num_nodes, spec.feature_dim, |v, f| {
+            centroids[labels[v]][f] + feat_rng.next_normal() / (spec.feature_dim as f64).sqrt()
+        });
+        let masks = SplitMasks::random(spec.num_nodes, 0.6, 0.2, seed ^ 0x0F0F);
+        Self {
+            graph,
+            features,
+            labels,
+            num_classes: spec.num_classes,
+            masks,
+            name: spec.name.clone(),
+        }
+    }
+
+    /// The statistics row for this dataset (undirected edge count is
+    /// reported as `num_arcs / 2`).
+    #[must_use]
+    pub fn spec(&self) -> DatasetSpec {
+        DatasetSpec {
+            name: self.name.clone(),
+            num_nodes: self.graph.num_nodes(),
+            num_edges: self.graph.num_arcs() / 2,
+            feature_dim: self.features.cols(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.graph.num_nodes()
+    }
+
+    /// Input feature dimension.
+    #[must_use]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> DatasetSpec {
+        DatasetSpec::new("tiny", 120, 480, 16, 4)
+    }
+
+    #[test]
+    fn spec_statistics() {
+        let s = tiny_spec();
+        assert_eq!(s.average_degree(), 8.0);
+        assert_eq!(DatasetSpec::new("e", 0, 0, 1, 1).average_degree(), 0.0);
+    }
+
+    #[test]
+    fn synthesis_matches_spec() {
+        let spec = tiny_spec();
+        let ds = Dataset::synthesize(&spec, 0.8, 3.0, 42);
+        assert_eq!(ds.num_nodes(), 120);
+        assert_eq!(ds.feature_dim(), 16);
+        assert_eq!(ds.labels.len(), 120);
+        assert!(ds.labels.iter().all(|&c| c < 4));
+        assert_eq!(ds.graph.num_arcs(), 2 * 480);
+        let round = ds.spec();
+        assert_eq!(round.num_edges, 480);
+        assert_eq!(round.num_nodes, 120);
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let spec = tiny_spec();
+        let a = Dataset::synthesize(&spec, 0.8, 3.0, 7);
+        let b = Dataset::synthesize(&spec, 0.8, 3.0, 7);
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features.linf_distance(&b.features), 0.0);
+        let c = Dataset::synthesize(&spec, 0.8, 3.0, 8);
+        assert!(a.features.linf_distance(&c.features) > 0.0);
+    }
+
+    #[test]
+    fn labels_are_roughly_balanced() {
+        let ds = Dataset::synthesize(&tiny_spec(), 0.8, 3.0, 3);
+        let mut counts = vec![0usize; 4];
+        for &l in &ds.labels {
+            counts[l] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 10, "class size {c} too small: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn features_carry_class_signal() {
+        // Same-class nodes must be closer in feature space on average
+        // than different-class nodes, otherwise Table III cannot train.
+        let ds = Dataset::synthesize(&tiny_spec(), 0.8, 3.0, 5);
+        let dist = |a: usize, b: usize| -> f64 {
+            ds.features
+                .row(a)
+                .iter()
+                .zip(ds.features.row(b))
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+        };
+        let (mut same, mut same_n, mut diff, mut diff_n) = (0.0, 0, 0.0, 0);
+        for a in 0..60 {
+            for b in (a + 1)..60 {
+                if ds.labels[a] == ds.labels[b] {
+                    same += dist(a, b);
+                    same_n += 1;
+                } else {
+                    diff += dist(a, b);
+                    diff_n += 1;
+                }
+            }
+        }
+        assert!(same / same_n as f64 * 1.5 < diff / diff_n as f64);
+    }
+
+    #[test]
+    fn split_masks_partition_nodes() {
+        let m = SplitMasks::random(100, 0.6, 0.2, 1);
+        assert_eq!(m.train.len(), 60);
+        assert_eq!(m.val.len(), 20);
+        assert_eq!(m.test.len(), 20);
+        let mut all: Vec<usize> =
+            m.train.iter().chain(&m.val).chain(&m.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = tiny_spec();
+        // serde is wired for config files; verify Debug/Clone/Eq too.
+        let clone = spec.clone();
+        assert_eq!(spec, clone);
+    }
+}

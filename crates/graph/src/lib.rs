@@ -1,0 +1,48 @@
+//! Graph substrate for the BlockGNN reproduction.
+//!
+//! The paper evaluates on four node-classification datasets (Table IV:
+//! Cora, Citeseer, Pubmed, Reddit). Those datasets are not shipped here;
+//! instead this crate synthesizes stand-ins with **identical topology
+//! statistics** (node count, edge count, feature dimension, label count)
+//! and — for the training experiments — class-structured synthetic graphs
+//! that are actually learnable:
+//!
+//! * [`CsrGraph`] — compressed-sparse-row adjacency, the storage format
+//!   both the software models and the accelerator's Node-Feature-Buffer
+//!   streaming assume.
+//! * [`generate`] — Erdős–Rényi, R-MAT (power-law, Reddit-like), and
+//!   stochastic-block-model generators.
+//! * [`Dataset`] / [`DatasetSpec`] — features + labels + split masks, and
+//!   the pure statistics the performance models consume.
+//! * [`datasets`] — the Table IV stand-ins (`cora_like()` …) plus scaled
+//!   `*_small` variants sized for in-repo training runs.
+//! * [`NeighborSampler`] — GraphSAGE-style uniform neighbor sampling with
+//!   the paper's fan-outs (S₁ = 25, S₂ = 10).
+//! * [`partition`] — capacity-driven graph partitioning (§IV-C splits
+//!   Reddit into two sub-graphs to fit the ZC706's DRAM).
+//!
+//! # Example
+//!
+//! ```
+//! use blockgnn_graph::{datasets, NeighborSampler};
+//!
+//! let ds = datasets::cora_like_small(7);
+//! assert!(ds.graph.num_nodes() > 0);
+//! let sampler = NeighborSampler::new(&ds.graph, 42);
+//! let neigh = sampler.sample(0, 25);
+//! assert_eq!(neigh.len(), 25); // sampling with replacement
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod csr;
+pub mod dataset;
+pub mod datasets;
+pub mod generate;
+pub mod partition;
+pub mod sample;
+
+pub use csr::{CsrGraph, GraphError};
+pub use dataset::{Dataset, DatasetSpec, SplitMasks};
+pub use partition::GraphPart;
+pub use sample::NeighborSampler;

@@ -1,0 +1,175 @@
+//! GraphSAGE-style uniform neighbor sampling.
+//!
+//! The paper adopts "the sampling-based aggregation strategy \[2\] for all
+//! algorithms, where the sample size is 25" (§II-B) and, for the hardware
+//! evaluation, `S₁ = 25, S₂ = 10` (§IV-A). Sampling is **with
+//! replacement** (GraphSAGE's behaviour when the fan-out exceeds the
+//! degree), so every node always contributes exactly `S` neighbor
+//! vectors — the property the accelerator's pipeline schedule relies on.
+
+use crate::csr::CsrGraph;
+use crate::generate::Rng64;
+
+/// The paper's layer-1 fan-out.
+pub const PAPER_S1: usize = 25;
+/// The paper's layer-2 fan-out.
+pub const PAPER_S2: usize = 10;
+
+/// A deterministic uniform neighbor sampler over a borrowed graph.
+///
+/// ```
+/// use blockgnn_graph::{CsrGraph, NeighborSampler};
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)], true).unwrap();
+/// let sampler = NeighborSampler::new(&g, 99);
+/// let s = sampler.sample(0, 5);
+/// assert_eq!(s.len(), 5);
+/// assert!(s.iter().all(|&v| v == 1 || v == 2));
+/// ```
+#[derive(Debug)]
+pub struct NeighborSampler<'g> {
+    graph: &'g CsrGraph,
+    seed: u64,
+}
+
+impl<'g> NeighborSampler<'g> {
+    /// Creates a sampler over `graph` with a base `seed`; per-node draws
+    /// are independently seeded so sampling order does not matter.
+    #[must_use]
+    pub fn new(graph: &'g CsrGraph, seed: u64) -> Self {
+        Self { graph, seed }
+    }
+
+    /// Draws `s` neighbors of `node` uniformly **with replacement**.
+    ///
+    /// Isolated nodes return themselves `s` times (GraphSAGE's self-loop
+    /// fallback), keeping downstream tensor shapes rectangular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn sample(&self, node: usize, s: usize) -> Vec<u32> {
+        let neigh = self.graph.neighbors(node);
+        let mut rng = Rng64::new(self.seed ^ (node as u64).wrapping_mul(0x9E37_79B9));
+        if neigh.is_empty() {
+            return vec![node as u32; s];
+        }
+        (0..s).map(|_| neigh[rng.next_below(neigh.len())]).collect()
+    }
+
+    /// Samples for every node of a batch, returning one `Vec` per node.
+    #[must_use]
+    pub fn sample_batch(&self, nodes: &[usize], s: usize) -> Vec<Vec<u32>> {
+        nodes.iter().map(|&v| self.sample(v, s)).collect()
+    }
+
+    /// Two-hop sampled computation graph for a batch: returns
+    /// `(hop1, hop2)` where `hop1[b]` are the `s1` sampled neighbors of
+    /// batch node `b`, and `hop2[b][i]` the `s2` sampled neighbors of
+    /// `hop1[b][i]` — the exact workload shape of a two-layer GraphSAGE
+    /// forward pass (`K = 2` in the paper's evaluation).
+    #[must_use]
+    pub fn sample_two_hop(
+        &self,
+        nodes: &[usize],
+        s1: usize,
+        s2: usize,
+    ) -> (Vec<Vec<u32>>, Vec<Vec<Vec<u32>>>) {
+        let hop1 = self.sample_batch(nodes, s1);
+        let hop2 = hop1
+            .iter()
+            .map(|firsts| {
+                firsts.iter().map(|&v| self.sample(v as usize, s2)).collect()
+            })
+            .collect();
+        (hop1, hop2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn path_graph(n: usize) -> CsrGraph {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        CsrGraph::from_edges(n, &edges, true).unwrap()
+    }
+
+    #[test]
+    fn paper_fanouts() {
+        assert_eq!(PAPER_S1, 25);
+        assert_eq!(PAPER_S2, 10);
+    }
+
+    #[test]
+    fn samples_only_real_neighbors() {
+        let g = path_graph(10);
+        let sampler = NeighborSampler::new(&g, 4);
+        for node in 0..10 {
+            for &v in &sampler.sample(node, 30) {
+                assert!(g.has_edge(node, v as usize));
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_returns_itself() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)], true).unwrap();
+        let sampler = NeighborSampler::new(&g, 0);
+        assert_eq!(sampler.sample(2, 4), vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_order_independent() {
+        let g = path_graph(20);
+        let sampler = NeighborSampler::new(&g, 77);
+        let a = sampler.sample(5, 10);
+        let b = sampler.sample(5, 10);
+        assert_eq!(a, b);
+        // other nodes' samples do not perturb node 5's stream
+        let _ = sampler.sample(3, 100);
+        assert_eq!(sampler.sample(5, 10), a);
+    }
+
+    #[test]
+    fn two_hop_shapes_match_paper_schedule() {
+        let g = path_graph(50);
+        let sampler = NeighborSampler::new(&g, 13);
+        let batch = vec![10, 20, 30];
+        let (hop1, hop2) = sampler.sample_two_hop(&batch, PAPER_S1, PAPER_S2);
+        assert_eq!(hop1.len(), 3);
+        assert!(hop1.iter().all(|h| h.len() == 25));
+        assert_eq!(hop2.len(), 3);
+        assert!(hop2.iter().all(|h| h.len() == 25 && h.iter().all(|s| s.len() == 10)));
+    }
+
+    #[test]
+    fn sampling_distribution_is_roughly_uniform() {
+        // star: node 0 connected to 1..=4
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true).unwrap();
+        let sampler = NeighborSampler::new(&g, 21);
+        let draws = sampler.sample(0, 40_000);
+        let mut counts = [0usize; 5];
+        for &v in &draws {
+            counts[v as usize] += 1;
+        }
+        for &c in &counts[1..] {
+            let frac = c as f64 / 40_000.0;
+            assert!((frac - 0.25).abs() < 0.02, "neighbor frequency {frac}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sample_size_always_exact(
+            s in 1usize..64,
+            node in 0usize..10,
+            seed in 0u64..100,
+        ) {
+            let g = path_graph(10);
+            let sampler = NeighborSampler::new(&g, seed);
+            prop_assert_eq!(sampler.sample(node, s).len(), s);
+        }
+    }
+}

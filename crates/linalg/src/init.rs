@@ -1,0 +1,177 @@
+//! Weight initializers for GNN training.
+//!
+//! The accuracy experiments (Table III) train two-layer GNNs from random
+//! initializations; the choices here follow the GraphSAGE reference
+//! implementation the paper builds on: Glorot/Xavier uniform for dense
+//! layers and a variance-matched variant for circulant first rows.
+
+use blockgnn_linalg_rng::SplitMix64;
+
+use crate::matrix::Matrix;
+
+/// A tiny deterministic RNG so initializer behaviour is reproducible
+/// across platforms without depending on `rand`'s version-to-version
+/// stream stability.
+mod blockgnn_linalg_rng {
+    /// SplitMix64: tiny, high-quality, and stable across releases.
+    #[derive(Debug, Clone)]
+    pub struct SplitMix64 {
+        state: u64,
+    }
+
+    impl SplitMix64 {
+        /// Creates a generator from a seed.
+        #[must_use]
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform in `[lo, hi)`.
+        pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
+            lo + (hi - lo) * self.next_f64()
+        }
+    }
+}
+
+pub use blockgnn_linalg_rng::SplitMix64 as InitRng;
+
+/// Glorot/Xavier uniform initialization: entries drawn from
+/// `U(-√(6/(fan_in+fan_out)), +√(6/(fan_in+fan_out)))`.
+///
+/// ```
+/// use blockgnn_linalg::init::xavier_uniform;
+/// let w = xavier_uniform(64, 32, 42);
+/// assert_eq!(w.shape(), (64, 32));
+/// let bound = (6.0_f64 / (64.0 + 32.0)).sqrt();
+/// assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+/// ```
+#[must_use]
+pub fn xavier_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let bound = (6.0 / (rows as f64 + cols as f64)).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-bound, bound))
+}
+
+/// Kaiming/He uniform initialization for ReLU networks:
+/// `U(-√(6/fan_in), +√(6/fan_in))`.
+#[must_use]
+pub fn kaiming_uniform(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let bound = (6.0 / cols as f64).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-bound, bound))
+}
+
+/// Uniform initialization in `[-bound, bound]`.
+#[must_use]
+pub fn uniform(rows: usize, cols: usize, bound: f64, seed: u64) -> Matrix {
+    let mut rng = SplitMix64::new(seed);
+    Matrix::from_fn(rows, cols, |_, _| rng.uniform(-bound, bound))
+}
+
+/// A vector of uniform values in `[-bound, bound]`; used for biases and
+/// circulant first rows.
+#[must_use]
+pub fn uniform_vec(len: usize, bound: f64, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..len).map(|_| rng.uniform(-bound, bound)).collect()
+}
+
+/// Variance-matched initializer for a block-circulant layer.
+///
+/// A circulant block reuses each first-row entry `n` times, so to keep the
+/// layer's output variance equal to a dense Xavier layer the per-entry
+/// bound must shrink by `√n`. `rows`/`cols` are the *logical* (unpadded)
+/// dimensions; `block` is the circulant block size `n`.
+#[must_use]
+pub fn circulant_xavier_rows(
+    rows: usize,
+    cols: usize,
+    block: usize,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    let p = rows.div_ceil(block);
+    let q = cols.div_ceil(block);
+    let dense_bound = (6.0 / (rows as f64 + cols as f64)).sqrt();
+    let bound = dense_bound / (block as f64).sqrt();
+    let mut rng = SplitMix64::new(seed);
+    (0..p * q)
+        .map(|_| (0..block).map(|_| rng.uniform(-bound, bound)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_is_deterministic_per_seed() {
+        let a = xavier_uniform(8, 8, 7);
+        let b = xavier_uniform(8, 8, 7);
+        let c = xavier_uniform(8, 8, 8);
+        assert_eq!(a, b);
+        assert!(a.linf_distance(&c) > 0.0);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let w = xavier_uniform(100, 50, 1);
+        let bound = (6.0 / 150.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+        // and actually uses the range (not degenerate)
+        assert!(w.as_slice().iter().any(|v| v.abs() > bound * 0.5));
+    }
+
+    #[test]
+    fn kaiming_bound_uses_fan_in() {
+        let w = kaiming_uniform(10, 40, 3);
+        let bound = (6.0 / 40.0_f64).sqrt();
+        assert!(w.as_slice().iter().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn circulant_rows_shape_and_bound() {
+        let rows = circulant_xavier_rows(100, 70, 32, 5);
+        // p = ceil(100/32) = 4, q = ceil(70/32) = 3
+        assert_eq!(rows.len(), 12);
+        assert!(rows.iter().all(|r| r.len() == 32));
+        let dense_bound = (6.0 / 170.0_f64).sqrt();
+        let bound = dense_bound / 32.0_f64.sqrt();
+        assert!(rows.iter().flatten().all(|v| v.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_vec_length_and_range() {
+        let v = uniform_vec(1000, 0.1, 9);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|x| x.abs() <= 0.1));
+        let mean: f64 = v.iter().sum::<f64>() / 1000.0;
+        assert!(mean.abs() < 0.02, "mean {mean} suspiciously far from 0");
+    }
+
+    #[test]
+    fn splitmix_uniform_covers_range() {
+        let mut rng = InitRng::new(123);
+        let mut lo = f64::MAX;
+        let mut hi = f64::MIN;
+        for _ in 0..10_000 {
+            let v = rng.uniform(-1.0, 1.0);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < -0.99 && hi > 0.99);
+    }
+}

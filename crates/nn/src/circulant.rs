@@ -1,0 +1,352 @@
+//! Block-circulant linear layer with in-constraint training.
+//!
+//! The trainable parameters *are* the circulant kernels (one length-`n`
+//! vector per block), so the block-circulant constraint of §III-A holds
+//! by construction throughout training — there is no dense weight to
+//! project. All three products the layer needs are circular
+//! convolutions/correlations and therefore run through FFTs:
+//!
+//! * forward:      `y_i = IFFT( Σ_j Ŵ_ij ∘ X̂_j )`           (Algorithm 1)
+//! * input grad:   `∂x_j = IFFT( Σ_i conj(Ŵ_ij) ∘ Ĝ_i )`    (`Bᵀ` has the
+//!   conjugate spectrum of `B` for real kernels)
+//! * kernel grad:  `∂c_ij = IFFT( Σ_batch Ĝ_i ∘ conj(X̂_j) )` (a circular
+//!   cross-correlation, accumulated in the spectral domain over the batch
+//!   so only `p·q` IFFTs are paid per backward pass)
+
+use crate::error::NnError;
+use crate::layer::Layer;
+use crate::param::Param;
+use blockgnn_core::CompressionStats;
+use blockgnn_fft::{is_power_of_two, Complex, FftPlan};
+use blockgnn_linalg::init::InitRng;
+use blockgnn_linalg::Matrix;
+
+/// Cached state from the latest forward pass.
+#[derive(Debug, Clone)]
+struct Cache {
+    /// `input_spectra[r][j]` = FFT of sample `r`'s `j`-th sub-vector.
+    input_spectra: Vec<Vec<Vec<Complex<f64>>>>,
+    /// `kernel_spectra[i*q + j]` = Ŵ_ij at forward time.
+    kernel_spectra: Vec<Vec<Complex<f64>>>,
+    batch: usize,
+}
+
+/// A block-circulant linear layer `y = W_bc·x + b` over batched rows.
+///
+/// ```
+/// use blockgnn_linalg::Matrix;
+/// use blockgnn_nn::{CirculantDense, Layer};
+/// let mut layer = CirculantDense::new(6, 10, 4, 3).unwrap();
+/// assert_eq!(layer.num_params(), 2 * 3 * 4 + 6); // p·q·n kernels + bias
+/// let y = layer.forward(&Matrix::filled(2, 10, 0.5), true);
+/// assert_eq!(y.shape(), (2, 6));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CirculantDense {
+    out_dim: usize,
+    in_dim: usize,
+    block_size: usize,
+    grid_rows: usize,
+    grid_cols: usize,
+    /// Flattened kernels, block `(i, j)` at `[(i*q + j)*n .. +n]`.
+    kernels: Param,
+    bias: Param,
+    plan: FftPlan<f64>,
+    cache: Option<Cache>,
+}
+
+impl CirculantDense {
+    /// Creates a block-circulant layer with variance-matched Xavier
+    /// initialization (dense Xavier bound shrunk by `√n` because each
+    /// kernel entry is reused `n` times).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if a dimension is zero or `block_size` is not
+    /// a power of two.
+    pub fn new(
+        out_dim: usize,
+        in_dim: usize,
+        block_size: usize,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if out_dim == 0 || in_dim == 0 {
+            return Err(NnError::new(format!(
+                "circulant layer dimensions must be non-zero, got {out_dim}x{in_dim}"
+            )));
+        }
+        if !is_power_of_two(block_size) {
+            return Err(NnError::new(format!(
+                "block size {block_size} must be a power of two for spectral training"
+            )));
+        }
+        let plan = FftPlan::new(block_size)
+            .expect("power-of-two block size was just validated");
+        let grid_rows = out_dim.div_ceil(block_size);
+        let grid_cols = in_dim.div_ceil(block_size);
+        let bound =
+            (6.0 / (out_dim as f64 + in_dim as f64)).sqrt() / (block_size as f64).sqrt();
+        let mut rng = InitRng::new(seed);
+        let kernels: Vec<f64> = (0..grid_rows * grid_cols * block_size)
+            .map(|_| rng.uniform(-bound, bound))
+            .collect();
+        Ok(Self {
+            out_dim,
+            in_dim,
+            block_size,
+            grid_rows,
+            grid_cols,
+            kernels: Param::new(kernels),
+            bias: Param::new(vec![0.0; out_dim]),
+            plan,
+            cache: None,
+        })
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Circulant block size `n`.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Compression accounting for this layer (Table III columns).
+    #[must_use]
+    pub fn stats(&self) -> CompressionStats {
+        CompressionStats::for_matrix(self.out_dim, self.in_dim, self.block_size)
+    }
+
+    /// The current bias vector (length `out_dim`).
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias.data
+    }
+
+    /// Exports the current weights as a [`blockgnn_core::BlockCirculantMatrix`]
+    /// (e.g. to hand to the accelerator simulator after training).
+    #[must_use]
+    pub fn to_block_circulant(&self) -> blockgnn_core::BlockCirculantMatrix {
+        let n = self.block_size;
+        let kernels: Vec<Vec<f64>> = self
+            .kernels
+            .data
+            .chunks_exact(n)
+            .map(<[f64]>::to_vec)
+            .collect();
+        blockgnn_core::BlockCirculantMatrix::from_kernels(
+            self.out_dim,
+            self.in_dim,
+            n,
+            kernels,
+        )
+        .expect("layer invariants guarantee a valid kernel layout")
+    }
+
+    fn kernel_spectra(&self) -> Vec<Vec<Complex<f64>>> {
+        self.kernels
+            .data
+            .chunks_exact(self.block_size)
+            .map(|k| self.plan.forward_real(k).expect("kernel chunk matches plan"))
+            .collect()
+    }
+
+    fn split_spectra(&self, row: &[f64], chunks: usize) -> Vec<Vec<Complex<f64>>> {
+        let n = self.block_size;
+        let mut padded = row.to_vec();
+        padded.resize(chunks * n, 0.0);
+        padded
+            .chunks_exact(n)
+            .map(|sub| self.plan.forward_real(sub).expect("chunk matches plan"))
+            .collect()
+    }
+}
+
+impl Layer for CirculantDense {
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "circulant forward input width mismatch");
+        let n = self.block_size;
+        let (p, q) = (self.grid_rows, self.grid_cols);
+        let kernel_spectra = self.kernel_spectra();
+        let mut input_spectra = Vec::with_capacity(x.rows());
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        for r in 0..x.rows() {
+            let xs = self.split_spectra(x.row(r), q);
+            for i in 0..p {
+                let mut acc = vec![Complex::zero(); n];
+                for (j, xj) in xs.iter().enumerate() {
+                    let w = &kernel_spectra[i * q + j];
+                    for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xj) {
+                        *a += wv * xv;
+                    }
+                }
+                self.plan.inverse(&mut acc);
+                let row_out = y.row_mut(r);
+                for (t, c) in acc.iter().enumerate() {
+                    let idx = i * n + t;
+                    if idx < self.out_dim {
+                        row_out[idx] = c.re + self.bias.data[idx];
+                    }
+                }
+            }
+            input_spectra.push(xs);
+        }
+        self.cache = Some(Cache { input_spectra, kernel_spectra, batch: x.rows() });
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward called before forward");
+        let n = self.block_size;
+        let (p, q) = (self.grid_rows, self.grid_cols);
+        assert_eq!(
+            grad_out.shape(),
+            (cache.batch, self.out_dim),
+            "grad shape mismatch"
+        );
+
+        // Spectral accumulator for kernel gradients: Σ_r Ĝ_i ∘ conj(X̂_j).
+        let mut kgrad_spec = vec![vec![Complex::<f64>::zero(); n]; p * q];
+        let mut grad_in = Matrix::zeros(cache.batch, self.in_dim);
+
+        for r in 0..cache.batch {
+            let g_row = grad_out.row(r);
+            // bias gradient over the logical output.
+            for (o, &gv) in g_row.iter().enumerate() {
+                self.bias.grad[o] += gv;
+            }
+            // Split/pad the grad row and transform (p spectra).
+            let g_spectra = self.split_spectra(g_row, p);
+            let x_spectra = &cache.input_spectra[r];
+
+            // Kernel gradient accumulation in the spectral domain.
+            for (i, gi) in g_spectra.iter().enumerate() {
+                for (j, xj) in x_spectra.iter().enumerate() {
+                    let acc = &mut kgrad_spec[i * q + j];
+                    for ((a, &gv), &xv) in acc.iter_mut().zip(gi).zip(xj) {
+                        *a += gv * xv.conj();
+                    }
+                }
+            }
+
+            // Input gradient: ∂x_j = IFFT( Σ_i conj(Ŵ_ij) ∘ Ĝ_i ).
+            let gi_row = grad_in.row_mut(r);
+            for j in 0..q {
+                let mut acc = vec![Complex::zero(); n];
+                for (i, gi) in g_spectra.iter().enumerate() {
+                    let w = &cache.kernel_spectra[i * q + j];
+                    for ((a, &wv), &gv) in acc.iter_mut().zip(w).zip(gi) {
+                        *a += wv.conj() * gv;
+                    }
+                }
+                self.plan.inverse(&mut acc);
+                for (t, c) in acc.iter().enumerate() {
+                    let idx = j * n + t;
+                    if idx < self.in_dim {
+                        gi_row[idx] = c.re;
+                    }
+                }
+            }
+        }
+
+        // One IFFT per block finalizes the kernel gradients.
+        for (b, spec) in kgrad_spec.into_iter().enumerate() {
+            let mut buf = spec;
+            self.plan.inverse(&mut buf);
+            let kg = &mut self.kernels.grad[b * n..(b + 1) * n];
+            for (g, c) in kg.iter_mut().zip(&buf) {
+                *g += c.re;
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.kernels);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_linalg::vector::linf_distance;
+
+    #[test]
+    fn constructor_validation() {
+        assert!(CirculantDense::new(0, 4, 2, 0).is_err());
+        assert!(CirculantDense::new(4, 0, 2, 0).is_err());
+        assert!(CirculantDense::new(4, 4, 3, 0).is_err());
+        assert!(CirculantDense::new(4, 4, 0, 0).is_err());
+        assert!(CirculantDense::new(4, 4, 4, 0).is_ok());
+    }
+
+    #[test]
+    fn forward_matches_block_circulant_matvec() {
+        let mut layer = CirculantDense::new(10, 6, 4, 11).unwrap();
+        let bcm = layer.to_block_circulant();
+        let x = Matrix::from_fn(3, 6, |i, j| ((i * 6 + j) as f64 * 0.37).sin());
+        let y = layer.forward(&x, false);
+        for r in 0..3 {
+            let expect = bcm.matvec_direct(x.row(r));
+            assert!(
+                linf_distance(y.row(r), &expect) < 1e-9,
+                "row {r} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_is_applied_to_logical_outputs() {
+        let mut layer = CirculantDense::new(3, 4, 2, 5).unwrap();
+        layer.visit_params(&mut |p| {
+            if p.len() == 3 {
+                p.data.copy_from_slice(&[1.0, 2.0, 3.0]);
+            }
+        });
+        let zero_in = Matrix::zeros(1, 4);
+        let y = layer.forward(&zero_in, false);
+        assert_eq!(y.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn stats_report_block_size() {
+        let layer = CirculantDense::new(512, 512, 64, 0).unwrap();
+        let s = layer.stats();
+        assert_eq!(s.storage_reduction(), 64.0);
+        assert_eq!(s.compressed_params(), 8 * 8 * 64);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut layer = CirculantDense::new(10, 6, 4, 3).unwrap();
+        let x = Matrix::from_fn(2, 6, |i, j| (i + j) as f64 * 0.1);
+        let _ = layer.forward(&x, true);
+        let gin = layer.backward(&Matrix::filled(2, 10, 0.5));
+        assert_eq!(gin.shape(), (2, 6));
+        // bias grad = column sums
+        let mut grads: Vec<Vec<f64>> = Vec::new();
+        layer.visit_params(&mut |p| grads.push(p.grad.clone()));
+        assert_eq!(grads[1], vec![1.0; 10]);
+        assert!(grads[0].iter().any(|&g| g != 0.0), "kernel grads must flow");
+    }
+
+    #[test]
+    fn n1_layer_behaves_like_elementwise_scaling_grid() {
+        // n = 1: every 1×1 block is a free scalar, so the layer is an
+        // unconstrained dense matrix — the paper's n=1 baseline.
+        let layer = CirculantDense::new(5, 7, 1, 9).unwrap();
+        let s = layer.stats();
+        assert_eq!(s.compressed_params(), s.dense_params());
+    }
+}

@@ -1,0 +1,202 @@
+//! Uncompressed fully-connected layer — the paper's `n = 1` baseline.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use blockgnn_linalg::init::InitRng;
+use blockgnn_linalg::Matrix;
+
+/// A dense linear layer `y = x·Wᵀ + b` over batched rows.
+///
+/// The weight is stored `out_dim × in_dim` (the paper's `W·h`
+/// orientation); inputs are row-major batches so the forward pass is
+/// `X·Wᵀ`.
+///
+/// ```
+/// use blockgnn_linalg::Matrix;
+/// use blockgnn_nn::{Dense, Layer};
+/// let mut layer = Dense::new(2, 3, 7);
+/// let x = Matrix::filled(4, 3, 1.0);
+/// assert_eq!(layer.forward(&x, false).shape(), (4, 2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dense {
+    out_dim: usize,
+    in_dim: usize,
+    /// Flattened `out_dim × in_dim` weight.
+    weight: Param,
+    /// Length `out_dim` bias.
+    bias: Param,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    #[must_use]
+    pub fn new(out_dim: usize, in_dim: usize, seed: u64) -> Self {
+        let bound = (6.0 / (out_dim as f64 + in_dim as f64)).sqrt();
+        let mut rng = InitRng::new(seed);
+        let weight: Vec<f64> =
+            (0..out_dim * in_dim).map(|_| rng.uniform(-bound, bound)).collect();
+        Self {
+            out_dim,
+            in_dim,
+            weight: Param::new(weight),
+            bias: Param::new(vec![0.0; out_dim]),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a layer from an explicit weight matrix and bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias.len() != weight.rows()`.
+    #[must_use]
+    pub fn from_weight(weight: Matrix, bias: Vec<f64>) -> Self {
+        assert_eq!(bias.len(), weight.rows(), "bias length must equal output dim");
+        let (out_dim, in_dim) = weight.shape();
+        Self {
+            out_dim,
+            in_dim,
+            weight: Param::new(weight.into_vec()),
+            bias: Param::new(bias),
+            cached_input: None,
+        }
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The current weight as a matrix (copied).
+    #[must_use]
+    pub fn weight_matrix(&self) -> Matrix {
+        Matrix::from_flat(self.out_dim, self.in_dim, self.weight.data.clone())
+            .expect("stored weight has consistent shape")
+    }
+
+    /// The current bias.
+    #[must_use]
+    pub fn bias(&self) -> &[f64] {
+        &self.bias.data
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "dense forward input width mismatch");
+        self.cached_input = Some(x.clone());
+        let mut y = Matrix::zeros(x.rows(), self.out_dim);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let out = y.row_mut(r);
+            for (o, ov) in out.iter_mut().enumerate() {
+                let w = &self.weight.data[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = self.bias.data[o];
+                for (wv, xv) in w.iter().zip(row) {
+                    acc += wv * xv;
+                }
+                *ov = acc;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        assert_eq!(grad_out.shape(), (x.rows(), self.out_dim), "grad shape mismatch");
+        // dW[o][i] = sum_r g[r][o] * x[r][i]
+        for r in 0..x.rows() {
+            let g = grad_out.row(r);
+            let xr = x.row(r);
+            for (o, &go) in g.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let wg = &mut self.weight.grad[o * self.in_dim..(o + 1) * self.in_dim];
+                for (wgi, &xi) in wg.iter_mut().zip(xr) {
+                    *wgi += go * xi;
+                }
+                self.bias.grad[o] += go;
+            }
+        }
+        // dX = G · W
+        let mut grad_in = Matrix::zeros(x.rows(), self.in_dim);
+        for r in 0..x.rows() {
+            let g = grad_out.row(r);
+            let gi = grad_in.row_mut(r);
+            for (o, &go) in g.iter().enumerate() {
+                if go == 0.0 {
+                    continue;
+                }
+                let w = &self.weight.data[o * self.in_dim..(o + 1) * self.in_dim];
+                for (gii, &wv) in gi.iter_mut().zip(w) {
+                    *gii += go * wv;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_matches_manual_matmul() {
+        let w = Matrix::from_rows(&[vec![1.0, 2.0], vec![-1.0, 0.5]]).unwrap();
+        let mut layer = Dense::from_weight(w.clone(), vec![0.5, -0.5]);
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 0.0]]).unwrap();
+        let y = layer.forward(&x, false);
+        // row0: [1+2+0.5, -1+0.5-0.5] = [3.5, -1.0]
+        assert_eq!(y.row(0), &[3.5, -1.0]);
+        assert_eq!(y.row(1), &[2.5, -2.5]);
+    }
+
+    #[test]
+    fn backward_shapes_and_bias_grad() {
+        let mut layer = Dense::new(3, 4, 5);
+        let x = Matrix::from_fn(2, 4, |i, j| (i + j) as f64);
+        let _ = layer.forward(&x, true);
+        let g = Matrix::filled(2, 3, 1.0);
+        let gin = layer.backward(&g);
+        assert_eq!(gin.shape(), (2, 4));
+        // bias grad = column sums of g = 2 per output
+        let mut params: Vec<Vec<f64>> = Vec::new();
+        layer.visit_params(&mut |p| params.push(p.grad.clone()));
+        assert_eq!(params[1], vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn num_params_counts_weight_and_bias() {
+        let mut layer = Dense::new(3, 4, 0);
+        assert_eq!(layer.num_params(), 12 + 3);
+        assert_eq!(layer.weight_matrix().shape(), (3, 4));
+        assert_eq!(layer.bias().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn forward_validates_width() {
+        let mut layer = Dense::new(2, 3, 0);
+        let _ = layer.forward(&Matrix::zeros(1, 4), false);
+    }
+}

@@ -1,0 +1,116 @@
+//! Inverted dropout.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use blockgnn_linalg::init::InitRng;
+use blockgnn_linalg::Matrix;
+
+/// Inverted dropout: at train time each element is zeroed with
+/// probability `p` and survivors are scaled by `1/(1−p)`; at eval time
+/// the layer is the identity.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f64,
+    rng: InitRng,
+    mask: Option<Matrix>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    #[must_use]
+    pub fn new(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        Self { p, rng: InitRng::new(seed), mask: None }
+    }
+
+    /// Drop probability.
+    #[must_use]
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        if !train || self.p == 0.0 {
+            self.mask = None;
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let mut mask = Matrix::zeros(x.rows(), x.cols());
+        for i in 0..x.rows() {
+            for j in 0..x.cols() {
+                if self.rng.next_f64() >= self.p {
+                    mask[(i, j)] = 1.0 / keep;
+                }
+            }
+        }
+        let y = Matrix::from_fn(x.rows(), x.cols(), |i, j| x[(i, j)] * mask[(i, j)]);
+        self.mask = Some(mask);
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match &self.mask {
+            None => grad_out.clone(),
+            Some(mask) => {
+                assert_eq!(grad_out.shape(), mask.shape(), "dropout grad shape mismatch");
+                Matrix::from_fn(grad_out.rows(), grad_out.cols(), |i, j| {
+                    grad_out[(i, j)] * mask[(i, j)]
+                })
+            }
+        }
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Matrix::filled(3, 3, 2.0);
+        assert_eq!(d.forward(&x, false), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn train_mode_scales_survivors() {
+        let mut d = Dropout::new(0.5, 2);
+        let x = Matrix::filled(50, 50, 1.0);
+        let y = d.forward(&x, true);
+        // survivors are exactly 2.0 (= 1/keep), dropped exactly 0
+        assert!(y.as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+        let kept = y.as_slice().iter().filter(|&&v| v != 0.0).count();
+        let frac = kept as f64 / 2500.0;
+        assert!((frac - 0.5).abs() < 0.1, "kept fraction {frac}");
+        // expectation preserved
+        let mean = y.as_slice().iter().sum::<f64>() / 2500.0;
+        assert!((mean - 1.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.3, 3);
+        let x = Matrix::filled(10, 10, 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Matrix::filled(10, 10, 1.0));
+        // gradient flows exactly where the forward pass did
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(a == &0.0, b == &0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = Dropout::new(1.0, 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for layer construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by layer constructors (bad dimensions, invalid block
+/// sizes, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NnError {
+    /// Description of the problem.
+    pub what: String,
+}
+
+impl NnError {
+    /// Creates an error with the given description.
+    #[must_use]
+    pub fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "nn error: {}", self.what)
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_description() {
+        let e = NnError::new("bad block size");
+        assert!(e.to_string().contains("bad block size"));
+    }
+}

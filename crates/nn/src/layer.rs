@@ -1,0 +1,254 @@
+//! The layer abstraction, the dense/circulant switch, and `Sequential`.
+
+use crate::circulant::CirculantDense;
+use crate::dense::Dense;
+use crate::error::NnError;
+use crate::param::Param;
+use blockgnn_linalg::Matrix;
+
+/// A differentiable layer over batched inputs (rows = samples).
+///
+/// Contract: `forward` caches whatever it needs; `backward` must be
+/// called with the gradient of the loss with respect to the *latest*
+/// forward output, returns the gradient with respect to that forward's
+/// input, and accumulates parameter gradients into the layer's
+/// [`Param`]s.
+pub trait Layer {
+    /// Forward pass. `train` toggles training-only behaviour (dropout).
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
+
+    /// Backward pass; returns `∂L/∂input` given `∂L/∂output`.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Visits every trainable parameter in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total scalar parameter count.
+    fn num_params(&mut self) -> usize {
+        let mut total = 0;
+        self.visit_params(&mut |p| total += p.len());
+        total
+    }
+}
+
+/// Weight-matrix compression choice for linear layers — the paper's
+/// central algorithm-level knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compression {
+    /// Uncompressed dense weights (the paper's `n = 1` baseline row).
+    Dense,
+    /// Block-circulant weights with the given block size `n`.
+    BlockCirculant {
+        /// Circulant block size (power of two for spectral execution).
+        block_size: usize,
+    },
+}
+
+impl Compression {
+    /// The block size this compression implies (1 for dense).
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        match self {
+            Compression::Dense => 1,
+            Compression::BlockCirculant { block_size } => *block_size,
+        }
+    }
+}
+
+/// A linear layer that is either dense or block-circulant — the only
+/// difference between the paper's uncompressed and compressed GNNs.
+#[derive(Debug, Clone)]
+pub enum LinearLayer {
+    /// Dense variant.
+    Dense(Dense),
+    /// Block-circulant variant.
+    Circulant(CirculantDense),
+}
+
+impl LinearLayer {
+    /// Creates a linear layer `in_dim → out_dim` under the chosen
+    /// compression.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `block_size` is not a power of two ≥ 2 when
+    /// block-circulant compression is requested, or dimensions are zero.
+    pub fn new(
+        out_dim: usize,
+        in_dim: usize,
+        compression: Compression,
+        seed: u64,
+    ) -> Result<Self, NnError> {
+        if out_dim == 0 || in_dim == 0 {
+            return Err(NnError::new(format!(
+                "linear layer dimensions must be non-zero, got {out_dim}x{in_dim}"
+            )));
+        }
+        match compression {
+            Compression::Dense => Ok(LinearLayer::Dense(Dense::new(out_dim, in_dim, seed))),
+            Compression::BlockCirculant { block_size } => Ok(LinearLayer::Circulant(
+                CirculantDense::new(out_dim, in_dim, block_size, seed)?,
+            )),
+        }
+    }
+
+    /// Output dimension.
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        match self {
+            LinearLayer::Dense(l) => l.out_dim(),
+            LinearLayer::Circulant(l) => l.out_dim(),
+        }
+    }
+
+    /// Input dimension.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        match self {
+            LinearLayer::Dense(l) => l.in_dim(),
+            LinearLayer::Circulant(l) => l.in_dim(),
+        }
+    }
+}
+
+impl Layer for LinearLayer {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        match self {
+            LinearLayer::Dense(l) => l.forward(x, train),
+            LinearLayer::Circulant(l) => l.forward(x, train),
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        match self {
+            LinearLayer::Dense(l) => l.backward(grad_out),
+            LinearLayer::Circulant(l) => l.backward(grad_out),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        match self {
+            LinearLayer::Dense(l) => l.visit_params(f),
+            LinearLayer::Circulant(l) => l.visit_params(f),
+        }
+    }
+}
+
+/// A stack of layers applied in order.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer, returning `self` for chaining.
+    #[must_use]
+    pub fn push(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` when the stack is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            grad = layer.backward(&grad);
+        }
+        grad
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+
+    #[test]
+    fn linear_layer_dispatch() {
+        let mut dense = LinearLayer::new(4, 6, Compression::Dense, 1).unwrap();
+        let mut circ =
+            LinearLayer::new(4, 6, Compression::BlockCirculant { block_size: 2 }, 1).unwrap();
+        assert_eq!((dense.out_dim(), dense.in_dim()), (4, 6));
+        assert_eq!((circ.out_dim(), circ.in_dim()), (4, 6));
+        let x = Matrix::from_fn(2, 6, |i, j| (i * 6 + j) as f64 * 0.1);
+        assert_eq!(dense.forward(&x, false).shape(), (2, 4));
+        assert_eq!(circ.forward(&x, false).shape(), (2, 4));
+        // dense has out*in + out params; circulant p*q*n + out
+        assert_eq!(dense.num_params(), 4 * 6 + 4);
+        assert_eq!(circ.num_params(), 2 * 3 * 2 + 4);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(LinearLayer::new(0, 4, Compression::Dense, 0).is_err());
+        assert!(
+            LinearLayer::new(4, 4, Compression::BlockCirculant { block_size: 3 }, 0).is_err()
+        );
+    }
+
+    #[test]
+    fn compression_block_size() {
+        assert_eq!(Compression::Dense.block_size(), 1);
+        assert_eq!(Compression::BlockCirculant { block_size: 64 }.block_size(), 64);
+    }
+
+    #[test]
+    fn sequential_composes() {
+        let mut model = Sequential::new()
+            .push(LinearLayer::new(5, 3, Compression::Dense, 2).unwrap())
+            .push(Relu::new())
+            .push(LinearLayer::new(2, 5, Compression::Dense, 3).unwrap());
+        assert_eq!(model.len(), 3);
+        assert!(!model.is_empty());
+        let x = Matrix::from_fn(4, 3, |i, j| (i + j) as f64 * 0.25 - 0.5);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), (4, 2));
+        let gin = model.backward(&Matrix::filled(4, 2, 1.0));
+        assert_eq!(gin.shape(), (4, 3));
+        assert!(format!("{model:?}").contains("3 layers"));
+    }
+}

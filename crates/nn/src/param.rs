@@ -1,0 +1,91 @@
+//! Trainable parameter storage.
+
+/// A flat trainable parameter tensor with its gradient accumulator.
+///
+/// Layers expose their parameters through
+/// [`Layer::visit_params`](crate::Layer::visit_params) in a stable order,
+/// which is how optimizers attach per-parameter state (momentum, Adam
+/// moments) without owning the layers.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Param {
+    /// Current parameter values.
+    pub data: Vec<f64>,
+    /// Accumulated gradient, same length as `data`.
+    pub grad: Vec<f64>,
+}
+
+impl Param {
+    /// Creates a parameter from initial values with a zeroed gradient.
+    #[must_use]
+    pub fn new(data: Vec<f64>) -> Self {
+        let grad = vec![0.0; data.len()];
+        Self { data, grad }
+    }
+
+    /// Number of scalar parameters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the parameter holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Resets the gradient accumulator to zero.
+    pub fn zero_grad(&mut self) {
+        for g in &mut self.grad {
+            *g = 0.0;
+        }
+    }
+
+    /// Adds `delta` into the gradient accumulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != self.len()`.
+    pub fn accumulate(&mut self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.grad.len(), "gradient length mismatch");
+        for (g, d) in self.grad.iter_mut().zip(delta) {
+            *g += d;
+        }
+    }
+
+    /// L2 norm of the gradient (for clipping / diagnostics).
+    #[must_use]
+    pub fn grad_norm(&self) -> f64 {
+        self.grad.iter().map(|g| g * g).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_zeroes_grad() {
+        let p = Param::new(vec![1.0, 2.0]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.grad, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new(vec![0.0; 3]);
+        p.accumulate(&[1.0, 2.0, 2.0]);
+        p.accumulate(&[1.0, 0.0, 0.0]);
+        assert_eq!(p.grad, vec![2.0, 2.0, 2.0]);
+        assert!((p.grad_norm() - (12.0f64).sqrt()).abs() < 1e-12);
+        p.zero_grad();
+        assert_eq!(p.grad, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accumulate_validates_length() {
+        Param::new(vec![0.0; 2]).accumulate(&[1.0]);
+    }
+}

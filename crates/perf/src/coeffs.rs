@@ -1,0 +1,144 @@
+//! Hardware cost coefficients (§IV-B's measured ZC706 values).
+
+use serde::{Deserialize, Serialize};
+
+/// Latency and DSP-cost coefficients for one FPGA target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HardwareCoeffs {
+    /// Pipeline-overhead cycles added to each streaming FFT
+    /// (`α(n) = (n/2)·log₂n + fft_overhead`); calibrated so
+    /// `α(128) = 484`, the paper's measured value for the 32-bit Xilinx
+    /// FFT IP.
+    pub fft_overhead: u64,
+    /// DSPs per FFT/IFFT channel (`β`).
+    pub beta_dsp_per_fft: usize,
+    /// DSPs per PE per unit of pack parallelism (`γ(l) = γ·l`; a
+    /// complex MAC on 32-bit operands costs 16 DSPs).
+    pub gamma_dsp_per_pe: usize,
+    /// DSPs per SIMD-16 VPU lane (`η`).
+    pub eta_dsp_per_lane: usize,
+    /// Total DSP budget (Eq. 8's right-hand side).
+    pub total_dsps: usize,
+    /// Clock frequency in Hz (the prototype closes timing at 100 MHz).
+    pub clock_hz: f64,
+    /// Board power for the accelerator in watts (measured: 4.6 W).
+    pub accel_power_w: f64,
+    /// Sustained fraction of peak FFT/IFFT channel throughput.
+    ///
+    /// The paper's §V explains the gap between the implemented speedup
+    /// (up to 8.3×) and the theoretical one (up to 18.3×): "the FFT
+    /// implementation using Xilinx IP can not get the ideal performance."
+    /// The analytical model (Table V) uses 1.0; the *measured-system*
+    /// calibration uses ≈0.55, the ratio the paper's own numbers imply.
+    pub fft_streaming_efficiency: f64,
+}
+
+impl HardwareCoeffs {
+    /// The paper's Xilinx ZC706 calibration with ideal FFT streaming —
+    /// the coefficient set behind the §III-D analytical model and the
+    /// Table V search.
+    #[must_use]
+    pub fn zc706() -> Self {
+        Self {
+            fft_overhead: 36,
+            beta_dsp_per_fft: 18,
+            gamma_dsp_per_pe: 16,
+            eta_dsp_per_lane: 64,
+            total_dsps: 900,
+            clock_hz: 100.0e6,
+            accel_power_w: 4.6,
+            fft_streaming_efficiency: 1.0,
+        }
+    }
+
+    /// The ZC706 calibration with the measured FFT-IP streaming
+    /// efficiency folded in (§V's implemented-vs-theoretical gap);
+    /// used when simulating the *as-built* system for Figures 6–7.
+    #[must_use]
+    pub fn zc706_measured() -> Self {
+        Self { fft_streaming_efficiency: 0.55, ..Self::zc706() }
+    }
+
+    /// Effective cycles per length-`n` FFT frame once the streaming
+    /// duty cycle is applied: `α(n) / efficiency`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn alpha_effective(&self, n: usize) -> u64 {
+        (self.alpha(n) as f64 / self.fft_streaming_efficiency).round() as u64
+    }
+
+    /// `α(n)`: cycles for one length-`n` FFT on one channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn alpha(&self, n: usize) -> u64 {
+        assert!(n >= 2, "alpha is defined for FFT lengths >= 2");
+        let logn = usize::BITS - (n - 1).leading_zeros();
+        (n as u64 / 2) * u64::from(logn) + self.fft_overhead
+    }
+
+    /// `β(n)`: DSPs per FFT channel (the paper measured a single value
+    /// at n = 128; DSP usage of a streaming core is dominated by its
+    /// per-stage multipliers, so we keep it constant like the paper).
+    #[must_use]
+    pub fn beta(&self, _n: usize) -> usize {
+        self.beta_dsp_per_fft
+    }
+
+    /// `γ(l)`: DSPs per systolic PE with pack size `l`.
+    #[must_use]
+    pub fn gamma(&self, l: usize) -> usize {
+        self.gamma_dsp_per_pe * l
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_matches_paper_at_n128() {
+        let c = HardwareCoeffs::zc706();
+        assert_eq!(c.alpha(128), 484);
+    }
+
+    #[test]
+    fn alpha_scales_n_log_n() {
+        let c = HardwareCoeffs::zc706();
+        assert_eq!(c.alpha(16), 8 * 4 + 36);
+        assert_eq!(c.alpha(64), 32 * 6 + 36);
+        assert!(c.alpha(256) > 2 * c.alpha(128) - c.fft_overhead * 2);
+    }
+
+    #[test]
+    fn dsp_coefficients_match_paper() {
+        let c = HardwareCoeffs::zc706();
+        assert_eq!(c.beta(128), 18);
+        assert_eq!(c.gamma(1), 16);
+        assert_eq!(c.gamma(4), 64);
+        assert_eq!(c.eta_dsp_per_lane, 64);
+        assert_eq!(c.total_dsps, 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "FFT lengths")]
+    fn alpha_rejects_tiny_n() {
+        let _ = HardwareCoeffs::zc706().alpha(1);
+    }
+
+    #[test]
+    fn measured_variant_derates_fft_throughput_only() {
+        let ideal = HardwareCoeffs::zc706();
+        let measured = HardwareCoeffs::zc706_measured();
+        assert_eq!(ideal.alpha_effective(128), 484);
+        assert_eq!(measured.alpha(128), 484);
+        assert_eq!(measured.alpha_effective(128), 880); // 484 / 0.55
+        assert_eq!(measured.total_dsps, ideal.total_dsps);
+        assert_eq!(measured.accel_power_w, ideal.accel_power_w);
+    }
+}

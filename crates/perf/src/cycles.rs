@@ -1,0 +1,335 @@
+//! The cycle model: Eqs. 3–7.
+//!
+//! For layer `k`, the paper estimates each pipeline stage independently
+//! and takes the maximum — the pipeline is throughput-limited by its
+//! slowest stage once full:
+//!
+//! * Eq. 3 `cycle_fft  = α(n) · ⌈S·q / x⌉`
+//! * Eq. 4 `cycle_mac  = S · ⌈q/r⌉ · ⌈p/c⌉ · ⌈n/l⌉`
+//! * Eq. 5 `cycle_ifft = α(n) · ⌈S·p / y⌉`
+//! * Eq. 6 `cycle_vpu  = ⌈S·N / (m·16)⌉`
+//! * Eq. 7 `cycle_total ≈ Σ_k max(stage cycles) · |V|`
+//!
+//! [`LayerTask`] generalizes "S matrix–vector products of shape N×M" to
+//! any multiset of weighted shapes so the same model covers every
+//! algorithm in Table I (GCN's weight-free aggregation contributes only
+//! VPU work; G-GCN contributes 2S products; GAT projects into the
+//! attention dimension).
+
+use crate::coeffs::HardwareCoeffs;
+use crate::params::CirCoreParams;
+
+/// A weighted matrix–vector shape: `count_per_node` products of an
+/// `out_dim × in_dim` block-circulant weight per target node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatvecCount {
+    /// Products per target node (fractional counts allowed — e.g.
+    /// amortized per-layer matvecs).
+    pub count_per_node: f64,
+    /// Rows `N` of the weight.
+    pub out_dim: usize,
+    /// Columns `M` of the weight.
+    pub in_dim: usize,
+}
+
+impl MatvecCount {
+    /// Grid rows `p = ⌈N/n⌉` for block size `n`.
+    #[must_use]
+    pub fn p(&self, n: usize) -> usize {
+        self.out_dim.div_ceil(n)
+    }
+
+    /// Grid cols `q = ⌈M/n⌉` for block size `n`.
+    #[must_use]
+    pub fn q(&self, n: usize) -> usize {
+        self.in_dim.div_ceil(n)
+    }
+}
+
+/// All CirCore/VPU work of one layer, per target node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTask {
+    /// Weight products routed through CirCore.
+    pub matvecs: Vec<MatvecCount>,
+    /// Element-wise MACs routed through the VPU (pooling, gating,
+    /// normalization, activations).
+    pub vpu_macs_per_node: f64,
+}
+
+/// Per-stage cycle estimate for one layer (per target node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerCycles {
+    /// Eq. 3.
+    pub fft: u64,
+    /// Eq. 4.
+    pub mac: u64,
+    /// Eq. 5.
+    pub ifft: u64,
+    /// Eq. 6.
+    pub vpu: u64,
+}
+
+impl LayerCycles {
+    /// The pipeline bottleneck: `max` of the four stages (the paper's
+    /// `cycle(k)`).
+    #[must_use]
+    pub fn bottleneck(&self) -> u64 {
+        self.fft.max(self.mac).max(self.ifft).max(self.vpu)
+    }
+}
+
+/// Which transform the CirCore channels implement.
+///
+/// The prototype uses the complex Xilinx FFT IP; §V observes that GNN
+/// features are always real, so RFFT/IRFFT channels would roughly halve
+/// both the transform latency (a length-`n` RFFT rides on a length-`n/2`
+/// complex FFT plus an O(n) untangling pass) and the spectral MAC work
+/// (only `n/2 + 1` non-redundant bins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FftMode {
+    /// Complex FFT channels (the paper's implemented prototype).
+    #[default]
+    Complex,
+    /// Real FFT channels (the §V proposal).
+    Real,
+}
+
+impl FftMode {
+    /// Frame cycles per transform of block size `n` under `coeffs`.
+    #[must_use]
+    pub fn frame_cycles(&self, n: usize, coeffs: &HardwareCoeffs) -> u64 {
+        match self {
+            FftMode::Complex => coeffs.alpha_effective(n),
+            // Half-length complex FFT + one output pass of untangling.
+            FftMode::Real => {
+                let half = (n / 2).max(2);
+                coeffs.alpha_effective(half) + (n as u64) / 2
+            }
+        }
+    }
+
+    /// Spectral bins each block contributes to the MAC stage.
+    #[must_use]
+    pub fn spectral_bins(&self, n: usize) -> usize {
+        match self {
+            FftMode::Complex => n,
+            FftMode::Real => n / 2 + 1,
+        }
+    }
+}
+
+/// Evaluates Eqs. 3–6 for one layer under configuration `params` with
+/// block size `n` (complex-FFT channels; see
+/// [`layer_cycles_with_mode`] for the §V RFFT variant).
+///
+/// # Panics
+///
+/// Panics if `n < 2` or any parallelism parameter is zero.
+#[must_use]
+pub fn layer_cycles(
+    task: &LayerTask,
+    params: &CirCoreParams,
+    n: usize,
+    coeffs: &HardwareCoeffs,
+) -> LayerCycles {
+    layer_cycles_with_mode(task, params, n, coeffs, FftMode::Complex)
+}
+
+/// Evaluates Eqs. 3–6 with an explicit transform mode.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or any parallelism parameter is zero.
+#[must_use]
+pub fn layer_cycles_with_mode(
+    task: &LayerTask,
+    params: &CirCoreParams,
+    n: usize,
+    coeffs: &HardwareCoeffs,
+    mode: FftMode,
+) -> LayerCycles {
+    assert!(
+        params.x >= 1 && params.y >= 1 && params.r >= 1 && params.c >= 1 && params.l >= 1
+            && params.m >= 1,
+        "all CirCore parallelism parameters must be at least 1"
+    );
+    let alpha = mode.frame_cycles(n, coeffs);
+    let bins = mode.spectral_bins(n);
+    let mut fft_subvecs = 0.0;
+    let mut ifft_subvecs = 0.0;
+    let mut mac_cycles = 0.0;
+    for mv in &task.matvecs {
+        let p = mv.p(n) as f64;
+        let q = mv.q(n) as f64;
+        fft_subvecs += mv.count_per_node * q;
+        ifft_subvecs += mv.count_per_node * p;
+        mac_cycles += mv.count_per_node
+            * (mv.q(n).div_ceil(params.r) as f64)
+            * (mv.p(n).div_ceil(params.c) as f64)
+            * (bins.div_ceil(params.l) as f64);
+    }
+    LayerCycles {
+        fft: alpha * (fft_subvecs / params.x as f64).ceil() as u64,
+        mac: mac_cycles.ceil() as u64,
+        ifft: alpha * (ifft_subvecs / params.y as f64).ceil() as u64,
+        vpu: (task.vpu_macs_per_node / (params.m as f64 * 16.0)).ceil() as u64,
+    }
+}
+
+/// Eq. 7: total cycles for `num_nodes` target nodes across all layers.
+#[must_use]
+pub fn total_cycles(
+    tasks: &[LayerTask],
+    num_nodes: usize,
+    params: &CirCoreParams,
+    n: usize,
+    coeffs: &HardwareCoeffs,
+) -> u64 {
+    let per_node: u64 = tasks
+        .iter()
+        .map(|t| layer_cycles(t, params, n, coeffs).bottleneck())
+        .sum();
+    per_node * num_nodes as u64
+}
+
+/// Converts a cycle count to seconds at the configured clock.
+#[must_use]
+pub fn cycles_to_seconds(cycles: u64, coeffs: &HardwareCoeffs) -> f64 {
+    cycles as f64 / coeffs.clock_hz
+}
+
+/// The paper's worked example: a GS-Pool aggregation layer with `S`
+/// sampled neighbors through an `N × M` pool weight, plus the `S·N`
+/// max-pooling MACs on the VPU.
+#[must_use]
+pub fn gs_pool_aggregation_task(s: usize, n_out: usize, m_in: usize) -> LayerTask {
+    LayerTask {
+        matvecs: vec![MatvecCount {
+            count_per_node: s as f64,
+            out_dim: n_out,
+            in_dim: m_in,
+        }],
+        vpu_macs_per_node: (s * n_out) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn zc706() -> HardwareCoeffs {
+        HardwareCoeffs::zc706()
+    }
+
+    /// Hand-evaluated Eqs. 3–6 for Cora layer 1 (GS-Pool, n = 128,
+    /// M = 1433, N = 512, S = 25) under Table V's CR configuration.
+    #[test]
+    fn matches_hand_computed_paper_example() {
+        let task = gs_pool_aggregation_task(25, 512, 1433);
+        let params = CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 };
+        let cy = layer_cycles(&task, &params, 128, &zc706());
+        // q = ceil(1433/128) = 12, p = 4.
+        assert_eq!(cy.fft, 484 * 17); // ceil(25*12/18) = 17
+        assert_eq!(cy.mac, 25 * 2 * 1 * 128); // ceil(12/6)=2, ceil(4/4)=1
+        assert_eq!(cy.ifft, 484 * 15); // ceil(25*4/7) = 15
+        assert_eq!(cy.vpu, 800); // ceil(25*512/16)
+        assert_eq!(cy.bottleneck(), 484 * 17);
+    }
+
+    #[test]
+    fn total_cycles_scales_with_nodes() {
+        let task = gs_pool_aggregation_task(25, 512, 512);
+        let params = CirCoreParams::base();
+        let one = total_cycles(std::slice::from_ref(&task), 1, &params, 128, &zc706());
+        let many = total_cycles(&[task], 2708, &params, 128, &zc706());
+        assert_eq!(many, one * 2708);
+    }
+
+    #[test]
+    fn more_channels_never_slow_the_fft_stage() {
+        let task = gs_pool_aggregation_task(25, 512, 1433);
+        let coeffs = zc706();
+        let mut prev = u64::MAX;
+        for x in 1..32 {
+            let params = CirCoreParams { x, y: 8, r: 4, c: 4, l: 1, m: 1 };
+            let cy = layer_cycles(&task, &params, 128, &coeffs);
+            assert!(cy.fft <= prev, "fft cycles increased at x={x}");
+            prev = cy.fft;
+        }
+    }
+
+    #[test]
+    fn empty_task_is_vpu_only() {
+        let task = LayerTask { matvecs: vec![], vpu_macs_per_node: 1024.0 };
+        let cy = layer_cycles(&task, &CirCoreParams::base(), 128, &zc706());
+        assert_eq!(cy.fft, 0);
+        assert_eq!(cy.mac, 0);
+        assert_eq!(cy.ifft, 0);
+        assert_eq!(cy.vpu, 64);
+        assert_eq!(cy.bottleneck(), 64);
+    }
+
+    #[test]
+    fn seconds_conversion_uses_100mhz() {
+        assert_eq!(cycles_to_seconds(100_000_000, &zc706()), 1.0);
+    }
+
+    #[test]
+    fn rfft_mode_roughly_halves_fft_bound_layers() {
+        // §V: "By using RFFT and IRFFT, the total computation can be
+        // greatly reduced" — for an FFT-bound GS-Pool layer the
+        // bottleneck should drop by ~1.7-2x.
+        let task = gs_pool_aggregation_task(25, 512, 1433);
+        let params = CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 };
+        let complex = layer_cycles_with_mode(&task, &params, 128, &zc706(), FftMode::Complex);
+        let real = layer_cycles_with_mode(&task, &params, 128, &zc706(), FftMode::Real);
+        let ratio = complex.bottleneck() as f64 / real.bottleneck() as f64;
+        assert!(
+            (1.5..2.2).contains(&ratio),
+            "rfft bottleneck ratio {ratio:.2} (complex {} vs real {})",
+            complex.bottleneck(),
+            real.bottleneck()
+        );
+        // MAC work also shrinks (n -> n/2 + 1 bins).
+        assert!(real.mac < complex.mac);
+    }
+
+    #[test]
+    fn fft_mode_accounting() {
+        let coeffs = zc706();
+        assert_eq!(FftMode::Complex.spectral_bins(128), 128);
+        assert_eq!(FftMode::Real.spectral_bins(128), 65);
+        assert_eq!(FftMode::Complex.frame_cycles(128, &coeffs), 484);
+        // RFFT frame: alpha(64) + 64 = 228 + 64 = 292.
+        assert_eq!(FftMode::Real.frame_cycles(128, &coeffs), 292);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bottleneck_bounds_every_stage(
+            s in 1usize..40,
+            m_in in 64usize..2048,
+            x in 1usize..24,
+            y in 1usize..24,
+            r in 1usize..8,
+            c in 1usize..8,
+        ) {
+            let task = gs_pool_aggregation_task(s, 512, m_in);
+            let params = CirCoreParams { x, y, r, c, l: 1, m: 1 };
+            let cy = layer_cycles(&task, &params, 128, &zc706());
+            prop_assert!(cy.bottleneck() >= cy.fft);
+            prop_assert!(cy.bottleneck() >= cy.mac);
+            prop_assert!(cy.bottleneck() >= cy.ifft);
+            prop_assert!(cy.bottleneck() >= cy.vpu);
+        }
+
+        #[test]
+        fn prop_smaller_blocks_do_not_break_model(logn in 1u32..8) {
+            let n = 1usize << logn;
+            let task = gs_pool_aggregation_task(10, 512, 512);
+            let cy = layer_cycles(&task, &CirCoreParams::base(), n.max(2), &zc706());
+            prop_assert!(cy.bottleneck() > 0);
+        }
+    }
+}

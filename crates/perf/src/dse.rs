@@ -1,0 +1,214 @@
+//! Exhaustive design-space exploration under the DSP constraint (Eq. 8).
+//!
+//! "Given a GNN model and input graph, we can traversal search all of the
+//! legal configurations and choose the optimal parameters with the
+//! minimal cycle_total" (§III-D). The space is small enough for brute
+//! force; we additionally parallelize over the systolic-array shapes with
+//! scoped threads, which brings the full Table V sweep to milliseconds.
+
+use crate::coeffs::HardwareCoeffs;
+use crate::cycles::{total_cycles, LayerTask};
+use crate::params::CirCoreParams;
+use parking_lot::Mutex;
+
+/// The outcome of a design-space search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseResult {
+    /// The winning configuration.
+    pub params: CirCoreParams,
+    /// Its total cycle estimate (Eq. 7).
+    pub cycles: u64,
+    /// Number of feasible configurations examined.
+    pub explored: usize,
+}
+
+/// Searches every feasible `{x, y, r, c, l, m}` and returns the
+/// configuration minimizing [`total_cycles`]. Ties break toward lower
+/// DSP usage, then lexicographically smaller parameters, making the
+/// result deterministic.
+///
+/// # Panics
+///
+/// Panics if `tasks` is empty or no feasible configuration exists.
+#[must_use]
+pub fn search_optimal(
+    tasks: &[LayerTask],
+    num_nodes: usize,
+    n: usize,
+    coeffs: &HardwareCoeffs,
+) -> DseResult {
+    assert!(!tasks.is_empty(), "design-space search needs at least one layer task");
+    let budget = coeffs.total_dsps;
+    let beta = coeffs.beta(n);
+
+    // Enumerate systolic shapes and VPU lanes first; the FFT/IFFT split
+    // is scanned within whatever DSP budget remains.
+    let mut shape_space = Vec::new();
+    let mut l = 1usize;
+    while coeffs.gamma(l) <= budget {
+        for r in 1..=64usize {
+            for c in 1..=64usize {
+                let pe_cost = r * c * coeffs.gamma(l);
+                if pe_cost + beta * 2 + coeffs.eta_dsp_per_lane > budget {
+                    continue;
+                }
+                let max_m = (budget - pe_cost - beta * 2) / coeffs.eta_dsp_per_lane;
+                for m in 1..=max_m {
+                    shape_space.push((r, c, l, m));
+                }
+            }
+        }
+        l *= 2;
+    }
+
+    let best: Mutex<Option<(u64, usize, CirCoreParams)>> = Mutex::new(None);
+    let explored = Mutex::new(0usize);
+    let chunk = shape_space.len().div_ceil(8).max(1);
+    crossbeam::thread::scope(|scope| {
+        for shapes in shape_space.chunks(chunk) {
+            let (best, explored) = (&best, &explored);
+            scope.spawn(move |_| {
+                let mut local_best: Option<(u64, usize, CirCoreParams)> = None;
+                let mut local_explored = 0usize;
+                for &(r, c, l, m) in shapes {
+                    let fixed = r * c * coeffs.gamma(l) + m * coeffs.eta_dsp_per_lane;
+                    let channel_budget = (budget - fixed) / beta;
+                    if channel_budget < 2 {
+                        continue;
+                    }
+                    // Using the full channel budget is never worse for the
+                    // bottleneck, so only the x/y split is scanned.
+                    for x in 1..channel_budget {
+                        let y = channel_budget - x;
+                        let params = CirCoreParams { x, y, r, c, l, m };
+                        debug_assert!(params.is_feasible(n, coeffs));
+                        let cycles = total_cycles(tasks, num_nodes, &params, n, coeffs);
+                        local_explored += 1;
+                        let dsp = params.dsp_usage(n, coeffs);
+                        let candidate = (cycles, dsp, params);
+                        let better = match &local_best {
+                            None => true,
+                            Some(cur) => {
+                                (candidate.0, candidate.1, key(&candidate.2))
+                                    < (cur.0, cur.1, key(&cur.2))
+                            }
+                        };
+                        if better {
+                            local_best = Some(candidate);
+                        }
+                    }
+                }
+                *explored.lock() += local_explored;
+                let mut guard = best.lock();
+                let better = match (&*guard, &local_best) {
+                    (_, None) => false,
+                    (None, Some(_)) => true,
+                    (Some(cur), Some(cand)) => {
+                        (cand.0, cand.1, key(&cand.2)) < (cur.0, cur.1, key(&cur.2))
+                    }
+                };
+                if better {
+                    *guard = local_best;
+                }
+            });
+        }
+    })
+    .expect("dse worker threads do not panic");
+
+    let (cycles, _, params) =
+        best.into_inner().expect("at least one feasible configuration exists");
+    DseResult { params, cycles, explored: explored.into_inner() }
+}
+
+fn key(p: &CirCoreParams) -> (usize, usize, usize, usize, usize, usize) {
+    (p.x, p.y, p.r, p.c, p.l, p.m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::gs_pool_aggregation_task;
+
+    fn zc706() -> HardwareCoeffs {
+        HardwareCoeffs::zc706()
+    }
+
+    fn gs_pool_tasks(feature_dim: usize) -> Vec<LayerTask> {
+        // K = 2 layers, hidden 512, S = (25, 10) — the Table V setup.
+        vec![
+            gs_pool_aggregation_task(25, 512, feature_dim),
+            gs_pool_aggregation_task(10, 512, 512),
+        ]
+    }
+
+    #[test]
+    fn search_beats_the_base_configuration() {
+        let coeffs = zc706();
+        for feat in [1433usize, 3703, 500, 602] {
+            let tasks = gs_pool_tasks(feat);
+            let best = search_optimal(&tasks, 2708, 128, &coeffs);
+            let base = total_cycles(&tasks, 2708, &CirCoreParams::base(), 128, &coeffs);
+            assert!(
+                best.cycles <= base,
+                "DSE must not lose to the fixed base config (feat={feat})"
+            );
+            assert!(best.params.is_feasible(128, &coeffs));
+        }
+    }
+
+    #[test]
+    fn optimum_reproduces_table5_signature() {
+        // Table V's headline finding: for GS-Pool at n=128 the FFT/IFFT
+        // stages are the bottleneck, so the optimizer pours DSPs into
+        // channels (large x+y) and never buys extra VPU lanes (m = 1).
+        // Our re-derived α(n) admits near-tie single-PE/l>1 MAC arrays
+        // the paper's search did not report, so `l` itself is not pinned;
+        // the DSP mass spent on the MAC stage stays small either way.
+        let coeffs = zc706();
+        for feat in [1433usize, 3703, 500, 602] {
+            let best = search_optimal(&gs_pool_tasks(feat), 10_000, 128, &coeffs);
+            assert_eq!(best.params.m, 1, "feat={feat}: m must stay 1");
+            assert!(
+                best.params.x + best.params.y > 20,
+                "feat={feat}: optimizer should buy many FFT/IFFT channels, got {}",
+                best.params
+            );
+            let mac_dsp = best.params.r * best.params.c * coeffs.gamma(best.params.l);
+            assert!(
+                mac_dsp <= 448,
+                "feat={feat}: MAC stage got {mac_dsp} DSPs, should stay the minority"
+            );
+            // And it must beat the paper's own reported configuration
+            // under the same model, or at least tie it.
+            let paper = CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 };
+            let paper_cycles = total_cycles(&gs_pool_tasks(feat), 10_000, &paper, 128, &coeffs);
+            assert!(best.cycles <= paper_cycles);
+        }
+    }
+
+    #[test]
+    fn cora_optimum_is_near_paper_cycle_count() {
+        // Paper Table V reports 24.9M cycles for Cora; our re-derived
+        // model lands in the same few-tens-of-millions band.
+        let best = search_optimal(&gs_pool_tasks(1433), 2708, 128, &zc706());
+        assert!(
+            (10_000_000..60_000_000).contains(&best.cycles),
+            "Cora GS-Pool cycles {} out of expected band",
+            best.cycles
+        );
+    }
+
+    #[test]
+    fn explores_a_nontrivial_space() {
+        let best = search_optimal(&gs_pool_tasks(500), 1000, 128, &zc706());
+        assert!(best.explored > 10_000, "only {} configs explored", best.explored);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = search_optimal(&gs_pool_tasks(1433), 2708, 128, &zc706());
+        let b = search_optimal(&gs_pool_tasks(1433), 2708, 128, &zc706());
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}

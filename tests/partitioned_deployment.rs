@@ -1,0 +1,104 @@
+//! The §IV-C deployment flow end-to-end: a graph too large for DRAM is
+//! partitioned, each part's batch is processed with sampled two-hop
+//! inference, and the per-part latency comes from the accelerator's
+//! cycle model — partition + sampling + hardware in one pipeline.
+
+use blockgnn::accel::BlockGnnAccelerator;
+use blockgnn::gnn::sampled::{sampled_forward, SampledSubgraph};
+use blockgnn::gnn::workload::GnnWorkload;
+use blockgnn::gnn::{build_model, Compression, ModelKind};
+use blockgnn::graph::partition::{partition_contiguous, parts_needed_for_budget};
+use blockgnn::graph::{Dataset, DatasetSpec};
+use blockgnn::perf::coeffs::HardwareCoeffs;
+use blockgnn::perf::params::CirCoreParams;
+
+fn deployment() -> Dataset {
+    let spec = DatasetSpec::new("deploy", 400, 2_400, 32, 4);
+    Dataset::synthesize(&spec, 0.8, 2.0, 77)
+}
+
+#[test]
+fn partitioned_sampled_inference_covers_every_node() {
+    let ds = deployment();
+    // A DRAM budget that forces a split (full features: 400*32*4 = 51 KB;
+    // give ~60% of that).
+    let budget = 31_000;
+    let k = parts_needed_for_budget(&ds.graph, ds.feature_dim(), budget)
+        .expect("budget is feasible");
+    assert!(k >= 2, "budget must force a multi-part split, got k={k}");
+    let parts = partition_contiguous(&ds.graph, k);
+    for part in &parts {
+        assert!(
+            part.feature_bytes(ds.feature_dim()) <= budget,
+            "part exceeds the DRAM budget"
+        );
+    }
+
+    let mut model = build_model(
+        ModelKind::Gcn,
+        ds.feature_dim(),
+        16,
+        ds.num_classes,
+        Compression::BlockCirculant { block_size: 8 },
+        5,
+    )
+    .unwrap();
+
+    // Process each part's nodes as a sampled batch; every node must
+    // receive exactly one prediction row.
+    let mut covered = vec![false; ds.num_nodes()];
+    for part in &parts {
+        let batch: Vec<usize> = part.nodes.iter().map(|&v| v as usize).collect();
+        let logits =
+            sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 10, 5, 3);
+        assert_eq!(logits.rows(), batch.len());
+        for &v in &batch {
+            assert!(!covered[v], "node {v} predicted twice");
+            covered[v] = true;
+        }
+    }
+    assert!(covered.iter().all(|&c| c), "every node must be covered");
+}
+
+#[test]
+fn per_part_latency_sums_to_whole_graph_latency() {
+    // The cycle model is per-node linear (Eq. 7), so partitioned
+    // execution costs exactly the unpartitioned total — the property
+    // that makes the paper's two-way Reddit split performance-neutral.
+    let ds = deployment();
+    let accel = BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
+    let spec = ds.spec();
+    let whole = accel.simulate_workload(&GnnWorkload::new(ModelKind::GsPool, &spec, 64, &[10, 5]), 16);
+
+    let parts = partition_contiguous(&ds.graph, 2);
+    let mut parts_total = 0u64;
+    for part in &parts {
+        let mut part_spec = spec.clone();
+        part_spec.num_nodes = part.nodes.len();
+        let report = accel.simulate_workload(
+            &GnnWorkload::new(ModelKind::GsPool, &part_spec, 64, &[10, 5]),
+            16,
+        );
+        parts_total += report.total_cycles;
+    }
+    assert_eq!(parts_total, whole.total_cycles);
+}
+
+#[test]
+fn sampled_subgraph_respects_part_feature_budget() {
+    // The resident set for a part's sampled batch (batch + 2-hop sampled
+    // universe) stays within a small multiple of the fan-out bound.
+    let ds = deployment();
+    let parts = partition_contiguous(&ds.graph, 4);
+    let (s1, s2) = (5usize, 3usize);
+    for part in &parts {
+        let batch: Vec<usize> = part.nodes.iter().map(|&v| v as usize).collect();
+        let sub = SampledSubgraph::build(&ds.graph, &batch, s1, s2, 1);
+        let bound = batch.len() * (1 + s1 + s1 * s2);
+        assert!(
+            sub.local_to_global.len() <= bound,
+            "sampled universe {} exceeds the fan-out bound {bound}",
+            sub.local_to_global.len()
+        );
+    }
+}
