@@ -132,9 +132,8 @@ mod tests {
     fn pipelining_makes_batches_cheaper_than_singles() {
         let (mut a, _) = unit(64, 64, 16);
         let (mut b, _) = unit(64, 64, 16);
-        let xs: Vec<Vec<f64>> = (0..10)
-            .map(|k| (0..64).map(|i| ((i + k) as f64 * 0.1).cos()).collect())
-            .collect();
+        let xs: Vec<Vec<f64>> =
+            (0..10).map(|k| (0..64).map(|i| ((i + k) as f64 * 0.1).cos()).collect()).collect();
         let _ = a.execute_batch(&xs);
         for x in &xs {
             let _ = b.execute(x);
@@ -161,9 +160,7 @@ mod tests {
     #[test]
     fn rejects_non_power_of_two_blocks() {
         let w = BlockCirculantMatrix::random(9, 9, 3, 0).unwrap();
-        assert!(
-            CirCoreUnit::new(CirCoreParams::base(), HardwareCoeffs::zc706(), &w).is_err()
-        );
+        assert!(CirCoreUnit::new(CirCoreParams::base(), HardwareCoeffs::zc706(), &w).is_err());
     }
 
     #[test]

@@ -83,7 +83,13 @@ impl CommandProcessor {
     /// Wraps an accelerator in a command interface.
     #[must_use]
     pub fn new(accel: BlockGnnAccelerator) -> Self {
-        Self { accel, fifo: VecDeque::new(), slots: HashMap::new(), active_slot: None, executed: 0 }
+        Self {
+            accel,
+            fifo: VecDeque::new(),
+            slots: HashMap::new(),
+            active_slot: None,
+            executed: 0,
+        }
     }
 
     /// Enqueues a command (the host writing into the Cmd FIFO).
@@ -101,10 +107,7 @@ impl CommandProcessor {
     /// Buffer must hold to keep the whole model resident).
     #[must_use]
     pub fn resident_weight_bytes(&self) -> usize {
-        self.slots
-            .values()
-            .map(|w| w.grid_rows() * w.grid_cols() * w.block_size() * 8)
-            .sum()
+        self.slots.values().map(BlockCirculantMatrix::spectral_weight_bytes).sum()
     }
 
     /// Executes every queued command in order, returning the batch
@@ -124,17 +127,14 @@ impl CommandProcessor {
                 Command::LoadWeights { slot, weights } => {
                     // Whole-model residency: the new slot must fit next
                     // to everything already loaded.
-                    let incoming =
-                        weights.grid_rows() * weights.grid_cols() * weights.block_size() * 8;
+                    let incoming = weights.spectral_weight_bytes();
                     let others: usize = self
                         .slots
                         .iter()
                         .filter(|(s, _)| **s != slot)
-                        .map(|(_, w)| w.grid_rows() * w.grid_cols() * w.block_size() * 8)
+                        .map(|(_, w)| w.spectral_weight_bytes())
                         .sum();
-                    if others + incoming
-                        > blockgnn_perf::resources::WEIGHT_BUFFER_BYTES
-                    {
+                    if others + incoming > blockgnn_perf::resources::WEIGHT_BUFFER_BYTES {
                         return Err(CommandError {
                             index,
                             source: AccelError::WeightBufferOverflow {
@@ -150,10 +150,10 @@ impl CommandProcessor {
                     }
                 }
                 Command::SelectWeights { slot } => {
-                    let weights = self.slots.get(&slot).ok_or(CommandError {
-                        index,
-                        source: AccelError::NoWeightsLoaded,
-                    })?;
+                    let weights = self
+                        .slots
+                        .get(&slot)
+                        .ok_or(CommandError { index, source: AccelError::NoWeightsLoaded })?;
                     self.accel
                         .load_weights(weights)
                         .map_err(|source| CommandError { index, source })?;
@@ -215,9 +215,17 @@ mod tests {
         proc.push(Command::LoadWeights { slot: 0, weights: w1.clone() });
         proc.push(Command::LoadWeights { slot: 1, weights: w2.clone() });
         proc.push(Command::SelectWeights { slot: 0 });
-        proc.push(Command::ProcessBatch { tag: 100, features: batch(3, 24), post: PostOp::Relu });
+        proc.push(Command::ProcessBatch {
+            tag: 100,
+            features: batch(3, 24),
+            post: PostOp::Relu,
+        });
         proc.push(Command::SelectWeights { slot: 1 });
-        proc.push(Command::ProcessBatch { tag: 200, features: batch(2, 32), post: PostOp::None });
+        proc.push(Command::ProcessBatch {
+            tag: 200,
+            features: batch(2, 32),
+            post: PostOp::None,
+        });
         let completions = proc.run().unwrap();
         assert_eq!(completions.len(), 2);
         assert_eq!(completions[0].tag, 100);

@@ -79,9 +79,8 @@ mod tests {
     fn model_ordering_follows_flop_counts() {
         let cpu = CpuModel::xeon_gold_5220();
         let spec = datasets::reddit_like();
-        let t = |k: ModelKind| {
-            cpu.simulate_workload(&GnnWorkload::new(k, &spec, 512, &[25, 10]))
-        };
+        let t =
+            |k: ModelKind| cpu.simulate_workload(&GnnWorkload::new(k, &spec, 512, &[25, 10]));
         let (gcn, gsp, ggcn, gat) =
             (t(ModelKind::Gcn), t(ModelKind::GsPool), t(ModelKind::Ggcn), t(ModelKind::Gat));
         assert!(ggcn > gsp && gsp > gcn, "ordering: ggcn {ggcn} gsp {gsp} gcn {gcn}");

@@ -68,21 +68,18 @@ impl HyGcnModel {
             .chain(&layer.comb.matvecs)
             .map(|mv| mv.per_node * mv.out_dim as f64 * mv.in_dim as f64)
             .sum();
-        let vector_macs =
-            layer.agg.vector_macs_per_node + layer.comb.vector_macs_per_node;
+        let vector_macs = layer.agg.vector_macs_per_node + layer.comb.vector_macs_per_node;
         let systolic = (dense_macs / self.systolic_macs_per_cycle()).ceil() as u64;
         let simd = (vector_macs / self.simd_macs_per_cycle()).ceil() as u64;
         let compute = systolic.max(simd);
-        let bytes = (layer.agg.input_floats_per_node + layer.comb.input_floats_per_node)
-            * 4.0;
+        let bytes = (layer.agg.input_floats_per_node + layer.comb.input_floats_per_node) * 4.0;
         self.dram.overlapped_cycles(compute, bytes)
     }
 
     /// End-to-end seconds for a workload.
     #[must_use]
     pub fn simulate_workload(&self, workload: &GnnWorkload) -> f64 {
-        let per_node: u64 =
-            workload.layers.iter().map(|l| self.layer_cycles_per_node(l)).sum();
+        let per_node: u64 = workload.layers.iter().map(|l| self.layer_cycles_per_node(l)).sum();
         (per_node * workload.num_nodes as u64) as f64 / self.clock_hz
     }
 }

@@ -41,9 +41,9 @@ pub mod system;
 pub mod vpu;
 
 pub use buffer::{DramModel, GlobalBuffer};
-pub use command::{Command, CommandProcessor, Completion};
 pub use circore::CirCoreUnit;
+pub use command::{Command, CommandProcessor, Completion};
 pub use cpu::CpuModel;
 pub use hygcn::HyGcnModel;
-pub use system::{BlockGnnAccelerator, SimReport};
+pub use system::{AccelError, BlockGnnAccelerator, LayerReport, PostOp, SimReport};
 pub use vpu::Vpu;

@@ -156,8 +156,7 @@ impl BlockGnnAccelerator {
     /// [`AccelError::WeightBufferOverflow`] if the spectra do not fit;
     /// [`AccelError::BadWeights`] for non-power-of-two blocks.
     pub fn load_weights(&mut self, weights: &BlockCirculantMatrix) -> Result<(), AccelError> {
-        let n = weights.block_size();
-        let spectral_bytes = weights.grid_rows() * weights.grid_cols() * n * 8;
+        let spectral_bytes = weights.spectral_weight_bytes();
         if !self.buffer.model_fits(spectral_bytes) {
             return Err(AccelError::WeightBufferOverflow { needed: spectral_bytes });
         }
@@ -208,8 +207,7 @@ impl BlockGnnAccelerator {
             Some(c) => c.cycles().max(self.vpu.cycles()),
             None => self.vpu.cycles(),
         };
-        self.dram
-            .overlapped_cycles(compute, self.buffer.feature_bytes_used() as f64)
+        self.dram.overlapped_cycles(compute, self.buffer.feature_bytes_used() as f64)
     }
 
     // ------------------------------------------------------------------
@@ -234,8 +232,7 @@ impl BlockGnnAccelerator {
             .collect();
         LayerTask {
             matvecs,
-            vpu_macs_per_node: layer.agg.vector_macs_per_node
-                + layer.comb.vector_macs_per_node,
+            vpu_macs_per_node: layer.agg.vector_macs_per_node + layer.comb.vector_macs_per_node,
         }
     }
 

@@ -4,7 +4,9 @@
 //! baseline against Algorithm 1 across the paper's block sizes on the
 //! 512×512 layer shape.
 
-use blockgnn_core::{BlockCirculantMatrix, FixedSpectralBlockCirculant, SpectralBlockCirculant};
+use blockgnn_core::{
+    BlockCirculantMatrix, FixedSpectralBlockCirculant, SpectralBlockCirculant,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

@@ -11,10 +11,8 @@ use std::time::Duration;
 
 fn bench_full_search(c: &mut Criterion) {
     let coeffs = HardwareCoeffs::zc706();
-    let tasks = vec![
-        gs_pool_aggregation_task(25, 512, 1433),
-        gs_pool_aggregation_task(10, 512, 512),
-    ];
+    let tasks =
+        vec![gs_pool_aggregation_task(25, 512, 1433), gs_pool_aggregation_task(10, 512, 512)];
     let mut group = c.benchmark_group("dse");
     group.sample_size(10);
     group.bench_function("gs_pool_cora_full_space", |b| {

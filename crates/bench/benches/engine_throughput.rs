@@ -1,0 +1,62 @@
+//! Serving-engine throughput: `Session::infer` across the three
+//! execution backends at micro-batch sizes {1, 16, 256} — the baseline
+//! later batching/sharding work is measured against.
+//!
+//! Requests are sampled two-hop micro-batches (the serving-time workload
+//! shape); full-graph requests are excluded because the engine answers
+//! them from cache after the first call.
+
+use blockgnn_engine::{BackendKind, Engine, EngineBuilder, InferRequest};
+use blockgnn_gnn::ModelKind;
+use blockgnn_graph::{datasets, Dataset};
+use blockgnn_nn::Compression;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn engine_on(backend: BackendKind, dataset: &Arc<Dataset>) -> Engine {
+    EngineBuilder::new(ModelKind::Gcn, backend)
+        .hidden_dim(32)
+        .compression(Compression::BlockCirculant { block_size: 16 })
+        .seed(3)
+        .build(Arc::clone(dataset))
+        .expect("engine builds")
+}
+
+fn bench_session_infer(c: &mut Criterion) {
+    let dataset = Arc::new(datasets::cora_like_small(3));
+    let num_nodes = dataset.num_nodes();
+    for backend in BackendKind::all() {
+        let mut engine = engine_on(backend, &dataset);
+        let mut group = c.benchmark_group(format!("session_infer_{backend}"));
+        group.sample_size(10);
+        for batch_size in [1usize, 16, 256] {
+            let nodes: Vec<usize> = (0..batch_size).map(|i| (i * 131) % num_nodes).collect();
+            group.bench_with_input(
+                BenchmarkId::from_parameter(batch_size),
+                &nodes,
+                |b, nodes| {
+                    let mut session = engine.session();
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let request = InferRequest::sampled(nodes.clone(), 10, 5, seed);
+                        black_box(session.infer(&request).expect("request serves"))
+                    });
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_session_infer
+}
+criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! FFT substrate benchmarks: the O(n log n) engine behind every
 //! block-circulant product (underpins the TCR column of Table III).
 
-use blockgnn_fft::{Complex, FftPlan, FixedFftPlan, RealFftPlan};
 use blockgnn_fft::fixed_fft::FixedComplex;
+use blockgnn_fft::{Complex, FftPlan, FixedFftPlan, RealFftPlan};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;

@@ -58,11 +58,8 @@ pub fn spectral_accumulation(dim: usize, n: usize, iters: usize) -> SpectralAccu
     }
     let per_block_seconds = t1.elapsed().as_secs_f64();
 
-    let max_divergence = opt_out
-        .iter()
-        .zip(&blk_out)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0, f64::max);
+    let max_divergence =
+        opt_out.iter().zip(&blk_out).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
 
     SpectralAccumReport {
         ifft_optimized: s.ifft_count_optimized(),
@@ -149,9 +146,7 @@ impl RfftHardwareProjection {
 #[must_use]
 pub fn rfft_hardware_projection() -> RfftHardwareProjection {
     use blockgnn_perf::coeffs::HardwareCoeffs;
-    use blockgnn_perf::cycles::{
-        gs_pool_aggregation_task, layer_cycles_with_mode, FftMode,
-    };
+    use blockgnn_perf::cycles::{gs_pool_aggregation_task, layer_cycles_with_mode, FftMode};
     use blockgnn_perf::params::CirCoreParams;
 
     let coeffs = HardwareCoeffs::zc706();

@@ -13,7 +13,9 @@
 //! repro all [--quick]     # everything above in paper order
 //! ```
 
-use blockgnn_bench::{ablation, fig6, fig7, quantization, table2, table3, table4, table5, table6};
+use blockgnn_bench::{
+    ablation, fig6, fig7, quantization, table2, table3, table4, table5, table6,
+};
 use blockgnn_gnn::ModelKind;
 
 fn main() {
@@ -61,19 +63,29 @@ fn main() {
 }
 
 fn run_table3(quick: bool) {
-    let config = if quick { table3::Table3Config::quick() } else { table3::Table3Config::default() };
+    let config =
+        if quick { table3::Table3Config::quick() } else { table3::Table3Config::default() };
     print!("{}", table3::render(&table3::run(&config)));
 }
 
 fn run_quantization(quick: bool) {
     let (hidden, epochs) = if quick { (32, 30) } else { (64, 80) };
-    print!("{}", quantization::render(&quantization::gcn_fixed_point_accuracy(16, hidden, epochs, 7)));
+    print!(
+        "{}",
+        quantization::render(&quantization::gcn_fixed_point_accuracy(16, hidden, epochs, 7))
+    );
 }
 
 fn run_ablations(quick: bool) {
     let (dim, iters, epochs) = if quick { (256, 5, 25) } else { (512, 50, 80) };
     let accum = ablation::spectral_accumulation(dim, 64, iters);
     let rfft = ablation::rfft_comparison(dim, 64, iters);
-    let agg = ablation::aggregator_only(ModelKind::GsPool, 32, if quick { 32 } else { 64 }, epochs, 7);
+    let agg = ablation::aggregator_only(
+        ModelKind::GsPool,
+        32,
+        if quick { 32 } else { 64 },
+        epochs,
+        7,
+    );
     print!("{}", ablation::render(&accum, &rfft, &agg));
 }

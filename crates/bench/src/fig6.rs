@@ -76,8 +76,7 @@ pub fn run() -> Vec<Fig6Entry> {
             let workload = GnnWorkload::new(model, &spec, 512, &[25, 10]);
             let tasks: Vec<_> =
                 workload.layers.iter().map(BlockGnnAccelerator::layer_task).collect();
-            let dse =
-                search_optimal(&tasks, spec.num_nodes, DEPLOY_BLOCK_SIZE, &coeffs);
+            let dse = search_optimal(&tasks, spec.num_nodes, DEPLOY_BLOCK_SIZE, &coeffs);
             let opt_accel = BlockGnnAccelerator::new(dse.params, coeffs.clone());
             entries.push(Fig6Entry {
                 model,
@@ -88,9 +87,7 @@ pub fn run() -> Vec<Fig6Entry> {
                 base_seconds: base_accel
                     .simulate_workload(&workload, DEPLOY_BLOCK_SIZE)
                     .seconds,
-                opt_seconds: opt_accel
-                    .simulate_workload(&workload, DEPLOY_BLOCK_SIZE)
-                    .seconds,
+                opt_seconds: opt_accel.simulate_workload(&workload, DEPLOY_BLOCK_SIZE).seconds,
                 opt_params: dse.params,
             });
         }
@@ -101,12 +98,9 @@ pub fn run() -> Vec<Fig6Entry> {
 /// Renders the sweep as a speedup table (bars of Figure 6 as numbers).
 #[must_use]
 pub fn render(entries: &[Fig6Entry]) -> String {
-    let mut out = String::from(
-        "=== Figure 6: speedup normalized to CPU (higher is better) ===\n\n",
-    );
-    out.push_str(
-        "Model    Dataset        | base   | opt    | CPU  | HyGCN | opt cfg\n",
-    );
+    let mut out =
+        String::from("=== Figure 6: speedup normalized to CPU (higher is better) ===\n\n");
+    out.push_str("Model    Dataset        | base   | opt    | CPU  | HyGCN | opt cfg\n");
     out.push_str(
         "-------- ---------------+--------+--------+------+-------+--------------------\n",
     );
@@ -123,12 +117,9 @@ pub fn render(entries: &[Fig6Entry]) -> String {
     }
     let avg_cpu: f64 =
         entries.iter().map(Fig6Entry::opt_speedup_vs_cpu).sum::<f64>() / entries.len() as f64;
-    let avg_hygcn: f64 = entries.iter().map(Fig6Entry::opt_speedup_vs_hygcn).sum::<f64>()
-        / entries.len() as f64;
-    let max_hygcn = entries
-        .iter()
-        .map(Fig6Entry::opt_speedup_vs_hygcn)
-        .fold(0.0f64, f64::max);
+    let avg_hygcn: f64 =
+        entries.iter().map(Fig6Entry::opt_speedup_vs_hygcn).sum::<f64>() / entries.len() as f64;
+    let max_hygcn = entries.iter().map(Fig6Entry::opt_speedup_vs_hygcn).fold(0.0f64, f64::max);
     out.push_str(&format!(
         "\nBlockGNN-opt average speedup: {avg_cpu:.1}x vs CPU (paper: 2.3x), \
          {avg_hygcn:.1}x vs HyGCN (paper: 4.2x), max {max_hygcn:.1}x vs HyGCN \
@@ -204,15 +195,9 @@ mod tests {
         let es = entries();
         let max = es
             .iter()
-            .max_by(|a, b| {
-                a.opt_speedup_vs_hygcn().total_cmp(&b.opt_speedup_vs_hygcn())
-            })
+            .max_by(|a, b| a.opt_speedup_vs_hygcn().total_cmp(&b.opt_speedup_vs_hygcn()))
             .unwrap();
-        assert!(
-            max.model.has_weighted_aggregation(),
-            "max win landed on {}",
-            max.model
-        );
+        assert!(max.model.has_weighted_aggregation(), "max win landed on {}", max.model);
         assert!(
             (4.0..16.0).contains(&max.opt_speedup_vs_hygcn()),
             "max speedup {:.1} (paper: 8.3)",
@@ -251,10 +236,7 @@ mod tests {
         };
         let gcn = avg(ModelKind::Gcn);
         for kind in [ModelKind::GsPool, ModelKind::Ggcn, ModelKind::Gat] {
-            assert!(
-                avg(kind) > gcn,
-                "{kind} average speedup should exceed GCN's {gcn:.2}"
-            );
+            assert!(avg(kind) > gcn, "{kind} average speedup should exceed GCN's {gcn:.2}");
         }
     }
 

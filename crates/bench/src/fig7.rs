@@ -76,9 +76,8 @@ pub fn render(entries: &[Fig7Entry]) -> String {
     }
     let ratios: Vec<f64> = entries.iter().map(Fig7Entry::energy_ratio).collect();
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    let (min, max) = ratios
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+    let (min, max) =
+        ratios.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
     out.push_str(&format!(
         "\nEnergy saving over CPU: {min:.1}x – {max:.1}x, average {avg:.1}x \
          (paper: 33.9x – 111.9x, average 68.9x).\n"
@@ -102,12 +101,7 @@ mod tests {
             "average energy saving {avg:.1} outside plausible band"
         );
         for (e, r) in entries.iter().zip(&ratios) {
-            assert!(
-                *r > 10.0,
-                "{} {}: saving {r:.1} implausibly low",
-                e.model,
-                e.dataset
-            );
+            assert!(*r > 10.0, "{} {}: saving {r:.1} implausibly low", e.model, e.dataset);
         }
     }
 

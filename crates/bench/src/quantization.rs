@@ -122,9 +122,7 @@ fn fixed_point_gcn_forward(model: &Gcn, dataset: &Dataset) -> Matrix {
     logits
 }
 
-fn export_circulant(
-    layer: &LinearLayer,
-) -> (blockgnn_core::BlockCirculantMatrix, Vec<f64>) {
+fn export_circulant(layer: &LinearLayer) -> (blockgnn_core::BlockCirculantMatrix, Vec<f64>) {
     match layer {
         LinearLayer::Circulant(c) => (c.to_block_circulant(), c.bias().to_vec()),
         LinearLayer::Dense(_) => {

@@ -21,7 +21,8 @@ pub fn run() -> Vec<ProfileRow> {
 /// Renders measured rows next to the paper's published values.
 #[must_use]
 pub fn render(rows: &[ProfileRow]) -> String {
-    let mut out = String::from("=== Table II: GNN profiling (Reddit, S=25, hidden 512) ===\n\n");
+    let mut out =
+        String::from("=== Table II: GNN profiling (Reddit, S=25, hidden 512) ===\n\n");
     out.push_str(&render_table2(rows));
     out.push_str("\nPaper-reported values for comparison:\n");
     for (name, agg, comb, agg_i, comb_i) in PAPER_TABLE2 {

@@ -153,10 +153,7 @@ mod tests {
         for ((kind, acc_dense), (_, acc_comp)) in
             dense.accuracies.iter().zip(&compressed.accuracies)
         {
-            assert!(
-                *acc_dense > 0.6,
-                "{kind}: dense baseline should learn, got {acc_dense}"
-            );
+            assert!(*acc_dense > 0.6, "{kind}: dense baseline should learn, got {acc_dense}");
             assert!(
                 acc_dense - acc_comp < 0.15,
                 "{kind}: compression cost too high ({acc_dense} -> {acc_comp})"

@@ -11,6 +11,7 @@ use blockgnn_perf::cycles::gs_pool_aggregation_task;
 use blockgnn_perf::dse::{search_optimal, DseResult};
 
 /// Paper's published Table V rows: `(dataset, x, y, r, c, l, m, Mcycles)`.
+#[allow(clippy::type_complexity)]
 pub const PAPER_TABLE5: [(&str, usize, usize, usize, usize, usize, usize, f64); 4] = [
     ("CR", 18, 7, 6, 4, 1, 1, 24.9),
     ("CS", 21, 4, 6, 4, 1, 1, 64.4),
@@ -47,11 +48,14 @@ pub fn run() -> Vec<Table5Row> {
 /// Renders searched rows next to the paper's.
 #[must_use]
 pub fn render(rows: &[Table5Row]) -> String {
-    let mut out = String::from(
-        "=== Table V: searched optimal parameters for GS-Pool (n=128) ===\n\n",
+    let mut out =
+        String::from("=== Table V: searched optimal parameters for GS-Pool (n=128) ===\n\n");
+    out.push_str(
+        "Dataset        | searched configuration        | Mcycles | paper config (Mcycles)\n",
     );
-    out.push_str("Dataset        | searched configuration        | Mcycles | paper config (Mcycles)\n");
-    out.push_str("---------------+-------------------------------+---------+-----------------------\n");
+    out.push_str(
+        "---------------+-------------------------------+---------+-----------------------\n",
+    );
     for (row, paper) in rows.iter().zip(PAPER_TABLE5) {
         out.push_str(&format!(
             "{:<14} | {:<29} | {:>7.1} | x={} y={} r={} c={} l={} m={} ({:.1})\n",
@@ -81,8 +85,7 @@ mod tests {
         // Same order of magnitude per dataset, same RD >> PB > CS > CR
         // ordering the paper shows.
         let rows = run();
-        let mcycles: Vec<f64> =
-            rows.iter().map(|r| r.result.cycles as f64 / 1e6).collect();
+        let mcycles: Vec<f64> = rows.iter().map(|r| r.result.cycles as f64 / 1e6).collect();
         for (m, paper) in mcycles.iter().zip(PAPER_TABLE5) {
             let ratio = m / paper.7;
             assert!(
@@ -116,7 +119,8 @@ mod tests {
                 l: paper.5,
                 m: paper.6,
             };
-            let paper_cycles = total_cycles(&tasks, spec.num_nodes, &paper_params, 128, &coeffs);
+            let paper_cycles =
+                total_cycles(&tasks, spec.num_nodes, &paper_params, 128, &coeffs);
             assert!(
                 row.result.cycles <= paper_cycles,
                 "{}: search found {} but paper config gives {paper_cycles}",

@@ -52,8 +52,12 @@ pub fn run() -> Vec<Table6Row> {
 pub fn render(rows: &[Table6Row]) -> String {
     let mut out = String::from("=== Table VI: FPGA resource utilization (GS-Pool) ===\n\n");
     out.push_str("Total: BRAM18K 1090 | DSP48 900 | FF 437200 | LUT 218600\n\n");
-    out.push_str("Dataset        |  BRAM  |  DSP   |   FF   |  LUT   | (paper: BRAM/DSP/FF/LUT)\n");
-    out.push_str("---------------+--------+--------+--------+--------+--------------------------\n");
+    out.push_str(
+        "Dataset        |  BRAM  |  DSP   |   FF   |  LUT   | (paper: BRAM/DSP/FF/LUT)\n",
+    );
+    out.push_str(
+        "---------------+--------+--------+--------+--------+--------------------------\n",
+    );
     for (row, paper) in rows.iter().zip(PAPER_TABLE6) {
         let (b, d, f, l) = row.utilization;
         out.push_str(&format!(

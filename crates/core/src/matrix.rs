@@ -336,6 +336,14 @@ impl BlockCirculantMatrix {
     pub fn stats(&self) -> CompressionStats {
         CompressionStats::for_matrix(self.out_dim, self.in_dim, self.block_size)
     }
+
+    /// On-chip footprint of this matrix's spectra in the accelerator's
+    /// Weight Buffer: one complex Q16.16 bin (8 bytes) per retained
+    /// frequency of every block.
+    #[must_use]
+    pub fn spectral_weight_bytes(&self) -> usize {
+        self.grid_rows() * self.grid_cols() * self.block_size() * 8
+    }
 }
 
 #[cfg(test)]
@@ -393,10 +401,7 @@ mod tests {
             let x: Vec<f64> = (0..cols).map(|i| (i as f64 * 0.3).sin()).collect();
             let fast = m.matvec_direct(&x);
             let slow = m.to_dense().matvec(&x);
-            assert!(
-                linf_distance(&fast, &slow) < 1e-10,
-                "mismatch at {rows}x{cols} n={n}"
-            );
+            assert!(linf_distance(&fast, &slow) < 1e-10, "mismatch at {rows}x{cols} n={n}");
         }
     }
 
@@ -419,10 +424,7 @@ mod tests {
         let t = m.transpose();
         assert_eq!(t.out_dim(), 6);
         assert_eq!(t.in_dim(), 10);
-        assert_eq!(
-            t.to_dense_padded().linf_distance(&m.to_dense_padded().transpose()),
-            0.0
-        );
+        assert_eq!(t.to_dense_padded().linf_distance(&m.to_dense_padded().transpose()), 0.0);
     }
 
     #[test]

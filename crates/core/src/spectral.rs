@@ -54,9 +54,8 @@ impl SpectralBlockCirculant {
         })?;
         let mut spectra = Vec::with_capacity(matrix.grid_rows() * matrix.grid_cols());
         for (_, _, block) in matrix.iter_blocks() {
-            let spec = plan
-                .forward_real(block.kernel())
-                .expect("kernel length equals plan length");
+            let spec =
+                plan.forward_real(block.kernel()).expect("kernel length equals plan length");
             spectra.push(spec);
         }
         Ok(Self {
@@ -315,7 +314,8 @@ mod tests {
 
     #[test]
     fn algorithm1_matches_direct_product() {
-        for (rows, cols, n) in [(8, 8, 4), (16, 8, 8), (10, 6, 4), (7, 129, 16), (128, 512, 128)]
+        for (rows, cols, n) in
+            [(8, 8, 4), (16, 8, 8), (10, 6, 4), (7, 129, 16), (128, 512, 128)]
         {
             let m = BlockCirculantMatrix::random(rows, cols, n, 13).unwrap();
             let s = SpectralBlockCirculant::new(&m).unwrap();

@@ -169,10 +169,7 @@ mod tests {
         // At the paper's layer shape (512x512) every block size wins.
         for n in [16usize, 32, 64, 128] {
             let s = CompressionStats::for_matrix(512, 512, n);
-            assert!(
-                s.spectral_ops() < 2 * s.dense_macs(),
-                "spectral should win at n={n}"
-            );
+            assert!(s.spectral_ops() < 2 * s.dense_macs(), "spectral should win at n={n}");
             assert!(s.measured_op_ratio() > 1.0);
         }
     }

@@ -1,0 +1,381 @@
+//! `EngineBuilder` → [`Engine`] → [`Session`]: the serving flow.
+
+use crate::backend::{
+    BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
+    SimulatedAccelBackend, SpectralBackend,
+};
+use crate::error::EngineError;
+use crate::request::{InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
+use crate::stats::ServeStats;
+use blockgnn_accel::SimReport;
+use blockgnn_gnn::sampled::SampledSubgraph;
+use blockgnn_gnn::{build_model_with_policy, CompressionPolicy, GnnModel, ModelKind};
+use blockgnn_graph::Dataset;
+use blockgnn_linalg::vector::argmax;
+use blockgnn_linalg::Matrix;
+use blockgnn_nn::{Compression, LinearLayer};
+use blockgnn_perf::coeffs::HardwareCoeffs;
+use blockgnn_perf::params::CirCoreParams;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Configures and constructs an [`Engine`].
+///
+/// ```
+/// use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
+/// use blockgnn_gnn::ModelKind;
+/// use blockgnn_graph::datasets;
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(datasets::cora_like_small(7));
+/// let mut engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Spectral)
+///     .hidden_dim(16)
+///     .build(dataset)
+///     .unwrap();
+/// let mut session = engine.session();
+/// let response = session.infer(&InferRequest::full_graph(vec![0, 1, 2])).unwrap();
+/// assert_eq!(response.predictions.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    model_kind: ModelKind,
+    backend: BackendKind,
+    hidden_dim: usize,
+    policy: CompressionPolicy,
+    seed: u64,
+    fanouts: (usize, usize),
+    circore: CirCoreParams,
+    coeffs: HardwareCoeffs,
+}
+
+impl EngineBuilder {
+    /// Starts a builder for `model_kind` served on `backend`. Defaults:
+    /// hidden width 32, uniform block-circulant compression with `n = 8`,
+    /// seed 42, the paper's sampling fan-outs, and the base CirCore
+    /// configuration on ZC706 coefficients.
+    #[must_use]
+    pub fn new(model_kind: ModelKind, backend: BackendKind) -> Self {
+        Self {
+            model_kind,
+            backend,
+            hidden_dim: 32,
+            policy: CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 8 }),
+            seed: 42,
+            fanouts: PAPER_FANOUTS,
+            circore: CirCoreParams::base(),
+            coeffs: HardwareCoeffs::zc706(),
+        }
+    }
+
+    /// Hidden-layer width for models constructed by [`EngineBuilder::build`]
+    /// ([`EngineBuilder::build_with_model`] reads the width off the
+    /// supplied model instead).
+    #[must_use]
+    pub fn hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Uniform compression for every weight matrix.
+    #[must_use]
+    pub fn compression(mut self, compression: Compression) -> Self {
+        self.policy = CompressionPolicy::uniform(compression);
+        self
+    }
+
+    /// Per-phase compression control (the §V aggregator-only ablation).
+    #[must_use]
+    pub fn compression_policy(mut self, policy: CompressionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Weight-initialization seed; equal seeds yield identical weights
+    /// across backends (the basis of the parity tests).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sampling fan-outs `(S₁, S₂)` the cycle model charges for
+    /// full-graph requests (sampled requests are charged their own
+    /// request fan-outs).
+    #[must_use]
+    pub fn fanouts(mut self, s1: usize, s2: usize) -> Self {
+        self.fanouts = (s1, s2);
+        self
+    }
+
+    /// Accelerator configuration for [`BackendKind::SimulatedAccel`].
+    #[must_use]
+    pub fn accelerator(mut self, params: CirCoreParams, coeffs: HardwareCoeffs) -> Self {
+        self.circore = params;
+        self.coeffs = coeffs;
+        self
+    }
+
+    /// Builds an engine with freshly initialized weights (inference over
+    /// an untrained model — useful for parity tests and benchmarks; for
+    /// serving a trained model, see [`EngineBuilder::build_with_model`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Build`] for invalid dimensions/block sizes;
+    /// [`EngineError::Accel`] if the simulated accelerator rejects the
+    /// weights.
+    pub fn build(self, dataset: Arc<Dataset>) -> Result<Engine, EngineError> {
+        let model = build_model_with_policy(
+            self.model_kind,
+            dataset.feature_dim(),
+            self.hidden_dim,
+            dataset.num_classes,
+            self.policy,
+            self.seed,
+        )?;
+        self.build_with_model(model, dataset)
+    }
+
+    /// Builds an engine around an existing (typically trained) model.
+    /// The model's weights are frozen into the backend's prepared form;
+    /// its kind overrides the builder's.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Accel`] if the simulated accelerator rejects the
+    /// weights.
+    pub fn build_with_model(
+        self,
+        mut model: Box<dyn GnnModel>,
+        dataset: Arc<Dataset>,
+    ) -> Result<Engine, EngineError> {
+        let model_kind = model.kind();
+        let block_size = largest_block_size(model.as_mut());
+        let hidden_dim = model.hidden_dim();
+        let backend: Box<dyn ExecutionBackend> = match self.backend {
+            BackendKind::Dense => Box::new(DenseBackend::new(model)),
+            BackendKind::Spectral => Box::new(SpectralBackend::new(model)),
+            BackendKind::SimulatedAccel => Box::new(SimulatedAccelBackend::new(
+                model,
+                self.circore,
+                self.coeffs,
+                hidden_dim,
+                block_size,
+            )?),
+        };
+        Ok(Engine {
+            dataset,
+            backend,
+            model_kind,
+            backend_kind: self.backend,
+            fanouts: self.fanouts,
+            full_graph_cache: None,
+        })
+    }
+}
+
+/// The largest circulant block size in the model — the `n` the hardware
+/// cycle model executes (1 when every weight is dense).
+fn largest_block_size(model: &mut dyn GnnModel) -> usize {
+    let mut n = 1usize;
+    model.visit_linear_layers(&mut |layer| {
+        if let LinearLayer::Circulant(c) = layer {
+            n = n.max(c.block_size());
+        }
+    });
+    n
+}
+
+/// A prepared model bound to one dataset and one execution backend — the
+/// single front door for inference.
+///
+/// The engine owns immutable prepared weights: construction freezes the
+/// model (see [`blockgnn_nn::ExecMode`]), and every [`Session`] serves
+/// from that frozen state. Open a session with [`Engine::session`].
+pub struct Engine {
+    dataset: Arc<Dataset>,
+    backend: Box<dyn ExecutionBackend>,
+    model_kind: ModelKind,
+    backend_kind: BackendKind,
+    /// Fan-outs the cycle model charges for full-graph requests.
+    fanouts: (usize, usize),
+    /// Full-graph output, computed at most once per engine (weights are
+    /// immutable, so it can never go stale).
+    full_graph_cache: Option<BackendOutput>,
+}
+
+impl Engine {
+    /// Starts a builder (alias for [`EngineBuilder::new`]).
+    #[must_use]
+    pub fn builder(model_kind: ModelKind, backend: BackendKind) -> EngineBuilder {
+        EngineBuilder::new(model_kind, backend)
+    }
+
+    /// Which of the paper's four algorithms this engine serves.
+    #[must_use]
+    pub fn model_kind(&self) -> ModelKind {
+        self.model_kind
+    }
+
+    /// Which execution substrate answers requests.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
+    }
+
+    /// The dataset handle requests are resolved against.
+    #[must_use]
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Opens a serving session. Sessions borrow the engine mutably (one
+    /// active session at a time) and accumulate their own [`ServeStats`].
+    #[must_use]
+    pub fn session(&mut self) -> Session<'_> {
+        Session { engine: self, stats: ServeStats::default() }
+    }
+
+    /// Resolves and executes one request; returns the per-node logits,
+    /// the hardware report/energy (when freshly simulated), and whether
+    /// the cache answered.
+    fn run_request(
+        &mut self,
+        request: &InferRequest,
+    ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool), EngineError> {
+        let num_nodes = self.dataset.num_nodes();
+        for &node in &request.nodes {
+            if node >= num_nodes {
+                return Err(EngineError::NodeOutOfRange { node, num_nodes });
+            }
+        }
+        match request.mode {
+            RequestMode::FullGraph => {
+                let from_cache = self.full_graph_cache.is_some();
+                if !from_cache {
+                    let shape = RequestShape {
+                        target_nodes: self.dataset.num_nodes(),
+                        fanouts: self.fanouts,
+                    };
+                    let out = self.backend.execute(
+                        &self.dataset.graph,
+                        &self.dataset.features,
+                        shape,
+                    );
+                    self.full_graph_cache = Some(out);
+                }
+                let cached = self.full_graph_cache.as_ref().expect("just populated");
+                let logits = if request.nodes.is_empty() {
+                    cached.logits.clone()
+                } else {
+                    Matrix::from_fn(request.nodes.len(), cached.logits.cols(), |i, j| {
+                        cached.logits[(request.nodes[i], j)]
+                    })
+                };
+                // Cache hits cost the hardware nothing — only the fresh
+                // computation carries its cycle/energy report, so summing
+                // per-response cost over a session stays truthful.
+                let (sim, energy) = if from_cache {
+                    (None, None)
+                } else {
+                    (cached.sim.clone(), cached.energy_joules)
+                };
+                Ok((logits, sim, energy, from_cache))
+            }
+            RequestMode::Sampled { s1, s2, seed } => {
+                if request.nodes.is_empty() {
+                    return Err(EngineError::EmptyRequest);
+                }
+                // The subgraph interns duplicate request nodes to one
+                // local row; `local_of` maps every request position back.
+                let sub =
+                    SampledSubgraph::build(&self.dataset.graph, &request.nodes, s1, s2, seed);
+                let local_features = sub.gather_features(&self.dataset.features);
+                let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
+                let out = self.backend.execute(&sub.graph, &local_features, shape);
+                let logits = Matrix::from_fn(request.nodes.len(), out.logits.cols(), |i, j| {
+                    let local = sub
+                        .local_of(request.nodes[i])
+                        .expect("request nodes are interned into the subgraph");
+                    out.logits[(local, j)]
+                });
+                Ok((logits, out.sim, out.energy_joules, false))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("model", &self.model_kind)
+            .field("backend", &self.backend_kind)
+            .field("dataset", &self.dataset.name)
+            .field("full_graph_cached", &self.full_graph_cache.is_some())
+            .finish()
+    }
+}
+
+/// A serving session: answers micro-batched requests against a borrowed
+/// [`Engine`] and accumulates [`ServeStats`].
+#[derive(Debug)]
+pub struct Session<'e> {
+    engine: &'e mut Engine,
+    stats: ServeStats,
+}
+
+impl Session<'_> {
+    /// Answers one request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NodeOutOfRange`] for invalid node ids;
+    /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
+    pub fn infer(&mut self, request: &InferRequest) -> Result<InferResponse, EngineError> {
+        let start = Instant::now();
+        let (logits, sim, energy_joules, from_cache) = self.engine.run_request(request)?;
+        let latency = start.elapsed();
+        let predictions: Vec<usize> = (0..logits.rows())
+            .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
+            .collect();
+        let sim_cycles = sim.as_ref().map_or(0, |s| s.total_cycles);
+        self.stats.record(
+            logits.rows(),
+            latency,
+            sim_cycles,
+            energy_joules.unwrap_or(0.0),
+            from_cache,
+        );
+        Ok(InferResponse { logits, predictions, latency, sim, energy_joules, from_cache })
+    }
+
+    /// Answers a batch of requests in order, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn infer_batch(
+        &mut self,
+        requests: &[InferRequest],
+    ) -> Result<Vec<InferResponse>, EngineError> {
+        requests.iter().map(|r| self.infer(r)).collect()
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The engine this session serves from.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// Closes the session, returning its statistics.
+    #[must_use]
+    pub fn finish(self) -> ServeStats {
+        self.stats
+    }
+}

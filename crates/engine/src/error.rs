@@ -1,0 +1,54 @@
+//! Engine error type: everything that can go wrong between a request and
+//! a response.
+
+use blockgnn_accel::AccelError;
+use blockgnn_nn::NnError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by [`crate::EngineBuilder`] and
+/// [`crate::Session::infer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Model construction failed (bad dimensions or block size).
+    Build(NnError),
+    /// The simulated accelerator rejected the prepared weights (e.g.
+    /// Weight Buffer overflow — the §IV-B deployability check).
+    Accel(AccelError),
+    /// A request named a node outside the engine's graph.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A sampled request carried no target nodes.
+    EmptyRequest,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Build(e) => write!(f, "model construction failed: {e}"),
+            EngineError::Accel(e) => write!(f, "accelerator rejected the model: {e}"),
+            EngineError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "request node {node} out of range (graph has {num_nodes} nodes)")
+            }
+            EngineError::EmptyRequest => write!(f, "sampled request carries no target nodes"),
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+impl From<NnError> for EngineError {
+    fn from(e: NnError) -> Self {
+        EngineError::Build(e)
+    }
+}
+
+impl From<AccelError> for EngineError {
+    fn from(e: AccelError) -> Self {
+        EngineError::Accel(e)
+    }
+}

@@ -1,0 +1,63 @@
+//! The unified inference front door of the BlockGNN reproduction.
+//!
+//! The paper's premise is that one GNN executes equivalently on
+//! interchangeable substrates: dense GEMM (the uncompressed baseline),
+//! the block-circulant spectral path of Algorithm 1, and the CirCore
+//! accelerator. This crate turns that premise into an API:
+//!
+//! * [`ExecutionBackend`] — the pluggable substrate trait, with
+//!   [`DenseBackend`], [`SpectralBackend`] (cached FFT plans and kernel
+//!   spectra reused across calls), and [`SimulatedAccelBackend`]
+//!   (functional output *and* the Eq. 3–7 cycle/energy report from one
+//!   call).
+//! * [`EngineBuilder`] → [`Engine`] → [`Session`] — the serving flow:
+//!   the builder takes a [`blockgnn_gnn::ModelKind`], a
+//!   [`blockgnn_gnn::CompressionPolicy`], a backend choice, and a
+//!   dataset handle; the engine owns immutable prepared weights; a
+//!   session answers micro-batched [`InferRequest`]s (full-graph or
+//!   sampled two-hop subgraph per request) and accumulates
+//!   [`ServeStats`] (latency, nodes/sec, simulated cycles).
+//!
+//! # Example: same weights, three substrates
+//!
+//! ```
+//! use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
+//! use blockgnn_gnn::ModelKind;
+//! use blockgnn_graph::datasets;
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(datasets::cora_like_small(1));
+//! let request = InferRequest::full_graph(vec![0, 5, 9]);
+//! let mut answers = Vec::new();
+//! for backend in BackendKind::all() {
+//!     let mut engine = EngineBuilder::new(ModelKind::Gcn, backend)
+//!         .hidden_dim(16)
+//!         .seed(7)
+//!         .build(Arc::clone(&dataset))
+//!         .unwrap();
+//!     let mut session = engine.session();
+//!     answers.push(session.infer(&request).unwrap());
+//! }
+//! // Dense GEMM and Algorithm 1 agree to FFT rounding…
+//! assert!(answers[0].logits.linf_distance(&answers[1].logits) < 1e-6);
+//! // …and the simulated accelerator also reports hardware cost.
+//! assert!(answers[2].sim.as_ref().unwrap().total_cycles > 0);
+//! ```
+
+#![deny(missing_docs)]
+
+mod backend;
+#[allow(clippy::module_inception)]
+mod engine;
+mod error;
+mod request;
+mod stats;
+
+pub use backend::{
+    BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
+    SimulatedAccelBackend, SpectralBackend,
+};
+pub use engine::{Engine, EngineBuilder, Session};
+pub use error::EngineError;
+pub use request::{InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
+pub use stats::ServeStats;

@@ -1,0 +1,99 @@
+//! Request/response types of the serving API.
+
+use blockgnn_accel::SimReport;
+use blockgnn_linalg::Matrix;
+use std::time::Duration;
+
+/// The paper's sampling fan-outs `S₁ = 25, S₂ = 10` (§IV-A).
+pub const PAPER_FANOUTS: (usize, usize) = (25, 10);
+
+/// How a request's computation graph is formed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestMode {
+    /// Run the full-graph forward pass and read off the requested rows.
+    /// Because an engine's weights are immutable, the full-graph logits
+    /// are computed once per engine and served from cache afterwards.
+    FullGraph,
+    /// Materialize the two-hop sampled computation graph around the
+    /// requested nodes (the workload shape the accelerator runs) and
+    /// infer on it.
+    Sampled {
+        /// First-hop fan-out `S₁`.
+        s1: usize,
+        /// Second-hop fan-out `S₂`.
+        s2: usize,
+        /// Sampling seed; equal seeds reproduce the same subgraph.
+        seed: u64,
+    },
+}
+
+/// A micro-batched node-classification request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferRequest {
+    /// Target nodes to classify. For [`RequestMode::FullGraph`] an empty
+    /// list means "every node"; sampled requests must be non-empty.
+    pub nodes: Vec<usize>,
+    /// Computation-graph policy.
+    pub mode: RequestMode,
+}
+
+impl InferRequest {
+    /// Full-graph request for the given nodes.
+    #[must_use]
+    pub fn full_graph(nodes: impl Into<Vec<usize>>) -> Self {
+        Self { nodes: nodes.into(), mode: RequestMode::FullGraph }
+    }
+
+    /// Full-graph request for every node.
+    #[must_use]
+    pub fn all_nodes() -> Self {
+        Self { nodes: Vec::new(), mode: RequestMode::FullGraph }
+    }
+
+    /// Sampled two-hop request with explicit fan-outs.
+    #[must_use]
+    pub fn sampled(nodes: impl Into<Vec<usize>>, s1: usize, s2: usize, seed: u64) -> Self {
+        Self { nodes: nodes.into(), mode: RequestMode::Sampled { s1, s2, seed } }
+    }
+
+    /// Sampled request with the paper's fan-outs ([`PAPER_FANOUTS`]).
+    #[must_use]
+    pub fn paper_sampled(nodes: impl Into<Vec<usize>>, seed: u64) -> Self {
+        let (s1, s2) = PAPER_FANOUTS;
+        Self::sampled(nodes, s1, s2, seed)
+    }
+}
+
+/// The answer to one [`InferRequest`].
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// One logits row per requested node, in request order.
+    pub logits: Matrix,
+    /// Argmax class per requested node.
+    pub predictions: Vec<usize>,
+    /// Wall-clock time this request took inside the session.
+    pub latency: Duration,
+    /// Cycle-level hardware report (simulated-accelerator backend only;
+    /// `None` on full-graph cache hits, which cost the hardware nothing).
+    pub sim: Option<SimReport>,
+    /// Energy estimate in joules at the configured accelerator power
+    /// (simulated-accelerator backend only; `None` on cache hits).
+    pub energy_joules: Option<f64>,
+    /// Whether the logits were served from the engine's full-graph cache.
+    pub from_cache: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_modes() {
+        let full = InferRequest::full_graph(vec![1, 2]);
+        assert_eq!(full.mode, RequestMode::FullGraph);
+        assert_eq!(full.nodes, vec![1, 2]);
+        assert!(InferRequest::all_nodes().nodes.is_empty());
+        let s = InferRequest::paper_sampled(vec![3], 9);
+        assert_eq!(s.mode, RequestMode::Sampled { s1: 25, s2: 10, seed: 9 });
+    }
+}

@@ -1,0 +1,101 @@
+//! Per-session serving statistics.
+
+use std::time::Duration;
+
+/// Counters a [`crate::Session`] accumulates across requests — the
+/// observability base later batching/sharding work builds on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests answered.
+    pub requests: usize,
+    /// Total logits rows returned.
+    pub nodes_served: usize,
+    /// Summed request latency.
+    pub total_latency: Duration,
+    /// Fastest request, if any.
+    pub min_latency: Option<Duration>,
+    /// Slowest request.
+    pub max_latency: Duration,
+    /// Full-graph requests answered from the engine's logits cache.
+    pub full_graph_cache_hits: usize,
+    /// Simulated accelerator cycles charged (fresh executions only —
+    /// cache hits cost the hardware nothing).
+    pub simulated_cycles: u64,
+    /// Simulated accelerator energy in joules (fresh executions only).
+    pub simulated_energy_joules: f64,
+}
+
+impl ServeStats {
+    /// Folds one answered request into the counters.
+    pub(crate) fn record(
+        &mut self,
+        nodes: usize,
+        latency: Duration,
+        sim_cycles: u64,
+        sim_energy_joules: f64,
+        from_cache: bool,
+    ) {
+        self.requests += 1;
+        self.nodes_served += nodes;
+        self.total_latency += latency;
+        self.min_latency = Some(self.min_latency.map_or(latency, |m| m.min(latency)));
+        self.max_latency = self.max_latency.max(latency);
+        if from_cache {
+            self.full_graph_cache_hits += 1;
+        } else {
+            self.simulated_cycles += sim_cycles;
+            self.simulated_energy_joules += sim_energy_joules;
+        }
+    }
+
+    /// Serving throughput in nodes per second of session compute time.
+    #[must_use]
+    pub fn nodes_per_second(&self) -> f64 {
+        let secs = self.total_latency.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.nodes_served as f64 / secs
+        }
+    }
+
+    /// Mean request latency.
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.requests as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut s = ServeStats::default();
+        s.record(3, Duration::from_millis(4), 100, 0.5, false);
+        s.record(2, Duration::from_millis(2), 70, 0.25, true);
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.nodes_served, 5);
+        assert_eq!(s.min_latency, Some(Duration::from_millis(2)));
+        assert_eq!(s.max_latency, Duration::from_millis(4));
+        assert_eq!(s.full_graph_cache_hits, 1);
+        // cache hits charge no hardware
+        assert_eq!(s.simulated_cycles, 100);
+        assert!((s.simulated_energy_joules - 0.5).abs() < 1e-12);
+        assert_eq!(s.mean_latency(), Duration::from_millis(3));
+        assert!(s.nodes_per_second() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_quiet() {
+        let s = ServeStats::default();
+        assert_eq!(s.nodes_per_second(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.min_latency, None);
+    }
+}

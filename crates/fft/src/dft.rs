@@ -25,8 +25,8 @@ pub fn dft_reference<T: FftFloat>(input: &[Complex<T>]) -> Vec<Complex<T>> {
     for k in 0..n {
         let mut acc = Complex::zero();
         for (j, &x) in input.iter().enumerate() {
-            let theta = -(T::from_usize(2) * T::PI * T::from_usize(k * j))
-                / T::from_usize(n.max(1));
+            let theta =
+                -(T::from_usize(2) * T::PI * T::from_usize(k * j)) / T::from_usize(n.max(1));
             acc += x * Complex::from_polar_unit(theta);
         }
         out.push(acc);
@@ -83,8 +83,7 @@ mod tests {
         input[1] = C::one();
         let spec = dft_reference(&input);
         for (k, v) in spec.iter().enumerate() {
-            let expect =
-                C::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
+            let expect = C::from_polar_unit(-2.0 * std::f64::consts::PI * k as f64 / n as f64);
             assert!(v.linf_distance(expect) < 1e-12);
         }
     }

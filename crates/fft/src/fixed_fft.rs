@@ -53,9 +53,12 @@ impl FixedComplex {
         Self { re: Q16_16::from_f64(re), im: Q16_16::ZERO }
     }
 
-    /// Fixed-point complex addition (saturating).
+    /// Fixed-point complex addition (saturating). Deliberately a named
+    /// method, not `std::ops` — saturating Q16.16 arithmetic should not
+    /// masquerade as ordinary `+`/`-`/`*`.
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Self) -> Self {
         Self { re: self.re + rhs.re, im: self.im + rhs.im }
     }
@@ -63,6 +66,7 @@ impl FixedComplex {
     /// Fixed-point complex subtraction (saturating).
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Self) -> Self {
         Self { re: self.re - rhs.re, im: self.im - rhs.im }
     }
@@ -71,6 +75,7 @@ impl FixedComplex {
     /// datapath a DSP-slice cluster implements).
     #[inline]
     #[must_use]
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: Self) -> Self {
         Self {
             re: self.re * rhs.re - self.im * rhs.im,
@@ -262,10 +267,7 @@ mod tests {
                 let qc = q.to_complex_f64();
                 // Error grows with log2(n) stages of rounding.
                 let tol = 1e-3 * (n as f64).log2().max(1.0);
-                assert!(
-                    f.linf_distance(qc) < tol,
-                    "n={n}: float={f} fixed={qc}"
-                );
+                assert!(f.linf_distance(qc) < tol, "n={n}: float={f} fixed={qc}");
             }
         }
     }

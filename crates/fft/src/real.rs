@@ -59,8 +59,7 @@ impl<T: FftFloat> RealFftPlan<T> {
         let half_plan = FftPlan::new(half)?;
         let twiddles = (0..half)
             .map(|k| {
-                let theta = -(T::from_usize(2) * T::PI * T::from_usize(k))
-                    / T::from_usize(len);
+                let theta = -(T::from_usize(2) * T::PI * T::from_usize(k)) / T::from_usize(len);
                 Complex::from_polar_unit(theta)
             })
             .collect();
@@ -131,10 +130,7 @@ impl<T: FftFloat> RealFftPlan<T> {
     pub fn inverse(&self, spectrum: &[Complex<T>]) -> Result<Vec<T>, FftError> {
         let half = self.len / 2;
         if spectrum.len() != half + 1 {
-            return Err(FftError::LengthMismatch {
-                expected: half + 1,
-                got: spectrum.len(),
-            });
+            return Err(FftError::LengthMismatch { expected: half + 1, got: spectrum.len() });
         }
         let two = T::from_usize(2);
         // Rebuild the packed half-length spectrum Z[k] = Xe[k] + i·Xo[k].

@@ -35,11 +35,7 @@ impl NormalizedAdjacency {
     /// Panics if `h.rows()` differs from the graph's node count.
     #[must_use]
     pub fn apply(&self, graph: &CsrGraph, h: &Matrix) -> Matrix {
-        assert_eq!(
-            h.rows(),
-            graph.num_nodes(),
-            "feature rows must equal node count"
-        );
+        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
         let dim = h.cols();
         let mut out = Matrix::zeros(h.rows(), dim);
         for v in 0..graph.num_nodes() {
@@ -105,8 +101,8 @@ mod tests {
     #[test]
     fn operator_is_symmetric() {
         // <Â·x, y> == <x, Â·y> for random vectors.
-        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], true)
-            .unwrap();
+        let g =
+            CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], true).unwrap();
         let a = NormalizedAdjacency::new(&g);
         let x = Matrix::from_fn(5, 1, |i, _| (i as f64 + 1.0).sin());
         let y = Matrix::from_fn(5, 1, |i, _| (i as f64 * 2.0).cos());

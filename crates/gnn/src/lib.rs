@@ -55,7 +55,9 @@ pub mod train;
 pub mod workload;
 
 pub use adjacency::NormalizedAdjacency;
-pub use models::{build_model, GnnModel, ModelKind};
+pub use models::{
+    build_model, build_model_with_policy, CompressionPolicy, GnnModel, ModelKind,
+};
 pub use nn_reexports::Compression;
 
 mod nn_reexports {

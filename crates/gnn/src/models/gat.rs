@@ -117,6 +117,9 @@ impl GatHead {
         let mut gh = Matrix::zeros(nodes, in_dim);
         let mut g_ssrc = vec![0.0; nodes];
         let mut g_sdst = vec![0.0; nodes];
+        // `v` indexes four parallel per-node structures; a zipped
+        // iterator would obscure, not clarify.
+        #[allow(clippy::needless_range_loop)]
         for v in 0..nodes {
             let neigh = extended_neighbors(graph, v);
             let alpha = &self.alpha[v];
@@ -170,6 +173,10 @@ impl GatHead {
         f(&mut self.a_src);
         f(&mut self.a_dst);
     }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        f(&mut self.w);
+    }
 }
 
 /// Neighborhood including the self-loop, in deterministic order
@@ -211,7 +218,12 @@ impl GatLayer {
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             heads,
-            comb: LinearLayer::new(out_dim, in_dim * num_heads, policy.combiner, seed ^ 0x3333)?,
+            comb: LinearLayer::new(
+                out_dim,
+                in_dim * num_heads,
+                policy.combiner,
+                seed ^ 0x3333,
+            )?,
             act: if last { None } else { Some(Elu::new()) },
             in_dim,
             h_cache: Matrix::zeros(0, 0),
@@ -246,9 +258,8 @@ impl GatLayer {
         let mut gh = Matrix::zeros(nodes, self.in_dim);
         for (k, head) in self.heads.iter_mut().enumerate() {
             // Slice this head's columns out of the concatenated gradient.
-            let ga = Matrix::from_fn(nodes, self.in_dim, |i, j| {
-                g_concat[(i, k * self.in_dim + j)]
-            });
+            let ga =
+                Matrix::from_fn(nodes, self.in_dim, |i, j| g_concat[(i, k * self.in_dim + j)]);
             let gh_head = head.backward(graph, &self.h_cache, &ga);
             gh += &gh_head;
         }
@@ -260,6 +271,13 @@ impl GatLayer {
             head.visit_params(f);
         }
         self.comb.visit_params(f);
+    }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        for head in &mut self.heads {
+            head.visit_linear_layers(f);
+        }
+        f(&mut self.comb);
     }
 }
 
@@ -323,6 +341,10 @@ impl GnnModel for Gat {
         ModelKind::Gat
     }
 
+    fn hidden_dim(&self) -> usize {
+        self.layer1.comb.out_dim()
+    }
+
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
         let h1 = self.layer1.forward(graph, features, train);
         self.layer2.forward(graph, &h1, train)
@@ -336,6 +358,11 @@ impl GnnModel for Gat {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.layer1.visit_params(f);
         self.layer2.visit_params(f);
+    }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        self.layer1.visit_linear_layers(f);
+        self.layer2.visit_linear_layers(f);
     }
 }
 
@@ -381,8 +408,7 @@ mod tests {
     fn gradients_circulant() {
         let g = tiny_graph();
         let x = tiny_features(6, 4);
-        let policy =
-            CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
+        let policy = CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
         let mut model = Gat::new(4, 4, 2, policy, 3).unwrap();
         check_model_gradients(&mut model, &g, &x, 2e-4);
     }
@@ -391,15 +417,9 @@ mod tests {
     fn gradients_two_heads() {
         let g = tiny_graph();
         let x = tiny_features(6, 4);
-        let mut model = Gat::with_heads(
-            4,
-            3,
-            2,
-            2,
-            CompressionPolicy::uniform(Compression::Dense),
-            4,
-        )
-        .unwrap();
+        let mut model =
+            Gat::with_heads(4, 3, 2, 2, CompressionPolicy::uniform(Compression::Dense), 4)
+                .unwrap();
         check_model_gradients(&mut model, &g, &x, 2e-4);
     }
 

@@ -52,6 +52,10 @@ impl GnnModel for Gcn {
         ModelKind::Gcn
     }
 
+    fn hidden_dim(&self) -> usize {
+        self.lin1.out_dim()
+    }
+
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
         let adj = NormalizedAdjacency::new(graph);
         let a1 = adj.apply(graph, features);
@@ -73,6 +77,11 @@ impl GnnModel for Gcn {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.lin1.visit_params(f);
         self.lin2.visit_params(f);
+    }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        f(&mut self.lin1);
+        f(&mut self.lin2);
     }
 }
 

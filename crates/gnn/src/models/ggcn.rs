@@ -120,6 +120,12 @@ impl GgcnLayer {
         self.w_c.visit_params(f);
         self.comb.visit_params(f);
     }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        f(&mut self.w_h);
+        f(&mut self.w_c);
+        f(&mut self.comb);
+    }
 }
 
 /// Two-layer G-GCN model.
@@ -154,6 +160,10 @@ impl GnnModel for Ggcn {
         ModelKind::Ggcn
     }
 
+    fn hidden_dim(&self) -> usize {
+        self.layer1.comb.out_dim()
+    }
+
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
         let h1 = self.layer1.forward(graph, features, train);
         self.layer2.forward(graph, &h1, train)
@@ -167,6 +177,11 @@ impl GnnModel for Ggcn {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.layer1.visit_params(f);
         self.layer2.visit_params(f);
+    }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        self.layer1.visit_linear_layers(f);
+        self.layer2.visit_linear_layers(f);
     }
 }
 
@@ -209,8 +224,7 @@ mod tests {
     fn gradients_circulant() {
         let g = tiny_graph();
         let x = tiny_features(6, 4);
-        let policy =
-            CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
+        let policy = CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
         let mut model = Ggcn::new(4, 4, 2, policy, 3).unwrap();
         check_model_gradients(&mut model, &g, &x, 1e-4);
     }

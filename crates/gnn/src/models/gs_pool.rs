@@ -109,6 +109,11 @@ impl GsPoolLayer {
         self.pool.visit_params(f);
         self.comb.visit_params(f);
     }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        f(&mut self.pool);
+        f(&mut self.comb);
+    }
 }
 
 /// Two-layer GS-Pool model. The pooling dimension equals the hidden
@@ -151,6 +156,10 @@ impl GnnModel for GsPool {
         ModelKind::GsPool
     }
 
+    fn hidden_dim(&self) -> usize {
+        self.layer1.comb.out_dim()
+    }
+
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
         let h1 = self.layer1.forward(graph, features, train);
         self.layer2.forward(graph, &h1, train)
@@ -164,6 +173,11 @@ impl GnnModel for GsPool {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         self.layer1.visit_params(f);
         self.layer2.visit_params(f);
+    }
+
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
+        self.layer1.visit_linear_layers(f);
+        self.layer2.visit_linear_layers(f);
     }
 }
 
@@ -210,8 +224,7 @@ mod tests {
     fn gradients_circulant() {
         let g = tiny_graph();
         let x = tiny_features(6, 6);
-        let policy =
-            CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
+        let policy = CompressionPolicy::uniform(Compression::BlockCirculant { block_size: 2 });
         let mut model = GsPool::new(6, 4, 3, policy, 3).unwrap();
         check_model_gradients(&mut model, &g, &x, 1e-4);
     }

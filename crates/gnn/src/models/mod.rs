@@ -12,7 +12,7 @@ pub use gs_pool::GsPool;
 
 use blockgnn_graph::CsrGraph;
 use blockgnn_linalg::Matrix;
-use blockgnn_nn::{Compression, NnError, Param};
+use blockgnn_nn::{Compression, ExecMode, LinearLayer, NnError, Param};
 use std::fmt;
 
 /// Which of the paper's four GNN algorithms a model implements.
@@ -70,6 +70,10 @@ pub trait GnnModel {
     /// Which algorithm this is.
     fn kind(&self) -> ModelKind;
 
+    /// Width of the hidden representation (the first layer's output) —
+    /// the per-layer dimension the hardware workload models charge with.
+    fn hidden_dim(&self) -> usize;
+
     /// Full-batch forward pass over all nodes.
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix;
 
@@ -78,6 +82,25 @@ pub trait GnnModel {
 
     /// Visits all trainable parameters in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every weight-matrix layer in a stable order — the hook the
+    /// serving engine uses to [`LinearLayer::prepare`] a trained model
+    /// for an execution backend, or to export circulant weights for
+    /// accelerator deployment.
+    fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer));
+
+    /// Prepares every linear layer for inference under `mode` (see
+    /// [`LinearLayer::prepare`]); the model becomes inference-only until
+    /// [`GnnModel::clear_prepared`].
+    fn prepare(&mut self, mode: ExecMode) {
+        self.visit_linear_layers(&mut |l| l.prepare(mode));
+    }
+
+    /// Drops prepared state from every linear layer, restoring
+    /// trainability.
+    fn clear_prepared(&mut self) {
+        self.visit_linear_layers(&mut LinearLayer::clear_prepared);
+    }
 
     /// Zeroes all gradients.
     fn zero_grad(&mut self) {
@@ -174,12 +197,8 @@ pub(crate) mod testutil {
 
     /// A 6-node test graph with varied degrees (including a pendant).
     pub fn tiny_graph() -> CsrGraph {
-        CsrGraph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 5)],
-            true,
-        )
-        .unwrap()
+        CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (0, 5)], true)
+            .unwrap()
     }
 
     /// Deterministic smooth features away from activation kinks.

@@ -66,9 +66,7 @@ pub fn table2_profile(config: &ProfileConfig) -> Vec<ProfileRow> {
 #[must_use]
 pub fn render_table2(rows: &[ProfileRow]) -> String {
     let mut out = String::new();
-    out.push_str(
-        "Algorithm | Agg ops    | Comb ops   | Agg ops/B | Comb ops/B\n",
-    );
+    out.push_str("Algorithm | Agg ops    | Comb ops   | Agg ops/B | Comb ops/B\n");
     out.push_str("----------+------------+------------+-----------+-----------\n");
     for r in rows {
         out.push_str(&format!(

@@ -26,8 +26,13 @@ pub struct SampledSubgraph {
     pub graph: CsrGraph,
     /// `local_to_global[i]` = original node id of local node `i`.
     pub local_to_global: Vec<u32>,
-    /// Local ids of the batch nodes (prefix of the numbering).
+    /// Number of **unique** batch nodes; they form the prefix of the
+    /// local numbering (duplicate batch entries collapse to one local
+    /// node — map request positions back with
+    /// [`SampledSubgraph::local_of`]).
     pub batch_len: usize,
+    /// Global id → local id for every interned node.
+    local_of: HashMap<u32, u32>,
 }
 
 impl SampledSubgraph {
@@ -39,13 +44,7 @@ impl SampledSubgraph {
     ///
     /// Panics if a batch node is out of range.
     #[must_use]
-    pub fn build(
-        graph: &CsrGraph,
-        batch: &[usize],
-        s1: usize,
-        s2: usize,
-        seed: u64,
-    ) -> Self {
+    pub fn build(graph: &CsrGraph, batch: &[usize], s1: usize, s2: usize, seed: u64) -> Self {
         let sampler = NeighborSampler::new(graph, seed);
         let mut local_of: HashMap<u32, u32> = HashMap::new();
         let mut local_to_global: Vec<u32> = Vec::new();
@@ -55,16 +54,20 @@ impl SampledSubgraph {
                 (local_to_global.len() - 1) as u32
             })
         };
-        // Batch nodes first, so logits rows 0..batch_len are the batch.
+        // Batch nodes first, so logits rows 0..batch_len are the batch
+        // (each unique node once, in first-occurrence order).
         for &v in batch {
             assert!(v < graph.num_nodes(), "batch node {v} out of range");
             let _ = intern(v as u32, &mut local_to_global);
         }
+        let batch_len = local_to_global.len();
         let mut edges: Vec<(usize, usize)> = Vec::new();
-        // Hop 1: sampled neighbors of the batch.
+        // Hop 1: sampled neighbors of the unique batch nodes (sampling
+        // per unique node, so duplicated batch entries don't oversample
+        // their neighborhood).
         let mut frontier: Vec<u32> = Vec::new();
-        for &v in batch {
-            let lv = intern(v as u32, &mut local_to_global) as usize;
+        for lv in 0..batch_len {
+            let v = local_to_global[lv] as usize;
             for u in sampler.sample(v, s1) {
                 let lu = intern(u, &mut local_to_global) as usize;
                 edges.push((lv, lu));
@@ -83,7 +86,14 @@ impl SampledSubgraph {
         }
         let graph = CsrGraph::from_edges(local_to_global.len(), &edges, true)
             .expect("locally renumbered endpoints are in range");
-        Self { graph, local_to_global, batch_len: batch.len() }
+        Self { graph, local_to_global, batch_len, local_of }
+    }
+
+    /// Local row of global node `global`, if it was interned into the
+    /// sub-universe (batch nodes always are).
+    #[must_use]
+    pub fn local_of(&self, global: usize) -> Option<usize> {
+        u32::try_from(global).ok().and_then(|g| self.local_of.get(&g)).map(|&l| l as usize)
     }
 
     /// Gathers the sub-universe's feature rows from the global matrix.
@@ -100,7 +110,8 @@ impl SampledSubgraph {
 }
 
 /// Runs sampled two-hop inference for `batch`, returning one logits row
-/// per batch node.
+/// per batch entry, in batch order (duplicate entries get identical
+/// rows).
 ///
 /// # Panics
 ///
@@ -119,7 +130,9 @@ pub fn sampled_forward(
     let sub = SampledSubgraph::build(graph, batch, s1, s2, seed);
     let local_features = sub.gather_features(features);
     let logits = model.forward(&sub.graph, &local_features, false);
-    Matrix::from_fn(sub.batch_len, logits.cols(), |i, j| logits[(i, j)])
+    Matrix::from_fn(batch.len(), logits.cols(), |i, j| {
+        logits[(sub.local_of(batch[i]).expect("batch nodes are interned"), j)]
+    })
 }
 
 #[cfg(test)]
@@ -127,9 +140,9 @@ mod tests {
     use super::*;
     use crate::models::{build_model, ModelKind};
     use crate::train::{train_node_classifier, TrainConfig};
+    use blockgnn_graph::{Dataset, DatasetSpec};
     use blockgnn_nn::loss::accuracy;
     use blockgnn_nn::Compression;
-    use blockgnn_graph::{Dataset, DatasetSpec};
 
     fn task() -> Dataset {
         let spec = DatasetSpec::new("sampled-test", 300, 1_800, 24, 3);
@@ -148,6 +161,30 @@ mod tests {
         // Every batch node got its s1 sampled arcs (with replacement, so
         // parallel arcs count individually) plus hop-2 reverse arcs.
         assert!(sub.graph.degree(0) >= 4);
+    }
+
+    #[test]
+    fn duplicate_batch_nodes_share_one_row_and_stay_aligned() {
+        let ds = task();
+        let mut model =
+            build_model(ModelKind::Gcn, ds.feature_dim(), 8, 3, Compression::Dense, 2).unwrap();
+        let sub = SampledSubgraph::build(&ds.graph, &[7, 7, 12, 7], 4, 3, 1);
+        // Duplicates collapse: the unique prefix is [7, 12].
+        assert_eq!(sub.batch_len, 2);
+        assert_eq!(&sub.local_to_global[..2], &[7, 12]);
+        assert_eq!(sub.local_of(7), Some(0));
+        assert_eq!(sub.local_of(12), Some(1));
+        assert_eq!(sub.local_of(usize::MAX), None);
+        // sampled_forward still returns one row per batch position…
+        let out =
+            sampled_forward(model.as_mut(), &ds.graph, &ds.features, &[7, 7, 12, 7], 4, 3, 1);
+        assert_eq!(out.rows(), 4);
+        // …with every duplicate position carrying node 7's row.
+        let unique =
+            sampled_forward(model.as_mut(), &ds.graph, &ds.features, &[7, 12], 4, 3, 1);
+        for (pos, want) in [(0, 0), (1, 0), (2, 1), (3, 0)] {
+            assert_eq!(out.row(pos), unique.row(want), "position {pos} misaligned");
+        }
     }
 
     #[test]
@@ -184,15 +221,8 @@ mod tests {
         assert!(report.test_accuracy > 0.6, "model must learn first");
 
         let batch: Vec<usize> = ds.masks.test.iter().copied().take(60).collect();
-        let sampled = sampled_forward(
-            model.as_mut(),
-            &ds.graph,
-            &ds.features,
-            &batch,
-            25,
-            10,
-            7,
-        );
+        let sampled =
+            sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 25, 10, 7);
         assert_eq!(sampled.rows(), batch.len());
         let labels: Vec<usize> = batch.iter().map(|&v| ds.labels[v]).collect();
         let idx: Vec<usize> = (0..batch.len()).collect();
@@ -208,8 +238,7 @@ mod tests {
     fn sampling_is_deterministic_per_seed() {
         let ds = task();
         let mut model =
-            build_model(ModelKind::Gcn, ds.feature_dim(), 8, 3, Compression::Dense, 2)
-                .unwrap();
+            build_model(ModelKind::Gcn, ds.feature_dim(), 8, 3, Compression::Dense, 2).unwrap();
         let batch = vec![1, 2, 3];
         let a = sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 5, 3, 11);
         let b = sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 5, 3, 11);
@@ -224,15 +253,8 @@ mod tests {
         for kind in ModelKind::all() {
             let mut model =
                 build_model(kind, ds.feature_dim(), 8, 3, Compression::Dense, 4).unwrap();
-            let out = sampled_forward(
-                model.as_mut(),
-                &ds.graph,
-                &ds.features,
-                &[10, 20],
-                6,
-                4,
-                5,
-            );
+            let out =
+                sampled_forward(model.as_mut(), &ds.graph, &ds.features, &[10, 20], 6, 4, 5);
             assert_eq!(out.shape(), (2, 3), "{kind} sampled inference shape");
         }
     }

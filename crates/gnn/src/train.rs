@@ -128,8 +128,7 @@ mod tests {
     #[test]
     fn gcn_learns_separable_classes() {
         let ds = quick_dataset();
-        let mut model =
-            build_model(ModelKind::Gcn, 24, 16, 3, Compression::Dense, 7).unwrap();
+        let mut model = build_model(ModelKind::Gcn, 24, 16, 3, Compression::Dense, 7).unwrap();
         let cfg = TrainConfig { epochs: 60, lr: 0.02, patience: 0 };
         let report = train_node_classifier(model.as_mut(), &ds, &cfg);
         assert!(
@@ -156,18 +155,13 @@ mod tests {
         .unwrap();
         let cfg = TrainConfig { epochs: 60, lr: 0.02, patience: 0 };
         let report = train_node_classifier(model.as_mut(), &ds, &cfg);
-        assert!(
-            report.test_accuracy > 0.7,
-            "compressed GCN accuracy {}",
-            report.test_accuracy
-        );
+        assert!(report.test_accuracy > 0.7, "compressed GCN accuracy {}", report.test_accuracy);
     }
 
     #[test]
     fn early_stopping_halts_training() {
         let ds = quick_dataset();
-        let mut model =
-            build_model(ModelKind::Gcn, 24, 8, 3, Compression::Dense, 1).unwrap();
+        let mut model = build_model(ModelKind::Gcn, 24, 8, 3, Compression::Dense, 1).unwrap();
         let cfg = TrainConfig { epochs: 500, lr: 0.02, patience: 5 };
         let report = train_node_classifier(model.as_mut(), &ds, &cfg);
         assert!(report.epochs_run < 500, "patience should trigger before 500 epochs");

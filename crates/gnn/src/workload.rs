@@ -111,12 +111,7 @@ impl GnnWorkload {
     ///
     /// Panics if `samples` is empty.
     #[must_use]
-    pub fn new(
-        model: ModelKind,
-        spec: &DatasetSpec,
-        hidden: usize,
-        samples: &[usize],
-    ) -> Self {
+    pub fn new(model: ModelKind, spec: &DatasetSpec, hidden: usize, samples: &[usize]) -> Self {
         assert!(!samples.is_empty(), "at least one layer is required");
         let mut layers = Vec::with_capacity(samples.len());
         for (k, &s) in samples.iter().enumerate() {
@@ -275,10 +270,7 @@ mod tests {
         let layer = reddit_layer1(ModelKind::Gcn);
         // Paper: 0.5 FLOPs/byte for GCN aggregation.
         let intensity = layer.agg.arithmetic_intensity();
-        assert!(
-            (0.3..1.0).contains(&intensity),
-            "GCN aggregation intensity {intensity}"
-        );
+        assert!((0.3..1.0).contains(&intensity), "GCN aggregation intensity {intensity}");
         // Everything else is compute-bound (hundreds of FLOPs/byte).
         for kind in [ModelKind::GsPool, ModelKind::Ggcn, ModelKind::Gat] {
             let l = reddit_layer1(kind);

@@ -167,9 +167,8 @@ impl CsrGraph {
 
     /// Iterates over all arcs as `(source, target)` pairs.
     pub fn iter_arcs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        (0..self.num_nodes).flat_map(move |u| {
-            self.neighbors(u).iter().map(move |&v| (u, v as usize))
-        })
+        (0..self.num_nodes)
+            .flat_map(move |u| self.neighbors(u).iter().map(move |&v| (u, v as usize)))
     }
 }
 

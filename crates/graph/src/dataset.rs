@@ -1,13 +1,17 @@
-//! Node-classification datasets: graph + features + labels + splits.
+//! Dataset **container types**: [`Dataset`] (graph + features + labels +
+//! splits), [`DatasetSpec`] (pure statistics), and [`SplitMasks`].
+//!
+//! Not to be confused with the sibling [`crate::datasets`] module
+//! (plural), which is the *catalog* of Table IV stand-in constructors
+//! built from these types.
 
 use crate::csr::CsrGraph;
 use crate::generate::{sbm, Rng64};
 use blockgnn_linalg::Matrix;
-use serde::{Deserialize, Serialize};
 
 /// Pure statistics of a dataset — all the performance and resource models
 /// need (Table IV row).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatasetSpec {
     /// Dataset name (e.g. `"cora-like"`).
     pub name: String,
@@ -64,10 +68,7 @@ impl SplitMasks {
     /// Panics if `train_frac + val_frac > 1`.
     #[must_use]
     pub fn random(num_nodes: usize, train_frac: f64, val_frac: f64, seed: u64) -> Self {
-        assert!(
-            train_frac + val_frac <= 1.0 + 1e-9,
-            "train and validation fractions exceed 1"
-        );
+        assert!(train_frac + val_frac <= 1.0 + 1e-9, "train and validation fractions exceed 1");
         let mut order: Vec<usize> = (0..num_nodes).collect();
         let mut rng = Rng64::new(seed);
         // Fisher–Yates shuffle.
@@ -123,8 +124,9 @@ impl Dataset {
         );
         let mut rng = Rng64::new(seed ^ 0xABCD_EF01);
         // Balanced-ish random labels.
-        let labels: Vec<usize> =
-            (0..spec.num_nodes).map(|i| (i + rng.next_below(spec.num_classes)) % spec.num_classes).collect();
+        let labels: Vec<usize> = (0..spec.num_nodes)
+            .map(|i| (i + rng.next_below(spec.num_classes)) % spec.num_classes)
+            .collect();
         let edges = sbm(&labels, spec.num_classes, spec.num_edges, homophily, seed);
         let graph = CsrGraph::from_edges(spec.num_nodes, &edges, true)
             .expect("sbm only emits in-range endpoints");
@@ -134,7 +136,9 @@ impl Dataset {
         let centroids: Vec<Vec<f64>> = (0..spec.num_classes)
             .map(|_| {
                 (0..spec.feature_dim)
-                    .map(|_| centroid_rng.next_normal() * signal / (spec.feature_dim as f64).sqrt())
+                    .map(|_| {
+                        centroid_rng.next_normal() * signal / (spec.feature_dim as f64).sqrt()
+                    })
                     .collect()
             })
             .collect();
@@ -272,9 +276,8 @@ mod tests {
     }
 
     #[test]
-    fn spec_serde_round_trip() {
+    fn spec_clone_round_trip() {
         let spec = tiny_spec();
-        // serde is wired for config files; verify Debug/Clone/Eq too.
         let clone = spec.clone();
         assert_eq!(spec, clone);
     }

@@ -1,4 +1,9 @@
-//! The paper's benchmark datasets (Table IV) as synthetic stand-ins.
+//! Dataset **catalog**: the paper's benchmarks (Table IV) as synthetic
+//! stand-in constructors.
+//!
+//! Not to be confused with the sibling [`crate::dataset`] module
+//! (singular), which defines the container types these constructors
+//! return.
 //!
 //! | Graph         | #Nodes  | #Edges     | #Features | #Labels |
 //! |---------------|---------|------------|-----------|---------|
@@ -92,17 +97,25 @@ mod tests {
         let specs = table4_specs();
         assert_eq!(specs.len(), 4);
         let cr = &specs[0];
-        assert_eq!((cr.num_nodes, cr.num_edges, cr.feature_dim, cr.num_classes),
-                   (2_708, 10_556, 1_433, 7));
+        assert_eq!(
+            (cr.num_nodes, cr.num_edges, cr.feature_dim, cr.num_classes),
+            (2_708, 10_556, 1_433, 7)
+        );
         let cs = &specs[1];
-        assert_eq!((cs.num_nodes, cs.num_edges, cs.feature_dim, cs.num_classes),
-                   (3_327, 4_732, 3_703, 6));
+        assert_eq!(
+            (cs.num_nodes, cs.num_edges, cs.feature_dim, cs.num_classes),
+            (3_327, 4_732, 3_703, 6)
+        );
         let pb = &specs[2];
-        assert_eq!((pb.num_nodes, pb.num_edges, pb.feature_dim, pb.num_classes),
-                   (19_717, 44_338, 500, 3));
+        assert_eq!(
+            (pb.num_nodes, pb.num_edges, pb.feature_dim, pb.num_classes),
+            (19_717, 44_338, 500, 3)
+        );
         let rd = &specs[3];
-        assert_eq!((rd.num_nodes, rd.num_edges, rd.feature_dim, rd.num_classes),
-                   (232_965, 11_606_919, 602, 41));
+        assert_eq!(
+            (rd.num_nodes, rd.num_edges, rd.feature_dim, rd.num_classes),
+            (232_965, 11_606_919, 602, 41)
+        );
     }
 
     #[test]

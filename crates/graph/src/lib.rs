@@ -12,14 +12,24 @@
 //!   streaming assume.
 //! * [`generate`] — Erdős–Rényi, R-MAT (power-law, Reddit-like), and
 //!   stochastic-block-model generators.
-//! * [`Dataset`] / [`DatasetSpec`] — features + labels + split masks, and
-//!   the pure statistics the performance models consume.
-//! * [`datasets`] — the Table IV stand-ins (`cora_like()` …) plus scaled
-//!   `*_small` variants sized for in-repo training runs.
+//! * [`dataset`] (singular) — the **container types**: [`Dataset`]
+//!   (graph + features + labels + split masks), [`DatasetSpec`] (the
+//!   pure statistics row the performance models consume), and
+//!   [`SplitMasks`]. Start here when you need the types.
+//! * [`datasets`] (plural) — the **catalog**: Table IV stand-in
+//!   constructors (`cora_like()` …) returning [`DatasetSpec`]s, plus
+//!   scaled `*_small()` variants returning fully materialized
+//!   [`Dataset`]s sized for in-repo training runs. Start here when you
+//!   need data.
 //! * [`NeighborSampler`] — GraphSAGE-style uniform neighbor sampling with
 //!   the paper's fan-outs (S₁ = 25, S₂ = 10).
 //! * [`partition`] — capacity-driven graph partitioning (§IV-C splits
 //!   Reddit into two sub-graphs to fit the ZC706's DRAM).
+//!
+//! [`Dataset`], [`DatasetSpec`], and [`SplitMasks`] are re-exported at
+//! the crate root so downstream crates (e.g. the serving engine) never
+//! need the `dataset::`/`datasets::` distinction for the types
+//! themselves.
 //!
 //! # Example
 //!

@@ -193,8 +193,7 @@ mod tests {
     fn halo_nodes_are_genuine_outside_neighbors() {
         let g = ring(20);
         for part in partition_contiguous(&g, 4) {
-            let members: std::collections::HashSet<u32> =
-                part.nodes.iter().copied().collect();
+            let members: std::collections::HashSet<u32> = part.nodes.iter().copied().collect();
             for &h in &part.halo {
                 assert!(!members.contains(&h));
                 assert!(

@@ -78,9 +78,7 @@ impl<'g> NeighborSampler<'g> {
         let hop1 = self.sample_batch(nodes, s1);
         let hop2 = hop1
             .iter()
-            .map(|firsts| {
-                firsts.iter().map(|&v| self.sample(v as usize, s2)).collect()
-            })
+            .map(|firsts| firsts.iter().map(|&v| self.sample(v as usize, s2)).collect())
             .collect();
         (hop1, hop2)
     }

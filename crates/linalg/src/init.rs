@@ -108,9 +108,7 @@ pub fn circulant_xavier_rows(
     let dense_bound = (6.0 / (rows as f64 + cols as f64)).sqrt();
     let bound = dense_bound / (block as f64).sqrt();
     let mut rng = SplitMix64::new(seed);
-    (0..p * q)
-        .map(|_| (0..block).map(|_| rng.uniform(-bound, bound)).collect())
-        .collect()
+    (0..p * q).map(|_| (0..block).map(|_| rng.uniform(-bound, bound)).collect()).collect()
 }
 
 #[cfg(test)]

@@ -14,7 +14,7 @@
 //!   so only `p·q` IFFTs are paid per backward pass)
 
 use crate::error::NnError;
-use crate::layer::Layer;
+use crate::layer::{ExecMode, Layer};
 use crate::param::Param;
 use blockgnn_core::CompressionStats;
 use blockgnn_fft::{is_power_of_two, Complex, FftPlan};
@@ -29,6 +29,17 @@ struct Cache {
     /// `kernel_spectra[i*q + j]` = Ŵ_ij at forward time.
     kernel_spectra: Vec<Vec<Complex<f64>>>,
     batch: usize,
+}
+
+/// One-time weight transform installed by [`CirculantDense::prepare`]:
+/// the inference-frozen representation a serving backend executes.
+#[derive(Debug, Clone)]
+enum Prepared {
+    /// Decompressed `out_dim × in_dim` dense weight for GEMM execution.
+    Gemm(Matrix),
+    /// Kernel spectra `Ŵ_ij`, cached so repeated forwards skip the
+    /// per-call kernel FFTs of the training path.
+    Spectral(Vec<Vec<Complex<f64>>>),
 }
 
 /// A block-circulant linear layer `y = W_bc·x + b` over batched rows.
@@ -53,6 +64,7 @@ pub struct CirculantDense {
     bias: Param,
     plan: FftPlan<f64>,
     cache: Option<Cache>,
+    prepared: Option<Prepared>,
 }
 
 impl CirculantDense {
@@ -80,8 +92,8 @@ impl CirculantDense {
                 "block size {block_size} must be a power of two for spectral training"
             )));
         }
-        let plan = FftPlan::new(block_size)
-            .expect("power-of-two block size was just validated");
+        let plan =
+            FftPlan::new(block_size).expect("power-of-two block size was just validated");
         let grid_rows = out_dim.div_ceil(block_size);
         let grid_cols = in_dim.div_ceil(block_size);
         let bound =
@@ -100,6 +112,7 @@ impl CirculantDense {
             bias: Param::new(vec![0.0; out_dim]),
             plan,
             cache: None,
+            prepared: None,
         })
     }
 
@@ -127,6 +140,16 @@ impl CirculantDense {
         CompressionStats::for_matrix(self.out_dim, self.in_dim, self.block_size)
     }
 
+    /// On-chip footprint of this layer's spectra in the accelerator's
+    /// Weight Buffer (see
+    /// [`blockgnn_core::BlockCirculantMatrix::spectral_weight_bytes`]);
+    /// computed from the grid dimensions alone, without materializing
+    /// the matrix.
+    #[must_use]
+    pub fn spectral_weight_bytes(&self) -> usize {
+        self.grid_rows * self.grid_cols * self.block_size * 8
+    }
+
     /// The current bias vector (length `out_dim`).
     #[must_use]
     pub fn bias(&self) -> &[f64] {
@@ -138,19 +161,34 @@ impl CirculantDense {
     #[must_use]
     pub fn to_block_circulant(&self) -> blockgnn_core::BlockCirculantMatrix {
         let n = self.block_size;
-        let kernels: Vec<Vec<f64>> = self
-            .kernels
-            .data
-            .chunks_exact(n)
-            .map(<[f64]>::to_vec)
-            .collect();
-        blockgnn_core::BlockCirculantMatrix::from_kernels(
-            self.out_dim,
-            self.in_dim,
-            n,
-            kernels,
-        )
-        .expect("layer invariants guarantee a valid kernel layout")
+        let kernels: Vec<Vec<f64>> =
+            self.kernels.data.chunks_exact(n).map(<[f64]>::to_vec).collect();
+        blockgnn_core::BlockCirculantMatrix::from_kernels(self.out_dim, self.in_dim, n, kernels)
+            .expect("layer invariants guarantee a valid kernel layout")
+    }
+
+    /// Freezes the current kernels into the representation `mode`
+    /// executes fastest (see [`crate::layer::ExecMode`]). Inference-only:
+    /// `backward` panics until [`CirculantDense::clear_prepared`];
+    /// parameter updates after `prepare` require re-preparing.
+    pub fn prepare(&mut self, mode: ExecMode) {
+        self.cache = None;
+        self.prepared = Some(match mode {
+            ExecMode::Gemm => Prepared::Gemm(self.to_block_circulant().to_dense()),
+            ExecMode::Spectral => Prepared::Spectral(self.kernel_spectra()),
+        });
+    }
+
+    /// Drops any prepared state, returning the layer to its trainable
+    /// form.
+    pub fn clear_prepared(&mut self) {
+        self.prepared = None;
+    }
+
+    /// Whether a prepared fast path is active.
+    #[must_use]
+    pub fn is_prepared(&self) -> bool {
+        self.prepared.is_some()
     }
 
     fn kernel_spectra(&self) -> Vec<Vec<Complex<f64>>> {
@@ -161,24 +199,17 @@ impl CirculantDense {
             .collect()
     }
 
-    fn split_spectra(&self, row: &[f64], chunks: usize) -> Vec<Vec<Complex<f64>>> {
-        let n = self.block_size;
-        let mut padded = row.to_vec();
-        padded.resize(chunks * n, 0.0);
-        padded
-            .chunks_exact(n)
-            .map(|sub| self.plan.forward_real(sub).expect("chunk matches plan"))
-            .collect()
-    }
-}
-
-impl Layer for CirculantDense {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.cols(), self.in_dim, "circulant forward input width mismatch");
+    /// Algorithm 1 over a batch with the given kernel spectra; when
+    /// `capture` is provided, each row's input spectra are appended to it
+    /// (the training path needs them for the backward pass).
+    fn spectral_apply(
+        &self,
+        x: &Matrix,
+        kernel_spectra: &[Vec<Complex<f64>>],
+        mut capture: Option<&mut Vec<Vec<Vec<Complex<f64>>>>>,
+    ) -> Matrix {
         let n = self.block_size;
         let (p, q) = (self.grid_rows, self.grid_cols);
-        let kernel_spectra = self.kernel_spectra();
-        let mut input_spectra = Vec::with_capacity(x.rows());
         let mut y = Matrix::zeros(x.rows(), self.out_dim);
         for r in 0..x.rows() {
             let xs = self.split_spectra(x.row(r), q);
@@ -199,21 +230,62 @@ impl Layer for CirculantDense {
                     }
                 }
             }
-            input_spectra.push(xs);
+            if let Some(spectra) = capture.as_deref_mut() {
+                spectra.push(xs);
+            }
         }
+        y
+    }
+
+    fn split_spectra(&self, row: &[f64], chunks: usize) -> Vec<Vec<Complex<f64>>> {
+        let n = self.block_size;
+        let mut padded = row.to_vec();
+        padded.resize(chunks * n, 0.0);
+        padded
+            .chunks_exact(n)
+            .map(|sub| self.plan.forward_real(sub).expect("chunk matches plan"))
+            .collect()
+    }
+}
+
+impl Layer for CirculantDense {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        assert_eq!(x.cols(), self.in_dim, "circulant forward input width mismatch");
+        if let Some(prepared) = &self.prepared {
+            assert!(!train, "prepared circulant layers are inference-only");
+            return match prepared {
+                Prepared::Gemm(w) => {
+                    let mut y = Matrix::zeros(x.rows(), self.out_dim);
+                    for r in 0..x.rows() {
+                        let out = w.matvec(x.row(r));
+                        let row = y.row_mut(r);
+                        for (o, (v, b)) in out.iter().zip(&self.bias.data).enumerate() {
+                            row[o] = v + b;
+                        }
+                    }
+                    y
+                }
+                Prepared::Spectral(kernel_spectra) => {
+                    self.spectral_apply(x, kernel_spectra, None)
+                }
+            };
+        }
+        let kernel_spectra = self.kernel_spectra();
+        let mut input_spectra = Vec::with_capacity(x.rows());
+        let y = self.spectral_apply(x, &kernel_spectra, Some(&mut input_spectra));
         self.cache = Some(Cache { input_spectra, kernel_spectra, batch: x.rows() });
         y
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        assert!(
+            self.prepared.is_none(),
+            "backward is unavailable on a prepared (inference-frozen) layer"
+        );
         let cache = self.cache.as_ref().expect("backward called before forward");
         let n = self.block_size;
         let (p, q) = (self.grid_rows, self.grid_cols);
-        assert_eq!(
-            grad_out.shape(),
-            (cache.batch, self.out_dim),
-            "grad shape mismatch"
-        );
+        assert_eq!(grad_out.shape(), (cache.batch, self.out_dim), "grad shape mismatch");
 
         // Spectral accumulator for kernel gradients: Σ_r Ĝ_i ∘ conj(X̂_j).
         let mut kgrad_spec = vec![vec![Complex::<f64>::zero(); n]; p * q];
@@ -299,10 +371,7 @@ mod tests {
         let y = layer.forward(&x, false);
         for r in 0..3 {
             let expect = bcm.matvec_direct(x.row(r));
-            assert!(
-                linf_distance(y.row(r), &expect) < 1e-9,
-                "row {r} mismatch"
-            );
+            assert!(linf_distance(y.row(r), &expect) < 1e-9, "row {r} mismatch");
         }
     }
 
@@ -339,6 +408,52 @@ mod tests {
         layer.visit_params(&mut |p| grads.push(p.grad.clone()));
         assert_eq!(grads[1], vec![1.0; 10]);
         assert!(grads[0].iter().any(|&g| g != 0.0), "kernel grads must flow");
+    }
+
+    #[test]
+    fn prepared_paths_match_training_forward() {
+        let x = Matrix::from_fn(4, 22, |i, j| ((i * 22 + j) as f64 * 0.19).sin());
+        let mut layer = CirculantDense::new(14, 22, 8, 21).unwrap();
+        layer.visit_params(&mut |p| {
+            if p.len() == 14 {
+                for (i, b) in p.data.iter_mut().enumerate() {
+                    *b = i as f64 * 0.05 - 0.3;
+                }
+            }
+        });
+        let reference = layer.forward(&x, false);
+
+        layer.prepare(ExecMode::Spectral);
+        assert!(layer.is_prepared());
+        let spectral = layer.forward(&x, false);
+        assert!(spectral.linf_distance(&reference) < 1e-12, "cached spectra drifted");
+
+        layer.prepare(ExecMode::Gemm);
+        let gemm = layer.forward(&x, false);
+        assert!(gemm.linf_distance(&reference) < 1e-9, "decompressed GEMM drifted");
+
+        layer.clear_prepared();
+        assert!(!layer.is_prepared());
+        let back = layer.forward(&x, false);
+        assert!(back.linf_distance(&reference) < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-frozen")]
+    fn prepared_layer_rejects_backward() {
+        let mut layer = CirculantDense::new(6, 8, 4, 2).unwrap();
+        let x = Matrix::filled(2, 8, 0.25);
+        layer.prepare(ExecMode::Spectral);
+        let _ = layer.forward(&x, false);
+        let _ = layer.backward(&Matrix::filled(2, 6, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inference-only")]
+    fn prepared_layer_rejects_training_forward() {
+        let mut layer = CirculantDense::new(6, 8, 4, 2).unwrap();
+        layer.prepare(ExecMode::Gemm);
+        let _ = layer.forward(&Matrix::filled(2, 8, 0.25), true);
     }
 
     #[test]

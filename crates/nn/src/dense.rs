@@ -27,6 +27,8 @@ pub struct Dense {
     /// Length `out_dim` bias.
     bias: Param,
     cached_input: Option<Matrix>,
+    /// Inference-frozen: forward skips the backward-pass input cache.
+    prepared: bool,
 }
 
 impl Dense {
@@ -43,6 +45,7 @@ impl Dense {
             weight: Param::new(weight),
             bias: Param::new(vec![0.0; out_dim]),
             cached_input: None,
+            prepared: false,
         }
     }
 
@@ -61,6 +64,7 @@ impl Dense {
             weight: Param::new(weight.into_vec()),
             bias: Param::new(bias),
             cached_input: None,
+            prepared: false,
         }
     }
 
@@ -88,12 +92,36 @@ impl Dense {
     pub fn bias(&self) -> &[f64] {
         &self.bias.data
     }
+
+    /// Freezes the layer for inference: forwards stop cloning their
+    /// input into the backward-pass cache, and `backward` panics until
+    /// [`Dense::clear_prepared`]. (Dense weights need no transform —
+    /// they already execute as GEMM.)
+    pub fn prepare(&mut self) {
+        self.cached_input = None;
+        self.prepared = true;
+    }
+
+    /// Drops the inference freeze, restoring trainability.
+    pub fn clear_prepared(&mut self) {
+        self.prepared = false;
+    }
+
+    /// Whether the inference freeze is active.
+    #[must_use]
+    pub fn is_prepared(&self) -> bool {
+        self.prepared
+    }
 }
 
 impl Layer for Dense {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_dim, "dense forward input width mismatch");
-        self.cached_input = Some(x.clone());
+        if self.prepared {
+            assert!(!train, "prepared dense layers are inference-only");
+        } else {
+            self.cached_input = Some(x.clone());
+        }
         let mut y = Matrix::zeros(x.rows(), self.out_dim);
         for r in 0..x.rows() {
             let row = x.row(r);
@@ -111,11 +139,11 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let x = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward")
-            .clone();
+        assert!(
+            !self.prepared,
+            "backward is unavailable on a prepared (inference-frozen) layer"
+        );
+        let x = self.cached_input.as_ref().expect("backward called before forward").clone();
         assert_eq!(grad_out.shape(), (x.rows(), self.out_dim), "grad shape mismatch");
         // dW[o][i] = sum_r g[r][o] * x[r][i]
         for r in 0..x.rows() {

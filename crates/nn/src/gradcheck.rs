@@ -50,9 +50,8 @@ pub fn check_layer_gradients(
     let y0 = layer.forward(input, false);
     let mut rng = InitRng::new(seed);
     let w = Matrix::from_fn(y0.rows(), y0.cols(), |_, _| rng.uniform(-1.0, 1.0));
-    let loss = |y: &Matrix| -> f64 {
-        y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum()
-    };
+    let loss =
+        |y: &Matrix| -> f64 { y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum() };
 
     // Analytic gradients.
     layer.zero_grad();
@@ -66,10 +65,8 @@ pub fn check_layer_gradients(
     let mut coords = 0usize;
 
     // Parameter gradients by central differences.
-    let num_params = analytic_params.len();
-    for pi in 0..num_params {
-        let plen = analytic_params[pi].len();
-        for k in 0..plen {
+    for (pi, analytic) in analytic_params.iter().enumerate() {
+        for (k, &analytic_pk) in analytic.iter().enumerate() {
             let perturb = |delta: f64, layer: &mut dyn Layer| -> f64 {
                 let mut idx = 0;
                 layer.visit_params(&mut |p| {
@@ -92,7 +89,7 @@ pub fn check_layer_gradients(
             let lp = perturb(eps, layer);
             let lm = perturb(-eps, layer);
             let numeric = (lp - lm) / (2.0 * eps);
-            let diff = (numeric - analytic_params[pi][k]).abs();
+            let diff = (numeric - analytic_pk).abs();
             max_abs = max_abs.max(diff);
             max_rel = max_rel.max(diff / numeric.abs().max(1.0));
             coords += 1;

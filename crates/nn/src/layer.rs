@@ -36,6 +36,23 @@ pub trait Layer {
     }
 }
 
+/// How a prepared (inference-frozen) linear layer executes its product —
+/// the execution-substrate knob the serving engine's backends turn.
+///
+/// Preparation is a one-time weight transform: backends call
+/// [`LinearLayer::prepare`] once after training, and every subsequent
+/// inference forward reuses the transformed weights instead of
+/// recomputing them per call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Dense GEMM over (decompressed) weights — the uncompressed
+    /// baseline substrate.
+    Gemm,
+    /// Algorithm 1: FFT → spectral MAC → IFFT with kernel spectra cached
+    /// across calls.
+    Spectral,
+}
+
 /// Weight-matrix compression choice for linear layers — the paper's
 /// central algorithm-level knob.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,6 +129,42 @@ impl LinearLayer {
         match self {
             LinearLayer::Dense(l) => l.in_dim(),
             LinearLayer::Circulant(l) => l.in_dim(),
+        }
+    }
+
+    /// One-time weight transform for inference serving: freezes the
+    /// current weights into the representation `mode` executes fastest.
+    ///
+    /// Dense layers already execute as GEMM under either mode, so for
+    /// them preparation only drops the backward-pass input cache;
+    /// circulant layers either decompress to a dense matrix (`Gemm`) or
+    /// cache their kernel spectra (`Spectral`). A prepared layer is
+    /// inference-only:
+    /// `backward` panics until [`LinearLayer::clear_prepared`] is called,
+    /// and parameter updates after `prepare` are not reflected until the
+    /// layer is re-prepared.
+    pub fn prepare(&mut self, mode: ExecMode) {
+        match self {
+            LinearLayer::Dense(l) => l.prepare(),
+            LinearLayer::Circulant(l) => l.prepare(mode),
+        }
+    }
+
+    /// Drops any prepared state, returning the layer to its trainable
+    /// form.
+    pub fn clear_prepared(&mut self) {
+        match self {
+            LinearLayer::Dense(l) => l.clear_prepared(),
+            LinearLayer::Circulant(l) => l.clear_prepared(),
+        }
+    }
+
+    /// Whether a prepared fast path is active.
+    #[must_use]
+    pub fn is_prepared(&self) -> bool {
+        match self {
+            LinearLayer::Dense(l) => l.is_prepared(),
+            LinearLayer::Circulant(l) => l.is_prepared(),
         }
     }
 }

@@ -41,11 +41,11 @@ pub mod optim;
 pub mod param;
 
 pub use activation::{Activation, Elu, LeakyRelu, Relu, Sigmoid, Tanh};
-pub use error::NnError;
 pub use circulant::CirculantDense;
 pub use dense::Dense;
 pub use dropout::Dropout;
-pub use layer::{Compression, Layer, LinearLayer, Sequential};
+pub use error::NnError;
+pub use layer::{Compression, ExecMode, Layer, LinearLayer, Sequential};
 pub use loss::softmax_cross_entropy;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;

@@ -68,11 +68,7 @@ mod tests {
 
     #[test]
     fn perfect_logits_give_low_loss_high_accuracy() {
-        let logits = Matrix::from_rows(&[
-            vec![10.0, 0.0, 0.0],
-            vec![0.0, 10.0, 0.0],
-        ])
-        .unwrap();
+        let logits = Matrix::from_rows(&[vec![10.0, 0.0, 0.0], vec![0.0, 10.0, 0.0]]).unwrap();
         let labels = vec![0, 1];
         let mask = vec![0, 1];
         let (loss, _) = softmax_cross_entropy(&logits, &labels, &mask);

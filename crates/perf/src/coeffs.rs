@@ -1,9 +1,7 @@
 //! Hardware cost coefficients (§IV-B's measured ZC706 values).
 
-use serde::{Deserialize, Serialize};
-
 /// Latency and DSP-cost coefficients for one FPGA target.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HardwareCoeffs {
     /// Pipeline-overhead cycles added to each streaming FFT
     /// (`α(n) = (n/2)·log₂n + fft_overhead`); calibrated so

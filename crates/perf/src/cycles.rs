@@ -149,7 +149,11 @@ pub fn layer_cycles_with_mode(
     mode: FftMode,
 ) -> LayerCycles {
     assert!(
-        params.x >= 1 && params.y >= 1 && params.r >= 1 && params.c >= 1 && params.l >= 1
+        params.x >= 1
+            && params.y >= 1
+            && params.r >= 1
+            && params.c >= 1
+            && params.l >= 1
             && params.m >= 1,
         "all CirCore parallelism parameters must be at least 1"
     );
@@ -185,10 +189,8 @@ pub fn total_cycles(
     n: usize,
     coeffs: &HardwareCoeffs,
 ) -> u64 {
-    let per_node: u64 = tasks
-        .iter()
-        .map(|t| layer_cycles(t, params, n, coeffs).bottleneck())
-        .sum();
+    let per_node: u64 =
+        tasks.iter().map(|t| layer_cycles(t, params, n, coeffs).bottleneck()).sum();
     per_node * num_nodes as u64
 }
 
@@ -204,11 +206,7 @@ pub fn cycles_to_seconds(cycles: u64, coeffs: &HardwareCoeffs) -> f64 {
 #[must_use]
 pub fn gs_pool_aggregation_task(s: usize, n_out: usize, m_in: usize) -> LayerTask {
     LayerTask {
-        matvecs: vec![MatvecCount {
-            count_per_node: s as f64,
-            out_dim: n_out,
-            in_dim: m_in,
-        }],
+        matvecs: vec![MatvecCount { count_per_node: s as f64, out_dim: n_out, in_dim: m_in }],
         vpu_macs_per_node: (s * n_out) as f64,
     }
 }
@@ -231,7 +229,7 @@ mod tests {
         let cy = layer_cycles(&task, &params, 128, &zc706());
         // q = ceil(1433/128) = 12, p = 4.
         assert_eq!(cy.fft, 484 * 17); // ceil(25*12/18) = 17
-        assert_eq!(cy.mac, 25 * 2 * 1 * 128); // ceil(12/6)=2, ceil(4/4)=1
+        assert_eq!(cy.mac, 25 * 2 * 128); // ceil(12/6)=2, ceil(4/4)=1
         assert_eq!(cy.ifft, 484 * 15); // ceil(25*4/7) = 15
         assert_eq!(cy.vpu, 800); // ceil(25*512/16)
         assert_eq!(cy.bottleneck(), 484 * 17);

@@ -9,7 +9,7 @@
 use crate::coeffs::HardwareCoeffs;
 use crate::cycles::{total_cycles, LayerTask};
 use crate::params::CirCoreParams;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The outcome of a design-space search.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,10 +64,10 @@ pub fn search_optimal(
     let best: Mutex<Option<(u64, usize, CirCoreParams)>> = Mutex::new(None);
     let explored = Mutex::new(0usize);
     let chunk = shape_space.len().div_ceil(8).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for shapes in shape_space.chunks(chunk) {
             let (best, explored) = (&best, &explored);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut local_best: Option<(u64, usize, CirCoreParams)> = None;
                 let mut local_explored = 0usize;
                 for &(r, c, l, m) in shapes {
@@ -98,8 +98,8 @@ pub fn search_optimal(
                         }
                     }
                 }
-                *explored.lock() += local_explored;
-                let mut guard = best.lock();
+                *explored.lock().expect("dse workers do not poison") += local_explored;
+                let mut guard = best.lock().expect("dse workers do not poison");
                 let better = match (&*guard, &local_best) {
                     (_, None) => false,
                     (None, Some(_)) => true,
@@ -112,12 +112,17 @@ pub fn search_optimal(
                 }
             });
         }
-    })
-    .expect("dse worker threads do not panic");
+    });
 
-    let (cycles, _, params) =
-        best.into_inner().expect("at least one feasible configuration exists");
-    DseResult { params, cycles, explored: explored.into_inner() }
+    let (cycles, _, params) = best
+        .into_inner()
+        .expect("dse workers do not poison")
+        .expect("at least one feasible configuration exists");
+    DseResult {
+        params,
+        cycles,
+        explored: explored.into_inner().expect("dse workers do not poison"),
+    }
 }
 
 fn key(p: &CirCoreParams) -> (usize, usize, usize, usize, usize, usize) {

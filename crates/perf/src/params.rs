@@ -1,12 +1,11 @@
 //! CirCore hardware parameters `{x, y, r, c, l, m}`.
 
 use crate::coeffs::HardwareCoeffs;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One CirCore/VPU configuration — the tunables the performance and
 /// resource model searches over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CirCoreParams {
     /// FFT channels `x` (stage 1 parallelism).
     pub x: usize,
@@ -81,8 +80,8 @@ mod tests {
         // strongest internal-consistency check the paper offers.
         let coeffs = HardwareCoeffs::zc706();
         let rows = [
-            (CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 }, 99.8),  // CR
-            (CirCoreParams { x: 21, y: 4, r: 6, c: 4, l: 1, m: 1 }, 99.8),  // CS
+            (CirCoreParams { x: 18, y: 7, r: 6, c: 4, l: 1, m: 1 }, 99.8), // CR
+            (CirCoreParams { x: 21, y: 4, r: 6, c: 4, l: 1, m: 1 }, 99.8), // CS
             (CirCoreParams { x: 14, y: 15, r: 4, c: 4, l: 1, m: 1 }, 93.6), // PB
             (CirCoreParams { x: 15, y: 13, r: 5, c: 4, l: 1, m: 1 }, 98.7), // RD
         ];

@@ -10,10 +10,9 @@
 
 use crate::coeffs::HardwareCoeffs;
 use crate::params::CirCoreParams;
-use serde::{Deserialize, Serialize};
 
 /// ZC706 capacity (Table VI's "Total" row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FpgaCapacity {
     /// 18 Kb BRAM blocks.
     pub bram_18k: usize,
@@ -34,7 +33,7 @@ impl FpgaCapacity {
 }
 
 /// Absolute resource usage plus utilization against a capacity.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResourceEstimate {
     /// 18 Kb BRAM blocks used.
     pub bram_18k: usize,

@@ -5,20 +5,20 @@
 //! LiDAR frames become k-NN graphs over points; a GAT classifies each
 //! point's object category. We synthesize a point-cloud-like graph (local
 //! neighborhoods, strong spatial homophily), compare dense vs compressed
-//! GAT accuracy, and validate the trained compressed weights on the
-//! fixed-point accelerator datapath.
+//! GAT accuracy, then deploy the trained compressed model through the
+//! unified `Engine` API on the simulated accelerator: per-frame requests
+//! come back with predictions, cycle counts, and an energy estimate —
+//! the numbers a real-time perception budget is judged against.
 //!
 //! ```text
 //! cargo run --release --example point_cloud_gat
 //! ```
 
-use blockgnn::accel::system::PostOp;
-use blockgnn::accel::BlockGnnAccelerator;
+use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn::gnn::train::{train_node_classifier, TrainConfig};
-use blockgnn::gnn::{build_model, Compression, ModelKind};
+use blockgnn::gnn::{build_model, Compression, GnnModel, ModelKind};
 use blockgnn::graph::{Dataset, DatasetSpec};
-use blockgnn::perf::coeffs::HardwareCoeffs;
-use blockgnn::perf::params::CirCoreParams;
+use std::sync::Arc;
 
 fn main() {
     // A LiDAR-frame-sized graph: dense local connectivity (k-NN ≈ 12),
@@ -33,6 +33,7 @@ fn main() {
 
     let cfg = TrainConfig { epochs: 60, lr: 0.01, patience: 15 };
     let mut results = Vec::new();
+    let mut deployable: Option<Box<dyn GnnModel>> = None;
     for (label, compression) in [
         ("dense   ", Compression::Dense),
         ("n = 8   ", Compression::BlockCirculant { block_size: 8 }),
@@ -50,42 +51,42 @@ fn main() {
         let report = train_node_classifier(model.as_mut(), &dataset, &cfg);
         println!("GAT {label}: test accuracy {:.3}", report.test_accuracy);
         results.push(report.test_accuracy);
+        deployable = Some(model); // keep the last (n = 16) model
     }
     println!(
         "\ncompression cost at n=16: {:+.3} accuracy (paper reports <1.5% drops at n<=128)",
         results[2] - results[0]
     );
 
-    // Hardware validation: run one compressed layer's weights through the
-    // Q16.16 CirCore datapath and compare with the float reference.
-    let w = blockgnn::core::BlockCirculantMatrix::random(64, 64, 16, 3).unwrap();
-    let mut accel =
-        BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
-    accel.load_weights(&w).expect("weights fit the 256 KB buffer");
-    let batch: Vec<Vec<f64>> = (0..8)
-        .map(|b| (0..64).map(|i| ((b * 64 + i) as f64 * 0.03).sin() * 0.5).collect())
-        .collect();
-    let hw = accel.process_batch(&batch, PostOp::Elu).expect("batch fits the NFB");
-    let max_err = batch
-        .iter()
-        .zip(&hw)
-        .map(|(x, y)| {
-            let mut reference = w.matvec_direct(x);
-            for v in &mut reference {
-                if *v < 0.0 {
-                    *v = v.exp() - 1.0;
-                }
-            }
-            reference
-                .iter()
-                .zip(y)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max)
-        })
-        .fold(0.0f64, f64::max);
+    // --- Deployment: the trained n=16 model behind the accelerator
+    //     backend. One engine, per-frame sampled requests.
+    let dataset = Arc::new(dataset);
+    let mut engine = EngineBuilder::new(ModelKind::Gat, BackendKind::SimulatedAccel)
+        .fanouts(12, 6)
+        .build_with_model(deployable.expect("three models trained"), Arc::clone(&dataset))
+        .expect("compressed GAT fits the 256 KB weight buffer");
+
+    let mut session = engine.session();
+    let budget_s = 0.05; // 20 Hz LiDAR -> 50 ms per frame
+    for frame in 0..3u64 {
+        let points: Vec<usize> =
+            (0..6).map(|i| (frame as usize * 397 + i * 83) % 1_200).collect();
+        let response = session
+            .infer(&InferRequest::sampled(points, 12, 6, frame))
+            .expect("frame request serves");
+        let sim = response.sim.as_ref().expect("accel backend reports cycles");
+        println!(
+            "frame {frame}: classes {:?}  {:.2} ms simulated ({})",
+            response.predictions,
+            sim.seconds * 1e3,
+            if sim.seconds < budget_s { "meets 50 ms budget" } else { "MISSES budget" }
+        );
+    }
+    let stats = session.finish();
     println!(
-        "\nfixed-point accelerator vs float reference: max divergence {max_err:.2e} \
-         over {} cycles",
-        accel.functional_cycles()
+        "\nserved {} points across {} frames: {:.2} mJ simulated energy total",
+        stats.nodes_served,
+        stats.requests,
+        stats.simulated_energy_joules * 1e3
     );
 }

@@ -5,24 +5,22 @@
 //! Recommenders run GNNs over user–item interaction graphs and must
 //! answer under tight latency budgets at serving time. This example
 //! models an item-item co-interaction graph, trains a compressed G-GCN
-//! (the gated aggregator suits signed co-interaction strength), then uses
-//! the command-driven accelerator interface the way a serving stack
-//! would: weights loaded once at startup, per-request batches streamed
-//! through the Cmd FIFO with tags.
+//! offline (the gated aggregator suits signed co-interaction strength),
+//! then serves it the way a production stack would: the trained model is
+//! frozen into an `Engine` on the simulated-accelerator backend —
+//! weights prepared once at startup — and per-request micro-batches
+//! stream through a `Session`, which returns predictions *and* hardware
+//! cost per request while accumulating serving statistics.
 //!
 //! ```text
 //! cargo run --release --example recommendation
 //! ```
 
-use blockgnn::accel::system::PostOp;
-use blockgnn::accel::{BlockGnnAccelerator, Command, CommandProcessor};
-use blockgnn::gnn::sampled::sampled_forward;
+use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn::gnn::train::{train_node_classifier, TrainConfig};
 use blockgnn::gnn::{build_model, Compression, ModelKind};
 use blockgnn::graph::{Dataset, DatasetSpec};
-use blockgnn::nn::{CirculantDense, Layer};
-use blockgnn::perf::coeffs::HardwareCoeffs;
-use blockgnn::perf::params::CirCoreParams;
+use std::sync::Arc;
 
 fn main() {
     // Item graph: 2,000 items, co-interaction edges, 6 category labels
@@ -37,10 +35,11 @@ fn main() {
 
     // --- Offline: train the compressed G-GCN.
     let block = 16usize;
+    let hidden = 32usize;
     let mut model = build_model(
         ModelKind::Ggcn,
         dataset.feature_dim(),
-        32,
+        hidden,
         dataset.num_classes,
         Compression::BlockCirculant { block_size: block },
         17,
@@ -56,47 +55,42 @@ fn main() {
         report.test_accuracy, report.epochs_run
     );
 
-    // --- Serving-time inference uses sampled neighborhoods (fresh items
-    //     arrive constantly; full-graph passes are off the table).
-    let request_batch: Vec<usize> = (0..8).map(|i| i * 37 % spec.num_nodes).collect();
-    let logits = sampled_forward(
-        model.as_mut(),
-        &dataset.graph,
-        &dataset.features,
-        &request_batch,
-        10,
-        5,
-        99,
-    );
-    println!(
-        "\nsampled serving pass for {} requested items -> {} logit rows",
-        request_batch.len(),
-        logits.rows()
-    );
+    // --- Online: freeze the trained weights into an engine. Building on
+    //     the simulated-accelerator backend also validates Weight-Buffer
+    //     residency — the §IV-B deployability check — at startup.
+    let dataset = Arc::new(dataset);
+    let mut engine = EngineBuilder::new(ModelKind::Ggcn, BackendKind::SimulatedAccel)
+        .fanouts(10, 5)
+        .build_with_model(model, Arc::clone(&dataset))
+        .expect("trained weights fit the accelerator");
+    println!("\nengine up: {} on {}", engine.model_kind(), engine.backend_kind());
 
-    // --- The accelerator serving loop: load-once, stream per-request
-    //     batches through the command FIFO.
-    let accel = BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
-    let mut server = CommandProcessor::new(accel);
-    let layer = CirculantDense::new(32, dataset.feature_dim(), block, 5).unwrap();
-    server.push(Command::LoadWeights { slot: 0, weights: layer.to_block_circulant() });
-    server.push(Command::SelectWeights { slot: 0 });
-    for (req, &item) in request_batch.iter().enumerate() {
-        server.push(Command::ProcessBatch {
-            tag: req as u32,
-            features: vec![dataset.features.row(item).to_vec()],
-            post: PostOp::Relu,
-        });
+    // --- The serving loop: per-request sampled micro-batches.
+    let mut session = engine.session();
+    for req_id in 0..8u64 {
+        let items: Vec<usize> =
+            (0..4).map(|i| (req_id as usize * 251 + i * 37) % 2_000).collect();
+        let response = session
+            .infer(&InferRequest::sampled(items.clone(), 10, 5, req_id))
+            .expect("request serves");
+        let sim = response.sim.as_ref().expect("accel backend reports cycles");
+        println!(
+            "request {req_id}: items {items:?} -> classes {:?}  ({} cycles, {:.1} µs simulated)",
+            response.predictions,
+            sim.total_cycles,
+            sim.seconds * 1e6
+        );
     }
-    let completions = server.run().expect("command stream executes");
+
+    let stats = session.finish();
     println!(
-        "accelerator served {} tagged requests; resident weights: {} B of 262144 B WB",
-        completions.len(),
-        server.resident_weight_bytes(),
-    );
-    println!(
-        "first completion: tag {} -> {}-dim embedding",
-        completions[0].tag,
-        completions[0].outputs[0].len()
+        "\nsession: {} requests, {} items, {:.0} items/sec served, \
+         {:.2} ms mean latency, {} simulated cycles, {:.2} mJ",
+        stats.requests,
+        stats.nodes_served,
+        stats.nodes_per_second(),
+        stats.mean_latency().as_secs_f64() * 1e3,
+        stats.simulated_cycles,
+        stats.simulated_energy_joules * 1e3,
     );
 }

@@ -8,20 +8,23 @@
 //!
 //! 1. synthesizes a sensor graph and trains a compressed GS-Pool model,
 //! 2. searches the optimal CirCore configuration for the deployment,
-//! 3. reports latency and energy against the real-time budget.
+//! 3. freezes the trained model into an `Engine` on the searched
+//!    configuration and serves a full-network refresh, reading latency
+//!    and energy off the response.
 //!
 //! ```text
 //! cargo run --release --example traffic_forecast
 //! ```
 
-use blockgnn::accel::energy::Measurement;
 use blockgnn::accel::{BlockGnnAccelerator, CpuModel};
+use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn::gnn::train::{train_node_classifier, TrainConfig};
 use blockgnn::gnn::workload::GnnWorkload;
 use blockgnn::gnn::{build_model, Compression, ModelKind};
 use blockgnn::graph::{Dataset, DatasetSpec};
 use blockgnn::perf::coeffs::HardwareCoeffs;
 use blockgnn::perf::dse::search_optimal;
+use std::sync::Arc;
 
 fn main() {
     // --- 1. The sensor network: 900 intersections, 3 congestion states.
@@ -34,10 +37,11 @@ fn main() {
     );
 
     let block = 16usize;
+    let hidden = 32usize;
     let mut model = build_model(
         ModelKind::GsPool,
         dataset.feature_dim(),
-        32,
+        hidden,
         dataset.num_classes,
         Compression::BlockCirculant { block_size: block },
         7,
@@ -55,38 +59,49 @@ fn main() {
 
     // --- 2. Hardware mapping: DSE for this deployment's workload.
     let coeffs = HardwareCoeffs::zc706_measured();
-    let workload = GnnWorkload::new(ModelKind::GsPool, &spec, 32, &[10, 5]);
-    let tasks: Vec<_> =
-        workload.layers.iter().map(BlockGnnAccelerator::layer_task).collect();
+    let workload = GnnWorkload::new(ModelKind::GsPool, &spec, hidden, &[10, 5]);
+    let tasks: Vec<_> = workload.layers.iter().map(BlockGnnAccelerator::layer_task).collect();
     let dse = search_optimal(&tasks, spec.num_nodes, block, &coeffs);
     println!("searched CirCore configuration: {}", dse.params);
     println!("  (explored {} feasible configurations)", dse.explored);
 
-    // --- 3. Real-time budget check.
-    let accel = BlockGnnAccelerator::new(dse.params, coeffs.clone());
-    let sim = accel.simulate_workload(&workload, block);
+    // --- 3. Deploy: the trained model behind the searched configuration.
+    let dataset = Arc::new(dataset);
+    let mut engine = EngineBuilder::new(ModelKind::GsPool, BackendKind::SimulatedAccel)
+        .fanouts(10, 5)
+        .accelerator(dse.params, coeffs.clone())
+        .build_with_model(model, Arc::clone(&dataset))
+        .expect("searched configuration accepts the trained weights");
+    let mut session = engine.session();
+
+    // A full-network refresh: every intersection classified at once.
+    let response = session.infer(&InferRequest::all_nodes()).expect("refresh serves");
+    let sim = response.sim.as_ref().expect("accel backend reports cycles");
+    let edge_seconds = sim.seconds;
+    let edge_joules = response.energy_joules.unwrap_or(0.0);
+
     let cpu = CpuModel::xeon_gold_5220();
     let cpu_seconds = cpu.simulate_workload(&workload);
     let budget_s = 0.1; // refresh every 100 ms
     println!("\nfull-network refresh latency:");
     println!(
         "  BlockGNN edge board: {:.2} ms  ({})",
-        sim.seconds * 1e3,
-        if sim.seconds < budget_s { "meets the 100 ms budget" } else { "MISSES budget" }
+        edge_seconds * 1e3,
+        if edge_seconds < budget_s { "meets the 100 ms budget" } else { "MISSES budget" }
     );
     println!("  Xeon server:         {:.2} ms", cpu_seconds * 1e3);
 
-    let edge = Measurement {
-        seconds: sim.seconds,
-        power_w: coeffs.accel_power_w,
-        num_nodes: spec.num_nodes,
-    };
-    let server =
-        Measurement { seconds: cpu_seconds, power_w: cpu.power_w, num_nodes: spec.num_nodes };
+    let server_joules = cpu_seconds * cpu.power_w;
     println!(
         "\nenergy per refresh: edge {:.2} mJ vs server {:.2} mJ  ({:.1}x saving)",
-        edge.joules() * 1e3,
-        server.joules() * 1e3,
-        edge.efficiency_ratio_over(&server)
+        edge_joules * 1e3,
+        server_joules * 1e3,
+        server_joules / edge_joules
+    );
+    println!(
+        "\nsession stats: {} request(s), {} nodes, {} simulated cycles",
+        session.stats().requests,
+        session.stats().nodes_served,
+        session.stats().simulated_cycles
     );
 }

@@ -4,6 +4,9 @@
 //!
 //! This facade crate re-exports the whole workspace:
 //!
+//! * [`engine`] — **the front door**: `EngineBuilder` → `Engine` →
+//!   `Session` serving over pluggable execution backends (dense GEMM,
+//!   spectral Algorithm 1, simulated CirCore accelerator).
 //! * [`fft`] — radix-2 FFT/RFFT, Q16.16 fixed point (no external FFT dep).
 //! * [`linalg`] — dense matrices, the uncompressed baseline.
 //! * [`core`] — block-circulant matrices and Algorithm 1 (the paper's
@@ -11,7 +14,7 @@
 //! * [`graph`] — CSR graphs, generators, Table IV dataset stand-ins,
 //!   neighbor sampling.
 //! * [`nn`] — layers/losses/optimizers with in-constraint circulant
-//!   training.
+//!   training and one-time `prepare()` weight freezing for serving.
 //! * [`gnn`] — the Table I model zoo (GCN, GS-Pool, G-GCN, GAT),
 //!   training, profiling, hardware workload export.
 //! * [`perf`] — the §III-D performance & resource model with DSE.
@@ -20,18 +23,46 @@
 //!
 //! # Quickstart
 //!
-//! ```
-//! use blockgnn::core::{BlockCirculantMatrix, SpectralBlockCirculant};
+//! All inference goes through the engine: pick a model, a compression
+//! policy, and an execution backend; build an [`Engine`] over a dataset;
+//! open a [`Session`] and serve requests. The same weights answer on
+//! every backend — swapping [`BackendKind`] swaps the substrate, not the
+//! predictions.
 //!
-//! // Compress a 512×512 layer with 64-blocks: 64× storage reduction,
-//! // O(n log n) products via Algorithm 1.
-//! let w = BlockCirculantMatrix::random(512, 512, 64, 42).unwrap();
-//! let spectral = SpectralBlockCirculant::new(&w).unwrap();
-//! let x = vec![0.1_f64; 512];
-//! let y = spectral.matvec(&x);
-//! assert_eq!(y.len(), 512);
-//! assert_eq!(w.stats().storage_reduction(), 64.0);
 //! ```
+//! use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
+//! use blockgnn::gnn::ModelKind;
+//! use blockgnn::graph::datasets;
+//! use blockgnn::nn::Compression;
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(datasets::cora_like_small(7));
+//! let mut engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::SimulatedAccel)
+//!     .hidden_dim(16)
+//!     .compression(Compression::BlockCirculant { block_size: 8 })
+//!     .build(Arc::clone(&dataset))
+//!     .unwrap();
+//!
+//! let mut session = engine.session();
+//! // A sampled two-hop micro-batch — the workload shape the hardware runs.
+//! let response = session.infer(&InferRequest::paper_sampled(vec![3, 141, 59], 1)).unwrap();
+//! assert_eq!(response.predictions.len(), 3);
+//! // The simulated-accelerator backend returns logits AND hardware cost.
+//! assert!(response.sim.unwrap().total_cycles > 0);
+//! println!("served {} nodes/sec", session.stats().nodes_per_second());
+//! ```
+//!
+//! To serve a *trained* model, train it first and hand it to
+//! [`EngineBuilder::build_with_model`]; see `examples/recommendation.rs`.
+//!
+//! Lower-level entry points remain available for research code: the
+//! compression types in [`core`] (see `examples/quickstart.rs` for the
+//! Table III accounting), `gnn::build_model` + `forward` for training
+//! loops, and `accel::BlockGnnAccelerator` for raw hardware studies.
+//! Migration note: code that previously called `gnn::sampled::
+//! sampled_forward` or `accel::BlockGnnAccelerator::simulate_workload`
+//! directly for serving should route through `Session::infer`, which
+//! wraps both and adds batching, caching, and statistics.
 //!
 //! See `examples/` for end-to-end scenarios and
 //! `cargo run --release -p blockgnn-bench --bin repro -- all` for the
@@ -41,9 +72,14 @@
 
 pub use blockgnn_accel as accel;
 pub use blockgnn_core as core;
+pub use blockgnn_engine as engine;
 pub use blockgnn_fft as fft;
 pub use blockgnn_gnn as gnn;
 pub use blockgnn_graph as graph;
 pub use blockgnn_linalg as linalg;
 pub use blockgnn_nn as nn;
 pub use blockgnn_perf as perf;
+
+pub use blockgnn_engine::{
+    BackendKind, Engine, EngineBuilder, InferRequest, InferResponse, ServeStats, Session,
+};

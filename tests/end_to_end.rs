@@ -3,9 +3,9 @@
 //! hardware datapath preserves the learned behaviour — the full
 //! algorithm→hardware story of the paper in one test file.
 
-use blockgnn::accel::system::PostOp;
-use blockgnn::accel::BlockGnnAccelerator;
+use blockgnn::accel::{BlockGnnAccelerator, PostOp};
 use blockgnn::core::SpectralBlockCirculant;
+use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn::gnn::train::{train_node_classifier, TrainConfig};
 use blockgnn::gnn::{build_model, Compression, ModelKind};
 use blockgnn::graph::{Dataset, DatasetSpec};
@@ -13,6 +13,7 @@ use blockgnn::linalg::vector::argmax;
 use blockgnn::nn::{CirculantDense, Layer};
 use blockgnn::perf::coeffs::HardwareCoeffs;
 use blockgnn::perf::params::CirCoreParams;
+use std::sync::Arc;
 
 fn small_task() -> Dataset {
     let spec = DatasetSpec::new("e2e", 220, 900, 32, 4);
@@ -86,9 +87,15 @@ fn dense_and_compressed_models_make_mostly_identical_predictions() {
     let ds = small_task();
     let cfg = TrainConfig { epochs: 50, lr: 0.02, patience: 0 };
 
-    let mut dense =
-        build_model(ModelKind::Gcn, ds.feature_dim(), 16, ds.num_classes, Compression::Dense, 9)
-            .unwrap();
+    let mut dense = build_model(
+        ModelKind::Gcn,
+        ds.feature_dim(),
+        16,
+        ds.num_classes,
+        Compression::Dense,
+        9,
+    )
+    .unwrap();
     let dense_report = train_node_classifier(dense.as_mut(), &ds, &cfg);
 
     let mut compressed = build_model(
@@ -113,14 +120,77 @@ fn dense_and_compressed_models_make_mostly_identical_predictions() {
     // Prediction agreement on test nodes.
     let dl = dense.forward(&ds.graph, &ds.features, false);
     let cl = compressed.forward(&ds.graph, &ds.features, false);
-    let agree = ds
-        .masks
-        .test
-        .iter()
-        .filter(|&&v| argmax(dl.row(v)) == argmax(cl.row(v)))
-        .count();
+    let agree =
+        ds.masks.test.iter().filter(|&&v| argmax(dl.row(v)) == argmax(cl.row(v))).count();
     let frac = agree as f64 / ds.masks.test.len() as f64;
     assert!(frac > 0.7, "prediction agreement only {frac:.2}");
+}
+
+#[test]
+fn trained_model_serves_through_the_engine_front_door() {
+    // The full production story: train a compressed GNN, freeze it into
+    // an Engine on the simulated-accelerator backend, and serve. The
+    // engine's answers must match the training-path forward pass exactly
+    // (preparation changes the execution schedule, not the math), come
+    // with a hardware report, and keep the learned accuracy.
+    let ds = small_task();
+    let mut model = build_model(
+        ModelKind::GsPool,
+        ds.feature_dim(),
+        16,
+        ds.num_classes,
+        Compression::BlockCirculant { block_size: 8 },
+        31,
+    )
+    .unwrap();
+    let report = train_node_classifier(
+        model.as_mut(),
+        &ds,
+        &TrainConfig { epochs: 40, lr: 0.02, patience: 0 },
+    );
+    assert!(report.test_accuracy > 0.6, "model must learn, got {}", report.test_accuracy);
+    let reference = model.forward(&ds.graph, &ds.features, false);
+
+    let test_nodes = ds.masks.test.clone();
+    let labels = ds.labels.clone();
+    let dataset = Arc::new(ds);
+    let mut engine = EngineBuilder::new(ModelKind::GsPool, BackendKind::SimulatedAccel)
+        .build_with_model(model, Arc::clone(&dataset))
+        .expect("trained weights deploy");
+
+    let mut session = engine.session();
+    let response = session.infer(&InferRequest::all_nodes()).expect("refresh serves");
+    assert_eq!(
+        response.logits.linf_distance(&reference),
+        0.0,
+        "engine serving must reproduce the training-path forward exactly"
+    );
+    assert!(response.sim.expect("hardware report").total_cycles > 0);
+
+    let correct = test_nodes.iter().filter(|&&v| response.predictions[v] == labels[v]).count();
+    let acc = correct as f64 / test_nodes.len() as f64;
+    assert!(
+        (acc - report.test_accuracy).abs() < 0.15,
+        "served accuracy {acc:.3} far from trained {:.3}",
+        report.test_accuracy
+    );
+
+    // Sampled serving on the same engine stays close to full-graph.
+    let batch: Vec<usize> = test_nodes.iter().copied().take(40).collect();
+    let sampled = session
+        .infer(&InferRequest::paper_sampled(batch.clone(), 3))
+        .expect("sampled request serves");
+    let agree = batch
+        .iter()
+        .zip(&sampled.predictions)
+        .filter(|(&v, &p)| response.predictions[v] == p)
+        .count();
+    assert!(
+        agree as f64 / batch.len() as f64 > 0.7,
+        "sampled predictions collapsed: {agree}/{} agree",
+        batch.len()
+    );
+    assert_eq!(session.stats().requests, 2);
 }
 
 #[test]

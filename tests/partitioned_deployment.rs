@@ -28,10 +28,7 @@ fn partitioned_sampled_inference_covers_every_node() {
     assert!(k >= 2, "budget must force a multi-part split, got k={k}");
     let parts = partition_contiguous(&ds.graph, k);
     for part in &parts {
-        assert!(
-            part.feature_bytes(ds.feature_dim()) <= budget,
-            "part exceeds the DRAM budget"
-        );
+        assert!(part.feature_bytes(ds.feature_dim()) <= budget, "part exceeds the DRAM budget");
     }
 
     let mut model = build_model(
@@ -49,8 +46,7 @@ fn partitioned_sampled_inference_covers_every_node() {
     let mut covered = vec![false; ds.num_nodes()];
     for part in &parts {
         let batch: Vec<usize> = part.nodes.iter().map(|&v| v as usize).collect();
-        let logits =
-            sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 10, 5, 3);
+        let logits = sampled_forward(model.as_mut(), &ds.graph, &ds.features, &batch, 10, 5, 3);
         assert_eq!(logits.rows(), batch.len());
         for &v in &batch {
             assert!(!covered[v], "node {v} predicted twice");
@@ -68,7 +64,8 @@ fn per_part_latency_sums_to_whole_graph_latency() {
     let ds = deployment();
     let accel = BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
     let spec = ds.spec();
-    let whole = accel.simulate_workload(&GnnWorkload::new(ModelKind::GsPool, &spec, 64, &[10, 5]), 16);
+    let whole =
+        accel.simulate_workload(&GnnWorkload::new(ModelKind::GsPool, &spec, 64, &[10, 5]), 16);
 
     let parts = partition_contiguous(&ds.graph, 2);
     let mut parts_total = 0u64;

@@ -44,10 +44,8 @@ fn table5_and_table6_are_consistent() {
     for (a, b) in t5.iter().zip(&t6) {
         assert_eq!(a.dataset, b.dataset);
         // Table VI's DSP column is Eq. 8 applied to Table V's config.
-        let dsp = a.result.params.dsp_usage(
-            128,
-            &blockgnn::perf::coeffs::HardwareCoeffs::zc706(),
-        );
+        let dsp =
+            a.result.params.dsp_usage(128, &blockgnn::perf::coeffs::HardwareCoeffs::zc706());
         assert_eq!(dsp, b.estimate.dsp48);
     }
 }
