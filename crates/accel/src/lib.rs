@@ -28,6 +28,30 @@
 //! * [`CpuModel`] — the Xeon Gold 5220 roofline baseline (TensorFlow
 //!   GraphSAGE efficiency, 125 W).
 //! * [`energy`] — Nodes/J accounting for Figure 7.
+//!
+//! # Example: cycle-model a workload, then merge a §IV-C split
+//!
+//! ```
+//! use blockgnn_accel::{BlockGnnAccelerator, SimReport};
+//! use blockgnn_gnn::{workload::GnnWorkload, ModelKind};
+//! use blockgnn_graph::datasets;
+//! use blockgnn_perf::{coeffs::HardwareCoeffs, params::CirCoreParams};
+//!
+//! let accel = BlockGnnAccelerator::new(CirCoreParams::base(), HardwareCoeffs::zc706());
+//! let spec = datasets::cora_like();
+//! let whole = accel.simulate_workload(&GnnWorkload::new(ModelKind::Gcn, &spec, 512, &[25, 10]), 64);
+//! assert!(whole.total_cycles > 0);
+//!
+//! // Partitioned processing (the paper splits Reddit in two): per-part
+//! // reports merge by summation and reproduce the whole-graph total.
+//! let parts = [spec.num_nodes / 2, spec.num_nodes - spec.num_nodes / 2].map(|n| {
+//!     let mut part = spec.clone();
+//!     part.num_nodes = n;
+//!     accel.simulate_workload(&GnnWorkload::new(ModelKind::Gcn, &part, 512, &[25, 10]), 64)
+//! });
+//! let merged = SimReport::merge(parts).unwrap();
+//! assert_eq!(merged.total_cycles, whole.total_cycles);
+//! ```
 
 #![deny(missing_docs)]
 

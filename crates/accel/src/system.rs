@@ -107,11 +107,39 @@ impl SimReport {
     pub fn nodes_per_second(&self) -> f64 {
         self.num_nodes as f64 / self.seconds
     }
+
+    /// Merges per-part reports from a partitioned execution into one
+    /// whole-graph report, the way §IV-C evaluates the Reddit dataset:
+    /// the sub-graphs run one after another on a single accelerator, so
+    /// total cycles, wall-clock seconds, and processed nodes **sum**
+    /// across parts. The per-layer breakdown is per-node (identical for
+    /// every part of the same model/configuration), so the first part's
+    /// layer entries are kept. Returns `None` for an empty iterator.
+    ///
+    /// Because the Eq. 7 total is linear in the node count, merging the
+    /// per-part reports of any partition reproduces the unpartitioned
+    /// report exactly — the property that makes the paper's two-way
+    /// Reddit split performance-neutral.
+    #[must_use]
+    pub fn merge(parts: impl IntoIterator<Item = SimReport>) -> Option<SimReport> {
+        let mut parts = parts.into_iter();
+        let mut merged = parts.next()?;
+        for part in parts {
+            debug_assert_eq!(
+                merged.layers, part.layers,
+                "parts of one partitioned run share a per-node layer breakdown"
+            );
+            merged.total_cycles += part.total_cycles;
+            merged.seconds += part.seconds;
+            merged.num_nodes += part.num_nodes;
+        }
+        Some(merged)
+    }
 }
 
 /// The accelerator: CirCore + VPU + Global Buffer behind a command
 /// interface.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct BlockGnnAccelerator {
     params: CirCoreParams,
     coeffs: HardwareCoeffs,
@@ -343,6 +371,31 @@ mod tests {
         assert!(report.nodes_per_second() > 0.0);
         // Layer 1 (wide input features) must cost at least layer 2.
         assert!(report.layers[0].effective >= report.layers[1].effective);
+    }
+
+    #[test]
+    fn merged_part_reports_reproduce_the_whole_graph_report() {
+        // §IV-C: Reddit splits into two sub-graphs; processing them in
+        // sequence must cost exactly the unpartitioned total.
+        let acc = accel();
+        let spec = datasets::cora_like();
+        let w = GnnWorkload::new(ModelKind::Ggcn, &spec, 256, &[25, 10]);
+        let whole = acc.simulate_workload(&w, 64);
+        let split = [spec.num_nodes / 3, spec.num_nodes - spec.num_nodes / 3];
+        let parts = split.iter().map(|&nodes| {
+            let mut part_spec = spec.clone();
+            part_spec.num_nodes = nodes;
+            acc.simulate_workload(
+                &GnnWorkload::new(ModelKind::Ggcn, &part_spec, 256, &[25, 10]),
+                64,
+            )
+        });
+        let merged = SimReport::merge(parts).unwrap();
+        assert_eq!(merged.total_cycles, whole.total_cycles);
+        assert_eq!(merged.num_nodes, whole.num_nodes);
+        assert!((merged.seconds - whole.seconds).abs() < 1e-12);
+        assert_eq!(merged.layers, whole.layers);
+        assert!(SimReport::merge(std::iter::empty()).is_none());
     }
 
     #[test]

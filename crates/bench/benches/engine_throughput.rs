@@ -1,10 +1,15 @@
 //! Serving-engine throughput: `Session::infer` across the three
-//! execution backends at micro-batch sizes {1, 16, 256} — the baseline
-//! later batching/sharding work is measured against.
+//! execution backends at micro-batch sizes {1, 16, 256}, plus the
+//! partition-parallel scaling curve (1/2/4/8 workers × 3 backends) for
+//! full-graph inference on the largest built-in dataset.
 //!
-//! Requests are sampled two-hop micro-batches (the serving-time workload
-//! shape); full-graph requests are excluded because the engine answers
-//! them from cache after the first call.
+//! Micro-batch requests are sampled two-hop subgraphs (the serving-time
+//! workload shape). The full-graph groups clear the engine's logits
+//! cache every iteration so the execution path itself is measured; the
+//! `sequential` row is single-threaded `Session::infer`, the numbered
+//! rows are `ParallelEngine` at that worker count. The parallel rows
+//! only beat `sequential` when the host actually has that many cores —
+//! on a single-core runner the curve degenerates to thread overhead.
 
 use blockgnn_engine::{BackendKind, Engine, EngineBuilder, InferRequest};
 use blockgnn_gnn::ModelKind;
@@ -51,12 +56,41 @@ fn bench_session_infer(c: &mut Criterion) {
     }
 }
 
+fn bench_parallel_full_graph(c: &mut Criterion) {
+    // The largest fully materialized Table IV stand-in.
+    let dataset = Arc::new(datasets::pubmed_like_small(7));
+    let request = InferRequest::all_nodes();
+    for backend in BackendKind::all() {
+        let mut group = c.benchmark_group(format!("full_graph_{backend}"));
+        group.sample_size(10);
+        let mut engine = engine_on(backend, &dataset);
+        group.bench_function("sequential", |b| {
+            b.iter(|| {
+                engine.clear_full_graph_cache();
+                black_box(engine.session().infer(&request).expect("request serves"))
+            });
+        });
+        for workers in [1usize, 2, 4, 8] {
+            let mut parallel = engine_on(backend, &dataset)
+                .into_parallel(workers)
+                .expect("worker count is positive");
+            group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, _| {
+                b.iter(|| {
+                    parallel.clear_full_graph_cache();
+                    black_box(parallel.session().infer(&request).expect("request serves"))
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(2));
-    targets = bench_session_infer
+    targets = bench_session_infer, bench_parallel_full_graph
 }
 criterion_main!(benches);

@@ -16,6 +16,15 @@
 //!
 //! Run them all via the `repro` binary:
 //! `cargo run --release -p blockgnn-bench --bin repro -- all --quick`.
+//!
+//! # Example: regenerate Table IV
+//!
+//! ```
+//! let specs = blockgnn_bench::table4::run();
+//! assert_eq!(specs.len(), 4); // CR, CS, PB, RD
+//! let rendered = blockgnn_bench::table4::render(&specs);
+//! assert!(rendered.contains("reddit-like"));
+//! ```
 
 #![deny(missing_docs)]
 

@@ -10,6 +10,17 @@
 //! Numbers are indicative, not statistically rigorous; swap the manifest
 //! back to the real crate when a registry is available (the bench sources
 //! need no changes).
+//!
+//! # Example
+//!
+//! ```
+//! use criterion::Criterion;
+//!
+//! let mut c = Criterion::default().sample_size(3);
+//! let mut group = c.benchmark_group("demo");
+//! group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+//! group.finish();
+//! ```
 
 #![deny(missing_docs)]
 

@@ -40,6 +40,20 @@ impl BackendKind {
         [BackendKind::Dense, BackendKind::Spectral, BackendKind::SimulatedAccel]
     }
 
+    /// Bytes one feature scalar occupies while resident for this
+    /// backend — the divisor of the §IV-C memory-budget partitioning.
+    /// The simulated accelerator streams Q16.16 fixed-point features
+    /// (4 bytes); the software backends hold f64 host matrices
+    /// (8 bytes). Kept per-backend (rather than a hardcoded fp32) so
+    /// residency budgets stay honest across number formats.
+    #[must_use]
+    pub fn bytes_per_feature(&self) -> usize {
+        match self {
+            BackendKind::Dense | BackendKind::Spectral => 8,
+            BackendKind::SimulatedAccel => 4,
+        }
+    }
+
     /// Human-readable name.
     #[must_use]
     pub fn name(&self) -> &'static str {
@@ -82,7 +96,17 @@ pub struct RequestShape {
 
 /// An execution substrate: runs a prepared model over a computation
 /// graph.
-pub trait ExecutionBackend {
+///
+/// Backends are `Send` and forkable: [`ExecutionBackend::fork`] produces
+/// an independent replica whose prepared weights and cached spectra are
+/// `Arc`-shared with the original (see [`blockgnn_nn::ExecMode`]), which
+/// is how the parallel serving engine places one backend per worker
+/// thread without duplicating the model. The staged methods
+/// ([`ExecutionBackend::num_stages`] / [`ExecutionBackend::execute_stage`])
+/// expose the model's row-parallel inference stages
+/// ([`blockgnn_gnn::GnnModel::forward_stage`]) so a scheduler can shard
+/// each stage's rows across workers and barrier between stages.
+pub trait ExecutionBackend: Send {
     /// Which substrate this is.
     fn kind(&self) -> BackendKind;
 
@@ -95,6 +119,50 @@ pub trait ExecutionBackend {
         features: &Matrix,
         shape: RequestShape,
     ) -> BackendOutput;
+
+    /// Forks an independent replica for another worker thread. Prepared
+    /// weights/spectra are shared (`Arc`), per-call scratch state is not.
+    fn fork(&self) -> Box<dyn ExecutionBackend>;
+
+    /// Precomputes per-graph state before a staged request (delegates to
+    /// [`blockgnn_gnn::GnnModel::prepare_graph`]); the scheduler calls
+    /// it once per worker per request so stages skip repeated
+    /// per-part recomputation.
+    fn prepare_graph(&mut self, graph: &CsrGraph);
+
+    /// Number of row-parallel inference stages of the underlying model.
+    fn num_stages(&self) -> usize;
+
+    /// Output width of stage `stage` at the given input feature width.
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize;
+
+    /// Computes stage `stage` output rows for target nodes `rows` from
+    /// the full previous-stage matrix `input` — bit-identical to the
+    /// corresponding slice of [`ExecutionBackend::execute`]'s logits
+    /// when chained over all stages.
+    fn execute_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix;
+
+    /// Hardware cost of serving `shape` over a computation graph with
+    /// `num_arcs` arcs, `feature_dim`-wide inputs and `num_classes`
+    /// outputs: the Eq. 3–7 [`SimReport`] and an energy estimate in
+    /// joules. `None` for software backends, which model no hardware.
+    /// The partition-parallel scheduler calls this once per part and
+    /// merges with [`SimReport::merge`] (the §IV-C sub-graph accounting).
+    fn charge(
+        &self,
+        _num_arcs: usize,
+        _feature_dim: usize,
+        _num_classes: usize,
+        _shape: RequestShape,
+    ) -> Option<(SimReport, f64)> {
+        None
+    }
 }
 
 /// Dense-GEMM backend: circulant weights are decompressed once at
@@ -128,6 +196,32 @@ impl ExecutionBackend for DenseBackend {
             sim: None,
             energy_joules: None,
         }
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionBackend> {
+        Box::new(Self { model: self.model.clone_boxed() })
+    }
+
+    fn prepare_graph(&mut self, graph: &CsrGraph) {
+        self.model.prepare_graph(graph);
+    }
+
+    fn num_stages(&self) -> usize {
+        self.model.num_stages()
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        self.model.stage_width(stage, feature_dim)
+    }
+
+    fn execute_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        self.model.forward_stage(stage, graph, input, rows)
     }
 }
 
@@ -163,6 +257,32 @@ impl ExecutionBackend for SpectralBackend {
             sim: None,
             energy_joules: None,
         }
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionBackend> {
+        Box::new(Self { model: self.model.clone_boxed() })
+    }
+
+    fn prepare_graph(&mut self, graph: &CsrGraph) {
+        self.model.prepare_graph(graph);
+    }
+
+    fn num_stages(&self) -> usize {
+        self.model.num_stages()
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        self.model.stage_width(stage, feature_dim)
+    }
+
+    fn execute_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        self.model.forward_stage(stage, graph, input, rows)
     }
 }
 
@@ -204,7 +324,7 @@ impl SimulatedAccelBackend {
     ) -> Result<Self, EngineError> {
         model.prepare(ExecMode::Spectral);
         let power_w = coeffs.accel_power_w;
-        let accel = BlockGnnAccelerator::new(params, coeffs);
+        let accel = BlockGnnAccelerator::new(params, coeffs.clone());
         // Whole-model residency: sum every circulant layer's spectral
         // footprint (complex Q16.16, 8 bytes per retained bin — the same
         // accounting as `BlockGnnAccelerator::load_weights`).
@@ -241,15 +361,62 @@ impl ExecutionBackend for SimulatedAccelBackend {
         shape: RequestShape,
     ) -> BackendOutput {
         let logits = self.model.forward(graph, features, false);
+        let (sim, energy) = self
+            .charge(graph.num_arcs(), features.cols(), logits.cols(), shape)
+            .expect("the simulated accelerator always reports hardware cost");
+        BackendOutput { logits, sim: Some(sim), energy_joules: Some(energy) }
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionBackend> {
+        // The residency check ran when the original was built; the fork
+        // serves the same weights, so it holds by construction.
+        Box::new(Self {
+            model: self.model.clone_boxed(),
+            accel: self.accel.clone(),
+            power_w: self.power_w,
+            hidden_dim: self.hidden_dim,
+            block_size: self.block_size,
+        })
+    }
+
+    fn prepare_graph(&mut self, graph: &CsrGraph) {
+        self.model.prepare_graph(graph);
+    }
+
+    fn num_stages(&self) -> usize {
+        self.model.num_stages()
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        self.model.stage_width(stage, feature_dim)
+    }
+
+    fn execute_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        self.model.forward_stage(stage, graph, input, rows)
+    }
+
+    fn charge(
+        &self,
+        num_arcs: usize,
+        feature_dim: usize,
+        num_classes: usize,
+        shape: RequestShape,
+    ) -> Option<(SimReport, f64)> {
         // The workload is priced per *target* node (each already charged
         // its full two-hop sampled aggregation by the per-layer model),
         // not per materialized sub-universe node.
         let spec = DatasetSpec::new(
             "request",
             shape.target_nodes,
-            graph.num_arcs() / 2,
-            features.cols(),
-            logits.cols(),
+            num_arcs / 2,
+            feature_dim,
+            num_classes,
         );
         let workload = GnnWorkload::new(
             self.model.kind(),
@@ -259,6 +426,6 @@ impl ExecutionBackend for SimulatedAccelBackend {
         );
         let sim = self.accel.simulate_workload(&workload, self.block_size);
         let energy = sim.seconds * self.power_w;
-        BackendOutput { logits, sim: Some(sim), energy_joules: Some(energy) }
+        Some((sim, energy))
     }
 }

@@ -11,7 +11,6 @@ use blockgnn_accel::SimReport;
 use blockgnn_gnn::sampled::SampledSubgraph;
 use blockgnn_gnn::{build_model_with_policy, CompressionPolicy, GnnModel, ModelKind};
 use blockgnn_graph::Dataset;
-use blockgnn_linalg::vector::argmax;
 use blockgnn_linalg::Matrix;
 use blockgnn_nn::{Compression, LinearLayer};
 use blockgnn_perf::coeffs::HardwareCoeffs;
@@ -193,15 +192,15 @@ fn largest_block_size(model: &mut dyn GnnModel) -> usize {
 /// model (see [`blockgnn_nn::ExecMode`]), and every [`Session`] serves
 /// from that frozen state. Open a session with [`Engine::session`].
 pub struct Engine {
-    dataset: Arc<Dataset>,
-    backend: Box<dyn ExecutionBackend>,
-    model_kind: ModelKind,
-    backend_kind: BackendKind,
+    pub(crate) dataset: Arc<Dataset>,
+    pub(crate) backend: Box<dyn ExecutionBackend>,
+    pub(crate) model_kind: ModelKind,
+    pub(crate) backend_kind: BackendKind,
     /// Fan-outs the cycle model charges for full-graph requests.
-    fanouts: (usize, usize),
+    pub(crate) fanouts: (usize, usize),
     /// Full-graph output, computed at most once per engine (weights are
     /// immutable, so it can never go stale).
-    full_graph_cache: Option<BackendOutput>,
+    pub(crate) full_graph_cache: Option<BackendOutput>,
 }
 
 impl Engine {
@@ -236,6 +235,14 @@ impl Engine {
         Session { engine: self, stats: ServeStats::default() }
     }
 
+    /// Drops the full-graph logits cache so the next full-graph request
+    /// recomputes (and re-charges the hardware models). Useful for
+    /// benchmarking the execution path itself; regular serving never
+    /// needs this, since an engine's weights are immutable.
+    pub fn clear_full_graph_cache(&mut self) {
+        self.full_graph_cache = None;
+    }
+
     /// Resolves and executes one request; returns the per-node logits,
     /// the hardware report/energy (when freshly simulated), and whether
     /// the cache answered.
@@ -243,12 +250,7 @@ impl Engine {
         &mut self,
         request: &InferRequest,
     ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool), EngineError> {
-        let num_nodes = self.dataset.num_nodes();
-        for &node in &request.nodes {
-            if node >= num_nodes {
-                return Err(EngineError::NodeOutOfRange { node, num_nodes });
-            }
-        }
+        crate::request::validate_nodes(&request.nodes, self.dataset.num_nodes())?;
         match request.mode {
             RequestMode::FullGraph => {
                 let from_cache = self.full_graph_cache.is_some();
@@ -265,13 +267,7 @@ impl Engine {
                     self.full_graph_cache = Some(out);
                 }
                 let cached = self.full_graph_cache.as_ref().expect("just populated");
-                let logits = if request.nodes.is_empty() {
-                    cached.logits.clone()
-                } else {
-                    Matrix::from_fn(request.nodes.len(), cached.logits.cols(), |i, j| {
-                        cached.logits[(request.nodes[i], j)]
-                    })
-                };
+                let logits = crate::request::full_graph_rows(&cached.logits, &request.nodes);
                 // Cache hits cost the hardware nothing — only the fresh
                 // computation carries its cycle/energy report, so summing
                 // per-response cost over a session stays truthful.
@@ -293,12 +289,7 @@ impl Engine {
                 let local_features = sub.gather_features(&self.dataset.features);
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
                 let out = self.backend.execute(&sub.graph, &local_features, shape);
-                let logits = Matrix::from_fn(request.nodes.len(), out.logits.cols(), |i, j| {
-                    let local = sub
-                        .local_of(request.nodes[i])
-                        .expect("request nodes are interned into the subgraph");
-                    out.logits[(local, j)]
-                });
+                let logits = crate::request::sampled_rows(&out.logits, &sub, &request.nodes);
                 Ok((logits, out.sim, out.energy_joules, false))
             }
         }
@@ -334,19 +325,16 @@ impl Session<'_> {
     pub fn infer(&mut self, request: &InferRequest) -> Result<InferResponse, EngineError> {
         let start = Instant::now();
         let (logits, sim, energy_joules, from_cache) = self.engine.run_request(request)?;
-        let latency = start.elapsed();
-        let predictions: Vec<usize> = (0..logits.rows())
-            .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
-            .collect();
-        let sim_cycles = sim.as_ref().map_or(0, |s| s.total_cycles);
-        self.stats.record(
-            logits.rows(),
-            latency,
-            sim_cycles,
-            energy_joules.unwrap_or(0.0),
+        let parts = usize::from(!from_cache);
+        Ok(crate::request::assemble_response(
+            logits,
+            sim,
+            energy_joules,
             from_cache,
-        );
-        Ok(InferResponse { logits, predictions, latency, sim, energy_joules, from_cache })
+            parts,
+            start,
+            &mut self.stats,
+        ))
     }
 
     /// Answers a batch of requests in order, stopping at the first error.

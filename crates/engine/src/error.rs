@@ -24,6 +24,8 @@ pub enum EngineError {
     },
     /// A sampled request carried no target nodes.
     EmptyRequest,
+    /// A parallel engine was requested with zero worker threads.
+    NoWorkers,
 }
 
 impl fmt::Display for EngineError {
@@ -35,6 +37,9 @@ impl fmt::Display for EngineError {
                 write!(f, "request node {node} out of range (graph has {num_nodes} nodes)")
             }
             EngineError::EmptyRequest => write!(f, "sampled request carries no target nodes"),
+            EngineError::NoWorkers => {
+                write!(f, "a parallel engine needs at least one worker thread")
+            }
         }
     }
 }

@@ -17,6 +17,14 @@
 //!   session answers micro-batched [`InferRequest`]s (full-graph or
 //!   sampled two-hop subgraph per request) and accumulates
 //!   [`ServeStats`] (latency, nodes/sec, simulated cycles).
+//! * [`Engine::into_parallel`] → [`ParallelEngine`] → [`ParallelSession`]
+//!   — partition-parallel serving (§IV-C): the graph is split into
+//!   memory-budgeted [`blockgnn_graph::GraphPart`]s, one forked backend
+//!   per worker thread executes the model's row-parallel stages over its
+//!   parts (prepared weights `Arc`-shared), and per-part logits merge
+//!   row-aligned — bit-identical to the sequential path — while per-part
+//!   [`blockgnn_accel::SimReport`]s merge by the paper's two-sub-graph
+//!   summation.
 //!
 //! # Example: same weights, three substrates
 //!
@@ -50,6 +58,7 @@ mod backend;
 #[allow(clippy::module_inception)]
 mod engine;
 mod error;
+mod parallel;
 mod request;
 mod stats;
 
@@ -59,5 +68,8 @@ pub use backend::{
 };
 pub use engine::{Engine, EngineBuilder, Session};
 pub use error::EngineError;
+pub use parallel::{
+    ParallelEngine, ParallelSession, DEFAULT_MIN_SHARD_ROWS, DEFAULT_PART_BUDGET_BYTES,
+};
 pub use request::{InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
 pub use stats::ServeStats;

@@ -1,0 +1,491 @@
+//! Partition-parallel serving: shard full-graph (and large sampled)
+//! inference across worker threads.
+//!
+//! §IV-C partitions graphs that exceed the accelerator's memory into
+//! sub-graphs processed independently; this module turns that idea into
+//! the serving hot path. [`ParallelEngine`] splits the graph into
+//! [`GraphPart`]s (contiguous node ranges with their one-hop halos,
+//! sized so every part's resident features fit a §IV-B-derived memory
+//! budget), forks one [`ExecutionBackend`] replica per worker (prepared
+//! weights and cached spectra are `Arc`-shared, see
+//! [`blockgnn_nn::ExecMode`]), and executes the model's row-parallel
+//! inference stages over a [`std::thread::scope`] pool with a barrier
+//! between stages.
+//!
+//! # Why stages instead of running the whole model per part
+//!
+//! A two-layer GNN needs the *two-hop* neighborhood of a part to compute
+//! its logits in isolation; on anything but spatially local graphs that
+//! closure approaches the whole graph, and per-part redundant compute
+//! erases the parallel win. Instead each stage computes only its own
+//! rows and reads the previous stage's **merged** matrix at a one-hop
+//! halo ([`GnnModel::forward_stage`](blockgnn_gnn::GnnModel::forward_stage)) —
+//! zero redundant arithmetic, and every row is produced by exactly the
+//! same operations as the sequential pass, so merged logits are
+//! **bit-identical** to [`crate::Session::infer`] on the dense backend
+//! (and within FFT rounding of it on the spectral paths — they are also
+//! bit-identical in practice, since each row's FFTs see the same
+//! inputs).
+//!
+//! Per-part hardware cost is still accounted the §IV-C way: the
+//! simulated accelerator charges each part's target nodes separately and
+//! the per-part [`SimReport`]s merge by summation
+//! ([`SimReport::merge`] — cycles combine as in the paper's two-sub-graph
+//! Reddit evaluation, energy sums), reproducing the sequential report
+//! exactly.
+
+use crate::backend::{BackendKind, BackendOutput, ExecutionBackend, RequestShape};
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::request::{InferRequest, InferResponse, RequestMode};
+use crate::stats::ServeStats;
+use blockgnn_accel::SimReport;
+use blockgnn_gnn::sampled::SampledSubgraph;
+use blockgnn_gnn::ModelKind;
+use blockgnn_graph::partition::{partition_contiguous, GraphPart};
+use blockgnn_graph::{CsrGraph, Dataset};
+use blockgnn_linalg::Matrix;
+use blockgnn_perf::resources::NODE_FEATURE_BUFFER_BYTES;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default per-part feature-residency budget: one bank of the §IV-B
+/// Node-Feature Buffer (the 512 KB NFB is a ping-pong pair, so half is
+/// usable while the other half is being filled by DMA).
+pub const DEFAULT_PART_BUDGET_BYTES: usize = NODE_FEATURE_BUFFER_BYTES / 2;
+
+/// Sampled requests with at least this many unique target nodes are
+/// sharded across workers; smaller micro-batches run on one worker
+/// (their sub-universes are too small to amortize the fan-out).
+pub const DEFAULT_MIN_SHARD_ROWS: usize = 32;
+
+impl Engine {
+    /// Converts this engine into a [`ParallelEngine`] with `workers`
+    /// worker threads. The existing backend becomes worker 0 and is
+    /// forked `workers − 1` times; forks share the prepared weights and
+    /// cached spectra behind `Arc`s, so the conversion is cheap in
+    /// memory. The full graph is partitioned once, into the smallest
+    /// contiguous split that is at least `workers` parts **and** fits
+    /// every part's resident features (targets + one-hop halo, at the
+    /// backend's [`BackendKind::bytes_per_feature`] scalar width) in
+    /// [`DEFAULT_PART_BUDGET_BYTES`].
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] if `workers` is zero.
+    pub fn into_parallel(self, workers: usize) -> Result<ParallelEngine, EngineError> {
+        if workers == 0 {
+            return Err(EngineError::NoWorkers);
+        }
+        let mut pool = Vec::with_capacity(workers);
+        for _ in 1..workers {
+            pool.push(self.backend.fork());
+        }
+        pool.insert(0, self.backend);
+        let mut engine = ParallelEngine {
+            dataset: self.dataset,
+            workers: pool,
+            model_kind: self.model_kind,
+            backend_kind: self.backend_kind,
+            fanouts: self.fanouts,
+            part_budget_bytes: DEFAULT_PART_BUDGET_BYTES,
+            min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
+            parts: Vec::new(),
+            full_graph_cache: self.full_graph_cache,
+        };
+        engine.replan_parts();
+        Ok(engine)
+    }
+}
+
+/// A partition-parallel serving engine: the same prepared weights as
+/// [`Engine`], served by a pool of forked backends over graph parts.
+///
+/// ```
+/// use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
+/// use blockgnn_gnn::ModelKind;
+/// use blockgnn_graph::datasets;
+/// use std::sync::Arc;
+///
+/// let dataset = Arc::new(datasets::cora_like_small(7));
+/// let engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Dense)
+///     .hidden_dim(16)
+///     .build(dataset)
+///     .unwrap();
+/// let mut parallel = engine.into_parallel(4).unwrap();
+/// let mut session = parallel.session();
+/// let response = session.infer(&InferRequest::all_nodes()).unwrap();
+/// assert!(response.parts >= 4, "full-graph inference is sharded");
+/// ```
+pub struct ParallelEngine {
+    dataset: Arc<Dataset>,
+    /// One backend replica per worker; index 0 is the original.
+    workers: Vec<Box<dyn ExecutionBackend>>,
+    model_kind: ModelKind,
+    backend_kind: BackendKind,
+    fanouts: (usize, usize),
+    part_budget_bytes: usize,
+    min_shard_rows: usize,
+    /// The full graph's partition plan, computed once (the graph and the
+    /// budget are fixed for the engine's lifetime).
+    parts: Vec<GraphPart>,
+    full_graph_cache: Option<BackendOutput>,
+}
+
+impl ParallelEngine {
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Which of the paper's four algorithms this engine serves.
+    #[must_use]
+    pub fn model_kind(&self) -> ModelKind {
+        self.model_kind
+    }
+
+    /// Which execution substrate answers requests.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend_kind
+    }
+
+    /// The dataset handle requests are resolved against.
+    #[must_use]
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// The full graph's partition plan: contiguous parts with their
+    /// one-hop halos, each within the memory budget.
+    #[must_use]
+    pub fn parts(&self) -> &[GraphPart] {
+        &self.parts
+    }
+
+    /// Overrides the per-part feature-residency budget (bytes) and
+    /// re-partitions. See [`DEFAULT_PART_BUDGET_BYTES`] for the default
+    /// and the root README for how to choose a value.
+    #[must_use]
+    pub fn with_part_budget(mut self, budget_bytes: usize) -> Self {
+        self.part_budget_bytes = budget_bytes;
+        self.replan_parts();
+        self
+    }
+
+    /// Overrides the sampled-request sharding threshold (unique target
+    /// nodes); see [`DEFAULT_MIN_SHARD_ROWS`].
+    #[must_use]
+    pub fn with_min_shard_rows(mut self, min_rows: usize) -> Self {
+        self.min_shard_rows = min_rows;
+        self
+    }
+
+    /// Drops the full-graph logits cache so the next full-graph request
+    /// recomputes (benchmarking hook, like
+    /// [`Engine::clear_full_graph_cache`]).
+    pub fn clear_full_graph_cache(&mut self) {
+        self.full_graph_cache = None;
+    }
+
+    /// Opens a serving session.
+    #[must_use]
+    pub fn session(&mut self) -> ParallelSession<'_> {
+        ParallelSession { engine: self, stats: ServeStats::default() }
+    }
+
+    /// Recomputes the full-graph partition plan (see
+    /// [`ParallelEngine::plan_parts`]).
+    fn replan_parts(&mut self) {
+        self.parts = self.plan_parts(&self.dataset.graph);
+    }
+
+    /// Plans a partition of `graph`: a contiguous split with at least
+    /// one part per worker whose parts all fit the memory budget. The
+    /// resident width is the widest row any inference stage materializes
+    /// (stage outputs can be wider than the input features, e.g.
+    /// G-GCN's `[p ‖ q ‖ h]` transform rows). Applied to the full graph
+    /// at construction and to each sharded sampled sub-universe — a
+    /// per-request cost, so `k` is found by geometric escalation from
+    /// the halo-free pigeonhole bound (a bounded number of partition
+    /// passes) rather than the exact-smallest-`k` linear scan of
+    /// [`blockgnn_graph::partition::parts_needed_for_budget`]; budget
+    /// fit, not minimality, is what the serving path needs.
+    fn plan_parts(&self, graph: &CsrGraph) -> Vec<GraphPart> {
+        let n = graph.num_nodes().max(1);
+        let feature_dim = self.dataset.feature_dim();
+        let backend = &self.workers[0];
+        let width = (0..backend.num_stages())
+            .map(|s| backend.stage_width(s, feature_dim))
+            .max()
+            .unwrap_or(feature_dim)
+            .max(feature_dim);
+        let bytes = self.backend_kind.bytes_per_feature();
+        let per_node = width * bytes;
+        let budget = self.part_budget_bytes;
+        // No k below the halo-free pigeonhole bound can fit.
+        let floor = if budget == 0 {
+            n
+        } else if per_node == 0 {
+            1
+        } else {
+            (n * per_node).div_ceil(budget).clamp(1, n)
+        };
+        let mut k = self.workers.len().max(floor).min(n);
+        loop {
+            let parts = partition_contiguous(graph, k);
+            // An impossible budget degrades to single-node parts (k = n)
+            // rather than refusing to serve: the budget steers, the
+            // engine still answers.
+            if k >= n || parts.iter().all(|p| p.feature_bytes(width, bytes) <= budget) {
+                return parts;
+            }
+            k = (k + k / 2 + 1).min(n);
+        }
+    }
+
+    /// Resolves and executes one request (the parallel counterpart of
+    /// the sequential engine's `run_request`).
+    #[allow(clippy::type_complexity)]
+    fn run_request(
+        &mut self,
+        request: &InferRequest,
+    ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool, usize), EngineError> {
+        crate::request::validate_nodes(&request.nodes, self.dataset.num_nodes())?;
+        match request.mode {
+            RequestMode::FullGraph => {
+                let from_cache = self.full_graph_cache.is_some();
+                if !from_cache {
+                    let logits = run_staged(
+                        &mut self.workers,
+                        &self.dataset.graph,
+                        &self.dataset.features,
+                        &self.parts,
+                    );
+                    let (sim, energy) = merge_part_charges(
+                        self.workers[0].as_ref(),
+                        self.dataset.graph.num_arcs(),
+                        self.dataset.feature_dim(),
+                        self.dataset.num_classes,
+                        self.fanouts,
+                        self.parts.iter().map(|p| p.nodes.len()),
+                    );
+                    self.full_graph_cache =
+                        Some(BackendOutput { logits, sim, energy_joules: energy });
+                }
+                let cached = self.full_graph_cache.as_ref().expect("just populated");
+                let logits = crate::request::full_graph_rows(&cached.logits, &request.nodes);
+                // Cache hits cost the hardware nothing (and executed no
+                // parts), exactly as in the sequential engine.
+                let (sim, energy, parts) = if from_cache {
+                    (None, None, 0)
+                } else {
+                    (cached.sim.clone(), cached.energy_joules, self.parts.len())
+                };
+                Ok((logits, sim, energy, from_cache, parts))
+            }
+            RequestMode::Sampled { s1, s2, seed } => {
+                if request.nodes.is_empty() {
+                    return Err(EngineError::EmptyRequest);
+                }
+                let sub =
+                    SampledSubgraph::build(&self.dataset.graph, &request.nodes, s1, s2, seed);
+                let local_features = sub.gather_features(&self.dataset.features);
+                let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
+                let (full, sim, energy, parts) = if sub.batch_len < self.min_shard_rows
+                    || self.workers.len() == 1
+                {
+                    // Micro-batch: one worker runs the whole sub-universe.
+                    let out = self.workers[0].execute(&sub.graph, &local_features, shape);
+                    (out.logits, out.sim, out.energy_joules, 1)
+                } else {
+                    // Large batch: shard the sub-universe's rows under
+                    // the same worker-count + memory-budget plan as the
+                    // full graph. Targets occupy the local prefix
+                    // `0..batch_len`, so a part's charged target count
+                    // is its overlap with that prefix (halo-ring rows
+                    // cost the hardware nothing — the per-node cycle
+                    // model already prices each target's full two-hop
+                    // aggregation).
+                    let sub_parts = self.plan_parts(&sub.graph);
+                    let logits =
+                        run_staged(&mut self.workers, &sub.graph, &local_features, &sub_parts);
+                    let part_targets = sub_parts.iter().map(|p| {
+                        p.nodes.iter().filter(|&&v| (v as usize) < sub.batch_len).count()
+                    });
+                    let (sim, energy) = merge_part_charges(
+                        self.workers[0].as_ref(),
+                        sub.graph.num_arcs(),
+                        local_features.cols(),
+                        self.dataset.num_classes,
+                        (s1, s2),
+                        part_targets,
+                    );
+                    let k = sub_parts.len();
+                    (logits, sim, energy, k)
+                };
+                let logits = crate::request::sampled_rows(&full, &sub, &request.nodes);
+                Ok((logits, sim, energy, false, parts))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ParallelEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelEngine")
+            .field("model", &self.model_kind)
+            .field("backend", &self.backend_kind)
+            .field("dataset", &self.dataset.name)
+            .field("workers", &self.workers.len())
+            .field("parts", &self.parts.len())
+            .field("full_graph_cached", &self.full_graph_cache.is_some())
+            .finish()
+    }
+}
+
+/// Executes the model's inference stages over `parts`, fanning each
+/// stage's parts out to the worker pool and merging the output rows
+/// (row-aligned by global node id) before the next stage starts.
+fn run_staged(
+    workers: &mut [Box<dyn ExecutionBackend>],
+    graph: &CsrGraph,
+    features: &Matrix,
+    parts: &[GraphPart],
+) -> Matrix {
+    let n = graph.num_nodes();
+    let num_workers = workers.len();
+    let num_stages = workers[0].num_stages();
+    let feature_dim = features.cols();
+    let mut merged: Option<Matrix> = None;
+    for stage in 0..num_stages {
+        let width = workers[0].stage_width(stage, feature_dim);
+        let input: &Matrix = merged.as_ref().unwrap_or(features);
+        let mut out = Matrix::zeros(n, width);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(num_workers);
+            for (w, backend) in workers.iter_mut().enumerate() {
+                // Round-robin assignment: contiguous parts are near-equal
+                // in size, so stride-W interleaving balances the load.
+                let assigned: Vec<&GraphPart> =
+                    parts.iter().skip(w).step_by(num_workers).collect();
+                if assigned.is_empty() {
+                    continue;
+                }
+                handles.push(scope.spawn(move || {
+                    // Per-graph precomputation happens inside the worker
+                    // (in parallel, not serially on the caller thread);
+                    // it is idempotent, so later stages hit a warm cache.
+                    backend.prepare_graph(graph);
+                    assigned
+                        .into_iter()
+                        .map(|part| {
+                            (part, backend.execute_stage(stage, graph, input, &part.nodes))
+                        })
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for handle in handles {
+                for (part, rows) in handle.join().expect("worker thread panicked") {
+                    for (i, &v) in part.nodes.iter().enumerate() {
+                        out.row_mut(v as usize).copy_from_slice(rows.row(i));
+                    }
+                }
+            }
+        });
+        merged = Some(out);
+    }
+    merged.expect("models have at least one stage")
+}
+
+/// Charges each part's target nodes on the hardware model and merges
+/// the reports (§IV-C: sub-graphs run in sequence on one accelerator,
+/// so cycles and energy sum). `None`/`None` for software backends.
+fn merge_part_charges(
+    backend: &dyn ExecutionBackend,
+    num_arcs: usize,
+    feature_dim: usize,
+    num_classes: usize,
+    fanouts: (usize, usize),
+    part_targets: impl Iterator<Item = usize>,
+) -> (Option<SimReport>, Option<f64>) {
+    let mut reports = Vec::new();
+    let mut energy_total = 0.0;
+    for targets in part_targets.filter(|&t| t > 0) {
+        let shape = RequestShape { target_nodes: targets, fanouts };
+        match backend.charge(num_arcs, feature_dim, num_classes, shape) {
+            Some((sim, energy)) => {
+                reports.push(sim);
+                energy_total += energy;
+            }
+            None => return (None, None),
+        }
+    }
+    match SimReport::merge(reports) {
+        Some(merged) => (Some(merged), Some(energy_total)),
+        None => (None, None),
+    }
+}
+
+/// A serving session over a [`ParallelEngine`]: same request/response
+/// contract as [`crate::Session`], with partition-parallel execution
+/// underneath.
+#[derive(Debug)]
+pub struct ParallelSession<'e> {
+    engine: &'e mut ParallelEngine,
+    stats: ServeStats,
+}
+
+impl ParallelSession<'_> {
+    /// Answers one request.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NodeOutOfRange`] for invalid node ids;
+    /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
+    pub fn infer(&mut self, request: &InferRequest) -> Result<InferResponse, EngineError> {
+        let start = Instant::now();
+        let (logits, sim, energy_joules, from_cache, parts) =
+            self.engine.run_request(request)?;
+        Ok(crate::request::assemble_response(
+            logits,
+            sim,
+            energy_joules,
+            from_cache,
+            parts,
+            start,
+            &mut self.stats,
+        ))
+    }
+
+    /// Answers a batch of requests in order, stopping at the first error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`EngineError`] encountered.
+    pub fn infer_batch(
+        &mut self,
+        requests: &[InferRequest],
+    ) -> Result<Vec<InferResponse>, EngineError> {
+        requests.iter().map(|r| self.infer(r)).collect()
+    }
+
+    /// The statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The engine this session serves from.
+    #[must_use]
+    pub fn engine(&self) -> &ParallelEngine {
+        self.engine
+    }
+
+    /// Closes the session, returning its statistics.
+    #[must_use]
+    pub fn finish(self) -> ServeStats {
+        self.stats
+    }
+}

@@ -1,8 +1,15 @@
-//! Request/response types of the serving API.
+//! Request/response types of the serving API, plus the request-handling
+//! steps shared by the sequential and parallel engines (validation, row
+//! extraction, response assembly) — one implementation so the two paths
+//! cannot drift.
 
+use crate::error::EngineError;
+use crate::stats::ServeStats;
 use blockgnn_accel::SimReport;
+use blockgnn_gnn::sampled::SampledSubgraph;
+use blockgnn_linalg::vector::argmax;
 use blockgnn_linalg::Matrix;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The paper's sampling fan-outs `S₁ = 25, S₂ = 10` (§IV-A).
 pub const PAPER_FANOUTS: (usize, usize) = (25, 10);
@@ -81,6 +88,70 @@ pub struct InferResponse {
     pub energy_joules: Option<f64>,
     /// Whether the logits were served from the engine's full-graph cache.
     pub from_cache: bool,
+    /// Number of graph parts executed to answer this request: 0 on cache
+    /// hits, 1 on unpartitioned execution, and the partition size `k`
+    /// when the parallel engine sharded the computation (§IV-C).
+    pub parts: usize,
+}
+
+/// Rejects requests naming nodes outside the served graph.
+pub(crate) fn validate_nodes(nodes: &[usize], num_nodes: usize) -> Result<(), EngineError> {
+    for &node in nodes {
+        if node >= num_nodes {
+            return Err(EngineError::NodeOutOfRange { node, num_nodes });
+        }
+    }
+    Ok(())
+}
+
+/// Reads the requested rows off a full-graph logits matrix; an empty
+/// request means "every node".
+pub(crate) fn full_graph_rows(logits: &Matrix, nodes: &[usize]) -> Matrix {
+    if nodes.is_empty() {
+        logits.clone()
+    } else {
+        Matrix::from_fn(nodes.len(), logits.cols(), |i, j| logits[(nodes[i], j)])
+    }
+}
+
+/// Reads one logits row per request position off a sampled sub-universe's
+/// output, mapping global ids through the subgraph's intern table
+/// (duplicate request nodes share one interned row).
+pub(crate) fn sampled_rows(logits: &Matrix, sub: &SampledSubgraph, nodes: &[usize]) -> Matrix {
+    Matrix::from_fn(nodes.len(), logits.cols(), |i, j| {
+        let local =
+            sub.local_of(nodes[i]).expect("request nodes are interned into the subgraph");
+        logits[(local, j)]
+    })
+}
+
+/// Finishes a served request: measures latency against `start`, attaches
+/// argmax predictions, folds the outcome into `stats`, and assembles the
+/// response. Shared by the sequential and parallel sessions so the two
+/// cannot drift.
+pub(crate) fn assemble_response(
+    logits: Matrix,
+    sim: Option<SimReport>,
+    energy_joules: Option<f64>,
+    from_cache: bool,
+    parts: usize,
+    start: Instant,
+    stats: &mut ServeStats,
+) -> InferResponse {
+    let latency = start.elapsed();
+    let predictions: Vec<usize> = (0..logits.rows())
+        .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
+        .collect();
+    let sim_cycles = sim.as_ref().map_or(0, |s| s.total_cycles);
+    stats.record(
+        logits.rows(),
+        latency,
+        sim_cycles,
+        energy_joules.unwrap_or(0.0),
+        from_cache,
+        parts,
+    );
+    InferResponse { logits, predictions, latency, sim, energy_joules, from_cache, parts }
 }
 
 #[cfg(test)]

@@ -23,6 +23,9 @@ pub struct ServeStats {
     pub simulated_cycles: u64,
     /// Simulated accelerator energy in joules (fresh executions only).
     pub simulated_energy_joules: f64,
+    /// Graph parts executed across all requests (0 per cache hit, 1 per
+    /// unpartitioned execution, `k` per partition-parallel execution).
+    pub parts_executed: usize,
 }
 
 impl ServeStats {
@@ -34,12 +37,14 @@ impl ServeStats {
         sim_cycles: u64,
         sim_energy_joules: f64,
         from_cache: bool,
+        parts: usize,
     ) {
         self.requests += 1;
         self.nodes_served += nodes;
         self.total_latency += latency;
         self.min_latency = Some(self.min_latency.map_or(latency, |m| m.min(latency)));
         self.max_latency = self.max_latency.max(latency);
+        self.parts_executed += parts;
         if from_cache {
             self.full_graph_cache_hits += 1;
         } else {
@@ -77,10 +82,11 @@ mod tests {
     #[test]
     fn record_accumulates() {
         let mut s = ServeStats::default();
-        s.record(3, Duration::from_millis(4), 100, 0.5, false);
-        s.record(2, Duration::from_millis(2), 70, 0.25, true);
+        s.record(3, Duration::from_millis(4), 100, 0.5, false, 4);
+        s.record(2, Duration::from_millis(2), 70, 0.25, true, 0);
         assert_eq!(s.requests, 2);
         assert_eq!(s.nodes_served, 5);
+        assert_eq!(s.parts_executed, 4);
         assert_eq!(s.min_latency, Some(Duration::from_millis(2)));
         assert_eq!(s.max_latency, Duration::from_millis(4));
         assert_eq!(s.full_graph_cache_hits, 1);

@@ -36,30 +36,56 @@ impl NormalizedAdjacency {
     #[must_use]
     pub fn apply(&self, graph: &CsrGraph, h: &Matrix) -> Matrix {
         assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
-        let dim = h.cols();
-        let mut out = Matrix::zeros(h.rows(), dim);
+        let mut out = Matrix::zeros(h.rows(), h.cols());
         for v in 0..graph.num_nodes() {
-            let cv = self.inv_sqrt_deg[v];
-            // self-loop term
-            {
-                let hr = h.row(v);
-                let orow = out.row_mut(v);
-                let w = cv * cv;
-                for (o, &x) in orow.iter_mut().zip(hr) {
-                    *o += w * x;
-                }
-            }
-            for &u in graph.neighbors(v) {
-                let u = u as usize;
-                let w = cv * self.inv_sqrt_deg[u];
-                let hr = h.row(u);
-                let orow = out.row_mut(v);
-                for (o, &x) in orow.iter_mut().zip(hr) {
-                    *o += w * x;
-                }
-            }
+            self.accumulate_row(graph, h, v, out.row_mut(v));
         }
         out
+    }
+
+    /// Row-restricted `Â · H`: output row `i` is the normalized sum for
+    /// target node `rows[i]`, reading neighbor rows from the *full*
+    /// matrix `h`. This is the per-part operator of the partition-
+    /// parallel serving path; each row is computed by exactly the same
+    /// arithmetic (and accumulation order) as [`NormalizedAdjacency::apply`],
+    /// so sharded execution is bit-identical to the full-graph pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows()` differs from the graph's node count or a
+    /// target id is out of range.
+    #[must_use]
+    pub fn apply_rows(&self, graph: &CsrGraph, h: &Matrix, rows: &[u32]) -> Matrix {
+        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
+        let mut out = Matrix::zeros(rows.len(), h.cols());
+        for (i, &v) in rows.iter().enumerate() {
+            self.accumulate_row(graph, h, v as usize, out.row_mut(i));
+        }
+        out
+    }
+
+    /// Accumulates `(Â · H)_v` into `orow` — the shared kernel of
+    /// [`NormalizedAdjacency::apply`] and
+    /// [`NormalizedAdjacency::apply_rows`] (one code path keeps the two
+    /// bit-identical).
+    fn accumulate_row(&self, graph: &CsrGraph, h: &Matrix, v: usize, orow: &mut [f64]) {
+        let cv = self.inv_sqrt_deg[v];
+        // self-loop term
+        {
+            let hr = h.row(v);
+            let w = cv * cv;
+            for (o, &x) in orow.iter_mut().zip(hr) {
+                *o += w * x;
+            }
+        }
+        for &u in graph.neighbors(v) {
+            let u = u as usize;
+            let w = cv * self.inv_sqrt_deg[u];
+            let hr = h.row(u);
+            for (o, &x) in orow.iter_mut().zip(hr) {
+                *o += w * x;
+            }
+        }
     }
 
     /// The per-node coefficient `1/√(deg+1)`.

@@ -35,7 +35,7 @@ fn leaky_deriv(x: f64) -> f64 {
 }
 
 /// One attention head: its projection, score vectors, and forward caches.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GatHead {
     /// Attention feature projection `W` (in_dim → att_dim).
     w: LinearLayer,
@@ -189,7 +189,7 @@ fn extended_neighbors(graph: &CsrGraph, v: usize) -> Vec<usize> {
 }
 
 /// One GAT layer with one or more attention heads.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GatLayer {
     heads: Vec<GatHead>,
     /// Combiner (heads·in_dim → out_dim) over the concatenated
@@ -279,11 +279,89 @@ impl GatLayer {
         }
         f(&mut self.comb);
     }
+
+    /// Drops request-scoped forward caches (attention scores, softmax
+    /// weights, input and activation snapshots) — called when forking
+    /// worker replicas, which never read another request's scratch.
+    fn clear_scratch(&mut self) {
+        self.h_cache = Matrix::zeros(0, 0);
+        if let Some(act) = &mut self.act {
+            act.clear_cached();
+        }
+        for head in &mut self.heads {
+            head.s_cache = Matrix::zeros(0, 0);
+            head.ssrc = Vec::new();
+            head.sdst = Vec::new();
+            head.pre = Vec::new();
+            head.alpha = Vec::new();
+        }
+    }
+
+    /// Transform half-stage: per-head attention scores for each target
+    /// row — `[s₀ᵛ, d₀ᵛ, s₁ᵛ, d₁ᵛ, … ‖ h_v]` where `sₖᵛ = ⟨Wₖ·h_v, a_src⟩`
+    /// and `dₖᵛ = ⟨Wₖ·h_v, a_dst⟩`. Node-local, no neighbor reads.
+    fn stage_transform(&mut self, input: &Matrix, rows: &[u32]) -> Matrix {
+        let h = Matrix::from_fn(rows.len(), input.cols(), |i, j| input[(rows[i] as usize, j)]);
+        let num_heads = self.heads.len();
+        let mut out = Matrix::zeros(rows.len(), 2 * num_heads + self.in_dim);
+        for (k, head) in self.heads.iter_mut().enumerate() {
+            let s = head.w.forward(&h, false);
+            for i in 0..rows.len() {
+                let srow = s.row(i);
+                out[(i, 2 * k)] = srow.iter().zip(&head.a_src.data).map(|(a, b)| a * b).sum();
+                out[(i, 2 * k + 1)] =
+                    srow.iter().zip(&head.a_dst.data).map(|(a, b)| a * b).sum();
+            }
+        }
+        for (i, &v) in rows.iter().enumerate() {
+            out.row_mut(i)[2 * num_heads..].copy_from_slice(input.row(v as usize));
+        }
+        out
+    }
+
+    /// Aggregate-and-combine half-stage: per-head softmax attention over
+    /// each target's extended neighborhood, reading scores and features
+    /// from the full transform matrix, then the combiner (+ activation).
+    /// Score, softmax, and accumulation arithmetic match
+    /// [`GatHead::forward`] exactly.
+    fn stage_combine(&mut self, graph: &CsrGraph, input: &Matrix, rows: &[u32]) -> Matrix {
+        let num_heads = self.heads.len();
+        let off = 2 * num_heads;
+        assert_eq!(
+            input.cols(),
+            off + self.in_dim,
+            "gat combine stage expects [scores ‖ features] input"
+        );
+        let mut concat = Matrix::zeros(rows.len(), num_heads * self.in_dim);
+        for (i, &v) in rows.iter().enumerate() {
+            let v = v as usize;
+            let neigh = extended_neighbors(graph, v);
+            for k in 0..num_heads {
+                let pre: Vec<f64> = neigh
+                    .iter()
+                    .map(|&u| leaky(input[(v, 2 * k)] + input[(u, 2 * k + 1)]))
+                    .collect();
+                let alpha = blockgnn_linalg::vector::softmax(&pre);
+                let crow = &mut concat.row_mut(i)[k * self.in_dim..(k + 1) * self.in_dim];
+                for (&u, &al) in neigh.iter().zip(&alpha) {
+                    let hu = &input.row(u)[off..];
+                    for (o, &x) in crow.iter_mut().zip(hu) {
+                        *o += al * x;
+                    }
+                }
+            }
+        }
+        let y = self.comb.forward(&concat, false);
+        match &self.act {
+            Some(act) => act.apply(&y),
+            None => y,
+        }
+    }
 }
 
 /// Two-layer GAT model with attention dimension equal to the hidden
 /// dimension.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gat {
     layer1: GatLayer,
     layer2: GatLayer,
@@ -363,6 +441,48 @@ impl GnnModel for Gat {
     fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
         self.layer1.visit_linear_layers(f);
         self.layer2.visit_linear_layers(f);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn GnnModel> {
+        let mut copy = self.clone();
+        copy.layer1.clear_scratch();
+        copy.layer2.clear_scratch();
+        Box::new(copy)
+    }
+
+    // Each GAT layer splits at its natural seam: the node-local
+    // attention projections/scores (stage 0/2, zero halo) and the
+    // softmax-weighted neighbor aggregation + combiner (stage 1/3,
+    // one-hop halo reads).
+    fn num_stages(&self) -> usize {
+        4
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        let hidden = self.layer1.comb.out_dim();
+        match stage {
+            0 => 2 * self.layer1.heads.len() + feature_dim,
+            1 => hidden,
+            2 => 2 * self.layer2.heads.len() + hidden,
+            3 => self.layer2.comb.out_dim(),
+            _ => panic!("GAT has 4 stages, got stage {stage}"),
+        }
+    }
+
+    fn forward_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        match stage {
+            0 => self.layer1.stage_transform(input, rows),
+            1 => self.layer1.stage_combine(graph, input, rows),
+            2 => self.layer2.stage_transform(input, rows),
+            3 => self.layer2.stage_combine(graph, input, rows),
+            _ => panic!("GAT has 4 stages, got stage {stage}"),
+        }
     }
 }
 

@@ -12,11 +12,17 @@ use blockgnn_linalg::Matrix;
 use blockgnn_nn::{Compression, Layer, LinearLayer, NnError, Param, Relu};
 
 /// Two-layer GCN: `logits = W₂·Â·ReLU(W₁·Â·X)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gcn {
     lin1: LinearLayer,
     act1: Relu,
     lin2: LinearLayer,
+    /// `Â` coefficients cached by [`GnnModel::prepare_graph`], keyed by
+    /// the graph's process-unique [`CsrGraph::instance_id`] so staged
+    /// execution skips the per-part recomputation while a different
+    /// graph — even one with identical counts, or one reusing a freed
+    /// allocation — can never hit stale coefficients.
+    adj_cache: Option<(u64, NormalizedAdjacency)>,
 }
 
 impl Gcn {
@@ -36,6 +42,7 @@ impl Gcn {
             lin1: LinearLayer::new(hidden_dim, in_dim, compression, seed)?,
             act1: Relu::new(),
             lin2: LinearLayer::new(num_classes, hidden_dim, compression, seed ^ 0xBEEF)?,
+            adj_cache: None,
         })
     }
 
@@ -82,6 +89,55 @@ impl GnnModel for Gcn {
     fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
         f(&mut self.lin1);
         f(&mut self.lin2);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn GnnModel> {
+        let mut copy = self.clone();
+        copy.act1.clear_cached();
+        Box::new(copy)
+    }
+
+    fn prepare_graph(&mut self, graph: &CsrGraph) {
+        // Idempotent: repeat preparations for the same graph (one per
+        // request in the parallel scheduler) cost O(1).
+        if !matches!(&self.adj_cache, Some((id, _)) if *id == graph.instance_id()) {
+            self.adj_cache = Some((graph.instance_id(), NormalizedAdjacency::new(graph)));
+        }
+    }
+
+    // GCN's aggregator has no weights, so each layer is a single
+    // row-parallel stage: `Â`-rows then the combiner matvec. Stage `s`
+    // reads the full previous hidden matrix only at `N(v) ∪ {v}`.
+    fn num_stages(&self) -> usize {
+        2
+    }
+
+    fn stage_width(&self, stage: usize, _feature_dim: usize) -> usize {
+        match stage {
+            0 => self.lin1.out_dim(),
+            1 => self.lin2.out_dim(),
+            _ => panic!("GCN has 2 stages, got stage {stage}"),
+        }
+    }
+
+    fn forward_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        // Idempotent: a hit on the instance-id key is O(1), so callers
+        // that never prepared explicitly still pay the normalization
+        // build only once per graph.
+        self.prepare_graph(graph);
+        let (_, adj) = self.adj_cache.as_ref().expect("just prepared");
+        let a = adj.apply_rows(graph, input, rows);
+        match stage {
+            0 => self.act1.apply(&self.lin1.forward(&a, false)),
+            1 => self.lin2.forward(&a, false),
+            _ => panic!("GCN has 2 stages, got stage {stage}"),
+        }
     }
 }
 

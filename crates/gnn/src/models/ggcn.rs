@@ -13,7 +13,7 @@ use blockgnn_nn::{Layer, LinearLayer, NnError, Param, Relu};
 
 /// One G-GCN layer. Gate dimension equals the input dimension so the
 /// Hadamard product `η_u ⊙ h_u` is well-typed.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GgcnLayer {
     w_h: LinearLayer,
     w_c: LinearLayer,
@@ -126,10 +126,58 @@ impl GgcnLayer {
         f(&mut self.w_c);
         f(&mut self.comb);
     }
+
+    /// Drops request-scoped forward caches (per-arc gates, input and
+    /// activation snapshots) — called when forking worker replicas,
+    /// which never read another request's scratch.
+    fn clear_scratch(&mut self) {
+        self.h_cache = Matrix::zeros(0, 0);
+        self.gates = Vec::new();
+        if let Some(act) = &mut self.act {
+            act.clear_cached();
+        }
+    }
+
+    /// Transform half-stage: `[W_H·h_v ‖ W_C·h_v ‖ h_v]` per target row —
+    /// node-local gate terms, no neighbor reads.
+    fn stage_transform(&mut self, input: &Matrix, rows: &[u32]) -> Matrix {
+        let h = Matrix::from_fn(rows.len(), input.cols(), |i, j| input[(rows[i] as usize, j)]);
+        let p = self.w_h.forward(&h, false);
+        let q = self.w_c.forward(&h, false);
+        p.hconcat(&q).and_then(|pq| pq.hconcat(&h)).expect("row counts match by construction")
+    }
+
+    /// Aggregate-and-combine half-stage: gated neighbor sum reading
+    /// `[p ‖ q ‖ h]` columns of the full transform matrix, then the
+    /// combiner (+ activation). The gate expression matches
+    /// [`GgcnLayer::forward`] exactly.
+    fn stage_combine(&mut self, graph: &CsrGraph, input: &Matrix, rows: &[u32]) -> Matrix {
+        let dim = self.in_dim;
+        assert_eq!(input.cols(), 3 * dim, "g-gcn combine stage expects [p ‖ q ‖ h] input");
+        let mut a = Matrix::zeros(rows.len(), dim);
+        for (i, &v) in rows.iter().enumerate() {
+            let v = v as usize;
+            let qv = &input.row(v)[dim..2 * dim];
+            for &u in graph.neighbors(v) {
+                let urow = input.row(u as usize);
+                let (pu, hu) = (&urow[..dim], &urow[2 * dim..]);
+                let arow = a.row_mut(i);
+                for d in 0..dim {
+                    let gate = 1.0 / (1.0 + (-(pu[d] + qv[d])).exp());
+                    arow[d] += gate * hu[d];
+                }
+            }
+        }
+        let y = self.comb.forward(&a, false);
+        match &self.act {
+            Some(act) => act.apply(&y),
+            None => y,
+        }
+    }
 }
 
 /// Two-layer G-GCN model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Ggcn {
     layer1: GgcnLayer,
     layer2: GgcnLayer,
@@ -182,6 +230,46 @@ impl GnnModel for Ggcn {
     fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
         self.layer1.visit_linear_layers(f);
         self.layer2.visit_linear_layers(f);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn GnnModel> {
+        let mut copy = self.clone();
+        copy.layer1.clear_scratch();
+        copy.layer2.clear_scratch();
+        Box::new(copy)
+    }
+
+    // Each G-GCN layer splits at its natural seam: the node-local gate
+    // transforms (stage 0/2, zero halo) and the gated neighbor sum +
+    // combiner (stage 1/3, one-hop halo reads).
+    fn num_stages(&self) -> usize {
+        4
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        match stage {
+            0 => 3 * feature_dim,
+            1 => self.layer1.comb.out_dim(),
+            2 => 3 * self.layer1.comb.out_dim(),
+            3 => self.layer2.comb.out_dim(),
+            _ => panic!("G-GCN has 4 stages, got stage {stage}"),
+        }
+    }
+
+    fn forward_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        match stage {
+            0 => self.layer1.stage_transform(input, rows),
+            1 => self.layer1.stage_combine(graph, input, rows),
+            2 => self.layer2.stage_transform(input, rows),
+            3 => self.layer2.stage_combine(graph, input, rows),
+            _ => panic!("G-GCN has 4 stages, got stage {stage}"),
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use blockgnn_linalg::Matrix;
 use blockgnn_nn::{Layer, LinearLayer, NnError, Param, Relu};
 
 /// One GS-Pool layer.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct GsPoolLayer {
     pool: LinearLayer,
     pool_act: Relu,
@@ -114,11 +114,68 @@ impl GsPoolLayer {
         f(&mut self.pool);
         f(&mut self.comb);
     }
+
+    /// Drops request-scoped scratch (max-pool argmax, activation
+    /// snapshots) — called when forking worker replicas, which never
+    /// read another request's scratch.
+    fn clear_scratch(&mut self) {
+        self.argmax = Vec::new();
+        self.pool_act.clear_cached();
+        if let Some(act) = &mut self.act {
+            act.clear_cached();
+        }
+    }
+
+    /// Transform half-stage: `[ReLU(W_pool·h_v + b) ‖ h_v]` for each
+    /// target row — node-local, no neighbor reads.
+    fn stage_transform(&mut self, input: &Matrix, rows: &[u32]) -> Matrix {
+        let h = Matrix::from_fn(rows.len(), input.cols(), |i, j| input[(rows[i] as usize, j)]);
+        let t = self.pool_act.apply(&self.pool.forward(&h, false));
+        t.hconcat(&h).expect("row counts match by construction")
+    }
+
+    /// Aggregate-and-combine half-stage: element-wise max over each
+    /// target's neighbors in the pooled columns of the full transform
+    /// matrix, concatenated with the target's own feature columns, then
+    /// the combiner (+ activation). Max-pooling iterates sources in CSR
+    /// order, matching [`GsPoolLayer::forward`] exactly.
+    fn stage_combine(&mut self, graph: &CsrGraph, input: &Matrix, rows: &[u32]) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.pool_dim + self.in_dim,
+            "gs-pool combine stage expects [pooled ‖ features] input"
+        );
+        let mut z = Matrix::zeros(rows.len(), self.pool_dim + self.in_dim);
+        for (i, &v) in rows.iter().enumerate() {
+            let v = v as usize;
+            let neigh = graph.neighbors(v);
+            // GraphSAGE falls back to the node itself when isolated.
+            let self_source = [v as u32];
+            let sources: &[u32] = if neigh.is_empty() { &self_source } else { neigh };
+            let zrow = z.row_mut(i);
+            for (d, zv) in zrow[..self.pool_dim].iter_mut().enumerate() {
+                let mut best = f64::NEG_INFINITY;
+                for &u in sources {
+                    let val = input[(u as usize, d)];
+                    if val > best {
+                        best = val;
+                    }
+                }
+                *zv = best;
+            }
+            zrow[self.pool_dim..].copy_from_slice(&input.row(v)[self.pool_dim..]);
+        }
+        let y = self.comb.forward(&z, false);
+        match &self.act {
+            Some(act) => act.apply(&y),
+            None => y,
+        }
+    }
 }
 
 /// Two-layer GS-Pool model. The pooling dimension equals the hidden
 /// dimension for both layers (the GraphSAGE reference configuration).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct GsPool {
     layer1: GsPoolLayer,
     layer2: GsPoolLayer,
@@ -178,6 +235,46 @@ impl GnnModel for GsPool {
     fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer)) {
         self.layer1.visit_linear_layers(f);
         self.layer2.visit_linear_layers(f);
+    }
+
+    fn clone_boxed(&self) -> Box<dyn GnnModel> {
+        let mut copy = self.clone();
+        copy.layer1.clear_scratch();
+        copy.layer2.clear_scratch();
+        Box::new(copy)
+    }
+
+    // Each GS-Pool layer splits at its natural seam: the node-local pool
+    // transform (stage 0/2, zero halo) and the max-pool + combiner
+    // (stage 1/3, one-hop halo reads).
+    fn num_stages(&self) -> usize {
+        4
+    }
+
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize {
+        match stage {
+            0 => self.layer1.pool_dim + feature_dim,
+            1 => self.layer1.comb.out_dim(),
+            2 => self.layer2.pool_dim + self.layer1.comb.out_dim(),
+            3 => self.layer2.comb.out_dim(),
+            _ => panic!("GS-Pool has 4 stages, got stage {stage}"),
+        }
+    }
+
+    fn forward_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix {
+        match stage {
+            0 => self.layer1.stage_transform(input, rows),
+            1 => self.layer1.stage_combine(graph, input, rows),
+            2 => self.layer2.stage_transform(input, rows),
+            3 => self.layer2.stage_combine(graph, input, rows),
+            _ => panic!("GS-Pool has 4 stages, got stage {stage}"),
+        }
     }
 }
 

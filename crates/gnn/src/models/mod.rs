@@ -66,7 +66,25 @@ impl fmt::Display for ModelKind {
 ///
 /// `forward` produces per-node logits; `backward` takes `∂L/∂logits`,
 /// accumulates parameter gradients, and returns `∂L/∂features`.
-pub trait GnnModel {
+///
+/// # Staged row-parallel inference
+///
+/// Every model also exposes its forward pass as a sequence of
+/// *row-parallel stages* ([`GnnModel::num_stages`] /
+/// [`GnnModel::forward_stage`]): stage `s` computes any subset of its
+/// output rows from the **full** output matrix of stage `s − 1` (stage 0
+/// reads the input features). Within a stage, rows are independent —
+/// each target row reads only its own neighborhood of the previous
+/// stage's matrix — so a scheduler can shard a stage's rows across
+/// worker threads and barrier between stages. The contract is
+/// *bit-exactness*: chaining every stage over all rows must reproduce
+/// `forward(graph, features, false)` exactly, which is what makes
+/// partition-parallel serving indistinguishable from the sequential
+/// path. Models achieve this by splitting each GNN layer at its natural
+/// seam: a node-local transform stage (gate/pool/attention projections —
+/// no neighbor reads, zero halo) followed by an aggregate-and-combine
+/// stage (reads the transform matrix at `N(v) ∪ {v}` — a one-hop halo).
+pub trait GnnModel: Send {
     /// Which algorithm this is.
     fn kind(&self) -> ModelKind;
 
@@ -88,6 +106,51 @@ pub trait GnnModel {
     /// for an execution backend, or to export circulant weights for
     /// accelerator deployment.
     fn visit_linear_layers(&mut self, f: &mut dyn FnMut(&mut LinearLayer));
+
+    /// Deep-copies the model behind a fresh box. Prepared layers share
+    /// their frozen weights/spectra across copies (they live behind an
+    /// `Arc`), which is how the parallel serving engine forks one
+    /// backend replica per worker without duplicating the model.
+    fn clone_boxed(&self) -> Box<dyn GnnModel>;
+
+    /// Staged-inference hook: precomputes per-graph state the stages
+    /// reuse (e.g. GCN's degree normalization, an `O(n)` pass otherwise
+    /// repeated per part per stage). A staged scheduler calls this once
+    /// per request, before fanning [`GnnModel::forward_stage`] calls
+    /// out; callers must re-prepare before switching graphs.
+    /// `forward_stage` stays correct (just slower) if this was never
+    /// called. Models without per-graph precomputation ignore it.
+    fn prepare_graph(&mut self, _graph: &CsrGraph) {}
+
+    /// Number of row-parallel inference stages (see the trait docs).
+    fn num_stages(&self) -> usize;
+
+    /// Output width (columns) of stage `stage`, given the width of the
+    /// input feature matrix. The final stage's width is the number of
+    /// classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= num_stages()`.
+    fn stage_width(&self, stage: usize, feature_dim: usize) -> usize;
+
+    /// Computes stage `stage` output rows for target nodes `rows`,
+    /// reading the full previous-stage matrix `input` (the feature
+    /// matrix when `stage == 0`). Returns one output row per entry of
+    /// `rows`, in order. Inference-only (no backward caches are
+    /// maintained for the training path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= num_stages()`, `input` has the wrong row
+    /// count or width, or a target id is out of range.
+    fn forward_stage(
+        &mut self,
+        stage: usize,
+        graph: &CsrGraph,
+        input: &Matrix,
+        rows: &[u32],
+    ) -> Matrix;
 
     /// Prepares every linear layer for inference under `mode` (see
     /// [`LinearLayer::prepare`]); the model becomes inference-only until
@@ -311,6 +374,53 @@ mod tests {
                     .unwrap();
             assert_eq!(model.kind(), kind);
             assert!(model.num_params() > 0);
+        }
+    }
+
+    #[test]
+    fn staged_inference_matches_forward_bit_exactly() {
+        use blockgnn_linalg::Matrix;
+        let g = testutil::tiny_graph();
+        let x = testutil::tiny_features(6, 6);
+        for kind in ModelKind::all() {
+            let mut model =
+                build_model(kind, 6, 4, 3, Compression::BlockCirculant { block_size: 2 }, 9)
+                    .unwrap();
+            let reference = model.forward(&g, &x, false);
+            // Shard every stage into two row blocks and merge — the
+            // partition-parallel execution shape.
+            let mut current = x.clone();
+            for stage in 0..model.num_stages() {
+                let width = model.stage_width(stage, x.cols());
+                let mut merged = Matrix::zeros(6, width);
+                for rows in [[0u32, 1, 2], [3u32, 4, 5]] {
+                    let part = model.forward_stage(stage, &g, &current, &rows);
+                    assert_eq!(part.shape(), (3, width), "{kind} stage {stage} shape");
+                    for (i, &v) in rows.iter().enumerate() {
+                        merged.row_mut(v as usize).copy_from_slice(part.row(i));
+                    }
+                }
+                current = merged;
+            }
+            assert_eq!(
+                current.linf_distance(&reference),
+                0.0,
+                "{kind} staged inference must be bit-identical to forward"
+            );
+        }
+    }
+
+    #[test]
+    fn clone_boxed_preserves_outputs() {
+        let g = testutil::tiny_graph();
+        let x = testutil::tiny_features(6, 6);
+        for kind in ModelKind::all() {
+            let mut model = build_model(kind, 6, 4, 3, Compression::Dense, 5).unwrap();
+            let reference = model.forward(&g, &x, false);
+            let mut copy = model.clone_boxed();
+            assert_eq!(copy.kind(), kind);
+            let replay = copy.forward(&g, &x, false);
+            assert_eq!(replay.linf_distance(&reference), 0.0, "{kind} clone drifted");
         }
     }
 

@@ -39,12 +39,31 @@ impl Error for GraphError {}
 /// assert_eq!(g.neighbors(1), &[0, 2]);
 /// assert!(g.has_edge(3, 0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CsrGraph {
     num_nodes: usize,
     offsets: Vec<usize>,
     targets: Vec<u32>,
+    /// Process-unique construction id (clones share it — they carry the
+    /// same adjacency); see [`CsrGraph::instance_id`].
+    id: u64,
 }
+
+/// Equality is structural (adjacency content); the cache-identity `id`
+/// is deliberately excluded, so two independently built but identical
+/// graphs compare equal.
+impl PartialEq for CsrGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_nodes == other.num_nodes
+            && self.offsets == other.offsets
+            && self.targets == other.targets
+    }
+}
+
+impl Eq for CsrGraph {}
+
+/// Source of process-unique [`CsrGraph::instance_id`] values.
+static NEXT_GRAPH_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl CsrGraph {
     /// Builds a graph from an edge list.
@@ -96,7 +115,8 @@ impl CsrGraph {
         for u in 0..num_nodes {
             targets[offsets[u]..offsets[u + 1]].sort_unstable();
         }
-        Ok(Self { num_nodes, offsets, targets })
+        let id = NEXT_GRAPH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Self { num_nodes, offsets, targets, id })
     }
 
     /// Number of nodes.
@@ -109,6 +129,17 @@ impl CsrGraph {
     #[must_use]
     pub fn num_arcs(&self) -> usize {
         self.targets.len()
+    }
+
+    /// A process-unique identity for this graph instance, for use as a
+    /// per-graph cache key: every construction draws a fresh id (never
+    /// reused, unlike an address), so a cache keyed on it can never
+    /// serve stale state for a different graph. Clones share their
+    /// source's id — they carry the same adjacency, so a cache hit on a
+    /// clone is correct.
+    #[must_use]
+    pub fn instance_id(&self) -> u64 {
+        self.id
     }
 
     /// Out-degree of `u`.

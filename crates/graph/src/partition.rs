@@ -31,10 +31,15 @@ impl GraphPart {
         self.nodes.len() + self.halo.len()
     }
 
-    /// Bytes of fp32 feature storage this part needs at `feature_dim`.
+    /// Bytes of feature storage this part needs at `feature_dim`
+    /// features per node and `bytes_per_feature` bytes per scalar —
+    /// 4 for fp32 *and* for the accelerator's Q16.16 fixed point, 8 for
+    /// the f64 matrices the software backends hold in host memory. The
+    /// scalar width is a parameter (not a hardcoded fp32) so residency
+    /// checks stay honest across number formats.
     #[must_use]
-    pub fn feature_bytes(&self, feature_dim: usize) -> usize {
-        self.resident_nodes() * feature_dim * 4
+    pub fn feature_bytes(&self, feature_dim: usize, bytes_per_feature: usize) -> usize {
+        self.resident_nodes() * feature_dim * bytes_per_feature
     }
 }
 
@@ -111,20 +116,32 @@ pub fn partition_bfs(graph: &CsrGraph, k: usize) -> Vec<GraphPart> {
 }
 
 /// Smallest `k` such that every contiguous part's resident features fit
-/// in `budget_bytes`; `None` if even single-node parts overflow.
+/// in `budget_bytes` at the given scalar width; `None` if even
+/// single-node parts overflow.
 #[must_use]
 pub fn parts_needed_for_budget(
     graph: &CsrGraph,
     feature_dim: usize,
+    bytes_per_feature: usize,
     budget_bytes: usize,
 ) -> Option<usize> {
     let n = graph.num_nodes();
     if n == 0 {
         return Some(1);
     }
-    for k in 1..=n {
+    // Even a halo-free part of ⌈n/k⌉ nodes needs ⌈n/k⌉·dim·width bytes,
+    // so no k below this bound can fit — start the scan there instead of
+    // paying a partition + halo pass per skipped k.
+    let per_node = feature_dim * bytes_per_feature;
+    if per_node == 0 {
+        return Some(1);
+    }
+    let k_min =
+        if budget_bytes == 0 { n } else { (n * per_node).div_ceil(budget_bytes).clamp(1, n) };
+    for k in k_min..=n {
         let parts = partition_contiguous(graph, k);
-        if parts.iter().all(|p| p.feature_bytes(feature_dim) <= budget_bytes) {
+        if parts.iter().all(|p| p.feature_bytes(feature_dim, bytes_per_feature) <= budget_bytes)
+        {
             return Some(k);
         }
         // Halo size cannot shrink below a single node's closed
@@ -212,17 +229,30 @@ mod tests {
         let g = ring(1000);
         let feature_dim = 602;
         let full_bytes = 1000 * feature_dim * 4;
-        let k = parts_needed_for_budget(&g, feature_dim, full_bytes / 2 + 3 * feature_dim * 4)
-            .unwrap();
+        let k =
+            parts_needed_for_budget(&g, feature_dim, 4, full_bytes / 2 + 3 * feature_dim * 4)
+                .unwrap();
         assert_eq!(k, 2);
         // Trivially fits: one part.
-        assert_eq!(parts_needed_for_budget(&g, feature_dim, full_bytes * 2), Some(1));
+        assert_eq!(parts_needed_for_budget(&g, feature_dim, 4, full_bytes * 2), Some(1));
+    }
+
+    #[test]
+    fn scalar_width_scales_residency() {
+        // The same part needs twice the bytes at f64 width, so an
+        // exactly-fp32-sized budget forces a finer split at 8 B/scalar.
+        let g = ring(100);
+        let parts = partition_contiguous(&g, 4);
+        assert_eq!(parts[0].feature_bytes(10, 8), 2 * parts[0].feature_bytes(10, 4));
+        let budget = 100 * 10 * 4 + 3 * 10 * 4;
+        assert_eq!(parts_needed_for_budget(&g, 10, 4, budget), Some(1));
+        assert!(parts_needed_for_budget(&g, 10, 8, budget).unwrap() > 1);
     }
 
     #[test]
     fn impossible_budget_returns_none() {
         let g = ring(10);
-        assert_eq!(parts_needed_for_budget(&g, 100, 10), None);
+        assert_eq!(parts_needed_for_budget(&g, 100, 4, 10), None);
     }
 
     #[test]

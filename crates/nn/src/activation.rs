@@ -101,6 +101,21 @@ impl ActivationLayer {
     pub fn new(kind: Activation) -> Self {
         Self { kind, cached_input: None, cached_output: None }
     }
+
+    /// Applies the activation without touching the backward-pass caches —
+    /// the inference fast path (identical values to [`Layer::forward`],
+    /// which additionally snapshots input and output for `backward`).
+    #[must_use]
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        Matrix::from_fn(x.rows(), x.cols(), |i, j| self.kind.apply(x[(i, j)]))
+    }
+
+    /// Drops the backward-pass snapshots (e.g. before forking an
+    /// inference-only replica, which never reads them).
+    pub fn clear_cached(&mut self) {
+        self.cached_input = None;
+        self.cached_output = None;
+    }
 }
 
 impl Layer for ActivationLayer {
@@ -134,6 +149,19 @@ macro_rules! named_activation {
             #[must_use]
             pub fn new() -> Self {
                 Self(ActivationLayer::new($kind))
+            }
+
+            /// Applies the activation without touching the backward-pass
+            /// caches (see [`ActivationLayer::apply`]).
+            #[must_use]
+            pub fn apply(&self, x: &Matrix) -> Matrix {
+                self.0.apply(x)
+            }
+
+            /// Drops the backward-pass snapshots (see
+            /// [`ActivationLayer::clear_cached`]).
+            pub fn clear_cached(&mut self) {
+                self.0.clear_cached()
             }
         }
 

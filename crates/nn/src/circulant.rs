@@ -20,6 +20,7 @@ use blockgnn_core::CompressionStats;
 use blockgnn_fft::{is_power_of_two, Complex, FftPlan};
 use blockgnn_linalg::init::InitRng;
 use blockgnn_linalg::Matrix;
+use std::sync::Arc;
 
 /// Cached state from the latest forward pass.
 #[derive(Debug, Clone)]
@@ -32,7 +33,10 @@ struct Cache {
 }
 
 /// One-time weight transform installed by [`CirculantDense::prepare`]:
-/// the inference-frozen representation a serving backend executes.
+/// the inference-frozen representation a serving backend executes. Held
+/// behind an `Arc` so per-worker clones of a prepared layer (the
+/// parallel serving engine forks one backend per worker) share a single
+/// copy of the decompressed weights / cached spectra.
 #[derive(Debug, Clone)]
 enum Prepared {
     /// Decompressed `out_dim × in_dim` dense weight for GEMM execution.
@@ -64,7 +68,7 @@ pub struct CirculantDense {
     bias: Param,
     plan: FftPlan<f64>,
     cache: Option<Cache>,
-    prepared: Option<Prepared>,
+    prepared: Option<Arc<Prepared>>,
 }
 
 impl CirculantDense {
@@ -173,10 +177,10 @@ impl CirculantDense {
     /// parameter updates after `prepare` require re-preparing.
     pub fn prepare(&mut self, mode: ExecMode) {
         self.cache = None;
-        self.prepared = Some(match mode {
+        self.prepared = Some(Arc::new(match mode {
             ExecMode::Gemm => Prepared::Gemm(self.to_block_circulant().to_dense()),
             ExecMode::Spectral => Prepared::Spectral(self.kernel_spectra()),
-        });
+        }));
     }
 
     /// Drops any prepared state, returning the layer to its trainable
@@ -253,7 +257,7 @@ impl Layer for CirculantDense {
         assert_eq!(x.cols(), self.in_dim, "circulant forward input width mismatch");
         if let Some(prepared) = &self.prepared {
             assert!(!train, "prepared circulant layers are inference-only");
-            return match prepared {
+            return match prepared.as_ref() {
                 Prepared::Gemm(w) => {
                     let mut y = Matrix::zeros(x.rows(), self.out_dim);
                     for r in 0..x.rows() {

@@ -4,6 +4,19 @@ use crate::layer::Layer;
 use crate::param::Param;
 use blockgnn_linalg::init::InitRng;
 use blockgnn_linalg::Matrix;
+use std::sync::Arc;
+
+/// Inference-frozen weights installed by [`Dense::prepare`]. The `Arc`
+/// makes clones of a prepared layer (e.g. per-worker backend replicas in
+/// the parallel serving engine) share one copy of the frozen weights
+/// instead of duplicating them.
+#[derive(Debug, Clone)]
+struct FrozenDense {
+    /// Flattened `out_dim × in_dim` weight snapshot.
+    weight: Vec<f64>,
+    /// Bias snapshot, length `out_dim`.
+    bias: Vec<f64>,
+}
 
 /// A dense linear layer `y = x·Wᵀ + b` over batched rows.
 ///
@@ -27,8 +40,8 @@ pub struct Dense {
     /// Length `out_dim` bias.
     bias: Param,
     cached_input: Option<Matrix>,
-    /// Inference-frozen: forward skips the backward-pass input cache.
-    prepared: bool,
+    /// Inference-frozen weight snapshot, shared across clones.
+    prepared: Option<Arc<FrozenDense>>,
 }
 
 impl Dense {
@@ -45,7 +58,7 @@ impl Dense {
             weight: Param::new(weight),
             bias: Param::new(vec![0.0; out_dim]),
             cached_input: None,
-            prepared: false,
+            prepared: None,
         }
     }
 
@@ -64,7 +77,7 @@ impl Dense {
             weight: Param::new(weight.into_vec()),
             bias: Param::new(bias),
             cached_input: None,
-            prepared: false,
+            prepared: None,
         }
     }
 
@@ -93,42 +106,49 @@ impl Dense {
         &self.bias.data
     }
 
-    /// Freezes the layer for inference: forwards stop cloning their
-    /// input into the backward-pass cache, and `backward` panics until
-    /// [`Dense::clear_prepared`]. (Dense weights need no transform —
-    /// they already execute as GEMM.)
+    /// Freezes the layer for inference: the current weights are
+    /// snapshotted into an `Arc`-shared frozen copy (so per-worker clones
+    /// of a prepared layer share one allocation), forwards stop cloning
+    /// their input into the backward-pass cache, and `backward` panics
+    /// until [`Dense::clear_prepared`]. Parameter updates after `prepare`
+    /// are not reflected until the layer is re-prepared.
     pub fn prepare(&mut self) {
         self.cached_input = None;
-        self.prepared = true;
+        self.prepared = Some(Arc::new(FrozenDense {
+            weight: self.weight.data.clone(),
+            bias: self.bias.data.clone(),
+        }));
     }
 
     /// Drops the inference freeze, restoring trainability.
     pub fn clear_prepared(&mut self) {
-        self.prepared = false;
+        self.prepared = None;
     }
 
     /// Whether the inference freeze is active.
     #[must_use]
     pub fn is_prepared(&self) -> bool {
-        self.prepared
+        self.prepared.is_some()
     }
 }
 
 impl Layer for Dense {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_dim, "dense forward input width mismatch");
-        if self.prepared {
+        let (weight, bias): (&[f64], &[f64]) = if let Some(frozen) = &self.prepared {
             assert!(!train, "prepared dense layers are inference-only");
+            (&frozen.weight, &frozen.bias)
         } else {
             self.cached_input = Some(x.clone());
-        }
+            (&self.weight.data, &self.bias.data)
+        };
         let mut y = Matrix::zeros(x.rows(), self.out_dim);
         for r in 0..x.rows() {
             let row = x.row(r);
             let out = y.row_mut(r);
             for (o, ov) in out.iter_mut().enumerate() {
-                let w = &self.weight.data[o * self.in_dim..(o + 1) * self.in_dim];
-                let mut acc = self.bias.data[o];
+                let w = &weight[o * self.in_dim..(o + 1) * self.in_dim];
+                let mut acc = bias[o];
                 for (wv, xv) in w.iter().zip(row) {
                     acc += wv * xv;
                 }
@@ -140,7 +160,7 @@ impl Layer for Dense {
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         assert!(
-            !self.prepared,
+            self.prepared.is_none(),
             "backward is unavailable on a prepared (inference-frozen) layer"
         );
         let x = self.cached_input.as_ref().expect("backward called before forward").clone();

@@ -10,6 +10,22 @@
 //! test name, so failures are reproducible). There is no shrinking;
 //! swap the manifest back to the real crate when a registry is
 //! available (the test sources need no changes).
+//!
+//! # Example: the strategy engine behind the `proptest!` macro
+//!
+//! ```
+//! use proptest::{collection, Strategy, TestRng};
+//!
+//! let mut rng = TestRng::for_test("doc-example");
+//! let (a, b) = (0u32..1000, 0u32..1000).generate(&mut rng);
+//! assert!(a < 1000 && b < 1000);
+//! let xs = collection::vec(0.0f64..1.0, 8).generate(&mut rng);
+//! assert_eq!(xs.len(), 8);
+//! assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+//! // Streams are a pure function of the test name — reruns reproduce.
+//! let replay = (0u32..1000, 0u32..1000).generate(&mut TestRng::for_test("doc-example"));
+//! assert_eq!(replay, (a, b));
+//! ```
 
 #![deny(missing_docs)]
 

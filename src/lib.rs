@@ -23,6 +23,12 @@
 //!
 //! # Quickstart
 //!
+//! *(A crate-by-crate map of the system, the paper-section → module
+//! table, and the request lifecycle — sequential and parallel — live in
+//! [`docs/ARCHITECTURE.md`](https://github.com/blockgnn/blockgnn/blob/main/docs/ARCHITECTURE.md);
+//! see also the root `README.md` for worker-count and memory-budget
+//! guidance.)*
+//!
 //! All inference goes through the engine: pick a model, a compression
 //! policy, and an execution backend; build an [`Engine`] over a dataset;
 //! open a [`Session`] and serve requests. The same weights answer on
@@ -55,6 +61,30 @@
 //! To serve a *trained* model, train it first and hand it to
 //! [`EngineBuilder::build_with_model`]; see `examples/recommendation.rs`.
 //!
+//! For full-graph or large sampled workloads on a multi-core host,
+//! convert the engine into a partition-parallel one
+//! ([`Engine::into_parallel`]): the graph is sharded into §IV-C
+//! [`graph::GraphPart`]s and served by a worker-thread pool over
+//! `Arc`-shared prepared weights, with logits bit-identical to the
+//! sequential path.
+//!
+//! ```
+//! use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
+//! use blockgnn::gnn::ModelKind;
+//! use blockgnn::graph::datasets;
+//! use std::sync::Arc;
+//!
+//! let dataset = Arc::new(datasets::cora_like_small(7));
+//! let engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Dense)
+//!     .hidden_dim(16)
+//!     .build(dataset)
+//!     .unwrap();
+//! let mut parallel = engine.into_parallel(4).unwrap();
+//! let mut session = parallel.session();
+//! let response = session.infer(&InferRequest::all_nodes()).unwrap();
+//! assert!(response.parts >= 4, "the full graph was sharded across workers");
+//! ```
+//!
 //! Lower-level entry points remain available for research code: the
 //! compression types in [`core`] (see `examples/quickstart.rs` for the
 //! Table III accounting), `gnn::build_model` + `forward` for training
@@ -81,5 +111,6 @@ pub use blockgnn_nn as nn;
 pub use blockgnn_perf as perf;
 
 pub use blockgnn_engine::{
-    BackendKind, Engine, EngineBuilder, InferRequest, InferResponse, ServeStats, Session,
+    BackendKind, Engine, EngineBuilder, InferRequest, InferResponse, ParallelEngine,
+    ParallelSession, ServeStats, Session,
 };

@@ -23,12 +23,15 @@ fn partitioned_sampled_inference_covers_every_node() {
     // A DRAM budget that forces a split (full features: 400*32*4 = 51 KB;
     // give ~60% of that).
     let budget = 31_000;
-    let k = parts_needed_for_budget(&ds.graph, ds.feature_dim(), budget)
+    let k = parts_needed_for_budget(&ds.graph, ds.feature_dim(), 4, budget)
         .expect("budget is feasible");
     assert!(k >= 2, "budget must force a multi-part split, got k={k}");
     let parts = partition_contiguous(&ds.graph, k);
     for part in &parts {
-        assert!(part.feature_bytes(ds.feature_dim()) <= budget, "part exceeds the DRAM budget");
+        assert!(
+            part.feature_bytes(ds.feature_dim(), 4) <= budget,
+            "part exceeds the DRAM budget"
+        );
     }
 
     let mut model = build_model(
