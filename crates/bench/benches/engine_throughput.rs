@@ -11,6 +11,7 @@
 //! only beat `sequential` when the host actually has that many cores —
 //! on a single-core runner the curve degenerates to thread overhead.
 
+use blockgnn_bench::json::{array, write_bench_file, JsonObject};
 use blockgnn_engine::{BackendKind, Engine, EngineBuilder, InferRequest};
 use blockgnn_gnn::ModelKind;
 use blockgnn_graph::{datasets, Dataset};
@@ -18,7 +19,7 @@ use blockgnn_nn::Compression;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn engine_on(backend: BackendKind, dataset: &Arc<Dataset>) -> Engine {
     EngineBuilder::new(ModelKind::Gcn, backend)
@@ -85,12 +86,97 @@ fn bench_parallel_full_graph(c: &mut Criterion) {
     }
 }
 
+/// Times `iters` runs of `routine` (after one warm-up) and returns the
+/// mean seconds per run.
+fn mean_secs(iters: usize, mut routine: impl FnMut()) -> f64 {
+    routine();
+    let start = Instant::now();
+    for _ in 0..iters {
+        routine();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Emits `BENCH_engine.json` at the repository root: sampled-session
+/// latency/throughput per backend × micro-batch size, and the
+/// full-graph sequential-vs-parallel curve — the numbers the criterion
+/// groups above print, recorded machine-readably so the perf
+/// trajectory survives the run.
+fn emit_bench_json(_c: &mut Criterion) {
+    let dataset = Arc::new(datasets::cora_like_small(3));
+    let num_nodes = dataset.num_nodes();
+    let mut sampled_rows = Vec::new();
+    for backend in BackendKind::all() {
+        let mut engine = engine_on(backend, &dataset);
+        let mut session = engine.session();
+        for batch_size in [1usize, 16, 256] {
+            let nodes: Vec<usize> = (0..batch_size).map(|i| (i * 131) % num_nodes).collect();
+            let mut seed = 0u64;
+            let secs = mean_secs(5, || {
+                seed += 1;
+                let request = InferRequest::sampled(nodes.clone(), 10, 5, seed);
+                black_box(session.infer(&request).expect("request serves"));
+            });
+            sampled_rows.push(
+                JsonObject::new()
+                    .string("backend", backend.name())
+                    .int("batch", batch_size as u128)
+                    .num("mean_us", secs * 1e6)
+                    .num("nodes_per_sec", batch_size as f64 / secs)
+                    .render(),
+            );
+        }
+    }
+    let full = Arc::new(datasets::pubmed_like_small(7));
+    let mut full_rows = Vec::new();
+    let request = InferRequest::all_nodes();
+    for backend in BackendKind::all() {
+        let mut engine = engine_on(backend, &full);
+        let secs = mean_secs(3, || {
+            engine.clear_full_graph_cache();
+            black_box(engine.session().infer(&request).expect("request serves"));
+        });
+        full_rows.push(
+            JsonObject::new()
+                .string("backend", backend.name())
+                .string("mode", "sequential")
+                .num("mean_us", secs * 1e6)
+                .render(),
+        );
+        for workers in [2usize, 4] {
+            let mut parallel =
+                engine_on(backend, &full).into_parallel(workers).expect("positive workers");
+            let secs = mean_secs(3, || {
+                parallel.clear_full_graph_cache();
+                black_box(parallel.session().infer(&request).expect("request serves"));
+            });
+            full_rows.push(
+                JsonObject::new()
+                    .string("backend", backend.name())
+                    .string("mode", format!("workers{workers}").as_str())
+                    .num("mean_us", secs * 1e6)
+                    .render(),
+            );
+        }
+    }
+    let doc = JsonObject::new()
+        .string("bench", "engine_throughput")
+        .string("sampled_dataset", "cora-small")
+        .string("full_graph_dataset", "pubmed-small")
+        .int("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get() as u128))
+        .raw("sampled", array(sampled_rows))
+        .raw("full_graph", array(full_rows))
+        .render();
+    let path = write_bench_file("engine", &doc).expect("bench json writes");
+    println!("wrote {}", path.display());
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_secs(2));
-    targets = bench_session_infer, bench_parallel_full_graph
+    targets = bench_session_infer, bench_parallel_full_graph, emit_bench_json
 }
 criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Serving-runtime throughput under closed-loop TCP load: batched vs
+//! unbatched dynamic micro-batching, recorded to `BENCH_server.json`.
+//!
+//! Eight closed-loop clients replay a duplicate-heavy request mix (a
+//! small pool of hot sampled requests — the serving regime batching is
+//! built for) against `blockgnn-serve`'s runtime in-process, once with
+//! micro-batching disabled and once per batching window size. The
+//! batcher coalesces concurrent identical requests into one
+//! deduplicated merged-universe execution, so the batched rows should
+//! show a throughput gain at `max_batch ≥ 4` along with the batch-size
+//! distribution that produced it.
+
+use blockgnn_bench::json::{array, write_bench_file, JsonObject};
+use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
+use blockgnn_gnn::ModelKind;
+use blockgnn_graph::datasets;
+use blockgnn_nn::Compression;
+use blockgnn_server::{run_closed_loop, LoadConfig, Server, ServerConfig, TcpServer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 50;
+/// Distinct requests in the replayed mix. Hot-content serving is
+/// duplicate-heavy by nature; with 8 closed-loop clients over 4
+/// distinct requests, a full batch holds each request about twice —
+/// the regime the batcher's request-level dedup is built for.
+const POOL_DISTINCT: usize = 4;
+
+fn load_pool(num_nodes: usize) -> Vec<InferRequest> {
+    (0..POOL_DISTINCT)
+        .map(|i| {
+            InferRequest::sampled(
+                vec![(i * 97) % num_nodes, (i * 193) % num_nodes, (i * 389) % num_nodes],
+                10,
+                5,
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn run_config(config: ServerConfig, label: &str) -> (String, f64) {
+    let dataset = Arc::new(datasets::cora_like_small(3));
+    let engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Spectral)
+        .hidden_dim(32)
+        .compression(Compression::BlockCirculant { block_size: 16 })
+        .seed(3)
+        .build(Arc::clone(&dataset))
+        .expect("engine builds");
+    let server = Arc::new(Server::start(engine, config.clone()).expect("server starts"));
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("front end binds");
+    let report = run_closed_loop(
+        front.local_addr(),
+        &LoadConfig {
+            clients: CLIENTS,
+            requests_per_client: REQUESTS_PER_CLIENT,
+            pool: load_pool(dataset.num_nodes()),
+        },
+    );
+    front.stop();
+    let stats = server.shutdown();
+    assert_eq!(report.ok, CLIENTS * REQUESTS_PER_CLIENT, "all load requests must serve");
+    let qps = report.qps();
+    println!(
+        "server_load/{label:<12} qps {qps:>8.1}  p50 {:>6?}  p99 {:>6?}  mean_batch {:.2}  deduped {}",
+        report.latency.p50(),
+        report.latency.p99(),
+        stats.mean_batch_size(),
+        stats.deduped,
+    );
+    let row = JsonObject::new()
+        .string("config", label)
+        .int("max_batch", config.max_batch_requests as u128)
+        .int("window_us", config.batch_window.as_micros())
+        .int("workers", config.workers as u128)
+        .int("ok", report.ok as u128)
+        .num("qps", qps)
+        .int("p50_us", report.latency.p50().as_micros())
+        .int("p95_us", report.latency.p95().as_micros())
+        .int("p99_us", report.latency.p99().as_micros())
+        .num("mean_batch", stats.mean_batch_size())
+        .int("deduped", stats.deduped as u128)
+        .int("batches", stats.batches as u128)
+        .render();
+    (row, qps)
+}
+
+fn bench_server_load(_c: &mut Criterion) {
+    let window = Duration::from_millis(2);
+    let (unbatched_row, unbatched_qps) =
+        run_config(ServerConfig::default().with_workers(2).unbatched(), "unbatched");
+    let (batch4_row, batch4_qps) =
+        run_config(ServerConfig::default().with_workers(2).with_batching(window, 4), "batch4");
+    let (batch8_row, batch8_qps) =
+        run_config(ServerConfig::default().with_workers(2).with_batching(window, 8), "batch8");
+    let rows = vec![unbatched_row, batch4_row, batch8_row];
+    let batch4_gain = batch4_qps / unbatched_qps;
+    let batch8_gain = batch8_qps / unbatched_qps;
+    println!("server_load gain: batch4 {batch4_gain:.2}x, batch8 {batch8_gain:.2}x");
+    let doc = JsonObject::new()
+        .string("bench", "server_load")
+        .string("dataset", "cora-small")
+        .string("backend", "spectral")
+        .int("clients", CLIENTS as u128)
+        .int("requests_per_client", REQUESTS_PER_CLIENT as u128)
+        .int("pool_distinct", POOL_DISTINCT as u128)
+        .int("host_cpus", std::thread::available_parallelism().map_or(0, |n| n.get() as u128))
+        .raw("configs", array(rows))
+        .num("batch4_gain", batch4_gain)
+        .num("batch8_gain", batch8_gain)
+        .render();
+    let path = write_bench_file("server", &doc).expect("bench json writes");
+    println!("wrote {}", path.display());
+}
+
+criterion_group!(benches, bench_server_load);
+criterion_main!(benches);

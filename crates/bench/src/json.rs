@@ -1,0 +1,136 @@
+//! Minimal JSON emission for the machine-readable `BENCH_*.json` files
+//! the throughput benches write at the repository root — the recorded
+//! perf trajectory reviewers diff across PRs.
+//!
+//! Hand-rolled (this container has no serde); values are rendered
+//! eagerly, so the builder is just ordered `(key, rendered)` pairs.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// An ordered JSON object under construction.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field.
+    #[must_use]
+    pub fn string(mut self, key: &str, value: &str) -> Self {
+        self.fields.push((key.to_string(), escape(value)));
+        self
+    }
+
+    /// Adds an integer field.
+    #[must_use]
+    pub fn int(mut self, key: &str, value: u128) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a float field (non-finite values render as `null`).
+    #[must_use]
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() { format!("{value}") } else { "null".into() };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an already rendered JSON value (nested object or array).
+    #[must_use]
+    pub fn raw(mut self, key: &str, rendered: String) -> Self {
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Renders the object.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (key, value)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&escape(key));
+            out.push(':');
+            out.push_str(value);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from already rendered element values.
+#[must_use]
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Writes a rendered JSON document to `BENCH_<name>.json` at the
+/// repository root (pretty-printing is left to `jq`; one trailing
+/// newline is appended).
+///
+/// # Errors
+///
+/// Propagates file-system failures.
+pub fn write_bench_file(name: &str, rendered: &str) -> std::io::Result<PathBuf> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join(format!("BENCH_{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(rendered.as_bytes())?;
+    file.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json_shapes() {
+        let obj = JsonObject::new()
+            .string("name", "engine \"fast\"")
+            .int("count", 3)
+            .num("ratio", 1.5)
+            .num("bad", f64::NAN)
+            .raw("rows", array([JsonObject::new().int("x", 1).render()]));
+        assert_eq!(
+            obj.render(),
+            r#"{"name":"engine \"fast\"","count":3,"ratio":1.5,"bad":null,"rows":[{"x":1}]}"#
+        );
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+}

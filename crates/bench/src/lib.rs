@@ -31,6 +31,7 @@
 pub mod ablation;
 pub mod fig6;
 pub mod fig7;
+pub mod json;
 pub mod quantization;
 pub mod table2;
 pub mod table3;

@@ -5,18 +5,18 @@ use crate::backend::{
     SimulatedAccelBackend, SpectralBackend,
 };
 use crate::error::EngineError;
-use crate::request::{InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
+use crate::request::{ExecOutcome, InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
 use crate::stats::ServeStats;
-use blockgnn_accel::SimReport;
+use blockgnn_gnn::batch::MergedUniverse;
 use blockgnn_gnn::sampled::SampledSubgraph;
 use blockgnn_gnn::{build_model_with_policy, CompressionPolicy, GnnModel, ModelKind};
 use blockgnn_graph::Dataset;
-use blockgnn_linalg::Matrix;
 use blockgnn_nn::{Compression, LinearLayer};
 use blockgnn_perf::coeffs::HardwareCoeffs;
 use blockgnn_perf::params::CirCoreParams;
-use std::sync::Arc;
-use std::time::Instant;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Configures and constructs an [`Engine`].
 ///
@@ -168,7 +168,7 @@ impl EngineBuilder {
             model_kind,
             backend_kind: self.backend,
             fanouts: self.fanouts,
-            full_graph_cache: None,
+            full_graph_cache: Arc::new(Mutex::new(None)),
         })
     }
 }
@@ -190,7 +190,11 @@ fn largest_block_size(model: &mut dyn GnnModel) -> usize {
 ///
 /// The engine owns immutable prepared weights: construction freezes the
 /// model (see [`blockgnn_nn::ExecMode`]), and every [`Session`] serves
-/// from that frozen state. Open a session with [`Engine::session`].
+/// from that frozen state. Open a session with [`Engine::session`], or
+/// fork replicas for concurrent serving with [`Engine::fork`]: forks
+/// share the prepared weights, the dataset, *and* the interior-mutable
+/// full-graph logits cache, so a whole worker pool computes the full
+/// graph at most once.
 pub struct Engine {
     pub(crate) dataset: Arc<Dataset>,
     pub(crate) backend: Box<dyn ExecutionBackend>,
@@ -198,9 +202,12 @@ pub struct Engine {
     pub(crate) backend_kind: BackendKind,
     /// Fan-outs the cycle model charges for full-graph requests.
     pub(crate) fanouts: (usize, usize),
-    /// Full-graph output, computed at most once per engine (weights are
-    /// immutable, so it can never go stale).
-    pub(crate) full_graph_cache: Option<BackendOutput>,
+    /// Full-graph output, computed at most once per engine *family*
+    /// (weights are immutable, so it can never go stale). Shared across
+    /// [`Engine::fork`] replicas behind a lock: the first requester
+    /// computes while holding it, so concurrent workers never duplicate
+    /// the full-graph pass.
+    pub(crate) full_graph_cache: Arc<Mutex<Option<BackendOutput>>>,
 }
 
 impl Engine {
@@ -238,50 +245,47 @@ impl Engine {
     /// Drops the full-graph logits cache so the next full-graph request
     /// recomputes (and re-charges the hardware models). Useful for
     /// benchmarking the execution path itself; regular serving never
-    /// needs this, since an engine's weights are immutable.
-    pub fn clear_full_graph_cache(&mut self) {
-        self.full_graph_cache = None;
+    /// needs this, since an engine's weights are immutable. Affects
+    /// every [`Engine::fork`] replica — the cache is shared.
+    pub fn clear_full_graph_cache(&self) {
+        *self.full_graph_cache.lock().expect("cache lock") = None;
     }
 
-    /// Resolves and executes one request; returns the per-node logits,
-    /// the hardware report/energy (when freshly simulated), and whether
-    /// the cache answered.
-    fn run_request(
+    /// Forks an independent replica for another worker thread: the
+    /// backend's prepared weights and cached spectra are `Arc`-shared
+    /// (see [`ExecutionBackend::fork`]), as are the dataset handle and
+    /// the full-graph logits cache. Forks execute concurrently — this
+    /// is how the serving runtime places one engine per worker without
+    /// duplicating the model.
+    #[must_use]
+    pub fn fork(&self) -> Engine {
+        Engine {
+            dataset: Arc::clone(&self.dataset),
+            backend: self.backend.fork(),
+            model_kind: self.model_kind,
+            backend_kind: self.backend_kind,
+            fanouts: self.fanouts,
+            full_graph_cache: Arc::clone(&self.full_graph_cache),
+        }
+    }
+
+    /// Resolves and executes one request, returning the raw
+    /// [`ExecOutcome`] (logits, hardware report, cache provenance)
+    /// without response assembly — the building block [`Session::infer`]
+    /// and the serving runtime share.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NodeOutOfRange`] for invalid node ids;
+    /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
+    pub fn execute_request(
         &mut self,
         request: &InferRequest,
-    ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool), EngineError> {
-        crate::request::validate_nodes(&request.nodes, self.dataset.num_nodes())?;
+    ) -> Result<ExecOutcome, EngineError> {
+        crate::request::validate_request(request, self.dataset.num_nodes())?;
         match request.mode {
-            RequestMode::FullGraph => {
-                let from_cache = self.full_graph_cache.is_some();
-                if !from_cache {
-                    let shape = RequestShape {
-                        target_nodes: self.dataset.num_nodes(),
-                        fanouts: self.fanouts,
-                    };
-                    let out = self.backend.execute(
-                        &self.dataset.graph,
-                        &self.dataset.features,
-                        shape,
-                    );
-                    self.full_graph_cache = Some(out);
-                }
-                let cached = self.full_graph_cache.as_ref().expect("just populated");
-                let logits = crate::request::full_graph_rows(&cached.logits, &request.nodes);
-                // Cache hits cost the hardware nothing — only the fresh
-                // computation carries its cycle/energy report, so summing
-                // per-response cost over a session stays truthful.
-                let (sim, energy) = if from_cache {
-                    (None, None)
-                } else {
-                    (cached.sim.clone(), cached.energy_joules)
-                };
-                Ok((logits, sim, energy, from_cache))
-            }
+            RequestMode::FullGraph => Ok(self.full_graph_outcome(&request.nodes)),
             RequestMode::Sampled { s1, s2, seed } => {
-                if request.nodes.is_empty() {
-                    return Err(EngineError::EmptyRequest);
-                }
                 // The subgraph interns duplicate request nodes to one
                 // local row; `local_of` maps every request position back.
                 let sub =
@@ -290,10 +294,231 @@ impl Engine {
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
                 let out = self.backend.execute(&sub.graph, &local_features, shape);
                 let logits = crate::request::sampled_rows(&out.logits, &sub, &request.nodes);
-                Ok((logits, out.sim, out.energy_joules, false))
+                Ok(ExecOutcome {
+                    logits,
+                    sim: out.sim,
+                    energy_joules: out.energy_joules,
+                    from_cache: false,
+                    parts: 1,
+                    batch_size: 1,
+                })
             }
         }
     }
+
+    /// Answers one full-graph request through the shared cache,
+    /// computing the full-graph pass under the cache lock if nobody has
+    /// yet (concurrent forks block rather than duplicate the work).
+    fn full_graph_outcome(&mut self, nodes: &[usize]) -> ExecOutcome {
+        let mut guard = self.full_graph_cache.lock().expect("cache lock");
+        let from_cache = guard.is_some();
+        if !from_cache {
+            let shape =
+                RequestShape { target_nodes: self.dataset.num_nodes(), fanouts: self.fanouts };
+            let out = self.backend.execute(&self.dataset.graph, &self.dataset.features, shape);
+            *guard = Some(out);
+        }
+        let cached = guard.as_ref().expect("just populated");
+        let logits = crate::request::full_graph_rows(&cached.logits, nodes);
+        // Cache hits cost the hardware nothing — only the fresh
+        // computation carries its cycle/energy report, so summing
+        // per-response cost over a session stays truthful.
+        let (sim, energy_joules) =
+            if from_cache { (None, None) } else { (cached.sim.clone(), cached.energy_joules) };
+        ExecOutcome {
+            logits,
+            sim,
+            energy_joules,
+            from_cache,
+            parts: usize::from(!from_cache),
+            batch_size: 1,
+        }
+    }
+
+    /// Executes a micro-batch of requests as **one coalesced pass**: the
+    /// dynamic batcher's compute core.
+    ///
+    /// Duplicate requests (equal nodes *and* mode) are deduplicated to a
+    /// single execution; the remaining unique sampled requests'
+    /// sub-universes are concatenated into one block-diagonal
+    /// [`MergedUniverse`] and answered by a single backend execution,
+    /// with per-request logits scattered back and per-request hardware
+    /// cost re-charged on each request's own sub-universe shape.
+    /// Full-graph requests are answered through the shared cache.
+    ///
+    /// Every outcome is **bit-identical** to [`Engine::execute_request`]
+    /// on the same request: blocks preserve each sub-universe's exact
+    /// adjacency and neighbor order (see [`blockgnn_gnn::batch`]), and
+    /// the cycle model is a pure function of the per-request shape.
+    ///
+    /// Per-request errors (out-of-range nodes, empty sampled requests)
+    /// fail only their own slot, never the batch.
+    pub fn infer_coalesced(&mut self, requests: &[InferRequest]) -> CoalescedOutcome {
+        let batch_size = requests.len();
+        let mut outcomes: Vec<Option<Result<ExecOutcome, EngineError>>> =
+            (0..batch_size).map(|_| None).collect();
+        // Dedup map: first index of each distinct request → follower
+        // indexes answered by cloning the leader's outcome.
+        let mut leaders: HashMap<&InferRequest, usize> = HashMap::new();
+        let mut followers: Vec<(usize, usize)> = Vec::new();
+        // Unique sampled requests awaiting the merged execution.
+        let mut sampled: Vec<(usize, SampledSubgraph, (usize, usize))> = Vec::new();
+        let mut unique_executions = 0usize;
+        for (i, request) in requests.iter().enumerate() {
+            if let Some(&leader) = leaders.get(request) {
+                followers.push((i, leader));
+                continue;
+            }
+            leaders.insert(request, i);
+            if let Err(e) = crate::request::validate_request(request, self.dataset.num_nodes())
+            {
+                outcomes[i] = Some(Err(e));
+                continue;
+            }
+            match request.mode {
+                RequestMode::FullGraph => {
+                    unique_executions += 1;
+                    let mut outcome = self.full_graph_outcome(&request.nodes);
+                    outcome.batch_size = batch_size;
+                    outcomes[i] = Some(Ok(outcome));
+                }
+                RequestMode::Sampled { s1, s2, seed } => {
+                    unique_executions += 1;
+                    let sub = SampledSubgraph::build(
+                        &self.dataset.graph,
+                        &request.nodes,
+                        s1,
+                        s2,
+                        seed,
+                    );
+                    sampled.push((i, sub, (s1, s2)));
+                }
+            }
+        }
+        let merged_universe_nodes =
+            self.execute_sampled_group(requests, &mut outcomes, &sampled);
+        drop(leaders);
+        let deduped = followers.len();
+        for (i, leader) in followers {
+            let mut outcome =
+                outcomes[leader].clone().expect("leader outcome resolved before followers");
+            // A duplicate full-graph request served alone would be a
+            // cache hit (the leader populated the cache), charging no
+            // hardware; mirror that here. Duplicate *sampled* requests
+            // keep the leader's report — solo serving re-executes and
+            // re-charges them identically (the cycle model is a pure
+            // function of the request shape).
+            if requests[i].mode == RequestMode::FullGraph {
+                if let Ok(o) = &mut outcome {
+                    o.from_cache = true;
+                    o.sim = None;
+                    o.energy_joules = None;
+                    o.parts = 0;
+                }
+            }
+            outcomes[i] = Some(outcome);
+        }
+        CoalescedOutcome {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| o.expect("every request slot resolved"))
+                .collect(),
+            unique_executions,
+            deduped,
+            merged_universe_nodes,
+        }
+    }
+
+    /// Runs the unique sampled requests of a coalesced batch as one
+    /// merged-universe execution (or a direct single-subgraph execution
+    /// when only one is left after dedup), filling their outcome slots.
+    /// Returns the executed universe's node count.
+    fn execute_sampled_group(
+        &mut self,
+        requests: &[InferRequest],
+        outcomes: &mut [Option<Result<ExecOutcome, EngineError>>],
+        sampled: &[(usize, SampledSubgraph, (usize, usize))],
+    ) -> usize {
+        let batch_size = requests.len();
+        match sampled {
+            [] => 0,
+            [(i, sub, fanouts)] => {
+                // One unique sampled request: execute its sub-universe
+                // directly (bit-identical to the merged path, without
+                // copying the adjacency into a one-block merge).
+                let local_features = sub.gather_features(&self.dataset.features);
+                let shape = RequestShape { target_nodes: sub.batch_len, fanouts: *fanouts };
+                let out = self.backend.execute(&sub.graph, &local_features, shape);
+                let logits =
+                    crate::request::sampled_rows(&out.logits, sub, &requests[*i].nodes);
+                outcomes[*i] = Some(Ok(ExecOutcome {
+                    logits,
+                    sim: out.sim,
+                    energy_joules: out.energy_joules,
+                    from_cache: false,
+                    parts: 1,
+                    batch_size,
+                }));
+                sub.local_to_global.len()
+            }
+            many => {
+                let subs: Vec<&SampledSubgraph> = many.iter().map(|(_, sub, _)| sub).collect();
+                let merged = MergedUniverse::build(&subs);
+                let merged_features = merged.gather_features(&self.dataset.features);
+                // The merged call's own hardware charge describes the
+                // whole universe; it is discarded and each request is
+                // re-charged below on its own sub-universe shape, so
+                // per-response cost matches solo execution exactly.
+                let shape =
+                    RequestShape { target_nodes: merged.total_targets, fanouts: many[0].2 };
+                let out = self.backend.execute(&merged.graph, &merged_features, shape);
+                let feature_dim = self.dataset.feature_dim();
+                let num_classes = out.logits.cols();
+                for (block, (i, sub, fanouts)) in many.iter().enumerate() {
+                    let logits = merged.scatter(&out.logits, block, sub, &requests[*i].nodes);
+                    let charge = self.backend.charge(
+                        sub.graph.num_arcs(),
+                        feature_dim,
+                        num_classes,
+                        RequestShape { target_nodes: sub.batch_len, fanouts: *fanouts },
+                    );
+                    let (sim, energy_joules) = match charge {
+                        Some((sim, energy)) => (Some(sim), Some(energy)),
+                        None => (None, None),
+                    };
+                    outcomes[*i] = Some(Ok(ExecOutcome {
+                        logits,
+                        sim,
+                        energy_joules,
+                        from_cache: false,
+                        parts: 1,
+                        batch_size,
+                    }));
+                }
+                merged.universe.len()
+            }
+        }
+    }
+}
+
+/// What [`Engine::infer_coalesced`] returns: one outcome per request (in
+/// request order) plus batch-level accounting for the serving
+/// telemetry.
+#[derive(Debug)]
+pub struct CoalescedOutcome {
+    /// Per-request outcomes, aligned with the input slice. A request
+    /// that failed validation carries its own error; it never poisons
+    /// the batch.
+    pub outcomes: Vec<Result<ExecOutcome, EngineError>>,
+    /// Distinct executions performed after deduplication (full-graph
+    /// cache hits count as their request's execution).
+    pub unique_executions: usize,
+    /// Requests answered by sharing an identical earlier request's
+    /// execution (`requests.len() − distinct requests`).
+    pub deduped: usize,
+    /// Node count of the executed merged universe (0 when the batch had
+    /// no sampled requests).
+    pub merged_universe_nodes: usize,
 }
 
 impl std::fmt::Debug for Engine {
@@ -302,7 +527,10 @@ impl std::fmt::Debug for Engine {
             .field("model", &self.model_kind)
             .field("backend", &self.backend_kind)
             .field("dataset", &self.dataset.name)
-            .field("full_graph_cached", &self.full_graph_cache.is_some())
+            .field(
+                "full_graph_cached",
+                &self.full_graph_cache.lock().expect("cache lock").is_some(),
+            )
             .finish()
     }
 }
@@ -324,15 +552,13 @@ impl Session<'_> {
     /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
     pub fn infer(&mut self, request: &InferRequest) -> Result<InferResponse, EngineError> {
         let start = Instant::now();
-        let (logits, sim, energy_joules, from_cache) = self.engine.run_request(request)?;
-        let parts = usize::from(!from_cache);
+        let outcome = self.engine.execute_request(request)?;
+        let compute_time = start.elapsed();
+        // Direct sessions never queue: the whole latency is compute.
         Ok(crate::request::assemble_response(
-            logits,
-            sim,
-            energy_joules,
-            from_cache,
-            parts,
-            start,
+            outcome,
+            Duration::ZERO,
+            compute_time,
             &mut self.stats,
         ))
     }

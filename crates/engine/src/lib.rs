@@ -66,10 +66,13 @@ pub use backend::{
     BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
     SimulatedAccelBackend, SpectralBackend,
 };
-pub use engine::{Engine, EngineBuilder, Session};
+pub use engine::{CoalescedOutcome, Engine, EngineBuilder, Session};
 pub use error::EngineError;
 pub use parallel::{
     ParallelEngine, ParallelSession, DEFAULT_MIN_SHARD_ROWS, DEFAULT_PART_BUDGET_BYTES,
 };
-pub use request::{InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
-pub use stats::ServeStats;
+pub use request::{
+    assemble_response, validate_request, ExecOutcome, InferRequest, InferResponse, RequestMode,
+    PAPER_FANOUTS,
+};
+pub use stats::{LatencyHistogram, ServeStats};

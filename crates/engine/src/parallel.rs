@@ -37,7 +37,7 @@
 use crate::backend::{BackendKind, BackendOutput, ExecutionBackend, RequestShape};
 use crate::engine::Engine;
 use crate::error::EngineError;
-use crate::request::{InferRequest, InferResponse, RequestMode};
+use crate::request::{ExecOutcome, InferRequest, InferResponse, RequestMode};
 use crate::stats::ServeStats;
 use blockgnn_accel::SimReport;
 use blockgnn_gnn::sampled::SampledSubgraph;
@@ -47,7 +47,7 @@ use blockgnn_graph::{CsrGraph, Dataset};
 use blockgnn_linalg::Matrix;
 use blockgnn_perf::resources::NODE_FEATURE_BUFFER_BYTES;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default per-part feature-residency budget: one bank of the §IV-B
 /// Node-Feature Buffer (the 512 KB NFB is a ping-pong pair, so half is
@@ -91,7 +91,10 @@ impl Engine {
             part_budget_bytes: DEFAULT_PART_BUDGET_BYTES,
             min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
             parts: Vec::new(),
-            full_graph_cache: self.full_graph_cache,
+            // Adopt whatever the sequential engine (and its forks) had
+            // already computed; the parallel engine recomputes shards
+            // itself from here on, so it takes a private snapshot.
+            full_graph_cache: self.full_graph_cache.lock().expect("cache lock").clone(),
         };
         engine.replan_parts();
         Ok(engine)
@@ -245,14 +248,32 @@ impl ParallelEngine {
         }
     }
 
+    /// Resolves and executes one request, returning the raw
+    /// [`ExecOutcome`] without response assembly (the parallel
+    /// counterpart of [`Engine::execute_request`], and the entry point
+    /// the serving runtime uses when fronting a partition-parallel
+    /// engine).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NodeOutOfRange`] for invalid node ids;
+    /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
+    pub fn execute_request(
+        &mut self,
+        request: &InferRequest,
+    ) -> Result<ExecOutcome, EngineError> {
+        let (logits, sim, energy_joules, from_cache, parts) = self.run_request(request)?;
+        Ok(ExecOutcome { logits, sim, energy_joules, from_cache, parts, batch_size: 1 })
+    }
+
     /// Resolves and executes one request (the parallel counterpart of
-    /// the sequential engine's `run_request`).
+    /// the sequential engine's request runner).
     #[allow(clippy::type_complexity)]
     fn run_request(
         &mut self,
         request: &InferRequest,
     ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool, usize), EngineError> {
-        crate::request::validate_nodes(&request.nodes, self.dataset.num_nodes())?;
+        crate::request::validate_request(request, self.dataset.num_nodes())?;
         match request.mode {
             RequestMode::FullGraph => {
                 let from_cache = self.full_graph_cache.is_some();
@@ -286,9 +307,6 @@ impl ParallelEngine {
                 Ok((logits, sim, energy, from_cache, parts))
             }
             RequestMode::Sampled { s1, s2, seed } => {
-                if request.nodes.is_empty() {
-                    return Err(EngineError::EmptyRequest);
-                }
                 let sub =
                     SampledSubgraph::build(&self.dataset.graph, &request.nodes, s1, s2, seed);
                 let local_features = sub.gather_features(&self.dataset.features);
@@ -446,15 +464,13 @@ impl ParallelSession<'_> {
     /// [`EngineError::EmptyRequest`] for sampled requests with no nodes.
     pub fn infer(&mut self, request: &InferRequest) -> Result<InferResponse, EngineError> {
         let start = Instant::now();
-        let (logits, sim, energy_joules, from_cache, parts) =
-            self.engine.run_request(request)?;
+        let outcome = self.engine.execute_request(request)?;
+        let compute_time = start.elapsed();
+        // Direct sessions never queue: the whole latency is compute.
         Ok(crate::request::assemble_response(
-            logits,
-            sim,
-            energy_joules,
-            from_cache,
-            parts,
-            start,
+            outcome,
+            Duration::ZERO,
+            compute_time,
             &mut self.stats,
         ))
     }

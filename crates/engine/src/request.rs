@@ -9,13 +9,13 @@ use blockgnn_accel::SimReport;
 use blockgnn_gnn::sampled::SampledSubgraph;
 use blockgnn_linalg::vector::argmax;
 use blockgnn_linalg::Matrix;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The paper's sampling fan-outs `S₁ = 25, S₂ = 10` (§IV-A).
 pub const PAPER_FANOUTS: (usize, usize) = (25, 10);
 
 /// How a request's computation graph is formed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestMode {
     /// Run the full-graph forward pass and read off the requested rows.
     /// Because an engine's weights are immutable, the full-graph logits
@@ -35,7 +35,11 @@ pub enum RequestMode {
 }
 
 /// A micro-batched node-classification request.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// `Hash`/`Eq` compare the full request content — the serving batcher
+/// uses them to deduplicate identical requests within a coalesced batch
+/// (equal requests are served by one execution).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InferRequest {
     /// Target nodes to classify. For [`RequestMode::FullGraph`] an empty
     /// list means "every node"; sampled requests must be non-empty.
@@ -78,8 +82,17 @@ pub struct InferResponse {
     pub logits: Matrix,
     /// Argmax class per requested node.
     pub predictions: Vec<usize>,
-    /// Wall-clock time this request took inside the session.
+    /// End-to-end wall-clock time: `queue_time + compute_time` (kept as
+    /// the sum for compatibility with pre-split callers).
     pub latency: Duration,
+    /// Time the request waited in a queue before execution started
+    /// (zero when served directly by a [`crate::Session`], which never
+    /// queues).
+    pub queue_time: Duration,
+    /// Time the execution itself took. For a coalesced batch this is
+    /// the shared batch execution time — the wall-clock the request
+    /// actually rode on, not a per-request attribution.
+    pub compute_time: Duration,
     /// Cycle-level hardware report (simulated-accelerator backend only;
     /// `None` on full-graph cache hits, which cost the hardware nothing).
     pub sim: Option<SimReport>,
@@ -92,6 +105,31 @@ pub struct InferResponse {
     /// hits, 1 on unpartitioned execution, and the partition size `k`
     /// when the parallel engine sharded the computation (§IV-C).
     pub parts: usize,
+    /// Number of requests coalesced into the execution that answered
+    /// this one (1 when served alone).
+    pub batch_size: usize,
+}
+
+/// The raw outcome of executing one request — everything about the
+/// answer except timing, predictions, and stats, which
+/// [`assemble_response`] attaches. Produced by
+/// [`crate::Engine::execute_request`],
+/// [`crate::Engine::infer_coalesced`], and
+/// [`crate::ParallelEngine::execute_request`].
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// One logits row per requested node, in request order.
+    pub logits: Matrix,
+    /// Hardware cycle report, when the backend simulates one.
+    pub sim: Option<SimReport>,
+    /// Energy estimate in joules, when the backend models power.
+    pub energy_joules: Option<f64>,
+    /// Whether the logits came from the engine's full-graph cache.
+    pub from_cache: bool,
+    /// Graph parts executed (see [`InferResponse::parts`]).
+    pub parts: usize,
+    /// Requests coalesced into the producing execution.
+    pub batch_size: usize,
 }
 
 /// Rejects requests naming nodes outside the served graph.
@@ -100,6 +138,22 @@ pub(crate) fn validate_nodes(nodes: &[usize], num_nodes: usize) -> Result<(), En
         if node >= num_nodes {
             return Err(EngineError::NodeOutOfRange { node, num_nodes });
         }
+    }
+    Ok(())
+}
+
+/// The single definition of request validity against a graph of
+/// `num_nodes` nodes: every named node must exist, and sampled requests
+/// must name at least one. Used by the engines before executing and by
+/// the serving runtime at admission, so the two can never drift.
+///
+/// # Errors
+///
+/// [`EngineError::NodeOutOfRange`] or [`EngineError::EmptyRequest`].
+pub fn validate_request(request: &InferRequest, num_nodes: usize) -> Result<(), EngineError> {
+    validate_nodes(&request.nodes, num_nodes)?;
+    if matches!(request.mode, RequestMode::Sampled { .. }) && request.nodes.is_empty() {
+        return Err(EngineError::EmptyRequest);
     }
     Ok(())
 }
@@ -125,33 +179,35 @@ pub(crate) fn sampled_rows(logits: &Matrix, sub: &SampledSubgraph, nodes: &[usiz
     })
 }
 
-/// Finishes a served request: measures latency against `start`, attaches
-/// argmax predictions, folds the outcome into `stats`, and assembles the
-/// response. Shared by the sequential and parallel sessions so the two
-/// cannot drift.
-pub(crate) fn assemble_response(
-    logits: Matrix,
-    sim: Option<SimReport>,
-    energy_joules: Option<f64>,
-    from_cache: bool,
-    parts: usize,
-    start: Instant,
+/// Finishes a served request: attaches argmax predictions and the
+/// queue/compute timing split, folds the result into `stats`, and
+/// assembles the response. Shared by the sequential session, the
+/// parallel session, and the serving runtime's batcher, so their
+/// accounting cannot drift.
+pub fn assemble_response(
+    outcome: ExecOutcome,
+    queue_time: Duration,
+    compute_time: Duration,
     stats: &mut ServeStats,
 ) -> InferResponse {
-    let latency = start.elapsed();
+    let ExecOutcome { logits, sim, energy_joules, from_cache, parts, batch_size } = outcome;
     let predictions: Vec<usize> = (0..logits.rows())
         .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
         .collect();
-    let sim_cycles = sim.as_ref().map_or(0, |s| s.total_cycles);
-    stats.record(
-        logits.rows(),
-        latency,
-        sim_cycles,
-        energy_joules.unwrap_or(0.0),
+    let response = InferResponse {
+        logits,
+        predictions,
+        latency: queue_time + compute_time,
+        queue_time,
+        compute_time,
+        sim,
+        energy_joules,
         from_cache,
         parts,
-    );
-    InferResponse { logits, predictions, latency, sim, energy_joules, from_cache, parts }
+        batch_size,
+    };
+    stats.record_response(&response);
+    response
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //!   hardware performance models.
 //! * [`sampled`] — mini-batch inference over sampled two-hop computation
 //!   graphs (S₁/S₂ fan-outs), the workload shape the accelerator runs.
+//! * [`batch`] — coalesced execution of several sampled requests over a
+//!   merged node universe, the serving batcher's compute core.
 //!
 //! # Example
 //!
@@ -48,6 +50,7 @@
 #![deny(missing_docs)]
 
 pub mod adjacency;
+pub mod batch;
 pub mod models;
 pub mod profile;
 pub mod sampled;

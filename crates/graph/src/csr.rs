@@ -119,6 +119,35 @@ impl CsrGraph {
         Ok(Self { num_nodes, offsets, targets, id })
     }
 
+    /// Concatenates graphs into one block-diagonal graph: block `i`'s
+    /// nodes are renumbered by the cumulative node count of blocks
+    /// `0..i`, and no edges are added between blocks.
+    ///
+    /// Each node's neighbor list in the merged graph is its original
+    /// sorted list shifted by the block offset — the *same order*, so
+    /// order-sensitive per-node computations (neighbor aggregation,
+    /// attention softmax) over the merged graph are bit-identical to
+    /// running each block alone. This is the foundation of the serving
+    /// batcher's coalesced execution.
+    #[must_use]
+    pub fn block_diagonal(blocks: &[&CsrGraph]) -> Self {
+        let num_nodes = blocks.iter().map(|g| g.num_nodes).sum();
+        let num_arcs = blocks.iter().map(|g| g.targets.len()).sum();
+        let mut offsets = Vec::with_capacity(num_nodes + 1);
+        offsets.push(0usize);
+        let mut targets = Vec::with_capacity(num_arcs);
+        let mut base = 0u32;
+        for g in blocks {
+            for u in 0..g.num_nodes {
+                targets.extend(g.neighbors(u).iter().map(|&v| v + base));
+                offsets.push(targets.len());
+            }
+            base += g.num_nodes as u32;
+        }
+        let id = NEXT_GRAPH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Self { num_nodes, offsets, targets, id }
+    }
+
     /// Number of nodes.
     #[must_use]
     pub fn num_nodes(&self) -> usize {
@@ -268,6 +297,42 @@ mod tests {
         assert_eq!(g.num_arcs(), 0);
         assert_eq!(g.average_degree(), 0.0);
         assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn block_diagonal_preserves_per_block_adjacency() {
+        let a = CsrGraph::from_edges(3, &[(0, 1), (1, 2)], true).unwrap();
+        let b = CsrGraph::from_edges(2, &[(0, 1)], false).unwrap();
+        let m = CsrGraph::block_diagonal(&[&a, &b]);
+        assert_eq!(m.num_nodes(), 5);
+        assert_eq!(m.num_arcs(), a.num_arcs() + b.num_arcs());
+        for u in 0..3 {
+            let want: Vec<u32> = a.neighbors(u).to_vec();
+            assert_eq!(m.neighbors(u), &want[..]);
+        }
+        for u in 0..2 {
+            let want: Vec<u32> = b.neighbors(u).iter().map(|&v| v + 3).collect();
+            assert_eq!(m.neighbors(u + 3), &want[..]);
+        }
+        // No cross-block edges.
+        assert!(!m.has_edge(2, 3) && !m.has_edge(3, 2));
+        // Fresh cache identity, not inherited from a block.
+        assert_ne!(m.instance_id(), a.instance_id());
+        assert_ne!(m.instance_id(), b.instance_id());
+    }
+
+    #[test]
+    fn block_diagonal_of_one_equals_original() {
+        let a = CsrGraph::from_edges(4, &[(0, 1), (2, 3), (1, 2)], true).unwrap();
+        let m = CsrGraph::block_diagonal(&[&a]);
+        assert_eq!(m, a); // structural equality; ids differ
+    }
+
+    #[test]
+    fn block_diagonal_of_none_is_empty() {
+        let m = CsrGraph::block_diagonal(&[]);
+        assert_eq!(m.num_nodes(), 0);
+        assert_eq!(m.num_arcs(), 0);
     }
 
     proptest! {

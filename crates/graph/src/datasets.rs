@@ -88,9 +88,38 @@ pub fn reddit_like_small(seed: u64) -> Dataset {
     Dataset::synthesize(&spec, DEFAULT_HOMOPHILY, DEFAULT_SIGNAL, seed)
 }
 
+/// Looks a fully materialized small dataset up by its catalog name
+/// (`cora-small`, `citeseer-small`, `pubmed-small`, `reddit-small`) —
+/// what the serving binaries resolve `--dataset` against.
+#[must_use]
+pub fn small_by_name(name: &str, seed: u64) -> Option<Dataset> {
+    match name {
+        "cora-small" => Some(cora_like_small(seed)),
+        "citeseer-small" => Some(citeseer_like_small(seed)),
+        "pubmed-small" => Some(pubmed_like_small(seed)),
+        "reddit-small" => Some(reddit_like_small(seed)),
+        _ => None,
+    }
+}
+
+/// The names [`small_by_name`] accepts.
+#[must_use]
+pub fn small_names() -> [&'static str; 4] {
+    ["cora-small", "citeseer-small", "pubmed-small", "reddit-small"]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn small_by_name_resolves_every_catalog_entry() {
+        for name in small_names() {
+            let ds = small_by_name(name, 3).expect("catalog name resolves");
+            assert_eq!(ds.name, name);
+        }
+        assert!(small_by_name("reddit-full", 3).is_none());
+    }
 
     #[test]
     fn table4_statistics_are_exact() {

@@ -1,0 +1,189 @@
+//! `blockgnn-client`: drive a `blockgnn-serve` instance.
+//!
+//! ```text
+//! blockgnn-client --addr HOST:PORT ping
+//! blockgnn-client --addr HOST:PORT stats
+//! blockgnn-client --addr HOST:PORT shutdown
+//! blockgnn-client --addr HOST:PORT infer --nodes 0,1,2
+//!                 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D]
+//! blockgnn-client --addr HOST:PORT load --clients N --requests N
+//!                 [--pool N] [--s1 N] [--s2 N]
+//! ```
+//!
+//! `infer` prints `ok rows=… preds=…` and exits 0 on success, `err …`
+//! and exits 1 on any rejection; `load` runs the closed-loop generator
+//! and prints a summary line.
+
+use blockgnn_engine::InferRequest;
+use blockgnn_server::{run_closed_loop, Client, LoadConfig, SubmitOptions};
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr: Option<SocketAddr> = None;
+    let mut command: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = argv.into_iter();
+    while let Some(word) = it.next() {
+        if word == "--addr" {
+            let v = it.next().ok_or("--addr needs HOST:PORT")?;
+            addr = Some(v.parse().map_err(|_| format!("bad address {v:?}"))?);
+        } else if command.is_none() {
+            command = Some(word);
+        } else {
+            rest.push(word);
+        }
+    }
+    let addr = addr.ok_or(usage())?;
+    let command = command.ok_or(usage())?;
+    match command.as_str() {
+        "ping" => {
+            connect(addr)?.ping().map_err(|e| format!("err {e}"))?;
+            println!("pong");
+            Ok(())
+        }
+        "stats" => {
+            let stats = connect(addr)?.stats().map_err(|e| format!("err {e}"))?;
+            println!("{stats}");
+            Ok(())
+        }
+        "shutdown" => {
+            connect(addr)?.shutdown().map_err(|e| format!("err {e}"))?;
+            println!("ok bye");
+            Ok(())
+        }
+        "infer" => infer(addr, &rest),
+        "load" => load(addr, &rest),
+        other => Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+}
+
+fn connect(addr: SocketAddr) -> Result<Client, String> {
+    Client::connect(addr).map_err(|e| format!("err connect {addr}: {e}"))
+}
+
+fn usage() -> String {
+    "usage: blockgnn-client --addr HOST:PORT \
+     (ping | stats | shutdown \
+     | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D] \
+     | load --clients N --requests N [--pool N] [--s1 N] [--s2 N])"
+        .into()
+}
+
+fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut nodes: Vec<usize> = Vec::new();
+    let mut sampled: Option<(usize, usize, u64)> = None;
+    let mut options = SubmitOptions::default();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a list")?;
+                nodes = v
+                    .split(',')
+                    .map(|w| w.parse().map_err(|_| format!("bad node id {w:?}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--sampled" => {
+                let v = it.next().ok_or("--sampled needs S1,S2,SEED")?;
+                let parts: Vec<&str> = v.split(',').collect();
+                if parts.len() != 3 {
+                    return Err(format!("--sampled needs S1,S2,SEED, got {v:?}"));
+                }
+                sampled = Some((
+                    parts[0].parse().map_err(|_| "bad S1")?,
+                    parts[1].parse().map_err(|_| "bad S2")?,
+                    parts[2].parse().map_err(|_| "bad SEED")?,
+                ));
+            }
+            "--full" => sampled = None,
+            "--priority" => {
+                options.priority = it
+                    .next()
+                    .ok_or("--priority needs a value")?
+                    .parse()
+                    .map_err(|_| "bad priority".to_string())?;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = it
+                    .next()
+                    .ok_or("--deadline-ms needs a value")?
+                    .parse()
+                    .map_err(|_| "bad deadline".to_string())?;
+                options.deadline = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown infer flag {other:?}")),
+        }
+    }
+    let request = match sampled {
+        Some((s1, s2, seed)) => InferRequest::sampled(nodes, s1, s2, seed),
+        None => InferRequest::full_graph(nodes),
+    };
+    match connect(addr)?.infer_with(&request, options) {
+        Ok(r) => {
+            println!(
+                "ok rows={} queue_us={} compute_us={} batch={} preds={}",
+                r.logits.rows(),
+                r.queue_time.as_micros(),
+                r.compute_time.as_micros(),
+                r.batch_size,
+                r.predictions.iter().map(usize::to_string).collect::<Vec<_>>().join(","),
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("err {e}")),
+    }
+}
+
+fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut clients = 8usize;
+    let mut requests = 32usize;
+    let mut pool = 8usize;
+    let mut s1 = 10usize;
+    let mut s2 = 5usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or(format!("{flag} needs a value"))?;
+        let n: usize = v.parse().map_err(|_| format!("bad value {v:?}"))?;
+        match flag.as_str() {
+            "--clients" => clients = n,
+            "--requests" => requests = n,
+            "--pool" => pool = n,
+            "--s1" => s1 = n,
+            "--s2" => s2 = n,
+            other => return Err(format!("unknown load flag {other:?}")),
+        }
+    }
+    let pool: Vec<InferRequest> = (0..pool.max(1))
+        .map(|i| InferRequest::sampled(vec![i * 7, i * 7 + 1], s1, s2, i as u64))
+        .collect();
+    let report =
+        run_closed_loop(addr, &LoadConfig { clients, requests_per_client: requests, pool });
+    println!(
+        "load sent={} ok={} shed={} errors={} qps={:.1} p50_us={} p95_us={} p99_us={}",
+        report.sent,
+        report.ok,
+        report.shed,
+        report.errors,
+        report.qps(),
+        report.latency.p50().as_micros(),
+        report.latency.p95().as_micros(),
+        report.latency.p99().as_micros(),
+    );
+    if report.errors > 0 {
+        return Err(format!("{} load requests failed", report.errors));
+    }
+    Ok(())
+}

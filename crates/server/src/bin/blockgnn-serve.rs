@@ -1,0 +1,157 @@
+//! `blockgnn-serve`: the TCP serving daemon.
+//!
+//! ```text
+//! blockgnn-serve [--dataset NAME] [--model gcn|gs-pool|g-gcn|gat]
+//!                [--backend dense|spectral|simulated-accel]
+//!                [--hidden N] [--block N] [--seed N]
+//!                [--addr HOST:PORT] [--workers N]
+//!                [--batch-window-us N] [--max-batch N]
+//!                [--queue-depth N] [--deadline-ms N]
+//! ```
+//!
+//! Prints `LISTENING <addr>` once the port is bound (machine-readable —
+//! the CI smoke job and scripts wait for it), then serves until a
+//! client sends `shutdown`, finally printing the telemetry summary.
+
+use blockgnn_engine::{BackendKind, EngineBuilder};
+use blockgnn_gnn::{Compression, ModelKind};
+use blockgnn_graph::datasets;
+use blockgnn_server::{Server, ServerConfig, TcpServer};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    dataset: String,
+    model: ModelKind,
+    backend: BackendKind,
+    hidden: usize,
+    block: usize,
+    seed: u64,
+    addr: String,
+    config: ServerConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dataset: "pubmed-small".into(),
+        model: ModelKind::Gcn,
+        backend: BackendKind::Spectral,
+        hidden: 32,
+        block: 8,
+        seed: 42,
+        addr: "127.0.0.1:0".into(),
+        config: ServerConfig::default(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--dataset" => args.dataset = value("--dataset")?,
+            "--model" => {
+                args.model = match value("--model")?.as_str() {
+                    "gcn" => ModelKind::Gcn,
+                    "gs-pool" => ModelKind::GsPool,
+                    "g-gcn" => ModelKind::Ggcn,
+                    "gat" => ModelKind::Gat,
+                    other => return Err(format!("unknown model {other:?}")),
+                }
+            }
+            "--backend" => {
+                args.backend = match value("--backend")?.as_str() {
+                    "dense" => BackendKind::Dense,
+                    "spectral" => BackendKind::Spectral,
+                    "simulated-accel" => BackendKind::SimulatedAccel,
+                    other => return Err(format!("unknown backend {other:?}")),
+                }
+            }
+            "--hidden" => args.hidden = parse(&value("--hidden")?)?,
+            "--block" => args.block = parse(&value("--block")?)?,
+            "--seed" => args.seed = parse(&value("--seed")?)?,
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => args.config.workers = parse(&value("--workers")?)?,
+            "--batch-window-us" => {
+                args.config.batch_window = Duration::from_micros(parse(&value(&flag)?)?);
+            }
+            "--max-batch" => args.config.max_batch_requests = parse(&value(&flag)?)?,
+            "--queue-depth" => args.config.max_queue_depth = parse(&value(&flag)?)?,
+            "--deadline-ms" => {
+                args.config.default_deadline =
+                    Some(Duration::from_millis(parse(&value(&flag)?)?));
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad numeric value {v:?}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            if msg != "help" {
+                eprintln!("error: {msg}");
+            }
+            eprintln!(
+                "usage: blockgnn-serve [--dataset {}] [--model gcn|gs-pool|g-gcn|gat] \
+                 [--backend dense|spectral|simulated-accel] [--hidden N] [--block N] \
+                 [--seed N] [--addr HOST:PORT] [--workers N] [--batch-window-us N] \
+                 [--max-batch N] [--queue-depth N] [--deadline-ms N]",
+                datasets::small_names().join("|"),
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let Some(dataset) = datasets::small_by_name(&args.dataset, args.seed) else {
+        eprintln!(
+            "error: unknown dataset {:?} (expected one of {})",
+            args.dataset,
+            datasets::small_names().join(", ")
+        );
+        return ExitCode::from(2);
+    };
+    eprintln!(
+        "serving {} · {} backend · dataset {} ({} nodes) · {} workers",
+        args.model,
+        args.backend,
+        args.dataset,
+        dataset.num_nodes(),
+        args.config.workers,
+    );
+    let engine = match EngineBuilder::new(args.model, args.backend)
+        .hidden_dim(args.hidden)
+        .compression(Compression::BlockCirculant { block_size: args.block })
+        .seed(args.seed)
+        .build(Arc::new(dataset))
+    {
+        Ok(engine) => engine,
+        Err(e) => {
+            eprintln!("error: engine failed to build: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match Server::start(engine, args.config) {
+        Ok(server) => Arc::new(server),
+        Err(e) => {
+            eprintln!("error: server failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let front = match TcpServer::bind(Arc::clone(&server), args.addr.as_str()) {
+        Ok(front) => front,
+        Err(e) => {
+            eprintln!("error: bind {} failed: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The contract line scripts wait for (stdout, flushed by println).
+    println!("LISTENING {}", front.local_addr());
+    let stats = front.run_until_shutdown();
+    println!("SHUTDOWN {}", stats.summary());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,208 @@
+//! TCP client for the serving front end, plus a closed-loop load
+//! generator used by the throughput benchmark and the CI smoke test.
+
+use crate::error::ServerError;
+use crate::protocol::{encode_infer, parse_error, parse_response, RemoteResponse};
+use crate::queue::SubmitOptions;
+use blockgnn_engine::{InferRequest, LatencyHistogram};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// A blocking client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving front end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Result<String, ServerError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServerError::Io("server closed the connection".into()));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Sends one inference request and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed rejection ([`ServerError::Overloaded`],
+    /// [`ServerError::DeadlineExceeded`], …), a
+    /// [`ServerError::RemoteEngine`] failure, or transport/protocol
+    /// errors.
+    pub fn infer(&mut self, request: &InferRequest) -> Result<RemoteResponse, ServerError> {
+        self.infer_with(request, SubmitOptions::default())
+    }
+
+    /// Sends one inference request with explicit priority/deadline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::infer`].
+    pub fn infer_with(
+        &mut self,
+        request: &InferRequest,
+        options: SubmitOptions,
+    ) -> Result<RemoteResponse, ServerError> {
+        let reply = self.roundtrip(&encode_infer(request, options))?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        parse_response(&reply)
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServerError::Protocol`] on a non-`pong`
+    /// reply.
+    pub fn ping(&mut self) -> Result<(), ServerError> {
+        let reply = self.roundtrip("ping")?;
+        if reply == "pong" {
+            Ok(())
+        } else {
+            Err(ServerError::Protocol(format!("expected pong, got {reply:?}")))
+        }
+    }
+
+    /// Fetches the server's one-line telemetry summary.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServerError::Protocol`] on a malformed
+    /// reply.
+    pub fn stats(&mut self) -> Result<String, ServerError> {
+        let reply = self.roundtrip("stats")?;
+        reply.strip_prefix("ok stats ").map(str::to_string).ok_or_else(|| {
+            ServerError::Protocol(format!("expected stats reply, got {reply:?}"))
+        })
+    }
+
+    /// Asks the server to shut down cleanly.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServerError::Protocol`] on an unexpected
+    /// reply.
+    pub fn shutdown(&mut self) -> Result<(), ServerError> {
+        let reply = self.roundtrip("shutdown")?;
+        if reply == "ok bye" {
+            Ok(())
+        } else {
+            Err(ServerError::Protocol(format!("expected ok bye, got {reply:?}")))
+        }
+    }
+}
+
+/// Closed-loop load-generation parameters: each client thread sends its
+/// next request only after the previous answer arrives.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Requests each client sends.
+    pub requests_per_client: usize,
+    /// The request mix; client `c` draws round-robin starting at
+    /// offset `c`, so concurrent clients overlap on the same requests —
+    /// the duplicate-heavy serving mix the batcher's dedup exploits.
+    pub pool: Vec<InferRequest>,
+}
+
+/// What a load run observed, client-side.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// Successful answers.
+    pub ok: usize,
+    /// Typed sheds (overload/deadline) — expected under overload.
+    pub shed: usize,
+    /// Anything else (engine, protocol, transport).
+    pub errors: usize,
+    /// Wall-clock of the whole run.
+    pub elapsed: Duration,
+    /// Client-observed end-to-end latency distribution.
+    pub latency: LatencyHistogram,
+}
+
+impl LoadReport {
+    /// Successful answers per second of wall-clock.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.ok as f64 / secs
+        }
+    }
+}
+
+/// Runs a closed-loop load test against a front end: spawns
+/// `cfg.clients` connections, drives them to completion, and merges the
+/// per-client observations.
+///
+/// # Panics
+///
+/// Panics if the pool is empty or a client cannot connect.
+#[must_use]
+pub fn run_closed_loop(addr: std::net::SocketAddr, cfg: &LoadConfig) -> LoadReport {
+    assert!(!cfg.pool.is_empty(), "load pool must not be empty");
+    let start = Instant::now();
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("load client connects");
+                    let mut report = LoadReport::default();
+                    for i in 0..cfg.requests_per_client {
+                        let request = &cfg.pool[(c + i) % cfg.pool.len()];
+                        let sent_at = Instant::now();
+                        report.sent += 1;
+                        match client.infer(request) {
+                            Ok(_) => {
+                                report.ok += 1;
+                                report.latency.record(sent_at.elapsed());
+                            }
+                            Err(
+                                ServerError::Overloaded { .. }
+                                | ServerError::DeadlineExceeded { .. },
+                            ) => report.shed += 1,
+                            Err(_) => report.errors += 1,
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("load client thread")).collect::<Vec<_>>()
+    });
+    let mut merged = LoadReport { elapsed: start.elapsed(), ..LoadReport::default() };
+    for r in reports {
+        merged.sent += r.sent;
+        merged.ok += r.ok;
+        merged.shed += r.shed;
+        merged.errors += r.errors;
+        merged.latency.merge(&r.latency);
+    }
+    merged
+}

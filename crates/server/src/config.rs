@@ -1,0 +1,128 @@
+//! Serving-runtime configuration.
+
+use std::time::Duration;
+
+/// Tunables of the serving runtime: worker pool size, admission bounds,
+/// and the dynamic micro-batching policy.
+///
+/// Batching semantics: a worker dequeuing a request first drains
+/// whatever else is already queued (opportunistic coalescing — costs
+/// no latency), then keeps the batch open for at most
+/// [`ServerConfig::batch_window`] for stragglers, until
+/// [`ServerConfig::max_batch_requests`] requests or
+/// [`ServerConfig::max_batch_nodes`] summed target nodes are reached.
+/// A request cap of 1 disables coalescing — every request executes
+/// alone; a zero window merely disables the straggler wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads, each owning a forked engine replica.
+    pub workers: usize,
+    /// Maximum queued (admitted but unexecuted) requests; submissions
+    /// beyond this are shed with
+    /// [`crate::ServerError::Overloaded`] instead of blocking.
+    pub max_queue_depth: usize,
+    /// How long a worker holds a batch open for more requests after
+    /// dequeuing its first one.
+    pub batch_window: Duration,
+    /// Maximum requests coalesced into one execution.
+    pub max_batch_requests: usize,
+    /// Maximum summed target nodes per coalesced execution (bounds the
+    /// merged universe's size; an all-nodes full-graph request counts
+    /// as one node here, since it serves from the shared cache).
+    pub max_batch_nodes: usize,
+    /// Deadline applied to requests that do not carry their own; `None`
+    /// means no default deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    /// Two workers, depth-256 admission queue, a 500 µs batch window
+    /// coalescing up to 8 requests / 1024 nodes, and no default
+    /// deadline.
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_queue_depth: 256,
+            batch_window: Duration::from_micros(500),
+            max_batch_requests: 8,
+            max_batch_nodes: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Sets the worker-pool size.
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the admission-queue depth bound.
+    #[must_use]
+    pub fn with_max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = depth;
+        self
+    }
+
+    /// Sets the batching window and request cap.
+    #[must_use]
+    pub fn with_batching(mut self, window: Duration, max_requests: usize) -> Self {
+        self.batch_window = window;
+        self.max_batch_requests = max_requests;
+        self
+    }
+
+    /// Sets the per-batch summed-target-node bound.
+    #[must_use]
+    pub fn with_max_batch_nodes(mut self, nodes: usize) -> Self {
+        self.max_batch_nodes = nodes;
+        self
+    }
+
+    /// Sets the default per-request deadline.
+    #[must_use]
+    pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.default_deadline = deadline;
+        self
+    }
+
+    /// Disables micro-batching: every request executes alone (the
+    /// baseline the batching benchmark compares against).
+    #[must_use]
+    pub fn unbatched(mut self) -> Self {
+        self.batch_window = Duration::ZERO;
+        self.max_batch_requests = 1;
+        self
+    }
+
+    /// Whether the configuration coalesces requests at all (a request
+    /// cap of 1 is the off switch; the window only tunes how long a
+    /// partial batch waits for stragglers).
+    #[must_use]
+    pub fn batching_enabled(&self) -> bool {
+        self.max_batch_requests > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let cfg = ServerConfig::default()
+            .with_workers(4)
+            .with_max_queue_depth(16)
+            .with_batching(Duration::from_millis(2), 32)
+            .with_max_batch_nodes(64)
+            .with_default_deadline(Some(Duration::from_millis(100)));
+        assert_eq!(cfg.workers, 4);
+        assert_eq!(cfg.max_queue_depth, 16);
+        assert_eq!(cfg.max_batch_requests, 32);
+        assert_eq!(cfg.max_batch_nodes, 64);
+        assert!(cfg.batching_enabled());
+        assert!(!cfg.clone().unbatched().batching_enabled());
+    }
+}

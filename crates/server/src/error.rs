@@ -1,0 +1,93 @@
+//! Typed serving errors: every way a request can be rejected or fail,
+//! on either side of the wire.
+
+use blockgnn_engine::EngineError;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors surfaced by the serving runtime and its TCP client.
+///
+/// Overload and deadline rejections are *typed* so callers can tell
+/// load-shedding apart from genuine failures (shed requests are safe to
+/// retry elsewhere; engine errors are not).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerError {
+    /// The admission queue was full; the request was shed immediately
+    /// instead of blocking the caller.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// Configured maximum depth.
+        max_depth: usize,
+    },
+    /// The request's deadline passed while it waited in the queue; it
+    /// was shed without executing.
+    DeadlineExceeded {
+        /// How long the request had waited when it was shed.
+        waited: Duration,
+    },
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// The serving worker disappeared before answering (only possible
+    /// during an unclean teardown).
+    Canceled,
+    /// The engine rejected the request (bad node ids, empty sampled
+    /// request, …).
+    Engine(EngineError),
+    /// A client-side view of a server-side engine failure (the
+    /// structured [`EngineError`] does not cross the wire).
+    RemoteEngine(String),
+    /// A malformed protocol line (client or server side).
+    Protocol(String),
+    /// A transport failure, with the rendered I/O error.
+    Io(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Overloaded { depth, max_depth } => {
+                write!(f, "request shed: queue full ({depth}/{max_depth})")
+            }
+            ServerError::DeadlineExceeded { waited } => {
+                write!(f, "request shed: deadline passed after waiting {waited:?}")
+            }
+            ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::Canceled => write!(f, "serving worker dropped the request"),
+            ServerError::Engine(e) => write!(f, "engine error: {e}"),
+            ServerError::RemoteEngine(m) => write!(f, "remote engine error: {m}"),
+            ServerError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServerError::Io(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl Error for ServerError {}
+
+impl From<EngineError> for ServerError {
+    fn from(e: EngineError) -> Self {
+        ServerError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let shed = ServerError::Overloaded { depth: 8, max_depth: 8 };
+        assert!(shed.to_string().contains("8/8"));
+        let late = ServerError::DeadlineExceeded { waited: Duration::from_millis(5) };
+        assert!(late.to_string().contains("deadline"));
+        let engine: ServerError = EngineError::EmptyRequest.into();
+        assert!(engine.to_string().contains("engine error"));
+    }
+}

@@ -1,0 +1,67 @@
+//! `blockgnn-server`: the concurrent serving runtime over the
+//! [`blockgnn_engine`] front door — the layer that absorbs *traffic*
+//! rather than executing one call.
+//!
+//! The engine crates answer one request fast; production GNN serving
+//! engines (GNNIE's load-balanced runtime, CirCNN's throughput layer)
+//! win by how they *schedule* requests. This crate adds that layer:
+//!
+//! * **Admission control** — a bounded priority queue that sheds on
+//!   overload with a typed [`ServerError::Overloaded`] instead of
+//!   blocking, honors per-request deadlines/priorities
+//!   ([`SubmitOptions`]), and drains cleanly on shutdown.
+//! * **Dynamic micro-batching** — requests arriving within a
+//!   configurable window coalesce into one deduplicated merged-universe
+//!   execution ([`blockgnn_engine::Engine::infer_coalesced`]), with
+//!   per-request logits scattered back **bit-identical** to serving
+//!   each request alone.
+//! * **Telemetry** — [`ServerStats`]: latency histograms with
+//!   p50/p95/p99, the queue-time vs compute-time split, QPS, shed
+//!   counts, and the batch-size distribution.
+//! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
+//!   [`protocol`] (logits cross as `f64` bit patterns, so remote
+//!   answers stay bit-identical); [`Client`] and the closed-loop
+//!   [`run_closed_loop`] load generator drive it; the `blockgnn-serve`
+//!   and `blockgnn-client` binaries wrap both.
+//!
+//! # Example: in-process serving
+//!
+//! ```
+//! use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
+//! use blockgnn_gnn::ModelKind;
+//! use blockgnn_graph::datasets;
+//! use blockgnn_server::{Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Dense)
+//!     .hidden_dim(16)
+//!     .build(Arc::new(datasets::cora_like_small(7)))
+//!     .unwrap();
+//! let server = Server::start(engine, ServerConfig::default()).unwrap();
+//! let handle = server.handle();
+//! let response = handle.infer(InferRequest::sampled(vec![0, 1], 5, 3, 9)).unwrap();
+//! assert_eq!(response.predictions.len(), 2);
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+mod client;
+mod config;
+mod error;
+pub mod protocol;
+mod queue;
+#[allow(clippy::module_inception)]
+mod server;
+mod tcp;
+mod telemetry;
+
+pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
+pub use config::ServerConfig;
+pub use error::ServerError;
+pub use protocol::RemoteResponse;
+pub use queue::SubmitOptions;
+pub use server::{Server, ServerHandle, Ticket};
+pub use tcp::TcpServer;
+pub use telemetry::ServerStats;

@@ -1,0 +1,444 @@
+//! The line-oriented wire protocol of the TCP front end.
+//!
+//! One request line in, one response line out, UTF-8, LF-terminated.
+//! Logits cross the wire as hexadecimal `f64::to_bits` words, so remote
+//! responses are **bit-identical** to in-process ones — the property the
+//! end-to-end parity tests assert through the socket.
+//!
+//! # Grammar
+//!
+//! ```text
+//! command   = infer | "ping" | "stats" | "shutdown"
+//! infer     = "infer" SP target [SP option]*
+//! target    = "full" SP ("all" | nodes)
+//!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
+//! nodes     = int ("," int)*
+//! option    = "priority=" int | "deadline_ms=" int
+//!
+//! reply     = "ok" SP infer-reply | "pong" | "ok stats " summary
+//!           | "ok bye" | "err" SP kind SP message
+//! infer-reply = "rows=" int SP "cols=" int SP "queue_us=" int
+//!               SP "compute_us=" int SP "from_cache=" ("0"|"1")
+//!               SP "parts=" int SP "batch=" int SP "cycles=" int
+//!               SP "energy=" ("none" | hex64)
+//!               SP "preds=" int ("," int)*
+//!               SP "logits=" row (";" row)*     row = hex64 ("," hex64)*
+//! kind      = "overloaded" | "deadline" | "shutting_down" | "canceled"
+//!           | "bad_request" | "engine" | "protocol" | "io"
+//! ```
+
+use crate::error::ServerError;
+use crate::queue::SubmitOptions;
+use blockgnn_engine::{InferRequest, InferResponse};
+use blockgnn_linalg::Matrix;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// A parsed client command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run inference.
+    Infer(InferRequest, SubmitOptions),
+    /// Liveness probe.
+    Ping,
+    /// One-line telemetry summary.
+    Stats,
+    /// Stop the server cleanly.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax problem.
+pub fn parse_command(line: &str) -> Result<Command, String> {
+    let mut words = line.split_whitespace();
+    match words.next() {
+        Some("ping") => Ok(Command::Ping),
+        Some("stats") => Ok(Command::Stats),
+        Some("shutdown") => Ok(Command::Shutdown),
+        Some("infer") => parse_infer(&mut words),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("empty command".into()),
+    }
+}
+
+fn parse_infer<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    let target = words.next().ok_or("infer needs a target (full | sampled)")?;
+    let (request, rest): (InferRequest, Vec<&str>) = match target {
+        "full" => {
+            let nodes_word = words.next().ok_or("infer full needs node ids or `all`")?;
+            let nodes = if nodes_word == "all" { Vec::new() } else { parse_nodes(nodes_word)? };
+            (InferRequest::full_graph(nodes), words.collect())
+        }
+        "sampled" => {
+            let s1 = parse_kv(words.next(), "s1")?;
+            let s2 = parse_kv(words.next(), "s2")?;
+            let seed: u64 = parse_kv(words.next(), "seed")?;
+            let nodes_word = words.next().ok_or("sampled infer needs nodes=…")?;
+            let nodes_val = nodes_word
+                .strip_prefix("nodes=")
+                .ok_or_else(|| format!("expected nodes=…, got {nodes_word:?}"))?;
+            (InferRequest::sampled(parse_nodes(nodes_val)?, s1, s2, seed), words.collect())
+        }
+        other => return Err(format!("unknown infer target {other:?}")),
+    };
+    let mut options = SubmitOptions::default();
+    for word in rest {
+        if let Some(v) = word.strip_prefix("priority=") {
+            options.priority = v.parse().map_err(|_| format!("bad priority {v:?}"))?;
+        } else if let Some(v) = word.strip_prefix("deadline_ms=") {
+            let ms: u64 = v.parse().map_err(|_| format!("bad deadline_ms {v:?}"))?;
+            options.deadline = Some(Duration::from_millis(ms));
+        } else {
+            return Err(format!("unknown option {word:?}"));
+        }
+    }
+    Ok(Command::Infer(request, options))
+}
+
+fn parse_kv<T: std::str::FromStr>(word: Option<&str>, key: &str) -> Result<T, String> {
+    let word = word.ok_or_else(|| format!("missing {key}=…"))?;
+    let value = word
+        .strip_prefix(key)
+        .and_then(|w| w.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=…, got {word:?}"))?;
+    value.parse().map_err(|_| format!("bad {key} value {value:?}"))
+}
+
+fn parse_nodes(csv: &str) -> Result<Vec<usize>, String> {
+    // An empty list is syntactically valid; whether it is *semantically*
+    // valid is the engine's call (EmptyRequest for sampled mode), so the
+    // rejection comes back typed rather than as a protocol error.
+    if csv.is_empty() {
+        return Ok(Vec::new());
+    }
+    csv.split(',').map(|w| w.parse().map_err(|_| format!("bad node id {w:?}"))).collect()
+}
+
+/// Renders an [`InferRequest`] + options as a request line (no newline).
+#[must_use]
+pub fn encode_infer(request: &InferRequest, options: SubmitOptions) -> String {
+    let mut line = String::from("infer ");
+    match request.mode {
+        blockgnn_engine::RequestMode::FullGraph => {
+            line.push_str("full ");
+            if request.nodes.is_empty() {
+                line.push_str("all");
+            } else {
+                push_csv(&mut line, &request.nodes);
+            }
+        }
+        blockgnn_engine::RequestMode::Sampled { s1, s2, seed } => {
+            let _ = write!(line, "sampled s1={s1} s2={s2} seed={seed} nodes=");
+            push_csv(&mut line, &request.nodes);
+        }
+    }
+    if options.priority != 0 {
+        let _ = write!(line, " priority={}", options.priority);
+    }
+    if let Some(d) = options.deadline {
+        let _ = write!(line, " deadline_ms={}", d.as_millis());
+    }
+    line
+}
+
+fn push_csv(line: &mut String, nodes: &[usize]) {
+    for (i, n) in nodes.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{n}");
+    }
+}
+
+/// What the client reconstructs from an `ok` infer reply: the response
+/// minus the per-layer hardware report (its total cycles and energy
+/// cross the wire as scalars).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteResponse {
+    /// One logits row per requested node — bit-identical to the
+    /// server-side matrix.
+    pub logits: Matrix,
+    /// Argmax class per requested node.
+    pub predictions: Vec<usize>,
+    /// Queue + compute.
+    pub latency: Duration,
+    /// Time queued before execution.
+    pub queue_time: Duration,
+    /// Batch execution time the request rode on.
+    pub compute_time: Duration,
+    /// Whether the full-graph cache answered.
+    pub from_cache: bool,
+    /// Graph parts executed.
+    pub parts: usize,
+    /// Requests coalesced into the answering execution.
+    pub batch_size: usize,
+    /// Total simulated accelerator cycles (0 for software backends).
+    pub sim_cycles: u64,
+    /// Simulated energy in joules, when the backend models power.
+    pub energy_joules: Option<f64>,
+}
+
+/// Renders a served response as an `ok` reply line (no newline).
+#[must_use]
+pub fn encode_response(response: &InferResponse) -> String {
+    let mut line = format!(
+        "ok rows={} cols={} queue_us={} compute_us={} from_cache={} parts={} batch={} cycles={}",
+        response.logits.rows(),
+        response.logits.cols(),
+        response.queue_time.as_micros(),
+        response.compute_time.as_micros(),
+        u8::from(response.from_cache),
+        response.parts,
+        response.batch_size,
+        response.sim.as_ref().map_or(0, |s| s.total_cycles),
+    );
+    match response.energy_joules {
+        // Energy crosses as bits so the round-trip is exact.
+        Some(e) => {
+            let _ = write!(line, " energy={:016x}", e.to_bits());
+        }
+        None => line.push_str(" energy=none"),
+    }
+    line.push_str(" preds=");
+    push_csv(&mut line, &response.predictions);
+    line.push_str(" logits=");
+    for i in 0..response.logits.rows() {
+        if i > 0 {
+            line.push(';');
+        }
+        for (j, v) in response.logits.row(i).iter().enumerate() {
+            if j > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{:016x}", v.to_bits());
+        }
+    }
+    line
+}
+
+/// Parses an `ok` infer reply back into a [`RemoteResponse`].
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the line does not match the grammar.
+pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
+    let body = line
+        .strip_prefix("ok ")
+        .ok_or_else(|| ServerError::Protocol(format!("expected ok reply, got {line:?}")))?;
+    let mut rows = None;
+    let mut cols = None;
+    let mut queue_us = None;
+    let mut compute_us = None;
+    let mut from_cache = None;
+    let mut parts = None;
+    let mut batch = None;
+    let mut cycles = None;
+    let mut energy = None;
+    let mut preds = None;
+    let mut logits_words = None;
+    for word in body.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| ServerError::Protocol(format!("bad field {word:?}")))?;
+        match key {
+            "rows" => rows = Some(parse_usize(value)?),
+            "cols" => cols = Some(parse_usize(value)?),
+            "queue_us" => queue_us = Some(parse_u64(value)?),
+            "compute_us" => compute_us = Some(parse_u64(value)?),
+            "from_cache" => from_cache = Some(value == "1"),
+            "parts" => parts = Some(parse_usize(value)?),
+            "batch" => batch = Some(parse_usize(value)?),
+            "cycles" => cycles = Some(parse_u64(value)?),
+            "energy" => {
+                energy = Some(if value == "none" {
+                    None
+                } else {
+                    Some(f64::from_bits(parse_hex64(value)?))
+                });
+            }
+            "preds" => {
+                preds = Some(
+                    value
+                        .split(',')
+                        .filter(|w| !w.is_empty())
+                        .map(parse_usize)
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+            "logits" => logits_words = Some(value),
+            other => {
+                return Err(ServerError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    let rows = rows.ok_or_else(|| missing("rows"))?;
+    let cols = cols.ok_or_else(|| missing("cols"))?;
+    let logits_words = logits_words.ok_or_else(|| missing("logits"))?;
+    let mut data = Vec::with_capacity(rows * cols);
+    if !logits_words.is_empty() {
+        for row in logits_words.split(';') {
+            for word in row.split(',').filter(|w| !w.is_empty()) {
+                data.push(f64::from_bits(parse_hex64(word)?));
+            }
+        }
+    }
+    let logits = Matrix::from_flat(rows, cols, data)
+        .map_err(|e| ServerError::Protocol(format!("logits shape: {e}")))?;
+    let queue_time = Duration::from_micros(queue_us.ok_or_else(|| missing("queue_us"))?);
+    let compute_time = Duration::from_micros(compute_us.ok_or_else(|| missing("compute_us"))?);
+    Ok(RemoteResponse {
+        logits,
+        predictions: preds.ok_or_else(|| missing("preds"))?,
+        latency: queue_time + compute_time,
+        queue_time,
+        compute_time,
+        from_cache: from_cache.ok_or_else(|| missing("from_cache"))?,
+        parts: parts.ok_or_else(|| missing("parts"))?,
+        batch_size: batch.ok_or_else(|| missing("batch"))?,
+        sim_cycles: cycles.ok_or_else(|| missing("cycles"))?,
+        energy_joules: energy.ok_or_else(|| missing("energy"))?,
+    })
+}
+
+fn missing(field: &str) -> ServerError {
+    ServerError::Protocol(format!("reply missing {field}"))
+}
+
+fn parse_usize(v: &str) -> Result<usize, ServerError> {
+    v.parse().map_err(|_| ServerError::Protocol(format!("bad integer {v:?}")))
+}
+
+fn parse_u64(v: &str) -> Result<u64, ServerError> {
+    v.parse().map_err(|_| ServerError::Protocol(format!("bad integer {v:?}")))
+}
+
+fn parse_hex64(v: &str) -> Result<u64, ServerError> {
+    u64::from_str_radix(v, 16).map_err(|_| ServerError::Protocol(format!("bad hex word {v:?}")))
+}
+
+/// Renders an error as an `err` reply line (no newline).
+#[must_use]
+pub fn encode_error(error: &ServerError) -> String {
+    let kind = match error {
+        ServerError::Overloaded { .. } => "overloaded",
+        ServerError::DeadlineExceeded { .. } => "deadline",
+        ServerError::ShuttingDown => "shutting_down",
+        ServerError::Canceled => "canceled",
+        ServerError::Engine(_) | ServerError::RemoteEngine(_) => "engine",
+        ServerError::Protocol(_) => "protocol",
+        ServerError::Io(_) => "io",
+    };
+    format!("err {kind} {error}")
+}
+
+/// Parses an `err` reply back into its typed kind (detail fields that
+/// do not cross the wire — exact depths, waits — come back zeroed; the
+/// *kind* is what retry logic branches on).
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the line is not an `err` reply.
+pub fn parse_error(line: &str) -> Result<ServerError, ServerError> {
+    let body = line
+        .strip_prefix("err ")
+        .ok_or_else(|| ServerError::Protocol(format!("expected err reply, got {line:?}")))?;
+    let (kind, message) = body.split_once(' ').unwrap_or((body, ""));
+    Ok(match kind {
+        "overloaded" => ServerError::Overloaded { depth: 0, max_depth: 0 },
+        "deadline" => ServerError::DeadlineExceeded { waited: Duration::ZERO },
+        "shutting_down" => ServerError::ShuttingDown,
+        "canceled" => ServerError::Canceled,
+        "engine" | "bad_request" => ServerError::RemoteEngine(message.to_string()),
+        "protocol" => ServerError::Protocol(message.to_string()),
+        "io" => ServerError::Io(message.to_string()),
+        other => return Err(ServerError::Protocol(format!("unknown error kind {other:?}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_engine::RequestMode;
+
+    #[test]
+    fn infer_lines_round_trip() {
+        let request = InferRequest::sampled(vec![3, 1, 3], 10, 5, 42);
+        let options = SubmitOptions { priority: 2, deadline: Some(Duration::from_millis(75)) };
+        let line = encode_infer(&request, options);
+        match parse_command(&line).unwrap() {
+            Command::Infer(r, o) => {
+                assert_eq!(r, request);
+                assert_eq!(o, options);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let all = encode_infer(&InferRequest::all_nodes(), SubmitOptions::default());
+        match parse_command(&all).unwrap() {
+            Command::Infer(r, _) => {
+                assert_eq!(r.mode, RequestMode::FullGraph);
+                assert!(r.nodes.is_empty());
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn simple_commands_parse() {
+        assert_eq!(parse_command("ping").unwrap(), Command::Ping);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
+        assert!(parse_command("nonsense").is_err());
+        assert!(parse_command("infer sideways 1,2").is_err());
+        assert!(parse_command("infer sampled s1=a s2=2 seed=3 nodes=1").is_err());
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let logits = Matrix::from_fn(2, 3, |i, j| {
+            // Awkward values: negatives, subnormals, long fractions.
+            (i as f64 - 0.5) * (j as f64 + 1.0) * 0.123_456_789 + f64::MIN_POSITIVE
+        });
+        let response = InferResponse {
+            logits: logits.clone(),
+            predictions: vec![2, 0],
+            latency: Duration::from_micros(30),
+            queue_time: Duration::from_micros(10),
+            compute_time: Duration::from_micros(20),
+            sim: None,
+            energy_joules: Some(1.25e-3),
+            from_cache: false,
+            parts: 1,
+            batch_size: 4,
+        };
+        let remote = parse_response(&encode_response(&response)).unwrap();
+        assert_eq!(remote.logits, logits, "logits survive the wire bit-exactly");
+        assert_eq!(remote.predictions, vec![2, 0]);
+        assert_eq!(remote.queue_time, Duration::from_micros(10));
+        assert_eq!(remote.compute_time, Duration::from_micros(20));
+        assert_eq!(remote.latency, Duration::from_micros(30));
+        assert_eq!(remote.batch_size, 4);
+        assert_eq!(remote.energy_joules, Some(1.25e-3));
+        assert!(!remote.from_cache);
+    }
+
+    #[test]
+    fn errors_round_trip_to_kind() {
+        let shed = ServerError::Overloaded { depth: 9, max_depth: 9 };
+        assert!(matches!(
+            parse_error(&encode_error(&shed)).unwrap(),
+            ServerError::Overloaded { .. }
+        ));
+        let late = ServerError::DeadlineExceeded { waited: Duration::from_millis(1) };
+        assert!(matches!(
+            parse_error(&encode_error(&late)).unwrap(),
+            ServerError::DeadlineExceeded { .. }
+        ));
+        assert_eq!(
+            parse_error(&encode_error(&ServerError::ShuttingDown)).unwrap(),
+            ServerError::ShuttingDown
+        );
+    }
+}

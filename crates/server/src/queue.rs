@@ -1,0 +1,340 @@
+//! The admission queue: a bounded, priority-ordered request queue with
+//! shed-on-overload semantics and batch-forming dequeue.
+//!
+//! Submissions never block: a full queue rejects immediately with a
+//! typed [`ServerError::Overloaded`], which is what lets the server
+//! degrade predictably under more load than it can absorb. Workers
+//! block on the paired condvar and dequeue *batches*: after the first
+//! request is popped, the dequeue holds the batch open for the
+//! configured window, coalescing whatever arrives (highest priority
+//! first, FIFO within a priority).
+
+use crate::error::ServerError;
+use blockgnn_engine::{InferRequest, InferResponse};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Per-request scheduling options accepted at submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SubmitOptions {
+    /// Scheduling priority; higher runs first. Ties serve FIFO.
+    pub priority: i32,
+    /// Deadline relative to submission; a request still queued when it
+    /// expires is shed with [`ServerError::DeadlineExceeded`]. `None`
+    /// falls back to the server's configured default.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options with the given priority and no explicit deadline.
+    #[must_use]
+    pub fn priority(priority: i32) -> Self {
+        Self { priority, deadline: None }
+    }
+
+    /// Options with the given relative deadline.
+    #[must_use]
+    pub fn deadline(deadline: Duration) -> Self {
+        Self { priority: 0, deadline: Some(deadline) }
+    }
+}
+
+/// One admitted request waiting for (or undergoing) execution.
+#[derive(Debug)]
+pub(crate) struct QueueItem {
+    pub request: InferRequest,
+    pub priority: i32,
+    /// Absolute deadline, if any.
+    pub deadline: Option<Instant>,
+    pub enqueued_at: Instant,
+    /// Admission order; the priority tie-breaker.
+    seq: u64,
+    /// One-shot reply channel back to the submitter.
+    responder: SyncSender<Result<InferResponse, ServerError>>,
+}
+
+impl QueueItem {
+    /// Delivers the answer; a submitter that dropped its ticket is
+    /// silently ignored.
+    pub fn respond(self, result: Result<InferResponse, ServerError>) {
+        let _ = self.responder.send(result);
+    }
+
+    /// Whether the deadline has passed as of `now`.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+// Heap order: highest priority first, then FIFO by admission sequence.
+impl PartialEq for QueueItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for QueueItem {}
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    heap: BinaryHeap<QueueItem>,
+    closed: bool,
+    next_seq: u64,
+}
+
+/// The bounded admission queue shared by submitters and workers.
+#[derive(Debug)]
+pub(crate) struct RequestQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    max_depth: usize,
+}
+
+/// Limits a batch-forming dequeue; mirrors the batching fields of
+/// [`crate::ServerConfig`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BatchLimits {
+    pub window: Duration,
+    pub max_requests: usize,
+    pub max_nodes: usize,
+}
+
+impl RequestQueue {
+    pub fn new(max_depth: usize) -> Self {
+        Self {
+            inner: Mutex::new(Inner::default()),
+            available: Condvar::new(),
+            max_depth: max_depth.max(1),
+        }
+    }
+
+    /// Admits one request, or sheds it: `Overloaded` when the queue is
+    /// at capacity, `ShuttingDown` after [`RequestQueue::close`].
+    /// Never blocks.
+    pub fn push(
+        &self,
+        request: InferRequest,
+        priority: i32,
+        deadline: Option<Instant>,
+        responder: SyncSender<Result<InferResponse, ServerError>>,
+    ) -> Result<(), ServerError> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(ServerError::ShuttingDown);
+        }
+        if inner.heap.len() >= self.max_depth {
+            return Err(ServerError::Overloaded {
+                depth: inner.heap.len(),
+                max_depth: self.max_depth,
+            });
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.heap.push(QueueItem {
+            request,
+            priority,
+            deadline,
+            enqueued_at: Instant::now(),
+            seq,
+            responder,
+        });
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one request is available (or the queue is
+    /// closed *and* drained — then `None`), then forms a batch:
+    /// whatever is already queued is drained immediately (opportunistic
+    /// coalescing costs no latency), after which the dequeue stays open
+    /// up to `limits.window` for stragglers, until the request or node
+    /// cap is hit. A request cap of 1 disables coalescing entirely.
+    pub fn next_batch(&self, limits: BatchLimits) -> Option<Vec<QueueItem>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        let first = loop {
+            if let Some(item) = inner.heap.pop() {
+                break item;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue lock");
+        };
+        let mut nodes = first.request.nodes.len().max(1);
+        // Never hold a batch open past a member's deadline: a request
+        // popped in time must not be shed because the straggler wait
+        // outlived it.
+        let mut hold_until = Instant::now() + limits.window;
+        if let Some(d) = first.deadline {
+            hold_until = hold_until.min(d);
+        }
+        let mut batch = vec![first];
+        if limits.max_requests > 1 {
+            loop {
+                if batch.len() >= limits.max_requests || nodes >= limits.max_nodes {
+                    break;
+                }
+                // Peek before popping: an item that would push the batch
+                // over the node cap stays queued for the next batch
+                // (where it is admitted as the first entry even if it
+                // exceeds the cap alone — it has to serve somewhere).
+                match inner.heap.peek() {
+                    Some(item)
+                        if nodes + item.request.nodes.len().max(1) > limits.max_nodes =>
+                    {
+                        break;
+                    }
+                    _ => {}
+                }
+                if let Some(item) = inner.heap.pop() {
+                    nodes += item.request.nodes.len().max(1);
+                    if let Some(d) = item.deadline {
+                        hold_until = hold_until.min(d);
+                    }
+                    batch.push(item);
+                    continue;
+                }
+                if inner.closed {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= hold_until {
+                    break;
+                }
+                let (guard, timeout) =
+                    self.available.wait_timeout(inner, hold_until - now).expect("queue lock");
+                inner = guard;
+                if timeout.timed_out() && inner.heap.is_empty() {
+                    break;
+                }
+            }
+        }
+        Some(batch)
+    }
+
+    /// Stops admissions; queued requests still drain through
+    /// [`RequestQueue::next_batch`], after which workers see `None`.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.inner.lock().expect("queue lock").heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+
+    fn req(node: usize) -> InferRequest {
+        InferRequest::full_graph(vec![node])
+    }
+
+    fn push(q: &RequestQueue, node: usize, priority: i32) -> Result<(), ServerError> {
+        // Dropping the receiver is fine: respond() ignores closed channels.
+        let (tx, _rx) = sync_channel(1);
+        q.push(req(node), priority, None, tx)
+    }
+
+    const NO_BATCH: BatchLimits =
+        BatchLimits { window: Duration::ZERO, max_requests: 1, max_nodes: usize::MAX };
+
+    #[test]
+    fn fifo_within_priority_and_priority_order_across() {
+        let q = RequestQueue::new(16);
+        push(&q, 0, 0).unwrap();
+        push(&q, 1, 5).unwrap();
+        push(&q, 2, 0).unwrap();
+        push(&q, 3, 5).unwrap();
+        let order: Vec<usize> = (0..4)
+            .map(|_| q.next_batch(NO_BATCH).unwrap().remove(0).request.nodes[0])
+            .collect();
+        assert_eq!(order, vec![1, 3, 0, 2], "priority first, FIFO within");
+    }
+
+    #[test]
+    fn overload_sheds_immediately() {
+        let q = RequestQueue::new(2);
+        push(&q, 0, 0).unwrap();
+        push(&q, 1, 0).unwrap();
+        let err = push(&q, 2, 0).unwrap_err();
+        assert_eq!(err, ServerError::Overloaded { depth: 2, max_depth: 2 });
+        // Draining reopens admission.
+        let _ = q.next_batch(NO_BATCH).unwrap();
+        push(&q, 3, 0).unwrap();
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_rejects_new_but_drains_old() {
+        let q = RequestQueue::new(4);
+        push(&q, 7, 0).unwrap();
+        q.close();
+        assert_eq!(push(&q, 8, 0).unwrap_err(), ServerError::ShuttingDown);
+        let batch = q.next_batch(NO_BATCH).unwrap();
+        assert_eq!(batch[0].request.nodes, vec![7]);
+        assert!(q.next_batch(NO_BATCH).is_none(), "drained + closed ends the worker loop");
+    }
+
+    #[test]
+    fn batch_dequeue_coalesces_up_to_caps() {
+        let q = RequestQueue::new(16);
+        for i in 0..5 {
+            push(&q, i, 0).unwrap();
+        }
+        let limits = BatchLimits {
+            window: Duration::from_millis(20),
+            max_requests: 3,
+            max_nodes: usize::MAX,
+        };
+        let batch = q.next_batch(limits).unwrap();
+        assert_eq!(batch.len(), 3, "request cap bounds the batch");
+        let limits_nodes =
+            BatchLimits { window: Duration::from_millis(20), max_requests: 8, max_nodes: 2 };
+        let batch = q.next_batch(limits_nodes).unwrap();
+        assert_eq!(batch.len(), 2, "node cap bounds the batch");
+    }
+
+    #[test]
+    fn straggler_wait_never_outlives_a_deadline() {
+        let q = RequestQueue::new(4);
+        let (tx, _rx) = sync_channel(1);
+        q.push(req(0), 0, Some(Instant::now() + Duration::from_millis(5)), tx).unwrap();
+        let limits = BatchLimits {
+            window: Duration::from_millis(250),
+            max_requests: 8,
+            max_nodes: usize::MAX,
+        };
+        let start = Instant::now();
+        let batch = q.next_batch(limits).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "the straggler hold must be capped at the member's deadline, not the window"
+        );
+    }
+
+    #[test]
+    fn expired_items_are_detectable() {
+        let q = RequestQueue::new(4);
+        let (tx, _rx) = sync_channel(1);
+        q.push(req(0), 0, Some(Instant::now() - Duration::from_millis(1)), tx).unwrap();
+        let batch = q.next_batch(NO_BATCH).unwrap();
+        assert!(batch[0].expired(Instant::now()));
+    }
+}

@@ -1,0 +1,359 @@
+//! The serving runtime: a worker pool over forked engine replicas,
+//! fed by the admission queue, coalescing requests into micro-batches.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! submit ──► RequestQueue (bounded, priority, shed-on-overload)
+//!                │   next_batch(window, caps)
+//!                ▼
+//!         worker thread ──► Engine::infer_coalesced (forked replica)
+//!                │                │ merged-universe execution,
+//!                │                ▼ per-request scatter + charge
+//!                └──────► responder channel ──► Ticket::wait
+//! ```
+//!
+//! Every worker owns an [`Engine::fork`] replica: prepared weights and
+//! the full-graph logits cache are `Arc`-shared, per-request scratch is
+//! not, so workers execute truly concurrently. Shutdown closes the
+//! queue (new submissions shed with `ShuttingDown`), drains what was
+//! admitted, and joins the workers.
+
+use crate::config::ServerConfig;
+use crate::error::ServerError;
+use crate::queue::{BatchLimits, QueueItem, RequestQueue, SubmitOptions};
+use crate::telemetry::{ServerStats, Telemetry};
+use blockgnn_engine::{
+    assemble_response, Engine, EngineError, InferRequest, InferResponse, ParallelEngine,
+};
+use blockgnn_gnn::ModelKind;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A pending answer; blocks on [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<Result<InferResponse, ServerError>>,
+}
+
+impl Ticket {
+    /// Blocks until the serving worker answers (or sheds) the request.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the worker decided — see [`ServerError`] — or
+    /// [`ServerError::Canceled`] if the worker vanished.
+    pub fn wait(self) -> Result<InferResponse, ServerError> {
+        self.rx.recv().unwrap_or(Err(ServerError::Canceled))
+    }
+}
+
+/// What a worker executes batches on: a forked sequential engine (the
+/// common case — one replica per worker, batches coalesce), or a shared
+/// partition-parallel engine (one worker drives it; each request is
+/// already sharded across the parallel engine's own pool).
+enum WorkerEngine {
+    Forked(Engine),
+    Parallel(Box<ParallelEngine>),
+}
+
+/// The concurrent serving runtime. Construct with [`Server::start`]
+/// (worker pool over a forked [`Engine`]) or [`Server::start_parallel`]
+/// (single worker driving a [`ParallelEngine`]); submit through
+/// [`Server::handle`]; stop with [`Server::shutdown`].
+pub struct Server {
+    queue: Arc<RequestQueue>,
+    telemetry: Arc<Telemetry>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    config: ServerConfig,
+    num_nodes: usize,
+    model_kind: ModelKind,
+}
+
+impl Server {
+    /// Starts the runtime: forks `config.workers − 1` engine replicas
+    /// (the original becomes worker 0) and spawns one batching worker
+    /// thread per replica.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] (as [`ServerError::Engine`]) when
+    /// `config.workers` is zero.
+    pub fn start(engine: Engine, config: ServerConfig) -> Result<Self, ServerError> {
+        if config.workers == 0 {
+            return Err(ServerError::Engine(EngineError::NoWorkers));
+        }
+        let mut replicas = Vec::with_capacity(config.workers);
+        for _ in 1..config.workers {
+            replicas.push(engine.fork());
+        }
+        replicas.insert(0, engine);
+        let replicas: Vec<WorkerEngine> =
+            replicas.into_iter().map(WorkerEngine::Forked).collect();
+        Ok(Self::spawn(replicas, config))
+    }
+
+    /// Starts the runtime around a partition-parallel engine: a single
+    /// worker thread drives it (the engine parallelizes internally),
+    /// while admission control and telemetry work unchanged.
+    /// Micro-batching is forced off — the parallel engine cannot
+    /// coalesce, so dequeuing a group would only hold every reply back
+    /// until the whole group finished.
+    #[must_use]
+    pub fn start_parallel(engine: ParallelEngine, config: ServerConfig) -> Self {
+        let config = ServerConfig { max_batch_requests: 1, ..config };
+        Self::spawn(vec![WorkerEngine::Parallel(Box::new(engine))], config)
+    }
+
+    fn spawn(replicas: Vec<WorkerEngine>, config: ServerConfig) -> Self {
+        let (num_nodes, model_kind) = match &replicas[0] {
+            WorkerEngine::Forked(e) => (e.dataset().num_nodes(), e.model_kind()),
+            WorkerEngine::Parallel(e) => (e.dataset().num_nodes(), e.model_kind()),
+        };
+        let queue = Arc::new(RequestQueue::new(config.max_queue_depth));
+        let telemetry = Arc::new(Telemetry::new());
+        let limits = BatchLimits {
+            window: config.batch_window,
+            max_requests: config.max_batch_requests.max(1),
+            max_nodes: config.max_batch_nodes.max(1),
+        };
+        let workers = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut engine)| {
+                let queue = Arc::clone(&queue);
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::Builder::new()
+                    .name(format!("blockgnn-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(batch) = queue.next_batch(limits) {
+                            serve_batch(&mut engine, batch, &telemetry);
+                        }
+                    })
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Self { queue, telemetry, workers: Mutex::new(workers), config, num_nodes, model_kind }
+    }
+
+    /// A cloneable submission handle (what connection threads hold).
+    #[must_use]
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            queue: Arc::clone(&self.queue),
+            telemetry: Arc::clone(&self.telemetry),
+            num_nodes: self.num_nodes,
+            config: self.config.clone(),
+        }
+    }
+
+    /// The model this server answers for.
+    #[must_use]
+    pub fn model_kind(&self) -> ModelKind {
+        self.model_kind
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Current telemetry snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.telemetry.snapshot()
+    }
+
+    /// Requests currently queued.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.depth()
+    }
+
+    /// Stops admissions, drains what was already admitted, joins the
+    /// workers, and returns the final telemetry. Idempotent.
+    pub fn shutdown(&self) -> ServerStats {
+        self.queue.close();
+        let handles: Vec<_> = self.workers.lock().expect("worker registry").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("model", &self.model_kind)
+            .field("config", &self.config)
+            .field("queue_depth", &self.queue.depth())
+            .finish()
+    }
+}
+
+/// Cloneable submission front of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    queue: Arc<RequestQueue>,
+    telemetry: Arc<Telemetry>,
+    num_nodes: usize,
+    config: ServerConfig,
+}
+
+impl ServerHandle {
+    /// Submits a request with default options; returns a [`Ticket`]
+    /// immediately (admission never blocks).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Overloaded`] when the queue is full,
+    /// [`ServerError::ShuttingDown`] after shutdown, or
+    /// [`ServerError::Engine`] for requests that are invalid on their
+    /// face (out-of-range nodes, empty sampled request).
+    pub fn submit(&self, request: InferRequest) -> Result<Ticket, ServerError> {
+        self.submit_with(request, SubmitOptions::default())
+    }
+
+    /// Submits a request with explicit priority/deadline options.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerHandle::submit`].
+    pub fn submit_with(
+        &self,
+        request: InferRequest,
+        options: SubmitOptions,
+    ) -> Result<Ticket, ServerError> {
+        self.telemetry.record_submitted();
+        // Front-door validation with the engine's own validity rule, so
+        // obviously bad requests fail at submission with a typed error
+        // instead of occupying queue space (and the two paths cannot
+        // drift).
+        if let Err(e) = blockgnn_engine::validate_request(&request, self.num_nodes) {
+            self.telemetry.with(|s| s.failed += 1);
+            return Err(ServerError::Engine(e));
+        }
+        let deadline =
+            options.deadline.or(self.config.default_deadline).map(|d| Instant::now() + d);
+        let (tx, rx) = sync_channel(1);
+        match self.queue.push(request, options.priority, deadline, tx) {
+            Ok(()) => Ok(Ticket { rx }),
+            Err(e) => {
+                if matches!(e, ServerError::Overloaded { .. }) {
+                    self.telemetry.record_shed_overload();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Submits and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerHandle::submit`], plus whatever the worker decided.
+    pub fn infer(&self, request: InferRequest) -> Result<InferResponse, ServerError> {
+        self.submit(request)?.wait()
+    }
+
+    /// Submits with options and blocks for the answer.
+    ///
+    /// # Errors
+    ///
+    /// As [`ServerHandle::submit_with`], plus whatever the worker
+    /// decided.
+    pub fn infer_with(
+        &self,
+        request: InferRequest,
+        options: SubmitOptions,
+    ) -> Result<InferResponse, ServerError> {
+        self.submit_with(request, options)?.wait()
+    }
+
+    /// Current telemetry snapshot.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        self.telemetry.snapshot()
+    }
+
+    /// Nodes in the served graph (the bound request node ids must obey).
+    #[must_use]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+}
+
+/// Executes one dequeued batch: sheds expired requests, runs the rest
+/// as a coalesced execution, and delivers every answer.
+fn serve_batch(engine: &mut WorkerEngine, batch: Vec<QueueItem>, telemetry: &Telemetry) {
+    let exec_start = Instant::now();
+    let (live, expired): (Vec<_>, Vec<_>) =
+        batch.into_iter().partition(|item| !item.expired(exec_start));
+    if !expired.is_empty() {
+        telemetry.with(|s| s.shed_deadline += expired.len());
+        for item in expired {
+            let waited = exec_start.saturating_duration_since(item.enqueued_at);
+            item.respond(Err(ServerError::DeadlineExceeded { waited }));
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<InferRequest> = live.iter().map(|item| item.request.clone()).collect();
+    let (outcomes, deduped) = match engine {
+        WorkerEngine::Forked(engine) => {
+            let coalesced = engine.infer_coalesced(&requests);
+            (coalesced.outcomes, coalesced.deduped)
+        }
+        // The parallel engine shards each request across its own worker
+        // pool; `start_parallel` forces batches of one, so the group is
+        // a single request and nothing is deduplicated.
+        WorkerEngine::Parallel(engine) => {
+            (requests.iter().map(|r| engine.execute_request(r)).collect(), 0)
+        }
+    };
+    let compute_time = exec_start.elapsed();
+    // Assemble and deliver every answer into worker-local accumulators
+    // first; the shared telemetry lock is taken once, briefly, at the
+    // end — response assembly (argmax over logits) and channel sends
+    // must not serialize the whole worker pool.
+    let batch_size = live.len();
+    let mut local = ServerStats::default();
+    for (item, outcome) in live.into_iter().zip(outcomes) {
+        let queue_time = exec_start.saturating_duration_since(item.enqueued_at);
+        match outcome {
+            Ok(outcome) => {
+                local.queue_time.record(queue_time);
+                local.compute_time.record(compute_time);
+                local.completed += 1;
+                let response =
+                    assemble_response(outcome, queue_time, compute_time, &mut local.serve);
+                item.respond(Ok(response));
+            }
+            Err(e) => {
+                local.failed += 1;
+                item.respond(Err(ServerError::Engine(e)));
+            }
+        }
+    }
+    telemetry.with(|stats| {
+        stats.batches += 1;
+        *stats.batch_size_counts.entry(batch_size).or_insert(0) += 1;
+        stats.deduped += deduped;
+        stats.completed += local.completed;
+        stats.failed += local.failed;
+        stats.serve.merge(&local.serve);
+        stats.queue_time.merge(&local.queue_time);
+        stats.compute_time.merge(&local.compute_time);
+    });
+}

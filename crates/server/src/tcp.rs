@@ -1,0 +1,234 @@
+//! The `std::net` TCP front end: an accept loop plus one thread per
+//! connection, speaking the [`crate::protocol`] line protocol over a
+//! shared [`Server`].
+//!
+//! Connections submit through a [`crate::ServerHandle`] and block on
+//! their ticket — the classic thread-per-connection shape, which is all
+//! a closed-loop serving client needs. A `shutdown` command (or
+//! [`TcpServer::stop`]) stops the accept loop, joins every connection
+//! thread, and shuts the serving runtime down cleanly.
+
+use crate::error::ServerError;
+use crate::protocol::{encode_error, encode_response, parse_command, Command};
+use crate::server::Server;
+use crate::telemetry::ServerStats;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked I/O re-checks the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(25);
+
+/// A running TCP front end over a [`Server`].
+pub struct TcpServer {
+    server: Arc<Server>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections against `server`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(server: Arc<Server>, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("blockgnn-accept".into())
+                .spawn(move || accept_loop(&listener, &server, &stop))
+                .expect("accept thread spawns")
+        };
+        Ok(Self { server, addr, stop, accept_handle: Some(accept_handle) })
+    }
+
+    /// The bound address (with the actual port when 0 was requested).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Asks the front end to stop (idempotent; also triggered by the
+    /// `shutdown` protocol command).
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop was requested.
+    #[must_use]
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a stop is requested (by [`TcpServer::stop`] or a
+    /// client's `shutdown` command), then joins the accept loop and
+    /// every connection thread, shuts the serving runtime down, and
+    /// returns the final telemetry.
+    pub fn run_until_shutdown(mut self) -> ServerStats {
+        while !self.stopping() {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        self.server.shutdown()
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, server: &Arc<Server>, stop: &Arc<AtomicBool>) {
+    let mut connections: Vec<JoinHandle<()>> = Vec::new();
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = Arc::clone(server);
+                let stop = Arc::clone(stop);
+                let handle = std::thread::Builder::new()
+                    .name("blockgnn-conn".into())
+                    .spawn(move || {
+                        let _ = serve_connection(stream, &server, &stop);
+                    })
+                    .expect("connection thread spawns");
+                connections.push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                // Idle: reap finished connection threads so a long-lived
+                // daemon does not accumulate one dead handle per client
+                // that ever connected, then nap until the next poll.
+                reap_finished(&mut connections);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    for handle in connections {
+        let _ = handle.join();
+    }
+}
+
+/// Joins (and drops) every connection thread that has already exited.
+fn reap_finished(connections: &mut Vec<JoinHandle<()>>) {
+    let mut i = 0;
+    while i < connections.len() {
+        if connections[i].is_finished() {
+            let _ = connections.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Serves one connection until EOF, error, stop, or `shutdown`.
+fn serve_connection(
+    stream: TcpStream,
+    server: &Arc<Server>,
+    stop: &Arc<AtomicBool>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    // A finite read timeout lets idle connections notice a server stop.
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let handle = server.handle();
+    let mut partial = Vec::new();
+    while let Some(line) = read_line_stoppable(&mut reader, &mut partial, stop)? {
+        let reply = match parse_command(line.trim()) {
+            Ok(Command::Ping) => "pong".to_string(),
+            Ok(Command::Stats) => format!("ok stats {}", server.stats().summary()),
+            Ok(Command::Shutdown) => {
+                writer.write_all(b"ok bye\n")?;
+                writer.flush()?;
+                stop.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+            Ok(Command::Infer(request, options)) => match handle.infer_with(request, options) {
+                Ok(response) => encode_response(&response),
+                Err(e) => encode_error(&e),
+            },
+            Err(msg) => encode_error(&ServerError::Protocol(msg)),
+        };
+        writer.write_all(reply.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// One iteration's outcome while assembling a line.
+enum ReadStep {
+    Eof,
+    /// A newline was found; consume this many buffered bytes.
+    Line(usize),
+    /// No newline yet; consume this many buffered bytes and keep going.
+    More(usize),
+    /// Timeout/interrupt; re-check the stop flag and retry.
+    Retry,
+}
+
+/// Reads one LF-terminated line, preserving partial input across read
+/// timeouts (unlike `BufReader::read_line`, which discards it on
+/// error) so the stop flag can be polled without losing bytes. `None`
+/// on EOF or stop.
+fn read_line_stoppable(
+    reader: &mut BufReader<TcpStream>,
+    partial: &mut Vec<u8>,
+    stop: &AtomicBool,
+) -> std::io::Result<Option<String>> {
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(None);
+        }
+        let step = match reader.fill_buf() {
+            Ok([]) => ReadStep::Eof, // any partial line dies with the peer
+            Ok(available) => match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    partial.extend_from_slice(&available[..i]);
+                    ReadStep::Line(i + 1)
+                }
+                None => {
+                    partial.extend_from_slice(available);
+                    ReadStep::More(available.len())
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                ReadStep::Retry
+            }
+            Err(e) => return Err(e),
+        };
+        match step {
+            ReadStep::Eof => return Ok(None),
+            ReadStep::Line(n) => {
+                reader.consume(n);
+                let line = String::from_utf8_lossy(partial).into_owned();
+                partial.clear();
+                return Ok(Some(line));
+            }
+            ReadStep::More(n) => reader.consume(n),
+            ReadStep::Retry => {}
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Server telemetry: queue/compute latency split, shed accounting, and
+//! the batch-size distribution, snapshotted as [`ServerStats`].
+
+use blockgnn_engine::{LatencyHistogram, ServeStats};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A point-in-time snapshot of everything the server knows about its
+/// own behaviour.
+///
+/// The per-request counters live in `serve` (shared with
+/// [`blockgnn_engine::Session`] accounting — same [`ServeStats`] type,
+/// merged across workers); the queue/compute histograms split where
+/// latency is spent; `batch_size_counts` records how well the dynamic
+/// batcher is coalescing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServerStats {
+    /// Merged per-request serving counters (latency histogram with
+    /// `p50()`/`p95()`/`p99()`, nodes served, hardware charges, …).
+    pub serve: ServeStats,
+    /// Distribution of time requests spent queued before execution.
+    pub queue_time: LatencyHistogram,
+    /// Distribution of batch execution times requests rode on.
+    pub compute_time: LatencyHistogram,
+    /// Requests offered to the admission queue (including shed ones).
+    pub submitted: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests shed at admission because the queue was full.
+    pub shed_overload: usize,
+    /// Requests shed because their deadline passed while queued.
+    pub shed_deadline: usize,
+    /// Requests that failed in the engine (invalid nodes, …).
+    pub failed: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Requests that shared another identical request's execution
+    /// (within-batch duplicates).
+    pub deduped: usize,
+    /// batch size → number of batches of that size.
+    pub batch_size_counts: BTreeMap<usize, usize>,
+    /// Time since the server started.
+    pub uptime: Duration,
+}
+
+impl ServerStats {
+    /// Completed requests per second of server uptime.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Mean executed-batch size (1.0 when batching never coalesced).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            let total: usize = self.batch_size_counts.iter().map(|(s, c)| s * c).sum();
+            total as f64 / self.batches as f64
+        }
+    }
+
+    /// Requests shed for any reason.
+    #[must_use]
+    pub fn shed(&self) -> usize {
+        self.shed_overload + self.shed_deadline
+    }
+
+    /// One-line summary for logs and the `stats` protocol command.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "requests={} completed={} failed={} shed_overload={} shed_deadline={} \
+             qps={:.1} p50_us={} p95_us={} p99_us={} mean_queue_us={} mean_compute_us={} \
+             batches={} mean_batch={:.2} deduped={}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed_overload,
+            self.shed_deadline,
+            self.qps(),
+            self.serve.p50().as_micros(),
+            self.serve.p95().as_micros(),
+            self.serve.p99().as_micros(),
+            mean_micros(self.serve.total_queue_time, self.serve.requests),
+            mean_micros(self.serve.total_compute_time, self.serve.requests),
+            self.batches,
+            self.mean_batch_size(),
+            self.deduped,
+        )
+    }
+}
+
+fn mean_micros(total: Duration, count: usize) -> u128 {
+    if count == 0 {
+        0
+    } else {
+        total.as_micros() / count as u128
+    }
+}
+
+/// The live, lock-protected accumulator behind [`ServerStats`].
+#[derive(Debug)]
+pub(crate) struct Telemetry {
+    inner: Mutex<ServerStats>,
+    started: Instant,
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(ServerStats::default()), started: Instant::now() }
+    }
+
+    pub fn snapshot(&self) -> ServerStats {
+        let mut stats = self.inner.lock().expect("telemetry lock").clone();
+        stats.uptime = self.started.elapsed();
+        stats
+    }
+
+    pub fn record_submitted(&self) {
+        self.inner.lock().expect("telemetry lock").submitted += 1;
+    }
+
+    pub fn record_shed_overload(&self) {
+        self.inner.lock().expect("telemetry lock").shed_overload += 1;
+    }
+
+    /// Runs `f` under the telemetry lock — how workers fold in a whole
+    /// batch with one lock acquisition.
+    pub fn with<R>(&self, f: impl FnOnce(&mut ServerStats) -> R) -> R {
+        f(&mut self.inner.lock().expect("telemetry lock"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_carries_uptime_and_rates() {
+        let t = Telemetry::new();
+        t.record_submitted();
+        t.record_submitted();
+        t.record_shed_overload();
+        t.with(|s| {
+            s.completed += 1;
+            s.batches += 1;
+            *s.batch_size_counts.entry(4).or_insert(0) += 1;
+            *s.batch_size_counts.entry(2).or_insert(0) += 1;
+            s.batches += 1;
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        let snap = t.snapshot();
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.shed(), 1);
+        assert!(snap.uptime > Duration::ZERO);
+        assert!(snap.qps() > 0.0);
+        assert!((snap.mean_batch_size() - 3.0).abs() < 1e-9);
+        assert!(snap.summary().contains("shed_overload=1"));
+    }
+}

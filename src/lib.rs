@@ -7,6 +7,11 @@
 //! * [`engine`] — **the front door**: `EngineBuilder` → `Engine` →
 //!   `Session` serving over pluggable execution backends (dense GEMM,
 //!   spectral Algorithm 1, simulated CirCore accelerator).
+//! * [`server`] — **the traffic layer**: a concurrent serving runtime
+//!   with dynamic micro-batching, admission control (bounded queue,
+//!   priorities/deadlines, typed shed-on-overload), p50/p95/p99
+//!   telemetry, and a TCP front end (`blockgnn-serve` +
+//!   `blockgnn-client` binaries).
 //! * [`fft`] — radix-2 FFT/RFFT, Q16.16 fixed point (no external FFT dep).
 //! * [`linalg`] — dense matrices, the uncompressed baseline.
 //! * [`core`] — block-circulant matrices and Algorithm 1 (the paper's
@@ -85,6 +90,16 @@
 //! assert!(response.parts >= 4, "the full graph was sharded across workers");
 //! ```
 //!
+//! To absorb *concurrent traffic*, hand the engine to the serving
+//! runtime ([`Server`]): submissions pass admission control (bounded
+//! queue, priorities, deadlines, typed shed-on-overload), a worker pool
+//! of [`Engine::fork`] replicas coalesces them into micro-batches whose
+//! answers are bit-identical to solo execution, and a TCP front end
+//! ([`server::TcpServer`], spoken by the `blockgnn-serve`/
+//! `blockgnn-client` binaries) exposes it all over the wire. See
+//! `examples/serving.rs` and the "Serving runtime" section of
+//! `docs/ARCHITECTURE.md`.
+//!
 //! Lower-level entry points remain available for research code: the
 //! compression types in [`core`] (see `examples/quickstart.rs` for the
 //! Table III accounting), `gnn::build_model` + `forward` for training
@@ -109,8 +124,10 @@ pub use blockgnn_graph as graph;
 pub use blockgnn_linalg as linalg;
 pub use blockgnn_nn as nn;
 pub use blockgnn_perf as perf;
+pub use blockgnn_server as server;
 
 pub use blockgnn_engine::{
     BackendKind, Engine, EngineBuilder, InferRequest, InferResponse, ParallelEngine,
     ParallelSession, ServeStats, Session,
 };
+pub use blockgnn_server::{Server, ServerConfig};

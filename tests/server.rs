@@ -1,0 +1,413 @@
+//! Serving-runtime integration tests: the dynamic micro-batcher must be
+//! **bit-identical** to sequential `Session::infer` under concurrency,
+//! over TCP, for every model kind; overload and deadlines must shed
+//! with typed errors instead of blocking; telemetry must add up.
+
+use blockgnn::engine::{BackendKind, Engine, EngineBuilder, InferRequest, InferResponse};
+use blockgnn::gnn::ModelKind;
+use blockgnn::graph::datasets;
+use blockgnn::nn::Compression;
+use blockgnn::server::{
+    Client, RemoteResponse, Server, ServerConfig, ServerError, SubmitOptions, TcpServer,
+};
+use blockgnn_graph::Dataset;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(datasets::cora_like_small(11))
+}
+
+fn engine_on(kind: ModelKind, backend: BackendKind, dataset: &Arc<Dataset>) -> Engine {
+    EngineBuilder::new(kind, backend)
+        .hidden_dim(16)
+        .compression(Compression::BlockCirculant { block_size: 8 })
+        .seed(5)
+        .build(Arc::clone(dataset))
+        .expect("engine builds")
+}
+
+/// A randomized request mix: sampled requests with varying nodes,
+/// fan-outs, and seeds (with deliberate duplicates), plus occasional
+/// full-graph requests.
+fn request_mix(num_nodes: usize, salt: u64) -> Vec<InferRequest> {
+    let mut requests = Vec::new();
+    for i in 0..10u64 {
+        let x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(i * 0x1234_5677);
+        let a = (x as usize) % num_nodes;
+        let b = (x >> 17) as usize % num_nodes;
+        requests.push(match i % 5 {
+            0 => InferRequest::sampled(vec![a, b], 6, 4, x % 100),
+            1 => InferRequest::sampled(vec![a, a, b], 4, 3, 7), // duplicate node ids
+            2 => InferRequest::sampled(vec![b], 10, 5, 42),     // hot duplicate request
+            3 => InferRequest::full_graph(vec![a, b]),
+            _ => InferRequest::sampled(vec![a], 5, 2, x % 13),
+        });
+    }
+    requests
+}
+
+/// Bit-exact comparison of a served response against the sequential
+/// reference for the same request.
+fn assert_bit_identical(got: &InferResponse, want: &InferResponse, what: &str) {
+    assert_eq!(got.logits.shape(), want.logits.shape(), "{what}: shape");
+    for i in 0..got.logits.rows() {
+        for (a, b) in got.logits.row(i).iter().zip(want.logits.row(i)) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{what}: logits row {i} differ in bits");
+        }
+    }
+    assert_eq!(got.predictions, want.predictions, "{what}: predictions");
+}
+
+/// Sequential reference answers, one per request, from a fresh
+/// single-session engine with the same weights.
+fn sequential_reference(
+    kind: ModelKind,
+    backend: BackendKind,
+    dataset: &Arc<Dataset>,
+    requests: &[InferRequest],
+) -> Vec<InferResponse> {
+    let mut engine = engine_on(kind, backend, dataset);
+    let mut session = engine.session();
+    requests.iter().map(|r| session.infer(r).expect("reference serves")).collect()
+}
+
+#[test]
+fn concurrency_stress_is_bit_identical_to_sequential() {
+    // N client threads hammer one server with a randomized mix; every
+    // response must match a sequential Session::infer of the same
+    // request, bit for bit, on both software backends.
+    let dataset = dataset();
+    for backend in [BackendKind::Dense, BackendKind::Spectral] {
+        let server = Server::start(
+            engine_on(ModelKind::Gcn, backend, &dataset),
+            ServerConfig::default().with_workers(3).with_batching(Duration::from_millis(2), 8),
+        )
+        .expect("server starts");
+        let observed: Vec<(InferRequest, InferResponse)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8u64)
+                .map(|t| {
+                    let handle = server.handle();
+                    let num_nodes = dataset.num_nodes();
+                    scope.spawn(move || {
+                        request_mix(num_nodes, t)
+                            .into_iter()
+                            .map(|request| {
+                                let response =
+                                    handle.infer(request.clone()).expect("request serves");
+                                (request, response)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, observed.len());
+        assert_eq!(stats.serve.requests, observed.len());
+        assert!(stats.serve.p99() >= stats.serve.p50());
+        // (Coalescing itself is pinned deterministically by
+        // `duplicate_requests_dedup_and_responses_split_latency`; here
+        // batch sizes depend on thread timing.)
+
+        let requests: Vec<InferRequest> = observed.iter().map(|(r, _)| r.clone()).collect();
+        let reference = sequential_reference(ModelKind::Gcn, backend, &dataset, &requests);
+        for ((request, got), want) in observed.iter().zip(&reference) {
+            assert_bit_identical(got, want, &format!("{backend} {request:?}"));
+        }
+    }
+}
+
+#[test]
+fn coalesced_accel_charges_match_solo_serving() {
+    // On the simulated accelerator, batched responses must carry the
+    // same per-request SimReport/energy as solo serving (the cycle
+    // model is a pure function of the request's own sub-universe).
+    let dataset = dataset();
+    let requests: Vec<InferRequest> =
+        (0..6).map(|i| InferRequest::sampled(vec![i * 3, i * 3 + 1], 6, 4, i as u64)).collect();
+    let mut engine = engine_on(ModelKind::Gcn, BackendKind::SimulatedAccel, &dataset);
+    let coalesced = engine.infer_coalesced(&requests);
+    assert_eq!(coalesced.unique_executions, requests.len());
+    assert!(coalesced.merged_universe_nodes > 0);
+    let reference =
+        sequential_reference(ModelKind::Gcn, BackendKind::SimulatedAccel, &dataset, &requests);
+    for (i, (outcome, want)) in coalesced.outcomes.iter().zip(&reference).enumerate() {
+        let got = outcome.as_ref().expect("outcome ok");
+        assert_eq!(got.sim, want.sim, "request {i}: SimReport must match solo serving");
+        assert_eq!(got.energy_joules, want.energy_joules, "request {i}: energy");
+        assert_eq!(got.batch_size, requests.len());
+        for r in 0..got.logits.rows() {
+            for (a, b) in got.logits.row(r).iter().zip(want.logits.row(r)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "request {i}: logits bits");
+            }
+        }
+    }
+}
+
+#[test]
+fn tcp_end_to_end_all_model_kinds_bit_identical() {
+    // ≥8 concurrent TCP clients against all four ModelKinds: remote
+    // logits must be bit-identical to sequential in-process inference
+    // (the protocol ships f64 bit patterns, so equality is exact).
+    let dataset = dataset();
+    for kind in ModelKind::all() {
+        let server = Arc::new(
+            Server::start(
+                engine_on(kind, BackendKind::Spectral, &dataset),
+                ServerConfig::default()
+                    .with_workers(2)
+                    .with_batching(Duration::from_millis(1), 8),
+            )
+            .expect("server starts"),
+        );
+        let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+        let addr = front.local_addr();
+        let requests: Vec<InferRequest> = (0..4)
+            .map(|i| InferRequest::sampled(vec![i * 5, i * 5 + 2, i * 5], 5, 3, i as u64))
+            .collect();
+        let observed: Vec<(InferRequest, RemoteResponse)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8usize)
+                .map(|_c| {
+                    let requests = requests.clone();
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("client connects");
+                        requests
+                            .into_iter()
+                            .map(|request| {
+                                let response =
+                                    client.infer(&request).expect("remote request serves");
+                                (request, response)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+        });
+        front.stop();
+        let reference = sequential_reference(kind, BackendKind::Spectral, &dataset, &requests);
+        let by_request = |request: &InferRequest| {
+            requests.iter().position(|r| r == request).expect("request known")
+        };
+        for (request, got) in &observed {
+            let want = &reference[by_request(request)];
+            assert_eq!(got.logits.shape(), want.logits.shape(), "{kind}: shape");
+            for i in 0..got.logits.rows() {
+                for (a, b) in got.logits.row(i).iter().zip(want.logits.row(i)) {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{kind}: remote logits differ from sequential reference"
+                    );
+                }
+            }
+            assert_eq!(got.predictions, want.predictions, "{kind}: predictions");
+        }
+        assert_eq!(observed.len(), 8 * requests.len());
+    }
+}
+
+#[test]
+fn tcp_control_commands_and_clean_shutdown() {
+    let dataset = dataset();
+    let server = Arc::new(
+        Server::start(
+            engine_on(ModelKind::Gcn, BackendKind::Dense, &dataset),
+            ServerConfig::default(),
+        )
+        .expect("server starts"),
+    );
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+    let addr = front.local_addr();
+    let driver = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("connects");
+        client.ping().expect("pong");
+        let response =
+            client.infer(&InferRequest::sampled(vec![1, 2], 4, 2, 3)).expect("serves");
+        assert_eq!(response.predictions.len(), 2);
+        let stats_line = client.stats().expect("stats");
+        assert!(stats_line.contains("completed=1"), "stats line: {stats_line}");
+        // An invalid request gets a typed engine rejection, not a hangup.
+        let err = client.infer(&InferRequest::sampled(vec![], 4, 2, 3)).unwrap_err();
+        assert!(matches!(err, ServerError::RemoteEngine(_)), "got {err:?}");
+        client.shutdown().expect("clean shutdown");
+    });
+    // Join the driver *before* waiting for shutdown: if it panicked
+    // mid-script, stop the front end ourselves instead of hanging.
+    let driver_result = driver.join();
+    if driver_result.is_err() {
+        front.stop();
+    }
+    let shutdown_stats = front.run_until_shutdown();
+    if let Err(panic) = driver_result {
+        std::panic::resume_unwind(panic);
+    }
+    assert_eq!(shutdown_stats.completed, 1);
+    assert_eq!(shutdown_stats.failed, 1);
+}
+
+#[test]
+fn overload_sheds_typed_error_instead_of_blocking() {
+    // One worker, a tiny queue, and a slow first request: submissions
+    // beyond the queue bound must come back Overloaded immediately.
+    let dataset = Arc::new(datasets::pubmed_like_small(3));
+    let server = Server::start(
+        engine_on(ModelKind::GsPool, BackendKind::Spectral, &dataset),
+        ServerConfig::default().with_workers(1).with_max_queue_depth(2).unbatched(),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    // Occupy the worker with an expensive uncached full-graph pass,
+    // then fill the queue with more of the same.
+    let mut tickets = Vec::new();
+    let mut overloaded = 0usize;
+    for _ in 0..12 {
+        match handle.submit(InferRequest::all_nodes()) {
+            Ok(t) => tickets.push(t),
+            Err(ServerError::Overloaded { depth, max_depth }) => {
+                assert!(depth >= max_depth, "sheds only at capacity");
+                overloaded += 1;
+            }
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+    }
+    assert!(overloaded > 0, "the bounded queue must shed under burst");
+    for t in tickets {
+        let response = t.wait().expect("admitted requests still serve");
+        assert_eq!(response.logits.rows(), dataset.num_nodes());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_overload, overloaded);
+    assert!(stats.serve.full_graph_cache_hits >= 1, "cache answers the repeats");
+}
+
+#[test]
+fn expired_deadlines_shed_with_typed_error() {
+    let dataset = dataset();
+    let server = Server::start(
+        engine_on(ModelKind::Gcn, BackendKind::Dense, &dataset),
+        ServerConfig::default().with_workers(1).unbatched(),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    // Park the worker on a full-graph pass so the dead-on-arrival
+    // request waits long enough to expire.
+    let slow = handle.submit(InferRequest::all_nodes()).expect("admitted");
+    let doomed = handle
+        .submit_with(
+            InferRequest::sampled(vec![1], 4, 2, 9),
+            SubmitOptions::deadline(Duration::ZERO),
+        )
+        .expect("admitted");
+    match doomed.wait() {
+        Err(ServerError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected deadline shed, got {other:?}"),
+    }
+    slow.wait().expect("slow request still serves");
+    let stats = server.shutdown();
+    assert_eq!(stats.shed_deadline, 1);
+}
+
+#[test]
+fn priorities_order_queued_requests() {
+    let dataset = dataset();
+    let server = Server::start(
+        engine_on(ModelKind::Gcn, BackendKind::Dense, &dataset),
+        ServerConfig::default().with_workers(1).unbatched(),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    // Occupy the single worker, then race a low- and a high-priority
+    // request; the high-priority one must execute first.
+    let blocker = handle.submit(InferRequest::all_nodes()).expect("admitted");
+    let low = handle
+        .submit_with(InferRequest::sampled(vec![1], 4, 2, 1), SubmitOptions::priority(-5))
+        .expect("admitted");
+    let high = handle
+        .submit_with(InferRequest::sampled(vec![2], 4, 2, 1), SubmitOptions::priority(5))
+        .expect("admitted");
+    blocker.wait().expect("serves");
+    let high_response = high.wait().expect("serves");
+    let low_response = low.wait().expect("serves");
+    // Queue time tells execution order under a single worker: the
+    // high-priority request must not have waited longer than the
+    // low-priority one that was submitted *before* it.
+    assert!(
+        high_response.queue_time <= low_response.queue_time,
+        "priority inversion: high waited {:?}, low waited {:?}",
+        high_response.queue_time,
+        low_response.queue_time
+    );
+    server.shutdown();
+}
+
+#[test]
+fn duplicate_requests_dedup_and_responses_split_latency() {
+    let dataset = dataset();
+    let server = Server::start(
+        engine_on(ModelKind::Gcn, BackendKind::Dense, &dataset),
+        // A long window with one worker guarantees coalescing.
+        ServerConfig::default().with_workers(1).with_batching(Duration::from_millis(50), 8),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    // Park the worker, then enqueue 4 copies of one request — they
+    // must coalesce into a single batch and dedup to one execution.
+    let blocker = handle.submit(InferRequest::all_nodes()).expect("admitted");
+    let hot = InferRequest::sampled(vec![3, 4], 6, 4, 77);
+    let tickets: Vec<_> =
+        (0..4).map(|_| handle.submit(hot.clone()).expect("admitted")).collect();
+    blocker.wait().expect("serves");
+    let responses: Vec<InferResponse> =
+        tickets.into_iter().map(|t| t.wait().expect("serves")).collect();
+    for pair in responses.windows(2) {
+        assert_eq!(
+            pair[0].logits.as_slice(),
+            pair[1].logits.as_slice(),
+            "identical requests get identical answers"
+        );
+    }
+    for r in &responses {
+        assert_eq!(r.latency, r.queue_time + r.compute_time, "latency = queue + compute");
+        // All four rode one coalesced execution (the blocker may have
+        // joined the same batch, so ≥ 4 rather than exactly 4).
+        assert!(r.batch_size >= 4, "expected a coalesced batch, got {}", r.batch_size);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.deduped, 3, "three of four shared the leader's execution");
+    assert!(stats.serve.total_queue_time > Duration::ZERO);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    // Coalesce/scatter alignment end to end: random request sets with
+    // duplicate node ids across requests, executed coalesced, must be
+    // bit-identical to solo execution.
+    #[test]
+    fn prop_infer_coalesced_matches_solo(
+        picks in proptest::collection::vec((0usize..680, 0usize..680), 2..6),
+        seed in 0u64..50,
+    ) {
+        let dataset = dataset();
+        let requests: Vec<InferRequest> = picks
+            .iter()
+            .map(|&(a, b)| InferRequest::sampled(vec![a, b, a], 4, 3, seed))
+            .collect();
+        let mut engine = engine_on(ModelKind::Gcn, BackendKind::Dense, &dataset);
+        let coalesced = engine.infer_coalesced(&requests);
+        let reference =
+            sequential_reference(ModelKind::Gcn, BackendKind::Dense, &dataset, &requests);
+        for (outcome, want) in coalesced.outcomes.iter().zip(&reference) {
+            let got = outcome.as_ref().expect("outcome ok");
+            prop_assert_eq!(got.logits.rows(), want.logits.rows());
+            for i in 0..got.logits.rows() {
+                for (a, b) in got.logits.row(i).iter().zip(want.logits.row(i)) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
+    }
+}
