@@ -8,7 +8,9 @@
 //! Cycle path: Eqs. 3–5 via `blockgnn-perf`, evaluated for the unit's
 //! configured `{x, y, r, c, l}` parallelism.
 
-use blockgnn_core::{BlockCirculantMatrix, CirculantError, FixedSpectralBlockCirculant};
+use blockgnn_core::{
+    BlockCirculantMatrix, CirculantError, FixedSpectralBlockCirculant, FixedSpectralScratch,
+};
 use blockgnn_perf::coeffs::HardwareCoeffs;
 use blockgnn_perf::cycles::{layer_cycles, LayerCycles, LayerTask, MatvecCount};
 use blockgnn_perf::params::CirCoreParams;
@@ -19,6 +21,9 @@ pub struct CirCoreUnit {
     params: CirCoreParams,
     coeffs: HardwareCoeffs,
     weights: FixedSpectralBlockCirculant,
+    /// Reusable Q16.16 workspace — executed matvecs allocate no
+    /// spectral buffers after the first (`Clone` yields it empty).
+    scratch: FixedSpectralScratch,
     cycles: u64,
 }
 
@@ -39,6 +44,7 @@ impl CirCoreUnit {
             params,
             coeffs,
             weights: FixedSpectralBlockCirculant::new(weights)?,
+            scratch: FixedSpectralScratch::new(),
             cycles: 0,
         })
     }
@@ -91,7 +97,7 @@ impl CirCoreUnit {
     pub fn execute(&mut self, x: &[f64]) -> Vec<f64> {
         let cy = self.batch_cycles(1);
         self.cycles += cy.bottleneck();
-        self.weights.matvec(x)
+        self.weights.matvec_with(x, &mut self.scratch)
     }
 
     /// Executes a batch, charging pipelined cycles (bottleneck-stage
@@ -103,7 +109,7 @@ impl CirCoreUnit {
     pub fn execute_batch(&mut self, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
         let cy = self.batch_cycles(xs.len());
         self.cycles += cy.bottleneck();
-        xs.iter().map(|x| self.weights.matvec(x)).collect()
+        xs.iter().map(|x| self.weights.matvec_with(x, &mut self.scratch)).collect()
     }
 }
 

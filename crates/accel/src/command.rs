@@ -234,8 +234,9 @@ mod tests {
         assert_eq!(completions[1].tag, 200);
         assert_eq!(completions[1].outputs[0].len(), 16);
         assert_eq!(proc.pending(), 0);
-        // Both layers stay resident, as §IV-B's whole-model WB implies.
-        assert_eq!(proc.resident_weight_bytes(), (4 * 3 + 2 * 4) * 8 * 8);
+        // Both layers stay resident, as §IV-B's whole-model WB implies:
+        // 20 blocks × 5 packed half-spectrum bins (n = 8) × 8 B.
+        assert_eq!(proc.resident_weight_bytes(), (4 * 3 + 2 * 4) * 5 * 8);
     }
 
     #[test]

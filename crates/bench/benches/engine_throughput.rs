@@ -12,6 +12,7 @@
 //! on a single-core runner the curve degenerates to thread overhead.
 
 use blockgnn_bench::json::{array, write_bench_file, JsonObject};
+use blockgnn_bench::timing::mean_secs;
 use blockgnn_engine::{BackendKind, Engine, EngineBuilder, InferRequest};
 use blockgnn_gnn::ModelKind;
 use blockgnn_graph::{datasets, Dataset};
@@ -19,7 +20,7 @@ use blockgnn_nn::Compression;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 fn engine_on(backend: BackendKind, dataset: &Arc<Dataset>) -> Engine {
     EngineBuilder::new(ModelKind::Gcn, backend)
@@ -86,17 +87,6 @@ fn bench_parallel_full_graph(c: &mut Criterion) {
     }
 }
 
-/// Times `iters` runs of `routine` (after one warm-up) and returns the
-/// mean seconds per run.
-fn mean_secs(iters: usize, mut routine: impl FnMut()) -> f64 {
-    routine();
-    let start = Instant::now();
-    for _ in 0..iters {
-        routine();
-    }
-    start.elapsed().as_secs_f64() / iters as f64
-}
-
 /// Emits `BENCH_engine.json` at the repository root: sampled-session
 /// latency/throughput per backend × micro-batch size, and the
 /// full-graph sequential-vs-parallel curve — the numbers the criterion
@@ -112,7 +102,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         for batch_size in [1usize, 16, 256] {
             let nodes: Vec<usize> = (0..batch_size).map(|i| (i * 131) % num_nodes).collect();
             let mut seed = 0u64;
-            let secs = mean_secs(5, || {
+            let secs = mean_secs(1, 40, || {
                 seed += 1;
                 let request = InferRequest::sampled(nodes.clone(), 10, 5, seed);
                 black_box(session.infer(&request).expect("request serves"));
@@ -132,7 +122,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let request = InferRequest::all_nodes();
     for backend in BackendKind::all() {
         let mut engine = engine_on(backend, &full);
-        let secs = mean_secs(3, || {
+        let secs = mean_secs(1, 10, || {
             engine.clear_full_graph_cache();
             black_box(engine.session().infer(&request).expect("request serves"));
         });
@@ -146,7 +136,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         for workers in [2usize, 4] {
             let mut parallel =
                 engine_on(backend, &full).into_parallel(workers).expect("positive workers");
-            let secs = mean_secs(3, || {
+            let secs = mean_secs(1, 10, || {
                 parallel.clear_full_graph_cache();
                 black_box(parallel.session().infer(&request).expect("request serves"));
             });

@@ -1,0 +1,115 @@
+//! Circulant-matvec kernel shoot-out: decompressed dense GEMM vs the
+//! full-spectrum complex-FFT baseline vs the packed half-spectrum
+//! serving path (with a warm [`blockgnn_core::SpectralScratch`]), at
+//! the paper's small-to-mid block sizes.
+//!
+//! Besides the criterion groups, the bench records `BENCH_spectral.json`
+//! at the repository root: per block size, the mean matvec latency of
+//! all three kernels and the half-vs-full speedup. CI's bench smoke job
+//! parses that file and fails if the half-spectrum path regresses below
+//! the full-spectrum baseline it replaced (a coarse ≥ 1.0× guard).
+
+use blockgnn_bench::json::{array, write_bench_file, JsonObject};
+use blockgnn_bench::timing::mean_secs;
+use blockgnn_core::{
+    BlockCirculantMatrix, RealSpectralBlockCirculant, SpectralBlockCirculant, SpectralScratch,
+};
+use blockgnn_linalg::Matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Fixed layer geometry: a 256×256 weight, the hidden-layer shape class
+/// of the paper's Table IV models.
+const DIM: usize = 256;
+/// Block sizes under test (small-to-mid compression ratios).
+const BLOCK_SIZES: [usize; 4] = [4, 8, 16, 32];
+
+fn test_input(len: usize) -> Vec<f64> {
+    (0..len).map(|i| ((i as f64 + 1.0) * 0.37).sin() * 2.0).collect()
+}
+
+struct Kernels {
+    dense: Matrix,
+    full: SpectralBlockCirculant,
+    half: RealSpectralBlockCirculant,
+}
+
+fn kernels(n: usize) -> Kernels {
+    let w = BlockCirculantMatrix::random(DIM, DIM, n, 42).expect("valid geometry");
+    Kernels {
+        dense: w.to_dense(),
+        full: SpectralBlockCirculant::new(&w).expect("power-of-two block"),
+        half: RealSpectralBlockCirculant::new(&w).expect("power-of-two block"),
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let x = test_input(DIM);
+    let mut group = c.benchmark_group("circulant_matvec_kernels");
+    group.sample_size(20);
+    for n in BLOCK_SIZES {
+        let k = kernels(n);
+        let mut scratch = SpectralScratch::new();
+        group.bench_with_input(BenchmarkId::new("dense_gemm", n), &n, |b, _| {
+            b.iter(|| black_box(k.dense.matvec(&x)));
+        });
+        group.bench_with_input(BenchmarkId::new("full_spectrum", n), &n, |b, _| {
+            b.iter(|| black_box(k.full.matvec(&x)));
+        });
+        group.bench_with_input(BenchmarkId::new("half_spectrum", n), &n, |b, _| {
+            b.iter(|| black_box(k.half.matvec_with(&x, &mut scratch)));
+        });
+    }
+    group.finish();
+}
+
+/// Emits `BENCH_spectral.json`: per block size, the mean latency of the
+/// three kernels and the half-over-full speedup the CI guard checks.
+fn emit_bench_json(_c: &mut Criterion) {
+    let x = test_input(DIM);
+    let iters = 4000;
+    let mut rows = Vec::new();
+    for n in BLOCK_SIZES {
+        let k = kernels(n);
+        let mut scratch = SpectralScratch::new();
+        let dense = mean_secs(iters / 4, iters, || {
+            black_box(k.dense.matvec(&x));
+        });
+        let full = mean_secs(iters / 4, iters, || {
+            black_box(k.full.matvec(&x));
+        });
+        let half = mean_secs(iters / 4, iters, || {
+            black_box(k.half.matvec_with(&x, &mut scratch));
+        });
+        rows.push(
+            JsonObject::new()
+                .int("block_size", n as u128)
+                .num("dense_us", dense * 1e6)
+                .num("full_spectrum_us", full * 1e6)
+                .num("half_spectrum_us", half * 1e6)
+                .num("half_over_full_speedup", full / half)
+                .num("half_over_dense_speedup", dense / half)
+                .render(),
+        );
+    }
+    let doc = JsonObject::new()
+        .string("bench", "spectral_kernel")
+        .int("out_dim", DIM as u128)
+        .int("in_dim", DIM as u128)
+        .int("host_cpus", std::thread::available_parallelism().map_or(0, |p| p.get() as u128))
+        .raw("kernels", array(rows))
+        .render();
+    let path = write_bench_file("spectral", &doc).expect("bench json writes");
+    println!("wrote {}", path.display());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    targets = bench_kernels, emit_bench_json
+}
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Shared wall-clock measurement for the `BENCH_*.json` emitters.
+//!
+//! Both recording benches (`engine_throughput`, `spectral_kernel`) use
+//! the same warm-up + mean methodology so their recorded means stay
+//! comparable across files and PRs.
+
+use std::time::Instant;
+
+/// Runs `routine` `warmup` times untimed, then `iters` times timed, and
+/// returns the mean seconds per timed run.
+pub fn mean_secs(warmup: usize, iters: usize, mut routine: impl FnMut()) -> f64 {
+    for _ in 0..warmup {
+        routine();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        routine();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_positive_and_counts_only_timed_iters() {
+        let mut calls = 0usize;
+        let mean = mean_secs(2, 5, || calls += 1);
+        assert_eq!(calls, 7);
+        assert!(mean >= 0.0);
+    }
+}

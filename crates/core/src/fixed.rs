@@ -3,18 +3,65 @@
 //! The ZC706 prototype computes CirCore's entire pipeline in 32-bit fixed
 //! point (§IV-B). [`FixedSpectralBlockCirculant`] reproduces that: the
 //! pre-computed spectral weights are quantized to Q16.16 once (as they
-//! would be when written into the Weight Buffer), and every on-line FFT
-//! butterfly, element-wise MAC, and IFFT butterfly runs through the
-//! saturating fixed-point kernels of `blockgnn-fft`. The functional mode
-//! of the hardware simulator delegates its arithmetic here, so simulator
-//! outputs carry genuine quantization error rather than idealized floats.
+//! would be when written into the Weight Buffer), and every on-line RFFT
+//! butterfly, element-wise MAC, and IRFFT butterfly runs through the
+//! saturating fixed-point kernels of `blockgnn-fft`. Like the float
+//! serving path, the Weight Buffer holds only the packed Hermitian
+//! half-spectrum (`n/2 + 1` bins per block — conjugate-symmetric bins
+//! would be redundant registers in hardware), and a reusable
+//! [`FixedSpectralScratch`] keeps the steady-state matvec loop
+//! allocation-free. The functional mode of the hardware simulator
+//! delegates its arithmetic here, so simulator outputs carry genuine
+//! quantization error rather than idealized floats.
 
 use crate::error::CirculantError;
 use crate::matrix::BlockCirculantMatrix;
-use blockgnn_fft::fixed_fft::FixedComplex;
-use blockgnn_fft::{FixedFftPlan, Q16_16};
+use blockgnn_fft::fixed_fft::{FixedComplex, FixedRealFftPlan};
+use blockgnn_fft::{half_spectrum_bins, Q16_16};
 
-/// Q16.16 spectral form of a [`BlockCirculantMatrix`].
+/// Reusable Q16.16 workspace for [`FixedSpectralBlockCirculant`]: the
+/// padded tail block, per-chunk input half-spectra, spectral
+/// accumulator, and IRFFT output block. The fixed-point counterpart of
+/// [`crate::SpectralScratch`]; `Clone` likewise yields an empty scratch.
+#[derive(Debug, Default)]
+pub struct FixedSpectralScratch {
+    pad: Vec<Q16_16>,
+    input_spectra: Vec<FixedComplex>,
+    acc: Vec<FixedComplex>,
+    time: Vec<Q16_16>,
+    block_size: usize,
+    chunks: usize,
+}
+
+impl Clone for FixedSpectralScratch {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl FixedSpectralScratch {
+    /// A fresh, empty scratch; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, block_size: usize, chunks: usize) {
+        if self.block_size == block_size && self.chunks == chunks {
+            return;
+        }
+        let bins = half_spectrum_bins(block_size);
+        self.pad.resize(block_size, Q16_16::ZERO);
+        self.input_spectra.resize(chunks * bins, FixedComplex::ZERO);
+        self.acc.resize(bins, FixedComplex::ZERO);
+        self.time.resize(block_size, Q16_16::ZERO);
+        self.block_size = block_size;
+        self.chunks = chunks;
+    }
+}
+
+/// Q16.16 spectral form of a [`BlockCirculantMatrix`] with packed
+/// half-spectrum weights.
 ///
 /// ```
 /// use blockgnn_core::{BlockCirculantMatrix, FixedSpectralBlockCirculant};
@@ -34,9 +81,10 @@ pub struct FixedSpectralBlockCirculant {
     block_size: usize,
     grid_rows: usize,
     grid_cols: usize,
-    /// Quantized spectra `Ŵ_ij` in row-major grid order.
+    /// Quantized packed half-spectra `Ŵ_ij` in row-major grid order,
+    /// `n/2 + 1` bins each.
     spectra: Vec<Vec<FixedComplex>>,
-    plan: FixedFftPlan,
+    plan: FixedRealFftPlan,
 }
 
 impl FixedSpectralBlockCirculant {
@@ -48,20 +96,19 @@ impl FixedSpectralBlockCirculant {
     /// power of two.
     pub fn new(matrix: &BlockCirculantMatrix) -> Result<Self, CirculantError> {
         let n = matrix.block_size();
-        let plan = FixedFftPlan::new(n).map_err(|_| CirculantError::BadBlockSize {
+        let plan = FixedRealFftPlan::new(n).map_err(|_| CirculantError::BadBlockSize {
             n,
             reason: "fixed-point spectral execution requires a power-of-two block size",
         })?;
-        // Quantize weights *after* an exact float FFT: this matches the
+        // Quantize weights *after* an exact float RFFT: this matches the
         // deployment flow, where Ŵ is computed offline at full precision
-        // and only the stored copy is fixed-point.
-        let float_plan = blockgnn_fft::FftPlan::<f64>::new(n)
+        // and only the stored (packed) copy is fixed-point.
+        let float_plan = blockgnn_fft::RealFftPlan::<f64>::new(n)
             .expect("same power-of-two length as fixed plan");
         let mut spectra = Vec::with_capacity(matrix.grid_rows() * matrix.grid_cols());
         for (_, _, block) in matrix.iter_blocks() {
-            let spec = float_plan
-                .forward_real(block.kernel())
-                .expect("kernel length equals plan length");
+            let spec =
+                float_plan.forward(block.kernel()).expect("kernel length equals plan length");
             spectra.push(spec.iter().map(|&c| FixedComplex::from_f64(c)).collect());
         }
         Ok(Self {
@@ -93,7 +140,14 @@ impl FixedSpectralBlockCirculant {
         self.block_size
     }
 
-    /// Borrows the quantized spectrum `Ŵ_ij` (what the Weight Buffer holds).
+    /// Number of packed bins per block (`n/2 + 1`).
+    #[must_use]
+    pub fn spectrum_len(&self) -> usize {
+        half_spectrum_bins(self.block_size)
+    }
+
+    /// Borrows the quantized packed half-spectrum `Ŵ_ij` (what the
+    /// Weight Buffer holds).
     ///
     /// # Panics
     ///
@@ -112,11 +166,21 @@ impl FixedSpectralBlockCirculant {
     /// Panics if `x.len() != in_dim`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_with(x, &mut FixedSpectralScratch::new())
+    }
+
+    /// Float-in/float-out Algorithm 1 reusing `scratch` — what the
+    /// functional CirCore simulator's batch loop calls so repeated
+    /// matvecs stop allocating workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec_with(&self, x: &[f64], scratch: &mut FixedSpectralScratch) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
-        self.matvec_fixed(&x.iter().map(|&v| Q16_16::from_f64(v)).collect::<Vec<_>>())
-            .into_iter()
-            .map(Q16_16::to_f64)
-            .collect()
+        let qx: Vec<Q16_16> = x.iter().map(|&v| Q16_16::from_f64(v)).collect();
+        self.matvec_fixed_with(&qx, scratch).into_iter().map(Q16_16::to_f64).collect()
     }
 
     /// Algorithm 1 entirely in Q16.16, as the hardware executes it.
@@ -126,37 +190,60 @@ impl FixedSpectralBlockCirculant {
     /// Panics if `x.len() != in_dim`.
     #[must_use]
     pub fn matvec_fixed(&self, x: &[Q16_16]) -> Vec<Q16_16> {
+        self.matvec_fixed_with(x, &mut FixedSpectralScratch::new())
+    }
+
+    /// Algorithm 1 in Q16.16 reusing `scratch` (see also
+    /// [`FixedSpectralBlockCirculant::matvec_with`] for the float-edged
+    /// form the functional CirCore simulator uses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec_fixed_with(
+        &self,
+        x: &[Q16_16],
+        scratch: &mut FixedSpectralScratch,
+    ) -> Vec<Q16_16> {
         assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
         let n = self.block_size;
-        let mut padded: Vec<Q16_16> = x.to_vec();
-        padded.resize(self.grid_cols * n, Q16_16::ZERO);
+        let (p, q) = (self.grid_rows, self.grid_cols);
+        scratch.ensure(n, q);
+        let bins = half_spectrum_bins(n);
 
-        // Stage 1 — FFT unit: q on-line transforms of the sub-vectors.
-        let sub_spectra: Vec<Vec<FixedComplex>> = padded
-            .chunks_exact(n)
-            .map(|sub| {
-                let mut buf: Vec<FixedComplex> =
-                    sub.iter().map(|&v| FixedComplex::new(v, Q16_16::ZERO)).collect();
-                self.plan.forward(&mut buf);
-                buf
-            })
-            .collect();
+        // Stage 1 — RFFT unit: q on-line transforms of the sub-vectors
+        // (aligned chunks straight from the input, ragged tail padded).
+        for j in 0..q {
+            let start = j * n;
+            let dst = &mut scratch.input_spectra[j * bins..(j + 1) * bins];
+            if start + n <= x.len() {
+                self.plan.forward_into(&x[start..start + n], dst);
+            } else {
+                let avail = x.len().saturating_sub(start);
+                scratch.pad[..avail].copy_from_slice(&x[start..]);
+                scratch.pad[avail..].fill(Q16_16::ZERO);
+                self.plan.forward_into(&scratch.pad, dst);
+            }
+        }
 
-        // Stage 2 — systolic MAC: spectral accumulate per grid row.
-        // Stage 3 — IFFT unit: one inverse transform per grid row.
-        let mut y = Vec::with_capacity(self.grid_rows * n);
-        for i in 0..self.grid_rows {
-            let mut acc = vec![FixedComplex::ZERO; n];
-            for (j, xs) in sub_spectra.iter().enumerate() {
-                let w = &self.spectra[i * self.grid_cols + j];
-                for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xs) {
+        // Stage 2 — systolic MAC: packed spectral accumulate per grid row.
+        // Stage 3 — IRFFT unit: one inverse transform per grid row.
+        let mut y = vec![Q16_16::ZERO; self.out_dim];
+        for i in 0..p {
+            scratch.acc.fill(FixedComplex::ZERO);
+            for j in 0..q {
+                let w = &self.spectra[i * q + j];
+                let xs = &scratch.input_spectra[j * bins..(j + 1) * bins];
+                for ((a, &wv), &xv) in scratch.acc.iter_mut().zip(w).zip(xs) {
                     *a = a.add(wv.mul(xv));
                 }
             }
-            self.plan.inverse(&mut acc);
-            y.extend(acc.iter().map(|c| c.re));
+            self.plan.inverse_into(&mut scratch.acc, &mut scratch.time);
+            let start = i * n;
+            let take = n.min(self.out_dim - start);
+            y[start..start + take].copy_from_slice(&scratch.time[..take]);
         }
-        y.truncate(self.out_dim);
         y
     }
 }
@@ -206,13 +293,33 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_bit_stable() {
+        let m = BlockCirculantMatrix::random(16, 12, 8, 7).unwrap();
+        let fixed = FixedSpectralBlockCirculant::new(&m).unwrap();
+        let mut scratch = FixedSpectralScratch::new();
+        for trial in 0..3 {
+            let x: Vec<Q16_16> = small_input(12)
+                .iter()
+                .map(|&v| Q16_16::from_f64(v * (trial as f64 + 1.0)))
+                .collect();
+            assert_eq!(
+                fixed.matvec_fixed_with(&x, &mut scratch),
+                fixed.matvec_fixed(&x),
+                "warm scratch diverged on trial {trial}"
+            );
+        }
+    }
+
+    #[test]
     fn dimensions_and_spectrum_access() {
         let m = BlockCirculantMatrix::random(10, 6, 4, 5).unwrap();
         let fixed = FixedSpectralBlockCirculant::new(&m).unwrap();
         assert_eq!(fixed.out_dim(), 10);
         assert_eq!(fixed.in_dim(), 6);
         assert_eq!(fixed.block_size(), 4);
-        assert_eq!(fixed.spectrum(2, 1).len(), 4);
+        // Packed storage: n/2 + 1 bins, not n.
+        assert_eq!(fixed.spectrum(2, 1).len(), 3);
+        assert_eq!(fixed.spectrum_len(), 3);
         assert_eq!(fixed.matvec(&small_input(6)).len(), 10);
     }
 

@@ -55,7 +55,7 @@ pub mod stats;
 
 pub use block::CirculantBlock;
 pub use error::CirculantError;
-pub use fixed::FixedSpectralBlockCirculant;
+pub use fixed::{FixedSpectralBlockCirculant, FixedSpectralScratch};
 pub use matrix::BlockCirculantMatrix;
-pub use spectral::{RealSpectralBlockCirculant, SpectralBlockCirculant};
+pub use spectral::{RealSpectralBlockCirculant, SpectralBlockCirculant, SpectralScratch};
 pub use stats::CompressionStats;

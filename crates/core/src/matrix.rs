@@ -339,10 +339,17 @@ impl BlockCirculantMatrix {
 
     /// On-chip footprint of this matrix's spectra in the accelerator's
     /// Weight Buffer: one complex Q16.16 bin (8 bytes) per retained
-    /// frequency of every block.
+    /// frequency of every block. The Weight Buffer holds the packed
+    /// Hermitian half-spectrum ([`blockgnn_fft::half_spectrum_bins`]:
+    /// `n/2 + 1` bins per block, not `n` — the mirrored bins are
+    /// conjugates of stored ones and would be redundant registers), so
+    /// the resident bytes are roughly half the full-spectrum accounting.
     #[must_use]
     pub fn spectral_weight_bytes(&self) -> usize {
-        self.grid_rows() * self.grid_cols() * self.block_size() * 8
+        self.grid_rows()
+            * self.grid_cols()
+            * blockgnn_fft::half_spectrum_bins(self.block_size())
+            * 8
     }
 }
 

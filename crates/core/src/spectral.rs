@@ -9,13 +9,131 @@
 //! CirCNN’s original flow (its reference \[19\] made the same observation).
 //!
 //! [`SpectralBlockCirculant`] implements that optimized Algorithm 1 with
-//! complex FFTs; [`RealSpectralBlockCirculant`] applies the §V RFFT
-//! refinement, halving both the stored spectrum and the element-wise MAC
-//! work for the (always real) GNN features.
+//! **full** complex spectra; it is kept as the explicit baseline the
+//! benchmarks and the CI perf guard compare against.
+//! [`RealSpectralBlockCirculant`] is the production path: the §V RFFT
+//! refinement with **packed Hermitian half-spectra**
+//! ([`blockgnn_fft::HalfSpectrum`], `n/2 + 1` bins), halving both the
+//! resident spectral bytes and the element-wise MAC work, plus a
+//! reusable [`SpectralScratch`] workspace so the steady-state serving
+//! loop performs zero heap allocations per row.
 
 use crate::error::CirculantError;
 use crate::matrix::BlockCirculantMatrix;
-use blockgnn_fft::{Complex, FftPlan, RealFftPlan};
+use blockgnn_fft::{half_spectrum_bins, Complex, FftPlan, HalfSpectrum, RealFftPlan};
+
+/// Reusable workspace for half-spectrum circulant products: the padded
+/// tail block, the per-chunk input spectra, the spectral accumulator,
+/// and the IRFFT output block. Allocated once (lazily, on first use)
+/// and reused across rows, layers, and requests — the owner decides the
+/// sharing scope (each `CirculantDense` layer and each
+/// [`RealSpectralBlockCirculant`] caller holds its own, so forked
+/// serving replicas never contend).
+///
+/// `Clone` intentionally produces an **empty** scratch: cloning a
+/// prepared layer (how the serving engine forks per-worker replicas)
+/// must not copy request-scoped buffers, and the clone re-grows its own
+/// workspace on first use.
+#[derive(Debug, Default)]
+pub struct SpectralScratch {
+    /// One block of padded input for the trailing partial chunk.
+    pad: Vec<f64>,
+    /// Flat per-chunk input half-spectra, `chunks × bins`.
+    input_spectra: Vec<Complex<f64>>,
+    /// Spectral accumulator for one grid row (`bins` entries).
+    acc: Vec<Complex<f64>>,
+    /// IRFFT output block (`n` reals).
+    time: Vec<f64>,
+    /// Geometry the buffers are currently sized for.
+    block_size: usize,
+    chunks: usize,
+}
+
+impl Clone for SpectralScratch {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
+}
+
+impl SpectralScratch {
+    /// A fresh, empty scratch; buffers grow on first
+    /// [`SpectralScratch::load_row`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the buffers for `chunks` blocks of `block_size` (no-op when
+    /// already sized; capacity is retained across calls).
+    fn ensure(&mut self, block_size: usize, chunks: usize) {
+        if self.block_size == block_size && self.chunks == chunks {
+            return;
+        }
+        let bins = half_spectrum_bins(block_size);
+        self.pad.resize(block_size, 0.0);
+        self.input_spectra.resize(chunks * bins, Complex::zero());
+        self.acc.resize(bins, Complex::zero());
+        self.time.resize(block_size, 0.0);
+        self.block_size = block_size;
+        self.chunks = chunks;
+    }
+
+    /// Transforms one input row into `chunks` half-spectra held in the
+    /// scratch (zero-padding the trailing partial chunk). Aligned chunks
+    /// are transformed straight out of `row` — no copy; only a trailing
+    /// remainder goes through the pad buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is longer than `chunks * plan.len()`.
+    pub fn load_row(&mut self, plan: &RealFftPlan<f64>, row: &[f64], chunks: usize) {
+        let n = plan.len();
+        assert!(row.len() <= chunks * n, "row does not fit the chunk grid");
+        self.ensure(n, chunks);
+        let bins = half_spectrum_bins(n);
+        for j in 0..chunks {
+            let start = j * n;
+            let dst = &mut self.input_spectra[j * bins..(j + 1) * bins];
+            if start + n <= row.len() {
+                plan.forward_into(&row[start..start + n], dst)
+                    .expect("chunk length equals plan length");
+            } else {
+                let avail = row.len().saturating_sub(start);
+                self.pad[..avail].copy_from_slice(&row[start..]);
+                self.pad[avail..].fill(0.0);
+                plan.forward_into(&self.pad, dst).expect("pad length equals plan length");
+            }
+        }
+    }
+
+    /// The `j`-th input half-spectrum loaded by
+    /// [`SpectralScratch::load_row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is outside the loaded chunk grid.
+    #[must_use]
+    pub fn spectrum(&self, j: usize) -> &[Complex<f64>] {
+        let bins = half_spectrum_bins(self.block_size);
+        &self.input_spectra[j * bins..(j + 1) * bins]
+    }
+
+    /// Splits the workspace into [`MacParts`] — the pieces the per-row
+    /// MAC loop needs to borrow simultaneously.
+    pub fn mac_parts(&mut self) -> MacParts<'_> {
+        (
+            &mut self.acc,
+            &mut self.time,
+            &self.input_spectra,
+            half_spectrum_bins(self.block_size),
+        )
+    }
+}
+
+/// Borrowed view of a [`SpectralScratch`] for the per-row MAC loop:
+/// `(spectral accumulator, IRFFT output block, loaded input spectra,
+/// bins per chunk)`.
+pub type MacParts<'a> = (&'a mut [Complex<f64>], &'a mut [f64], &'a [Complex<f64>], usize);
 
 /// Pre-computed spectral form of a [`BlockCirculantMatrix`] using the
 /// complex FFT (the paper's baseline CirCore datapath).
@@ -198,8 +316,11 @@ impl SpectralBlockCirculant {
 }
 
 /// Pre-computed spectral form using the **real** FFT (§V refinement):
-/// spectra keep only `n/2 + 1` bins, roughly halving MAC work and weight
-/// storage relative to the complex path.
+/// spectra are stored packed ([`HalfSpectrum`], `n/2 + 1` bins),
+/// halving MAC work and resident weight bytes relative to the complex
+/// path. This is the serving-grade kernel: pair it with a
+/// [`SpectralScratch`] via [`RealSpectralBlockCirculant::matvec_with`]
+/// and the steady-state loop allocates nothing per row.
 #[derive(Debug, Clone)]
 pub struct RealSpectralBlockCirculant {
     out_dim: usize,
@@ -207,27 +328,28 @@ pub struct RealSpectralBlockCirculant {
     block_size: usize,
     grid_rows: usize,
     grid_cols: usize,
-    /// Half-spectra `Ŵ_ij`, each of length `n/2 + 1`.
-    spectra: Vec<Vec<Complex<f64>>>,
+    /// Packed half-spectra `Ŵ_ij`, row-major grid order.
+    spectra: Vec<HalfSpectrum<f64>>,
     plan: RealFftPlan<f64>,
 }
 
 impl RealSpectralBlockCirculant {
-    /// Pre-computes the half-spectra `Ŵ`.
+    /// Pre-computes the packed half-spectra `Ŵ`.
     ///
     /// # Errors
     ///
-    /// Returns [`CirculantError::BadBlockSize`] if the block size is not a
-    /// power of two of at least 2.
+    /// Returns [`CirculantError::BadBlockSize`] if the block size is not
+    /// a power of two.
     pub fn new(matrix: &BlockCirculantMatrix) -> Result<Self, CirculantError> {
         let n = matrix.block_size();
         let plan = RealFftPlan::new(n).map_err(|_| CirculantError::BadBlockSize {
             n,
-            reason: "real-spectral execution requires a power-of-two block size >= 2",
+            reason: "real-spectral execution requires a power-of-two block size",
         })?;
         let mut spectra = Vec::with_capacity(matrix.grid_rows() * matrix.grid_cols());
         for (_, _, block) in matrix.iter_blocks() {
-            spectra.push(plan.forward(block.kernel()).expect("kernel length matches plan"));
+            spectra
+                .push(plan.forward_half(block.kernel()).expect("kernel length matches plan"));
         }
         Ok(Self {
             out_dim: matrix.out_dim(),
@@ -252,43 +374,81 @@ impl RealSpectralBlockCirculant {
         self.in_dim
     }
 
+    /// Circulant block size `n`.
+    #[must_use]
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
     /// Number of complex bins stored per block (`n/2 + 1`).
     #[must_use]
     pub fn spectrum_len(&self) -> usize {
-        self.block_size / 2 + 1
+        half_spectrum_bins(self.block_size)
     }
 
-    /// Algorithm 1 over half-spectra: q RFFTs, `p·q` half-length MAC
-    /// passes, `p` IRFFTs.
+    /// Borrows the packed half-spectrum `Ŵ_ij`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(i, j)` is outside the grid.
+    #[must_use]
+    pub fn spectrum(&self, i: usize, j: usize) -> &HalfSpectrum<f64> {
+        assert!(i < self.grid_rows && j < self.grid_cols, "spectrum index out of grid");
+        &self.spectra[i * self.grid_cols + j]
+    }
+
+    /// Algorithm 1 over half-spectra with a fresh workspace: q RFFTs,
+    /// `p·q` half-length MAC passes, `p` IRFFTs. Convenience wrapper
+    /// around [`RealSpectralBlockCirculant::matvec_with`] for callers
+    /// that do not keep a scratch alive.
     ///
     /// # Panics
     ///
     /// Panics if `x.len() != in_dim`.
     #[must_use]
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        self.matvec_with(x, &mut SpectralScratch::new())
+    }
+
+    /// Algorithm 1 over half-spectra reusing `scratch` — zero heap
+    /// allocations beyond the returned vector once the scratch is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    #[must_use]
+    pub fn matvec_with(&self, x: &[f64], scratch: &mut SpectralScratch) -> Vec<f64> {
+        let mut y = vec![0.0; self.out_dim];
+        self.matvec_into(x, scratch, &mut y);
+        y
+    }
+
+    /// Fully write-into form of the half-spectrum Algorithm 1: the
+    /// result lands in `out` (every entry overwritten).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim` or `out.len() != out_dim`.
+    pub fn matvec_into(&self, x: &[f64], scratch: &mut SpectralScratch, out: &mut [f64]) {
         assert_eq!(x.len(), self.in_dim, "matvec input length must equal in_dim");
+        assert_eq!(out.len(), self.out_dim, "matvec output length must equal out_dim");
         let n = self.block_size;
-        let bins = self.spectrum_len();
-        let mut padded = x.to_vec();
-        padded.resize(self.grid_cols * n, 0.0);
-        let sub_spectra: Vec<Vec<Complex<f64>>> = padded
-            .chunks_exact(n)
-            .map(|sub| self.plan.forward(sub).expect("chunk length equals plan length"))
-            .collect();
-        let mut y = Vec::with_capacity(self.grid_rows * n);
+        scratch.load_row(&self.plan, x, self.grid_cols);
+        let (acc, time, input_spectra, bins) = scratch.mac_parts();
         for i in 0..self.grid_rows {
-            let mut acc = vec![Complex::zero(); bins];
-            for (j, xs) in sub_spectra.iter().enumerate() {
-                let w = &self.spectra[i * self.grid_cols + j];
+            acc.fill(Complex::zero());
+            for j in 0..self.grid_cols {
+                let w = self.spectra[i * self.grid_cols + j].bins();
+                let xs = &input_spectra[j * bins..(j + 1) * bins];
                 for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xs) {
                     *a += wv * xv;
                 }
             }
-            let spatial = self.plan.inverse(&acc).expect("accumulator matches spectrum len");
-            y.extend_from_slice(&spatial);
+            self.plan.inverse_into(acc, time).expect("accumulator matches spectrum len");
+            let start = i * n;
+            let take = n.min(self.out_dim - start);
+            out[start..start + take].copy_from_slice(&time[..take]);
         }
-        y.truncate(self.out_dim);
-        y
     }
 }
 
@@ -356,6 +516,43 @@ mod tests {
     }
 
     #[test]
+    fn half_spectrum_supports_block_size_one() {
+        // n = 1 (the dense baseline grid) runs the same packed path.
+        let m = BlockCirculantMatrix::random(5, 7, 1, 3).unwrap();
+        let r = RealSpectralBlockCirculant::new(&m).unwrap();
+        assert_eq!(r.spectrum_len(), 1);
+        let x = test_input(7);
+        assert!(linf_distance(&r.matvec(&x), &m.matvec_direct(&x)) < 1e-10);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_stable_across_shapes() {
+        // One scratch serving matrices of different geometry (the
+        // per-layer reuse pattern) must give bit-identical answers to a
+        // fresh scratch every call.
+        let mut scratch = SpectralScratch::new();
+        for (rows, cols, n, seed) in [(16, 24, 8, 1), (10, 6, 4, 2), (16, 24, 8, 3)] {
+            let m = BlockCirculantMatrix::random(rows, cols, n, seed).unwrap();
+            let r = RealSpectralBlockCirculant::new(&m).unwrap();
+            let x = test_input(cols);
+            let warm = r.matvec_with(&x, &mut scratch);
+            let cold = r.matvec(&x);
+            assert_eq!(warm, cold, "scratch reuse drifted at {rows}x{cols} n={n}");
+        }
+    }
+
+    #[test]
+    fn scratch_clone_is_empty() {
+        let m = BlockCirculantMatrix::random(8, 8, 4, 9).unwrap();
+        let r = RealSpectralBlockCirculant::new(&m).unwrap();
+        let mut scratch = SpectralScratch::new();
+        let _ = r.matvec_with(&test_input(8), &mut scratch);
+        let clone = scratch.clone();
+        assert_eq!(clone.block_size, 0, "clone must not carry request-scoped buffers");
+        assert!(clone.input_spectra.is_empty());
+    }
+
+    #[test]
     fn spectrum_accessor_returns_fft_of_kernel() {
         let m = BlockCirculantMatrix::random(8, 8, 4, 77).unwrap();
         let s = SpectralBlockCirculant::new(&m).unwrap();
@@ -364,6 +561,12 @@ mod tests {
         for (a, b) in s.spectrum(1, 0).iter().zip(&expect) {
             assert!(a.linf_distance(*b) < 1e-12);
         }
+        // The packed form stores exactly the non-redundant prefix.
+        let r = RealSpectralBlockCirculant::new(&m).unwrap();
+        for (a, b) in r.spectrum(1, 0).bins().iter().zip(&expect) {
+            assert!(a.linf_distance(*b) < 1e-12);
+        }
+        assert_eq!(r.spectrum(1, 0).bins().len(), 3);
     }
 
     #[test]
@@ -377,6 +580,7 @@ mod tests {
         assert_eq!(s.matvec(&test_input(6)).len(), 10);
         let r = RealSpectralBlockCirculant::new(&m).unwrap();
         assert_eq!((r.out_dim(), r.in_dim()), (10, 6));
+        assert_eq!(r.block_size(), 4);
         assert_eq!(r.matvec(&test_input(6)).len(), 10);
     }
 
@@ -396,6 +600,30 @@ mod tests {
             let s = SpectralBlockCirculant::new(&m).unwrap();
             let x = test_input(cols);
             prop_assert!(linf_distance(&s.matvec(&x), &m.matvec_direct(&x)) < 1e-8);
+        }
+
+        #[test]
+        fn prop_half_spectrum_equals_full_spectrum(
+            seed in 0u64..500,
+            p in 1usize..5,
+            q in 1usize..5,
+            logn in 0u32..6,
+            col_cut in 0usize..16,
+        ) {
+            // The packed-half path must agree with the full-spectrum
+            // baseline everywhere: n = 1 (odd) through 32, in_dim both a
+            // multiple of n and ragged (padded trailing chunk).
+            let n = 1usize << logn;
+            let rows = (p * n).max(1);
+            let cols = (q * n).saturating_sub(col_cut % n.max(1)).max(1);
+            let m = BlockCirculantMatrix::random(rows, cols, n, seed).unwrap();
+            let full = SpectralBlockCirculant::new(&m).unwrap();
+            let half = RealSpectralBlockCirculant::new(&m).unwrap();
+            let x = test_input(cols);
+            let mut scratch = SpectralScratch::new();
+            let yh = half.matvec_with(&x, &mut scratch);
+            prop_assert!(linf_distance(&full.matvec(&x), &yh) < 1e-8);
+            prop_assert!(linf_distance(&m.matvec_direct(&x), &yh) < 1e-8);
         }
     }
 }

@@ -225,9 +225,18 @@ impl ExecutionBackend for DenseBackend {
     }
 }
 
-/// Spectral backend: Algorithm 1 with kernel spectra and FFT plans cached
-/// across calls (the software realization of the paper's compressed
-/// execution).
+/// Spectral backend: Algorithm 1 with **packed half-spectrum** kernel
+/// caches and RFFT plans shared across calls (the software realization
+/// of the paper's compressed execution).
+///
+/// Steady-state `execute` performs zero spectral-path heap allocations:
+/// each prepared `CirculantDense` layer owns a
+/// [`blockgnn_core::SpectralScratch`] (padded tail block, per-chunk
+/// input half-spectra, spectral accumulator, IRFFT block) that is
+/// reused across rows and requests. [`ExecutionBackend::fork`] clones
+/// the model — prepared spectra stay `Arc`-shared, while each scratch
+/// clones *empty* — so every session/worker replica owns private hot
+/// buffers and forks never contend.
 pub struct SpectralBackend {
     model: Box<dyn GnnModel>,
 }
@@ -290,6 +299,14 @@ impl ExecutionBackend for SpectralBackend {
 /// path (the computation CirCore performs), plus the Eq. 3–7 cycle model
 /// and an energy estimate for every executed request.
 ///
+/// Functional execution shares the half-spectrum scratch machinery of
+/// [`SpectralBackend`] (per-layer workspaces, empty-cloning forks). The
+/// cycle model is analytic — Eqs. 3–7 price the *logical* FFT/MAC/IFFT
+/// work from the workload shape, never from the software data layout —
+/// so the packed representation changes wall-clock only: `SimReport`
+/// cycles and energy are bit-identical to the full-spectrum
+/// implementation's.
+///
 /// Construction performs the §IV-B deployability check: the model's
 /// circulant weight spectra must *co-reside* in the accelerator's
 /// 256 KB Weight Buffer (the whole-model residency the serving loop
@@ -326,8 +343,9 @@ impl SimulatedAccelBackend {
         let power_w = coeffs.accel_power_w;
         let accel = BlockGnnAccelerator::new(params, coeffs.clone());
         // Whole-model residency: sum every circulant layer's spectral
-        // footprint (complex Q16.16, 8 bytes per retained bin — the same
-        // accounting as `BlockGnnAccelerator::load_weights`).
+        // footprint (complex Q16.16, 8 bytes per retained bin — the
+        // packed Hermitian half-spectrum of `n/2 + 1` bins per block,
+        // the same accounting as `BlockGnnAccelerator::load_weights`).
         let mut spectral_bytes = 0usize;
         model.visit_linear_layers(&mut |layer| {
             if let LinearLayer::Circulant(c) = layer {

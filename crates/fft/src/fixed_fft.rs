@@ -94,6 +94,36 @@ impl FixedComplex {
                 + self.im.mul_qformat(tw_re, TWIDDLE_FRAC),
         }
     }
+
+    /// Complex conjugate.
+    #[inline]
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self { re: self.re, im: -self.im }
+    }
+
+    /// Multiplication by `i` (90° rotation) — a wire swap in hardware.
+    #[inline]
+    #[must_use]
+    pub fn mul_i(self) -> Self {
+        Self { re: -self.im, im: self.re }
+    }
+
+    /// Multiplication by `-i` (−90° rotation).
+    #[inline]
+    #[must_use]
+    pub fn mul_i_neg(self) -> Self {
+        Self { re: self.im, im: -self.re }
+    }
+
+    /// Division by two with round-to-nearest — the single arithmetic
+    /// right shift the RFFT untangling butterflies use.
+    #[inline]
+    #[must_use]
+    pub fn halve(self) -> Self {
+        let h = |x: Q16_16| Q16_16::from_bits(((i64::from(x.to_bits()) + 1) >> 1) as i32);
+        Self { re: h(self.re), im: h(self.im) }
+    }
 }
 
 /// A radix-2 fixed-point FFT plan with Q2.30 twiddle ROMs.
@@ -235,6 +265,163 @@ impl FixedFftPlan {
     }
 }
 
+/// A fixed-point real-input FFT plan: the Q16.16 counterpart of
+/// [`crate::RealFftPlan`], producing the packed `n/2 + 1`-bin Hermitian
+/// half-spectrum through the same pack → half-length FFT → untangle
+/// datapath (see [`crate::half`]). This is what a CirCore built with
+/// RFFT channels would synthesize: half the butterflies, half the
+/// weight-stationary spectrum registers.
+///
+/// ```
+/// use blockgnn_fft::fixed_fft::FixedRealFftPlan;
+/// use blockgnn_fft::Q16_16;
+/// # fn main() -> Result<(), blockgnn_fft::FftError> {
+/// let plan = FixedRealFftPlan::new(8)?;
+/// let x: Vec<Q16_16> = (0..8).map(|i| Q16_16::from_f64(i as f64 * 0.5)).collect();
+/// let mut spectrum = vec![Default::default(); plan.spectrum_len()];
+/// plan.forward_into(&x, &mut spectrum);
+/// let mut back = vec![Q16_16::ZERO; 8];
+/// plan.inverse_into(&mut spectrum, &mut back);
+/// for (a, b) in back.iter().zip(&x) {
+///     assert!((a.to_f64() - b.to_f64()).abs() < 1e-3);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FixedRealFftPlan {
+    len: usize,
+    half_plan: FixedFftPlan,
+    /// Untangling twiddles `e^{-2πik/n}` for `k = 0..n/2` in Q2.30.
+    twiddles: Vec<(i32, i32)>,
+}
+
+impl FixedRealFftPlan {
+    /// Builds a fixed-point RFFT plan of length `len` (the degenerate
+    /// `len = 1` plan is the identity, matching the float plan).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::NotPowerOfTwo`] if `len` is not a non-zero
+    /// power of two.
+    pub fn new(len: usize) -> Result<Self, FftError> {
+        if !is_power_of_two(len) {
+            return Err(FftError::NotPowerOfTwo { len });
+        }
+        let half = len / 2;
+        let half_plan = FixedFftPlan::new(half.max(1))?;
+        let q = |x: f64| -> i32 {
+            let v = (x * (1i64 << TWIDDLE_FRAC) as f64).round();
+            v.clamp(i32::MIN as f64, i32::MAX as f64) as i32
+        };
+        let twiddles = (0..half)
+            .map(|k| {
+                let theta = -2.0 * std::f64::consts::PI * k as f64 / len as f64;
+                (q(theta.cos()), q(theta.sin()))
+            })
+            .collect();
+        Ok(Self { len, half_plan, twiddles })
+    }
+
+    /// The real signal length this plan transforms.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false`; plans cannot be built for length 0.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of bins in the packed half-spectrum (`n/2 + 1`).
+    #[must_use]
+    pub fn spectrum_len(&self) -> usize {
+        crate::half::half_spectrum_bins(self.len)
+    }
+
+    /// Allocation-free forward RFFT: `n` Q16.16 reals → `n/2 + 1` packed
+    /// bins. The output buffer doubles as the packed work area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n` or `out.len() != spectrum_len()`.
+    pub fn forward_into(&self, input: &[Q16_16], out: &mut [FixedComplex]) {
+        assert_eq!(input.len(), self.len, "fixed rfft input length mismatch");
+        assert_eq!(out.len(), self.spectrum_len(), "fixed rfft spectrum length mismatch");
+        if self.len == 1 {
+            out[0] = FixedComplex::new(input[0], Q16_16::ZERO);
+            return;
+        }
+        let half = self.len / 2;
+        for k in 0..half {
+            out[k] = FixedComplex::new(input[2 * k], input[2 * k + 1]);
+        }
+        self.half_plan.forward(&mut out[..half]);
+
+        let untangle = |zk: FixedComplex, zr: FixedComplex, tw: (i32, i32)| {
+            let xe = zk.add(zr.conj()).halve();
+            let xo = zk.sub(zr.conj()).halve().mul_i_neg();
+            xe.add(xo.mul_twiddle(tw.0, tw.1))
+        };
+        let z0 = out[0];
+        out[0] = untangle(z0, z0, self.twiddles[0]);
+        let nyquist = FixedComplex::new(z0.re - z0.im, Q16_16::ZERO);
+        let mut k = 1;
+        while k <= half - k {
+            let zk = out[k];
+            let zr = out[half - k];
+            out[k] = untangle(zk, zr, self.twiddles[k]);
+            if k != half - k {
+                out[half - k] = untangle(zr, zk, self.twiddles[half - k]);
+            }
+            k += 1;
+        }
+        out[half] = nyquist;
+    }
+
+    /// Allocation-free inverse RFFT (scaled by `1/n`). **Destroys
+    /// `spectrum`** — the packed half-length signal is rebuilt in place
+    /// inside it, mirroring [`crate::RealFftPlan::inverse_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spectrum.len() != spectrum_len()` or `out.len() != n`.
+    pub fn inverse_into(&self, spectrum: &mut [FixedComplex], out: &mut [Q16_16]) {
+        assert_eq!(spectrum.len(), self.spectrum_len(), "fixed irfft spectrum length mismatch");
+        assert_eq!(out.len(), self.len, "fixed irfft output length mismatch");
+        if self.len == 1 {
+            out[0] = spectrum[0].re;
+            return;
+        }
+        let half = self.len / 2;
+        let retangle = |xk: FixedComplex, xm: FixedComplex, tw: (i32, i32)| {
+            let xr = xm.conj();
+            let xe = xk.add(xr).halve();
+            // conj(W^k) has twiddle (re, -im).
+            let xo = xk.sub(xr).halve().mul_twiddle(tw.0, -tw.1);
+            xe.add(xo.mul_i())
+        };
+        spectrum[0] = retangle(spectrum[0], spectrum[half], self.twiddles[0]);
+        let mut k = 1;
+        while k <= half - k {
+            let xk = spectrum[k];
+            let xm = spectrum[half - k];
+            spectrum[k] = retangle(xk, xm, self.twiddles[k]);
+            if k != half - k {
+                spectrum[half - k] = retangle(xm, xk, self.twiddles[half - k]);
+            }
+            k += 1;
+        }
+        self.half_plan.inverse(&mut spectrum[..half]);
+        for (k, v) in spectrum[..half].iter().enumerate() {
+            out[2 * k] = v.re;
+            out[2 * k + 1] = v.im;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -296,6 +483,43 @@ mod tests {
         assert!(prod.linf_distance(a * b) < 1e-4);
     }
 
+    #[test]
+    fn real_plan_matches_float_half_spectrum() {
+        for n in [2usize, 4, 16, 64] {
+            let fplan = crate::RealFftPlan::<f64>::new(n).unwrap();
+            let qplan = FixedRealFftPlan::new(n).unwrap();
+            let input: Vec<f64> =
+                (0..n).map(|i| ((i as f64 * 0.53).cos() * 1.5) - 0.2).collect();
+            let float_spec = fplan.forward(&input).unwrap();
+            let qx: Vec<Q16_16> = input.iter().map(|&v| Q16_16::from_f64(v)).collect();
+            let mut fixed_spec = vec![FixedComplex::ZERO; qplan.spectrum_len()];
+            qplan.forward_into(&qx, &mut fixed_spec);
+            assert_eq!(fixed_spec.len(), n / 2 + 1);
+            let tol = 2e-3 * (n as f64).log2().max(1.0);
+            for (f, q) in float_spec.iter().zip(&fixed_spec) {
+                assert!(f.linf_distance(q.to_complex_f64()) < tol, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_plan_length_one_is_identity() {
+        let plan = FixedRealFftPlan::new(1).unwrap();
+        let x = [Q16_16::from_f64(-2.5)];
+        let mut spec = vec![FixedComplex::ZERO; 1];
+        plan.forward_into(&x, &mut spec);
+        assert_eq!(spec[0].re, x[0]);
+        let mut back = [Q16_16::ZERO; 1];
+        plan.inverse_into(&mut spec, &mut back);
+        assert_eq!(back[0], x[0]);
+    }
+
+    #[test]
+    fn real_plan_rejects_non_power_of_two() {
+        assert!(FixedRealFftPlan::new(0).is_err());
+        assert!(FixedRealFftPlan::new(6).is_err());
+    }
+
     proptest! {
         #[test]
         fn prop_fixed_roundtrip(values in proptest::collection::vec(-10.0f64..10.0, 32)) {
@@ -305,6 +529,19 @@ mod tests {
             plan.inverse(&mut buf);
             for (q, &orig) in buf.iter().zip(&values) {
                 prop_assert!((q.re.to_f64() - orig).abs() < 2e-3);
+            }
+        }
+
+        #[test]
+        fn prop_fixed_real_roundtrip(values in proptest::collection::vec(-10.0f64..10.0, 32)) {
+            let plan = FixedRealFftPlan::new(32).unwrap();
+            let qx: Vec<Q16_16> = values.iter().map(|&v| Q16_16::from_f64(v)).collect();
+            let mut spec = vec![FixedComplex::ZERO; plan.spectrum_len()];
+            plan.forward_into(&qx, &mut spec);
+            let mut back = vec![Q16_16::ZERO; 32];
+            plan.inverse_into(&mut spec, &mut back);
+            for (q, &orig) in back.iter().zip(&values) {
+                prop_assert!((q.to_f64() - orig).abs() < 3e-3);
             }
         }
     }

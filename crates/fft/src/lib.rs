@@ -12,7 +12,11 @@
 //!   twiddle factors and bit-reversal tables, mirroring how a streaming
 //!   hardware FFT core loads its coefficient ROMs once.
 //! * [`real`] — real-input FFT (RFFT/IRFFT) exploiting conjugate symmetry,
-//!   implementing the §V "Use RFFT for Higher Speedup" discussion.
+//!   implementing the §V "Use RFFT for Higher Speedup" discussion, with
+//!   allocation-free `forward_into`/`inverse_into` variants for serving
+//!   hot paths.
+//! * [`half`] — [`HalfSpectrum`], the packed `n/2 + 1`-bin Hermitian
+//!   half-spectrum the serving paths store and multiply.
 //! * [`fixed`] — Q16.16 fixed-point arithmetic matching the paper's 32-bit
 //!   fixed-point FPGA prototype, plus a bit-exercising fixed-point FFT used
 //!   by the functional hardware simulator.
@@ -42,13 +46,15 @@ pub mod dft;
 pub mod fixed;
 pub mod fixed_fft;
 pub mod float;
+pub mod half;
 pub mod plan;
 pub mod real;
 
 pub use complex::Complex;
 pub use fixed::Q16_16;
-pub use fixed_fft::FixedFftPlan;
+pub use fixed_fft::{FixedFftPlan, FixedRealFftPlan};
 pub use float::FftFloat;
+pub use half::{half_spectrum_bins, HalfSpectrum};
 pub use plan::{FftError, FftPlan};
 pub use real::RealFftPlan;
 

@@ -6,21 +6,32 @@
 //! speedups. The classic trick: pack a length-`n` real signal into a
 //! length-`n/2` complex signal, transform, and untangle the two
 //! interleaved half-spectra. The result is the non-redundant half-spectrum
-//! of `n/2 + 1` bins; the remaining bins are conjugate mirrors.
+//! of `n/2 + 1` bins; the remaining bins are conjugate mirrors (see
+//! [`crate::half`]).
 //!
 //! The element-wise spectral product of two half-spectra followed by
 //! [`RealFftPlan::inverse`] realizes the same circular convolution as the
 //! complex path at roughly half the arithmetic, which is exactly what a
 //! CirCore built with RFFT channels would compute.
+//!
+//! The serving hot paths use the allocation-free
+//! [`RealFftPlan::forward_into`] / [`RealFftPlan::inverse_into`] pair:
+//! both transforms untangle *in place* inside the caller's buffers (the
+//! output buffer doubles as the packed work area), so a steady-state
+//! inference loop performs zero heap allocations per transform.
 
 use crate::complex::Complex;
 use crate::float::FftFloat;
+use crate::half::{half_spectrum_bins, HalfSpectrum};
 use crate::plan::{FftError, FftPlan};
 
-/// A reusable real-input FFT plan for a fixed power-of-two length `n ≥ 2`.
+/// A reusable real-input FFT plan for a fixed power-of-two length.
 ///
 /// The forward direction maps `n` reals to `n/2 + 1` complex bins
-/// (unscaled); the inverse maps them back (scaled by `1/n`).
+/// (unscaled); the inverse maps them back (scaled by `1/n`). The
+/// degenerate `n = 1` plan is the identity (one purely real DC bin), so
+/// circulant layers with `block_size = 1` — the paper's uncompressed
+/// baseline — can run the same code path.
 ///
 /// ```
 /// use blockgnn_fft::RealFftPlan;
@@ -49,14 +60,14 @@ impl<T: FftFloat> RealFftPlan<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`FftError::NotPowerOfTwo`] if `len` is not a power of two
-    /// or is smaller than 2 (the packing trick needs an even length).
+    /// Returns [`FftError::NotPowerOfTwo`] if `len` is not a non-zero
+    /// power of two.
     pub fn new(len: usize) -> Result<Self, FftError> {
-        if len < 2 || !crate::is_power_of_two(len) {
+        if !crate::is_power_of_two(len) {
             return Err(FftError::NotPowerOfTwo { len });
         }
         let half = len / 2;
-        let half_plan = FftPlan::new(half)?;
+        let half_plan = FftPlan::new(half.max(1))?;
         let twiddles = (0..half)
             .map(|k| {
                 let theta = -(T::from_usize(2) * T::PI * T::from_usize(k)) / T::from_usize(len);
@@ -78,10 +89,11 @@ impl<T: FftFloat> RealFftPlan<T> {
         false
     }
 
-    /// Number of complex bins in the half-spectrum (`n/2 + 1`).
+    /// Number of complex bins in the half-spectrum (`n/2 + 1`, or `1`
+    /// for the degenerate `n = 1` plan).
     #[must_use]
     pub fn spectrum_len(&self) -> usize {
-        self.len / 2 + 1
+        half_spectrum_bins(self.len)
     }
 
     /// Forward RFFT: `n` reals → `n/2 + 1` complex bins (unscaled).
@@ -92,30 +104,78 @@ impl<T: FftFloat> RealFftPlan<T> {
     ///
     /// Returns [`FftError::LengthMismatch`] if `input.len() != n`.
     pub fn forward(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        let mut out = vec![Complex::zero(); self.spectrum_len()];
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Forward RFFT returning the packed [`HalfSpectrum`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != n`.
+    pub fn forward_half(&self, input: &[T]) -> Result<HalfSpectrum<T>, FftError> {
+        Ok(HalfSpectrum::from_bins(self.len, self.forward(input)?))
+    }
+
+    /// Allocation-free forward RFFT into a caller-provided buffer of
+    /// [`RealFftPlan::spectrum_len`] bins. The output buffer doubles as
+    /// the packed work area (the half-length complex signal lives in
+    /// `out[..n/2]` during the transform), so no scratch is needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != n` or
+    /// `out.len() != spectrum_len()`.
+    pub fn forward_into(&self, input: &[T], out: &mut [Complex<T>]) -> Result<(), FftError> {
         if input.len() != self.len {
             return Err(FftError::LengthMismatch { expected: self.len, got: input.len() });
         }
+        if out.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: out.len(),
+            });
+        }
+        if self.len == 1 {
+            out[0] = Complex::from_real(input[0]);
+            return Ok(());
+        }
         let half = self.len / 2;
-        // Pack: z[k] = x[2k] + i x[2k+1]
-        let mut z: Vec<Complex<T>> =
-            (0..half).map(|k| Complex::new(input[2 * k], input[2 * k + 1])).collect();
-        self.half_plan.try_forward(&mut z)?;
+        // Pack: z[k] = x[2k] + i x[2k+1], in place in the output buffer.
+        for k in 0..half {
+            out[k] = Complex::new(input[2 * k], input[2 * k + 1]);
+        }
+        self.half_plan.try_forward(&mut out[..half])?;
 
         let two = T::from_usize(2);
-        let mut out = Vec::with_capacity(half + 1);
-        for k in 0..half {
-            let zk = z[k];
-            let zr = z[(half - k) % half].conj();
-            // Even/odd half-spectra of the original signal.
-            let xe = (zk + zr).scale(T::ONE / two);
-            let xo = (zk - zr).scale(T::ONE / two).mul_i_neg();
-            out.push(xe + self.twiddles[k] * xo);
+        let inv_two = T::ONE / two;
+        // Untangle in place. Bin k reads z[k] and z[half-k], so process
+        // k = 0 alone (it also yields the Nyquist bin) and then the
+        // mirror pairs (k, half-k), saving both sources before either
+        // destination is overwritten. The per-bin arithmetic is the
+        // textbook even/odd split, identical to the allocating path.
+        let untangle = |zk: Complex<T>, zr: Complex<T>, tw: Complex<T>| {
+            let xe = (zk + zr.conj()).scale(inv_two);
+            let xo = (zk - zr.conj()).scale(inv_two).mul_i_neg();
+            xe + tw * xo
+        };
+        let z0 = out[0];
+        out[0] = untangle(z0, z0, self.twiddles[0]);
+        let nyquist = Complex::from_real(z0.re) - Complex::from_real(z0.im);
+        let mut k = 1;
+        while k <= half - k {
+            let zk = out[k];
+            let zr = out[half - k];
+            out[k] = untangle(zk, zr, self.twiddles[k]);
+            if k != half - k {
+                out[half - k] = untangle(zr, zk, self.twiddles[half - k]);
+            }
+            k += 1;
         }
         // Nyquist bin: W^{n/2} = -1, so X[n/2] = Xe[0] - Xo[0].
-        let xe0 = Complex::from_real(z[0].re);
-        let xo0 = Complex::from_real(z[0].im);
-        out.push(xe0 - xo0);
-        Ok(out)
+        out[half] = nyquist;
+        Ok(())
     }
 
     /// Inverse RFFT: `n/2 + 1` complex bins → `n` reals (scaled by `1/n`).
@@ -128,28 +188,75 @@ impl<T: FftFloat> RealFftPlan<T> {
     /// Returns [`FftError::LengthMismatch`] if
     /// `spectrum.len() != n/2 + 1`.
     pub fn inverse(&self, spectrum: &[Complex<T>]) -> Result<Vec<T>, FftError> {
-        let half = self.len / 2;
-        if spectrum.len() != half + 1 {
-            return Err(FftError::LengthMismatch { expected: half + 1, got: spectrum.len() });
+        if spectrum.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: spectrum.len(),
+            });
         }
-        let two = T::from_usize(2);
-        // Rebuild the packed half-length spectrum Z[k] = Xe[k] + i·Xo[k].
-        let mut z = Vec::with_capacity(half);
-        for k in 0..half {
-            let xk = spectrum[k];
-            let xr = spectrum[half - k].conj();
-            let xe = (xk + xr).scale(T::ONE / two);
-            // Xo[k] = conj(W^k) * (X[k] - conj(X[half-k])) / 2
-            let xo = self.twiddles[k].conj() * (xk - xr).scale(T::ONE / two);
-            z.push(xe + xo.mul_i());
-        }
-        self.half_plan.try_inverse(&mut z)?;
-        let mut out = Vec::with_capacity(self.len);
-        for v in z {
-            out.push(v.re);
-            out.push(v.im);
-        }
+        let mut work = spectrum.to_vec();
+        let mut out = vec![T::ZERO; self.len];
+        self.inverse_into(&mut work, &mut out)?;
         Ok(out)
+    }
+
+    /// Allocation-free inverse RFFT. **Destroys `spectrum`**: the packed
+    /// half-length signal is rebuilt in place inside it (the spectral
+    /// accumulator of Algorithm 1 is consumed exactly once per grid row,
+    /// so the serving loops hand their accumulator over directly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if
+    /// `spectrum.len() != n/2 + 1` or `out.len() != n`.
+    pub fn inverse_into(
+        &self,
+        spectrum: &mut [Complex<T>],
+        out: &mut [T],
+    ) -> Result<(), FftError> {
+        if spectrum.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: spectrum.len(),
+            });
+        }
+        if out.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, got: out.len() });
+        }
+        if self.len == 1 {
+            out[0] = spectrum[0].re;
+            return Ok(());
+        }
+        let half = self.len / 2;
+        let two = T::from_usize(2);
+        let inv_two = T::ONE / two;
+        // Rebuild the packed half-length spectrum Z[k] = Xe[k] + i·Xo[k]
+        // in place. Bin k reads X[k] and X[half-k]; k = 0 (which reads
+        // the Nyquist bin) goes first, then the mirror pairs.
+        let retangle = |xk: Complex<T>, xm: Complex<T>, tw: Complex<T>| {
+            let xr = xm.conj();
+            let xe = (xk + xr).scale(inv_two);
+            // Xo[k] = conj(W^k) * (X[k] - conj(X[half-k])) / 2
+            let xo = tw.conj() * (xk - xr).scale(inv_two);
+            xe + xo.mul_i()
+        };
+        spectrum[0] = retangle(spectrum[0], spectrum[half], self.twiddles[0]);
+        let mut k = 1;
+        while k <= half - k {
+            let xk = spectrum[k];
+            let xm = spectrum[half - k];
+            spectrum[k] = retangle(xk, xm, self.twiddles[k]);
+            if k != half - k {
+                spectrum[half - k] = retangle(xm, xk, self.twiddles[half - k]);
+            }
+            k += 1;
+        }
+        self.half_plan.try_inverse(&mut spectrum[..half])?;
+        for (k, v) in spectrum[..half].iter().enumerate() {
+            out[2 * k] = v.re;
+            out[2 * k + 1] = v.im;
+        }
+        Ok(())
     }
 }
 
@@ -174,9 +281,18 @@ mod tests {
     #[test]
     fn rejects_bad_lengths() {
         assert!(RealFftPlan::<f64>::new(0).is_err());
-        assert!(RealFftPlan::<f64>::new(1).is_err());
         assert!(RealFftPlan::<f64>::new(12).is_err());
+        assert!(RealFftPlan::<f64>::new(1).is_ok());
         assert!(RealFftPlan::<f64>::new(2).is_ok());
+    }
+
+    #[test]
+    fn length_one_plan_is_identity() {
+        let plan = RealFftPlan::<f64>::new(1).unwrap();
+        assert_eq!(plan.spectrum_len(), 1);
+        let spec = plan.forward(&[4.25]).unwrap();
+        assert_eq!(spec[0], C::from_real(4.25));
+        assert_eq!(plan.inverse(&spec).unwrap(), vec![4.25]);
     }
 
     #[test]
@@ -197,6 +313,43 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn into_variants_are_bit_identical_to_allocating_path() {
+        for n in [2usize, 4, 8, 32, 128] {
+            let plan = RealFftPlan::<f64>::new(n).unwrap();
+            let x: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.83).sin() * 3.0).collect();
+            let spec = plan.forward(&x).unwrap();
+            let mut spec_into = vec![C::zero(); plan.spectrum_len()];
+            plan.forward_into(&x, &mut spec_into).unwrap();
+            assert_eq!(spec, spec_into, "forward_into drifted at n={n}");
+
+            let back = plan.inverse(&spec).unwrap();
+            let mut work = spec.clone();
+            let mut back_into = vec![0.0; n];
+            plan.inverse_into(&mut work, &mut back_into).unwrap();
+            assert_eq!(back, back_into, "inverse_into drifted at n={n}");
+        }
+    }
+
+    #[test]
+    fn into_variants_validate_lengths() {
+        let plan = RealFftPlan::<f64>::new(8).unwrap();
+        let mut short = vec![C::zero(); 4];
+        assert_eq!(
+            plan.forward_into(&[0.0; 8], &mut short),
+            Err(FftError::LengthMismatch { expected: 5, got: 4 })
+        );
+        assert_eq!(
+            plan.forward_into(&[0.0; 6], &mut [C::zero(); 5]),
+            Err(FftError::LengthMismatch { expected: 8, got: 6 })
+        );
+        let mut out = vec![0.0; 6];
+        assert_eq!(
+            plan.inverse_into(&mut [C::zero(); 5], &mut out),
+            Err(FftError::LengthMismatch { expected: 8, got: 6 })
+        );
     }
 
     #[test]

@@ -35,12 +35,27 @@ impl NormalizedAdjacency {
     /// Panics if `h.rows()` differs from the graph's node count.
     #[must_use]
     pub fn apply(&self, graph: &CsrGraph, h: &Matrix) -> Matrix {
-        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
         let mut out = Matrix::zeros(h.rows(), h.cols());
-        for v in 0..graph.num_nodes() {
-            self.accumulate_row(graph, h, v, out.row_mut(v));
-        }
+        self.apply_into(graph, h, &mut out);
         out
+    }
+
+    /// Write-into form of [`NormalizedAdjacency::apply`]: every entry of
+    /// `out` is fully overwritten (the self-loop term assigns, neighbor
+    /// terms accumulate), so callers can recycle an arbitrary buffer —
+    /// after a [`Matrix::resize`] — without zeroing it first. This is
+    /// the allocation-hoisted path GCN's serving forward uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows()` differs from the graph's node count or
+    /// `out.shape() != h.shape()`.
+    pub fn apply_into(&self, graph: &CsrGraph, h: &Matrix, out: &mut Matrix) {
+        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
+        assert_eq!(out.shape(), h.shape(), "output buffer shape must match input");
+        for v in 0..graph.num_nodes() {
+            self.write_row(graph, h, v, out.row_mut(v));
+        }
     }
 
     /// Row-restricted `Â · H`: output row `i` is the normalized sum for
@@ -56,26 +71,52 @@ impl NormalizedAdjacency {
     /// target id is out of range.
     #[must_use]
     pub fn apply_rows(&self, graph: &CsrGraph, h: &Matrix, rows: &[u32]) -> Matrix {
-        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
         let mut out = Matrix::zeros(rows.len(), h.cols());
-        for (i, &v) in rows.iter().enumerate() {
-            self.accumulate_row(graph, h, v as usize, out.row_mut(i));
-        }
+        self.apply_rows_into(graph, h, rows, &mut out);
         out
     }
 
-    /// Accumulates `(Â · H)_v` into `orow` — the shared kernel of
+    /// Write-into form of [`NormalizedAdjacency::apply_rows`]; like
+    /// [`NormalizedAdjacency::apply_into`], every output row is fully
+    /// overwritten so the buffer needs no zeroing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h.rows()` differs from the graph's node count,
+    /// `out.shape() != (rows.len(), h.cols())`, or a target id is out of
+    /// range.
+    pub fn apply_rows_into(
+        &self,
+        graph: &CsrGraph,
+        h: &Matrix,
+        rows: &[u32],
+        out: &mut Matrix,
+    ) {
+        assert_eq!(h.rows(), graph.num_nodes(), "feature rows must equal node count");
+        assert_eq!(
+            out.shape(),
+            (rows.len(), h.cols()),
+            "output buffer shape must match the target row set"
+        );
+        for (i, &v) in rows.iter().enumerate() {
+            self.write_row(graph, h, v as usize, out.row_mut(i));
+        }
+    }
+
+    /// Writes `(Â · H)_v` into `orow` — the shared kernel of
     /// [`NormalizedAdjacency::apply`] and
     /// [`NormalizedAdjacency::apply_rows`] (one code path keeps the two
-    /// bit-identical).
-    fn accumulate_row(&self, graph: &CsrGraph, h: &Matrix, v: usize, orow: &mut [f64]) {
+    /// bit-identical). The self-loop term *assigns* (overwriting
+    /// whatever the recycled buffer held) and neighbor terms accumulate,
+    /// so rows need no pre-zeroing.
+    fn write_row(&self, graph: &CsrGraph, h: &Matrix, v: usize, orow: &mut [f64]) {
         let cv = self.inv_sqrt_deg[v];
-        // self-loop term
+        // self-loop term overwrites the row
         {
             let hr = h.row(v);
             let w = cv * cv;
             for (o, &x) in orow.iter_mut().zip(hr) {
-                *o += w * x;
+                *o = w * x;
             }
         }
         for &u in graph.neighbors(v) {
@@ -137,6 +178,32 @@ mod tests {
         let lhs: f64 = (0..5).map(|i| ax[(i, 0)] * y[(i, 0)]).sum();
         let rhs: f64 = (0..5).map(|i| x[(i, 0)] * ay[(i, 0)]).sum();
         assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn into_variants_fully_overwrite_dirty_buffers() {
+        // The write-into kernels must not depend on the buffer's prior
+        // contents: a poisoned recycled buffer must give bit-identical
+        // results to a fresh allocation, for both the full and the
+        // row-restricted operator.
+        let g =
+            CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)], true).unwrap();
+        let a = NormalizedAdjacency::new(&g);
+        let h = Matrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin());
+        let fresh = a.apply(&g, &h);
+        let mut dirty = Matrix::filled(2, 9, f64::NAN);
+        dirty.resize(5, 3);
+        a.apply_into(&g, &h, &mut dirty);
+        assert_eq!(dirty, fresh, "recycled buffer drifted from fresh allocation");
+
+        let rows = [4u32, 0, 2];
+        let fresh_rows = a.apply_rows(&g, &h, &rows);
+        let mut dirty_rows = Matrix::filled(3, 3, f64::NAN);
+        a.apply_rows_into(&g, &h, &rows, &mut dirty_rows);
+        assert_eq!(dirty_rows, fresh_rows);
+        for (i, &v) in rows.iter().enumerate() {
+            assert_eq!(dirty_rows.row(i), fresh.row(v as usize), "row kernel must be shared");
+        }
     }
 
     #[test]

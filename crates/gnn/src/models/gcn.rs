@@ -23,6 +23,11 @@ pub struct Gcn {
     /// graph — even one with identical counts, or one reusing a freed
     /// allocation — can never hit stale coefficients.
     adj_cache: Option<(u64, NormalizedAdjacency)>,
+    /// Recycled aggregation output buffer for the inference forward
+    /// (`Â·H` is fully overwritten by `apply_into`, so one buffer serves
+    /// both layers across requests). Cleared on `clone_boxed` — forks
+    /// grow their own.
+    agg_scratch: Matrix,
 }
 
 impl Gcn {
@@ -43,6 +48,7 @@ impl Gcn {
             act1: Relu::new(),
             lin2: LinearLayer::new(num_classes, hidden_dim, compression, seed ^ 0xBEEF)?,
             adj_cache: None,
+            agg_scratch: Matrix::default(),
         })
     }
 
@@ -64,15 +70,28 @@ impl GnnModel for Gcn {
     }
 
     fn forward(&mut self, graph: &CsrGraph, features: &Matrix, train: bool) -> Matrix {
-        let adj = NormalizedAdjacency::new(graph);
-        let a1 = adj.apply(graph, features);
-        let h1 = self.act1.forward(&self.lin1.forward(&a1, train), train);
-        let a2 = adj.apply(graph, &h1);
-        self.lin2.forward(&a2, train)
+        // Reuse the instance-id-keyed coefficients and recycle one
+        // aggregation buffer for both layers: `apply_into` fully
+        // overwrites it, so a steady-state serving loop performs no
+        // aggregation allocations after the first request.
+        self.prepare_graph(graph);
+        let mut agg = std::mem::take(&mut self.agg_scratch);
+        let (_, adj) = self.adj_cache.as_ref().expect("just prepared");
+        agg.resize(features.rows(), features.cols());
+        adj.apply_into(graph, features, &mut agg);
+        let h1 = self.act1.forward(&self.lin1.forward(&agg, train), train);
+        agg.resize(h1.rows(), h1.cols());
+        adj.apply_into(graph, &h1, &mut agg);
+        let out = self.lin2.forward(&agg, train);
+        self.agg_scratch = agg;
+        out
     }
 
     fn backward(&mut self, graph: &CsrGraph, grad_logits: &Matrix) -> Matrix {
-        let adj = NormalizedAdjacency::new(graph);
+        // Reuse the coefficients the preceding forward cached for this
+        // graph (instance-id keyed, so never stale).
+        self.prepare_graph(graph);
+        let (_, adj) = self.adj_cache.as_ref().expect("just prepared");
         let g_a2 = self.lin2.backward(grad_logits);
         // Â is symmetric, so ∂L/∂h1 = Â·∂L/∂a2.
         let g_h1 = adj.apply(graph, &g_a2);
@@ -94,6 +113,7 @@ impl GnnModel for Gcn {
     fn clone_boxed(&self) -> Box<dyn GnnModel> {
         let mut copy = self.clone();
         copy.act1.clear_cached();
+        copy.agg_scratch = Matrix::default();
         Box::new(copy)
     }
 

@@ -286,7 +286,10 @@ pub(crate) mod testutil {
         };
 
         model.zero_grad();
-        let _ = model.forward(graph, features, false);
+        // `train = true` so every layer snapshots its backward caches
+        // (inference forwards skip them); no model uses dropout, so the
+        // values are identical to the inference pass.
+        let _ = model.forward(graph, features, true);
         let grad_x = model.backward(graph, &w);
         let mut analytic: Vec<Vec<f64>> = Vec::new();
         model.visit_params(&mut |p| analytic.push(p.grad.clone()));

@@ -32,7 +32,69 @@ pub struct SampledSubgraph {
     /// [`SampledSubgraph::local_of`]).
     pub batch_len: usize,
     /// Global id → local id for every interned node.
-    local_of: HashMap<u32, u32>,
+    local_of: InternTable,
+}
+
+/// Sentinel for "not interned" in the direct-indexed table.
+const NOT_INTERNED: u32 = u32::MAX;
+
+/// Largest graph for which the direct-indexed intern table is used
+/// (128 KB of `u32`s). A request interns thousands of (frequently
+/// repeated) ids, so on graphs this size a flat table beats the hash
+/// map's per-lookup hashing by a wide margin and its `O(|V|)`
+/// alloc+memset stays in the microsecond range; past this size the
+/// memset would rival a small request's entire inference, so larger
+/// graphs keep the map.
+const FLAT_INTERN_MAX_NODES: usize = 1 << 15;
+
+/// Global→local intern table: flat and direct-indexed on graphs small
+/// enough that an `O(|V|)` table is cheap, a hash map beyond that.
+/// Both variants intern in first-occurrence order, so the local
+/// numbering (and therefore every downstream result) is identical.
+#[derive(Debug, Clone)]
+enum InternTable {
+    /// `table[global]` is the local id, or [`NOT_INTERNED`].
+    Flat(Vec<u32>),
+    Map(HashMap<u32, u32>),
+}
+
+impl InternTable {
+    fn for_graph(num_nodes: usize) -> Self {
+        if num_nodes <= FLAT_INTERN_MAX_NODES {
+            InternTable::Flat(vec![NOT_INTERNED; num_nodes])
+        } else {
+            InternTable::Map(HashMap::new())
+        }
+    }
+
+    /// Interns `g` (first-occurrence order) and returns its local id.
+    fn intern(&mut self, g: u32, local_to_global: &mut Vec<u32>) -> u32 {
+        match self {
+            InternTable::Flat(table) => {
+                let slot = &mut table[g as usize];
+                if *slot == NOT_INTERNED {
+                    local_to_global.push(g);
+                    *slot = (local_to_global.len() - 1) as u32;
+                }
+                *slot
+            }
+            InternTable::Map(map) => *map.entry(g).or_insert_with(|| {
+                local_to_global.push(g);
+                (local_to_global.len() - 1) as u32
+            }),
+        }
+    }
+
+    fn get(&self, global: usize) -> Option<usize> {
+        match self {
+            InternTable::Flat(table) => {
+                table.get(global).copied().filter(|&l| l != NOT_INTERNED).map(|l| l as usize)
+            }
+            InternTable::Map(map) => {
+                u32::try_from(global).ok().and_then(|g| map.get(&g)).map(|&l| l as usize)
+            }
+        }
+    }
 }
 
 impl SampledSubgraph {
@@ -46,30 +108,26 @@ impl SampledSubgraph {
     #[must_use]
     pub fn build(graph: &CsrGraph, batch: &[usize], s1: usize, s2: usize, seed: u64) -> Self {
         let sampler = NeighborSampler::new(graph, seed);
-        let mut local_of: HashMap<u32, u32> = HashMap::new();
+        let mut local_of = InternTable::for_graph(graph.num_nodes());
         let mut local_to_global: Vec<u32> = Vec::new();
-        let mut intern = |g: u32, local_to_global: &mut Vec<u32>| -> u32 {
-            *local_of.entry(g).or_insert_with(|| {
-                local_to_global.push(g);
-                (local_to_global.len() - 1) as u32
-            })
-        };
         // Batch nodes first, so logits rows 0..batch_len are the batch
         // (each unique node once, in first-occurrence order).
         for &v in batch {
             assert!(v < graph.num_nodes(), "batch node {v} out of range");
-            let _ = intern(v as u32, &mut local_to_global);
+            let _ = local_of.intern(v as u32, &mut local_to_global);
         }
         let batch_len = local_to_global.len();
-        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut edges: Vec<(usize, usize)> = Vec::with_capacity(batch_len * s1 * 2);
         // Hop 1: sampled neighbors of the unique batch nodes (sampling
         // per unique node, so duplicated batch entries don't oversample
         // their neighborhood).
-        let mut frontier: Vec<u32> = Vec::new();
+        let mut frontier: Vec<u32> = Vec::with_capacity(batch_len * s1);
+        let mut draws: Vec<u32> = Vec::with_capacity(s1.max(s2));
         for lv in 0..batch_len {
             let v = local_to_global[lv] as usize;
-            for u in sampler.sample(v, s1) {
-                let lu = intern(u, &mut local_to_global) as usize;
+            sampler.sample_into(v, s1, &mut draws);
+            for &u in &draws {
+                let lu = local_of.intern(u, &mut local_to_global) as usize;
                 edges.push((lv, lu));
                 frontier.push(u);
             }
@@ -78,9 +136,10 @@ impl SampledSubgraph {
         frontier.dedup();
         // Hop 2: sampled neighbors of the frontier.
         for &u in &frontier {
-            let lu = intern(u, &mut local_to_global) as usize;
-            for w in sampler.sample(u as usize, s2) {
-                let lw = intern(w, &mut local_to_global) as usize;
+            let lu = local_of.intern(u, &mut local_to_global) as usize;
+            sampler.sample_into(u as usize, s2, &mut draws);
+            for &w in &draws {
+                let lw = local_of.intern(w, &mut local_to_global) as usize;
                 edges.push((lu, lw));
             }
         }
@@ -93,19 +152,22 @@ impl SampledSubgraph {
     /// sub-universe (batch nodes always are).
     #[must_use]
     pub fn local_of(&self, global: usize) -> Option<usize> {
-        u32::try_from(global).ok().and_then(|g| self.local_of.get(&g)).map(|&l| l as usize)
+        self.local_of.get(global)
     }
 
-    /// Gathers the sub-universe's feature rows from the global matrix.
+    /// Gathers the sub-universe's feature rows from the global matrix
+    /// (one row memcpy per interned node).
     ///
     /// # Panics
     ///
     /// Panics if `features` has fewer rows than the global graph.
     #[must_use]
     pub fn gather_features(&self, features: &Matrix) -> Matrix {
-        Matrix::from_fn(self.local_to_global.len(), features.cols(), |i, j| {
-            features[(self.local_to_global[i] as usize, j)]
-        })
+        let mut out = Matrix::zeros(self.local_to_global.len(), features.cols());
+        for (i, &g) in self.local_to_global.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(features.row(g as usize));
+        }
+        out
     }
 }
 
@@ -161,6 +223,22 @@ mod tests {
         // Every batch node got its s1 sampled arcs (with replacement, so
         // parallel arcs count individually) plus hop-2 reverse arcs.
         assert!(sub.graph.degree(0) >= 4);
+    }
+
+    #[test]
+    fn huge_graphs_fall_back_to_the_map_intern_table() {
+        // Above FLAT_INTERN_MAX_NODES the build must not allocate an
+        // O(|V|) table per request; the map variant interns with the
+        // same first-occurrence numbering.
+        let n = FLAT_INTERN_MAX_NODES + 1;
+        let g = CsrGraph::from_edges(n, &[(0, 1), (1, 2), (2, 0), (n - 1, 0)], true).unwrap();
+        let sub = SampledSubgraph::build(&g, &[n - 1, 0, 2], 3, 2, 7);
+        assert!(matches!(sub.local_of, InternTable::Map(_)));
+        assert_eq!(sub.batch_len, 3);
+        assert_eq!(&sub.local_to_global[..3], &[(n - 1) as u32, 0, 2]);
+        assert_eq!(sub.local_of(n - 1), Some(0));
+        assert_eq!(sub.local_of(0), Some(1));
+        assert_eq!(sub.local_of(n - 2), None);
     }
 
     #[test]

@@ -49,12 +49,24 @@ impl<'g> NeighborSampler<'g> {
     /// Panics if `node` is out of range.
     #[must_use]
     pub fn sample(&self, node: usize, s: usize) -> Vec<u32> {
+        let mut out = Vec::with_capacity(s);
+        self.sample_into(node, s, &mut out);
+        out
+    }
+
+    /// [`NeighborSampler::sample`] into a caller-provided buffer
+    /// (cleared first) — the serving loop reuses one buffer across the
+    /// thousands of per-request draws instead of allocating each time.
+    /// Identical draws to `sample` (same per-node RNG stream).
+    pub fn sample_into(&self, node: usize, s: usize, out: &mut Vec<u32>) {
         let neigh = self.graph.neighbors(node);
         let mut rng = Rng64::new(self.seed ^ (node as u64).wrapping_mul(0x9E37_79B9));
+        out.clear();
         if neigh.is_empty() {
-            return vec![node as u32; s];
+            out.resize(s, node as u32);
+            return;
         }
-        (0..s).map(|_| neigh[rng.next_below(neigh.len())]).collect()
+        out.extend((0..s).map(|_| neigh[rng.next_below(neigh.len())]));
     }
 
     /// Samples for every node of a batch, returning one `Vec` per node.

@@ -143,6 +143,18 @@ impl Matrix {
         self.data.is_empty()
     }
 
+    /// Reshapes in place to `rows × cols`, reusing the existing
+    /// allocation where possible. Entry values after the call are
+    /// unspecified (a mix of retained old data and zeros) — this is the
+    /// buffer-recycling primitive for write-into kernels that overwrite
+    /// every entry (e.g. `NormalizedAdjacency::apply_into` in
+    /// `blockgnn-gnn`), not a semantic resize.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Borrows row `i` as a slice.
     ///
     /// # Panics

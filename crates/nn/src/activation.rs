@@ -119,10 +119,18 @@ impl ActivationLayer {
 }
 
 impl Layer for ActivationLayer {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         let y = Matrix::from_fn(x.rows(), x.cols(), |i, j| self.kind.apply(x[(i, j)]));
-        self.cached_input = Some(x.clone());
-        self.cached_output = Some(y.clone());
+        if train {
+            self.cached_input = Some(x.clone());
+            self.cached_output = Some(y.clone());
+        } else {
+            // Inference forwards snapshot nothing (two matrix clones per
+            // layer on the serving hot path otherwise); drop any stale
+            // training snapshots so a mismatched backward fails loudly
+            // instead of using them.
+            self.clear_cached();
+        }
         y
     }
 

@@ -12,12 +12,22 @@
 //! * kernel grad:  `∂c_ij = IFFT( Σ_batch Ĝ_i ∘ conj(X̂_j) )` (a circular
 //!   cross-correlation, accumulated in the spectral domain over the batch
 //!   so only `p·q` IFFTs are paid per backward pass)
+//!
+//! Every signal involved is real, so all spectra are Hermitian and the
+//! layer works exclusively on **packed half-spectra**
+//! ([`blockgnn_fft::HalfSpectrum`], `n/2 + 1` bins): element-wise
+//! products and conjugate-products of Hermitian spectra stay Hermitian,
+//! which halves the MAC work and the resident spectral bytes of every
+//! path above. The inference hot loop additionally runs inside a
+//! reusable [`blockgnn_core::SpectralScratch`] (owned per layer, cloned
+//! *empty* into serving forks), so steady-state forwards perform zero
+//! heap allocations per row.
 
 use crate::error::NnError;
 use crate::layer::{ExecMode, Layer};
 use crate::param::Param;
-use blockgnn_core::CompressionStats;
-use blockgnn_fft::{is_power_of_two, Complex, FftPlan};
+use blockgnn_core::{CompressionStats, SpectralScratch};
+use blockgnn_fft::{is_power_of_two, Complex, HalfSpectrum, RealFftPlan};
 use blockgnn_linalg::init::InitRng;
 use blockgnn_linalg::Matrix;
 use std::sync::Arc;
@@ -25,10 +35,12 @@ use std::sync::Arc;
 /// Cached state from the latest forward pass.
 #[derive(Debug, Clone)]
 struct Cache {
-    /// `input_spectra[r][j]` = FFT of sample `r`'s `j`-th sub-vector.
-    input_spectra: Vec<Vec<Vec<Complex<f64>>>>,
-    /// `kernel_spectra[i*q + j]` = Ŵ_ij at forward time.
-    kernel_spectra: Vec<Vec<Complex<f64>>>,
+    /// `input_spectra[r][j]` = packed RFFT of sample `r`'s `j`-th
+    /// sub-vector.
+    input_spectra: Vec<Vec<HalfSpectrum<f64>>>,
+    /// Flat packed kernel spectra: block `(i, j)`'s `n/2 + 1` bins at
+    /// `[(i*q + j)*bins .. +bins]`.
+    kernel_spectra: Vec<Complex<f64>>,
     batch: usize,
 }
 
@@ -36,14 +48,16 @@ struct Cache {
 /// the inference-frozen representation a serving backend executes. Held
 /// behind an `Arc` so per-worker clones of a prepared layer (the
 /// parallel serving engine forks one backend per worker) share a single
-/// copy of the decompressed weights / cached spectra.
+/// copy of the decompressed weights / cached half-spectra.
 #[derive(Debug, Clone)]
 enum Prepared {
     /// Decompressed `out_dim × in_dim` dense weight for GEMM execution.
     Gemm(Matrix),
-    /// Kernel spectra `Ŵ_ij`, cached so repeated forwards skip the
-    /// per-call kernel FFTs of the training path.
-    Spectral(Vec<Vec<Complex<f64>>>),
+    /// Packed kernel half-spectra `Ŵ_ij`, cached so repeated forwards
+    /// skip the per-call kernel RFFTs of the training path. Stored flat
+    /// (block `(i, j)` at `[(i*q + j)*bins .. +bins]`, one contiguous
+    /// buffer) so the per-row MAC walks grid row `i` sequentially.
+    Spectral(Vec<Complex<f64>>),
 }
 
 /// A block-circulant linear layer `y = W_bc·x + b` over batched rows.
@@ -66,9 +80,14 @@ pub struct CirculantDense {
     /// Flattened kernels, block `(i, j)` at `[(i*q + j)*n .. +n]`.
     kernels: Param,
     bias: Param,
-    plan: FftPlan<f64>,
+    plan: RealFftPlan<f64>,
     cache: Option<Cache>,
     prepared: Option<Arc<Prepared>>,
+    /// Per-layer half-spectrum workspace, reused across rows and
+    /// requests. `SpectralScratch::clone` yields an empty scratch, so
+    /// forked serving replicas grow their own on first use and never
+    /// share hot buffers.
+    scratch: SpectralScratch,
 }
 
 impl CirculantDense {
@@ -97,7 +116,7 @@ impl CirculantDense {
             )));
         }
         let plan =
-            FftPlan::new(block_size).expect("power-of-two block size was just validated");
+            RealFftPlan::new(block_size).expect("power-of-two block size was just validated");
         let grid_rows = out_dim.div_ceil(block_size);
         let grid_cols = in_dim.div_ceil(block_size);
         let bound =
@@ -117,6 +136,7 @@ impl CirculantDense {
             plan,
             cache: None,
             prepared: None,
+            scratch: SpectralScratch::new(),
         })
     }
 
@@ -146,12 +166,13 @@ impl CirculantDense {
 
     /// On-chip footprint of this layer's spectra in the accelerator's
     /// Weight Buffer (see
-    /// [`blockgnn_core::BlockCirculantMatrix::spectral_weight_bytes`]);
-    /// computed from the grid dimensions alone, without materializing
-    /// the matrix.
+    /// [`blockgnn_core::BlockCirculantMatrix::spectral_weight_bytes`]):
+    /// 8 bytes per **packed** bin — `n/2 + 1` per block, the Hermitian
+    /// half-spectrum the hardware actually stores. Computed from the
+    /// grid dimensions alone, without materializing the matrix.
     #[must_use]
     pub fn spectral_weight_bytes(&self) -> usize {
-        self.grid_rows * self.grid_cols * self.block_size * 8
+        self.grid_rows * self.grid_cols * blockgnn_fft::half_spectrum_bins(self.block_size) * 8
     }
 
     /// The current bias vector (length `out_dim`).
@@ -195,67 +216,97 @@ impl CirculantDense {
         self.prepared.is_some()
     }
 
-    fn kernel_spectra(&self) -> Vec<Vec<Complex<f64>>> {
-        self.kernels
-            .data
-            .chunks_exact(self.block_size)
-            .map(|k| self.plan.forward_real(k).expect("kernel chunk matches plan"))
-            .collect()
+    fn kernel_spectra(&self) -> Vec<Complex<f64>> {
+        let bins = self.plan.spectrum_len();
+        let blocks = self.grid_rows * self.grid_cols;
+        let mut flat = vec![Complex::zero(); blocks * bins];
+        for (k, dst) in
+            self.kernels.data.chunks_exact(self.block_size).zip(flat.chunks_exact_mut(bins))
+        {
+            self.plan.forward_into(k, dst).expect("kernel chunk matches plan");
+        }
+        flat
     }
 
-    /// Algorithm 1 over a batch with the given kernel spectra; when
-    /// `capture` is provided, each row's input spectra are appended to it
-    /// (the training path needs them for the backward pass).
+    /// Algorithm 1 over a batch with the given packed kernel spectra;
+    /// when `capture` is provided, each row's input half-spectra are
+    /// appended to it (the training path needs them for the backward
+    /// pass). The hot loop runs entirely inside the layer's
+    /// [`SpectralScratch`]: per row, the only writes outside the scratch
+    /// land in the output matrix.
     fn spectral_apply(
-        &self,
+        &mut self,
         x: &Matrix,
-        kernel_spectra: &[Vec<Complex<f64>>],
-        mut capture: Option<&mut Vec<Vec<Vec<Complex<f64>>>>>,
+        kernel_spectra: &[Complex<f64>],
+        mut capture: Option<&mut Vec<Vec<HalfSpectrum<f64>>>>,
     ) -> Matrix {
         let n = self.block_size;
         let (p, q) = (self.grid_rows, self.grid_cols);
         let mut y = Matrix::zeros(x.rows(), self.out_dim);
         for r in 0..x.rows() {
-            let xs = self.split_spectra(x.row(r), q);
+            self.scratch.load_row(&self.plan, x.row(r), q);
+            if let Some(spectra) = capture.as_deref_mut() {
+                spectra.push(
+                    (0..q)
+                        .map(|j| HalfSpectrum::from_bins(n, self.scratch.spectrum(j).to_vec()))
+                        .collect(),
+                );
+            }
+            let (acc, time, input_spectra, bins) = self.scratch.mac_parts();
+            let row_out = y.row_mut(r);
             for i in 0..p {
-                let mut acc = vec![Complex::zero(); n];
-                for (j, xj) in xs.iter().enumerate() {
-                    let w = &kernel_spectra[i * q + j];
-                    for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xj) {
+                acc.fill(Complex::zero());
+                // Grid row i's packed spectra are contiguous; walk them
+                // in lockstep with the q input half-spectra.
+                let krow = &kernel_spectra[i * q * bins..(i + 1) * q * bins];
+                for (w, xs) in krow.chunks_exact(bins).zip(input_spectra.chunks_exact(bins)) {
+                    for ((a, &wv), &xv) in acc.iter_mut().zip(w).zip(xs) {
                         *a += wv * xv;
                     }
                 }
-                self.plan.inverse(&mut acc);
-                let row_out = y.row_mut(r);
-                for (t, c) in acc.iter().enumerate() {
-                    let idx = i * n + t;
-                    if idx < self.out_dim {
-                        row_out[idx] = c.re + self.bias.data[idx];
-                    }
+                self.plan.inverse_into(acc, time).expect("accumulator matches plan");
+                let start = i * n;
+                let take = n.min(self.out_dim - start);
+                for (o, (t, b)) in row_out[start..start + take]
+                    .iter_mut()
+                    .zip(time[..take].iter().zip(&self.bias.data[start..start + take]))
+                {
+                    *o = t + b;
                 }
-            }
-            if let Some(spectra) = capture.as_deref_mut() {
-                spectra.push(xs);
             }
         }
         y
     }
 
-    fn split_spectra(&self, row: &[f64], chunks: usize) -> Vec<Vec<Complex<f64>>> {
+    /// Packed half-spectra of a padded row split into `chunks` blocks —
+    /// allocating; used by the training/backward path only (the
+    /// inference loop goes through the scratch instead).
+    fn split_spectra(&self, row: &[f64], chunks: usize) -> Vec<HalfSpectrum<f64>> {
         let n = self.block_size;
-        let mut padded = row.to_vec();
-        padded.resize(chunks * n, 0.0);
-        padded
-            .chunks_exact(n)
-            .map(|sub| self.plan.forward_real(sub).expect("chunk matches plan"))
-            .collect()
+        let mut out = Vec::with_capacity(chunks);
+        let mut pad = vec![0.0; n];
+        for j in 0..chunks {
+            let start = j * n;
+            if start + n <= row.len() {
+                // Aligned chunk: transform straight from the row.
+                out.push(
+                    self.plan.forward_half(&row[start..start + n]).expect("chunk matches plan"),
+                );
+            } else {
+                let avail = row.len().saturating_sub(start);
+                pad[..avail].copy_from_slice(&row[start..]);
+                pad[avail..].fill(0.0);
+                out.push(self.plan.forward_half(&pad).expect("pad matches plan"));
+            }
+        }
+        out
     }
 }
 
 impl Layer for CirculantDense {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
         assert_eq!(x.cols(), self.in_dim, "circulant forward input width mismatch");
-        if let Some(prepared) = &self.prepared {
+        if let Some(prepared) = self.prepared.clone() {
             assert!(!train, "prepared circulant layers are inference-only");
             return match prepared.as_ref() {
                 Prepared::Gemm(w) => {
@@ -288,12 +339,16 @@ impl Layer for CirculantDense {
         );
         let cache = self.cache.as_ref().expect("backward called before forward");
         let n = self.block_size;
+        let bins = self.plan.spectrum_len();
         let (p, q) = (self.grid_rows, self.grid_cols);
         assert_eq!(grad_out.shape(), (cache.batch, self.out_dim), "grad shape mismatch");
 
-        // Spectral accumulator for kernel gradients: Σ_r Ĝ_i ∘ conj(X̂_j).
-        let mut kgrad_spec = vec![vec![Complex::<f64>::zero(); n]; p * q];
+        // Packed spectral accumulator for kernel gradients:
+        // Σ_r Ĝ_i ∘ conj(X̂_j). Hermitian throughout (products of
+        // half-spectra of real signals), so half the bins suffice.
+        let mut kgrad_spec = vec![vec![Complex::<f64>::zero(); bins]; p * q];
         let mut grad_in = Matrix::zeros(cache.batch, self.in_dim);
+        let mut time = vec![0.0; n];
 
         for r in 0..cache.batch {
             let g_row = grad_out.row(r);
@@ -301,7 +356,7 @@ impl Layer for CirculantDense {
             for (o, &gv) in g_row.iter().enumerate() {
                 self.bias.grad[o] += gv;
             }
-            // Split/pad the grad row and transform (p spectra).
+            // Split/pad the grad row and transform (p half-spectra).
             let g_spectra = self.split_spectra(g_row, p);
             let x_spectra = &cache.input_spectra[r];
 
@@ -309,7 +364,7 @@ impl Layer for CirculantDense {
             for (i, gi) in g_spectra.iter().enumerate() {
                 for (j, xj) in x_spectra.iter().enumerate() {
                     let acc = &mut kgrad_spec[i * q + j];
-                    for ((a, &gv), &xv) in acc.iter_mut().zip(gi).zip(xj) {
+                    for ((a, &gv), &xv) in acc.iter_mut().zip(gi.bins()).zip(xj.bins()) {
                         *a += gv * xv.conj();
                     }
                 }
@@ -317,31 +372,28 @@ impl Layer for CirculantDense {
 
             // Input gradient: ∂x_j = IFFT( Σ_i conj(Ŵ_ij) ∘ Ĝ_i ).
             let gi_row = grad_in.row_mut(r);
+            let mut acc = vec![Complex::zero(); bins];
             for j in 0..q {
-                let mut acc = vec![Complex::zero(); n];
+                acc.fill(Complex::zero());
                 for (i, gi) in g_spectra.iter().enumerate() {
-                    let w = &cache.kernel_spectra[i * q + j];
-                    for ((a, &wv), &gv) in acc.iter_mut().zip(w).zip(gi) {
+                    let w = &cache.kernel_spectra[(i * q + j) * bins..(i * q + j + 1) * bins];
+                    for ((a, &wv), &gv) in acc.iter_mut().zip(w).zip(gi.bins()) {
                         *a += wv.conj() * gv;
                     }
                 }
-                self.plan.inverse(&mut acc);
-                for (t, c) in acc.iter().enumerate() {
-                    let idx = j * n + t;
-                    if idx < self.in_dim {
-                        gi_row[idx] = c.re;
-                    }
-                }
+                self.plan.inverse_into(&mut acc, &mut time).expect("acc matches plan");
+                let start = j * n;
+                let take = n.min(self.in_dim.saturating_sub(start));
+                gi_row[start..start + take].copy_from_slice(&time[..take]);
             }
         }
 
         // One IFFT per block finalizes the kernel gradients.
-        for (b, spec) in kgrad_spec.into_iter().enumerate() {
-            let mut buf = spec;
-            self.plan.inverse(&mut buf);
+        for (b, mut spec) in kgrad_spec.into_iter().enumerate() {
+            self.plan.inverse_into(&mut spec, &mut time).expect("spec matches plan");
             let kg = &mut self.kernels.grad[b * n..(b + 1) * n];
-            for (g, c) in kg.iter_mut().zip(&buf) {
-                *g += c.re;
+            for (g, c) in kg.iter_mut().zip(&time) {
+                *g += c;
             }
         }
         grad_in
@@ -401,6 +453,18 @@ mod tests {
     }
 
     #[test]
+    fn spectral_weight_bytes_count_packed_bins() {
+        // 512×512, n=64 → 8×8 grid, 33 packed bins of 8 bytes per block.
+        let layer = CirculantDense::new(512, 512, 64, 0).unwrap();
+        assert_eq!(layer.spectral_weight_bytes(), 8 * 8 * 33 * 8);
+        assert_eq!(
+            layer.spectral_weight_bytes(),
+            layer.to_block_circulant().spectral_weight_bytes(),
+            "layer and exported-matrix accounting must agree"
+        );
+    }
+
+    #[test]
     fn backward_shapes() {
         let mut layer = CirculantDense::new(10, 6, 4, 3).unwrap();
         let x = Matrix::from_fn(2, 6, |i, j| (i + j) as f64 * 0.1);
@@ -443,6 +507,42 @@ mod tests {
     }
 
     #[test]
+    fn aligned_input_training_path_keeps_capture_and_gradients() {
+        // in_dim an exact multiple of n: every chunk is transformed
+        // straight from the row (no pad copy). The training path must
+        // still capture per-row half-spectra for backward, and the
+        // backward arithmetic over packed spectra must match the
+        // direct-convolution gradients.
+        let (out_dim, in_dim, n) = (8, 16, 4);
+        let mut layer = CirculantDense::new(out_dim, in_dim, n, 77).unwrap();
+        let x = Matrix::from_fn(3, in_dim, |i, j| ((i * in_dim + j) as f64 * 0.29).cos());
+        let y = layer.forward(&x, true);
+        // Captured spectra: one per row, q = in_dim/n chunks each, packed.
+        let cache = layer.cache.as_ref().expect("training forward caches");
+        assert_eq!(cache.input_spectra.len(), 3);
+        assert_eq!(cache.input_spectra[0].len(), in_dim / n);
+        assert_eq!(cache.input_spectra[0][0].bins().len(), n / 2 + 1);
+        // Finite-difference check of the input gradient under L = Σ y.
+        let gin = layer.backward(&Matrix::filled(3, out_dim, 1.0));
+        let eps = 1e-6;
+        for (i, j) in [(0usize, 0usize), (1, 7), (2, 15)] {
+            let mut plus = x.clone();
+            plus[(i, j)] += eps;
+            let mut minus = x.clone();
+            minus[(i, j)] -= eps;
+            let lp: f64 = layer.forward(&plus, false).as_slice().iter().sum();
+            let lm: f64 = layer.forward(&minus, false).as_slice().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - gin[(i, j)]).abs() < 1e-6 * numeric.abs().max(1.0),
+                "input grad [{i},{j}]: numeric {numeric} analytic {}",
+                gin[(i, j)]
+            );
+        }
+        let _ = y;
+    }
+
+    #[test]
     #[should_panic(expected = "inference-frozen")]
     fn prepared_layer_rejects_backward() {
         let mut layer = CirculantDense::new(6, 8, 4, 2).unwrap();
@@ -467,5 +567,20 @@ mod tests {
         let layer = CirculantDense::new(5, 7, 1, 9).unwrap();
         let s = layer.stats();
         assert_eq!(s.compressed_params(), s.dense_params());
+    }
+
+    #[test]
+    fn n1_layer_forward_and_backward_work() {
+        // The degenerate length-1 RFFT plan must serve the n=1 baseline
+        // grid end to end (forward + training backward).
+        let mut layer = CirculantDense::new(3, 4, 1, 9).unwrap();
+        let bcm = layer.to_block_circulant();
+        let x = Matrix::from_fn(2, 4, |i, j| (i as f64 + 1.0) * (j as f64 - 1.5));
+        let y = layer.forward(&x, true);
+        for r in 0..2 {
+            assert!(linf_distance(y.row(r), &bcm.matvec_direct(x.row(r))) < 1e-12);
+        }
+        let gin = layer.backward(&Matrix::filled(2, 3, 1.0));
+        assert_eq!(gin.shape(), (2, 4));
     }
 }

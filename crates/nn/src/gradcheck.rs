@@ -33,8 +33,12 @@ impl GradCheckReport {
 /// Checks a layer's parameter *and* input gradients against central
 /// finite differences.
 ///
-/// The layer must be deterministic in eval mode (`train = false` is used
-/// throughout, so dropout layers are effectively identity).
+/// Loss evaluations run in eval mode (`train = false`, so dropout
+/// layers are effectively identity); the one backward-producing forward
+/// uses `train = true` so every layer snapshots its backward caches
+/// (inference forwards skip them). The layer must therefore be
+/// deterministic across both modes — true for everything this
+/// workspace gradient-checks.
 ///
 /// # Panics
 ///
@@ -53,9 +57,9 @@ pub fn check_layer_gradients(
     let loss =
         |y: &Matrix| -> f64 { y.as_slice().iter().zip(w.as_slice()).map(|(a, b)| a * b).sum() };
 
-    // Analytic gradients.
+    // Analytic gradients (training mode, so backward caches are live).
     layer.zero_grad();
-    let _ = layer.forward(input, false);
+    let _ = layer.forward(input, true);
     let grad_in = layer.backward(&w);
     let mut analytic_params: Vec<Vec<f64>> = Vec::new();
     layer.visit_params(&mut |p| analytic_params.push(p.grad.clone()));

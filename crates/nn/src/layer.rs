@@ -79,6 +79,11 @@ impl Compression {
 
 /// A linear layer that is either dense or block-circulant — the only
 /// difference between the paper's uncompressed and compressed GNNs.
+// A model holds O(1) linear layers, so the size gap between the inline
+// variants (the circulant one carries its RFFT plan and spectral
+// scratch) costs nothing; boxing would add an indirection to every
+// forward instead.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LinearLayer {
     /// Dense variant.

@@ -249,19 +249,22 @@ fn weight_buffer_check_requires_whole_model_residency() {
     // (the CommandProcessor's cumulative slot accounting).
     let spec = blockgnn::graph::DatasetSpec::new("wb-co-residency", 50, 200, 602, 41);
     let ds = Arc::new(blockgnn::graph::Dataset::synthesize(&spec, 0.7, 1.0, 3));
-    // GCN 602 -> 800 -> 41 at n = 16: spectra of 243,200 B + 19,200 B;
-    // each fits the 262,144 B WB alone, the 262,400 B sum does not.
+    // GCN 602 -> 1424 -> 41 at n = 16 under *packed* half-spectrum
+    // accounting (9 bins × 8 B per block): spectra of 243,504 B +
+    // 19,224 B; each fits the 262,144 B WB alone, the 262,728 B sum
+    // does not.
     let built = EngineBuilder::new(ModelKind::Gcn, BackendKind::SimulatedAccel)
-        .hidden_dim(800)
+        .hidden_dim(1424)
         .compression(Compression::BlockCirculant { block_size: 16 })
         .build(Arc::clone(&ds));
     assert!(
         matches!(built.unwrap_err(), EngineError::Accel(_)),
         "per-layer-fitting model must still fail co-residency"
     );
-    // A slightly narrower hidden layer brings the sum under budget.
+    // A slightly narrower hidden layer (259,776 B total) brings the sum
+    // under budget.
     let ok = EngineBuilder::new(ModelKind::Gcn, BackendKind::SimulatedAccel)
-        .hidden_dim(768)
+        .hidden_dim(1408)
         .compression(Compression::BlockCirculant { block_size: 16 })
         .build(ds);
     assert!(ok.is_ok(), "co-resident model must deploy");
