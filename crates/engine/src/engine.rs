@@ -1,21 +1,23 @@
 //! `EngineBuilder` → [`Engine`] → [`Session`]: the serving flow.
 
 use crate::backend::{
-    BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
-    SimulatedAccelBackend, SpectralBackend,
+    BackendKind, DenseBackend, ExecutionBackend, RequestShape, SimulatedAccelBackend,
+    SpectralBackend,
 };
 use crate::error::EngineError;
 use crate::request::{ExecOutcome, InferRequest, InferResponse, RequestMode, PAPER_FANOUTS};
 use crate::stats::ServeStats;
+use crate::versioned::{GraphEpoch, GraphHandle, ResidencyPolicy, SharedGraphState};
 use blockgnn_gnn::batch::MergedUniverse;
 use blockgnn_gnn::sampled::SampledSubgraph;
 use blockgnn_gnn::{build_model_with_policy, CompressionPolicy, GnnModel, ModelKind};
-use blockgnn_graph::Dataset;
+use blockgnn_graph::{Dataset, GraphDelta};
 use blockgnn_nn::{Compression, LinearLayer};
 use blockgnn_perf::coeffs::HardwareCoeffs;
 use blockgnn_perf::params::CirCoreParams;
+use blockgnn_perf::resources::DRAM_BYTES;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Configures and constructs an [`Engine`].
@@ -45,6 +47,7 @@ pub struct EngineBuilder {
     fanouts: (usize, usize),
     circore: CirCoreParams,
     coeffs: HardwareCoeffs,
+    graph_budget: Option<usize>,
 }
 
 impl EngineBuilder {
@@ -63,6 +66,7 @@ impl EngineBuilder {
             fanouts: PAPER_FANOUTS,
             circore: CirCoreParams::base(),
             coeffs: HardwareCoeffs::zc706(),
+            graph_budget: None,
         }
     }
 
@@ -114,6 +118,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Device-memory budget (bytes) the §IV-B/§IV-C residency check
+    /// enforces when graph updates grow the node count: the grown
+    /// graph's features plus the model's packed weight spectra must fit,
+    /// or [`Engine::apply_delta`] rejects the delta with
+    /// [`EngineError::GraphBudget`]. Defaults to the ZC706's 1 GB DRAM
+    /// for [`BackendKind::SimulatedAccel`] and to no limit for the
+    /// software backends.
+    #[must_use]
+    pub fn graph_budget_bytes(mut self, budget: usize) -> Self {
+        self.graph_budget = Some(budget);
+        self
+    }
+
     /// Builds an engine with freshly initialized weights (inference over
     /// an untrained model — useful for parity tests and benchmarks; for
     /// serving a trained model, see [`EngineBuilder::build_with_model`]).
@@ -151,6 +168,7 @@ impl EngineBuilder {
         let model_kind = model.kind();
         let block_size = largest_block_size(model.as_mut());
         let hidden_dim = model.hidden_dim();
+        let spectral_weight_bytes = spectral_weight_bytes(model.as_mut());
         let backend: Box<dyn ExecutionBackend> = match self.backend {
             BackendKind::Dense => Box::new(DenseBackend::new(model)),
             BackendKind::Spectral => Box::new(SpectralBackend::new(model)),
@@ -162,13 +180,26 @@ impl EngineBuilder {
                 block_size,
             )?),
         };
+        // Graph updates that grow the node count re-run this residency
+        // policy: the simulated accelerator is bounded by device DRAM
+        // (§IV-C) unless overridden; software backends only check when
+        // the caller set an explicit budget.
+        let budget_bytes = match (self.backend, self.graph_budget) {
+            (_, Some(budget)) => Some(budget),
+            (BackendKind::SimulatedAccel, None) => Some(DRAM_BYTES),
+            _ => None,
+        };
+        let residency = budget_bytes.map(|budget_bytes| ResidencyPolicy {
+            spectral_weight_bytes,
+            bytes_per_feature: self.backend.bytes_per_feature(),
+            budget_bytes,
+        });
         Ok(Engine {
-            dataset,
+            shared: Arc::new(SharedGraphState::new(dataset, residency)),
             backend,
             model_kind,
             backend_kind: self.backend,
             fanouts: self.fanouts,
-            full_graph_cache: Arc::new(Mutex::new(None)),
         })
     }
 }
@@ -185,29 +216,48 @@ fn largest_block_size(model: &mut dyn GnnModel) -> usize {
     n
 }
 
-/// A prepared model bound to one dataset and one execution backend — the
-/// single front door for inference.
+/// Summed packed spectral footprint of the model's circulant layers —
+/// the weight-side term of the residency budget (same accounting as the
+/// §IV-B Weight-Buffer check).
+fn spectral_weight_bytes(model: &mut dyn GnnModel) -> usize {
+    let mut bytes = 0usize;
+    model.visit_linear_layers(&mut |layer| {
+        if let LinearLayer::Circulant(c) = layer {
+            bytes += c.spectral_weight_bytes();
+        }
+    });
+    bytes
+}
+
+/// A prepared model bound to one (versioned) dataset and one execution
+/// backend — the single front door for inference.
 ///
 /// The engine owns immutable prepared weights: construction freezes the
 /// model (see [`blockgnn_nn::ExecMode`]), and every [`Session`] serves
-/// from that frozen state. Open a session with [`Engine::session`], or
-/// fork replicas for concurrent serving with [`Engine::fork`]: forks
-/// share the prepared weights, the dataset, *and* the interior-mutable
-/// full-graph logits cache, so a whole worker pool computes the full
-/// graph at most once.
+/// from that frozen state. The *graph*, by contrast, is versioned:
+/// [`Engine::apply_delta`] applies a [`GraphDelta`] atomically and
+/// publishes a new snapshot (fresh
+/// [`blockgnn_graph::CsrGraph::instance_id`], version bumped by one)
+/// that the next micro-batch picks up — in-flight batches finish on the
+/// version they resolved at entry, and every response reports the
+/// version it was served from.
+///
+/// Open a session with [`Engine::session`], or fork replicas for
+/// concurrent serving with [`Engine::fork`]: forks share the prepared
+/// weights *and* the versioned graph state (current snapshot, mutable
+/// master, version-keyed full-graph logits cache), so a whole worker
+/// pool computes the full graph at most once per version and observes
+/// updates in the same total order.
 pub struct Engine {
-    pub(crate) dataset: Arc<Dataset>,
+    /// Versioned graph state shared across the engine family (see
+    /// [`crate::versioned`]): current epoch, mutable master, and the
+    /// version-keyed full-graph cache.
+    pub(crate) shared: Arc<SharedGraphState>,
     pub(crate) backend: Box<dyn ExecutionBackend>,
     pub(crate) model_kind: ModelKind,
     pub(crate) backend_kind: BackendKind,
     /// Fan-outs the cycle model charges for full-graph requests.
     pub(crate) fanouts: (usize, usize),
-    /// Full-graph output, computed at most once per engine *family*
-    /// (weights are immutable, so it can never go stale). Shared across
-    /// [`Engine::fork`] replicas behind a lock: the first requester
-    /// computes while holding it, so concurrent workers never duplicate
-    /// the full-graph pass.
-    pub(crate) full_graph_cache: Arc<Mutex<Option<BackendOutput>>>,
 }
 
 impl Engine {
@@ -229,10 +279,45 @@ impl Engine {
         self.backend_kind
     }
 
-    /// The dataset handle requests are resolved against.
+    /// The currently served dataset snapshot (updates swap in a new
+    /// `Arc`; holders of the returned one are unaffected).
     #[must_use]
-    pub fn dataset(&self) -> &Arc<Dataset> {
-        &self.dataset
+    pub fn dataset(&self) -> Arc<Dataset> {
+        Arc::clone(&self.shared.epoch().dataset)
+    }
+
+    /// The currently served graph version (0 until the first applied
+    /// delta).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.shared.version()
+    }
+
+    /// Applies a [`GraphDelta`] atomically and publishes the new graph
+    /// version, returning it. The swap happens between micro-batches:
+    /// executions already in flight finish on the version they resolved,
+    /// the next batch (on every fork) sees the new one. The full-graph
+    /// logits cache is version-keyed, so the next full-graph request
+    /// recomputes; when the delta grows the node count, the §IV-B/§IV-C
+    /// feature-residency check re-runs first (see
+    /// [`EngineBuilder::graph_budget_bytes`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Delta`] for invalid deltas (missing edge,
+    /// out-of-range node, bad feature width, empty delta);
+    /// [`EngineError::GraphBudget`] when growth violates the residency
+    /// budget. The served graph is untouched on failure.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<u64, EngineError> {
+        Ok(self.shared.apply_delta(delta)?.version)
+    }
+
+    /// A cloneable handle for applying deltas and reading the version
+    /// without holding any engine replica — what the serving runtime
+    /// keeps after the workers take ownership of the forks.
+    #[must_use]
+    pub fn graph_handle(&self) -> GraphHandle {
+        GraphHandle { shared: Arc::clone(&self.shared) }
     }
 
     /// Opens a serving session. Sessions borrow the engine mutably (one
@@ -245,27 +330,29 @@ impl Engine {
     /// Drops the full-graph logits cache so the next full-graph request
     /// recomputes (and re-charges the hardware models). Useful for
     /// benchmarking the execution path itself; regular serving never
-    /// needs this, since an engine's weights are immutable. Affects
-    /// every [`Engine::fork`] replica — the cache is shared.
+    /// needs this — the cache is version-keyed and [`Engine::apply_delta`]
+    /// already invalidates it. Affects every [`Engine::fork`] replica —
+    /// the cache is shared.
     pub fn clear_full_graph_cache(&self) {
-        *self.full_graph_cache.lock().expect("cache lock") = None;
+        *self.shared.cache.lock().expect("cache lock") = None;
     }
 
     /// Forks an independent replica for another worker thread: the
     /// backend's prepared weights and cached spectra are `Arc`-shared
-    /// (see [`ExecutionBackend::fork`]), as are the dataset handle and
-    /// the full-graph logits cache. Forks execute concurrently — this
-    /// is how the serving runtime places one engine per worker without
-    /// duplicating the model.
+    /// (see [`ExecutionBackend::fork`]), as is the whole versioned graph
+    /// state — snapshot, mutable master, and the version-keyed
+    /// full-graph logits cache. Forks execute concurrently and observe
+    /// graph updates in the same total order — this is how the serving
+    /// runtime places one engine per worker without duplicating the
+    /// model.
     #[must_use]
     pub fn fork(&self) -> Engine {
         Engine {
-            dataset: Arc::clone(&self.dataset),
+            shared: Arc::clone(&self.shared),
             backend: self.backend.fork(),
             model_kind: self.model_kind,
             backend_kind: self.backend_kind,
             fanouts: self.fanouts,
-            full_graph_cache: Arc::clone(&self.full_graph_cache),
         }
     }
 
@@ -282,15 +369,28 @@ impl Engine {
         &mut self,
         request: &InferRequest,
     ) -> Result<ExecOutcome, EngineError> {
-        crate::request::validate_request(request, self.dataset.num_nodes())?;
+        let epoch = self.shared.epoch();
+        self.execute_request_on(&epoch, request)
+    }
+
+    /// Executes one request against a resolved snapshot — the shared
+    /// core of [`Engine::execute_request`] and the coalesced batcher
+    /// (which resolves one epoch for its whole batch, making updates
+    /// atomic between micro-batches).
+    fn execute_request_on(
+        &mut self,
+        epoch: &GraphEpoch,
+        request: &InferRequest,
+    ) -> Result<ExecOutcome, EngineError> {
+        crate::request::validate_request(request, epoch.dataset.num_nodes())?;
         match request.mode {
-            RequestMode::FullGraph => Ok(self.full_graph_outcome(&request.nodes)),
+            RequestMode::FullGraph => Ok(self.full_graph_outcome(epoch, &request.nodes)),
             RequestMode::Sampled { s1, s2, seed } => {
                 // The subgraph interns duplicate request nodes to one
                 // local row; `local_of` maps every request position back.
                 let sub =
-                    SampledSubgraph::build(&self.dataset.graph, &request.nodes, s1, s2, seed);
-                let local_features = sub.gather_features(&self.dataset.features);
+                    SampledSubgraph::build(&epoch.dataset.graph, &request.nodes, s1, s2, seed);
+                let local_features = sub.gather_features(&epoch.dataset.features);
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
                 let out = self.backend.execute(&sub.graph, &local_features, shape);
                 let logits = crate::request::sampled_rows(&out.logits, &sub, &request.nodes);
@@ -301,24 +401,32 @@ impl Engine {
                     from_cache: false,
                     parts: 1,
                     batch_size: 1,
+                    graph_version: epoch.version,
                 })
             }
         }
     }
 
-    /// Answers one full-graph request through the shared cache,
-    /// computing the full-graph pass under the cache lock if nobody has
-    /// yet (concurrent forks block rather than duplicate the work).
-    fn full_graph_outcome(&mut self, nodes: &[usize]) -> ExecOutcome {
-        let mut guard = self.full_graph_cache.lock().expect("cache lock");
-        let from_cache = guard.is_some();
+    /// Answers one full-graph request through the shared version-keyed
+    /// cache, computing the full-graph pass under the cache lock if the
+    /// snapshot's version is not the cached one (concurrent forks block
+    /// rather than duplicate the work; a delta bumps the version, so a
+    /// stale entry can never answer).
+    fn full_graph_outcome(&mut self, epoch: &GraphEpoch, nodes: &[usize]) -> ExecOutcome {
+        let mut guard = self.shared.cache.lock().expect("cache lock");
+        let from_cache = matches!(&*guard, Some((v, _)) if *v == epoch.version);
         if !from_cache {
             let shape =
-                RequestShape { target_nodes: self.dataset.num_nodes(), fanouts: self.fanouts };
-            let out = self.backend.execute(&self.dataset.graph, &self.dataset.features, shape);
-            *guard = Some(out);
+                RequestShape { target_nodes: epoch.dataset.num_nodes(), fanouts: self.fanouts };
+            let out =
+                self.backend.execute(&epoch.dataset.graph, &epoch.dataset.features, shape);
+            // A batch still draining an older version may pass through
+            // here after a newer version was cached; it stores its own
+            // version (hits require an exact match, so this only costs
+            // the newer version one recomputation, never correctness).
+            *guard = Some((epoch.version, out));
         }
-        let cached = guard.as_ref().expect("just populated");
+        let (_, cached) = guard.as_ref().expect("just populated");
         let logits = crate::request::full_graph_rows(&cached.logits, nodes);
         // Cache hits cost the hardware nothing — only the fresh
         // computation carries its cycle/energy report, so summing
@@ -332,6 +440,7 @@ impl Engine {
             from_cache,
             parts: usize::from(!from_cache),
             batch_size: 1,
+            graph_version: epoch.version,
         }
     }
 
@@ -353,7 +462,13 @@ impl Engine {
     ///
     /// Per-request errors (out-of-range nodes, empty sampled requests)
     /// fail only their own slot, never the batch.
+    ///
+    /// The graph snapshot is resolved **once** for the whole batch:
+    /// every member executes against the same version (reported in its
+    /// outcome), and a concurrent [`Engine::apply_delta`] only takes
+    /// effect from the next batch on.
     pub fn infer_coalesced(&mut self, requests: &[InferRequest]) -> CoalescedOutcome {
+        let epoch = self.shared.epoch();
         let batch_size = requests.len();
         let mut outcomes: Vec<Option<Result<ExecOutcome, EngineError>>> =
             (0..batch_size).map(|_| None).collect();
@@ -370,7 +485,7 @@ impl Engine {
                 continue;
             }
             leaders.insert(request, i);
-            if let Err(e) = crate::request::validate_request(request, self.dataset.num_nodes())
+            if let Err(e) = crate::request::validate_request(request, epoch.dataset.num_nodes())
             {
                 outcomes[i] = Some(Err(e));
                 continue;
@@ -378,14 +493,14 @@ impl Engine {
             match request.mode {
                 RequestMode::FullGraph => {
                     unique_executions += 1;
-                    let mut outcome = self.full_graph_outcome(&request.nodes);
+                    let mut outcome = self.full_graph_outcome(&epoch, &request.nodes);
                     outcome.batch_size = batch_size;
                     outcomes[i] = Some(Ok(outcome));
                 }
                 RequestMode::Sampled { s1, s2, seed } => {
                     unique_executions += 1;
                     let sub = SampledSubgraph::build(
-                        &self.dataset.graph,
+                        &epoch.dataset.graph,
                         &request.nodes,
                         s1,
                         s2,
@@ -396,7 +511,7 @@ impl Engine {
             }
         }
         let merged_universe_nodes =
-            self.execute_sampled_group(requests, &mut outcomes, &sampled);
+            self.execute_sampled_group(&epoch, requests, &mut outcomes, &sampled);
         drop(leaders);
         let deduped = followers.len();
         for (i, leader) in followers {
@@ -435,6 +550,7 @@ impl Engine {
     /// Returns the executed universe's node count.
     fn execute_sampled_group(
         &mut self,
+        epoch: &GraphEpoch,
         requests: &[InferRequest],
         outcomes: &mut [Option<Result<ExecOutcome, EngineError>>],
         sampled: &[(usize, SampledSubgraph, (usize, usize))],
@@ -446,7 +562,7 @@ impl Engine {
                 // One unique sampled request: execute its sub-universe
                 // directly (bit-identical to the merged path, without
                 // copying the adjacency into a one-block merge).
-                let local_features = sub.gather_features(&self.dataset.features);
+                let local_features = sub.gather_features(&epoch.dataset.features);
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: *fanouts };
                 let out = self.backend.execute(&sub.graph, &local_features, shape);
                 let logits =
@@ -458,13 +574,14 @@ impl Engine {
                     from_cache: false,
                     parts: 1,
                     batch_size,
+                    graph_version: epoch.version,
                 }));
                 sub.local_to_global.len()
             }
             many => {
                 let subs: Vec<&SampledSubgraph> = many.iter().map(|(_, sub, _)| sub).collect();
                 let merged = MergedUniverse::build(&subs);
-                let merged_features = merged.gather_features(&self.dataset.features);
+                let merged_features = merged.gather_features(&epoch.dataset.features);
                 // The merged call's own hardware charge describes the
                 // whole universe; it is discarded and each request is
                 // re-charged below on its own sub-universe shape, so
@@ -472,7 +589,7 @@ impl Engine {
                 let shape =
                     RequestShape { target_nodes: merged.total_targets, fanouts: many[0].2 };
                 let out = self.backend.execute(&merged.graph, &merged_features, shape);
-                let feature_dim = self.dataset.feature_dim();
+                let feature_dim = epoch.dataset.feature_dim();
                 let num_classes = out.logits.cols();
                 for (block, (i, sub, fanouts)) in many.iter().enumerate() {
                     let logits = merged.scatter(&out.logits, block, sub, &requests[*i].nodes);
@@ -493,6 +610,7 @@ impl Engine {
                         from_cache: false,
                         parts: 1,
                         batch_size,
+                        graph_version: epoch.version,
                     }));
                 }
                 merged.universe.len()
@@ -523,13 +641,18 @@ pub struct CoalescedOutcome {
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let epoch = self.shared.epoch();
         f.debug_struct("Engine")
             .field("model", &self.model_kind)
             .field("backend", &self.backend_kind)
-            .field("dataset", &self.dataset.name)
+            .field("dataset", &epoch.dataset.name)
+            .field("graph_version", &epoch.version)
             .field(
                 "full_graph_cached",
-                &self.full_graph_cache.lock().expect("cache lock").is_some(),
+                &matches!(
+                    &*self.shared.cache.lock().expect("cache lock"),
+                    Some((v, _)) if *v == epoch.version
+                ),
             )
             .finish()
     }

@@ -2,6 +2,7 @@
 //! a response.
 
 use blockgnn_accel::AccelError;
+use blockgnn_graph::DeltaError;
 use blockgnn_nn::NnError;
 use std::error::Error;
 use std::fmt;
@@ -26,6 +27,23 @@ pub enum EngineError {
     EmptyRequest,
     /// A parallel engine was requested with zero worker threads.
     NoWorkers,
+    /// A graph update was rejected by the versioned graph (missing
+    /// edge, out-of-range node, bad feature row, empty delta); the
+    /// served graph stays at its previous version.
+    Delta(DeltaError),
+    /// A delta would grow the graph past the engine's feature-residency
+    /// budget (the §IV-B/§IV-C bound: graphs exceeding device memory
+    /// must be partitioned, which a live engine cannot do mid-flight).
+    GraphBudget {
+        /// Bytes the grown graph would need resident.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A delta was offered to an engine serving a frozen snapshot (the
+    /// partition-parallel engine plans its shards once and cannot
+    /// absorb mutations).
+    ImmutableGraph,
 }
 
 impl fmt::Display for EngineError {
@@ -40,11 +58,28 @@ impl fmt::Display for EngineError {
             EngineError::NoWorkers => {
                 write!(f, "a parallel engine needs at least one worker thread")
             }
+            EngineError::Delta(e) => write!(f, "graph update rejected: {e}"),
+            EngineError::GraphBudget { needed, budget } => {
+                write!(
+                    f,
+                    "update would grow the graph past the residency budget \
+                     ({needed} bytes needed, {budget} allowed)"
+                )
+            }
+            EngineError::ImmutableGraph => {
+                write!(f, "this engine serves a frozen graph snapshot; updates not supported")
+            }
         }
     }
 }
 
 impl Error for EngineError {}
+
+impl From<DeltaError> for EngineError {
+    fn from(e: DeltaError) -> Self {
+        EngineError::Delta(e)
+    }
+}
 
 impl From<NnError> for EngineError {
     fn from(e: NnError) -> Self {

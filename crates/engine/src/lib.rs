@@ -17,6 +17,14 @@
 //!   session answers micro-batched [`InferRequest`]s (full-graph or
 //!   sampled two-hop subgraph per request) and accumulates
 //!   [`ServeStats`] (latency, nodes/sec, simulated cycles).
+//! * **Versioned mutable graphs** — [`Engine::apply_delta`] applies a
+//!   [`GraphDelta`] (edge add/remove, feature updates, appended nodes)
+//!   atomically: a new snapshot with a bumped version is published for
+//!   the *next* micro-batch, in-flight requests finish on the old one,
+//!   the full-graph logits cache is version-keyed, and every
+//!   [`InferResponse`] reports the [`InferResponse::graph_version`] it
+//!   was served from. [`GraphHandle`] applies deltas without owning an
+//!   engine replica (what the serving runtime holds).
 //! * [`Engine::into_parallel`] → [`ParallelEngine`] → [`ParallelSession`]
 //!   — partition-parallel serving (§IV-C): the graph is split into
 //!   memory-budgeted [`blockgnn_graph::GraphPart`]s, one forked backend
@@ -61,6 +69,7 @@ mod error;
 mod parallel;
 mod request;
 mod stats;
+mod versioned;
 
 pub use backend::{
     BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
@@ -76,3 +85,7 @@ pub use request::{
     PAPER_FANOUTS,
 };
 pub use stats::{LatencyHistogram, ServeStats};
+pub use versioned::GraphHandle;
+// Mutation types callers hand to `Engine::apply_delta`, re-exported so
+// serving code does not need a direct `blockgnn-graph` dependency.
+pub use blockgnn_graph::{DeltaError, GraphDelta};

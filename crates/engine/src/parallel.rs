@@ -82,8 +82,18 @@ impl Engine {
             pool.push(self.backend.fork());
         }
         pool.insert(0, self.backend);
+        // The parallel engine freezes the graph at the current version:
+        // its partition plan cannot absorb later deltas, so it takes a
+        // snapshot (dataset + version + any cache entry for exactly
+        // this version) and serves it immutably.
+        let epoch = self.shared.epoch();
+        let full_graph_cache = match &*self.shared.cache.lock().expect("cache lock") {
+            Some((v, out)) if *v == epoch.version => Some(out.clone()),
+            _ => None,
+        };
         let mut engine = ParallelEngine {
-            dataset: self.dataset,
+            dataset: Arc::clone(&epoch.dataset),
+            graph_version: epoch.version,
             workers: pool,
             model_kind: self.model_kind,
             backend_kind: self.backend_kind,
@@ -91,10 +101,7 @@ impl Engine {
             part_budget_bytes: DEFAULT_PART_BUDGET_BYTES,
             min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
             parts: Vec::new(),
-            // Adopt whatever the sequential engine (and its forks) had
-            // already computed; the parallel engine recomputes shards
-            // itself from here on, so it takes a private snapshot.
-            full_graph_cache: self.full_graph_cache.lock().expect("cache lock").clone(),
+            full_graph_cache,
         };
         engine.replan_parts();
         Ok(engine)
@@ -122,6 +129,9 @@ impl Engine {
 /// ```
 pub struct ParallelEngine {
     dataset: Arc<Dataset>,
+    /// The graph version frozen at [`Engine::into_parallel`] time,
+    /// reported on every response.
+    graph_version: u64,
     /// One backend replica per worker; index 0 is the original.
     workers: Vec<Box<dyn ExecutionBackend>>,
     model_kind: ModelKind,
@@ -158,6 +168,24 @@ impl ParallelEngine {
     #[must_use]
     pub fn dataset(&self) -> &Arc<Dataset> {
         &self.dataset
+    }
+
+    /// The graph version this engine froze at conversion time.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.graph_version
+    }
+
+    /// Partition-parallel engines serve a frozen snapshot: the shard
+    /// plan is computed once and cannot absorb mutations, so every
+    /// delta is rejected. Route updates to a [`Engine`]-backed worker
+    /// pool instead.
+    ///
+    /// # Errors
+    ///
+    /// Always [`EngineError::ImmutableGraph`].
+    pub fn apply_delta(&self, _delta: &blockgnn_graph::GraphDelta) -> Result<u64, EngineError> {
+        Err(EngineError::ImmutableGraph)
     }
 
     /// The full graph's partition plan: contiguous parts with their
@@ -263,7 +291,15 @@ impl ParallelEngine {
         request: &InferRequest,
     ) -> Result<ExecOutcome, EngineError> {
         let (logits, sim, energy_joules, from_cache, parts) = self.run_request(request)?;
-        Ok(ExecOutcome { logits, sim, energy_joules, from_cache, parts, batch_size: 1 })
+        Ok(ExecOutcome {
+            logits,
+            sim,
+            energy_joules,
+            from_cache,
+            parts,
+            batch_size: 1,
+            graph_version: self.graph_version,
+        })
     }
 
     /// Resolves and executes one request (the parallel counterpart of
@@ -356,6 +392,7 @@ impl std::fmt::Debug for ParallelEngine {
             .field("model", &self.model_kind)
             .field("backend", &self.backend_kind)
             .field("dataset", &self.dataset.name)
+            .field("graph_version", &self.graph_version)
             .field("workers", &self.workers.len())
             .field("parts", &self.parts.len())
             .field("full_graph_cached", &self.full_graph_cache.is_some())

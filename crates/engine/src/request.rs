@@ -108,6 +108,12 @@ pub struct InferResponse {
     /// Number of requests coalesced into the execution that answered
     /// this one (1 when served alone).
     pub batch_size: usize,
+    /// Version of the graph this answer was computed against (0 until
+    /// the first applied [`blockgnn_graph::GraphDelta`]). A response's
+    /// version is resolved once per micro-batch, so concurrent updates
+    /// never land mid-batch — in-flight requests finish on the version
+    /// they started on.
+    pub graph_version: u64,
 }
 
 /// The raw outcome of executing one request — everything about the
@@ -130,6 +136,9 @@ pub struct ExecOutcome {
     pub parts: usize,
     /// Requests coalesced into the producing execution.
     pub batch_size: usize,
+    /// Graph version the execution resolved (see
+    /// [`InferResponse::graph_version`]).
+    pub graph_version: u64,
 }
 
 /// Rejects requests naming nodes outside the served graph.
@@ -190,7 +199,15 @@ pub fn assemble_response(
     compute_time: Duration,
     stats: &mut ServeStats,
 ) -> InferResponse {
-    let ExecOutcome { logits, sim, energy_joules, from_cache, parts, batch_size } = outcome;
+    let ExecOutcome {
+        logits,
+        sim,
+        energy_joules,
+        from_cache,
+        parts,
+        batch_size,
+        graph_version,
+    } = outcome;
     let predictions: Vec<usize> = (0..logits.rows())
         .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
         .collect();
@@ -205,6 +222,7 @@ pub fn assemble_response(
         from_cache,
         parts,
         batch_size,
+        graph_version,
     };
     stats.record_response(&response);
     response

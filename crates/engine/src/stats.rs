@@ -257,6 +257,7 @@ mod tests {
             from_cache,
             parts,
             batch_size: 1,
+            graph_version: 0,
         }
     }
 

@@ -13,6 +13,14 @@ pub enum GraphError {
         /// The declared node count.
         num_nodes: usize,
     },
+    /// A splice asked to remove an arc the graph does not hold (after
+    /// the splice's own additions were counted).
+    MissingArc {
+        /// Source of the missing arc.
+        u: usize,
+        /// Target of the missing arc.
+        v: usize,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -20,6 +28,9 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::NodeOutOfRange { node, num_nodes } => {
                 write!(f, "edge endpoint {node} out of range for {num_nodes} nodes")
+            }
+            GraphError::MissingArc { u, v } => {
+                write!(f, "arc {u} -> {v} is not present and cannot be removed")
             }
         }
     }
@@ -146,6 +157,117 @@ impl CsrGraph {
         }
         let id = NEXT_GRAPH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Self { num_nodes, offsets, targets, id }
+    }
+
+    /// Produces a new graph by splicing arc-level changes into this one:
+    /// the node count grows to `new_num_nodes` (appended nodes start
+    /// with empty rows), every arc in `add_arcs` is inserted at its
+    /// sorted position, and every arc in `remove_arcs` deletes one
+    /// matching occurrence (removals are matched against the row *after*
+    /// additions, so an arc added and removed in the same splice nets
+    /// out). This is the incremental hot path of the versioned-graph
+    /// subsystem: because rows stay sorted multisets, the result is
+    /// structurally identical to [`CsrGraph::from_edges`] over the
+    /// equivalent edge list — the invariant the differential test
+    /// harness pins.
+    ///
+    /// Arcs are directed; callers maintaining an undirected graph pass
+    /// both directions (and a self-loop once), mirroring `from_edges`'
+    /// `undirected` expansion.
+    ///
+    /// The returned graph draws a fresh [`CsrGraph::instance_id`], so
+    /// any cache keyed on the id of the pre-splice graph can never serve
+    /// the post-splice adjacency.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::NodeOutOfRange`] if an endpoint is ≥
+    /// `new_num_nodes`; [`GraphError::MissingArc`] if a removal has no
+    /// matching occurrence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_num_nodes` is smaller than the current node count
+    /// (versioned graphs only grow).
+    pub fn splice(
+        &self,
+        new_num_nodes: usize,
+        add_arcs: &[(usize, usize)],
+        remove_arcs: &[(usize, usize)],
+    ) -> Result<Self, GraphError> {
+        assert!(
+            new_num_nodes >= self.num_nodes,
+            "splice cannot shrink the node count ({} -> {new_num_nodes})",
+            self.num_nodes
+        );
+        for &(u, v) in add_arcs.iter().chain(remove_arcs) {
+            for node in [u, v] {
+                if node >= new_num_nodes {
+                    return Err(GraphError::NodeOutOfRange { node, num_nodes: new_num_nodes });
+                }
+            }
+        }
+        let mut adds: Vec<(u32, u32)> =
+            add_arcs.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
+        adds.sort_unstable();
+        let mut removes: Vec<(u32, u32)> =
+            remove_arcs.iter().map(|&(u, v)| (u as u32, v as u32)).collect();
+        removes.sort_unstable();
+
+        let mut offsets = Vec::with_capacity(new_num_nodes + 1);
+        offsets.push(0usize);
+        let mut targets =
+            Vec::with_capacity((self.targets.len() + adds.len()).saturating_sub(removes.len()));
+        let (mut ai, mut ri) = (0usize, 0usize);
+        for u in 0..new_num_nodes {
+            let old_row: &[u32] = if u < self.num_nodes { self.neighbors(u) } else { &[] };
+            let add_from = ai;
+            while ai < adds.len() && adds[ai].0 as usize == u {
+                ai += 1;
+            }
+            let add_row = &adds[add_from..ai];
+            let rm_from = ri;
+            while ri < removes.len() && removes[ri].0 as usize == u {
+                ri += 1;
+            }
+            let rm_row = &removes[rm_from..ri];
+            // Merge the two sorted sources while subtracting removals:
+            // the output row is the sorted multiset (old ∪ adds) − rms,
+            // exactly what a rebuild's per-row sort would produce.
+            let (mut oi, mut aj, mut rp) = (0usize, 0usize, 0usize);
+            while oi < old_row.len() || aj < add_row.len() {
+                let next = match (old_row.get(oi), add_row.get(aj)) {
+                    (Some(&o), Some(&(_, a))) if o <= a => {
+                        oi += 1;
+                        o
+                    }
+                    (Some(&o), None) => {
+                        oi += 1;
+                        o
+                    }
+                    (_, Some(&(_, a))) => {
+                        aj += 1;
+                        a
+                    }
+                    (None, None) => unreachable!("loop condition holds"),
+                };
+                match rm_row.get(rp) {
+                    Some(&(_, r)) if r == next => rp += 1, // consumed by a removal
+                    Some(&(_, r)) if r < next => {
+                        // The row is sorted past the removal target, so
+                        // it cannot appear later either.
+                        return Err(GraphError::MissingArc { u, v: r as usize });
+                    }
+                    _ => targets.push(next),
+                }
+            }
+            if rp < rm_row.len() {
+                return Err(GraphError::MissingArc { u, v: rm_row[rp].1 as usize });
+            }
+            offsets.push(targets.len());
+        }
+        let id = NEXT_GRAPH_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Ok(Self { num_nodes: new_num_nodes, offsets, targets, id })
     }
 
     /// Number of nodes.

@@ -21,6 +21,10 @@
 //!   scaled `*_small()` variants returning fully materialized
 //!   [`Dataset`]s sized for in-repo training runs. Start here when you
 //!   need data.
+//! * [`delta`] — streaming mutation: [`GraphDelta`] batches of edge and
+//!   feature changes, applied atomically through a versioned
+//!   [`VersionedGraph`] (incremental CSR splicing on the hot path, full
+//!   rebuild as the differential reference).
 //! * [`NeighborSampler`] — GraphSAGE-style uniform neighbor sampling with
 //!   the paper's fan-outs (S₁ = 25, S₂ = 10).
 //! * [`partition`] — capacity-driven graph partitioning (§IV-C splits
@@ -48,11 +52,13 @@
 pub mod csr;
 pub mod dataset;
 pub mod datasets;
+pub mod delta;
 pub mod generate;
 pub mod partition;
 pub mod sample;
 
 pub use csr::{CsrGraph, GraphError};
 pub use dataset::{Dataset, DatasetSpec, SplitMasks};
+pub use delta::{DeltaError, GraphDelta, VersionedGraph};
 pub use partition::GraphPart;
 pub use sample::NeighborSampler;

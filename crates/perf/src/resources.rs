@@ -50,6 +50,12 @@ pub struct ResourceEstimate {
 pub const WEIGHT_BUFFER_BYTES: usize = 256 * 1024;
 /// Node-Feature Buffer size in bytes.
 pub const NODE_FEATURE_BUFFER_BYTES: usize = 512 * 1024;
+/// PS-side DDR3 capacity of the ZC706 board (1 GB SODIMM) — the
+/// device-memory bound behind §IV-C's decision to serve Reddit as two
+/// partitioned sub-graphs. The serving engine re-checks a growing
+/// graph's feature residency against this budget when streaming updates
+/// append nodes.
+pub const DRAM_BYTES: usize = 1024 * 1024 * 1024;
 
 impl ResourceEstimate {
     /// Estimates the resources of configuration `params` at block size

@@ -156,11 +156,13 @@ pub mod collection {
     }
 }
 
-/// Run-configuration stub accepted by `#![proptest_config(...)]`.
+/// Run configuration accepted by `#![proptest_config(...)]`: properties
+/// under a config run exactly `cases` generated inputs (the real
+/// proptest's semantics); properties without one run
+/// [`DEFAULT_CASES`].
 #[derive(Debug, Clone, Copy)]
 pub struct ProptestConfig {
-    /// Requested number of cases (accepted, currently informational —
-    /// the shim always runs [`DEFAULT_CASES`]).
+    /// Number of cases each property in the block runs.
     pub cases: u32,
 }
 
@@ -181,11 +183,26 @@ pub mod prelude {
 
 /// Declares property tests, mirroring proptest's macro: each
 /// `#[test] fn name(arg in strategy, ...) { body }` item becomes a test
-/// running the body over [`DEFAULT_CASES`] generated inputs.
+/// running the body over generated inputs — [`DEFAULT_CASES`] of them,
+/// or exactly the count a leading `#![proptest_config(...)]` requests
+/// (differential harnesses pin their case floor this way).
 #[macro_export]
 macro_rules! proptest {
-    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
-        $crate::proptest! { $($rest)* }
+    (#![proptest_config($cfg:expr)] $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cases: u32 = ($cfg).cases;
+                let mut __rng = $crate::TestRng::for_test(stringify!($name));
+                for __case in 0..__cases {
+                    $( let $arg = $crate::Strategy::generate(&($strategy), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
     };
     ($(
         #[test]
@@ -245,5 +262,28 @@ mod tests {
             prop_assert!(x < 10);
             prop_assert_eq!(v.len(), 4);
         }
+    }
+
+    thread_local! {
+        // Thread-local so the harness's own (parallel) run of the
+        // property can never interleave with the synchronous pass the
+        // check below drives — each thread counts only its own cases.
+        static CONFIGURED_RUNS: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(77))]
+        #[test]
+        fn configured_case_count_is_honored(_x in 0u64..10) {
+            CONFIGURED_RUNS.with(|c| c.set(c.get() + 1));
+        }
+    }
+
+    #[test]
+    fn configured_case_count_check() {
+        CONFIGURED_RUNS.with(|c| c.set(0));
+        configured_case_count_is_honored();
+        let runs = CONFIGURED_RUNS.with(std::cell::Cell::get);
+        assert_eq!(runs, 77, "with_cases(77) must run exactly 77 cases per pass");
     }
 }

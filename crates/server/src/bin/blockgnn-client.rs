@@ -6,15 +6,18 @@
 //! blockgnn-client --addr HOST:PORT shutdown
 //! blockgnn-client --addr HOST:PORT infer --nodes 0,1,2
 //!                 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D]
+//! blockgnn-client --addr HOST:PORT update [--add U:V,U:V,…] [--del U:V,…]
+//!                 [--feat NODE:F,F,… …] [--new F,F,…;F,F,…]
 //! blockgnn-client --addr HOST:PORT load --clients N --requests N
 //!                 [--pool N] [--s1 N] [--s2 N]
 //! ```
 //!
 //! `infer` prints `ok rows=… preds=…` and exits 0 on success, `err …`
-//! and exits 1 on any rejection; `load` runs the closed-loop generator
-//! and prints a summary line.
+//! and exits 1 on any rejection; `update` applies a graph delta
+//! (features as decimal floats) and prints the bumped version; `load`
+//! runs the closed-loop generator and prints a summary line.
 
-use blockgnn_engine::InferRequest;
+use blockgnn_engine::{GraphDelta, InferRequest};
 use blockgnn_server::{run_closed_loop, Client, LoadConfig, SubmitOptions};
 use std::net::SocketAddr;
 use std::process::ExitCode;
@@ -65,6 +68,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "infer" => infer(addr, &rest),
+        "update" => update(addr, &rest),
         "load" => load(addr, &rest),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -78,8 +82,64 @@ fn usage() -> String {
     "usage: blockgnn-client --addr HOST:PORT \
      (ping | stats | shutdown \
      | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D] \
+     | update [--add U:V,...] [--del U:V,...] [--feat NODE:F,F,...] [--new F,...;F,...] \
      | load --clients N --requests N [--pool N] [--s1 N] [--s2 N])"
         .into()
+}
+
+fn update(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut delta = GraphDelta::new();
+    let parse_pairs = |v: &str| -> Result<Vec<(usize, usize)>, String> {
+        v.split(',')
+            .filter(|p| !p.is_empty())
+            .map(|p| {
+                let (u, w) =
+                    p.split_once(':').ok_or_else(|| format!("expected U:V, got {p:?}"))?;
+                Ok((
+                    u.parse().map_err(|_| format!("bad node id {u:?}"))?,
+                    w.parse().map_err(|_| format!("bad node id {w:?}"))?,
+                ))
+            })
+            .collect()
+    };
+    let parse_row = |v: &str| -> Result<Vec<f64>, String> {
+        v.split(',')
+            .filter(|w| !w.is_empty())
+            .map(|w| w.parse().map_err(|_| format!("bad feature value {w:?}")))
+            .collect()
+    };
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or(format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--add" => delta.add_edges.extend(parse_pairs(v)?),
+            "--del" => delta.remove_edges.extend(parse_pairs(v)?),
+            "--feat" => {
+                let (node, row) =
+                    v.split_once(':').ok_or_else(|| format!("expected NODE:row, got {v:?}"))?;
+                delta.set_features.push((
+                    node.parse().map_err(|_| format!("bad node id {node:?}"))?,
+                    parse_row(row)?,
+                ));
+            }
+            "--new" => {
+                for row in v.split(';').filter(|r| !r.is_empty()) {
+                    delta.append_nodes.push(parse_row(row)?);
+                }
+            }
+            other => return Err(format!("unknown update flag {other:?}")),
+        }
+    }
+    match connect(addr)?.update(&delta) {
+        Ok(ack) => {
+            println!(
+                "ok version={} nodes={} arcs={}",
+                ack.version, ack.num_nodes, ack.num_arcs
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("err {e}")),
+    }
 }
 
 fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {

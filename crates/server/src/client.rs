@@ -2,9 +2,12 @@
 //! generator used by the throughput benchmark and the CI smoke test.
 
 use crate::error::ServerError;
-use crate::protocol::{encode_infer, parse_error, parse_response, RemoteResponse};
+use crate::protocol::{
+    encode_infer, encode_update, parse_error, parse_response, parse_update_ack, RemoteResponse,
+    UpdateAck,
+};
 use crate::queue::SubmitOptions;
-use blockgnn_engine::{InferRequest, LatencyHistogram};
+use blockgnn_engine::{GraphDelta, InferRequest, LatencyHistogram};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -67,6 +70,23 @@ impl Client {
             return Err(parse_error(&reply)?);
         }
         parse_response(&reply)
+    }
+
+    /// Applies a graph delta on the server, blocking for the ack with
+    /// the newly published version. Feature values cross the wire as
+    /// `f64` bit patterns, so the server applies exactly this delta.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed rejection (a [`ServerError::RemoteEngine`]
+    /// for invalid deltas / residency violations / frozen snapshots),
+    /// or transport/protocol errors.
+    pub fn update(&mut self, delta: &GraphDelta) -> Result<UpdateAck, ServerError> {
+        let reply = self.roundtrip(&encode_update(delta))?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        parse_update_ack(&reply)
     }
 
     /// Liveness probe.

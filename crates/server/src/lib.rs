@@ -18,6 +18,14 @@
 //! * **Telemetry** — [`ServerStats`]: latency histograms with
 //!   p50/p95/p99, the queue-time vs compute-time split, QPS, shed
 //!   counts, and the batch-size distribution.
+//! * **Streaming graph updates** — [`Server::apply_delta`] /
+//!   [`ServerHandle::update`] apply a [`GraphDelta`] to the served
+//!   graph atomically *between* micro-batches: in-flight batches finish
+//!   on the version they resolved, the next batch serves the bumped
+//!   version, and every response reports the
+//!   `graph_version` it was computed against. The `update` protocol
+//!   verb carries deltas over the wire (features as `f64` bit
+//!   patterns).
 //! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
 //!   [`protocol`] (logits cross as `f64` bit patterns, so remote
 //!   answers stay bit-identical); [`Client`] and the closed-loop
@@ -60,8 +68,11 @@ mod telemetry;
 pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
 pub use config::ServerConfig;
 pub use error::ServerError;
-pub use protocol::RemoteResponse;
+pub use protocol::{RemoteResponse, UpdateAck};
 pub use queue::SubmitOptions;
 pub use server::{Server, ServerHandle, Ticket};
 pub use tcp::TcpServer;
 pub use telemetry::ServerStats;
+// The delta type `update`/`Server::apply_delta` consume, re-exported so
+// serving callers need no direct engine/graph import.
+pub use blockgnn_engine::GraphDelta;

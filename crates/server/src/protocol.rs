@@ -8,28 +8,40 @@
 //! # Grammar
 //!
 //! ```text
-//! command   = infer | "ping" | "stats" | "shutdown"
+//! command   = infer | update | "ping" | "stats" | "shutdown"
 //! infer     = "infer" SP target [SP option]*
 //! target    = "full" SP ("all" | nodes)
 //!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
 //! nodes     = int ("," int)*
 //! option    = "priority=" int | "deadline_ms=" int
 //!
+//! update    = "update" [SP "add=" pairs] [SP "del=" pairs]
+//!             [SP "feat=" featrows] [SP "new=" rows]
+//! pairs     = pair ("," pair)*        pair    = int ":" int
+//! featrows  = featrow (";" featrow)*  featrow = int ":" hex64 ("," hex64)*
+//! rows      = row (";" row)*          row     = hex64 ("," hex64)*
+//!
 //! reply     = "ok" SP infer-reply | "pong" | "ok stats " summary
+//!           | "ok update version=" int SP "nodes=" int SP "arcs=" int
 //!           | "ok bye" | "err" SP kind SP message
 //! infer-reply = "rows=" int SP "cols=" int SP "queue_us=" int
 //!               SP "compute_us=" int SP "from_cache=" ("0"|"1")
-//!               SP "parts=" int SP "batch=" int SP "cycles=" int
+//!               SP "parts=" int SP "batch=" int SP "version=" int
+//!               SP "cycles=" int
 //!               SP "energy=" ("none" | hex64)
 //!               SP "preds=" int ("," int)*
 //!               SP "logits=" row (";" row)*     row = hex64 ("," hex64)*
 //! kind      = "overloaded" | "deadline" | "shutting_down" | "canceled"
 //!           | "bad_request" | "engine" | "protocol" | "io"
 //! ```
+//!
+//! Feature values in `update` cross the wire as hexadecimal
+//! `f64::to_bits` words (like logits), so the applied delta is
+//! bit-identical to an in-process [`blockgnn_engine::GraphDelta`].
 
 use crate::error::ServerError;
 use crate::queue::SubmitOptions;
-use blockgnn_engine::{InferRequest, InferResponse};
+use blockgnn_engine::{GraphDelta, InferRequest, InferResponse};
 use blockgnn_linalg::Matrix;
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -39,6 +51,8 @@ use std::time::Duration;
 pub enum Command {
     /// Run inference.
     Infer(InferRequest, SubmitOptions),
+    /// Apply a graph delta.
+    Update(GraphDelta),
     /// Liveness probe.
     Ping,
     /// One-line telemetry summary.
@@ -59,6 +73,7 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         Some("stats") => Ok(Command::Stats),
         Some("shutdown") => Ok(Command::Shutdown),
         Some("infer") => parse_infer(&mut words),
+        Some("update") => parse_update(&mut words),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("empty command".into()),
     }
@@ -96,6 +111,170 @@ fn parse_infer<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command,
         }
     }
     Ok(Command::Infer(request, options))
+}
+
+fn parse_update<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    let mut delta = GraphDelta::new();
+    for word in words {
+        if let Some(v) = word.strip_prefix("add=") {
+            delta.add_edges.extend(parse_pairs(v)?);
+        } else if let Some(v) = word.strip_prefix("del=") {
+            delta.remove_edges.extend(parse_pairs(v)?);
+        } else if let Some(v) = word.strip_prefix("feat=") {
+            let rows: Vec<(usize, Vec<f64>)> = v
+                .split(';')
+                .filter(|r| !r.is_empty())
+                .map(|r| {
+                    let (node, row) = r
+                        .split_once(':')
+                        .ok_or_else(|| format!("expected NODE:row, got {r:?}"))?;
+                    Ok((
+                        node.parse::<usize>().map_err(|_| format!("bad node id {node:?}"))?,
+                        parse_f64_row(row)?,
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+            delta.set_features.extend(rows);
+        } else if let Some(v) = word.strip_prefix("new=") {
+            let rows: Vec<Vec<f64>> = v
+                .split(';')
+                .filter(|r| !r.is_empty())
+                .map(parse_f64_row)
+                .collect::<Result<_, String>>()?;
+            delta.append_nodes.extend(rows);
+        } else {
+            return Err(format!("unknown update clause {word:?}"));
+        }
+    }
+    // An empty delta is syntactically valid; the engine rejects it with
+    // a typed `EmptyDelta`, so the client sees a semantic error rather
+    // than a protocol one (same split as empty node lists on `infer`).
+    Ok(Command::Update(delta))
+}
+
+fn parse_pairs(csv: &str) -> Result<Vec<(usize, usize)>, String> {
+    csv.split(',')
+        .filter(|p| !p.is_empty())
+        .map(|p| {
+            let (u, v) =
+                p.split_once(':').ok_or_else(|| format!("expected U:V pair, got {p:?}"))?;
+            Ok((
+                u.parse().map_err(|_| format!("bad node id {u:?}"))?,
+                v.parse().map_err(|_| format!("bad node id {v:?}"))?,
+            ))
+        })
+        .collect()
+}
+
+fn parse_f64_row(csv: &str) -> Result<Vec<f64>, String> {
+    csv.split(',')
+        .filter(|w| !w.is_empty())
+        .map(|w| {
+            u64::from_str_radix(w, 16)
+                .map(f64::from_bits)
+                .map_err(|_| format!("bad hex feature word {w:?}"))
+        })
+        .collect()
+}
+
+/// Renders a [`GraphDelta`] as an `update` request line (no newline).
+/// Feature values cross as `f64` bit patterns, so the server applies
+/// exactly the delta the client built.
+#[must_use]
+pub fn encode_update(delta: &GraphDelta) -> String {
+    let mut line = String::from("update");
+    let push_pairs = |line: &mut String, key: &str, pairs: &[(usize, usize)]| {
+        if pairs.is_empty() {
+            return;
+        }
+        let _ = write!(line, " {key}=");
+        for (i, (u, v)) in pairs.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            let _ = write!(line, "{u}:{v}");
+        }
+    };
+    push_pairs(&mut line, "add", &delta.add_edges);
+    push_pairs(&mut line, "del", &delta.remove_edges);
+    if !delta.set_features.is_empty() {
+        line.push_str(" feat=");
+        for (i, (node, row)) in delta.set_features.iter().enumerate() {
+            if i > 0 {
+                line.push(';');
+            }
+            let _ = write!(line, "{node}:");
+            push_hex_row(&mut line, row);
+        }
+    }
+    if !delta.append_nodes.is_empty() {
+        line.push_str(" new=");
+        for (i, row) in delta.append_nodes.iter().enumerate() {
+            if i > 0 {
+                line.push(';');
+            }
+            push_hex_row(&mut line, row);
+        }
+    }
+    line
+}
+
+fn push_hex_row(line: &mut String, row: &[f64]) {
+    for (j, v) in row.iter().enumerate() {
+        if j > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{:016x}", v.to_bits());
+    }
+}
+
+/// What a successful `update` reply carries back to the client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// The newly published graph version.
+    pub version: u64,
+    /// Node count after the delta.
+    pub num_nodes: usize,
+    /// Stored arc count after the delta.
+    pub num_arcs: usize,
+}
+
+/// Renders an applied update as an `ok update` reply line (no newline).
+#[must_use]
+pub fn encode_update_ack(ack: &UpdateAck) -> String {
+    format!("ok update version={} nodes={} arcs={}", ack.version, ack.num_nodes, ack.num_arcs)
+}
+
+/// Parses an `ok update` reply back into an [`UpdateAck`].
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the line does not match the grammar.
+pub fn parse_update_ack(line: &str) -> Result<UpdateAck, ServerError> {
+    let body = line.strip_prefix("ok update ").ok_or_else(|| {
+        ServerError::Protocol(format!("expected ok update reply, got {line:?}"))
+    })?;
+    let mut version = None;
+    let mut nodes = None;
+    let mut arcs = None;
+    for word in body.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| ServerError::Protocol(format!("bad field {word:?}")))?;
+        match key {
+            "version" => version = Some(parse_u64(value)?),
+            "nodes" => nodes = Some(parse_usize(value)?),
+            "arcs" => arcs = Some(parse_usize(value)?),
+            other => {
+                return Err(ServerError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(UpdateAck {
+        version: version.ok_or_else(|| missing("version"))?,
+        num_nodes: nodes.ok_or_else(|| missing("nodes"))?,
+        num_arcs: arcs.ok_or_else(|| missing("arcs"))?,
+    })
 }
 
 fn parse_kv<T: std::str::FromStr>(word: Option<&str>, key: &str) -> Result<T, String> {
@@ -175,6 +354,8 @@ pub struct RemoteResponse {
     pub parts: usize,
     /// Requests coalesced into the answering execution.
     pub batch_size: usize,
+    /// Graph version the answer was computed against.
+    pub graph_version: u64,
     /// Total simulated accelerator cycles (0 for software backends).
     pub sim_cycles: u64,
     /// Simulated energy in joules, when the backend models power.
@@ -185,7 +366,8 @@ pub struct RemoteResponse {
 #[must_use]
 pub fn encode_response(response: &InferResponse) -> String {
     let mut line = format!(
-        "ok rows={} cols={} queue_us={} compute_us={} from_cache={} parts={} batch={} cycles={}",
+        "ok rows={} cols={} queue_us={} compute_us={} from_cache={} parts={} batch={} \
+         version={} cycles={}",
         response.logits.rows(),
         response.logits.cols(),
         response.queue_time.as_micros(),
@@ -193,6 +375,7 @@ pub fn encode_response(response: &InferResponse) -> String {
         u8::from(response.from_cache),
         response.parts,
         response.batch_size,
+        response.graph_version,
         response.sim.as_ref().map_or(0, |s| s.total_cycles),
     );
     match response.energy_joules {
@@ -235,6 +418,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
     let mut from_cache = None;
     let mut parts = None;
     let mut batch = None;
+    let mut version = None;
     let mut cycles = None;
     let mut energy = None;
     let mut preds = None;
@@ -251,6 +435,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
             "from_cache" => from_cache = Some(value == "1"),
             "parts" => parts = Some(parse_usize(value)?),
             "batch" => batch = Some(parse_usize(value)?),
+            "version" => version = Some(parse_u64(value)?),
             "cycles" => cycles = Some(parse_u64(value)?),
             "energy" => {
                 energy = Some(if value == "none" {
@@ -298,6 +483,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
         from_cache: from_cache.ok_or_else(|| missing("from_cache"))?,
         parts: parts.ok_or_else(|| missing("parts"))?,
         batch_size: batch.ok_or_else(|| missing("batch"))?,
+        graph_version: version.ok_or_else(|| missing("version"))?,
         sim_cycles: cycles.ok_or_else(|| missing("cycles"))?,
         energy_joules: energy.ok_or_else(|| missing("energy"))?,
     })
@@ -412,6 +598,7 @@ mod tests {
             from_cache: false,
             parts: 1,
             batch_size: 4,
+            graph_version: 17,
         };
         let remote = parse_response(&encode_response(&response)).unwrap();
         assert_eq!(remote.logits, logits, "logits survive the wire bit-exactly");
@@ -420,8 +607,135 @@ mod tests {
         assert_eq!(remote.compute_time, Duration::from_micros(20));
         assert_eq!(remote.latency, Duration::from_micros(30));
         assert_eq!(remote.batch_size, 4);
+        assert_eq!(remote.graph_version, 17);
         assert_eq!(remote.energy_joules, Some(1.25e-3));
         assert!(!remote.from_cache);
+    }
+
+    #[test]
+    fn update_lines_round_trip_bit_exactly() {
+        let delta = GraphDelta::new()
+            .add_edge(0, 5)
+            .add_edge(3, 3)
+            .remove_edge(7, 2)
+            .set_feature_row(4, vec![0.1, -2.5e-8, f64::MIN_POSITIVE])
+            .append_node(vec![1.0, 2.0, 3.0])
+            .append_node(vec![-0.0, f64::MAX, 1.5]);
+        let line = encode_update(&delta);
+        match parse_command(&line).unwrap() {
+            Command::Update(parsed) => {
+                assert_eq!(parsed.add_edges, delta.add_edges);
+                assert_eq!(parsed.remove_edges, delta.remove_edges);
+                // Feature rows must survive bit-exactly (hex bit words).
+                for ((an, a), (bn, b)) in parsed.set_features.iter().zip(&delta.set_features) {
+                    assert_eq!(an, bn);
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                for (a, b) in parsed.append_nodes.iter().zip(&delta.append_nodes) {
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        // An empty delta parses cleanly (the engine rejects it, typed).
+        assert_eq!(parse_command("update").unwrap(), Command::Update(GraphDelta::new()));
+        // Malformed clauses are protocol errors.
+        assert!(parse_command("update add=1-2").is_err());
+        assert!(parse_command("update bogus=1").is_err());
+        assert!(parse_command("update feat=1").is_err());
+        assert!(parse_command("update new=xyz").is_err());
+    }
+
+    #[test]
+    fn update_acks_round_trip() {
+        let ack = UpdateAck { version: 9, num_nodes: 120, num_arcs: 512 };
+        assert_eq!(parse_update_ack(&encode_update_ack(&ack)).unwrap(), ack);
+        assert!(parse_update_ack("ok update version=1 nodes=2").is_err(), "missing arcs");
+        assert!(parse_update_ack("err engine nope").is_err());
+    }
+
+    /// Fuzz-style robustness: valid update/infer lines, their
+    /// truncations, garbled variants, and pure noise must all come back
+    /// as `Ok`/`Err` — never a panic — with a seeded RNG so any failure
+    /// replays. (The connection-level counterpart in `tests/server.rs`
+    /// proves rejected lines also never poison the TCP session or the
+    /// shared graph.)
+    #[test]
+    fn fuzzed_command_lines_never_panic() {
+        use blockgnn_graph::generate::Rng64;
+        let mut rng = Rng64::new(0xF422_0B5E);
+        for _ in 0..600 {
+            let n = 50;
+            let mut delta = GraphDelta::new();
+            for _ in 0..rng.next_below(4) {
+                delta = delta.add_edge(rng.next_below(n), rng.next_below(n));
+            }
+            if rng.next_below(2) == 0 {
+                delta = delta.remove_edge(rng.next_below(n), rng.next_below(n));
+            }
+            if rng.next_below(2) == 0 {
+                let row: Vec<f64> = (0..rng.next_below(4)).map(|_| rng.next_normal()).collect();
+                delta = delta.set_feature_row(rng.next_below(n), row);
+            }
+            if rng.next_below(3) == 0 {
+                delta = delta.append_node(vec![rng.next_normal(); rng.next_below(3)]);
+            }
+            let lines = [
+                encode_update(&delta),
+                encode_infer(
+                    &InferRequest::sampled(vec![rng.next_below(n)], 4, 2, rng.next_u64()),
+                    SubmitOptions::default(),
+                ),
+            ];
+            for line in &lines {
+                parse_command(line).expect("well-formed encodings parse");
+                // Truncation at any byte (lines are ASCII).
+                let cut = rng.next_below(line.len() + 1);
+                let _ = parse_command(&line[..cut]);
+                // One garbled byte.
+                let mut garbled = line.clone().into_bytes();
+                if !garbled.is_empty() {
+                    let at = rng.next_below(garbled.len());
+                    garbled[at] = (rng.next_below(94) + 33) as u8;
+                }
+                let _ = parse_command(&String::from_utf8_lossy(&garbled));
+            }
+            // Pure noise.
+            let noise: String = (0..rng.next_below(40))
+                .map(|_| (rng.next_below(94) + 33) as u8 as char)
+                .collect();
+            let _ = parse_command(&noise);
+        }
+    }
+
+    #[test]
+    fn malformed_update_clauses_fail_typed() {
+        for bad in [
+            "update add=1",
+            "update add=1:b",
+            "update add=a:2",
+            "update del=1-2",
+            "update feat=9",
+            "update feat=x:0",
+            "update feat=1:zz",
+            "update new=zz",
+            "update wat=1",
+            "update add=1:2 extra",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must be a protocol error");
+        }
+        // Empty clauses are *syntactically* fine — they produce an empty
+        // delta, which the engine then rejects with a typed EmptyDelta.
+        for ok in ["update", "update add=", "update new="] {
+            match parse_command(ok).unwrap() {
+                Command::Update(delta) => assert!(delta.is_empty()),
+                other => panic!("wrong command {other:?}"),
+            }
+        }
     }
 
     #[test]

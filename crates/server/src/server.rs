@@ -13,18 +13,23 @@
 //!                └──────► responder channel ──► Ticket::wait
 //! ```
 //!
-//! Every worker owns an [`Engine::fork`] replica: prepared weights and
-//! the full-graph logits cache are `Arc`-shared, per-request scratch is
-//! not, so workers execute truly concurrently. Shutdown closes the
-//! queue (new submissions shed with `ShuttingDown`), drains what was
-//! admitted, and joins the workers.
+//! Every worker owns an [`Engine::fork`] replica: prepared weights, the
+//! versioned graph state, and the version-keyed full-graph logits cache
+//! are `Arc`-shared, per-request scratch is not, so workers execute
+//! truly concurrently. Graph updates ([`Server::apply_delta`]) swap the
+//! shared snapshot **between micro-batches**: a batch resolves its
+//! graph version once at execution start, so in-flight requests finish
+//! on the old version and every response reports the version that
+//! served it. Shutdown closes the queue (new submissions shed with
+//! `ShuttingDown`), drains what was admitted, and joins the workers.
 
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::queue::{BatchLimits, QueueItem, RequestQueue, SubmitOptions};
 use crate::telemetry::{ServerStats, Telemetry};
 use blockgnn_engine::{
-    assemble_response, Engine, EngineError, InferRequest, InferResponse, ParallelEngine,
+    assemble_response, Engine, EngineError, GraphDelta, GraphHandle, InferRequest,
+    InferResponse, ParallelEngine,
 };
 use blockgnn_gnn::ModelKind;
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -68,7 +73,13 @@ pub struct Server {
     telemetry: Arc<Telemetry>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: ServerConfig,
-    num_nodes: usize,
+    /// Mutation/version handle on the worker pool's shared graph state;
+    /// `None` when fronting a [`ParallelEngine`], which serves a frozen
+    /// snapshot.
+    graph: Option<GraphHandle>,
+    /// Fallback node count / version for the frozen-snapshot case.
+    static_num_nodes: usize,
+    static_version: u64,
     model_kind: ModelKind,
 }
 
@@ -85,6 +96,7 @@ impl Server {
         if config.workers == 0 {
             return Err(ServerError::Engine(EngineError::NoWorkers));
         }
+        let graph = engine.graph_handle();
         let mut replicas = Vec::with_capacity(config.workers);
         for _ in 1..config.workers {
             replicas.push(engine.fork());
@@ -92,7 +104,7 @@ impl Server {
         replicas.insert(0, engine);
         let replicas: Vec<WorkerEngine> =
             replicas.into_iter().map(WorkerEngine::Forked).collect();
-        Ok(Self::spawn(replicas, config))
+        Ok(Self::spawn(replicas, Some(graph), config))
     }
 
     /// Starts the runtime around a partition-parallel engine: a single
@@ -100,17 +112,23 @@ impl Server {
     /// while admission control and telemetry work unchanged.
     /// Micro-batching is forced off — the parallel engine cannot
     /// coalesce, so dequeuing a group would only hold every reply back
-    /// until the whole group finished.
+    /// until the whole group finished. The graph is a frozen snapshot:
+    /// [`Server::apply_delta`] is rejected with
+    /// [`EngineError::ImmutableGraph`].
     #[must_use]
     pub fn start_parallel(engine: ParallelEngine, config: ServerConfig) -> Self {
         let config = ServerConfig { max_batch_requests: 1, ..config };
-        Self::spawn(vec![WorkerEngine::Parallel(Box::new(engine))], config)
+        Self::spawn(vec![WorkerEngine::Parallel(Box::new(engine))], None, config)
     }
 
-    fn spawn(replicas: Vec<WorkerEngine>, config: ServerConfig) -> Self {
-        let (num_nodes, model_kind) = match &replicas[0] {
-            WorkerEngine::Forked(e) => (e.dataset().num_nodes(), e.model_kind()),
-            WorkerEngine::Parallel(e) => (e.dataset().num_nodes(), e.model_kind()),
+    fn spawn(
+        replicas: Vec<WorkerEngine>,
+        graph: Option<GraphHandle>,
+        config: ServerConfig,
+    ) -> Self {
+        let (num_nodes, version, model_kind) = match &replicas[0] {
+            WorkerEngine::Forked(e) => (e.dataset().num_nodes(), e.version(), e.model_kind()),
+            WorkerEngine::Parallel(e) => (e.dataset().num_nodes(), e.version(), e.model_kind()),
         };
         let queue = Arc::new(RequestQueue::new(config.max_queue_depth));
         let telemetry = Arc::new(Telemetry::new());
@@ -135,7 +153,16 @@ impl Server {
                     .expect("worker thread spawns")
             })
             .collect();
-        Self { queue, telemetry, workers: Mutex::new(workers), config, num_nodes, model_kind }
+        Self {
+            queue,
+            telemetry,
+            workers: Mutex::new(workers),
+            config,
+            graph,
+            static_num_nodes: num_nodes,
+            static_version: version,
+            model_kind,
+        }
     }
 
     /// A cloneable submission handle (what connection threads hold).
@@ -144,7 +171,9 @@ impl Server {
         ServerHandle {
             queue: Arc::clone(&self.queue),
             telemetry: Arc::clone(&self.telemetry),
-            num_nodes: self.num_nodes,
+            graph: self.graph.clone(),
+            static_num_nodes: self.static_num_nodes,
+            static_version: self.static_version,
             config: self.config.clone(),
         }
     }
@@ -161,10 +190,35 @@ impl Server {
         &self.config
     }
 
+    /// Applies a [`GraphDelta`] to the served graph: the new version is
+    /// published atomically **between micro-batches** — batches already
+    /// executing finish on the version they resolved at dequeue, the
+    /// next batch on every worker serves the new one, and each
+    /// [`InferResponse::graph_version`] says which side of the swap it
+    /// landed on. Returns the new version.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::Delta`] / [`EngineError::GraphBudget`] (wrapped in
+    /// [`ServerError::Engine`]) for rejected deltas, or
+    /// [`EngineError::ImmutableGraph`] on a partition-parallel server.
+    /// The served graph is untouched on failure.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<u64, ServerError> {
+        self.handle().update(delta)
+    }
+
+    /// The currently served graph version.
+    #[must_use]
+    pub fn graph_version(&self) -> u64 {
+        self.graph.as_ref().map_or(self.static_version, GraphHandle::version)
+    }
+
     /// Current telemetry snapshot.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.telemetry.snapshot()
+        let mut stats = self.telemetry.snapshot();
+        stats.graph_version = self.graph_version();
+        stats
     }
 
     /// Requests currently queued.
@@ -206,7 +260,11 @@ impl std::fmt::Debug for Server {
 pub struct ServerHandle {
     queue: Arc<RequestQueue>,
     telemetry: Arc<Telemetry>,
-    num_nodes: usize,
+    /// Live graph handle (`None` when fronting a frozen parallel
+    /// snapshot).
+    graph: Option<GraphHandle>,
+    static_num_nodes: usize,
+    static_version: u64,
     config: ServerConfig,
 }
 
@@ -238,8 +296,11 @@ impl ServerHandle {
         // Front-door validation with the engine's own validity rule, so
         // obviously bad requests fail at submission with a typed error
         // instead of occupying queue space (and the two paths cannot
-        // drift).
-        if let Err(e) = blockgnn_engine::validate_request(&request, self.num_nodes) {
+        // drift). Validated against the *current* version's node count;
+        // the engine re-validates against whatever version the request's
+        // batch resolves (node counts only grow, so an admitted request
+        // stays valid).
+        if let Err(e) = blockgnn_engine::validate_request(&request, self.num_nodes()) {
             self.telemetry.with(|s| s.failed += 1);
             return Err(ServerError::Engine(e));
         }
@@ -280,16 +341,67 @@ impl ServerHandle {
         self.submit_with(request, options)?.wait()
     }
 
+    /// Applies a [`GraphDelta`] (see [`Server::apply_delta`] for the
+    /// between-batches atomicity contract), returning the new version.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::apply_delta`].
+    pub fn update(&self, delta: &GraphDelta) -> Result<u64, ServerError> {
+        self.update_acked(delta).map(|ack| ack.version)
+    }
+
+    /// Like [`ServerHandle::update`], but returns the full
+    /// [`crate::UpdateAck`] — version plus the node/arc counts of
+    /// exactly the epoch this delta published (consistent even when
+    /// another client's update lands right after).
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::apply_delta`].
+    pub fn update_acked(&self, delta: &GraphDelta) -> Result<crate::UpdateAck, ServerError> {
+        let Some(graph) = &self.graph else {
+            self.telemetry.with(|s| s.failed_updates += 1);
+            return Err(ServerError::Engine(EngineError::ImmutableGraph));
+        };
+        match graph.apply_delta_acked(delta) {
+            Ok((version, num_nodes, num_arcs)) => {
+                self.telemetry.with(|s| s.updates += 1);
+                Ok(crate::UpdateAck { version, num_nodes, num_arcs })
+            }
+            Err(e) => {
+                self.telemetry.with(|s| s.failed_updates += 1);
+                Err(ServerError::Engine(e))
+            }
+        }
+    }
+
+    /// The currently served graph version.
+    #[must_use]
+    pub fn graph_version(&self) -> u64 {
+        self.graph.as_ref().map_or(self.static_version, GraphHandle::version)
+    }
+
     /// Current telemetry snapshot.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.telemetry.snapshot()
+        let mut stats = self.telemetry.snapshot();
+        stats.graph_version = self.graph_version();
+        stats
     }
 
-    /// Nodes in the served graph (the bound request node ids must obey).
+    /// Nodes in the served graph's current version (the bound request
+    /// node ids must obey; deltas can grow this).
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.num_nodes
+        self.graph.as_ref().map_or(self.static_num_nodes, GraphHandle::num_nodes)
+    }
+
+    /// Stored arcs in the served graph's current version (0 reported
+    /// for a frozen parallel snapshot, which exposes no live handle).
+    #[must_use]
+    pub fn num_arcs(&self) -> usize {
+        self.graph.as_ref().map_or(0, GraphHandle::num_arcs)
     }
 }
 

@@ -9,7 +9,9 @@
 //! thread, and shuts the serving runtime down cleanly.
 
 use crate::error::ServerError;
-use crate::protocol::{encode_error, encode_response, parse_command, Command};
+use crate::protocol::{
+    encode_error, encode_response, encode_update_ack, parse_command, Command,
+};
 use crate::server::Server;
 use crate::telemetry::ServerStats;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
@@ -162,6 +164,15 @@ fn serve_connection(
             }
             Ok(Command::Infer(request, options)) => match handle.infer_with(request, options) {
                 Ok(response) => encode_response(&response),
+                Err(e) => encode_error(&e),
+            },
+            // A rejected update answers with a typed error and the
+            // connection (and the shared graph) carries on untouched.
+            // The ack's counts come from the exact epoch this delta
+            // published, so they stay consistent with its version even
+            // under concurrent updates.
+            Ok(Command::Update(delta)) => match handle.update_acked(&delta) {
+                Ok(ack) => encode_update_ack(&ack),
                 Err(e) => encode_error(&e),
             },
             Err(msg) => encode_error(&ServerError::Protocol(msg)),

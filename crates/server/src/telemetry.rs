@@ -40,6 +40,13 @@ pub struct ServerStats {
     pub deduped: usize,
     /// batch size → number of batches of that size.
     pub batch_size_counts: BTreeMap<usize, usize>,
+    /// Graph deltas applied (each bumped the served version by one).
+    pub updates: usize,
+    /// Graph deltas rejected (invalid delta, residency budget, frozen
+    /// snapshot).
+    pub failed_updates: usize,
+    /// Graph version being served when this snapshot was taken.
+    pub graph_version: u64,
     /// Time since the server started.
     pub uptime: Duration,
 }
@@ -79,7 +86,7 @@ impl ServerStats {
         format!(
             "requests={} completed={} failed={} shed_overload={} shed_deadline={} \
              qps={:.1} p50_us={} p95_us={} p99_us={} mean_queue_us={} mean_compute_us={} \
-             batches={} mean_batch={:.2} deduped={}",
+             batches={} mean_batch={:.2} deduped={} version={} updates={} failed_updates={}",
             self.submitted,
             self.completed,
             self.failed,
@@ -94,6 +101,9 @@ impl ServerStats {
             self.batches,
             self.mean_batch_size(),
             self.deduped,
+            self.graph_version,
+            self.updates,
+            self.failed_updates,
         )
     }
 }
