@@ -1,5 +1,6 @@
 //! Serving-runtime throughput under closed-loop TCP load: batched vs
-//! unbatched dynamic micro-batching, recorded to `BENCH_server.json`.
+//! unbatched dynamic micro-batching, plus a three-tenant weighted lane,
+//! recorded to `BENCH_server.json`.
 //!
 //! Eight closed-loop clients replay a duplicate-heavy request mix (a
 //! small pool of hot sampled requests — the serving regime batching is
@@ -8,14 +9,19 @@
 //! batcher coalesces concurrent identical requests into one
 //! deduplicated merged-universe execution, so the batched rows should
 //! show a throughput gain at `max_batch ≥ 4` along with the batch-size
-//! distribution that produced it.
+//! distribution that produced it. The `multi3` lane fans the same load
+//! across three co-resident tenants (distinct datasets × models ×
+//! backends) in 2:1:1 weight proportion and records the per-tenant
+//! completion split the stride scheduler produced.
 
 use blockgnn_bench::json::{array, write_bench_file, JsonObject};
 use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn_gnn::ModelKind;
 use blockgnn_graph::datasets;
 use blockgnn_nn::Compression;
-use blockgnn_server::{run_closed_loop, LoadConfig, Server, ServerConfig, TcpServer};
+use blockgnn_server::{
+    run_closed_loop, LoadConfig, Server, ServerConfig, TcpServer, TenantSpec, DEFAULT_TENANT,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use std::time::Duration;
@@ -53,11 +59,7 @@ fn run_config(config: ServerConfig, label: &str) -> (String, f64) {
     let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("front end binds");
     let report = run_closed_loop(
         front.local_addr(),
-        &LoadConfig {
-            clients: CLIENTS,
-            requests_per_client: REQUESTS_PER_CLIENT,
-            pool: load_pool(dataset.num_nodes()),
-        },
+        &LoadConfig::new(CLIENTS, REQUESTS_PER_CLIENT, load_pool(dataset.num_nodes())),
     );
     front.stop();
     let stats = server.shutdown();
@@ -87,6 +89,87 @@ fn run_config(config: ServerConfig, label: &str) -> (String, f64) {
     (row, qps)
 }
 
+/// The weighted three-tenant lane: one process hosting three (dataset ×
+/// model × backend) tenants, the same closed-loop load fanned across
+/// them 2:1:1 by the deterministic mix in [`LoadConfig::tenant_for`].
+fn run_multi_tenant(config: ServerConfig, label: &str) -> (String, f64) {
+    let dataset = Arc::new(datasets::cora_like_small(3));
+    let engine = EngineBuilder::new(ModelKind::Gcn, BackendKind::Spectral)
+        .hidden_dim(32)
+        .compression(Compression::BlockCirculant { block_size: 16 })
+        .seed(3)
+        .build(Arc::clone(&dataset))
+        .expect("engine builds");
+    let server = Arc::new(Server::start(engine, config.clone()).expect("server starts"));
+    let specs = [
+        TenantSpec::new("traffic", "citeseer-small", ModelKind::GsPool, BackendKind::Dense)
+            .hidden_dim(16)
+            .seed(7)
+            .weight(1),
+        TenantSpec::new("fraud", "pubmed-small", ModelKind::Ggcn, BackendKind::Spectral)
+            .hidden_dim(16)
+            .seed(9)
+            .weight(1),
+    ];
+    for spec in &specs {
+        server.deploy(spec).expect("tenant deploys");
+    }
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("front end binds");
+    // Pool node ids stay under cora-small's 680 nodes — valid on every
+    // tenant (the others' graphs are larger).
+    let cfg = LoadConfig::new(CLIENTS, REQUESTS_PER_CLIENT, load_pool(dataset.num_nodes()))
+        .with_tenants(vec![
+            (DEFAULT_TENANT.to_string(), 2),
+            ("traffic".to_string(), 1),
+            ("fraud".to_string(), 1),
+        ]);
+    let report = run_closed_loop(front.local_addr(), &cfg);
+    front.stop();
+    let stats = server.shutdown();
+    assert_eq!(report.ok, CLIENTS * REQUESTS_PER_CLIENT, "all load requests must serve");
+    let qps = report.qps();
+    let split: Vec<String> = stats
+        .tenants
+        .iter()
+        .map(|(name, rollup)| format!("{name}={}", rollup.completed))
+        .collect();
+    println!(
+        "server_load/{label:<12} qps {qps:>8.1}  p50 {:>6?}  p99 {:>6?}  split {}",
+        report.latency.p50(),
+        report.latency.p99(),
+        split.join(" "),
+    );
+    let tenant_rows: Vec<String> = stats
+        .tenants
+        .iter()
+        .map(|(name, rollup)| {
+            JsonObject::new()
+                .string("tenant", name)
+                .int("weight", u128::from(rollup.weight))
+                .int("completed", rollup.completed as u128)
+                .int("p50_us", rollup.p50.as_micros())
+                .int("p99_us", rollup.p99.as_micros())
+                .render()
+        })
+        .collect();
+    let row = JsonObject::new()
+        .string("config", label)
+        .int("max_batch", config.max_batch_requests as u128)
+        .int("window_us", config.batch_window.as_micros())
+        .int("workers", config.workers as u128)
+        .int("ok", report.ok as u128)
+        .num("qps", qps)
+        .int("p50_us", report.latency.p50().as_micros())
+        .int("p95_us", report.latency.p95().as_micros())
+        .int("p99_us", report.latency.p99().as_micros())
+        .num("mean_batch", stats.mean_batch_size())
+        .int("deduped", stats.deduped as u128)
+        .int("batches", stats.batches as u128)
+        .raw("tenants", array(tenant_rows))
+        .render();
+    (row, qps)
+}
+
 fn bench_server_load(_c: &mut Criterion) {
     let window = Duration::from_millis(2);
     let (unbatched_row, unbatched_qps) =
@@ -95,10 +178,18 @@ fn bench_server_load(_c: &mut Criterion) {
         run_config(ServerConfig::default().with_workers(2).with_batching(window, 4), "batch4");
     let (batch8_row, batch8_qps) =
         run_config(ServerConfig::default().with_workers(2).with_batching(window, 8), "batch8");
-    let rows = vec![unbatched_row, batch4_row, batch8_row];
+    let (multi3_row, multi3_qps) = run_multi_tenant(
+        ServerConfig::default().with_workers(2).with_batching(window, 8),
+        "multi3",
+    );
+    let rows = vec![unbatched_row, batch4_row, batch8_row, multi3_row];
     let batch4_gain = batch4_qps / unbatched_qps;
     let batch8_gain = batch8_qps / unbatched_qps;
-    println!("server_load gain: batch4 {batch4_gain:.2}x, batch8 {batch8_gain:.2}x");
+    let multi3_ratio = multi3_qps / batch8_qps;
+    println!(
+        "server_load gain: batch4 {batch4_gain:.2}x, batch8 {batch8_gain:.2}x, \
+         multi3/batch8 {multi3_ratio:.2}x"
+    );
     let doc = JsonObject::new()
         .string("bench", "server_load")
         .string("dataset", "cora-small")
@@ -110,6 +201,7 @@ fn bench_server_load(_c: &mut Criterion) {
         .raw("configs", array(rows))
         .num("batch4_gain", batch4_gain)
         .num("batch8_gain", batch8_gain)
+        .num("multi3_ratio", multi3_ratio)
         .render();
     let path = write_bench_file("server", &doc).expect("bench json writes");
     println!("wrote {}", path.display());

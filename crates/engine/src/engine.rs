@@ -200,6 +200,7 @@ impl EngineBuilder {
             model_kind,
             backend_kind: self.backend,
             fanouts: self.fanouts,
+            weight_bytes: spectral_weight_bytes,
         })
     }
 }
@@ -258,6 +259,11 @@ pub struct Engine {
     pub(crate) backend_kind: BackendKind,
     /// Fan-outs the cycle model charges for full-graph requests.
     pub(crate) fanouts: (usize, usize),
+    /// Summed packed spectral footprint of the circulant layers — the
+    /// weight-side term of the §IV-B residency accounting, retained even
+    /// when no per-engine budget is enforced so aggregate accountants
+    /// (the multi-tenant registry) can sum it across engines.
+    pub(crate) weight_bytes: usize,
 }
 
 impl Engine {
@@ -284,6 +290,28 @@ impl Engine {
     #[must_use]
     pub fn dataset(&self) -> Arc<Dataset> {
         Arc::clone(&self.shared.epoch().dataset)
+    }
+
+    /// Summed packed spectral footprint of the model's circulant layers
+    /// (0 when every weight is dense) — the weight-side term of the
+    /// §IV-B Weight-Buffer accounting.
+    #[must_use]
+    pub fn weight_bytes(&self) -> usize {
+        self.weight_bytes
+    }
+
+    /// This engine family's current device-residency footprint under the
+    /// §IV-B/§IV-C accounting: packed weight spectra plus the *current*
+    /// graph version's node features at the backend's scalar width.
+    /// Graph deltas that append nodes grow it. A multi-tenant registry
+    /// sums this across deployed engines against one device budget.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        let epoch = self.shared.epoch();
+        self.weight_bytes
+            + epoch.dataset.num_nodes()
+                * epoch.dataset.feature_dim()
+                * self.backend_kind.bytes_per_feature()
     }
 
     /// The currently served graph version (0 until the first applied
@@ -353,6 +381,7 @@ impl Engine {
             model_kind: self.model_kind,
             backend_kind: self.backend_kind,
             fanouts: self.fanouts,
+            weight_bytes: self.weight_bytes,
         }
     }
 

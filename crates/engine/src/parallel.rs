@@ -102,6 +102,7 @@ impl Engine {
             min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
             parts: Vec::new(),
             full_graph_cache,
+            weight_bytes: self.weight_bytes,
         };
         engine.replan_parts();
         Ok(engine)
@@ -143,6 +144,9 @@ pub struct ParallelEngine {
     /// budget are fixed for the engine's lifetime).
     parts: Vec<GraphPart>,
     full_graph_cache: Option<BackendOutput>,
+    /// Packed spectral footprint carried over from the source [`Engine`]
+    /// for aggregate residency accounting.
+    weight_bytes: usize,
 }
 
 impl ParallelEngine {
@@ -174,6 +178,19 @@ impl ParallelEngine {
     #[must_use]
     pub fn version(&self) -> u64 {
         self.graph_version
+    }
+
+    /// The frozen snapshot's device-residency footprint under the
+    /// §IV-B/§IV-C accounting (packed weight spectra plus the snapshot's
+    /// node features at the backend's scalar width) — same contract as
+    /// [`Engine::resident_bytes`], constant here since the graph is
+    /// immutable.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.weight_bytes
+            + self.dataset.num_nodes()
+                * self.dataset.feature_dim()
+                * self.backend_kind.bytes_per_feature()
     }
 
     /// Partition-parallel engines serve a frozen snapshot: the shard

@@ -2,23 +2,32 @@
 //!
 //! ```text
 //! blockgnn-client --addr HOST:PORT ping
-//! blockgnn-client --addr HOST:PORT stats
+//! blockgnn-client --addr HOST:PORT stats [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT shutdown
 //! blockgnn-client --addr HOST:PORT infer --nodes 0,1,2
 //!                 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D]
+//!                 [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT update [--add U:V,U:V,…] [--del U:V,…]
-//!                 [--feat NODE:F,F,… …] [--new F,F,…;F,F,…]
+//!                 [--feat NODE:F,F,… …] [--new F,F,…;F,F,…] [--tenant NAME]
+//! blockgnn-client --addr HOST:PORT deploy NAME=DATASET:MODEL:BACKEND
+//!                 [--weight N] [--depth N] [--hidden N] [--block N] [--seed N]
+//! blockgnn-client --addr HOST:PORT retire NAME
+//! blockgnn-client --addr HOST:PORT list
 //! blockgnn-client --addr HOST:PORT load --clients N --requests N
-//!                 [--pool N] [--s1 N] [--s2 N]
+//!                 [--pool N] [--s1 N] [--s2 N] [--tenant NAME:WEIGHT …]
 //! ```
 //!
 //! `infer` prints `ok rows=… preds=…` and exits 0 on success, `err …`
 //! and exits 1 on any rejection; `update` applies a graph delta
-//! (features as decimal floats) and prints the bumped version; `load`
-//! runs the closed-loop generator and prints a summary line.
+//! (features as decimal floats) and prints the bumped version with the
+//! tenant it landed on; `deploy`/`retire`/`list` manage tenants; `load`
+//! runs the closed-loop generator (optionally fanned across a weighted
+//! tenant mix) and prints a summary line. `--tenant` omitted addresses
+//! the `default` tenant everywhere.
 
 use blockgnn_engine::{GraphDelta, InferRequest};
-use blockgnn_server::{run_closed_loop, Client, LoadConfig, SubmitOptions};
+use blockgnn_server::tenant::{backend_kind_name, model_kind_name};
+use blockgnn_server::{run_closed_loop, Client, LoadConfig, SubmitOptions, TenantSpec};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -57,11 +66,7 @@ fn run() -> Result<(), String> {
             println!("pong");
             Ok(())
         }
-        "stats" => {
-            let stats = connect(addr)?.stats().map_err(|e| format!("err {e}"))?;
-            println!("{stats}");
-            Ok(())
-        }
+        "stats" => stats(addr, &rest),
         "shutdown" => {
             connect(addr)?.shutdown().map_err(|e| format!("err {e}"))?;
             println!("ok bye");
@@ -69,6 +74,9 @@ fn run() -> Result<(), String> {
         }
         "infer" => infer(addr, &rest),
         "update" => update(addr, &rest),
+        "deploy" => deploy(addr, &rest),
+        "retire" => retire(addr, &rest),
+        "list" => list(addr),
         "load" => load(addr, &rest),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
@@ -80,15 +88,36 @@ fn connect(addr: SocketAddr) -> Result<Client, String> {
 
 fn usage() -> String {
     "usage: blockgnn-client --addr HOST:PORT \
-     (ping | stats | shutdown \
+     (ping | stats [--tenant NAME] | shutdown \
      | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D] \
+       [--tenant NAME] \
      | update [--add U:V,...] [--del U:V,...] [--feat NODE:F,F,...] [--new F,...;F,...] \
-     | load --clients N --requests N [--pool N] [--s1 N] [--s2 N])"
+       [--tenant NAME] \
+     | deploy NAME=DATASET:MODEL:BACKEND [--weight N] [--depth N] [--hidden N] [--block N] \
+       [--seed N] \
+     | retire NAME | list \
+     | load --clients N --requests N [--pool N] [--s1 N] [--s2 N] [--tenant NAME:WEIGHT ...])"
         .into()
+}
+
+fn stats(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut tenant: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--tenant" => tenant = Some(it.next().ok_or("--tenant needs a name")?.clone()),
+            other => return Err(format!("unknown stats flag {other:?}")),
+        }
+    }
+    let line =
+        connect(addr)?.stats_tenant(tenant.as_deref()).map_err(|e| format!("err {e}"))?;
+    println!("{line}");
+    Ok(())
 }
 
 fn update(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     let mut delta = GraphDelta::new();
+    let mut tenant: Option<String> = None;
     let parse_pairs = |v: &str| -> Result<Vec<(usize, usize)>, String> {
         v.split(',')
             .filter(|p| !p.is_empty())
@@ -127,14 +156,15 @@ fn update(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
                     delta.append_nodes.push(parse_row(row)?);
                 }
             }
+            "--tenant" => tenant = Some(v.clone()),
             other => return Err(format!("unknown update flag {other:?}")),
         }
     }
-    match connect(addr)?.update(&delta) {
+    match connect(addr)?.update_tenant(&delta, tenant.as_deref()) {
         Ok(ack) => {
             println!(
-                "ok version={} nodes={} arcs={}",
-                ack.version, ack.num_nodes, ack.num_arcs
+                "ok tenant={} version={} nodes={} arcs={}",
+                ack.tenant, ack.version, ack.num_nodes, ack.num_arcs
             );
             Ok(())
         }
@@ -142,10 +172,75 @@ fn update(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     }
 }
 
+fn deploy(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut words = rest.iter();
+    let compact = words.next().ok_or("deploy needs NAME=DATASET:MODEL:BACKEND")?;
+    let mut spec = TenantSpec::parse_compact(compact)?;
+    while let Some(flag) = words.next() {
+        let v = words.next().ok_or(format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--weight" => spec = spec.weight(parse(v)?),
+            "--depth" => spec = spec.max_queue_depth(parse(v)?),
+            "--hidden" => spec = spec.hidden_dim(parse(v)?),
+            "--block" => spec = spec.block_size(parse(v)?),
+            "--seed" => spec = spec.seed(parse(v)?),
+            other => return Err(format!("unknown deploy flag {other:?}")),
+        }
+    }
+    match connect(addr)?.deploy(&spec) {
+        Ok(info) => {
+            println!(
+                "ok tenant={} model={} backend={} nodes={} weight={} resident={}",
+                info.name,
+                model_kind_name(info.model),
+                backend_kind_name(info.backend),
+                info.num_nodes,
+                info.weight,
+                info.resident_bytes
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("err {e}")),
+    }
+}
+
+fn retire(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let [name] = rest else {
+        return Err("retire needs exactly one tenant name".into());
+    };
+    match connect(addr)?.retire(name) {
+        Ok(line) => {
+            println!("{line}");
+            Ok(())
+        }
+        Err(e) => Err(format!("err {e}")),
+    }
+}
+
+fn list(addr: SocketAddr) -> Result<(), String> {
+    let infos = connect(addr)?.list().map_err(|e| format!("err {e}"))?;
+    println!("tenants={}", infos.len());
+    for info in infos {
+        println!(
+            "tenant={} model={} backend={} version={} nodes={} weight={} depth={} resident={}",
+            info.name,
+            model_kind_name(info.model),
+            backend_kind_name(info.backend),
+            info.graph_version,
+            info.num_nodes,
+            info.weight,
+            info.queue_depth,
+            info.resident_bytes
+        );
+    }
+    Ok(())
+}
+
 fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     let mut nodes: Vec<usize> = Vec::new();
     let mut sampled: Option<(usize, usize, u64)> = None;
     let mut options = SubmitOptions::default();
+    let mut tenant: Option<String> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -184,6 +279,7 @@ fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad deadline".to_string())?;
                 options.deadline = Some(Duration::from_millis(ms));
             }
+            "--tenant" => tenant = Some(it.next().ok_or("--tenant needs a name")?.clone()),
             other => return Err(format!("unknown infer flag {other:?}")),
         }
     }
@@ -191,11 +287,13 @@ fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
         Some((s1, s2, seed)) => InferRequest::sampled(nodes, s1, s2, seed),
         None => InferRequest::full_graph(nodes),
     };
-    match connect(addr)?.infer_with(&request, options) {
+    match connect(addr)?.infer_tenant(&request, options, tenant.as_deref()) {
         Ok(r) => {
             println!(
-                "ok rows={} queue_us={} compute_us={} batch={} preds={}",
+                "ok rows={} tenant={} version={} queue_us={} compute_us={} batch={} preds={}",
                 r.logits.rows(),
+                r.tenant,
+                r.graph_version,
                 r.queue_time.as_micros(),
                 r.compute_time.as_micros(),
                 r.batch_size,
@@ -207,15 +305,27 @@ fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     }
 }
 
+fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("bad numeric value {v:?}"))
+}
+
 fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     let mut clients = 8usize;
     let mut requests = 32usize;
     let mut pool = 8usize;
     let mut s1 = 10usize;
     let mut s2 = 5usize;
+    let mut tenants: Vec<(String, u32)> = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let v = it.next().ok_or(format!("{flag} needs a value"))?;
+        if flag == "--tenant" {
+            // NAME:WEIGHT; repeatable to build a mix.
+            let (name, weight) =
+                v.split_once(':').ok_or_else(|| format!("expected NAME:WEIGHT, got {v:?}"))?;
+            tenants.push((name.to_string(), parse(weight)?));
+            continue;
+        }
         let n: usize = v.parse().map_err(|_| format!("bad value {v:?}"))?;
         match flag.as_str() {
             "--clients" => clients = n,
@@ -230,7 +340,7 @@ fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
         .map(|i| InferRequest::sampled(vec![i * 7, i * 7 + 1], s1, s2, i as u64))
         .collect();
     let report =
-        run_closed_loop(addr, &LoadConfig { clients, requests_per_client: requests, pool });
+        run_closed_loop(addr, &LoadConfig::new(clients, requests, pool).with_tenants(tenants));
     println!(
         "load sent={} ok={} shed={} errors={} qps={:.1} p50_us={} p95_us={} p99_us={}",
         report.sent,

@@ -7,16 +7,22 @@
 //!                [--addr HOST:PORT] [--workers N]
 //!                [--batch-window-us N] [--max-batch N]
 //!                [--queue-depth N] [--deadline-ms N]
+//!                [--device-budget BYTES]
+//!                [--tenant NAME=DATASET:MODEL:BACKEND]...
 //! ```
 //!
-//! Prints `LISTENING <addr>` once the port is bound (machine-readable —
-//! the CI smoke job and scripts wait for it), then serves until a
-//! client sends `shutdown`, finally printing the telemetry summary.
+//! The `--dataset`/`--model`/`--backend` triple becomes the `default`
+//! tenant; each repeatable `--tenant` deploys one more alongside it
+//! (weight 1, builder defaults — clients can `deploy` richer specs at
+//! runtime). Prints `LISTENING <addr>` once the port is bound
+//! (machine-readable — the CI smoke job and scripts wait for it), then
+//! serves until a client sends `shutdown`, finally printing the
+//! telemetry summary.
 
 use blockgnn_engine::{BackendKind, EngineBuilder};
 use blockgnn_gnn::{Compression, ModelKind};
 use blockgnn_graph::datasets;
-use blockgnn_server::{Server, ServerConfig, TcpServer};
+use blockgnn_server::{Server, ServerConfig, TcpServer, TenantSpec};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -30,6 +36,7 @@ struct Args {
     seed: u64,
     addr: String,
     config: ServerConfig,
+    tenants: Vec<TenantSpec>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +49,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         addr: "127.0.0.1:0".into(),
         config: ServerConfig::default(),
+        tenants: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -79,6 +87,10 @@ fn parse_args() -> Result<Args, String> {
                 args.config.default_deadline =
                     Some(Duration::from_millis(parse(&value(&flag)?)?));
             }
+            "--device-budget" => {
+                args.config.device_budget_bytes = Some(parse(&value(&flag)?)?);
+            }
+            "--tenant" => args.tenants.push(TenantSpec::parse_compact(&value(&flag)?)?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other:?}")),
         }
@@ -101,7 +113,8 @@ fn main() -> ExitCode {
                 "usage: blockgnn-serve [--dataset {}] [--model gcn|gs-pool|g-gcn|gat] \
                  [--backend dense|spectral|simulated-accel] [--hidden N] [--block N] \
                  [--seed N] [--addr HOST:PORT] [--workers N] [--batch-window-us N] \
-                 [--max-batch N] [--queue-depth N] [--deadline-ms N]",
+                 [--max-batch N] [--queue-depth N] [--deadline-ms N] \
+                 [--device-budget BYTES] [--tenant NAME=DATASET:MODEL:BACKEND]...",
                 datasets::small_names().join("|"),
             );
             return ExitCode::from(2);
@@ -142,6 +155,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for spec in &args.tenants {
+        match server.deploy(spec) {
+            Ok(handle) => {
+                let info = handle.info();
+                eprintln!(
+                    "deployed tenant {} · {} · {} backend · {} nodes · {} resident bytes",
+                    info.name, info.model, info.backend, info.num_nodes, info.resident_bytes
+                );
+            }
+            Err(e) => {
+                eprintln!("error: deploying tenant {:?} failed: {e}", spec.name);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let front = match TcpServer::bind(Arc::clone(&server), args.addr.as_str()) {
         Ok(front) => front,
         Err(e) => {

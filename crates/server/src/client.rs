@@ -3,10 +3,11 @@
 
 use crate::error::ServerError;
 use crate::protocol::{
-    encode_infer, encode_update, parse_error, parse_response, parse_update_ack, RemoteResponse,
-    UpdateAck,
+    encode_deploy, encode_infer, encode_stats, encode_update, parse_deploy_ack, parse_error,
+    parse_list_reply, parse_response, parse_update_ack, RemoteResponse, UpdateAck,
 };
 use crate::queue::SubmitOptions;
+use crate::tenant::{TenantInfo, TenantSpec};
 use blockgnn_engine::{GraphDelta, InferRequest, LatencyHistogram};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -43,7 +44,8 @@ impl Client {
         Ok(reply.trim_end().to_string())
     }
 
-    /// Sends one inference request and blocks for the answer.
+    /// Sends one inference request to the default tenant and blocks for
+    /// the answer.
     ///
     /// # Errors
     ///
@@ -55,7 +57,8 @@ impl Client {
         self.infer_with(request, SubmitOptions::default())
     }
 
-    /// Sends one inference request with explicit priority/deadline.
+    /// Sends one inference request to the default tenant with explicit
+    /// priority/deadline.
     ///
     /// # Errors
     ///
@@ -65,16 +68,32 @@ impl Client {
         request: &InferRequest,
         options: SubmitOptions,
     ) -> Result<RemoteResponse, ServerError> {
-        let reply = self.roundtrip(&encode_infer(request, options))?;
+        self.infer_tenant(request, options, None)
+    }
+
+    /// Sends one inference request with explicit options and tenant
+    /// (`None` = the default tenant; `Some(name)` sends `infer@name`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::infer`], plus [`ServerError::UnknownTenant`] when no
+    /// such tenant is deployed.
+    pub fn infer_tenant(
+        &mut self,
+        request: &InferRequest,
+        options: SubmitOptions,
+        tenant: Option<&str>,
+    ) -> Result<RemoteResponse, ServerError> {
+        let reply = self.roundtrip(&encode_infer(request, options, tenant))?;
         if reply.starts_with("err ") {
             return Err(parse_error(&reply)?);
         }
         parse_response(&reply)
     }
 
-    /// Applies a graph delta on the server, blocking for the ack with
-    /// the newly published version. Feature values cross the wire as
-    /// `f64` bit patterns, so the server applies exactly this delta.
+    /// Applies a graph delta to the default tenant, blocking for the ack
+    /// with the newly published version. Feature values cross the wire
+    /// as `f64` bit patterns, so the server applies exactly this delta.
     ///
     /// # Errors
     ///
@@ -82,11 +101,76 @@ impl Client {
     /// for invalid deltas / residency violations / frozen snapshots),
     /// or transport/protocol errors.
     pub fn update(&mut self, delta: &GraphDelta) -> Result<UpdateAck, ServerError> {
-        let reply = self.roundtrip(&encode_update(delta))?;
+        self.update_tenant(delta, None)
+    }
+
+    /// Applies a graph delta to the addressed tenant (`None` = default).
+    /// Tenants' graphs version independently — the ack echoes which
+    /// tenant (and which of its versions) the delta published.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::update`], plus [`ServerError::UnknownTenant`] when
+    /// no such tenant is deployed.
+    pub fn update_tenant(
+        &mut self,
+        delta: &GraphDelta,
+        tenant: Option<&str>,
+    ) -> Result<UpdateAck, ServerError> {
+        let reply = self.roundtrip(&encode_update(delta, tenant))?;
         if reply.starts_with("err ") {
             return Err(parse_error(&reply)?);
         }
         parse_update_ack(&reply)
+    }
+
+    /// Deploys a new tenant on the server; blocks for the ack describing
+    /// what was published.
+    ///
+    /// # Errors
+    ///
+    /// The server's typed rejection ([`ServerError::TenantExists`],
+    /// [`ServerError::TenantBudget`], a protocol error for a bad spec),
+    /// or transport/protocol errors.
+    pub fn deploy(&mut self, spec: &TenantSpec) -> Result<TenantInfo, ServerError> {
+        let reply = self.roundtrip(&encode_deploy(spec))?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        parse_deploy_ack(&reply)
+    }
+
+    /// Retires a deployed tenant; returns the server's send-off line
+    /// (`ok retire tenant=… requests=… completed=… shed=…`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTenant`] for unknown names, a protocol
+    /// error for the irremovable default tenant, or transport errors.
+    pub fn retire(&mut self, tenant: &str) -> Result<String, ServerError> {
+        let reply = self.roundtrip(&format!("retire {tenant}"))?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        if reply.starts_with("ok retire ") {
+            Ok(reply)
+        } else {
+            Err(ServerError::Protocol(format!("expected ok retire reply, got {reply:?}")))
+        }
+    }
+
+    /// Fetches the deployed-tenant roster.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServerError::Protocol`] on a malformed
+    /// reply.
+    pub fn list(&mut self) -> Result<Vec<TenantInfo>, ServerError> {
+        let reply = self.roundtrip("list")?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        parse_list_reply(&reply)
     }
 
     /// Liveness probe.
@@ -104,14 +188,28 @@ impl Client {
         }
     }
 
-    /// Fetches the server's one-line telemetry summary.
+    /// Fetches the server's aggregate one-line telemetry summary.
     ///
     /// # Errors
     ///
     /// Transport errors, or [`ServerError::Protocol`] on a malformed
     /// reply.
     pub fn stats(&mut self) -> Result<String, ServerError> {
-        let reply = self.roundtrip("stats")?;
+        self.stats_tenant(None)
+    }
+
+    /// Fetches a telemetry summary — aggregate (`None`) or one tenant's
+    /// private slice (`Some(name)` sends `stats@name`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::stats`], plus [`ServerError::UnknownTenant`] when no
+    /// such tenant is deployed.
+    pub fn stats_tenant(&mut self, tenant: Option<&str>) -> Result<String, ServerError> {
+        let reply = self.roundtrip(&encode_stats(tenant))?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
         reply.strip_prefix("ok stats ").map(str::to_string).ok_or_else(|| {
             ServerError::Protocol(format!("expected stats reply, got {reply:?}"))
         })
@@ -145,6 +243,47 @@ pub struct LoadConfig {
     /// offset `c`, so concurrent clients overlap on the same requests —
     /// the duplicate-heavy serving mix the batcher's dedup exploits.
     pub pool: Vec<InferRequest>,
+    /// Weighted tenant mix: each request is addressed to one of these
+    /// tenants, chosen deterministically by request index in proportion
+    /// to the weights. Empty means every request goes to the default
+    /// tenant (the single-tenant lanes use this).
+    pub tenants: Vec<(String, u32)>,
+}
+
+impl LoadConfig {
+    /// A single-tenant (default-tenant) load config.
+    #[must_use]
+    pub fn new(clients: usize, requests_per_client: usize, pool: Vec<InferRequest>) -> Self {
+        Self { clients, requests_per_client, pool, tenants: Vec::new() }
+    }
+
+    /// Addresses the load at a weighted tenant mix instead of the
+    /// default tenant.
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Vec<(String, u32)>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// The tenant request `i` of client `c` addresses (`None` = the
+    /// default tenant): a deterministic weighted round-robin, so a rerun
+    /// replays the identical per-tenant request sequence.
+    #[must_use]
+    pub fn tenant_for(&self, c: usize, i: usize) -> Option<&str> {
+        if self.tenants.is_empty() {
+            return None;
+        }
+        let total: u64 = self.tenants.iter().map(|(_, w)| u64::from((*w).max(1))).sum();
+        let mut slot = ((c + i * 7) as u64) % total;
+        for (name, weight) in &self.tenants {
+            let weight = u64::from((*weight).max(1));
+            if slot < weight {
+                return Some(name);
+            }
+            slot -= weight;
+        }
+        unreachable!("slot < total by construction")
+    }
 }
 
 /// What a load run observed, client-side.
@@ -179,7 +318,8 @@ impl LoadReport {
 
 /// Runs a closed-loop load test against a front end: spawns
 /// `cfg.clients` connections, drives them to completion, and merges the
-/// per-client observations.
+/// per-client observations. With a tenant mix configured, requests fan
+/// out across the named tenants in weight proportion.
 ///
 /// # Panics
 ///
@@ -196,9 +336,10 @@ pub fn run_closed_loop(addr: std::net::SocketAddr, cfg: &LoadConfig) -> LoadRepo
                     let mut report = LoadReport::default();
                     for i in 0..cfg.requests_per_client {
                         let request = &cfg.pool[(c + i) % cfg.pool.len()];
+                        let tenant = cfg.tenant_for(c, i);
                         let sent_at = Instant::now();
                         report.sent += 1;
-                        match client.infer(request) {
+                        match client.infer_tenant(request, SubmitOptions::default(), tenant) {
                             Ok(_) => {
                                 report.ok += 1;
                                 report.latency.record(sent_at.elapsed());
@@ -225,4 +366,33 @@ pub fn run_closed_loop(addr: std::net::SocketAddr, cfg: &LoadConfig) -> LoadRepo
         merged.latency.merge(&r.latency);
     }
     merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tenant_mix_is_deterministic_and_weight_proportional() {
+        let cfg = LoadConfig::new(1, 0, vec![InferRequest::all_nodes()])
+            .with_tenants(vec![("a".into(), 3), ("b".into(), 1)]);
+        let mut counts = std::collections::BTreeMap::new();
+        for c in 0..4 {
+            for i in 0..100 {
+                let t = cfg.tenant_for(c, i).unwrap().to_string();
+                assert_eq!(cfg.tenant_for(c, i), Some(t.as_str()), "deterministic");
+                *counts.entry(t).or_insert(0usize) += 1;
+            }
+        }
+        // 3:1 weights over 400 draws: a gets 300 ± rounding of the
+        // deterministic cycle, b the rest.
+        let a = counts["a"];
+        let b = counts["b"];
+        assert_eq!(a + b, 400);
+        assert!(a > 2 * b, "weight-3 tenant dominates: a={a} b={b}");
+        // No mix = default tenant for every request.
+        let plain = LoadConfig::new(2, 5, vec![InferRequest::all_nodes()]);
+        assert_eq!(plain.tenant_for(0, 0), None);
+        assert_eq!(plain.tenant_for(1, 4), None);
+    }
 }

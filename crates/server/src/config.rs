@@ -33,6 +33,14 @@ pub struct ServerConfig {
     /// Deadline applied to requests that do not carry their own; `None`
     /// means no default deadline.
     pub default_deadline: Option<Duration>,
+    /// Device budget (bytes) the multi-tenant residency accountant
+    /// enforces on `deploy`: the sum of deployed tenants' packed weight
+    /// spectra + resident node features (§IV-B/§IV-C accounting) must
+    /// fit, or the deploy is rejected with
+    /// [`crate::ServerError::TenantBudget`]. `None` (the default)
+    /// disables the aggregate check — each engine still enforces its own
+    /// per-engine budget on graph growth.
+    pub device_budget_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -47,6 +55,7 @@ impl Default for ServerConfig {
             max_batch_requests: 8,
             max_batch_nodes: 1024,
             default_deadline: None,
+            device_budget_bytes: None,
         }
     }
 }
@@ -85,6 +94,14 @@ impl ServerConfig {
     #[must_use]
     pub fn with_default_deadline(mut self, deadline: Option<Duration>) -> Self {
         self.default_deadline = deadline;
+        self
+    }
+
+    /// Sets the aggregate device budget the multi-tenant residency
+    /// accountant enforces on `deploy` (`None` disables it).
+    #[must_use]
+    pub fn with_device_budget(mut self, budget_bytes: Option<usize>) -> Self {
+        self.device_budget_bytes = budget_bytes;
         self
     }
 

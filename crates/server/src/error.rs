@@ -32,6 +32,29 @@ pub enum ServerError {
     /// The serving worker disappeared before answering (only possible
     /// during an unclean teardown).
     Canceled,
+    /// The addressed tenant is not deployed (never was, or was retired;
+    /// requests already queued for a tenant when it is retired come back
+    /// with this too).
+    UnknownTenant {
+        /// The tenant name the request addressed.
+        name: String,
+    },
+    /// A tenant with this name is already deployed; retire it first (or
+    /// pick another name) to swap in a replacement.
+    TenantExists {
+        /// The name the deploy collided on.
+        name: String,
+    },
+    /// Deploying the tenant would overflow the device budget: the sum of
+    /// deployed tenants' packed weight spectra + resident features
+    /// (§IV-B/§IV-C accounting) must fit
+    /// [`crate::ServerConfig::device_budget_bytes`].
+    TenantBudget {
+        /// Aggregate resident bytes the deploy would have needed.
+        needed: usize,
+        /// The configured device budget.
+        budget: usize,
+    },
     /// The engine rejected the request (bad node ids, empty sampled
     /// request, …).
     Engine(EngineError),
@@ -55,6 +78,19 @@ impl fmt::Display for ServerError {
             }
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
             ServerError::Canceled => write!(f, "serving worker dropped the request"),
+            ServerError::UnknownTenant { name } => {
+                write!(f, "no tenant named {name:?} is deployed")
+            }
+            ServerError::TenantExists { name } => {
+                write!(f, "a tenant named {name:?} is already deployed")
+            }
+            ServerError::TenantBudget { needed, budget } => {
+                write!(
+                    f,
+                    "deploy rejected: aggregate residency {needed} B exceeds the \
+                     device budget {budget} B"
+                )
+            }
             ServerError::Engine(e) => write!(f, "engine error: {e}"),
             ServerError::RemoteEngine(m) => write!(f, "remote engine error: {m}"),
             ServerError::Protocol(m) => write!(f, "protocol error: {m}"),

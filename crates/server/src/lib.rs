@@ -26,6 +26,19 @@
 //!   `graph_version` it was computed against. The `update` protocol
 //!   verb carries deltas over the wire (features as `f64` bit
 //!   patterns).
+//! * **Multi-tenant serving** — a [`tenant`] registry hosts many
+//!   `(graph, model, backend)` triples in one process behind one shared
+//!   worker pool. `deploy`/`retire` publish and unpublish tenants with
+//!   the same `Arc`-swap pattern the graph epochs use (no stalls for
+//!   other tenants); the admission queue becomes weighted-fair across
+//!   per-tenant lanes (stride scheduling, per-tenant depth caps); an
+//!   aggregate §IV-B/§IV-C residency accountant rejects over-budget
+//!   deploys with a typed [`ServerError::TenantBudget`]; and
+//!   [`ServerStats::tenants`] rolls up per-tenant QPS, latency
+//!   percentiles, sheds, and graph versions. The wire protocol grows
+//!   `deploy`/`retire`/`list` verbs and an optional `@tenant` qualifier
+//!   on `infer`/`update`/`stats` — absent means the `default` tenant,
+//!   so single-tenant clients work unchanged.
 //! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
 //!   [`protocol`] (logits cross as `f64` bit patterns, so remote
 //!   answers stay bit-identical); [`Client`] and the closed-loop
@@ -64,6 +77,7 @@ mod queue;
 mod server;
 mod tcp;
 mod telemetry;
+pub mod tenant;
 
 pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
 pub use config::ServerConfig;
@@ -72,7 +86,8 @@ pub use protocol::{RemoteResponse, UpdateAck};
 pub use queue::SubmitOptions;
 pub use server::{Server, ServerHandle, Ticket};
 pub use tcp::TcpServer;
-pub use telemetry::ServerStats;
+pub use telemetry::{ServerStats, TenantRollup};
+pub use tenant::{TenantInfo, TenantSpec, DEFAULT_TENANT};
 // The delta type `update`/`Server::apply_delta` consume, re-exported so
 // serving callers need no direct engine/graph import.
 pub use blockgnn_engine::GraphDelta;

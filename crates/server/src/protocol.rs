@@ -8,55 +8,88 @@
 //! # Grammar
 //!
 //! ```text
-//! command   = infer | update | "ping" | "stats" | "shutdown"
-//! infer     = "infer" SP target [SP option]*
+//! command   = infer | update | "ping" | stats | deploy | retire
+//!           | "list" | "shutdown"
+//! infer     = "infer" ["@" tenant] SP target [SP option]*
 //! target    = "full" SP ("all" | nodes)
 //!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
 //! nodes     = int ("," int)*
 //! option    = "priority=" int | "deadline_ms=" int
 //!
-//! update    = "update" [SP "add=" pairs] [SP "del=" pairs]
+//! update    = "update" ["@" tenant] [SP "add=" pairs] [SP "del=" pairs]
 //!             [SP "feat=" featrows] [SP "new=" rows]
 //! pairs     = pair ("," pair)*        pair    = int ":" int
 //! featrows  = featrow (";" featrow)*  featrow = int ":" hex64 ("," hex64)*
 //! rows      = row (";" row)*          row     = hex64 ("," hex64)*
 //!
+//! stats     = "stats" ["@" tenant]
+//! deploy    = "deploy" SP tenant "=" dataset ":" model ":" backend
+//!             [SP "weight=" int] [SP "depth=" int] [SP "hidden=" int]
+//!             [SP "block=" int] [SP "seed=" int]
+//! retire    = "retire" SP tenant
+//! tenant    = 1*(ALPHA / DIGIT / "-" / "_" / ".")
+//!
 //! reply     = "ok" SP infer-reply | "pong" | "ok stats " summary
-//!           | "ok update version=" int SP "nodes=" int SP "arcs=" int
+//!           | "ok update tenant=" tenant SP "version=" int
+//!             SP "nodes=" int SP "arcs=" int
+//!           | "ok deploy tenant=" tenant SP "model=" model
+//!             SP "backend=" backend SP "version=" int SP "nodes=" int
+//!             SP "weight=" int SP "resident=" int
+//!           | "ok retire tenant=" tenant SP "requests=" int
+//!             SP "completed=" int SP "shed=" int
+//!           | "ok list tenants=" int (SP info)*
 //!           | "ok bye" | "err" SP kind SP message
+//! info      = tenant ":" model ":" backend ":" version ":" nodes
+//!             ":" weight ":" depth ":" resident
 //! infer-reply = "rows=" int SP "cols=" int SP "queue_us=" int
 //!               SP "compute_us=" int SP "from_cache=" ("0"|"1")
 //!               SP "parts=" int SP "batch=" int SP "version=" int
-//!               SP "cycles=" int
+//!               SP "tenant=" tenant SP "cycles=" int
 //!               SP "energy=" ("none" | hex64)
 //!               SP "preds=" int ("," int)*
 //!               SP "logits=" row (";" row)*     row = hex64 ("," hex64)*
 //! kind      = "overloaded" | "deadline" | "shutting_down" | "canceled"
 //!           | "bad_request" | "engine" | "protocol" | "io"
+//!           | "unknown_tenant" | "tenant_exists" | "tenant_budget"
 //! ```
 //!
-//! Feature values in `update` cross the wire as hexadecimal
-//! `f64::to_bits` words (like logits), so the applied delta is
-//! bit-identical to an in-process [`blockgnn_engine::GraphDelta`].
+//! An absent `@tenant` qualifier addresses the `default` tenant
+//! ([`crate::DEFAULT_TENANT`]), so single-tenant clients never spell
+//! tenancy at all. Feature values in `update` cross the wire as
+//! hexadecimal `f64::to_bits` words (like logits), so the applied delta
+//! is bit-identical to an in-process [`blockgnn_engine::GraphDelta`].
 
 use crate::error::ServerError;
 use crate::queue::SubmitOptions;
+use crate::telemetry::ServerStats;
+use crate::tenant::{
+    backend_kind_name, model_kind_name, parse_backend_kind, parse_model_kind,
+    validate_tenant_name, TenantInfo, TenantSpec,
+};
 use blockgnn_engine::{GraphDelta, InferRequest, InferResponse};
 use blockgnn_linalg::Matrix;
 use std::fmt::Write as _;
 use std::time::Duration;
 
-/// A parsed client command.
+/// A parsed client command. The `Option<String>` on `Infer`/`Update`/
+/// `Stats` is the `@tenant` qualifier; `None` addresses the `default`
+/// tenant.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// Run inference.
-    Infer(InferRequest, SubmitOptions),
-    /// Apply a graph delta.
-    Update(GraphDelta),
+    /// Run inference on the addressed tenant.
+    Infer(InferRequest, SubmitOptions, Option<String>),
+    /// Apply a graph delta to the addressed tenant.
+    Update(GraphDelta, Option<String>),
     /// Liveness probe.
     Ping,
-    /// One-line telemetry summary.
-    Stats,
+    /// One-line telemetry summary — aggregate (`None`) or one tenant's.
+    Stats(Option<String>),
+    /// Deploy a new tenant from a spec.
+    Deploy(TenantSpec),
+    /// Retire a deployed tenant by name.
+    Retire(String),
+    /// Describe every deployed tenant.
+    List,
     /// Stop the server cleanly.
     Shutdown,
 }
@@ -68,18 +101,45 @@ pub enum Command {
 /// A human-readable description of the first syntax problem.
 pub fn parse_command(line: &str) -> Result<Command, String> {
     let mut words = line.split_whitespace();
-    match words.next() {
-        Some("ping") => Ok(Command::Ping),
-        Some("stats") => Ok(Command::Stats),
-        Some("shutdown") => Ok(Command::Shutdown),
-        Some("infer") => parse_infer(&mut words),
-        Some("update") => parse_update(&mut words),
-        Some(other) => Err(format!("unknown command {other:?}")),
-        None => Err("empty command".into()),
+    let Some(first) = words.next() else {
+        return Err("empty command".into());
+    };
+    let (verb, tenant) = match first.split_once('@') {
+        Some((verb, name)) => {
+            if !matches!(verb, "infer" | "update" | "stats") {
+                return Err(format!(
+                    "@tenant qualifier is not allowed on {verb:?} (infer | update | stats)"
+                ));
+            }
+            validate_tenant_name(name)?;
+            (verb, Some(name.to_string()))
+        }
+        None => (first, None),
+    };
+    match verb {
+        "ping" => Ok(Command::Ping),
+        "stats" => Ok(Command::Stats(tenant)),
+        "shutdown" => Ok(Command::Shutdown),
+        "list" => Ok(Command::List),
+        "infer" => parse_infer(&mut words, tenant),
+        "update" => parse_update(&mut words, tenant),
+        "deploy" => parse_deploy(&mut words),
+        "retire" => {
+            let name = words.next().ok_or("retire needs a tenant name")?;
+            validate_tenant_name(name)?;
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected word {extra:?} after retire name"));
+            }
+            Ok(Command::Retire(name.to_string()))
+        }
+        other => Err(format!("unknown command {other:?}")),
     }
 }
 
-fn parse_infer<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+fn parse_infer<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+    tenant: Option<String>,
+) -> Result<Command, String> {
     let target = words.next().ok_or("infer needs a target (full | sampled)")?;
     let (request, rest): (InferRequest, Vec<&str>) = match target {
         "full" => {
@@ -110,10 +170,13 @@ fn parse_infer<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command,
             return Err(format!("unknown option {word:?}"));
         }
     }
-    Ok(Command::Infer(request, options))
+    Ok(Command::Infer(request, options, tenant))
 }
 
-fn parse_update<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+fn parse_update<'a>(
+    words: &mut impl Iterator<Item = &'a str>,
+    tenant: Option<String>,
+) -> Result<Command, String> {
     let mut delta = GraphDelta::new();
     for word in words {
         if let Some(v) = word.strip_prefix("add=") {
@@ -149,7 +212,28 @@ fn parse_update<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command
     // An empty delta is syntactically valid; the engine rejects it with
     // a typed `EmptyDelta`, so the client sees a semantic error rather
     // than a protocol one (same split as empty node lists on `infer`).
-    Ok(Command::Update(delta))
+    Ok(Command::Update(delta, tenant))
+}
+
+fn parse_deploy<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    let compact = words.next().ok_or("deploy needs name=dataset:model:backend")?;
+    let mut spec = TenantSpec::parse_compact(compact)?;
+    for word in words {
+        if let Some(v) = word.strip_prefix("weight=") {
+            spec = spec.weight(v.parse().map_err(|_| format!("bad weight {v:?}"))?);
+        } else if let Some(v) = word.strip_prefix("depth=") {
+            spec = spec.max_queue_depth(v.parse().map_err(|_| format!("bad depth {v:?}"))?);
+        } else if let Some(v) = word.strip_prefix("hidden=") {
+            spec = spec.hidden_dim(v.parse().map_err(|_| format!("bad hidden {v:?}"))?);
+        } else if let Some(v) = word.strip_prefix("block=") {
+            spec = spec.block_size(v.parse().map_err(|_| format!("bad block {v:?}"))?);
+        } else if let Some(v) = word.strip_prefix("seed=") {
+            spec = spec.seed(v.parse().map_err(|_| format!("bad seed {v:?}"))?);
+        } else {
+            return Err(format!("unknown deploy option {word:?}"));
+        }
+    }
+    Ok(Command::Deploy(spec))
 }
 
 fn parse_pairs(csv: &str) -> Result<Vec<(usize, usize)>, String> {
@@ -177,12 +261,22 @@ fn parse_f64_row(csv: &str) -> Result<Vec<f64>, String> {
         .collect()
 }
 
-/// Renders a [`GraphDelta`] as an `update` request line (no newline).
-/// Feature values cross as `f64` bit patterns, so the server applies
-/// exactly the delta the client built.
+/// Pushes a command verb with an optional `@tenant` qualifier.
+fn push_verb(line: &mut String, verb: &str, tenant: Option<&str>) {
+    line.push_str(verb);
+    if let Some(name) = tenant {
+        let _ = write!(line, "@{name}");
+    }
+}
+
+/// Renders a [`GraphDelta`] as an `update` request line (no newline),
+/// addressed to `tenant` (`None` = the default tenant). Feature values
+/// cross as `f64` bit patterns, so the server applies exactly the delta
+/// the client built.
 #[must_use]
-pub fn encode_update(delta: &GraphDelta) -> String {
-    let mut line = String::from("update");
+pub fn encode_update(delta: &GraphDelta, tenant: Option<&str>) -> String {
+    let mut line = String::new();
+    push_verb(&mut line, "update", tenant);
     let push_pairs = |line: &mut String, key: &str, pairs: &[(usize, usize)]| {
         if pairs.is_empty() {
             return;
@@ -229,8 +323,10 @@ fn push_hex_row(line: &mut String, row: &[f64]) {
 }
 
 /// What a successful `update` reply carries back to the client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UpdateAck {
+    /// The tenant whose graph the delta was applied to.
+    pub tenant: String,
     /// The newly published graph version.
     pub version: u64,
     /// Node count after the delta.
@@ -242,7 +338,10 @@ pub struct UpdateAck {
 /// Renders an applied update as an `ok update` reply line (no newline).
 #[must_use]
 pub fn encode_update_ack(ack: &UpdateAck) -> String {
-    format!("ok update version={} nodes={} arcs={}", ack.version, ack.num_nodes, ack.num_arcs)
+    format!(
+        "ok update tenant={} version={} nodes={} arcs={}",
+        ack.tenant, ack.version, ack.num_nodes, ack.num_arcs
+    )
 }
 
 /// Parses an `ok update` reply back into an [`UpdateAck`].
@@ -254,6 +353,7 @@ pub fn parse_update_ack(line: &str) -> Result<UpdateAck, ServerError> {
     let body = line.strip_prefix("ok update ").ok_or_else(|| {
         ServerError::Protocol(format!("expected ok update reply, got {line:?}"))
     })?;
+    let mut tenant = None;
     let mut version = None;
     let mut nodes = None;
     let mut arcs = None;
@@ -262,6 +362,7 @@ pub fn parse_update_ack(line: &str) -> Result<UpdateAck, ServerError> {
             .split_once('=')
             .ok_or_else(|| ServerError::Protocol(format!("bad field {word:?}")))?;
         match key {
+            "tenant" => tenant = Some(value.to_string()),
             "version" => version = Some(parse_u64(value)?),
             "nodes" => nodes = Some(parse_usize(value)?),
             "arcs" => arcs = Some(parse_usize(value)?),
@@ -271,6 +372,7 @@ pub fn parse_update_ack(line: &str) -> Result<UpdateAck, ServerError> {
         }
     }
     Ok(UpdateAck {
+        tenant: tenant.ok_or_else(|| missing("tenant"))?,
         version: version.ok_or_else(|| missing("version"))?,
         num_nodes: nodes.ok_or_else(|| missing("nodes"))?,
         num_arcs: arcs.ok_or_else(|| missing("arcs"))?,
@@ -296,10 +398,17 @@ fn parse_nodes(csv: &str) -> Result<Vec<usize>, String> {
     csv.split(',').map(|w| w.parse().map_err(|_| format!("bad node id {w:?}"))).collect()
 }
 
-/// Renders an [`InferRequest`] + options as a request line (no newline).
+/// Renders an [`InferRequest`] + options as a request line (no newline),
+/// addressed to `tenant` (`None` = the default tenant).
 #[must_use]
-pub fn encode_infer(request: &InferRequest, options: SubmitOptions) -> String {
-    let mut line = String::from("infer ");
+pub fn encode_infer(
+    request: &InferRequest,
+    options: SubmitOptions,
+    tenant: Option<&str>,
+) -> String {
+    let mut line = String::new();
+    push_verb(&mut line, "infer", tenant);
+    line.push(' ');
     match request.mode {
         blockgnn_engine::RequestMode::FullGraph => {
             line.push_str("full ");
@@ -321,6 +430,212 @@ pub fn encode_infer(request: &InferRequest, options: SubmitOptions) -> String {
         let _ = write!(line, " deadline_ms={}", d.as_millis());
     }
     line
+}
+
+/// Renders a `stats` request line (no newline), aggregate (`None`) or
+/// for one tenant.
+#[must_use]
+pub fn encode_stats(tenant: Option<&str>) -> String {
+    let mut line = String::new();
+    push_verb(&mut line, "stats", tenant);
+    line
+}
+
+/// Renders a [`TenantSpec`] as a `deploy` request line (no newline).
+/// Options matching the spec defaults are omitted, so the common case
+/// stays one compact word.
+#[must_use]
+pub fn encode_deploy(spec: &TenantSpec) -> String {
+    let defaults =
+        TenantSpec::new(spec.name.clone(), spec.dataset.clone(), spec.model, spec.backend);
+    let mut line = format!(
+        "deploy {}={}:{}:{}",
+        spec.name,
+        spec.dataset,
+        model_kind_name(spec.model),
+        backend_kind_name(spec.backend)
+    );
+    if spec.weight != defaults.weight {
+        let _ = write!(line, " weight={}", spec.weight);
+    }
+    if let Some(depth) = spec.max_queue_depth {
+        let _ = write!(line, " depth={depth}");
+    }
+    if spec.hidden_dim != defaults.hidden_dim {
+        let _ = write!(line, " hidden={}", spec.hidden_dim);
+    }
+    if spec.block_size != defaults.block_size {
+        let _ = write!(line, " block={}", spec.block_size);
+    }
+    if spec.seed != defaults.seed {
+        let _ = write!(line, " seed={}", spec.seed);
+    }
+    line
+}
+
+/// Renders a successful deploy as an `ok deploy` reply line (no
+/// newline).
+#[must_use]
+pub fn encode_deploy_ack(info: &TenantInfo) -> String {
+    format!(
+        "ok deploy tenant={} model={} backend={} version={} nodes={} weight={} resident={}",
+        info.name,
+        model_kind_name(info.model),
+        backend_kind_name(info.backend),
+        info.graph_version,
+        info.num_nodes,
+        info.weight,
+        info.resident_bytes
+    )
+}
+
+/// Parses an `ok deploy` reply back into a [`TenantInfo`] (queue depth
+/// is zero — the tenant was just born).
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the line does not match the grammar.
+pub fn parse_deploy_ack(line: &str) -> Result<TenantInfo, ServerError> {
+    let body = line.strip_prefix("ok deploy ").ok_or_else(|| {
+        ServerError::Protocol(format!("expected ok deploy reply, got {line:?}"))
+    })?;
+    let mut name = None;
+    let mut model = None;
+    let mut backend = None;
+    let mut version = None;
+    let mut nodes = None;
+    let mut weight = None;
+    let mut resident = None;
+    for word in body.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| ServerError::Protocol(format!("bad field {word:?}")))?;
+        match key {
+            "tenant" => name = Some(value.to_string()),
+            "model" => model = Some(parse_model_kind(value).map_err(ServerError::Protocol)?),
+            "backend" => {
+                backend = Some(parse_backend_kind(value).map_err(ServerError::Protocol)?);
+            }
+            "version" => version = Some(parse_u64(value)?),
+            "nodes" => nodes = Some(parse_usize(value)?),
+            "weight" => {
+                weight =
+                    Some(value.parse().map_err(|_| {
+                        ServerError::Protocol(format!("bad integer {value:?}"))
+                    })?);
+            }
+            "resident" => resident = Some(parse_usize(value)?),
+            other => {
+                return Err(ServerError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(TenantInfo {
+        name: name.ok_or_else(|| missing("tenant"))?,
+        model: model.ok_or_else(|| missing("model"))?,
+        backend: backend.ok_or_else(|| missing("backend"))?,
+        graph_version: version.ok_or_else(|| missing("version"))?,
+        num_nodes: nodes.ok_or_else(|| missing("nodes"))?,
+        weight: weight.ok_or_else(|| missing("weight"))?,
+        queue_depth: 0,
+        resident_bytes: resident.ok_or_else(|| missing("resident"))?,
+    })
+}
+
+/// Renders a retired tenant's send-off as an `ok retire` reply line (no
+/// newline), carrying its lifetime counters.
+#[must_use]
+pub fn encode_retire_ack(tenant: &str, finals: &ServerStats) -> String {
+    format!(
+        "ok retire tenant={} requests={} completed={} shed={}",
+        tenant,
+        finals.submitted,
+        finals.completed,
+        finals.shed()
+    )
+}
+
+/// Renders one tenant's description as a colon-separated `list` segment
+/// (`name:model:backend:version:nodes:weight:depth:resident`).
+#[must_use]
+pub fn encode_tenant_info(info: &TenantInfo) -> String {
+    format!(
+        "{}:{}:{}:{}:{}:{}:{}:{}",
+        info.name,
+        model_kind_name(info.model),
+        backend_kind_name(info.backend),
+        info.graph_version,
+        info.num_nodes,
+        info.weight,
+        info.queue_depth,
+        info.resident_bytes
+    )
+}
+
+/// Parses one colon-separated `list` segment back into a
+/// [`TenantInfo`].
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the segment does not have exactly the
+/// grammar's eight fields.
+pub fn parse_tenant_info(segment: &str) -> Result<TenantInfo, ServerError> {
+    let parts: Vec<&str> = segment.split(':').collect();
+    let [name, model, backend, version, nodes, weight, depth, resident] = parts[..] else {
+        return Err(ServerError::Protocol(format!(
+            "expected name:model:backend:version:nodes:weight:depth:resident, got {segment:?}"
+        )));
+    };
+    Ok(TenantInfo {
+        name: name.to_string(),
+        model: parse_model_kind(model).map_err(ServerError::Protocol)?,
+        backend: parse_backend_kind(backend).map_err(ServerError::Protocol)?,
+        graph_version: parse_u64(version)?,
+        num_nodes: parse_usize(nodes)?,
+        weight: weight
+            .parse()
+            .map_err(|_| ServerError::Protocol(format!("bad integer {weight:?}")))?,
+        queue_depth: parse_usize(depth)?,
+        resident_bytes: parse_usize(resident)?,
+    })
+}
+
+/// Renders the deployed-tenant roster as an `ok list` reply line (no
+/// newline).
+#[must_use]
+pub fn encode_list_reply(infos: &[TenantInfo]) -> String {
+    let mut line = format!("ok list tenants={}", infos.len());
+    for info in infos {
+        line.push(' ');
+        line.push_str(&encode_tenant_info(info));
+    }
+    line
+}
+
+/// Parses an `ok list` reply back into the tenant roster.
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] on grammar mismatch, including a roster
+/// shorter or longer than its own `tenants=` count.
+pub fn parse_list_reply(line: &str) -> Result<Vec<TenantInfo>, ServerError> {
+    let body = line.strip_prefix("ok list ").ok_or_else(|| {
+        ServerError::Protocol(format!("expected ok list reply, got {line:?}"))
+    })?;
+    let mut words = body.split_whitespace();
+    let count_word = words.next().ok_or_else(|| missing("tenants"))?;
+    let count: usize = count_word
+        .strip_prefix("tenants=")
+        .ok_or_else(|| ServerError::Protocol(format!("expected tenants=…, got {count_word:?}")))
+        .and_then(parse_usize)?;
+    let infos = words.map(parse_tenant_info).collect::<Result<Vec<_>, _>>()?;
+    if infos.len() != count {
+        return Err(ServerError::Protocol(format!(
+            "list reply claims {count} tenants but carries {}",
+            infos.len()
+        )));
+    }
+    Ok(infos)
 }
 
 fn push_csv(line: &mut String, nodes: &[usize]) {
@@ -354,20 +669,24 @@ pub struct RemoteResponse {
     pub parts: usize,
     /// Requests coalesced into the answering execution.
     pub batch_size: usize,
-    /// Graph version the answer was computed against.
+    /// Graph version the answer was computed against (versions are
+    /// per-tenant).
     pub graph_version: u64,
+    /// The tenant that served the request.
+    pub tenant: String,
     /// Total simulated accelerator cycles (0 for software backends).
     pub sim_cycles: u64,
     /// Simulated energy in joules, when the backend models power.
     pub energy_joules: Option<f64>,
 }
 
-/// Renders a served response as an `ok` reply line (no newline).
+/// Renders a served response as an `ok` reply line (no newline),
+/// echoing the tenant that served it.
 #[must_use]
-pub fn encode_response(response: &InferResponse) -> String {
+pub fn encode_response(response: &InferResponse, tenant: &str) -> String {
     let mut line = format!(
         "ok rows={} cols={} queue_us={} compute_us={} from_cache={} parts={} batch={} \
-         version={} cycles={}",
+         version={} tenant={} cycles={}",
         response.logits.rows(),
         response.logits.cols(),
         response.queue_time.as_micros(),
@@ -376,6 +695,7 @@ pub fn encode_response(response: &InferResponse) -> String {
         response.parts,
         response.batch_size,
         response.graph_version,
+        tenant,
         response.sim.as_ref().map_or(0, |s| s.total_cycles),
     );
     match response.energy_joules {
@@ -419,6 +739,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
     let mut parts = None;
     let mut batch = None;
     let mut version = None;
+    let mut tenant = None;
     let mut cycles = None;
     let mut energy = None;
     let mut preds = None;
@@ -436,6 +757,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
             "parts" => parts = Some(parse_usize(value)?),
             "batch" => batch = Some(parse_usize(value)?),
             "version" => version = Some(parse_u64(value)?),
+            "tenant" => tenant = Some(value.to_string()),
             "cycles" => cycles = Some(parse_u64(value)?),
             "energy" => {
                 energy = Some(if value == "none" {
@@ -484,6 +806,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
         parts: parts.ok_or_else(|| missing("parts"))?,
         batch_size: batch.ok_or_else(|| missing("batch"))?,
         graph_version: version.ok_or_else(|| missing("version"))?,
+        tenant: tenant.ok_or_else(|| missing("tenant"))?,
         sim_cycles: cycles.ok_or_else(|| missing("cycles"))?,
         energy_joules: energy.ok_or_else(|| missing("energy"))?,
     })
@@ -513,16 +836,31 @@ pub fn encode_error(error: &ServerError) -> String {
         ServerError::DeadlineExceeded { .. } => "deadline",
         ServerError::ShuttingDown => "shutting_down",
         ServerError::Canceled => "canceled",
+        ServerError::UnknownTenant { .. } => "unknown_tenant",
+        ServerError::TenantExists { .. } => "tenant_exists",
+        ServerError::TenantBudget { .. } => "tenant_budget",
         ServerError::Engine(_) | ServerError::RemoteEngine(_) => "engine",
         ServerError::Protocol(_) => "protocol",
         ServerError::Io(_) => "io",
     };
-    format!("err {kind} {error}")
+    // Tenant errors carry machine-readable fields instead of prose, so
+    // the client-side parse rebuilds the exact typed error (names are
+    // charset-validated and never contain spaces).
+    match error {
+        ServerError::UnknownTenant { name } | ServerError::TenantExists { name } => {
+            format!("err {kind} {name}")
+        }
+        ServerError::TenantBudget { needed, budget } => {
+            format!("err {kind} needed={needed} budget={budget}")
+        }
+        _ => format!("err {kind} {error}"),
+    }
 }
 
-/// Parses an `err` reply back into its typed kind (detail fields that
-/// do not cross the wire — exact depths, waits — come back zeroed; the
-/// *kind* is what retry logic branches on).
+/// Parses an `err` reply back into its typed kind. Tenant errors
+/// rebuild exactly (name / budget numbers cross the wire); detail
+/// fields that do not cross — exact depths, waits — come back zeroed;
+/// the *kind* is what retry logic branches on.
 ///
 /// # Errors
 ///
@@ -537,6 +875,20 @@ pub fn parse_error(line: &str) -> Result<ServerError, ServerError> {
         "deadline" => ServerError::DeadlineExceeded { waited: Duration::ZERO },
         "shutting_down" => ServerError::ShuttingDown,
         "canceled" => ServerError::Canceled,
+        "unknown_tenant" => ServerError::UnknownTenant { name: message.to_string() },
+        "tenant_exists" => ServerError::TenantExists { name: message.to_string() },
+        "tenant_budget" => {
+            let mut needed = 0;
+            let mut budget = 0;
+            for word in message.split_whitespace() {
+                match word.split_once('=') {
+                    Some(("needed", v)) => needed = parse_usize(v)?,
+                    Some(("budget", v)) => budget = parse_usize(v)?,
+                    _ => {}
+                }
+            }
+            ServerError::TenantBudget { needed, budget }
+        }
         "engine" | "bad_request" => ServerError::RemoteEngine(message.to_string()),
         "protocol" => ServerError::Protocol(message.to_string()),
         "io" => ServerError::Io(message.to_string()),
@@ -547,23 +899,25 @@ pub fn parse_error(line: &str) -> Result<ServerError, ServerError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use blockgnn_engine::RequestMode;
+    use blockgnn_engine::{BackendKind, RequestMode};
+    use blockgnn_gnn::ModelKind;
 
     #[test]
     fn infer_lines_round_trip() {
         let request = InferRequest::sampled(vec![3, 1, 3], 10, 5, 42);
         let options = SubmitOptions { priority: 2, deadline: Some(Duration::from_millis(75)) };
-        let line = encode_infer(&request, options);
+        let line = encode_infer(&request, options, None);
         match parse_command(&line).unwrap() {
-            Command::Infer(r, o) => {
+            Command::Infer(r, o, tenant) => {
                 assert_eq!(r, request);
                 assert_eq!(o, options);
+                assert_eq!(tenant, None);
             }
             other => panic!("wrong command {other:?}"),
         }
-        let all = encode_infer(&InferRequest::all_nodes(), SubmitOptions::default());
+        let all = encode_infer(&InferRequest::all_nodes(), SubmitOptions::default(), None);
         match parse_command(&all).unwrap() {
-            Command::Infer(r, _) => {
+            Command::Infer(r, _, _) => {
                 assert_eq!(r.mode, RequestMode::FullGraph);
                 assert!(r.nodes.is_empty());
             }
@@ -572,9 +926,110 @@ mod tests {
     }
 
     #[test]
+    fn tenant_qualifiers_parse_and_round_trip() {
+        let request = InferRequest::full_graph(vec![0, 2]);
+        let line = encode_infer(&request, SubmitOptions::default(), Some("traffic"));
+        assert!(line.starts_with("infer@traffic "));
+        match parse_command(&line).unwrap() {
+            Command::Infer(r, _, tenant) => {
+                assert_eq!(r, request);
+                assert_eq!(tenant.as_deref(), Some("traffic"));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let update = encode_update(&GraphDelta::new().add_edge(0, 1), Some("traffic"));
+        match parse_command(&update).unwrap() {
+            Command::Update(_, tenant) => assert_eq!(tenant.as_deref(), Some("traffic")),
+            other => panic!("wrong command {other:?}"),
+        }
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats(None));
+        assert_eq!(
+            parse_command(&encode_stats(Some("t-1"))).unwrap(),
+            Command::Stats(Some("t-1".into()))
+        );
+        // The qualifier is only legal on infer/update/stats; names obey
+        // the wire charset.
+        for bad in [
+            "ping@t",
+            "shutdown@t",
+            "list@t",
+            "deploy@t x=cora-small:gcn:dense",
+            "retire@t t",
+            "infer@ full all",
+            "infer@a:b full all",
+            "infer@a b full all",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn deploy_retire_list_lines_round_trip() {
+        // Defaults stay compact.
+        let spec =
+            TenantSpec::new("traffic", "citeseer-small", ModelKind::GsPool, BackendKind::Dense);
+        assert_eq!(encode_deploy(&spec), "deploy traffic=citeseer-small:gs-pool:dense");
+        assert_eq!(parse_command(&encode_deploy(&spec)).unwrap(), Command::Deploy(spec));
+        // Non-default knobs survive the wire.
+        let spec = TenantSpec::new("t2", "cora-small", ModelKind::Gat, BackendKind::Spectral)
+            .weight(3)
+            .max_queue_depth(17)
+            .hidden_dim(16)
+            .block_size(4)
+            .seed(7);
+        assert_eq!(parse_command(&encode_deploy(&spec)).unwrap(), Command::Deploy(spec));
+        assert_eq!(parse_command("retire traffic").unwrap(), Command::Retire("traffic".into()));
+        assert_eq!(parse_command("list").unwrap(), Command::List);
+        for bad in [
+            "deploy",
+            "deploy nope",
+            "deploy x=cora-small:gcn:dense wat=1",
+            "deploy x=cora-small:gcn:dense weight=zero",
+            "retire",
+            "retire a b",
+            "retire a:b",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must fail");
+        }
+    }
+
+    #[test]
+    fn deploy_and_list_acks_round_trip() {
+        let info = TenantInfo {
+            name: "traffic".into(),
+            model: ModelKind::GsPool,
+            backend: BackendKind::SimulatedAccel,
+            graph_version: 4,
+            num_nodes: 61,
+            weight: 3,
+            queue_depth: 0,
+            resident_bytes: 123_456,
+        };
+        assert_eq!(parse_deploy_ack(&encode_deploy_ack(&info)).unwrap(), info);
+        let other = TenantInfo {
+            name: "default".into(),
+            model: ModelKind::Gcn,
+            backend: BackendKind::Dense,
+            graph_version: 0,
+            num_nodes: 60,
+            weight: 1,
+            queue_depth: 2,
+            resident_bytes: 98_765,
+        };
+        let roster = vec![other, info];
+        assert_eq!(parse_list_reply(&encode_list_reply(&roster)).unwrap(), roster);
+        assert_eq!(parse_list_reply("ok list tenants=0").unwrap(), Vec::new());
+        // A roster that disagrees with its own count is a protocol error.
+        assert!(parse_list_reply("ok list tenants=2 a:gcn:dense:0:1:1:0:9").is_err());
+        assert!(parse_list_reply("ok list tenants=0 a:gcn:dense:0:1:1:0:9").is_err());
+        assert!(parse_tenant_info("a:gcn:dense:0:1:1:0").is_err(), "seven fields");
+        assert!(parse_deploy_ack("ok deploy tenant=a model=gcn").is_err(), "missing fields");
+    }
+
+    #[test]
     fn simple_commands_parse() {
         assert_eq!(parse_command("ping").unwrap(), Command::Ping);
-        assert_eq!(parse_command("stats").unwrap(), Command::Stats);
+        assert_eq!(parse_command("stats").unwrap(), Command::Stats(None));
         assert_eq!(parse_command("shutdown").unwrap(), Command::Shutdown);
         assert!(parse_command("nonsense").is_err());
         assert!(parse_command("infer sideways 1,2").is_err());
@@ -600,7 +1055,7 @@ mod tests {
             batch_size: 4,
             graph_version: 17,
         };
-        let remote = parse_response(&encode_response(&response)).unwrap();
+        let remote = parse_response(&encode_response(&response, "traffic")).unwrap();
         assert_eq!(remote.logits, logits, "logits survive the wire bit-exactly");
         assert_eq!(remote.predictions, vec![2, 0]);
         assert_eq!(remote.queue_time, Duration::from_micros(10));
@@ -608,6 +1063,7 @@ mod tests {
         assert_eq!(remote.latency, Duration::from_micros(30));
         assert_eq!(remote.batch_size, 4);
         assert_eq!(remote.graph_version, 17);
+        assert_eq!(remote.tenant, "traffic", "replies echo the serving tenant");
         assert_eq!(remote.energy_joules, Some(1.25e-3));
         assert!(!remote.from_cache);
     }
@@ -621,9 +1077,10 @@ mod tests {
             .set_feature_row(4, vec![0.1, -2.5e-8, f64::MIN_POSITIVE])
             .append_node(vec![1.0, 2.0, 3.0])
             .append_node(vec![-0.0, f64::MAX, 1.5]);
-        let line = encode_update(&delta);
+        let line = encode_update(&delta, None);
         match parse_command(&line).unwrap() {
-            Command::Update(parsed) => {
+            Command::Update(parsed, tenant) => {
+                assert_eq!(tenant, None);
                 assert_eq!(parsed.add_edges, delta.add_edges);
                 assert_eq!(parsed.remove_edges, delta.remove_edges);
                 // Feature rows must survive bit-exactly (hex bit words).
@@ -642,7 +1099,7 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         // An empty delta parses cleanly (the engine rejects it, typed).
-        assert_eq!(parse_command("update").unwrap(), Command::Update(GraphDelta::new()));
+        assert_eq!(parse_command("update").unwrap(), Command::Update(GraphDelta::new(), None));
         // Malformed clauses are protocol errors.
         assert!(parse_command("update add=1-2").is_err());
         assert!(parse_command("update bogus=1").is_err());
@@ -652,22 +1109,32 @@ mod tests {
 
     #[test]
     fn update_acks_round_trip() {
-        let ack = UpdateAck { version: 9, num_nodes: 120, num_arcs: 512 };
+        let ack =
+            UpdateAck { tenant: "default".into(), version: 9, num_nodes: 120, num_arcs: 512 };
+        assert_eq!(
+            encode_update_ack(&ack),
+            "ok update tenant=default version=9 nodes=120 arcs=512"
+        );
         assert_eq!(parse_update_ack(&encode_update_ack(&ack)).unwrap(), ack);
-        assert!(parse_update_ack("ok update version=1 nodes=2").is_err(), "missing arcs");
+        assert!(
+            parse_update_ack("ok update version=1 nodes=2 arcs=3").is_err(),
+            "missing tenant"
+        );
+        assert!(parse_update_ack("ok update tenant=a version=1 nodes=2").is_err(), "no arcs");
         assert!(parse_update_ack("err engine nope").is_err());
     }
 
-    /// Fuzz-style robustness: valid update/infer lines, their
-    /// truncations, garbled variants, and pure noise must all come back
-    /// as `Ok`/`Err` — never a panic — with a seeded RNG so any failure
-    /// replays. (The connection-level counterpart in `tests/server.rs`
-    /// proves rejected lines also never poison the TCP session or the
-    /// shared graph.)
+    /// Fuzz-style robustness: valid update/infer lines (with and without
+    /// `@tenant` qualifiers), their truncations, garbled variants, and
+    /// pure noise must all come back as `Ok`/`Err` — never a panic —
+    /// with a seeded RNG so any failure replays. (The connection-level
+    /// counterpart in `tests/server.rs` proves rejected lines also never
+    /// poison the TCP session or the shared graph.)
     #[test]
     fn fuzzed_command_lines_never_panic() {
         use blockgnn_graph::generate::Rng64;
         let mut rng = Rng64::new(0xF422_0B5E);
+        let tenants = [None, Some("t0"), Some("traffic-2"), Some("a.b_c")];
         for _ in 0..600 {
             let n = 50;
             let mut delta = GraphDelta::new();
@@ -684,12 +1151,15 @@ mod tests {
             if rng.next_below(3) == 0 {
                 delta = delta.append_node(vec![rng.next_normal(); rng.next_below(3)]);
             }
+            let tenant = tenants[rng.next_below(tenants.len())];
             let lines = [
-                encode_update(&delta),
+                encode_update(&delta, tenant),
                 encode_infer(
                     &InferRequest::sampled(vec![rng.next_below(n)], 4, 2, rng.next_u64()),
                     SubmitOptions::default(),
+                    tenant,
                 ),
+                encode_stats(tenant),
             ];
             for line in &lines {
                 parse_command(line).expect("well-formed encodings parse");
@@ -732,7 +1202,7 @@ mod tests {
         // delta, which the engine then rejects with a typed EmptyDelta.
         for ok in ["update", "update add=", "update new="] {
             match parse_command(ok).unwrap() {
-                Command::Update(delta) => assert!(delta.is_empty()),
+                Command::Update(delta, _) => assert!(delta.is_empty()),
                 other => panic!("wrong command {other:?}"),
             }
         }
@@ -754,5 +1224,13 @@ mod tests {
             parse_error(&encode_error(&ServerError::ShuttingDown)).unwrap(),
             ServerError::ShuttingDown
         );
+        // The tenant-lifecycle kinds rebuild exactly: names and budget
+        // numbers cross the wire as machine-readable fields.
+        let ghost = ServerError::UnknownTenant { name: "ghost".into() };
+        assert_eq!(parse_error(&encode_error(&ghost)).unwrap(), ghost);
+        let dup = ServerError::TenantExists { name: "dup".into() };
+        assert_eq!(parse_error(&encode_error(&dup)).unwrap(), dup);
+        let fat = ServerError::TenantBudget { needed: 10, budget: 5 };
+        assert_eq!(parse_error(&encode_error(&fat)).unwrap(), fat);
     }
 }

@@ -1,25 +1,42 @@
-//! The admission queue: a bounded, priority-ordered request queue with
-//! shed-on-overload semantics and batch-forming dequeue.
+//! The admission queue: bounded, priority-ordered, **per-tenant**
+//! request lanes with shed-on-overload semantics, weighted-fair
+//! cross-tenant scheduling, and batch-forming dequeue.
 //!
-//! Submissions never block: a full queue rejects immediately with a
+//! Submissions never block: a full lane rejects immediately with a
 //! typed [`ServerError::Overloaded`], which is what lets the server
-//! degrade predictably under more load than it can absorb. Workers
-//! block on the paired condvar and dequeue *batches*: after the first
-//! request is popped, the dequeue holds the batch open for the
-//! configured window, coalescing whatever arrives (highest priority
-//! first, FIFO within a priority).
+//! degrade predictably under more load than it can absorb — and the cap
+//! is *per tenant*, so one tenant flooding its lane cannot crowd
+//! another's admissions out. Workers block on the paired condvar and
+//! dequeue *batches*: scheduling picks a lane by **stride scheduling**
+//! (each lane carries a `pass` value advanced by `STRIDE / weight` per
+//! dequeued request; the lowest pass runs next, so a weight-3 tenant is
+//! served 3× as often as a weight-1 tenant under contention, and an
+//! idle tenant re-enters at the current virtual time instead of
+//! hoarding credit). Within the chosen lane, the batch is formed
+//! exactly as before: drain what is queued (highest priority first,
+//! FIFO within a priority), then hold the batch open for the configured
+//! straggler window. Batches never span tenants — members share one
+//! graph, one model, and one engine checkout.
 
 use crate::error::ServerError;
+use crate::tenant::Tenant;
 use blockgnn_engine::{InferRequest, InferResponse};
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Pass-value increment for a weight-1 lane per dequeued request.
+/// Lane pass advances by `STRIDE / weight`, so larger weights advance
+/// slower and are scheduled proportionally more often.
+const STRIDE: u64 = 1 << 20;
 
 /// Per-request scheduling options accepted at submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SubmitOptions {
     /// Scheduling priority; higher runs first. Ties serve FIFO.
+    /// Priorities order requests *within* a tenant's lane; across
+    /// tenants the weighted-fair schedule decides.
     pub priority: i32,
     /// Deadline relative to submission; a request still queued when it
     /// expires is shed with [`ServerError::DeadlineExceeded`]. `None`
@@ -42,9 +59,10 @@ impl SubmitOptions {
 }
 
 /// One admitted request waiting for (or undergoing) execution.
-#[derive(Debug)]
 pub(crate) struct QueueItem {
     pub request: InferRequest,
+    /// The tenant this request addresses; batches inherit it whole.
+    pub tenant: Arc<Tenant>,
     pub priority: i32,
     /// Absolute deadline, if any.
     pub deadline: Option<Instant>,
@@ -86,19 +104,50 @@ impl Ord for QueueItem {
     }
 }
 
-#[derive(Debug, Default)]
-struct Inner {
+/// One tenant's slice of the queue.
+struct Lane {
     heap: BinaryHeap<QueueItem>,
+    /// Stride-scheduling pass value; the non-empty lane with the lowest
+    /// pass is served next.
+    pass: u64,
+    weight: u64,
+    max_depth: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Tenant id → lane. Lanes persist while their tenant is deployed
+    /// (an empty lane keeps its pass, so going briefly idle earns no
+    /// scheduling credit); retiring a tenant purges its lane.
+    lanes: BTreeMap<u64, Lane>,
     closed: bool,
     next_seq: u64,
+    /// Virtual time: the pass of the most recently scheduled lane. A
+    /// lane going from empty to non-empty rejoins at this point, so a
+    /// long-idle tenant neither starves others nor gets starved.
+    global_pass: u64,
+}
+
+impl Inner {
+    /// The non-empty lane with the lowest pass (ties broken by tenant
+    /// id, deterministically).
+    fn runnable(&self) -> Option<u64> {
+        self.lanes
+            .iter()
+            .filter(|(_, lane)| !lane.heap.is_empty())
+            .min_by_key(|(id, lane)| (lane.pass, **id))
+            .map(|(id, _)| *id)
+    }
+
+    fn depth(&self) -> usize {
+        self.lanes.values().map(|lane| lane.heap.len()).sum()
+    }
 }
 
 /// The bounded admission queue shared by submitters and workers.
-#[derive(Debug)]
 pub(crate) struct RequestQueue {
     inner: Mutex<Inner>,
     available: Condvar,
-    max_depth: usize,
 }
 
 /// Limits a batch-forming dequeue; mirrors the batching fields of
@@ -111,19 +160,16 @@ pub(crate) struct BatchLimits {
 }
 
 impl RequestQueue {
-    pub fn new(max_depth: usize) -> Self {
-        Self {
-            inner: Mutex::new(Inner::default()),
-            available: Condvar::new(),
-            max_depth: max_depth.max(1),
-        }
+    pub fn new() -> Self {
+        Self { inner: Mutex::new(Inner::default()), available: Condvar::new() }
     }
 
-    /// Admits one request, or sheds it: `Overloaded` when the queue is
-    /// at capacity, `ShuttingDown` after [`RequestQueue::close`].
-    /// Never blocks.
+    /// Admits one request into its tenant's lane, or sheds it:
+    /// `Overloaded` when the lane is at the tenant's depth cap,
+    /// `ShuttingDown` after [`RequestQueue::close`]. Never blocks.
     pub fn push(
         &self,
+        tenant: Arc<Tenant>,
         request: InferRequest,
         priority: i32,
         deadline: Option<Instant>,
@@ -133,16 +179,29 @@ impl RequestQueue {
         if inner.closed {
             return Err(ServerError::ShuttingDown);
         }
-        if inner.heap.len() >= self.max_depth {
-            return Err(ServerError::Overloaded {
-                depth: inner.heap.len(),
-                max_depth: self.max_depth,
-            });
-        }
+        let global_pass = inner.global_pass;
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        inner.heap.push(QueueItem {
+        let lane = inner.lanes.entry(tenant.id).or_insert_with(|| Lane {
+            heap: BinaryHeap::new(),
+            pass: global_pass,
+            weight: u64::from(tenant.weight.max(1)),
+            max_depth: tenant.max_queue_depth,
+        });
+        if lane.heap.len() >= lane.max_depth {
+            return Err(ServerError::Overloaded {
+                depth: lane.heap.len(),
+                max_depth: lane.max_depth,
+            });
+        }
+        if lane.heap.is_empty() {
+            // Rejoin at the current virtual time: credit does not
+            // accumulate while idle.
+            lane.pass = lane.pass.max(global_pass);
+        }
+        lane.heap.push(QueueItem {
             request,
+            tenant,
             priority,
             deadline,
             enqueued_at: Instant::now(),
@@ -155,16 +214,23 @@ impl RequestQueue {
     }
 
     /// Blocks until at least one request is available (or the queue is
-    /// closed *and* drained — then `None`), then forms a batch:
-    /// whatever is already queued is drained immediately (opportunistic
-    /// coalescing costs no latency), after which the dequeue stays open
-    /// up to `limits.window` for stragglers, until the request or node
-    /// cap is hit. A request cap of 1 disables coalescing entirely.
+    /// closed *and* drained — then `None`), picks the weighted-fair
+    /// lane, then forms a batch **from that lane only**: whatever it
+    /// holds is drained immediately (opportunistic coalescing costs no
+    /// latency), after which the dequeue stays open up to
+    /// `limits.window` for same-lane stragglers, until the request or
+    /// node cap is hit. A request cap of 1 disables coalescing entirely.
     pub fn next_batch(&self, limits: BatchLimits) -> Option<Vec<QueueItem>> {
         let mut inner = self.inner.lock().expect("queue lock");
-        let first = loop {
-            if let Some(item) = inner.heap.pop() {
-                break item;
+        let (lane_id, first) = loop {
+            if let Some(id) = inner.runnable() {
+                let lane = inner.lanes.get_mut(&id).expect("runnable lane exists");
+                // Virtual time advances to the scheduled lane's pass, so
+                // lanes activating during this batch rejoin here.
+                let pass = lane.pass;
+                let item = lane.heap.pop().expect("runnable lane is non-empty");
+                inner.global_pass = inner.global_pass.max(pass);
+                break (id, item);
             }
             if inner.closed {
                 return None;
@@ -189,7 +255,10 @@ impl RequestQueue {
                 // over the node cap stays queued for the next batch
                 // (where it is admitted as the first entry even if it
                 // exceeds the cap alone — it has to serve somewhere).
-                match inner.heap.peek() {
+                // Only this lane's heap is eligible: a batch never spans
+                // tenants.
+                let lane_heap = inner.lanes.get_mut(&lane_id).map(|lane| &mut lane.heap);
+                match lane_heap.as_ref().and_then(|heap| heap.peek()) {
                     Some(item)
                         if nodes + item.request.nodes.len().max(1) > limits.max_nodes =>
                     {
@@ -197,7 +266,7 @@ impl RequestQueue {
                     }
                     _ => {}
                 }
-                if let Some(item) = inner.heap.pop() {
+                if let Some(item) = lane_heap.and_then(std::collections::BinaryHeap::pop) {
                     nodes += item.request.nodes.len().max(1);
                     if let Some(d) = item.deadline {
                         hold_until = hold_until.min(d);
@@ -215,10 +284,18 @@ impl RequestQueue {
                 let (guard, timeout) =
                     self.available.wait_timeout(inner, hold_until - now).expect("queue lock");
                 inner = guard;
-                if timeout.timed_out() && inner.heap.is_empty() {
+                let lane_empty =
+                    inner.lanes.get(&lane_id).is_none_or(|lane| lane.heap.is_empty());
+                if timeout.timed_out() && lane_empty {
                     break;
                 }
             }
+        }
+        // Charge the lane for what it consumed: pass advances by
+        // STRIDE/weight per request, which is the whole fairness
+        // mechanism.
+        if let Some(lane) = inner.lanes.get_mut(&lane_id) {
+            lane.pass = lane.pass.saturating_add(batch.len() as u64 * STRIDE / lane.weight);
         }
         Some(batch)
     }
@@ -230,25 +307,66 @@ impl RequestQueue {
         self.available.notify_all();
     }
 
-    /// Requests currently queued.
+    /// Removes a retired tenant's lane, answering every queued item
+    /// with a typed [`ServerError::UnknownTenant`]. Requests already
+    /// dequeued into a batch are unaffected (the batch holds its own
+    /// `Arc<Tenant>`).
+    pub fn purge_tenant(&self, tenant_id: u64) {
+        let lane = self.inner.lock().expect("queue lock").lanes.remove(&tenant_id);
+        if let Some(lane) = lane {
+            for item in lane.heap.into_sorted_vec() {
+                let name = item.tenant.name.clone();
+                item.respond(Err(ServerError::UnknownTenant { name }));
+            }
+        }
+    }
+
+    /// Requests currently queued, across all lanes.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").heap.len()
+        self.inner.lock().expect("queue lock").depth()
+    }
+
+    /// Requests currently queued in one tenant's lane.
+    pub fn depth_of(&self, tenant_id: u64) -> usize {
+        self.inner
+            .lock()
+            .expect("queue lock")
+            .lanes
+            .get(&tenant_id)
+            .map_or(0, |lane| lane.heap.len())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::Tenant;
+    use blockgnn_engine::{BackendKind, Engine};
+    use blockgnn_gnn::ModelKind;
+    use blockgnn_graph::datasets;
     use std::sync::mpsc::sync_channel;
+
+    fn tenant(id: u64, weight: u32, max_depth: usize) -> Arc<Tenant> {
+        let engine = Engine::builder(ModelKind::Gcn, BackendKind::Dense)
+            .hidden_dim(4)
+            .build(std::sync::Arc::new(datasets::cora_like_small(3)))
+            .unwrap();
+        Arc::new(Tenant::forked(id, &format!("t{id}"), weight, max_depth, engine, 1))
+    }
 
     fn req(node: usize) -> InferRequest {
         InferRequest::full_graph(vec![node])
     }
 
-    fn push(q: &RequestQueue, node: usize, priority: i32) -> Result<(), ServerError> {
+    fn push(
+        q: &RequestQueue,
+        t: &Arc<Tenant>,
+        node: usize,
+        priority: i32,
+    ) -> Result<(), ServerError> {
         // Dropping the receiver is fine: respond() ignores closed channels.
         let (tx, _rx) = sync_channel(1);
-        q.push(req(node), priority, None, tx)
+        q.push(Arc::clone(t), req(node), priority, None, tx)
     }
 
     const NO_BATCH: BatchLimits =
@@ -256,11 +374,12 @@ mod tests {
 
     #[test]
     fn fifo_within_priority_and_priority_order_across() {
-        let q = RequestQueue::new(16);
-        push(&q, 0, 0).unwrap();
-        push(&q, 1, 5).unwrap();
-        push(&q, 2, 0).unwrap();
-        push(&q, 3, 5).unwrap();
+        let q = RequestQueue::new();
+        let t = tenant(0, 1, 16);
+        push(&q, &t, 0, 0).unwrap();
+        push(&q, &t, 1, 5).unwrap();
+        push(&q, &t, 2, 0).unwrap();
+        push(&q, &t, 3, 5).unwrap();
         let order: Vec<usize> = (0..4)
             .map(|_| q.next_batch(NO_BATCH).unwrap().remove(0).request.nodes[0])
             .collect();
@@ -268,24 +387,33 @@ mod tests {
     }
 
     #[test]
-    fn overload_sheds_immediately() {
-        let q = RequestQueue::new(2);
-        push(&q, 0, 0).unwrap();
-        push(&q, 1, 0).unwrap();
-        let err = push(&q, 2, 0).unwrap_err();
+    fn overload_sheds_immediately_per_tenant() {
+        let q = RequestQueue::new();
+        let a = tenant(0, 1, 2);
+        let b = tenant(1, 1, 2);
+        push(&q, &a, 0, 0).unwrap();
+        push(&q, &a, 1, 0).unwrap();
+        let err = push(&q, &a, 2, 0).unwrap_err();
         assert_eq!(err, ServerError::Overloaded { depth: 2, max_depth: 2 });
+        // The cap is per lane: tenant b still admits.
+        push(&q, &b, 0, 0).unwrap();
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.depth_of(0), 2);
+        assert_eq!(q.depth_of(1), 1);
         // Draining reopens admission.
-        let _ = q.next_batch(NO_BATCH).unwrap();
-        push(&q, 3, 0).unwrap();
-        assert_eq!(q.depth(), 2);
+        while q.depth_of(0) > 0 {
+            let _ = q.next_batch(NO_BATCH).unwrap();
+        }
+        push(&q, &a, 3, 0).unwrap();
     }
 
     #[test]
     fn close_rejects_new_but_drains_old() {
-        let q = RequestQueue::new(4);
-        push(&q, 7, 0).unwrap();
+        let q = RequestQueue::new();
+        let t = tenant(0, 1, 4);
+        push(&q, &t, 7, 0).unwrap();
         q.close();
-        assert_eq!(push(&q, 8, 0).unwrap_err(), ServerError::ShuttingDown);
+        assert_eq!(push(&q, &t, 8, 0).unwrap_err(), ServerError::ShuttingDown);
         let batch = q.next_batch(NO_BATCH).unwrap();
         assert_eq!(batch[0].request.nodes, vec![7]);
         assert!(q.next_batch(NO_BATCH).is_none(), "drained + closed ends the worker loop");
@@ -293,9 +421,10 @@ mod tests {
 
     #[test]
     fn batch_dequeue_coalesces_up_to_caps() {
-        let q = RequestQueue::new(16);
+        let q = RequestQueue::new();
+        let t = tenant(0, 1, 16);
         for i in 0..5 {
-            push(&q, i, 0).unwrap();
+            push(&q, &t, i, 0).unwrap();
         }
         let limits = BatchLimits {
             window: Duration::from_millis(20),
@@ -311,10 +440,106 @@ mod tests {
     }
 
     #[test]
+    fn batches_never_span_tenants() {
+        let q = RequestQueue::new();
+        let a = tenant(0, 1, 16);
+        let b = tenant(1, 1, 16);
+        push(&q, &a, 0, 0).unwrap();
+        push(&q, &b, 1, 0).unwrap();
+        push(&q, &a, 2, 0).unwrap();
+        push(&q, &b, 3, 0).unwrap();
+        let limits = BatchLimits {
+            window: Duration::from_millis(5),
+            max_requests: 8,
+            max_nodes: usize::MAX,
+        };
+        let mut seen = Vec::new();
+        while q.depth() > 0 {
+            let batch = q.next_batch(limits).unwrap();
+            let id = batch[0].tenant.id;
+            assert!(
+                batch.iter().all(|item| item.tenant.id == id),
+                "every batch member shares one tenant"
+            );
+            assert_eq!(batch.len(), 2, "same-lane requests still coalesce");
+            seen.push(id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1]);
+    }
+
+    #[test]
+    fn stride_scheduling_honors_weights() {
+        let q = RequestQueue::new();
+        let light = tenant(0, 1, 64);
+        let heavy = tenant(1, 3, 64);
+        for i in 0..12 {
+            push(&q, &light, i, 0).unwrap();
+            push(&q, &heavy, i, 0).unwrap();
+        }
+        // Serve 8 single-request batches while both lanes stay backlogged;
+        // stride scheduling must give the weight-3 lane ~3× the service.
+        let mut served = [0usize; 2];
+        for _ in 0..8 {
+            let batch = q.next_batch(NO_BATCH).unwrap();
+            served[batch[0].tenant.id as usize] += batch.len();
+        }
+        assert_eq!(served[0] + served[1], 8);
+        assert_eq!(served[1], 6, "weight-3 lane gets 3 of every 4 slots");
+        assert_eq!(served[0], 2);
+    }
+
+    #[test]
+    fn idle_lane_rejoins_at_current_virtual_time() {
+        let q = RequestQueue::new();
+        let a = tenant(0, 1, 64);
+        let b = tenant(1, 1, 64);
+        // Drive lane a far ahead in virtual time while b is idle.
+        for i in 0..6 {
+            push(&q, &a, i, 0).unwrap();
+            let _ = q.next_batch(NO_BATCH).unwrap();
+        }
+        // b activates late: it must not monopolize the queue to "catch
+        // up" from pass 0 — service alternates from here on.
+        for i in 0..4 {
+            push(&q, &a, i, 0).unwrap();
+            push(&q, &b, i, 0).unwrap();
+        }
+        let mut served = [0usize; 2];
+        for _ in 0..4 {
+            let batch = q.next_batch(NO_BATCH).unwrap();
+            served[batch[0].tenant.id as usize] += 1;
+        }
+        assert_eq!(served, [2, 2], "late-activating lane shares, not monopolizes");
+    }
+
+    #[test]
+    fn purge_answers_queued_items_typed() {
+        let q = RequestQueue::new();
+        let a = tenant(0, 1, 16);
+        let b = tenant(1, 1, 16);
+        let (tx, rx) = sync_channel(4);
+        q.push(Arc::clone(&a), req(0), 0, None, tx.clone()).unwrap();
+        q.push(Arc::clone(&a), req(1), 0, None, tx).unwrap();
+        push(&q, &b, 2, 0).unwrap();
+        q.purge_tenant(a.id);
+        for _ in 0..2 {
+            match rx.recv().unwrap() {
+                Err(ServerError::UnknownTenant { name }) => assert_eq!(name, "t0"),
+                other => panic!("expected UnknownTenant, got {other:?}"),
+            }
+        }
+        assert_eq!(q.depth(), 1, "other lanes survive the purge");
+        assert_eq!(q.next_batch(NO_BATCH).unwrap()[0].request.nodes, vec![2]);
+    }
+
+    #[test]
     fn straggler_wait_never_outlives_a_deadline() {
-        let q = RequestQueue::new(4);
+        let q = RequestQueue::new();
+        let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(req(0), 0, Some(Instant::now() + Duration::from_millis(5)), tx).unwrap();
+        q.push(Arc::clone(&t), req(0), 0, Some(Instant::now() + Duration::from_millis(5)), tx)
+            .unwrap();
         let limits = BatchLimits {
             window: Duration::from_millis(250),
             max_requests: 8,
@@ -331,9 +556,11 @@ mod tests {
 
     #[test]
     fn expired_items_are_detectable() {
-        let q = RequestQueue::new(4);
+        let q = RequestQueue::new();
+        let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(req(0), 0, Some(Instant::now() - Duration::from_millis(1)), tx).unwrap();
+        q.push(Arc::clone(&t), req(0), 0, Some(Instant::now() - Duration::from_millis(1)), tx)
+            .unwrap();
         let batch = q.next_batch(NO_BATCH).unwrap();
         assert!(batch[0].expired(Instant::now()));
     }

@@ -1,35 +1,41 @@
-//! The serving runtime: a worker pool over forked engine replicas,
-//! fed by the admission queue, coalescing requests into micro-batches.
+//! The serving runtime: a shared worker pool over a multi-tenant
+//! registry, fed by the weighted-fair admission queue, coalescing
+//! requests into per-tenant micro-batches.
 //!
 //! # Lifecycle
 //!
 //! ```text
-//! submit ──► RequestQueue (bounded, priority, shed-on-overload)
-//!                │   next_batch(window, caps)
+//! submit ──► RequestQueue (per-tenant lanes, priority, shed-on-overload)
+//!                │   next_batch: weighted-fair lane pick + window/caps
 //!                ▼
-//!         worker thread ──► Engine::infer_coalesced (forked replica)
-//!                │                │ merged-universe execution,
-//!                │                ▼ per-request scatter + charge
+//!         worker thread ──► tenant.engines.checkout()
+//!                │                │ Engine::infer_coalesced
+//!                │                ▼ merged-universe execution + scatter
 //!                └──────► responder channel ──► Ticket::wait
 //! ```
 //!
-//! Every worker owns an [`Engine::fork`] replica: prepared weights, the
-//! versioned graph state, and the version-keyed full-graph logits cache
-//! are `Arc`-shared, per-request scratch is not, so workers execute
-//! truly concurrently. Graph updates ([`Server::apply_delta`]) swap the
-//! shared snapshot **between micro-batches**: a batch resolves its
-//! graph version once at execution start, so in-flight requests finish
-//! on the old version and every response reports the version that
-//! served it. Shutdown closes the queue (new submissions shed with
-//! `ShuttingDown`), drains what was admitted, and joins the workers.
+//! Every tenant owns a pool of [`Engine::fork`] replicas (prepared
+//! weights, versioned graph state, and the version-keyed full-graph
+//! logits cache are `Arc`-shared); a worker checks one out per batch,
+//! so any worker can serve any tenant and tenants with no traffic cost
+//! nothing. Graph updates ([`Server::apply_delta`], `update@tenant`)
+//! swap the addressed tenant's shared snapshot **between micro-batches**
+//! and never touch another tenant's state; likewise
+//! [`Server::deploy`]/[`Server::retire`] swap the registry map without
+//! stalling in-flight batches of other tenants. Shutdown closes the
+//! queue (new submissions shed with `ShuttingDown`), drains what was
+//! admitted, and joins the workers.
 
 use crate::config::ServerConfig;
 use crate::error::ServerError;
 use crate::queue::{BatchLimits, QueueItem, RequestQueue, SubmitOptions};
 use crate::telemetry::{ServerStats, Telemetry};
+use crate::tenant::{
+    Tenant, TenantEngine, TenantInfo, TenantRegistry, TenantSpec, DEFAULT_TENANT,
+};
 use blockgnn_engine::{
-    assemble_response, Engine, EngineError, GraphDelta, GraphHandle, InferRequest,
-    InferResponse, ParallelEngine,
+    assemble_response, Engine, EngineError, GraphDelta, InferRequest, InferResponse,
+    ParallelEngine,
 };
 use blockgnn_gnn::ModelKind;
 use std::sync::mpsc::{sync_channel, Receiver};
@@ -55,56 +61,47 @@ impl Ticket {
     }
 }
 
-/// What a worker executes batches on: a forked sequential engine (the
-/// common case — one replica per worker, batches coalesce), or a shared
-/// partition-parallel engine (one worker drives it; each request is
-/// already sharded across the parallel engine's own pool).
-enum WorkerEngine {
-    Forked(Engine),
-    Parallel(Box<ParallelEngine>),
-}
-
 /// The concurrent serving runtime. Construct with [`Server::start`]
-/// (worker pool over a forked [`Engine`]) or [`Server::start_parallel`]
-/// (single worker driving a [`ParallelEngine`]); submit through
-/// [`Server::handle`]; stop with [`Server::shutdown`].
+/// (worker pool over a forked [`Engine`], which becomes the `default`
+/// tenant) or [`Server::start_parallel`] (single worker driving a
+/// [`ParallelEngine`]); add tenants with [`Server::deploy`]; submit
+/// through [`Server::handle`] / [`Server::handle_for`]; stop with
+/// [`Server::shutdown`].
 pub struct Server {
     queue: Arc<RequestQueue>,
-    telemetry: Arc<Telemetry>,
+    registry: Arc<TenantRegistry>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     config: ServerConfig,
-    /// Mutation/version handle on the worker pool's shared graph state;
-    /// `None` when fronting a [`ParallelEngine`], which serves a frozen
-    /// snapshot.
-    graph: Option<GraphHandle>,
-    /// Fallback node count / version for the frozen-snapshot case.
-    static_num_nodes: usize,
-    static_version: u64,
-    model_kind: ModelKind,
+    /// The tenant unqualified requests address.
+    default: Arc<Tenant>,
 }
 
 impl Server {
-    /// Starts the runtime: forks `config.workers − 1` engine replicas
-    /// (the original becomes worker 0) and spawns one batching worker
-    /// thread per replica.
+    /// Starts the runtime: the engine becomes the `default` tenant with
+    /// `config.workers` replicas (the original plus `workers − 1` forks)
+    /// and one batching worker thread per replica.
     ///
     /// # Errors
     ///
     /// [`EngineError::NoWorkers`] (as [`ServerError::Engine`]) when
-    /// `config.workers` is zero.
+    /// `config.workers` is zero; [`ServerError::TenantBudget`] when the
+    /// engine alone overflows a configured
+    /// [`ServerConfig::device_budget_bytes`].
     pub fn start(engine: Engine, config: ServerConfig) -> Result<Self, ServerError> {
         if config.workers == 0 {
             return Err(ServerError::Engine(EngineError::NoWorkers));
         }
-        let graph = engine.graph_handle();
-        let mut replicas = Vec::with_capacity(config.workers);
-        for _ in 1..config.workers {
-            replicas.push(engine.fork());
-        }
-        replicas.insert(0, engine);
-        let replicas: Vec<WorkerEngine> =
-            replicas.into_iter().map(WorkerEngine::Forked).collect();
-        Ok(Self::spawn(replicas, Some(graph), config))
+        let registry = TenantRegistry::new(config.device_budget_bytes);
+        let tenant = Tenant::forked(
+            registry.next_id(),
+            DEFAULT_TENANT,
+            1,
+            config.max_queue_depth,
+            engine,
+            config.workers,
+        );
+        let default = registry.deploy(tenant)?;
+        Ok(Self::spawn(registry, default, config.workers, config))
     }
 
     /// Starts the runtime around a partition-parallel engine: a single
@@ -118,70 +115,166 @@ impl Server {
     #[must_use]
     pub fn start_parallel(engine: ParallelEngine, config: ServerConfig) -> Self {
         let config = ServerConfig { max_batch_requests: 1, ..config };
-        Self::spawn(vec![WorkerEngine::Parallel(Box::new(engine))], None, config)
+        let registry = TenantRegistry::new(config.device_budget_bytes);
+        let tenant = Tenant::parallel(
+            registry.next_id(),
+            DEFAULT_TENANT,
+            1,
+            config.max_queue_depth,
+            engine,
+        );
+        let default = registry.deploy(tenant).expect("empty registry admits the first tenant");
+        Self::spawn(registry, default, 1, config)
     }
 
     fn spawn(
-        replicas: Vec<WorkerEngine>,
-        graph: Option<GraphHandle>,
+        registry: TenantRegistry,
+        default: Arc<Tenant>,
+        worker_threads: usize,
         config: ServerConfig,
     ) -> Self {
-        let (num_nodes, version, model_kind) = match &replicas[0] {
-            WorkerEngine::Forked(e) => (e.dataset().num_nodes(), e.version(), e.model_kind()),
-            WorkerEngine::Parallel(e) => (e.dataset().num_nodes(), e.version(), e.model_kind()),
-        };
-        let queue = Arc::new(RequestQueue::new(config.max_queue_depth));
-        let telemetry = Arc::new(Telemetry::new());
+        let registry = Arc::new(registry);
+        let queue = Arc::new(RequestQueue::new());
         let limits = BatchLimits {
             window: config.batch_window,
             max_requests: config.max_batch_requests.max(1),
             max_nodes: config.max_batch_nodes.max(1),
         };
-        let workers = replicas
-            .into_iter()
-            .enumerate()
-            .map(|(i, mut engine)| {
+        let workers = (0..worker_threads)
+            .map(|i| {
                 let queue = Arc::clone(&queue);
-                let telemetry = Arc::clone(&telemetry);
                 std::thread::Builder::new()
                     .name(format!("blockgnn-worker-{i}"))
                     .spawn(move || {
                         while let Some(batch) = queue.next_batch(limits) {
-                            serve_batch(&mut engine, batch, &telemetry);
+                            // The batch's tenant survives a concurrent
+                            // retire: the items hold the Arc.
+                            let tenant = Arc::clone(&batch[0].tenant);
+                            let mut engine = tenant.engines.checkout();
+                            serve_batch(&mut engine, batch, &tenant.telemetry);
+                            tenant.engines.checkin(engine);
                         }
                     })
                     .expect("worker thread spawns")
             })
             .collect();
-        Self {
-            queue,
-            telemetry,
-            workers: Mutex::new(workers),
-            config,
-            graph,
-            static_num_nodes: num_nodes,
-            static_version: version,
-            model_kind,
-        }
+        Self { queue, registry, workers: Mutex::new(workers), config, default }
     }
 
-    /// A cloneable submission handle (what connection threads hold).
+    /// A submission handle on the `default` tenant (what unqualified
+    /// protocol commands use).
     #[must_use]
     pub fn handle(&self) -> ServerHandle {
+        self.handle_of(Arc::clone(&self.default))
+    }
+
+    /// A submission handle on a named tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTenant`] when no such tenant is deployed.
+    pub fn handle_for(&self, tenant: &str) -> Result<ServerHandle, ServerError> {
+        Ok(self.handle_of(self.registry.get(tenant)?))
+    }
+
+    fn handle_of(&self, tenant: Arc<Tenant>) -> ServerHandle {
         ServerHandle {
             queue: Arc::clone(&self.queue),
-            telemetry: Arc::clone(&self.telemetry),
-            graph: self.graph.clone(),
-            static_num_nodes: self.static_num_nodes,
-            static_version: self.static_version,
+            registry: Arc::clone(&self.registry),
+            tenant,
             config: self.config.clone(),
         }
     }
 
-    /// The model this server answers for.
+    /// Deploys a new tenant from a spec: builds its engine (generated
+    /// dataset × fresh model × backend, all pinned by the spec's seed),
+    /// forks `config.workers` replicas, runs the aggregate residency
+    /// check, and publishes it — without stalling any other tenant's
+    /// traffic. Returns a handle on the new tenant.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::TenantExists`] on a name collision,
+    /// [`ServerError::TenantBudget`] on an over-budget deploy,
+    /// [`ServerError::Protocol`]/[`ServerError::Engine`] for a bad spec.
+    pub fn deploy(&self, spec: &TenantSpec) -> Result<ServerHandle, ServerError> {
+        let engine = spec.build_engine()?;
+        self.deploy_engine(spec, engine)
+    }
+
+    /// Deploys a tenant around a caller-built engine (custom dataset,
+    /// trained model, non-default accelerator config, …). Only the
+    /// spec's `name`, `weight`, and `max_queue_depth` are used.
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::deploy`], minus the spec-build failures.
+    pub fn deploy_engine(
+        &self,
+        spec: &TenantSpec,
+        engine: Engine,
+    ) -> Result<ServerHandle, ServerError> {
+        let tenant = Tenant::forked(
+            self.registry.next_id(),
+            &spec.name,
+            spec.weight,
+            spec.max_queue_depth.unwrap_or(self.config.max_queue_depth),
+            engine,
+            self.config.workers.max(1),
+        );
+        let tenant = self.registry.deploy(tenant)?;
+        Ok(self.handle_of(tenant))
+    }
+
+    /// Retires a tenant: unpublishes it, sheds its queued requests with
+    /// a typed [`ServerError::UnknownTenant`], and folds its final
+    /// counters into the aggregate stats. In-flight batches complete;
+    /// other tenants are never stalled. Returns the tenant's final
+    /// stats.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTenant`] for an unknown name;
+    /// [`ServerError::Protocol`] for the irremovable `default` tenant.
+    pub fn retire(&self, tenant: &str) -> Result<ServerStats, ServerError> {
+        self.registry.retire(tenant, &self.queue)
+    }
+
+    /// Public descriptions of every deployed tenant, in name order.
+    #[must_use]
+    pub fn tenants(&self) -> Vec<TenantInfo> {
+        self.registry.infos(&self.queue)
+    }
+
+    /// One tenant's private telemetry snapshot (its own counters and
+    /// graph version; the aggregate [`Server::stats`] sums these).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTenant`] when no such tenant is deployed.
+    pub fn tenant_stats(&self, tenant: &str) -> Result<ServerStats, ServerError> {
+        Ok(self.registry.get(tenant)?.stats())
+    }
+
+    /// Sum of deployed tenants' §IV-B/§IV-C resident bytes — what the
+    /// accountant charges against
+    /// [`ServerConfig::device_budget_bytes`] on the next deploy.
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.registry.resident_bytes()
+    }
+
+    /// The configured device budget the accountant enforces (`None` =
+    /// unbounded).
+    #[must_use]
+    pub fn device_budget(&self) -> Option<usize> {
+        self.registry.device_budget()
+    }
+
+    /// The model the `default` tenant answers for.
     #[must_use]
     pub fn model_kind(&self) -> ModelKind {
-        self.model_kind
+        self.default.model_kind
     }
 
     /// The active configuration.
@@ -190,12 +283,13 @@ impl Server {
         &self.config
     }
 
-    /// Applies a [`GraphDelta`] to the served graph: the new version is
-    /// published atomically **between micro-batches** — batches already
-    /// executing finish on the version they resolved at dequeue, the
-    /// next batch on every worker serves the new one, and each
-    /// [`InferResponse::graph_version`] says which side of the swap it
-    /// landed on. Returns the new version.
+    /// Applies a [`GraphDelta`] to the `default` tenant's graph: the new
+    /// version is published atomically **between micro-batches** —
+    /// batches already executing finish on the version they resolved at
+    /// dequeue, the next batch on every worker serves the new one, and
+    /// each [`InferResponse::graph_version`] says which side of the swap
+    /// it landed on. Returns the new version. Other tenants' graphs are
+    /// untouched — versions are per-tenant.
     ///
     /// # Errors
     ///
@@ -207,21 +301,22 @@ impl Server {
         self.handle().update(delta)
     }
 
-    /// The currently served graph version.
+    /// The `default` tenant's currently served graph version.
     #[must_use]
     pub fn graph_version(&self) -> u64 {
-        self.graph.as_ref().map_or(self.static_version, GraphHandle::version)
+        self.default.version()
     }
 
-    /// Current telemetry snapshot.
+    /// Aggregate telemetry snapshot: every live tenant's counters (plus
+    /// retired tenants' final ones) summed, with a per-tenant
+    /// [`crate::TenantRollup`] under [`ServerStats::tenants`]. The
+    /// top-level `graph_version` mirrors the `default` tenant.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        let mut stats = self.telemetry.snapshot();
-        stats.graph_version = self.graph_version();
-        stats
+        self.registry.global_stats(&self.queue)
     }
 
-    /// Requests currently queued.
+    /// Requests currently queued, across all tenants.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
         self.queue.depth()
@@ -248,34 +343,41 @@ impl Drop for Server {
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
-            .field("model", &self.model_kind)
+            .field("model", &self.default.model_kind)
+            .field("tenants", &self.registry.snapshot().len())
             .field("config", &self.config)
             .field("queue_depth", &self.queue.depth())
             .finish()
     }
 }
 
-/// Cloneable submission front of a [`Server`].
-#[derive(Debug, Clone)]
+/// Cloneable submission front of a [`Server`], scoped to one tenant
+/// ([`Server::handle`] for `default`, [`Server::handle_for`] /
+/// [`Server::deploy`] for the rest). Requests are validated against,
+/// queued in, and versioned by **this** tenant.
+#[derive(Clone)]
 pub struct ServerHandle {
     queue: Arc<RequestQueue>,
-    telemetry: Arc<Telemetry>,
-    /// Live graph handle (`None` when fronting a frozen parallel
-    /// snapshot).
-    graph: Option<GraphHandle>,
-    static_num_nodes: usize,
-    static_version: u64,
+    registry: Arc<TenantRegistry>,
+    tenant: Arc<Tenant>,
     config: ServerConfig,
 }
 
 impl ServerHandle {
+    /// The tenant this handle addresses.
+    #[must_use]
+    pub fn tenant_name(&self) -> &str {
+        &self.tenant.name
+    }
+
     /// Submits a request with default options; returns a [`Ticket`]
     /// immediately (admission never blocks).
     ///
     /// # Errors
     ///
-    /// [`ServerError::Overloaded`] when the queue is full,
-    /// [`ServerError::ShuttingDown`] after shutdown, or
+    /// [`ServerError::Overloaded`] when the tenant's lane is full,
+    /// [`ServerError::ShuttingDown`] after shutdown,
+    /// [`ServerError::UnknownTenant`] once the tenant is retired, or
     /// [`ServerError::Engine`] for requests that are invalid on their
     /// face (out-of-range nodes, empty sampled request).
     pub fn submit(&self, request: InferRequest) -> Result<Ticket, ServerError> {
@@ -292,26 +394,30 @@ impl ServerHandle {
         request: InferRequest,
         options: SubmitOptions,
     ) -> Result<Ticket, ServerError> {
-        self.telemetry.record_submitted();
+        if self.tenant.is_retired() {
+            return Err(ServerError::UnknownTenant { name: self.tenant.name.clone() });
+        }
+        self.tenant.telemetry.record_submitted();
         // Front-door validation with the engine's own validity rule, so
         // obviously bad requests fail at submission with a typed error
         // instead of occupying queue space (and the two paths cannot
-        // drift). Validated against the *current* version's node count;
-        // the engine re-validates against whatever version the request's
-        // batch resolves (node counts only grow, so an admitted request
-        // stays valid).
+        // drift). Validated against the *addressed tenant's* current
+        // node count; the engine re-validates against whatever version
+        // the request's batch resolves (node counts only grow, so an
+        // admitted request stays valid).
         if let Err(e) = blockgnn_engine::validate_request(&request, self.num_nodes()) {
-            self.telemetry.with(|s| s.failed += 1);
+            self.tenant.telemetry.with(|s| s.failed += 1);
             return Err(ServerError::Engine(e));
         }
         let deadline =
             options.deadline.or(self.config.default_deadline).map(|d| Instant::now() + d);
         let (tx, rx) = sync_channel(1);
-        match self.queue.push(request, options.priority, deadline, tx) {
+        match self.queue.push(Arc::clone(&self.tenant), request, options.priority, deadline, tx)
+        {
             Ok(()) => Ok(Ticket { rx }),
             Err(e) => {
                 if matches!(e, ServerError::Overloaded { .. }) {
-                    self.telemetry.record_shed_overload();
+                    self.tenant.telemetry.record_shed_overload();
                 }
                 Err(e)
             }
@@ -341,8 +447,9 @@ impl ServerHandle {
         self.submit_with(request, options)?.wait()
     }
 
-    /// Applies a [`GraphDelta`] (see [`Server::apply_delta`] for the
-    /// between-batches atomicity contract), returning the new version.
+    /// Applies a [`GraphDelta`] to this tenant's graph (see
+    /// [`Server::apply_delta`] for the between-batches atomicity
+    /// contract), returning the new version.
     ///
     /// # Errors
     ///
@@ -352,62 +459,103 @@ impl ServerHandle {
     }
 
     /// Like [`ServerHandle::update`], but returns the full
-    /// [`crate::UpdateAck`] — version plus the node/arc counts of
-    /// exactly the epoch this delta published (consistent even when
-    /// another client's update lands right after).
+    /// [`crate::UpdateAck`] — tenant name, version, and the node/arc
+    /// counts of exactly the epoch this delta published (consistent even
+    /// when another client's update lands right after).
     ///
     /// # Errors
     ///
     /// As [`Server::apply_delta`].
     pub fn update_acked(&self, delta: &GraphDelta) -> Result<crate::UpdateAck, ServerError> {
-        let Some(graph) = &self.graph else {
-            self.telemetry.with(|s| s.failed_updates += 1);
+        if self.tenant.is_retired() {
+            return Err(ServerError::UnknownTenant { name: self.tenant.name.clone() });
+        }
+        let Some(graph) = &self.tenant.graph else {
+            self.tenant.telemetry.with(|s| s.failed_updates += 1);
             return Err(ServerError::Engine(EngineError::ImmutableGraph));
         };
         match graph.apply_delta_acked(delta) {
             Ok((version, num_nodes, num_arcs)) => {
-                self.telemetry.with(|s| s.updates += 1);
-                Ok(crate::UpdateAck { version, num_nodes, num_arcs })
+                self.tenant.telemetry.with(|s| s.updates += 1);
+                Ok(crate::UpdateAck {
+                    tenant: self.tenant.name.clone(),
+                    version,
+                    num_nodes,
+                    num_arcs,
+                })
             }
             Err(e) => {
-                self.telemetry.with(|s| s.failed_updates += 1);
+                self.tenant.telemetry.with(|s| s.failed_updates += 1);
                 Err(ServerError::Engine(e))
             }
         }
     }
 
-    /// The currently served graph version.
+    /// This tenant's currently served graph version.
     #[must_use]
     pub fn graph_version(&self) -> u64 {
-        self.graph.as_ref().map_or(self.static_version, GraphHandle::version)
+        self.tenant.version()
     }
 
-    /// Current telemetry snapshot.
+    /// Aggregate telemetry snapshot across all tenants (identical to
+    /// [`Server::stats`]; for this tenant's own slice, see
+    /// [`ServerHandle::tenant_stats`]).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        let mut stats = self.telemetry.snapshot();
-        stats.graph_version = self.graph_version();
-        stats
+        self.registry.global_stats(&self.queue)
     }
 
-    /// Nodes in the served graph's current version (the bound request
+    /// This tenant's private telemetry snapshot.
+    #[must_use]
+    pub fn tenant_stats(&self) -> ServerStats {
+        self.tenant.stats()
+    }
+
+    /// A wire-friendly description of this handle's tenant (what the
+    /// `deploy` ack and `list` report).
+    #[must_use]
+    pub fn info(&self) -> TenantInfo {
+        TenantInfo {
+            name: self.tenant.name.clone(),
+            model: self.tenant.model_kind,
+            backend: self.tenant.backend_kind,
+            graph_version: self.tenant.version(),
+            num_nodes: self.tenant.num_nodes(),
+            weight: self.tenant.weight,
+            queue_depth: self.queue.depth_of(self.tenant.id),
+            resident_bytes: self.tenant.resident_bytes(),
+        }
+    }
+
+    /// Nodes in this tenant's current graph version (the bound request
     /// node ids must obey; deltas can grow this).
     #[must_use]
     pub fn num_nodes(&self) -> usize {
-        self.graph.as_ref().map_or(self.static_num_nodes, GraphHandle::num_nodes)
+        self.tenant.num_nodes()
     }
 
-    /// Stored arcs in the served graph's current version (0 reported
+    /// Stored arcs in this tenant's current graph version (0 reported
     /// for a frozen parallel snapshot, which exposes no live handle).
     #[must_use]
     pub fn num_arcs(&self) -> usize {
-        self.graph.as_ref().map_or(0, GraphHandle::num_arcs)
+        self.tenant.num_arcs()
     }
 }
 
-/// Executes one dequeued batch: sheds expired requests, runs the rest
-/// as a coalesced execution, and delivers every answer.
-fn serve_batch(engine: &mut WorkerEngine, batch: Vec<QueueItem>, telemetry: &Telemetry) {
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("tenant", &self.tenant.name)
+            .field("num_nodes", &self.num_nodes())
+            .field("graph_version", &self.graph_version())
+            .finish()
+    }
+}
+
+/// Executes one dequeued (single-tenant) batch: sheds expired requests,
+/// runs the rest as a coalesced execution, and delivers every answer.
+/// `telemetry` is the owning tenant's accumulator.
+fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Telemetry) {
     let exec_start = Instant::now();
     let (live, expired): (Vec<_>, Vec<_>) =
         batch.into_iter().partition(|item| !item.expired(exec_start));
@@ -423,24 +571,27 @@ fn serve_batch(engine: &mut WorkerEngine, batch: Vec<QueueItem>, telemetry: &Tel
     }
     let requests: Vec<InferRequest> = live.iter().map(|item| item.request.clone()).collect();
     let (outcomes, deduped) = match engine {
-        WorkerEngine::Forked(engine) => {
+        TenantEngine::Forked(engine) => {
             let coalesced = engine.infer_coalesced(&requests);
             (coalesced.outcomes, coalesced.deduped)
         }
         // The parallel engine shards each request across its own worker
         // pool; `start_parallel` forces batches of one, so the group is
         // a single request and nothing is deduplicated.
-        WorkerEngine::Parallel(engine) => {
+        TenantEngine::Parallel(engine) => {
             (requests.iter().map(|r| engine.execute_request(r)).collect(), 0)
         }
     };
     let compute_time = exec_start.elapsed();
-    // Assemble and deliver every answer into worker-local accumulators
-    // first; the shared telemetry lock is taken once, briefly, at the
-    // end — response assembly (argmax over logits) and channel sends
-    // must not serialize the whole worker pool.
+    // Assemble every answer into worker-local accumulators first, so
+    // the shared telemetry lock is taken once, briefly — response
+    // assembly (argmax over logits) must not serialize the worker pool.
+    // Counters fold BEFORE any answer is delivered: a caller that has
+    // observed its response must also observe its completion in stats
+    // (retire sendoffs and per-tenant rollups count on this).
     let batch_size = live.len();
     let mut local = ServerStats::default();
+    let mut deliveries = Vec::with_capacity(batch_size);
     for (item, outcome) in live.into_iter().zip(outcomes) {
         let queue_time = exec_start.saturating_duration_since(item.enqueued_at);
         match outcome {
@@ -450,11 +601,11 @@ fn serve_batch(engine: &mut WorkerEngine, batch: Vec<QueueItem>, telemetry: &Tel
                 local.completed += 1;
                 let response =
                     assemble_response(outcome, queue_time, compute_time, &mut local.serve);
-                item.respond(Ok(response));
+                deliveries.push((item, Ok(response)));
             }
             Err(e) => {
                 local.failed += 1;
-                item.respond(Err(ServerError::Engine(e)));
+                deliveries.push((item, Err(ServerError::Engine(e))));
             }
         }
     }
@@ -468,4 +619,7 @@ fn serve_batch(engine: &mut WorkerEngine, batch: Vec<QueueItem>, telemetry: &Tel
         stats.queue_time.merge(&local.queue_time);
         stats.compute_time.merge(&local.compute_time);
     });
+    for (item, answer) in deliveries {
+        item.respond(answer);
+    }
 }

@@ -10,9 +10,10 @@
 
 use crate::error::ServerError;
 use crate::protocol::{
-    encode_error, encode_response, encode_update_ack, parse_command, Command,
+    encode_deploy_ack, encode_error, encode_list_reply, encode_response, encode_retire_ack,
+    encode_update_ack, parse_command, Command,
 };
-use crate::server::Server;
+use crate::server::{Server, ServerHandle};
 use crate::telemetry::ServerStats;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -150,31 +151,59 @@ fn serve_connection(
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
-    let handle = server.handle();
     let mut partial = Vec::new();
+    // Resolves an `@tenant` qualifier to a submission handle; `None`
+    // addresses the default tenant. Resolution happens per command —
+    // the tenant may have been deployed (or retired) since the last
+    // line on this very connection.
+    let resolve = |tenant: Option<String>| -> Result<ServerHandle, ServerError> {
+        match tenant {
+            None => Ok(server.handle()),
+            Some(name) => server.handle_for(&name),
+        }
+    };
     while let Some(line) = read_line_stoppable(&mut reader, &mut partial, stop)? {
         let reply = match parse_command(line.trim()) {
             Ok(Command::Ping) => "pong".to_string(),
-            Ok(Command::Stats) => format!("ok stats {}", server.stats().summary()),
+            Ok(Command::Stats(None)) => format!("ok stats {}", server.stats().summary()),
+            Ok(Command::Stats(Some(name))) => match server.tenant_stats(&name) {
+                Ok(stats) => format!("ok stats {}", stats.summary()),
+                Err(e) => encode_error(&e),
+            },
             Ok(Command::Shutdown) => {
                 writer.write_all(b"ok bye\n")?;
                 writer.flush()?;
                 stop.store(true, Ordering::SeqCst);
                 return Ok(());
             }
-            Ok(Command::Infer(request, options)) => match handle.infer_with(request, options) {
-                Ok(response) => encode_response(&response),
+            Ok(Command::Infer(request, options, tenant)) => match resolve(tenant) {
+                Ok(handle) => match handle.infer_with(request, options) {
+                    Ok(response) => encode_response(&response, handle.tenant_name()),
+                    Err(e) => encode_error(&e),
+                },
                 Err(e) => encode_error(&e),
             },
             // A rejected update answers with a typed error and the
-            // connection (and the shared graph) carries on untouched.
+            // connection (and the addressed graph) carries on untouched.
             // The ack's counts come from the exact epoch this delta
             // published, so they stay consistent with its version even
             // under concurrent updates.
-            Ok(Command::Update(delta)) => match handle.update_acked(&delta) {
-                Ok(ack) => encode_update_ack(&ack),
+            Ok(Command::Update(delta, tenant)) => match resolve(tenant) {
+                Ok(handle) => match handle.update_acked(&delta) {
+                    Ok(ack) => encode_update_ack(&ack),
+                    Err(e) => encode_error(&e),
+                },
                 Err(e) => encode_error(&e),
             },
+            Ok(Command::Deploy(spec)) => match server.deploy(&spec) {
+                Ok(handle) => encode_deploy_ack(&handle.info()),
+                Err(e) => encode_error(&e),
+            },
+            Ok(Command::Retire(name)) => match server.retire(&name) {
+                Ok(finals) => encode_retire_ack(&name, &finals),
+                Err(e) => encode_error(&e),
+            },
+            Ok(Command::List) => encode_list_reply(&server.tenants()),
             Err(msg) => encode_error(&ServerError::Protocol(msg)),
         };
         writer.write_all(reply.as_bytes())?;

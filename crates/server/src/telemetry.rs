@@ -49,6 +49,65 @@ pub struct ServerStats {
     pub graph_version: u64,
     /// Time since the server started.
     pub uptime: Duration,
+    /// Per-tenant rollups, keyed by tenant name — populated only on
+    /// aggregate snapshots of a multi-tenant server ([`crate::Server::stats`]);
+    /// empty on per-tenant snapshots and single-telemetry accumulators.
+    pub tenants: BTreeMap<String, TenantRollup>,
+}
+
+/// One tenant's slice of an aggregate [`ServerStats`] snapshot: the
+/// counters fairness and isolation arguments are made from.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantRollup {
+    /// The tenant's weighted-fair share of the admission queue.
+    pub weight: u32,
+    /// Requests offered (including shed ones).
+    pub submitted: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that failed in the engine.
+    pub failed: usize,
+    /// Requests shed (overload + deadline) from this tenant's lane.
+    pub shed: usize,
+    /// Completed requests per second of server uptime.
+    pub qps: f64,
+    /// Median served latency.
+    pub p50: Duration,
+    /// 95th-percentile served latency.
+    pub p95: Duration,
+    /// 99th-percentile served latency.
+    pub p99: Duration,
+    /// The tenant's own graph version (versions are per-tenant).
+    pub graph_version: u64,
+    /// Graph deltas applied to this tenant.
+    pub updates: usize,
+    /// Requests currently queued in this tenant's lane.
+    pub queue_depth: usize,
+}
+
+impl TenantRollup {
+    /// Renders the rollup as one colon-separated `stats` segment
+    /// (`tenant=` prefixed by the caller): counters first so smoke tests
+    /// can grep exact prefixes, float rates last.
+    #[must_use]
+    pub fn summary_fields(&self) -> String {
+        format!(
+            "w={}:requests={}:completed={}:failed={}:shed={}:version={}:updates={}:depth={}\
+             :qps={:.1}:p50_us={}:p95_us={}:p99_us={}",
+            self.weight,
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.graph_version,
+            self.updates,
+            self.queue_depth,
+            self.qps,
+            self.p50.as_micros(),
+            self.p95.as_micros(),
+            self.p99.as_micros(),
+        )
+    }
 }
 
 impl ServerStats {
@@ -80,10 +139,55 @@ impl ServerStats {
         self.shed_overload + self.shed_deadline
     }
 
-    /// One-line summary for logs and the `stats` protocol command.
+    /// Folds another accumulator's counters into this one — how a
+    /// multi-tenant server aggregates per-tenant telemetry (and absorbs
+    /// retired tenants' final counters). `graph_version` and `uptime`
+    /// are identity fields, not counters; the caller sets them on the
+    /// merged snapshot.
+    pub fn absorb(&mut self, other: &ServerStats) {
+        self.serve.merge(&other.serve);
+        self.queue_time.merge(&other.queue_time);
+        self.compute_time.merge(&other.compute_time);
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed_overload += other.shed_overload;
+        self.shed_deadline += other.shed_deadline;
+        self.failed += other.failed;
+        self.batches += other.batches;
+        self.deduped += other.deduped;
+        for (size, count) in &other.batch_size_counts {
+            *self.batch_size_counts.entry(*size).or_insert(0) += count;
+        }
+        self.updates += other.updates;
+        self.failed_updates += other.failed_updates;
+    }
+
+    /// One tenant's rollup of this (per-tenant) snapshot.
+    #[must_use]
+    pub fn rollup(&self, weight: u32, queue_depth: usize) -> TenantRollup {
+        TenantRollup {
+            weight,
+            submitted: self.submitted,
+            completed: self.completed,
+            failed: self.failed,
+            shed: self.shed(),
+            qps: self.qps(),
+            p50: self.serve.p50(),
+            p95: self.serve.p95(),
+            p99: self.serve.p99(),
+            graph_version: self.graph_version,
+            updates: self.updates,
+            queue_depth,
+        }
+    }
+
+    /// One-line summary for logs and the `stats` protocol command. The
+    /// single-tenant prefix is stable; aggregate snapshots of a
+    /// multi-tenant server append one `tenant=NAME:…` segment per tenant
+    /// (colon-separated fields, see [`TenantRollup::summary_fields`]).
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "requests={} completed={} failed={} shed_overload={} shed_deadline={} \
              qps={:.1} p50_us={} p95_us={} p99_us={} mean_queue_us={} mean_compute_us={} \
              batches={} mean_batch={:.2} deduped={} version={} updates={} failed_updates={}",
@@ -104,7 +208,15 @@ impl ServerStats {
             self.graph_version,
             self.updates,
             self.failed_updates,
-        )
+        );
+        if !self.tenants.is_empty() {
+            use std::fmt::Write as _;
+            let _ = write!(line, " tenants={}", self.tenants.len());
+            for (name, rollup) in &self.tenants {
+                let _ = write!(line, " tenant={}:{}", name, rollup.summary_fields());
+            }
+        }
+        line
     }
 }
 

@@ -1,0 +1,717 @@
+//! The tenant registry: many graphs × many models served by one
+//! process.
+//!
+//! A **tenant** is a named `(graph, model, backend)` triple wrapping its
+//! own engine family — prepared weights, the PR-5 versioned graph state,
+//! and a pool of forked replicas workers check out per batch. The
+//! registry (internal `TenantRegistry`) publishes the name → tenant
+//! map with the same
+//! `Arc`-epoch pattern the versioned graph uses: `deploy`/`retire`
+//! build a fresh map and swap one `Arc`, so readers (submission paths,
+//! workers, `stats`) never block on a deploy and a retire never stalls
+//! another tenant's in-flight micro-batch — batches hold their own
+//! `Arc<Tenant>` and finish on it.
+//!
+//! Deploys pass through the aggregate residency accountant: with a
+//! configured device budget, the sum of deployed tenants' packed weight
+//! spectra + resident node features (the paper's §IV-B/§IV-C
+//! accounting, via [`blockgnn_engine::Engine::resident_bytes`]) must
+//! fit, or the deploy is rejected with a typed
+//! [`ServerError::TenantBudget`].
+
+use crate::error::ServerError;
+use crate::queue::RequestQueue;
+use crate::telemetry::{ServerStats, Telemetry};
+use blockgnn_engine::{BackendKind, Engine, GraphHandle, ParallelEngine};
+use blockgnn_gnn::ModelKind;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// The tenant every unqualified (`infer` without `@tenant`) request
+/// addresses — the engine the server was started around.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// Validates a tenant name for use on the wire: non-empty, only ASCII
+/// alphanumerics, `-`, `_`, and `.` — so names embed cleanly in
+/// `@tenant` qualifiers and colon-separated `list` segments.
+///
+/// # Errors
+///
+/// A message naming the offending character.
+pub fn validate_tenant_name(name: &str) -> Result<(), String> {
+    if name.is_empty() {
+        return Err("tenant name must not be empty".into());
+    }
+    if let Some(c) =
+        name.chars().find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.')))
+    {
+        return Err(format!(
+            "tenant name {name:?} contains {c:?} (allowed: alphanumerics, '-', '_', '.')"
+        ));
+    }
+    Ok(())
+}
+
+/// Parses a model name as the CLI and the `deploy` verb spell it.
+///
+/// # Errors
+///
+/// A message listing the accepted spellings.
+pub fn parse_model_kind(word: &str) -> Result<ModelKind, String> {
+    match word {
+        "gcn" => Ok(ModelKind::Gcn),
+        "gs-pool" => Ok(ModelKind::GsPool),
+        "g-gcn" => Ok(ModelKind::Ggcn),
+        "gat" => Ok(ModelKind::Gat),
+        other => Err(format!("unknown model {other:?} (gcn | gs-pool | g-gcn | gat)")),
+    }
+}
+
+/// The wire/CLI spelling of a model kind (inverse of
+/// [`parse_model_kind`]).
+#[must_use]
+pub fn model_kind_name(kind: ModelKind) -> &'static str {
+    match kind {
+        ModelKind::Gcn => "gcn",
+        ModelKind::GsPool => "gs-pool",
+        ModelKind::Ggcn => "g-gcn",
+        ModelKind::Gat => "gat",
+    }
+}
+
+/// Parses a backend name as the CLI and the `deploy` verb spell it.
+///
+/// # Errors
+///
+/// A message listing the accepted spellings.
+pub fn parse_backend_kind(word: &str) -> Result<BackendKind, String> {
+    match word {
+        "dense" => Ok(BackendKind::Dense),
+        "spectral" => Ok(BackendKind::Spectral),
+        "simulated-accel" => Ok(BackendKind::SimulatedAccel),
+        other => Err(format!("unknown backend {other:?} (dense | spectral | simulated-accel)")),
+    }
+}
+
+/// The wire/CLI spelling of a backend kind (inverse of
+/// [`parse_backend_kind`]).
+#[must_use]
+pub fn backend_kind_name(kind: BackendKind) -> &'static str {
+    match kind {
+        BackendKind::Dense => "dense",
+        BackendKind::Spectral => "spectral",
+        BackendKind::SimulatedAccel => "simulated-accel",
+    }
+}
+
+/// Everything needed to deploy one tenant: what to serve (dataset ×
+/// model × backend) and how to schedule it (fair-share weight,
+/// queue-depth cap).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Registry name; also the `@tenant` qualifier requests address.
+    pub name: String,
+    /// Name of a built-in small dataset
+    /// ([`blockgnn_graph::datasets::small_by_name`]).
+    pub dataset: String,
+    /// Which of the paper's four algorithms to serve.
+    pub model: ModelKind,
+    /// Execution substrate.
+    pub backend: BackendKind,
+    /// Hidden-layer width of the freshly built model.
+    pub hidden_dim: usize,
+    /// Block-circulant block size `n`.
+    pub block_size: usize,
+    /// Weight-initialization seed; also seeds the generated dataset, so
+    /// one spec pins the served state bit-exactly.
+    pub seed: u64,
+    /// Weighted-fair share of the admission queue (≥ 1; a weight-3
+    /// tenant is scheduled 3× as often as a weight-1 one under
+    /// contention).
+    pub weight: u32,
+    /// Per-tenant queued-request cap; `None` uses the server's
+    /// [`crate::ServerConfig::max_queue_depth`].
+    pub max_queue_depth: Option<usize>,
+}
+
+impl TenantSpec {
+    /// A spec with the engine-builder defaults: hidden width 32, block
+    /// size 8, seed 42, weight 1, the server's queue-depth cap.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        dataset: impl Into<String>,
+        model: ModelKind,
+        backend: BackendKind,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            dataset: dataset.into(),
+            model,
+            backend,
+            hidden_dim: 32,
+            block_size: 8,
+            seed: 42,
+            weight: 1,
+            max_queue_depth: None,
+        }
+    }
+
+    /// Sets the hidden width.
+    #[must_use]
+    pub fn hidden_dim(mut self, hidden_dim: usize) -> Self {
+        self.hidden_dim = hidden_dim;
+        self
+    }
+
+    /// Sets the circulant block size.
+    #[must_use]
+    pub fn block_size(mut self, block_size: usize) -> Self {
+        self.block_size = block_size;
+        self
+    }
+
+    /// Sets the weight/dataset seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fair-share weight (clamped to ≥ 1).
+    #[must_use]
+    pub fn weight(mut self, weight: u32) -> Self {
+        self.weight = weight.max(1);
+        self
+    }
+
+    /// Sets the per-tenant queue-depth cap.
+    #[must_use]
+    pub fn max_queue_depth(mut self, depth: usize) -> Self {
+        self.max_queue_depth = Some(depth);
+        self
+    }
+
+    /// Parses the CLI's compact form `name=dataset:model:backend`
+    /// (e.g. `traffic=citeseer-small:gs-pool:dense`).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed part.
+    pub fn parse_compact(word: &str) -> Result<Self, String> {
+        let (name, rest) = word
+            .split_once('=')
+            .ok_or_else(|| format!("expected name=dataset:model:backend, got {word:?}"))?;
+        validate_tenant_name(name)?;
+        let mut parts = rest.split(':');
+        let dataset = parts.next().filter(|d| !d.is_empty()).ok_or("missing dataset")?;
+        let model = parse_model_kind(parts.next().ok_or("missing model")?)?;
+        let backend = parse_backend_kind(parts.next().ok_or("missing backend")?)?;
+        if parts.next().is_some() {
+            return Err(format!("trailing fields after backend in {word:?}"));
+        }
+        Ok(Self::new(name, dataset, model, backend))
+    }
+
+    /// Builds the engine this spec describes: the named generated
+    /// dataset (seeded by [`TenantSpec::seed`]) under a freshly
+    /// initialized model.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Protocol`] for an unknown dataset name,
+    /// [`ServerError::Engine`] for model/backend construction failures.
+    pub fn build_engine(&self) -> Result<Engine, ServerError> {
+        let dataset = blockgnn_graph::datasets::small_by_name(&self.dataset, self.seed)
+            .ok_or_else(|| {
+                ServerError::Protocol(format!(
+                    "unknown dataset {:?} (expected one of {:?})",
+                    self.dataset,
+                    blockgnn_graph::datasets::small_names()
+                ))
+            })?;
+        let engine = Engine::builder(self.model, self.backend)
+            .hidden_dim(self.hidden_dim)
+            .compression(blockgnn_nn::Compression::BlockCirculant {
+                block_size: self.block_size,
+            })
+            .seed(self.seed)
+            .build(Arc::new(dataset))?;
+        Ok(engine)
+    }
+}
+
+/// What a worker executes a tenant's batches on: a forked sequential
+/// engine replica (checked out per batch), or the tenant's shared
+/// partition-parallel engine (pool of one; each request is already
+/// sharded across the parallel engine's own thread pool).
+pub(crate) enum TenantEngine {
+    Forked(Engine),
+    Parallel(Box<ParallelEngine>),
+}
+
+/// A checkout pool of engine replicas. Sized to the server's worker
+/// count at deploy, so with `workers` worker threads a checkout never
+/// blocks in steady state (there are never more concurrent batches than
+/// workers); the condvar covers the transient where a retire races a
+/// checkout.
+pub(crate) struct EnginePool {
+    idle: Mutex<Vec<TenantEngine>>,
+    returned: Condvar,
+}
+
+impl EnginePool {
+    fn new(engines: Vec<TenantEngine>) -> Self {
+        Self { idle: Mutex::new(engines), returned: Condvar::new() }
+    }
+
+    /// Takes a replica for one batch.
+    pub fn checkout(&self) -> TenantEngine {
+        let mut idle = self.idle.lock().expect("engine pool lock");
+        loop {
+            if let Some(engine) = idle.pop() {
+                return engine;
+            }
+            idle = self.returned.wait(idle).expect("engine pool lock");
+        }
+    }
+
+    /// Returns a replica after a batch.
+    pub fn checkin(&self, engine: TenantEngine) {
+        self.idle.lock().expect("engine pool lock").push(engine);
+        self.returned.notify_one();
+    }
+}
+
+/// One deployed tenant: its engine pool, graph handle, scheduling
+/// parameters, and private telemetry. Shared as `Arc<Tenant>` — queued
+/// requests and executing batches hold their own reference, so a
+/// retired tenant's in-flight work completes untouched.
+pub(crate) struct Tenant {
+    /// Registry-unique id; the admission queue's lane key.
+    pub id: u64,
+    pub name: String,
+    /// Weighted-fair share of the admission queue.
+    pub weight: u32,
+    /// Per-tenant queued-request cap.
+    pub max_queue_depth: usize,
+    pub engines: EnginePool,
+    /// Live graph handle (`None` for a frozen partition-parallel
+    /// snapshot).
+    pub graph: Option<GraphHandle>,
+    /// Fallback node count / version for the frozen-snapshot case.
+    pub static_num_nodes: usize,
+    pub static_version: u64,
+    pub model_kind: ModelKind,
+    pub backend_kind: BackendKind,
+    /// Weight-side §IV-B footprint + per-node feature width, for live
+    /// residency accounting (features grow with appended nodes).
+    weight_bytes: usize,
+    feature_bytes_per_node: usize,
+    /// Flipped by retire: new submissions are rejected with
+    /// [`ServerError::UnknownTenant`]; in-flight work completes.
+    pub retired: AtomicBool,
+    /// This tenant's private accumulator; the server's aggregate stats
+    /// sum these across tenants.
+    pub telemetry: Telemetry,
+}
+
+impl Tenant {
+    /// Wraps a sequential engine: the original becomes replica 0 and is
+    /// forked `replicas − 1` times (prepared weights and versioned graph
+    /// state are `Arc`-shared).
+    pub fn forked(
+        id: u64,
+        name: &str,
+        weight: u32,
+        max_queue_depth: usize,
+        engine: Engine,
+        replicas: usize,
+    ) -> Self {
+        let graph = engine.graph_handle();
+        let static_num_nodes = engine.dataset().num_nodes();
+        let static_version = engine.version();
+        let model_kind = engine.model_kind();
+        let backend_kind = engine.backend_kind();
+        let weight_bytes = engine.weight_bytes();
+        let feature_bytes_per_node =
+            engine.dataset().feature_dim() * backend_kind.bytes_per_feature();
+        let mut pool = Vec::with_capacity(replicas.max(1));
+        for _ in 1..replicas {
+            pool.push(TenantEngine::Forked(engine.fork()));
+        }
+        pool.push(TenantEngine::Forked(engine));
+        Self {
+            id,
+            name: name.to_string(),
+            weight: weight.max(1),
+            max_queue_depth: max_queue_depth.max(1),
+            engines: EnginePool::new(pool),
+            graph: Some(graph),
+            static_num_nodes,
+            static_version,
+            model_kind,
+            backend_kind,
+            weight_bytes,
+            feature_bytes_per_node,
+            retired: AtomicBool::new(false),
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Wraps a partition-parallel engine (frozen snapshot, pool of one —
+    /// it parallelizes internally).
+    pub fn parallel(
+        id: u64,
+        name: &str,
+        weight: u32,
+        max_queue_depth: usize,
+        engine: ParallelEngine,
+    ) -> Self {
+        let static_num_nodes = engine.dataset().num_nodes();
+        let static_version = engine.version();
+        let model_kind = engine.model_kind();
+        let backend_kind = engine.backend_kind();
+        let weight_bytes = engine.resident_bytes()
+            - static_num_nodes
+                * engine.dataset().feature_dim()
+                * backend_kind.bytes_per_feature();
+        let feature_bytes_per_node =
+            engine.dataset().feature_dim() * backend_kind.bytes_per_feature();
+        Self {
+            id,
+            name: name.to_string(),
+            weight: weight.max(1),
+            max_queue_depth: max_queue_depth.max(1),
+            engines: EnginePool::new(vec![TenantEngine::Parallel(Box::new(engine))]),
+            graph: None,
+            static_num_nodes,
+            static_version,
+            model_kind,
+            backend_kind,
+            weight_bytes,
+            feature_bytes_per_node,
+            retired: AtomicBool::new(false),
+            telemetry: Telemetry::new(),
+        }
+    }
+
+    /// Nodes in this tenant's current graph version — what request node
+    /// ids are validated against.
+    pub fn num_nodes(&self) -> usize {
+        self.graph.as_ref().map_or(self.static_num_nodes, GraphHandle::num_nodes)
+    }
+
+    /// Stored arcs in the current version (0 for a frozen snapshot).
+    pub fn num_arcs(&self) -> usize {
+        self.graph.as_ref().map_or(0, GraphHandle::num_arcs)
+    }
+
+    /// This tenant's current graph version.
+    pub fn version(&self) -> u64 {
+        self.graph.as_ref().map_or(self.static_version, GraphHandle::version)
+    }
+
+    /// Live §IV-B/§IV-C residency footprint: packed weight spectra plus
+    /// the *current* version's features (deltas that append nodes grow
+    /// it).
+    pub fn resident_bytes(&self) -> usize {
+        self.weight_bytes + self.num_nodes() * self.feature_bytes_per_node
+    }
+
+    pub fn is_retired(&self) -> bool {
+        self.retired.load(Ordering::Acquire)
+    }
+
+    /// This tenant's telemetry snapshot, stamped with its own version.
+    pub fn stats(&self) -> ServerStats {
+        let mut stats = self.telemetry.snapshot();
+        stats.graph_version = self.version();
+        stats
+    }
+}
+
+/// A public, wire-friendly description of one deployed tenant (what
+/// `list` reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantInfo {
+    /// Registry name.
+    pub name: String,
+    /// Served model.
+    pub model: ModelKind,
+    /// Execution substrate.
+    pub backend: BackendKind,
+    /// Current graph version.
+    pub graph_version: u64,
+    /// Current node count.
+    pub num_nodes: usize,
+    /// Fair-share weight.
+    pub weight: u32,
+    /// Requests currently queued in this tenant's lane.
+    pub queue_depth: usize,
+    /// Current §IV-B/§IV-C residency footprint (bytes).
+    pub resident_bytes: usize,
+}
+
+/// The name → tenant map plus the aggregate residency accountant.
+///
+/// The map itself is published like a graph epoch: mutations build a
+/// fresh `BTreeMap` and swap one `Arc` under a short-lived lock, so
+/// lookups on the submission hot path clone an `Arc` and never contend
+/// with an in-progress deploy (which builds its engine *before* taking
+/// the lock).
+pub(crate) struct TenantRegistry {
+    map: Mutex<Arc<BTreeMap<String, Arc<Tenant>>>>,
+    /// Final counters of retired tenants, folded into aggregate stats so
+    /// a retire never makes server-lifetime totals go backwards.
+    retired_stats: Mutex<ServerStats>,
+    next_id: AtomicU64,
+    device_budget: Option<usize>,
+    started: Instant,
+}
+
+impl TenantRegistry {
+    pub fn new(device_budget: Option<usize>) -> Self {
+        Self {
+            map: Mutex::new(Arc::new(BTreeMap::new())),
+            retired_stats: Mutex::new(ServerStats::default()),
+            next_id: AtomicU64::new(0),
+            device_budget,
+            started: Instant::now(),
+        }
+    }
+
+    /// A fresh lane id for a tenant about to be constructed.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// The current tenant map (an `Arc` clone; never blocks on deploys
+    /// longer than the swap itself).
+    pub fn snapshot(&self) -> Arc<BTreeMap<String, Arc<Tenant>>> {
+        Arc::clone(&self.map.lock().expect("tenant map lock"))
+    }
+
+    /// Looks up one tenant by name.
+    pub fn get(&self, name: &str) -> Result<Arc<Tenant>, ServerError> {
+        self.snapshot()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServerError::UnknownTenant { name: name.to_string() })
+    }
+
+    /// Publishes a fully constructed tenant, enforcing name uniqueness
+    /// and the aggregate residency budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::TenantExists`] on a name collision,
+    /// [`ServerError::TenantBudget`] when the deploy would overflow the
+    /// device budget.
+    pub fn deploy(&self, tenant: Tenant) -> Result<Arc<Tenant>, ServerError> {
+        let mut map = self.map.lock().expect("tenant map lock");
+        if map.contains_key(&tenant.name) {
+            return Err(ServerError::TenantExists { name: tenant.name });
+        }
+        if let Some(budget) = self.device_budget {
+            let deployed: usize = map.values().map(|t| t.resident_bytes()).sum();
+            let needed = deployed + tenant.resident_bytes();
+            if needed > budget {
+                return Err(ServerError::TenantBudget { needed, budget });
+            }
+        }
+        let tenant = Arc::new(tenant);
+        let mut next = BTreeMap::clone(&map);
+        next.insert(tenant.name.clone(), Arc::clone(&tenant));
+        *map = Arc::new(next);
+        Ok(tenant)
+    }
+
+    /// Unpublishes a tenant: removes it from the map, stops new
+    /// submissions, purges its queued-but-unexecuted requests (each
+    /// answered with a typed [`ServerError::UnknownTenant`]), and folds
+    /// its final counters into the retired accumulator. In-flight
+    /// batches hold their own `Arc<Tenant>` and complete normally.
+    /// Returns the tenant's final stats.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::UnknownTenant`] for an unknown name;
+    /// [`ServerError::Protocol`] for the default tenant, which anchors
+    /// unqualified requests and cannot be retired.
+    pub fn retire(&self, name: &str, queue: &RequestQueue) -> Result<ServerStats, ServerError> {
+        if name == DEFAULT_TENANT {
+            return Err(ServerError::Protocol("the default tenant cannot be retired".into()));
+        }
+        let tenant = {
+            let mut map = self.map.lock().expect("tenant map lock");
+            let Some(tenant) = map.get(name).cloned() else {
+                return Err(ServerError::UnknownTenant { name: name.to_string() });
+            };
+            let mut next = BTreeMap::clone(&map);
+            next.remove(name);
+            *map = Arc::new(next);
+            tenant
+        };
+        tenant.retired.store(true, Ordering::Release);
+        queue.purge_tenant(tenant.id);
+        let finals = tenant.stats();
+        self.retired_stats.lock().expect("retired stats lock").absorb(&finals);
+        Ok(finals)
+    }
+
+    /// The aggregate server snapshot: retired tenants' final counters
+    /// plus every live tenant's, with one [`crate::TenantRollup`] per
+    /// live tenant. The top-level `graph_version`/`updates` mirror the
+    /// default tenant (the one unqualified requests address), keeping
+    /// the single-tenant summary contract intact.
+    pub fn global_stats(&self, queue: &RequestQueue) -> ServerStats {
+        let map = self.snapshot();
+        let mut global = self.retired_stats.lock().expect("retired stats lock").clone();
+        // `updates` of the default tenant is what the single-tenant
+        // summary reported before multi-tenancy; keep absorbing every
+        // tenant's into the total, but source version from the default.
+        for (name, tenant) in map.iter() {
+            let stats = tenant.stats();
+            global
+                .tenants
+                .insert(name.clone(), stats.rollup(tenant.weight, queue.depth_of(tenant.id)));
+            global.absorb(&stats);
+            if name == DEFAULT_TENANT {
+                global.graph_version = stats.graph_version;
+            }
+        }
+        global.uptime = self.started.elapsed();
+        global
+    }
+
+    /// Public descriptions of every deployed tenant, in name order.
+    pub fn infos(&self, queue: &RequestQueue) -> Vec<TenantInfo> {
+        self.snapshot()
+            .values()
+            .map(|t| TenantInfo {
+                name: t.name.clone(),
+                model: t.model_kind,
+                backend: t.backend_kind,
+                graph_version: t.version(),
+                num_nodes: t.num_nodes(),
+                weight: t.weight,
+                queue_depth: queue.depth_of(t.id),
+                resident_bytes: t.resident_bytes(),
+            })
+            .collect()
+    }
+
+    /// Sum of deployed tenants' resident bytes (what the accountant
+    /// charges against the device budget).
+    pub fn resident_bytes(&self) -> usize {
+        self.snapshot().values().map(|t| t.resident_bytes()).sum()
+    }
+
+    pub fn device_budget(&self) -> Option<usize> {
+        self.device_budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blockgnn_graph::datasets;
+
+    fn engine() -> Engine {
+        Engine::builder(ModelKind::Gcn, BackendKind::Dense)
+            .hidden_dim(8)
+            .build(Arc::new(datasets::cora_like_small(3)))
+            .unwrap()
+    }
+
+    #[test]
+    fn spec_compact_form_round_trips_names() {
+        let spec = TenantSpec::parse_compact("traffic=citeseer-small:gs-pool:dense").unwrap();
+        assert_eq!(spec.name, "traffic");
+        assert_eq!(spec.dataset, "citeseer-small");
+        assert_eq!(spec.model, ModelKind::GsPool);
+        assert_eq!(spec.backend, BackendKind::Dense);
+        assert_eq!(spec.weight, 1);
+        for bad in [
+            "noequals",
+            "=cora-small:gcn:dense",
+            "x=cora-small:gcn",
+            "x=cora-small:gcn:dense:extra",
+            "x=cora-small:nope:dense",
+            "x=cora-small:gcn:nope",
+            "x=:gcn:dense",
+        ] {
+            assert!(TenantSpec::parse_compact(bad).is_err(), "{bad:?} must fail");
+        }
+        for kind in [ModelKind::Gcn, ModelKind::GsPool, ModelKind::Ggcn, ModelKind::Gat] {
+            assert_eq!(parse_model_kind(model_kind_name(kind)).unwrap(), kind);
+        }
+        for kind in [BackendKind::Dense, BackendKind::Spectral, BackendKind::SimulatedAccel] {
+            assert_eq!(parse_backend_kind(backend_kind_name(kind)).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn registry_swaps_maps_and_accounts_residency() {
+        let queue = RequestQueue::new();
+        let tiny_budget = {
+            // Budget fits exactly one copy of the test engine.
+            let e = engine();
+            e.resident_bytes() + e.resident_bytes() / 2
+        };
+        let registry = TenantRegistry::new(Some(tiny_budget));
+        let before = registry.snapshot();
+        let a = Tenant::forked(registry.next_id(), "a", 1, 8, engine(), 1);
+        registry.deploy(a).unwrap();
+        // Readers holding the old map are unaffected; new lookups see it.
+        assert!(before.is_empty());
+        assert!(registry.get("a").is_ok());
+        // Name collision is typed.
+        let dup = Tenant::forked(registry.next_id(), "a", 1, 8, engine(), 1);
+        assert!(matches!(registry.deploy(dup), Err(ServerError::TenantExists { .. })));
+        // A second tenant overflows the 1.5× budget, typed.
+        let b = Tenant::forked(registry.next_id(), "b", 1, 8, engine(), 1);
+        match registry.deploy(b) {
+            Err(ServerError::TenantBudget { needed, budget }) => {
+                assert!(needed > budget);
+                assert_eq!(budget, tiny_budget);
+            }
+            Err(other) => panic!("expected TenantBudget, got {other:?}"),
+            Ok(_) => panic!("expected TenantBudget, got a deployed tenant"),
+        }
+        // Retiring is typed for unknown names and forbidden for default.
+        assert!(matches!(
+            registry.retire("ghost", &queue),
+            Err(ServerError::UnknownTenant { .. })
+        ));
+        assert!(matches!(
+            registry.retire(DEFAULT_TENANT, &queue),
+            Err(ServerError::Protocol(_))
+        ));
+        // Retiring "a" frees its residency; "b" now fits.
+        registry.retire("a", &queue).unwrap();
+        assert!(registry.get("a").is_err());
+        let b = Tenant::forked(registry.next_id(), "b", 1, 8, engine(), 1);
+        registry.deploy(b).unwrap();
+        assert_eq!(registry.infos(&queue).len(), 1);
+    }
+
+    #[test]
+    fn engine_pool_checkout_round_trips() {
+        let tenant = Tenant::forked(0, "t", 1, 8, engine(), 3);
+        let a = tenant.engines.checkout();
+        let b = tenant.engines.checkout();
+        let c = tenant.engines.checkout();
+        tenant.engines.checkin(a);
+        tenant.engines.checkin(b);
+        tenant.engines.checkin(c);
+        // All three replicas came back; a fourth checkout succeeds.
+        let again = tenant.engines.checkout();
+        tenant.engines.checkin(again);
+        assert!(tenant.resident_bytes() > 0);
+        assert_eq!(tenant.version(), 0);
+    }
+}

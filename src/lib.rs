@@ -130,4 +130,4 @@ pub use blockgnn_engine::{
     BackendKind, Engine, EngineBuilder, InferRequest, InferResponse, ParallelEngine,
     ParallelSession, ServeStats, Session,
 };
-pub use blockgnn_server::{Server, ServerConfig};
+pub use blockgnn_server::{Server, ServerConfig, TenantSpec};

@@ -570,7 +570,7 @@ fn malformed_updates_never_poison_the_connection_or_graph() {
     assert_eq!(server.graph_version(), 0);
     // ...the same connection still serves...
     let ack = roundtrip("update add=0:5,1:6");
-    assert!(ack.starts_with("ok update version=1 "), "got {ack:?}");
+    assert!(ack.starts_with("ok update tenant=default version=1 "), "got {ack:?}");
     let reply = roundtrip("infer sampled s1=4 s2=2 seed=3 nodes=0,5");
     assert!(reply.starts_with("ok rows=2 "), "got {reply:?}");
     assert!(reply.contains(" version=1 "), "post-update answers carry the bumped version");
