@@ -5,8 +5,8 @@
 //! blockgnn-client --addr HOST:PORT stats [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT shutdown
 //! blockgnn-client --addr HOST:PORT infer --nodes 0,1,2
-//!                 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D]
-//!                 [--tenant NAME]
+//!                 [--sampled S1,S2,SEED | --full] [--class gold|silver|bronze]
+//!                 [--deadline-ms D] [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT update [--add U:V,U:V,…] [--del U:V,…]
 //!                 [--feat NODE:F,F,… …] [--new F,F,…;F,F,…] [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT deploy NAME=DATASET:MODEL:BACKEND
@@ -14,7 +14,12 @@
 //! blockgnn-client --addr HOST:PORT retire NAME
 //! blockgnn-client --addr HOST:PORT list
 //! blockgnn-client --addr HOST:PORT load --clients N --requests N
-//!                 [--pool N] [--s1 N] [--s2 N] [--tenant NAME:WEIGHT …]
+//!                 [--workload closed|zipfian] [--class C] [--zipf EXP]
+//!                 [--pool N] [--s1 N] [--s2 N] [--nodes N]
+//!                 [--tenant NAME:WEIGHT …]
+//! blockgnn-client --addr HOST:PORT replay [--seed N] [--events N] [--nodes N]
+//!                 [--gold-deadline-ms D] [--trace FILE] [--save FILE]
+//!                 [--tenant NAME …]
 //! ```
 //!
 //! `infer` prints `ok rows=… preds=…` and exits 0 on success, `err …`
@@ -22,12 +27,23 @@
 //! (features as decimal floats) and prints the bumped version with the
 //! tenant it landed on; `deploy`/`retire`/`list` manage tenants; `load`
 //! runs the closed-loop generator (optionally fanned across a weighted
-//! tenant mix) and prints a summary line. `--tenant` omitted addresses
-//! the `default` tenant everywhere.
+//! tenant mix, with `--workload zipfian` drawing a duplicate-heavy
+//! zipfian request pool and `--class gold` tagging the traffic) and
+//! prints a summary line. `replay` drives the pinned adversarial
+//! workload trace — zipfian bursts, malformed floods, slow-loris
+//! clients, deadline storms — against the live server and fails unless
+//! every line earned a typed reply on an open connection and gold p99
+//! stayed under its deadline; `--trace` replays a saved trace file
+//! instead, `--save` writes the generated trace out for exact
+//! reproduction. `--tenant` omitted addresses the `default` tenant
+//! everywhere.
 
 use blockgnn_engine::{GraphDelta, InferRequest};
 use blockgnn_server::tenant::{backend_kind_name, model_kind_name};
-use blockgnn_server::{run_closed_loop, Client, LoadConfig, SubmitOptions, TenantSpec};
+use blockgnn_server::workload::{ci_adversarial_spec, replay_tcp, zipfian_pool, Trace};
+use blockgnn_server::{
+    run_closed_loop, Client, LoadConfig, SloClass, SubmitOptions, TenantSpec,
+};
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use std::time::Duration;
@@ -78,6 +94,7 @@ fn run() -> Result<(), String> {
         "retire" => retire(addr, &rest),
         "list" => list(addr),
         "load" => load(addr, &rest),
+        "replay" => replay(addr, &rest),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -89,14 +106,17 @@ fn connect(addr: SocketAddr) -> Result<Client, String> {
 fn usage() -> String {
     "usage: blockgnn-client --addr HOST:PORT \
      (ping | stats [--tenant NAME] | shutdown \
-     | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--priority P] [--deadline-ms D] \
-       [--tenant NAME] \
+     | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--class gold|silver|bronze] \
+       [--deadline-ms D] [--tenant NAME] \
      | update [--add U:V,...] [--del U:V,...] [--feat NODE:F,F,...] [--new F,...;F,...] \
        [--tenant NAME] \
      | deploy NAME=DATASET:MODEL:BACKEND [--weight N] [--depth N] [--hidden N] [--block N] \
        [--seed N] \
      | retire NAME | list \
-     | load --clients N --requests N [--pool N] [--s1 N] [--s2 N] [--tenant NAME:WEIGHT ...])"
+     | load --clients N --requests N [--workload closed|zipfian] [--class C] [--zipf EXP] \
+       [--pool N] [--s1 N] [--s2 N] [--nodes N] [--tenant NAME:WEIGHT ...] \
+     | replay [--seed N] [--events N] [--nodes N] [--gold-deadline-ms D] [--trace FILE] \
+       [--save FILE] [--tenant NAME ...])"
         .into()
 }
 
@@ -264,12 +284,8 @@ fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
                 ));
             }
             "--full" => sampled = None,
-            "--priority" => {
-                options.priority = it
-                    .next()
-                    .ok_or("--priority needs a value")?
-                    .parse()
-                    .map_err(|_| "bad priority".to_string())?;
+            "--class" => {
+                options.class = SloClass::parse(it.next().ok_or("--class needs a value")?)?;
             }
             "--deadline-ms" => {
                 let ms: u64 = it
@@ -315,34 +331,57 @@ fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     let mut pool = 8usize;
     let mut s1 = 10usize;
     let mut s2 = 5usize;
+    let mut nodes = 64usize;
+    let mut zipf = 1.0f64;
+    let mut workload = "closed".to_string();
+    let mut options = SubmitOptions::default();
     let mut tenants: Vec<(String, u32)> = Vec::new();
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let v = it.next().ok_or(format!("{flag} needs a value"))?;
-        if flag == "--tenant" {
-            // NAME:WEIGHT; repeatable to build a mix.
-            let (name, weight) =
-                v.split_once(':').ok_or_else(|| format!("expected NAME:WEIGHT, got {v:?}"))?;
-            tenants.push((name.to_string(), parse(weight)?));
-            continue;
-        }
-        let n: usize = v.parse().map_err(|_| format!("bad value {v:?}"))?;
         match flag.as_str() {
-            "--clients" => clients = n,
-            "--requests" => requests = n,
-            "--pool" => pool = n,
-            "--s1" => s1 = n,
-            "--s2" => s2 = n,
+            "--tenant" => {
+                // NAME:WEIGHT; repeatable to build a mix.
+                let (name, weight) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("expected NAME:WEIGHT, got {v:?}"))?;
+                tenants.push((name.to_string(), parse(weight)?));
+            }
+            "--workload" => {
+                if v != "closed" && v != "zipfian" {
+                    return Err(format!("unknown workload {v:?} (closed | zipfian)"));
+                }
+                workload = v.clone();
+            }
+            "--class" => options.class = SloClass::parse(v)?,
+            "--zipf" => zipf = parse(v)?,
+            "--clients" => clients = parse(v)?,
+            "--requests" => requests = parse(v)?,
+            "--pool" => pool = parse(v)?,
+            "--s1" => s1 = parse(v)?,
+            "--s2" => s2 = parse(v)?,
+            "--nodes" => nodes = parse(v)?,
             other => return Err(format!("unknown load flag {other:?}")),
         }
     }
-    let pool: Vec<InferRequest> = (0..pool.max(1))
-        .map(|i| InferRequest::sampled(vec![i * 7, i * 7 + 1], s1, s2, i as u64))
-        .collect();
-    let report =
-        run_closed_loop(addr, &LoadConfig::new(clients, requests, pool).with_tenants(tenants));
+    let pool: Vec<InferRequest> = if workload == "zipfian" {
+        // Duplicate-heavy zipfian popularity: concurrent clients collide
+        // on the hot head, which is what the batcher's dedup exploits.
+        zipfian_pool(nodes, pool.max(1), s1, s2, zipf, 0xB10C)
+    } else {
+        (0..pool.max(1))
+            .map(|i| InferRequest::sampled(vec![i * 7, i * 7 + 1], s1, s2, i as u64))
+            .collect()
+    };
+    let report = run_closed_loop(
+        addr,
+        &LoadConfig::new(clients, requests, pool).with_tenants(tenants).with_options(options),
+    );
     println!(
-        "load sent={} ok={} shed={} errors={} qps={:.1} p50_us={} p95_us={} p99_us={}",
+        "load workload={} class={} sent={} ok={} shed={} errors={} qps={:.1} \
+         p50_us={} p95_us={} p99_us={}",
+        workload,
+        options.class,
         report.sent,
         report.ok,
         report.shed,
@@ -354,6 +393,82 @@ fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     );
     if report.errors > 0 {
         return Err(format!("{} load requests failed", report.errors));
+    }
+    Ok(())
+}
+
+fn replay(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    let mut seed: Option<u64> = None;
+    let mut events: Option<usize> = None;
+    let mut nodes = 60usize;
+    let mut gold_deadline_ms = 200u64;
+    let mut trace_file: Option<String> = None;
+    let mut save_file: Option<String> = None;
+    let mut tenants: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let v = it.next().ok_or(format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--seed" => seed = Some(parse(v)?),
+            "--events" => events = Some(parse(v)?),
+            "--nodes" => nodes = parse(v)?,
+            "--gold-deadline-ms" => gold_deadline_ms = parse(v)?,
+            "--trace" => trace_file = Some(v.clone()),
+            "--save" => save_file = Some(v.clone()),
+            "--tenant" => tenants.push(v.clone()),
+            other => return Err(format!("unknown replay flag {other:?}")),
+        }
+    }
+    let trace = match trace_file {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+            Trace::decode(&text)?
+        }
+        None => {
+            let mut spec = ci_adversarial_spec(nodes).with_tenants(tenants);
+            if let Some(seed) = seed {
+                spec.seed = seed;
+            }
+            if let Some(events) = events {
+                spec.events = events;
+            }
+            spec.generate()
+        }
+    };
+    if let Some(path) = save_file {
+        std::fs::write(&path, trace.encode()).map_err(|e| format!("write {path:?}: {e}"))?;
+    }
+    let report = replay_tcp(addr, &trace);
+    let gold_p99 = report.class_p99(SloClass::Gold);
+    println!(
+        "replay seed={} events={} sent={} ok={} shed={} typed_errors={} transport_errors={} \
+         updates_ok={} gold_p99_us={} silver_p99_us={} bronze_p99_us={}",
+        trace.seed,
+        trace.events.len(),
+        report.sent,
+        report.ok,
+        report.shed,
+        report.typed_errors,
+        report.transport_errors,
+        report.updates_ok,
+        gold_p99.as_micros(),
+        report.class_p99(SloClass::Silver).as_micros(),
+        report.class_p99(SloClass::Bronze).as_micros(),
+    );
+    if report.transport_errors > 0 {
+        return Err(format!(
+            "{} transport errors: the server dropped connections under adversarial load",
+            report.transport_errors
+        ));
+    }
+    let gold_deadline = Duration::from_millis(gold_deadline_ms);
+    if gold_p99 > gold_deadline {
+        return Err(format!(
+            "gold p99 {}us exceeds its {}ms deadline",
+            gold_p99.as_micros(),
+            gold_deadline_ms
+        ));
     }
     Ok(())
 }

@@ -58,7 +58,7 @@ impl Client {
     }
 
     /// Sends one inference request to the default tenant with explicit
-    /// priority/deadline.
+    /// class/deadline.
     ///
     /// # Errors
     ///
@@ -248,13 +248,22 @@ pub struct LoadConfig {
     /// to the weights. Empty means every request goes to the default
     /// tenant (the single-tenant lanes use this).
     pub tenants: Vec<(String, u32)>,
+    /// Submission options (SLO class / explicit deadline) every request
+    /// carries.
+    pub options: SubmitOptions,
 }
 
 impl LoadConfig {
     /// A single-tenant (default-tenant) load config.
     #[must_use]
     pub fn new(clients: usize, requests_per_client: usize, pool: Vec<InferRequest>) -> Self {
-        Self { clients, requests_per_client, pool, tenants: Vec::new() }
+        Self {
+            clients,
+            requests_per_client,
+            pool,
+            tenants: Vec::new(),
+            options: SubmitOptions::default(),
+        }
     }
 
     /// Addresses the load at a weighted tenant mix instead of the
@@ -262,6 +271,14 @@ impl LoadConfig {
     #[must_use]
     pub fn with_tenants(mut self, tenants: Vec<(String, u32)>) -> Self {
         self.tenants = tenants;
+        self
+    }
+
+    /// Sets the submission options (class/deadline) every request
+    /// carries.
+    #[must_use]
+    pub fn with_options(mut self, options: SubmitOptions) -> Self {
+        self.options = options;
         self
     }
 
@@ -339,7 +356,7 @@ pub fn run_closed_loop(addr: std::net::SocketAddr, cfg: &LoadConfig) -> LoadRepo
                         let tenant = cfg.tenant_for(c, i);
                         let sent_at = Instant::now();
                         report.sent += 1;
-                        match client.infer_tenant(request, SubmitOptions::default(), tenant) {
+                        match client.infer_tenant(request, cfg.options, tenant) {
                             Ok(_) => {
                                 report.ok += 1;
                                 report.latency.record(sent_at.elapsed());

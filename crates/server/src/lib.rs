@@ -39,6 +39,21 @@
 //!   `deploy`/`retire`/`list` verbs and an optional `@tenant` qualifier
 //!   on `infer`/`update`/`stats` — absent means the `default` tenant,
 //!   so single-tenant clients work unchanged.
+//! * **SLO classes & adaptive batching** — every request carries an
+//!   [`SloClass`] (`gold`/`silver`/`bronze`, `class=` on the wire);
+//!   classes compose with the tenant lanes (lane weight = tenant weight
+//!   × class weight, batches never span classes), carry per-class
+//!   default deadlines ([`ClassPolicy`]), and roll up per-class
+//!   p50/p95/p99 in [`ServerStats::classes`]. The straggler window is
+//!   **adaptive**: it widens when holds pay off and collapses when they
+//!   expire empty, so batching never taxes closed-loop traffic.
+//! * **Workload harness** — [`workload`]: seeded, replayable traces
+//!   (zipfian popularity, bursty/diurnal open-loop arrivals, slow-loris
+//!   and malformed-line adversaries, deadline storms) with a
+//!   deterministic logical-time replay whose report — shed/dedup/batch
+//!   counters *and* a fingerprint over every served logits bit — is
+//!   identical across runs, plus a wall-clock TCP replay for liveness
+//!   checks against a live front end.
 //! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
 //!   [`protocol`] (logits cross as `f64` bit patterns, so remote
 //!   answers stay bit-identical); [`Client`] and the closed-loop
@@ -78,15 +93,16 @@ mod server;
 mod tcp;
 mod telemetry;
 pub mod tenant;
+pub mod workload;
 
 pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
-pub use config::ServerConfig;
+pub use config::{ClassPolicy, ServerConfig};
 pub use error::ServerError;
 pub use protocol::{RemoteResponse, UpdateAck};
-pub use queue::SubmitOptions;
+pub use queue::{SloClass, SubmitOptions};
 pub use server::{Server, ServerHandle, Ticket};
 pub use tcp::TcpServer;
-pub use telemetry::{ServerStats, TenantRollup};
+pub use telemetry::{ClassRollup, ServerStats, TenantRollup};
 pub use tenant::{TenantInfo, TenantSpec, DEFAULT_TENANT};
 // The delta type `update`/`Server::apply_delta` consume, re-exported so
 // serving callers need no direct engine/graph import.

@@ -14,7 +14,7 @@
 //! target    = "full" SP ("all" | nodes)
 //!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
 //! nodes     = int ("," int)*
-//! option    = "priority=" int | "deadline_ms=" int
+//! option    = "class=" ("gold" | "silver" | "bronze") | "deadline_ms=" int
 //!
 //! update    = "update" ["@" tenant] [SP "add=" pairs] [SP "del=" pairs]
 //!             [SP "feat=" featrows] [SP "new=" rows]
@@ -60,7 +60,7 @@
 //! is bit-identical to an in-process [`blockgnn_engine::GraphDelta`].
 
 use crate::error::ServerError;
-use crate::queue::SubmitOptions;
+use crate::queue::{SloClass, SubmitOptions};
 use crate::telemetry::ServerStats;
 use crate::tenant::{
     backend_kind_name, model_kind_name, parse_backend_kind, parse_model_kind,
@@ -161,8 +161,8 @@ fn parse_infer<'a>(
     };
     let mut options = SubmitOptions::default();
     for word in rest {
-        if let Some(v) = word.strip_prefix("priority=") {
-            options.priority = v.parse().map_err(|_| format!("bad priority {v:?}"))?;
+        if let Some(v) = word.strip_prefix("class=") {
+            options.class = SloClass::parse(v)?;
         } else if let Some(v) = word.strip_prefix("deadline_ms=") {
             let ms: u64 = v.parse().map_err(|_| format!("bad deadline_ms {v:?}"))?;
             options.deadline = Some(Duration::from_millis(ms));
@@ -423,8 +423,8 @@ pub fn encode_infer(
             push_csv(&mut line, &request.nodes);
         }
     }
-    if options.priority != 0 {
-        let _ = write!(line, " priority={}", options.priority);
+    if options.class != SloClass::default() {
+        let _ = write!(line, " class={}", options.class.name());
     }
     if let Some(d) = options.deadline {
         let _ = write!(line, " deadline_ms={}", d.as_millis());
@@ -905,8 +905,10 @@ mod tests {
     #[test]
     fn infer_lines_round_trip() {
         let request = InferRequest::sampled(vec![3, 1, 3], 10, 5, 42);
-        let options = SubmitOptions { priority: 2, deadline: Some(Duration::from_millis(75)) };
+        let options =
+            SubmitOptions { class: SloClass::Gold, deadline: Some(Duration::from_millis(75)) };
         let line = encode_infer(&request, options, None);
+        assert!(line.contains(" class=gold "), "{line}");
         match parse_command(&line).unwrap() {
             Command::Infer(r, o, tenant) => {
                 assert_eq!(r, request);
@@ -916,12 +918,37 @@ mod tests {
             other => panic!("wrong command {other:?}"),
         }
         let all = encode_infer(&InferRequest::all_nodes(), SubmitOptions::default(), None);
+        assert!(!all.contains("class="), "the default class stays off the wire");
         match parse_command(&all).unwrap() {
-            Command::Infer(r, _, _) => {
+            Command::Infer(r, o, _) => {
                 assert_eq!(r.mode, RequestMode::FullGraph);
                 assert!(r.nodes.is_empty());
+                assert_eq!(o.class, SloClass::Silver, "unlabelled traffic is silver");
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn class_clauses_parse_and_reject_typed() {
+        for class in SloClass::ALL {
+            let line = format!("infer full 0 class={class}");
+            match parse_command(&line).unwrap() {
+                Command::Infer(_, o, _) => assert_eq!(o.class, class),
+                other => panic!("wrong command {other:?}"),
+            }
+            assert_eq!(SloClass::parse(class.name()).unwrap(), class);
+        }
+        // Malformed class clauses are protocol errors, not panics — and
+        // the old bare-integer priority clause is gone from the grammar.
+        for bad in [
+            "infer full 0 class=diamond",
+            "infer full 0 class=",
+            "infer full 0 class=GOLD",
+            "infer full 0 priority=2",
+            "infer sampled s1=2 s2=1 seed=0 nodes=1 class=goldd",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must be a protocol error");
         }
     }
 
@@ -1124,17 +1151,21 @@ mod tests {
         assert!(parse_update_ack("err engine nope").is_err());
     }
 
-    /// Fuzz-style robustness: valid update/infer lines (with and without
-    /// `@tenant` qualifiers), their truncations, garbled variants, and
-    /// pure noise must all come back as `Ok`/`Err` — never a panic —
-    /// with a seeded RNG so any failure replays. (The connection-level
-    /// counterpart in `tests/server.rs` proves rejected lines also never
-    /// poison the TCP session or the shared graph.)
+    /// Fuzz-style robustness: valid update/infer/stats *and*
+    /// deploy/retire/list lines (with `@tenant` qualifiers and `class=`
+    /// clauses where the grammar allows them), their truncations, garbled
+    /// variants, and pure noise must all come back as `Ok`/`Err` — never
+    /// a panic — with a seeded RNG so any failure replays. (The
+    /// connection-level counterparts in `tests/server.rs` and
+    /// `tests/workloads.rs` prove rejected lines also never poison the
+    /// TCP session or the shared graph.)
     #[test]
     fn fuzzed_command_lines_never_panic() {
         use blockgnn_graph::generate::Rng64;
         let mut rng = Rng64::new(0xF422_0B5E);
         let tenants = [None, Some("t0"), Some("traffic-2"), Some("a.b_c")];
+        let models = [ModelKind::Gcn, ModelKind::GsPool, ModelKind::Gat];
+        let backends = [BackendKind::Dense, BackendKind::Spectral, BackendKind::SimulatedAccel];
         for _ in 0..600 {
             let n = 50;
             let mut delta = GraphDelta::new();
@@ -1152,14 +1183,34 @@ mod tests {
                 delta = delta.append_node(vec![rng.next_normal(); rng.next_below(3)]);
             }
             let tenant = tenants[rng.next_below(tenants.len())];
+            let options = SubmitOptions {
+                class: SloClass::ALL[rng.next_below(SloClass::ALL.len())],
+                deadline: (rng.next_below(2) == 0)
+                    .then(|| Duration::from_millis(rng.next_below(500) as u64)),
+            };
+            let mut spec = TenantSpec::new(
+                format!("fz{}", rng.next_below(8)),
+                "cora-small",
+                models[rng.next_below(models.len())],
+                backends[rng.next_below(backends.len())],
+            );
+            if rng.next_below(2) == 0 {
+                spec = spec.weight(rng.next_below(7) as u32 + 1);
+            }
+            if rng.next_below(3) == 0 {
+                spec = spec.max_queue_depth(rng.next_below(64) + 1).seed(rng.next_u64());
+            }
             let lines = [
                 encode_update(&delta, tenant),
                 encode_infer(
                     &InferRequest::sampled(vec![rng.next_below(n)], 4, 2, rng.next_u64()),
-                    SubmitOptions::default(),
+                    options,
                     tenant,
                 ),
                 encode_stats(tenant),
+                encode_deploy(&spec),
+                format!("retire fz{}", rng.next_below(8)),
+                "list".to_string(),
             ];
             for line in &lines {
                 parse_command(line).expect("well-formed encodings parse");

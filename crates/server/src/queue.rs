@@ -1,27 +1,51 @@
-//! The admission queue: bounded, priority-ordered, **per-tenant**
+//! The admission queue: bounded, **SLO-class-aware**, per-tenant
 //! request lanes with shed-on-overload semantics, weighted-fair
-//! cross-tenant scheduling, and batch-forming dequeue.
+//! scheduling, and batch-forming dequeue with an adaptive straggler
+//! window.
 //!
 //! Submissions never block: a full lane rejects immediately with a
 //! typed [`ServerError::Overloaded`], which is what lets the server
 //! degrade predictably under more load than it can absorb — and the cap
 //! is *per tenant*, so one tenant flooding its lane cannot crowd
 //! another's admissions out. Workers block on the paired condvar and
-//! dequeue *batches*: scheduling picks a lane by **stride scheduling**
-//! (each lane carries a `pass` value advanced by `STRIDE / weight` per
-//! dequeued request; the lowest pass runs next, so a weight-3 tenant is
-//! served 3× as often as a weight-1 tenant under contention, and an
-//! idle tenant re-enters at the current virtual time instead of
-//! hoarding credit). Within the chosen lane, the batch is formed
-//! exactly as before: drain what is queued (highest priority first,
-//! FIFO within a priority), then hold the batch open for the configured
-//! straggler window. Batches never span tenants — members share one
-//! graph, one model, and one engine checkout.
+//! dequeue *batches*.
+//!
+//! # Class → lane → stride composition
+//!
+//! Every admitted request carries an [`SloClass`] (gold / silver /
+//! bronze). The queue keys its lanes by `(tenant, class)`: each lane is
+//! a plain FIFO (order within a class is strictly admission order), and
+//! scheduling across lanes is **stride scheduling** — a lane's `pass`
+//! advances by `STRIDE / (tenant_weight × class_weight)` per dequeued
+//! request, and the non-empty lane with the lowest pass runs next (ties
+//! broken by tenant id, then class rank, deterministically). A weight-4
+//! gold class is therefore served 4× as often as a weight-1 bronze
+//! class *within the same tenant*, composed multiplicatively with the
+//! tenant's own weighted-fair share — and because the share is
+//! proportional rather than strict-priority, a 100:1 weight skew bounds
+//! bronze's wait instead of starving it. Idle lanes re-enter at the
+//! current virtual time, never hoarding credit. Batches never span
+//! tenants *or classes* — members share one graph, one model, one
+//! engine checkout, and one SLO.
+//!
+//! # Adaptive straggler window
+//!
+//! After the opportunistic drain, a partially-filled batch may hold
+//! open for stragglers. The hold length adapts by AIMD on whether
+//! holds *pay off*: a hold in which a straggler actually arrived
+//! doubles the window scale (queue pressure — waiting wins batches), a
+//! hold that expired empty halves it (idle or closed-loop traffic —
+//! waiting only adds latency), down to a small probe fraction that lets
+//! the scale recover when pressure returns. This is what fixes the
+//! batch4 regression at its root: under closed-loop load no straggler
+//! can arrive until the previous answer is delivered, so the window
+//! collapses and batching degenerates gracefully to pure opportunistic
+//! coalescing (which still dedups everything already queued).
 
 use crate::error::ServerError;
 use crate::tenant::Tenant;
 use blockgnn_engine::{InferRequest, InferResponse};
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -31,30 +55,120 @@ use std::time::{Duration, Instant};
 /// slower and are scheduled proportionally more often.
 const STRIDE: u64 = 1 << 20;
 
+/// Number of [`SloClass`] variants (lane arrays are indexed by
+/// [`SloClass::index`]).
+pub(crate) const NUM_CLASSES: usize = 3;
+
+/// Full-scale denominator of the adaptive straggler window: the
+/// effective hold is `window × scale / WINDOW_SCALE_FULL`.
+const WINDOW_SCALE_FULL: u32 = 64;
+/// Floor of the adaptive scale — a small probe hold (window/64) remains
+/// even when fully collapsed, so arriving pressure can re-widen it.
+const WINDOW_SCALE_MIN: u32 = 1;
+
+/// A request's service-level class: named deadline/weight policies that
+/// replace bare integer priorities.
+///
+/// Classes compose with tenant weights in the admission queue (see the
+/// module docs) and carry a per-class default deadline
+/// ([`crate::ClassPolicy`]); telemetry reports per-class p50/p95/p99.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SloClass {
+    /// Latency-critical traffic: largest scheduling weight, and the only
+    /// class with a default deadline out of the box.
+    Gold,
+    /// The default class for unlabelled traffic.
+    Silver,
+    /// Best-effort / batch traffic: smallest scheduling weight.
+    Bronze,
+}
+
+impl SloClass {
+    /// Every class, in rank order (gold first).
+    pub const ALL: [SloClass; NUM_CLASSES] =
+        [SloClass::Gold, SloClass::Silver, SloClass::Bronze];
+
+    /// Stable index of this class (gold 0, silver 1, bronze 2) — the
+    /// rank used for deterministic tie-breaking and policy arrays.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            SloClass::Gold => 0,
+            SloClass::Silver => 1,
+            SloClass::Bronze => 2,
+        }
+    }
+
+    /// The wire name (`gold` / `silver` / `bronze`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Gold => "gold",
+            SloClass::Silver => "silver",
+            SloClass::Bronze => "bronze",
+        }
+    }
+
+    /// Parses a wire name back into a class.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message for anything but `gold`/`silver`/`bronze`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "gold" => Ok(SloClass::Gold),
+            "silver" => Ok(SloClass::Silver),
+            "bronze" => Ok(SloClass::Bronze),
+            other => Err(format!("unknown class {other:?} (gold | silver | bronze)")),
+        }
+    }
+}
+
+impl Default for SloClass {
+    /// Unlabelled traffic is silver.
+    fn default() -> Self {
+        SloClass::Silver
+    }
+}
+
+impl std::fmt::Display for SloClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Per-request scheduling options accepted at submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SubmitOptions {
-    /// Scheduling priority; higher runs first. Ties serve FIFO.
-    /// Priorities order requests *within* a tenant's lane; across
+    /// The request's SLO class. Classes order requests *within* a
+    /// tenant's share by class weight (FIFO within a class); across
     /// tenants the weighted-fair schedule decides.
-    pub priority: i32,
+    pub class: SloClass,
     /// Deadline relative to submission; a request still queued when it
     /// expires is shed with [`ServerError::DeadlineExceeded`]. `None`
-    /// falls back to the server's configured default.
+    /// falls back to the class's configured deadline, then the server's
+    /// default.
     pub deadline: Option<Duration>,
 }
 
 impl SubmitOptions {
-    /// Options with the given priority and no explicit deadline.
+    /// Options with the given class and no explicit deadline.
     #[must_use]
-    pub fn priority(priority: i32) -> Self {
-        Self { priority, deadline: None }
+    pub fn class(class: SloClass) -> Self {
+        Self { class, deadline: None }
     }
 
-    /// Options with the given relative deadline.
+    /// Options with the given relative deadline (default class).
     #[must_use]
     pub fn deadline(deadline: Duration) -> Self {
-        Self { priority: 0, deadline: Some(deadline) }
+        Self { class: SloClass::default(), deadline: Some(deadline) }
+    }
+
+    /// Sets the relative deadline, keeping the class.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -63,12 +177,11 @@ pub(crate) struct QueueItem {
     pub request: InferRequest,
     /// The tenant this request addresses; batches inherit it whole.
     pub tenant: Arc<Tenant>,
-    pub priority: i32,
+    /// The SLO class; batches inherit it whole too.
+    pub class: SloClass,
     /// Absolute deadline, if any.
     pub deadline: Option<Instant>,
     pub enqueued_at: Instant,
-    /// Admission order; the priority tie-breaker.
-    seq: u64,
     /// One-shot reply channel back to the submitter.
     responder: SyncSender<Result<InferResponse, ServerError>>,
 }
@@ -86,61 +199,70 @@ impl QueueItem {
     }
 }
 
-// Heap order: highest priority first, then FIFO by admission sequence.
-impl PartialEq for QueueItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.priority == other.priority && self.seq == other.seq
-    }
-}
-impl Eq for QueueItem {}
-impl PartialOrd for QueueItem {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QueueItem {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.priority.cmp(&other.priority).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-/// One tenant's slice of the queue.
-struct Lane {
-    heap: BinaryHeap<QueueItem>,
+/// One `(tenant, class)` FIFO lane.
+struct ClassLane {
+    items: VecDeque<QueueItem>,
     /// Stride-scheduling pass value; the non-empty lane with the lowest
     /// pass is served next.
     pass: u64,
+    /// `tenant_weight × class_weight` — the stride divisor.
     weight: u64,
+}
+
+/// One tenant's slice of the queue: a per-class lane array sharing the
+/// tenant's depth cap.
+struct TenantLanes {
+    classes: [ClassLane; NUM_CLASSES],
     max_depth: usize,
+}
+
+impl TenantLanes {
+    fn depth(&self) -> usize {
+        self.classes.iter().map(|lane| lane.items.len()).sum()
+    }
 }
 
 #[derive(Default)]
 struct Inner {
-    /// Tenant id → lane. Lanes persist while their tenant is deployed
-    /// (an empty lane keeps its pass, so going briefly idle earns no
-    /// scheduling credit); retiring a tenant purges its lane.
-    lanes: BTreeMap<u64, Lane>,
+    /// Tenant id → per-class lanes. Lanes persist while their tenant is
+    /// deployed (an empty lane keeps its pass, so going briefly idle
+    /// earns no scheduling credit); retiring a tenant purges its lanes.
+    lanes: BTreeMap<u64, TenantLanes>,
     closed: bool,
-    next_seq: u64,
     /// Virtual time: the pass of the most recently scheduled lane. A
     /// lane going from empty to non-empty rejoins at this point, so a
     /// long-idle tenant neither starves others nor gets starved.
     global_pass: u64,
+    /// Adaptive straggler-window scale in
+    /// `[WINDOW_SCALE_MIN, WINDOW_SCALE_FULL]` (0 until first use).
+    window_scale: u32,
 }
 
 impl Inner {
     /// The non-empty lane with the lowest pass (ties broken by tenant
-    /// id, deterministically).
-    fn runnable(&self) -> Option<u64> {
+    /// id, then class rank, deterministically).
+    fn runnable(&self) -> Option<(u64, usize)> {
         self.lanes
             .iter()
-            .filter(|(_, lane)| !lane.heap.is_empty())
-            .min_by_key(|(id, lane)| (lane.pass, **id))
-            .map(|(id, _)| *id)
+            .flat_map(|(id, lanes)| {
+                lanes.classes.iter().enumerate().filter_map(move |(c, lane)| {
+                    if lane.items.is_empty() {
+                        None
+                    } else {
+                        Some((lane.pass, *id, c))
+                    }
+                })
+            })
+            .min()
+            .map(|(_, id, c)| (id, c))
     }
 
     fn depth(&self) -> usize {
-        self.lanes.values().map(|lane| lane.heap.len()).sum()
+        self.lanes.values().map(TenantLanes::depth).sum()
+    }
+
+    fn lane_mut(&mut self, tenant_id: u64, class_idx: usize) -> Option<&mut ClassLane> {
+        self.lanes.get_mut(&tenant_id).map(|lanes| &mut lanes.classes[class_idx])
     }
 }
 
@@ -148,6 +270,9 @@ impl Inner {
 pub(crate) struct RequestQueue {
     inner: Mutex<Inner>,
     available: Condvar,
+    /// Per-class scheduling weights (indexed by [`SloClass::index`]),
+    /// composed multiplicatively with tenant weights.
+    class_weights: [u64; NUM_CLASSES],
 }
 
 /// Limits a batch-forming dequeue; mirrors the batching fields of
@@ -157,21 +282,29 @@ pub(crate) struct BatchLimits {
     pub window: Duration,
     pub max_requests: usize,
     pub max_nodes: usize,
+    /// Whether the straggler window adapts (AIMD on hold payoff) or
+    /// stays fixed at `window`.
+    pub adaptive: bool,
 }
 
 impl RequestQueue {
-    pub fn new() -> Self {
-        Self { inner: Mutex::new(Inner::default()), available: Condvar::new() }
+    pub fn new(class_weights: [u32; NUM_CLASSES]) -> Self {
+        Self {
+            inner: Mutex::new(Inner { window_scale: WINDOW_SCALE_FULL, ..Inner::default() }),
+            available: Condvar::new(),
+            class_weights: class_weights.map(|w| u64::from(w.max(1))),
+        }
     }
 
-    /// Admits one request into its tenant's lane, or sheds it:
-    /// `Overloaded` when the lane is at the tenant's depth cap,
-    /// `ShuttingDown` after [`RequestQueue::close`]. Never blocks.
+    /// Admits one request into its `(tenant, class)` lane, or sheds it:
+    /// `Overloaded` when the tenant is at its depth cap (summed across
+    /// classes), `ShuttingDown` after [`RequestQueue::close`]. Never
+    /// blocks.
     pub fn push(
         &self,
         tenant: Arc<Tenant>,
         request: InferRequest,
-        priority: i32,
+        class: SloClass,
         deadline: Option<Instant>,
         responder: SyncSender<Result<InferResponse, ServerError>>,
     ) -> Result<(), ServerError> {
@@ -180,32 +313,31 @@ impl RequestQueue {
             return Err(ServerError::ShuttingDown);
         }
         let global_pass = inner.global_pass;
-        let seq = inner.next_seq;
-        inner.next_seq += 1;
-        let lane = inner.lanes.entry(tenant.id).or_insert_with(|| Lane {
-            heap: BinaryHeap::new(),
-            pass: global_pass,
-            weight: u64::from(tenant.weight.max(1)),
+        let tenant_weight = u64::from(tenant.weight.max(1));
+        let lanes = inner.lanes.entry(tenant.id).or_insert_with(|| TenantLanes {
+            classes: std::array::from_fn(|c| ClassLane {
+                items: VecDeque::new(),
+                pass: global_pass,
+                weight: tenant_weight * self.class_weights[c],
+            }),
             max_depth: tenant.max_queue_depth,
         });
-        if lane.heap.len() >= lane.max_depth {
-            return Err(ServerError::Overloaded {
-                depth: lane.heap.len(),
-                max_depth: lane.max_depth,
-            });
+        let depth = lanes.depth();
+        if depth >= lanes.max_depth {
+            return Err(ServerError::Overloaded { depth, max_depth: lanes.max_depth });
         }
-        if lane.heap.is_empty() {
+        let lane = &mut lanes.classes[class.index()];
+        if lane.items.is_empty() {
             // Rejoin at the current virtual time: credit does not
             // accumulate while idle.
             lane.pass = lane.pass.max(global_pass);
         }
-        lane.heap.push(QueueItem {
+        lane.items.push_back(QueueItem {
             request,
             tenant,
-            priority,
+            class,
             deadline,
             enqueued_at: Instant::now(),
-            seq,
             responder,
         });
         drop(inner);
@@ -215,22 +347,25 @@ impl RequestQueue {
 
     /// Blocks until at least one request is available (or the queue is
     /// closed *and* drained — then `None`), picks the weighted-fair
-    /// lane, then forms a batch **from that lane only**: whatever it
-    /// holds is drained immediately (opportunistic coalescing costs no
-    /// latency), after which the dequeue stays open up to
-    /// `limits.window` for same-lane stragglers, until the request or
-    /// node cap is hit. A request cap of 1 disables coalescing entirely.
+    /// `(tenant, class)` lane, then forms a batch **from that lane
+    /// only**: whatever it holds is drained immediately (opportunistic
+    /// coalescing costs no latency), after which the dequeue stays open
+    /// up to the effective straggler window for same-lane stragglers,
+    /// until the request or node cap is hit. A request cap of 1
+    /// disables coalescing entirely. With `limits.adaptive`, the window
+    /// scale halves on holds that expire empty and doubles on holds a
+    /// straggler joined (see the module docs).
     pub fn next_batch(&self, limits: BatchLimits) -> Option<Vec<QueueItem>> {
         let mut inner = self.inner.lock().expect("queue lock");
-        let (lane_id, first) = loop {
-            if let Some(id) = inner.runnable() {
-                let lane = inner.lanes.get_mut(&id).expect("runnable lane exists");
+        let (tenant_id, class_idx, first) = loop {
+            if let Some((id, c)) = inner.runnable() {
+                let lane = inner.lane_mut(id, c).expect("runnable lane exists");
                 // Virtual time advances to the scheduled lane's pass, so
                 // lanes activating during this batch rejoin here.
                 let pass = lane.pass;
-                let item = lane.heap.pop().expect("runnable lane is non-empty");
+                let item = lane.items.pop_front().expect("runnable lane is non-empty");
                 inner.global_pass = inner.global_pass.max(pass);
-                break (id, item);
+                break (id, c, item);
             }
             if inner.closed {
                 return None;
@@ -238,14 +373,21 @@ impl RequestQueue {
             inner = self.available.wait(inner).expect("queue lock");
         };
         let mut nodes = first.request.nodes.len().max(1);
+        let window = if limits.adaptive {
+            scaled_window(limits.window, inner.window_scale)
+        } else {
+            limits.window
+        };
         // Never hold a batch open past a member's deadline: a request
         // popped in time must not be shed because the straggler wait
         // outlived it.
-        let mut hold_until = Instant::now() + limits.window;
+        let mut hold_until = Instant::now() + window;
         if let Some(d) = first.deadline {
             hold_until = hold_until.min(d);
         }
         let mut batch = vec![first];
+        let mut waited = false;
+        let mut straggler_joined = false;
         if limits.max_requests > 1 {
             loop {
                 if batch.len() >= limits.max_requests || nodes >= limits.max_nodes {
@@ -255,10 +397,11 @@ impl RequestQueue {
                 // over the node cap stays queued for the next batch
                 // (where it is admitted as the first entry even if it
                 // exceeds the cap alone — it has to serve somewhere).
-                // Only this lane's heap is eligible: a batch never spans
-                // tenants.
-                let lane_heap = inner.lanes.get_mut(&lane_id).map(|lane| &mut lane.heap);
-                match lane_heap.as_ref().and_then(|heap| heap.peek()) {
+                // Only this lane is eligible: a batch never spans
+                // tenants or classes.
+                let lane_items =
+                    inner.lane_mut(tenant_id, class_idx).map(|lane| &mut lane.items);
+                match lane_items.as_ref().and_then(|items| items.front()) {
                     Some(item)
                         if nodes + item.request.nodes.len().max(1) > limits.max_nodes =>
                     {
@@ -266,11 +409,12 @@ impl RequestQueue {
                     }
                     _ => {}
                 }
-                if let Some(item) = lane_heap.and_then(std::collections::BinaryHeap::pop) {
+                if let Some(item) = lane_items.and_then(VecDeque::pop_front) {
                     nodes += item.request.nodes.len().max(1);
                     if let Some(d) = item.deadline {
                         hold_until = hold_until.min(d);
                     }
+                    straggler_joined |= waited;
                     batch.push(item);
                     continue;
                 }
@@ -281,20 +425,32 @@ impl RequestQueue {
                 if now >= hold_until {
                     break;
                 }
+                waited = true;
                 let (guard, timeout) =
                     self.available.wait_timeout(inner, hold_until - now).expect("queue lock");
                 inner = guard;
-                let lane_empty =
-                    inner.lanes.get(&lane_id).is_none_or(|lane| lane.heap.is_empty());
+                let lane_empty = inner
+                    .lane_mut(tenant_id, class_idx)
+                    .is_none_or(|lane| lane.items.is_empty());
                 if timeout.timed_out() && lane_empty {
                     break;
                 }
             }
         }
+        if limits.adaptive && limits.window > Duration::ZERO && limits.max_requests > 1 {
+            // AIMD on hold payoff: a hold a straggler joined doubles the
+            // scale (pressure — widen), a hold that expired empty halves
+            // it (idle — collapse toward the probe floor).
+            if straggler_joined {
+                inner.window_scale = (inner.window_scale * 2).min(WINDOW_SCALE_FULL);
+            } else if waited {
+                inner.window_scale = (inner.window_scale / 2).max(WINDOW_SCALE_MIN);
+            }
+        }
         // Charge the lane for what it consumed: pass advances by
         // STRIDE/weight per request, which is the whole fairness
         // mechanism.
-        if let Some(lane) = inner.lanes.get_mut(&lane_id) {
+        if let Some(lane) = inner.lane_mut(tenant_id, class_idx) {
             lane.pass = lane.pass.saturating_add(batch.len() as u64 * STRIDE / lane.weight);
         }
         Some(batch)
@@ -307,16 +463,18 @@ impl RequestQueue {
         self.available.notify_all();
     }
 
-    /// Removes a retired tenant's lane, answering every queued item
+    /// Removes a retired tenant's lanes, answering every queued item
     /// with a typed [`ServerError::UnknownTenant`]. Requests already
     /// dequeued into a batch are unaffected (the batch holds its own
     /// `Arc<Tenant>`).
     pub fn purge_tenant(&self, tenant_id: u64) {
-        let lane = self.inner.lock().expect("queue lock").lanes.remove(&tenant_id);
-        if let Some(lane) = lane {
-            for item in lane.heap.into_sorted_vec() {
-                let name = item.tenant.name.clone();
-                item.respond(Err(ServerError::UnknownTenant { name }));
+        let lanes = self.inner.lock().expect("queue lock").lanes.remove(&tenant_id);
+        if let Some(lanes) = lanes {
+            for lane in lanes.classes {
+                for item in lane.items {
+                    let name = item.tenant.name.clone();
+                    item.respond(Err(ServerError::UnknownTenant { name }));
+                }
             }
         }
     }
@@ -326,15 +484,29 @@ impl RequestQueue {
         self.inner.lock().expect("queue lock").depth()
     }
 
-    /// Requests currently queued in one tenant's lane.
+    /// Requests currently queued in one tenant's lanes.
     pub fn depth_of(&self, tenant_id: u64) -> usize {
         self.inner
             .lock()
             .expect("queue lock")
             .lanes
             .get(&tenant_id)
-            .map_or(0, |lane| lane.heap.len())
+            .map_or(0, TenantLanes::depth)
     }
+
+    /// The adaptive straggler-window scale, as a fraction of the full
+    /// configured window (1.0 = full, 1/64 = collapsed probe).
+    #[cfg(test)]
+    pub fn window_fraction(&self) -> f64 {
+        f64::from(self.inner.lock().expect("queue lock").window_scale)
+            / f64::from(WINDOW_SCALE_FULL)
+    }
+}
+
+/// `window × scale / WINDOW_SCALE_FULL`, in nanosecond precision.
+fn scaled_window(window: Duration, scale: u32) -> Duration {
+    let nanos = window.as_nanos() as u64;
+    Duration::from_nanos(nanos / u64::from(WINDOW_SCALE_FULL) * u64::from(scale))
 }
 
 #[cfg(test)]
@@ -345,6 +517,10 @@ mod tests {
     use blockgnn_gnn::ModelKind;
     use blockgnn_graph::datasets;
     use std::sync::mpsc::sync_channel;
+
+    /// Default class weights used by queue tests (the
+    /// [`crate::ServerConfig`] defaults: gold 4, silver 2, bronze 1).
+    const WEIGHTS: [u32; NUM_CLASSES] = [4, 2, 1];
 
     fn tenant(id: u64, weight: u32, max_depth: usize) -> Arc<Tenant> {
         let engine = Engine::builder(ModelKind::Gcn, BackendKind::Dense)
@@ -362,41 +538,114 @@ mod tests {
         q: &RequestQueue,
         t: &Arc<Tenant>,
         node: usize,
-        priority: i32,
+        class: SloClass,
     ) -> Result<(), ServerError> {
         // Dropping the receiver is fine: respond() ignores closed channels.
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(t), req(node), priority, None, tx)
+        q.push(Arc::clone(t), req(node), class, None, tx)
     }
 
-    const NO_BATCH: BatchLimits =
-        BatchLimits { window: Duration::ZERO, max_requests: 1, max_nodes: usize::MAX };
+    const NO_BATCH: BatchLimits = BatchLimits {
+        window: Duration::ZERO,
+        max_requests: 1,
+        max_nodes: usize::MAX,
+        adaptive: false,
+    };
+
+    const S: SloClass = SloClass::Silver;
 
     #[test]
-    fn fifo_within_priority_and_priority_order_across() {
-        let q = RequestQueue::new();
+    fn classes_order_queued_requests_deterministically() {
+        // The deterministic re-test of the old flaky priority test:
+        // bronze backlogged first, gold arriving second — the first
+        // dequeue is still gold (pass tie broken by class rank), and
+        // gold's 4:1 weight gives it 4 of the first 5 slots without
+        // starving bronze.
+        let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 16);
-        push(&q, &t, 0, 0).unwrap();
-        push(&q, &t, 1, 5).unwrap();
-        push(&q, &t, 2, 0).unwrap();
-        push(&q, &t, 3, 5).unwrap();
-        let order: Vec<usize> = (0..4)
-            .map(|_| q.next_batch(NO_BATCH).unwrap().remove(0).request.nodes[0])
-            .collect();
-        assert_eq!(order, vec![1, 3, 0, 2], "priority first, FIFO within");
+        for i in 0..4 {
+            push(&q, &t, i, SloClass::Bronze).unwrap();
+        }
+        for i in 4..8 {
+            push(&q, &t, i, SloClass::Gold).unwrap();
+        }
+        let order: Vec<SloClass> =
+            (0..8).map(|_| q.next_batch(NO_BATCH).unwrap().remove(0).class).collect();
+        assert_eq!(order[0], SloClass::Gold, "pass ties resolve by class rank");
+        let gold_in_first_5 = order[..5].iter().filter(|c| **c == SloClass::Gold).count();
+        assert_eq!(gold_in_first_5, 4, "4:1 weights → 4 of 5 slots, got {order:?}");
+        assert!(order.contains(&SloClass::Bronze), "bronze is not starved");
+    }
+
+    #[test]
+    fn fifo_is_preserved_within_a_class() {
+        let q = RequestQueue::new(WEIGHTS);
+        let t = tenant(0, 1, 16);
+        // Interleave gold and bronze admissions; within each class the
+        // node ids must come back in admission order.
+        push(&q, &t, 0, SloClass::Gold).unwrap();
+        push(&q, &t, 10, SloClass::Bronze).unwrap();
+        push(&q, &t, 1, SloClass::Gold).unwrap();
+        push(&q, &t, 11, SloClass::Bronze).unwrap();
+        push(&q, &t, 2, SloClass::Gold).unwrap();
+        let mut gold = Vec::new();
+        let mut bronze = Vec::new();
+        for _ in 0..5 {
+            let item = q.next_batch(NO_BATCH).unwrap().remove(0);
+            match item.class {
+                SloClass::Gold => gold.push(item.request.nodes[0]),
+                SloClass::Bronze => bronze.push(item.request.nodes[0]),
+                SloClass::Silver => unreachable!("no silver submitted"),
+            }
+        }
+        assert_eq!(gold, vec![0, 1, 2], "FIFO within gold");
+        assert_eq!(bronze, vec![10, 11], "FIFO within bronze");
+    }
+
+    #[test]
+    fn class_starvation_is_bounded_under_100_to_1_skew() {
+        // Stride scheduling is proportional, not strict-priority: even a
+        // 100:1 gold:bronze weight skew gives bronze ~1/101 of the
+        // service, never zero.
+        let q = RequestQueue::new([100, 2, 1]);
+        let t = tenant(0, 1, 512);
+        for i in 0..300 {
+            push(&q, &t, i, SloClass::Gold).unwrap();
+        }
+        for i in 0..5 {
+            push(&q, &t, i, SloClass::Bronze).unwrap();
+        }
+        let mut bronze_served = 0usize;
+        let mut first_bronze_at = None;
+        for slot in 0..202 {
+            let item = q.next_batch(NO_BATCH).unwrap().remove(0);
+            if item.class == SloClass::Bronze {
+                bronze_served += 1;
+                first_bronze_at.get_or_insert(slot);
+            }
+        }
+        assert!(
+            (1..=4).contains(&bronze_served),
+            "bronze gets its ~1/101 share, got {bronze_served}"
+        );
+        assert!(
+            first_bronze_at.unwrap() <= 101,
+            "bronze's first service is bounded by the weight ratio, got {first_bronze_at:?}"
+        );
     }
 
     #[test]
     fn overload_sheds_immediately_per_tenant() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let a = tenant(0, 1, 2);
         let b = tenant(1, 1, 2);
-        push(&q, &a, 0, 0).unwrap();
-        push(&q, &a, 1, 0).unwrap();
-        let err = push(&q, &a, 2, 0).unwrap_err();
+        push(&q, &a, 0, S).unwrap();
+        // The depth cap is per tenant, summed across classes.
+        push(&q, &a, 1, SloClass::Gold).unwrap();
+        let err = push(&q, &a, 2, S).unwrap_err();
         assert_eq!(err, ServerError::Overloaded { depth: 2, max_depth: 2 });
         // The cap is per lane: tenant b still admits.
-        push(&q, &b, 0, 0).unwrap();
+        push(&q, &b, 0, S).unwrap();
         assert_eq!(q.depth(), 3);
         assert_eq!(q.depth_of(0), 2);
         assert_eq!(q.depth_of(1), 1);
@@ -404,16 +653,16 @@ mod tests {
         while q.depth_of(0) > 0 {
             let _ = q.next_batch(NO_BATCH).unwrap();
         }
-        push(&q, &a, 3, 0).unwrap();
+        push(&q, &a, 3, S).unwrap();
     }
 
     #[test]
     fn close_rejects_new_but_drains_old() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 4);
-        push(&q, &t, 7, 0).unwrap();
+        push(&q, &t, 7, S).unwrap();
         q.close();
-        assert_eq!(push(&q, &t, 8, 0).unwrap_err(), ServerError::ShuttingDown);
+        assert_eq!(push(&q, &t, 8, S).unwrap_err(), ServerError::ShuttingDown);
         let batch = q.next_batch(NO_BATCH).unwrap();
         assert_eq!(batch[0].request.nodes, vec![7]);
         assert!(q.next_batch(NO_BATCH).is_none(), "drained + closed ends the worker loop");
@@ -421,61 +670,79 @@ mod tests {
 
     #[test]
     fn batch_dequeue_coalesces_up_to_caps() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 16);
         for i in 0..5 {
-            push(&q, &t, i, 0).unwrap();
+            push(&q, &t, i, S).unwrap();
         }
         let limits = BatchLimits {
             window: Duration::from_millis(20),
             max_requests: 3,
             max_nodes: usize::MAX,
+            adaptive: false,
         };
         let batch = q.next_batch(limits).unwrap();
         assert_eq!(batch.len(), 3, "request cap bounds the batch");
-        let limits_nodes =
-            BatchLimits { window: Duration::from_millis(20), max_requests: 8, max_nodes: 2 };
+        let limits_nodes = BatchLimits {
+            window: Duration::from_millis(20),
+            max_requests: 8,
+            max_nodes: 2,
+            adaptive: false,
+        };
         let batch = q.next_batch(limits_nodes).unwrap();
         assert_eq!(batch.len(), 2, "node cap bounds the batch");
     }
 
     #[test]
-    fn batches_never_span_tenants() {
-        let q = RequestQueue::new();
+    fn batches_never_span_tenants_or_classes() {
+        let q = RequestQueue::new(WEIGHTS);
         let a = tenant(0, 1, 16);
         let b = tenant(1, 1, 16);
-        push(&q, &a, 0, 0).unwrap();
-        push(&q, &b, 1, 0).unwrap();
-        push(&q, &a, 2, 0).unwrap();
-        push(&q, &b, 3, 0).unwrap();
+        push(&q, &a, 0, S).unwrap();
+        push(&q, &b, 1, S).unwrap();
+        push(&q, &a, 2, S).unwrap();
+        push(&q, &b, 3, S).unwrap();
+        // Same tenant, different class: must not ride tenant a's silver
+        // batch.
+        push(&q, &a, 4, SloClass::Gold).unwrap();
         let limits = BatchLimits {
             window: Duration::from_millis(5),
             max_requests: 8,
             max_nodes: usize::MAX,
+            adaptive: false,
         };
         let mut seen = Vec::new();
         while q.depth() > 0 {
             let batch = q.next_batch(limits).unwrap();
             let id = batch[0].tenant.id;
+            let class = batch[0].class;
             assert!(
-                batch.iter().all(|item| item.tenant.id == id),
-                "every batch member shares one tenant"
+                batch.iter().all(|item| item.tenant.id == id && item.class == class),
+                "every batch member shares one tenant and one class"
             );
-            assert_eq!(batch.len(), 2, "same-lane requests still coalesce");
-            seen.push(id);
+            seen.push((id, class, batch.len()));
         }
-        seen.sort_unstable();
-        assert_eq!(seen, vec![0, 1]);
+        let silver_batches: Vec<_> =
+            seen.iter().filter(|(_, c, _)| *c == SloClass::Silver).collect();
+        assert_eq!(silver_batches.len(), 2, "one silver batch per tenant: {seen:?}");
+        assert!(
+            silver_batches.iter().all(|(_, _, len)| *len == 2),
+            "same-lane requests still coalesce: {seen:?}"
+        );
+        assert!(
+            seen.iter().any(|(id, c, len)| (*id, *c, *len) == (0, SloClass::Gold, 1)),
+            "the gold request rode alone: {seen:?}"
+        );
     }
 
     #[test]
     fn stride_scheduling_honors_weights() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let light = tenant(0, 1, 64);
         let heavy = tenant(1, 3, 64);
         for i in 0..12 {
-            push(&q, &light, i, 0).unwrap();
-            push(&q, &heavy, i, 0).unwrap();
+            push(&q, &light, i, S).unwrap();
+            push(&q, &heavy, i, S).unwrap();
         }
         // Serve 8 single-request batches while both lanes stay backlogged;
         // stride scheduling must give the weight-3 lane ~3× the service.
@@ -491,19 +758,19 @@ mod tests {
 
     #[test]
     fn idle_lane_rejoins_at_current_virtual_time() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let a = tenant(0, 1, 64);
         let b = tenant(1, 1, 64);
         // Drive lane a far ahead in virtual time while b is idle.
         for i in 0..6 {
-            push(&q, &a, i, 0).unwrap();
+            push(&q, &a, i, S).unwrap();
             let _ = q.next_batch(NO_BATCH).unwrap();
         }
         // b activates late: it must not monopolize the queue to "catch
         // up" from pass 0 — service alternates from here on.
         for i in 0..4 {
-            push(&q, &a, i, 0).unwrap();
-            push(&q, &b, i, 0).unwrap();
+            push(&q, &a, i, S).unwrap();
+            push(&q, &b, i, S).unwrap();
         }
         let mut served = [0usize; 2];
         for _ in 0..4 {
@@ -515,13 +782,13 @@ mod tests {
 
     #[test]
     fn purge_answers_queued_items_typed() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let a = tenant(0, 1, 16);
         let b = tenant(1, 1, 16);
         let (tx, rx) = sync_channel(4);
-        q.push(Arc::clone(&a), req(0), 0, None, tx.clone()).unwrap();
-        q.push(Arc::clone(&a), req(1), 0, None, tx).unwrap();
-        push(&q, &b, 2, 0).unwrap();
+        q.push(Arc::clone(&a), req(0), S, None, tx.clone()).unwrap();
+        q.push(Arc::clone(&a), req(1), SloClass::Gold, None, tx).unwrap();
+        push(&q, &b, 2, S).unwrap();
         q.purge_tenant(a.id);
         for _ in 0..2 {
             match rx.recv().unwrap() {
@@ -535,15 +802,16 @@ mod tests {
 
     #[test]
     fn straggler_wait_never_outlives_a_deadline() {
-        let q = RequestQueue::new();
+        let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(&t), req(0), 0, Some(Instant::now() + Duration::from_millis(5)), tx)
+        q.push(Arc::clone(&t), req(0), S, Some(Instant::now() + Duration::from_millis(5)), tx)
             .unwrap();
         let limits = BatchLimits {
             window: Duration::from_millis(250),
             max_requests: 8,
             max_nodes: usize::MAX,
+            adaptive: false,
         };
         let start = Instant::now();
         let batch = q.next_batch(limits).unwrap();
@@ -555,13 +823,85 @@ mod tests {
     }
 
     #[test]
-    fn expired_items_are_detectable() {
-        let q = RequestQueue::new();
+    fn deadline_expired_while_queued_is_detectable_not_dropped() {
+        // An expired item is still dequeued (never silently discarded);
+        // the server's batch executor turns it into a typed
+        // DeadlineExceeded through the responder.
+        let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(&t), req(0), 0, Some(Instant::now() - Duration::from_millis(1)), tx)
+        q.push(Arc::clone(&t), req(0), S, Some(Instant::now() - Duration::from_millis(1)), tx)
             .unwrap();
         let batch = q.next_batch(NO_BATCH).unwrap();
+        assert_eq!(batch.len(), 1, "expired items still surface to the executor");
         assert!(batch[0].expired(Instant::now()));
+    }
+
+    #[test]
+    fn adaptive_window_collapses_when_holds_expire_empty() {
+        let q = RequestQueue::new(WEIGHTS);
+        let t = tenant(0, 1, 16);
+        let limits = BatchLimits {
+            window: Duration::from_micros(400),
+            max_requests: 4,
+            max_nodes: usize::MAX,
+            adaptive: true,
+        };
+        assert!((q.window_fraction() - 1.0).abs() < 1e-9, "starts at full scale");
+        // Closed-loop shape: one request at a time, every hold expires
+        // with no straggler → the scale halves per batch down to the
+        // probe floor.
+        for i in 0..8 {
+            push(&q, &t, i, S).unwrap();
+            let batch = q.next_batch(limits).unwrap();
+            assert_eq!(batch.len(), 1);
+        }
+        assert!(
+            q.window_fraction() <= 1.0 / 32.0,
+            "empty holds collapse the window, at {}",
+            q.window_fraction()
+        );
+    }
+
+    #[test]
+    fn adaptive_window_recovers_when_stragglers_arrive() {
+        let q = Arc::new(RequestQueue::new(WEIGHTS));
+        let t = tenant(0, 1, 16);
+        let limits = BatchLimits {
+            window: Duration::from_secs(2),
+            max_requests: 2,
+            max_nodes: usize::MAX,
+            adaptive: true,
+        };
+        // Collapse the scale first.
+        for i in 0..8 {
+            push(&q, &t, i, S).unwrap();
+            let _ = q
+                .next_batch(BatchLimits { window: Duration::from_micros(200), ..limits })
+                .unwrap();
+        }
+        let collapsed = q.window_fraction();
+        assert!(collapsed <= 1.0 / 32.0);
+        // Even the collapsed probe of a 2 s window is 31 ms — plenty for
+        // a straggler thread to land inside the hold and double the
+        // scale back up.
+        push(&q, &t, 100, S).unwrap();
+        let feeder = {
+            let q = Arc::clone(&q);
+            let t = Arc::clone(&t);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(3));
+                push(&q, &t, 101, S).unwrap();
+            })
+        };
+        let batch = q.next_batch(limits).unwrap();
+        feeder.join().unwrap();
+        assert_eq!(batch.len(), 2, "the straggler joined the held batch");
+        assert!(
+            q.window_fraction() >= collapsed * 2.0 - 1e-9,
+            "a paid-off hold widens the window again ({} → {})",
+            collapsed,
+            q.window_fraction()
+        );
     }
 }

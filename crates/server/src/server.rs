@@ -5,8 +5,8 @@
 //! # Lifecycle
 //!
 //! ```text
-//! submit ──► RequestQueue (per-tenant lanes, priority, shed-on-overload)
-//!                │   next_batch: weighted-fair lane pick + window/caps
+//! submit ──► RequestQueue (per-tenant × per-class lanes, shed-on-overload)
+//!                │   next_batch: weighted-fair lane pick + adaptive window/caps
 //!                ▼
 //!         worker thread ──► tenant.engines.checkout()
 //!                │                │ Engine::infer_coalesced
@@ -134,11 +134,12 @@ impl Server {
         config: ServerConfig,
     ) -> Self {
         let registry = Arc::new(registry);
-        let queue = Arc::new(RequestQueue::new());
+        let queue = Arc::new(RequestQueue::new(config.class_weights()));
         let limits = BatchLimits {
             window: config.batch_window,
             max_requests: config.max_batch_requests.max(1),
             max_nodes: config.max_batch_nodes.max(1),
+            adaptive: config.adaptive_window,
         };
         let workers = (0..worker_threads)
             .map(|i| {
@@ -384,7 +385,7 @@ impl ServerHandle {
         self.submit_with(request, SubmitOptions::default())
     }
 
-    /// Submits a request with explicit priority/deadline options.
+    /// Submits a request with explicit class/deadline options.
     ///
     /// # Errors
     ///
@@ -397,7 +398,7 @@ impl ServerHandle {
         if self.tenant.is_retired() {
             return Err(ServerError::UnknownTenant { name: self.tenant.name.clone() });
         }
-        self.tenant.telemetry.record_submitted();
+        self.tenant.telemetry.record_submitted(options.class);
         // Front-door validation with the engine's own validity rule, so
         // obviously bad requests fail at submission with a typed error
         // instead of occupying queue space (and the two paths cannot
@@ -406,18 +407,24 @@ impl ServerHandle {
         // the request's batch resolves (node counts only grow, so an
         // admitted request stays valid).
         if let Err(e) = blockgnn_engine::validate_request(&request, self.num_nodes()) {
-            self.tenant.telemetry.with(|s| s.failed += 1);
+            self.tenant.telemetry.with(|s| {
+                s.failed += 1;
+                s.class_mut(options.class).failed += 1;
+            });
             return Err(ServerError::Engine(e));
         }
-        let deadline =
-            options.deadline.or(self.config.default_deadline).map(|d| Instant::now() + d);
+        // Deadline precedence: the request's own, else its class's
+        // configured default, else the server-wide default.
+        let deadline = options
+            .deadline
+            .or_else(|| self.config.class_deadline(options.class))
+            .map(|d| Instant::now() + d);
         let (tx, rx) = sync_channel(1);
-        match self.queue.push(Arc::clone(&self.tenant), request, options.priority, deadline, tx)
-        {
+        match self.queue.push(Arc::clone(&self.tenant), request, options.class, deadline, tx) {
             Ok(()) => Ok(Ticket { rx }),
             Err(e) => {
                 if matches!(e, ServerError::Overloaded { .. }) {
-                    self.tenant.telemetry.record_shed_overload();
+                    self.tenant.telemetry.record_shed_overload(options.class);
                 }
                 Err(e)
             }
@@ -557,10 +564,16 @@ impl std::fmt::Debug for ServerHandle {
 /// `telemetry` is the owning tenant's accumulator.
 fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Telemetry) {
     let exec_start = Instant::now();
+    // Batches never span classes, so the whole batch's per-class
+    // accounting lands in one rollup.
+    let class = batch[0].class;
     let (live, expired): (Vec<_>, Vec<_>) =
         batch.into_iter().partition(|item| !item.expired(exec_start));
     if !expired.is_empty() {
-        telemetry.with(|s| s.shed_deadline += expired.len());
+        telemetry.with(|s| {
+            s.shed_deadline += expired.len();
+            s.class_mut(class).shed += expired.len();
+        });
         for item in expired {
             let waited = exec_start.saturating_duration_since(item.enqueued_at);
             item.respond(Err(ServerError::DeadlineExceeded { waited }));
@@ -599,12 +612,16 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
                 local.queue_time.record(queue_time);
                 local.compute_time.record(compute_time);
                 local.completed += 1;
+                let rollup = local.class_mut(class);
+                rollup.completed += 1;
+                rollup.latency.record(queue_time + compute_time);
                 let response =
                     assemble_response(outcome, queue_time, compute_time, &mut local.serve);
                 deliveries.push((item, Ok(response)));
             }
             Err(e) => {
                 local.failed += 1;
+                local.class_mut(class).failed += 1;
                 deliveries.push((item, Err(ServerError::Engine(e))));
             }
         }
@@ -618,6 +635,9 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
         stats.serve.merge(&local.serve);
         stats.queue_time.merge(&local.queue_time);
         stats.compute_time.merge(&local.compute_time);
+        for (class, rollup) in &local.classes {
+            stats.class_mut(*class).merge(rollup);
+        }
     });
     for (item, answer) in deliveries {
         item.respond(answer);

@@ -1,6 +1,8 @@
-//! Server telemetry: queue/compute latency split, shed accounting, and
-//! the batch-size distribution, snapshotted as [`ServerStats`].
+//! Server telemetry: queue/compute latency split, shed accounting,
+//! per-SLO-class latency rollups, and the batch-size distribution,
+//! snapshotted as [`ServerStats`].
 
+use crate::queue::SloClass;
 use blockgnn_engine::{LatencyHistogram, ServeStats};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -53,6 +55,73 @@ pub struct ServerStats {
     /// aggregate snapshots of a multi-tenant server ([`crate::Server::stats`]);
     /// empty on per-tenant snapshots and single-telemetry accumulators.
     pub tenants: BTreeMap<String, TenantRollup>,
+    /// Per-SLO-class rollups (submission/completion/shed counters and a
+    /// full latency histogram each), keyed by class. A class appears
+    /// once it has seen traffic.
+    pub classes: BTreeMap<SloClass, ClassRollup>,
+}
+
+/// One SLO class's slice of a [`ServerStats`] snapshot: the counters
+/// per-class latency objectives are checked against.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassRollup {
+    /// Requests offered in this class (including shed ones).
+    pub submitted: usize,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests shed (overload + deadline).
+    pub shed: usize,
+    /// Requests that failed in the engine.
+    pub failed: usize,
+    /// End-to-end served latency (queue + compute) of completed
+    /// requests.
+    pub latency: LatencyHistogram,
+}
+
+impl ClassRollup {
+    /// Median served latency for the class.
+    #[must_use]
+    pub fn p50(&self) -> Duration {
+        self.latency.p50()
+    }
+
+    /// 95th-percentile served latency for the class.
+    #[must_use]
+    pub fn p95(&self) -> Duration {
+        self.latency.p95()
+    }
+
+    /// 99th-percentile served latency for the class.
+    #[must_use]
+    pub fn p99(&self) -> Duration {
+        self.latency.p99()
+    }
+
+    /// Folds another rollup's counters into this one.
+    pub fn merge(&mut self, other: &ClassRollup) {
+        self.submitted += other.submitted;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.failed += other.failed;
+        self.latency.merge(&other.latency);
+    }
+
+    /// Renders the rollup as one colon-separated `stats` segment
+    /// (`class=` prefixed by the caller): counters first, percentiles
+    /// last.
+    #[must_use]
+    pub fn summary_fields(&self) -> String {
+        format!(
+            "requests={}:completed={}:failed={}:shed={}:p50_us={}:p95_us={}:p99_us={}",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.shed,
+            self.p50().as_micros(),
+            self.p95().as_micros(),
+            self.p99().as_micros(),
+        )
+    }
 }
 
 /// One tenant's slice of an aggregate [`ServerStats`] snapshot: the
@@ -160,6 +229,14 @@ impl ServerStats {
         }
         self.updates += other.updates;
         self.failed_updates += other.failed_updates;
+        for (class, rollup) in &other.classes {
+            self.classes.entry(*class).or_default().merge(rollup);
+        }
+    }
+
+    /// The rollup for one class, creating it on first touch.
+    pub(crate) fn class_mut(&mut self, class: SloClass) -> &mut ClassRollup {
+        self.classes.entry(class).or_default()
     }
 
     /// One tenant's rollup of this (per-tenant) snapshot.
@@ -209,11 +286,16 @@ impl ServerStats {
             self.updates,
             self.failed_updates,
         );
-        if !self.tenants.is_empty() {
+        {
             use std::fmt::Write as _;
-            let _ = write!(line, " tenants={}", self.tenants.len());
-            for (name, rollup) in &self.tenants {
-                let _ = write!(line, " tenant={}:{}", name, rollup.summary_fields());
+            for (class, rollup) in &self.classes {
+                let _ = write!(line, " class={}:{}", class.name(), rollup.summary_fields());
+            }
+            if !self.tenants.is_empty() {
+                let _ = write!(line, " tenants={}", self.tenants.len());
+                for (name, rollup) in &self.tenants {
+                    let _ = write!(line, " tenant={}:{}", name, rollup.summary_fields());
+                }
             }
         }
         line
@@ -246,12 +328,16 @@ impl Telemetry {
         stats
     }
 
-    pub fn record_submitted(&self) {
-        self.inner.lock().expect("telemetry lock").submitted += 1;
+    pub fn record_submitted(&self, class: SloClass) {
+        let mut stats = self.inner.lock().expect("telemetry lock");
+        stats.submitted += 1;
+        stats.class_mut(class).submitted += 1;
     }
 
-    pub fn record_shed_overload(&self) {
-        self.inner.lock().expect("telemetry lock").shed_overload += 1;
+    pub fn record_shed_overload(&self, class: SloClass) {
+        let mut stats = self.inner.lock().expect("telemetry lock");
+        stats.shed_overload += 1;
+        stats.class_mut(class).shed += 1;
     }
 
     /// Runs `f` under the telemetry lock — how workers fold in a whole
@@ -268,9 +354,9 @@ mod tests {
     #[test]
     fn snapshot_carries_uptime_and_rates() {
         let t = Telemetry::new();
-        t.record_submitted();
-        t.record_submitted();
-        t.record_shed_overload();
+        t.record_submitted(SloClass::Gold);
+        t.record_submitted(SloClass::Silver);
+        t.record_shed_overload(SloClass::Silver);
         t.with(|s| {
             s.completed += 1;
             s.batches += 1;
@@ -286,5 +372,36 @@ mod tests {
         assert!(snap.qps() > 0.0);
         assert!((snap.mean_batch_size() - 3.0).abs() < 1e-9);
         assert!(snap.summary().contains("shed_overload=1"));
+        assert!(snap.summary().contains("class=gold:requests=1:"));
+        assert!(snap
+            .summary()
+            .contains("class=silver:requests=1:completed=0:failed=0:shed=1:"));
+    }
+
+    #[test]
+    fn class_rollups_merge_and_render_percentiles() {
+        let mut a = ServerStats::default();
+        let gold = a.class_mut(SloClass::Gold);
+        gold.submitted = 3;
+        gold.completed = 3;
+        gold.latency.record(Duration::from_micros(100));
+        gold.latency.record(Duration::from_micros(200));
+        gold.latency.record(Duration::from_micros(400));
+        let mut b = ServerStats::default();
+        let gold_b = b.class_mut(SloClass::Gold);
+        gold_b.submitted = 1;
+        gold_b.shed = 1;
+        b.class_mut(SloClass::Bronze).submitted = 2;
+        a.absorb(&b);
+        let gold = &a.classes[&SloClass::Gold];
+        assert_eq!((gold.submitted, gold.completed, gold.shed), (4, 3, 1));
+        assert!(gold.p50() >= Duration::from_micros(100));
+        assert!(gold.p99() >= gold.p50());
+        assert_eq!(a.classes[&SloClass::Bronze].submitted, 2);
+        // Classes render in rank order: gold before bronze.
+        let line = a.summary();
+        let gold_at = line.find("class=gold:").unwrap();
+        let bronze_at = line.find("class=bronze:").unwrap();
+        assert!(gold_at < bronze_at, "{line}");
     }
 }

@@ -1,0 +1,1172 @@
+//! Deterministic, seeded, **replayable** workload harness: realistic
+//! and adversarial traffic for the serving stack, with a serialization
+//! format that lets any failing run replay bit-identically.
+//!
+//! # Determinism & replay contract
+//!
+//! A [`WorkloadSpec`] is a pure value; [`WorkloadSpec::generate`] maps
+//! it through a seeded SplitMix64 stream to a [`Trace`] — the same spec
+//! always yields byte-identical traces. A trace serializes with
+//! [`Trace::encode`] (one line per event, reusing the wire protocol's
+//! own encoders for the request payloads) and decodes back with
+//! [`Trace::decode`], so a failing trace can be stored in a bug report
+//! and re-driven as-is.
+//!
+//! Two replay drivers consume a trace:
+//!
+//! - [`replay_logical`] executes the trace against in-process engines in
+//!   **logical time** — the reference semantics of the batcher (window,
+//!   request/node caps, per-tenant × per-class batches, deadline sheds)
+//!   with no wall clocks involved. Its [`ReplayReport`] (shed / dedup /
+//!   batch-size counters and an order-sensitive FNV-1a fingerprint over
+//!   every served logits bit) is **bit-identical across runs** of the
+//!   same trace, which is what lets a differential test pin the entire
+//!   serving pipeline's behaviour to a number.
+//! - [`replay_tcp`] drives the trace against a live front end over real
+//!   sockets, honouring event times, slow-loris chunking, and
+//!   malformed-line floods. Its [`TrafficReport`] checks liveness
+//!   properties instead: typed errors only, zero transport failures,
+//!   per-class latency distributions.
+//!
+//! # Traffic shapes
+//!
+//! Node popularity is zipfian ([`WorkloadSpec::zipf_exponent`]) —
+//! skewed real-world popularity is what makes the batcher's dedup and
+//! the full-graph cache earn their keep. Arrivals are open-loop:
+//! uniform-exponential, bursty (alternating hot/quiet phases), or
+//! diurnal (sinusoidally modulated rate) per [`ArrivalKind`].
+//! Adversarial events — malformed lines (extending the seeded protocol
+//! fuzz corpus), slow-loris partial writes, and deadline storms — mix in
+//! at configurable rates.
+
+use crate::protocol::{encode_infer, encode_update, parse_command, Command};
+use crate::queue::{SloClass, SubmitOptions, NUM_CLASSES};
+use crate::tenant::DEFAULT_TENANT;
+use blockgnn_engine::{Engine, GraphDelta, InferRequest, LatencyHistogram};
+use blockgnn_graph::generate::Rng64;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Open-loop arrival process shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrivalKind {
+    /// Exponential inter-arrival gaps around the mean (Poisson-like).
+    Uniform,
+    /// Alternating hot/quiet phases: bursts at 8× the mean rate, lulls
+    /// at ¼ of it, switching every 32 events.
+    Bursty,
+    /// Sinusoidally modulated rate across the trace — two full
+    /// day-night cycles.
+    Diurnal,
+}
+
+/// Everything that determines a generated trace. Same spec → same
+/// trace, byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Seed of the SplitMix64 stream every random choice draws from.
+    pub seed: u64,
+    /// Events to generate.
+    pub events: usize,
+    /// Client connections the events are spread across.
+    pub clients: u32,
+    /// Node-id universe requests draw from (the served graph's size).
+    pub num_nodes: usize,
+    /// Zipf exponent of node popularity (0 = uniform; ~1 = web-like
+    /// skew).
+    pub zipf_exponent: f64,
+    /// Arrival process shape.
+    pub arrival: ArrivalKind,
+    /// Mean inter-arrival gap in microseconds.
+    pub mean_gap_us: u64,
+    /// Tenant names traffic fans out across (uniformly); empty addresses
+    /// only the default tenant.
+    pub tenants: Vec<String>,
+    /// Relative class frequencies (gold, silver, bronze).
+    pub class_mix: [u32; NUM_CLASSES],
+    /// Graph-update events per 1000.
+    pub update_permille: u32,
+    /// Of the infer events, how many per 1000 are sampled-mode.
+    pub sampled_permille: u32,
+    /// Malformed-line events per 1000 (noise + garbled valid lines).
+    pub malformed_permille: u32,
+    /// Slow-loris events per 1000 (a valid line dribbled in chunks).
+    pub slow_loris_permille: u32,
+    /// Deadline-storm events per 1000 (bronze infers with ~zero
+    /// deadlines that must shed typed, not crash).
+    pub deadline_storm_permille: u32,
+    /// Feature dimension for generated `feat=` update rows (0 emits
+    /// edge-only deltas, which stay valid on any dataset).
+    pub feat_dim: usize,
+}
+
+impl WorkloadSpec {
+    /// A plain zipfian/uniform-arrival spec: no updates, no adversarial
+    /// traffic, default-tenant, silver-heavy class mix.
+    #[must_use]
+    pub fn new(seed: u64, events: usize, num_nodes: usize) -> Self {
+        Self {
+            seed,
+            events,
+            clients: 4,
+            num_nodes,
+            zipf_exponent: 1.0,
+            arrival: ArrivalKind::Uniform,
+            mean_gap_us: 300,
+            tenants: Vec::new(),
+            class_mix: [1, 3, 1],
+            update_permille: 0,
+            sampled_permille: 500,
+            malformed_permille: 0,
+            slow_loris_permille: 0,
+            deadline_storm_permille: 0,
+            feat_dim: 0,
+        }
+    }
+
+    /// Sets the arrival process.
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalKind, mean_gap_us: u64) -> Self {
+        self.arrival = arrival;
+        self.mean_gap_us = mean_gap_us.max(1);
+        self
+    }
+
+    /// Sets the zipf exponent of node popularity.
+    #[must_use]
+    pub fn with_zipf(mut self, exponent: f64) -> Self {
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Sets the client-connection count.
+    #[must_use]
+    pub fn with_clients(mut self, clients: u32) -> Self {
+        self.clients = clients.max(1);
+        self
+    }
+
+    /// Fans traffic out across named tenants (uniformly).
+    #[must_use]
+    pub fn with_tenants(mut self, tenants: Vec<String>) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
+    /// Sets the relative class frequencies (gold, silver, bronze).
+    #[must_use]
+    pub fn with_class_mix(mut self, mix: [u32; NUM_CLASSES]) -> Self {
+        self.class_mix = mix;
+        self
+    }
+
+    /// Mixes in graph updates at the given rate (per 1000 events), with
+    /// `feat_dim`-wide feature rows (0 = edge-only deltas).
+    #[must_use]
+    pub fn with_updates(mut self, permille: u32, feat_dim: usize) -> Self {
+        self.update_permille = permille;
+        self.feat_dim = feat_dim;
+        self
+    }
+
+    /// Mixes in adversarial traffic: malformed lines, slow-loris
+    /// clients, and deadline storms (each per 1000 events).
+    #[must_use]
+    pub fn with_adversarial(
+        mut self,
+        malformed_permille: u32,
+        slow_loris_permille: u32,
+        deadline_storm_permille: u32,
+    ) -> Self {
+        self.malformed_permille = malformed_permille;
+        self.slow_loris_permille = slow_loris_permille;
+        self.deadline_storm_permille = deadline_storm_permille;
+        self
+    }
+
+    /// Generates the trace this spec describes — a pure function of the
+    /// spec (seed included).
+    #[must_use]
+    pub fn generate(&self) -> Trace {
+        let mut rng = Rng64::new(self.seed);
+        let zipf = Zipf::new(self.num_nodes.max(1), self.zipf_exponent);
+        let mut at_us = 0u64;
+        let mut events = Vec::with_capacity(self.events);
+        for i in 0..self.events {
+            at_us += self.gap_us(&mut rng, i);
+            let client = rng.next_below(self.clients.max(1) as usize) as u32;
+            let op = self.pick_op(&mut rng, &zipf);
+            events.push(TraceEvent { at_us, client, op });
+        }
+        Trace { seed: self.seed, clients: self.clients.max(1), events }
+    }
+
+    fn gap_us(&self, rng: &mut Rng64, index: usize) -> u64 {
+        let mean = match self.arrival {
+            ArrivalKind::Uniform => self.mean_gap_us as f64,
+            ArrivalKind::Bursty => {
+                // Hot/quiet phases alternate every 32 events: 8× the rate
+                // in a burst, ¼ of it in a lull.
+                if (index / 32).is_multiple_of(2) {
+                    self.mean_gap_us as f64 / 8.0
+                } else {
+                    self.mean_gap_us as f64 * 4.0
+                }
+            }
+            ArrivalKind::Diurnal => {
+                // Two full sinusoidal day-night cycles across the trace.
+                let period = (self.events.max(2) / 2) as f64;
+                let phase = (index as f64 / period) * std::f64::consts::TAU;
+                let rate = 1.0 + 0.75 * phase.sin();
+                self.mean_gap_us as f64 / rate.max(0.25)
+            }
+        };
+        // Exponential inter-arrival around the phase mean.
+        let u = rng.next_f64().min(1.0 - 1e-12);
+        (-mean * (1.0 - u).ln()).max(0.0) as u64 + 1
+    }
+
+    fn pick_op(&self, rng: &mut Rng64, zipf: &Zipf) -> TraceOp {
+        let roll = rng.next_below(1000) as u32;
+        let malformed_at = self.malformed_permille;
+        let slow_at = malformed_at + self.slow_loris_permille;
+        let storm_at = slow_at + self.deadline_storm_permille;
+        let update_at = storm_at + self.update_permille;
+        if roll < malformed_at {
+            return TraceOp::Malformed { line: self.malformed_line(rng, zipf) };
+        }
+        if roll < slow_at {
+            let (request, options, tenant) = self.infer_parts(rng, zipf);
+            return TraceOp::SlowLoris {
+                line: encode_infer(&request, options, tenant.as_deref()),
+                chunks: rng.next_below(5) + 2,
+                pause_us: 200 + rng.next_below(800) as u64,
+            };
+        }
+        if roll < storm_at {
+            // Deadline storm: bronze traffic with ~zero deadlines; the
+            // server must shed it typed, never crash or stall.
+            let (request, _, tenant) = self.infer_parts(rng, zipf);
+            let options = SubmitOptions {
+                class: SloClass::Bronze,
+                deadline: Some(Duration::from_millis(rng.next_below(2) as u64)),
+            };
+            return TraceOp::Infer { request, options, tenant };
+        }
+        if roll < update_at {
+            return TraceOp::Update { delta: self.delta(rng, zipf), tenant: self.tenant(rng) };
+        }
+        let (request, options, tenant) = self.infer_parts(rng, zipf);
+        TraceOp::Infer { request, options, tenant }
+    }
+
+    fn infer_parts(
+        &self,
+        rng: &mut Rng64,
+        zipf: &Zipf,
+    ) -> (InferRequest, SubmitOptions, Option<String>) {
+        let count = rng.next_below(3) + 1;
+        let nodes: Vec<usize> = (0..count).map(|_| zipf.sample(rng)).collect();
+        let request = if (rng.next_below(1000) as u32) < self.sampled_permille {
+            InferRequest::sampled(
+                nodes,
+                4 + rng.next_below(8),
+                2 + rng.next_below(4),
+                rng.next_u64(),
+            )
+        } else if rng.next_below(12) == 0 {
+            // Occasionally hit the whole-graph cache path.
+            InferRequest::all_nodes()
+        } else {
+            InferRequest::full_graph(nodes)
+        };
+        let options = SubmitOptions { class: self.class(rng), deadline: None };
+        (request, options, self.tenant(rng))
+    }
+
+    fn class(&self, rng: &mut Rng64) -> SloClass {
+        let total: u32 = self.class_mix.iter().sum();
+        if total == 0 {
+            return SloClass::default();
+        }
+        let mut slot = rng.next_below(total as usize) as u32;
+        for class in SloClass::ALL {
+            let w = self.class_mix[class.index()];
+            if slot < w {
+                return class;
+            }
+            slot -= w;
+        }
+        SloClass::default()
+    }
+
+    fn tenant(&self, rng: &mut Rng64) -> Option<String> {
+        if self.tenants.is_empty() {
+            None
+        } else {
+            Some(self.tenants[rng.next_below(self.tenants.len())].clone())
+        }
+    }
+
+    fn delta(&self, rng: &mut Rng64, zipf: &Zipf) -> GraphDelta {
+        let mut delta = GraphDelta::new();
+        for _ in 0..rng.next_below(2) + 1 {
+            delta = delta.add_edge(zipf.sample(rng), zipf.sample(rng));
+        }
+        if self.feat_dim > 0 && rng.next_below(3) == 0 {
+            let row: Vec<f64> = (0..self.feat_dim).map(|_| rng.next_normal() * 0.1).collect();
+            delta = delta.set_feature_row(zipf.sample(rng), row);
+        }
+        delta
+    }
+
+    fn malformed_line(&self, rng: &mut Rng64, zipf: &Zipf) -> String {
+        let line = if rng.next_below(2) == 0 {
+            // Pure printable noise.
+            (0..rng.next_below(30) + 1)
+                .map(|_| (rng.next_below(94) + 33) as u8 as char)
+                .collect()
+        } else {
+            // A valid infer line with one garbled byte — the nastier
+            // corpus, because it is *almost* well-formed.
+            let (request, options, tenant) = self.infer_parts(rng, zipf);
+            let mut bytes = encode_infer(&request, options, tenant.as_deref()).into_bytes();
+            let at = rng.next_below(bytes.len());
+            bytes[at] = (rng.next_below(94) + 33) as u8;
+            String::from_utf8_lossy(&bytes).into_owned()
+        };
+        // Never let chance assemble a line that would mutate or stop the
+        // server mid-replay; everything else (even accidentally valid
+        // infers) is fair game.
+        match parse_command(&line) {
+            Ok(Command::Shutdown | Command::Deploy(_) | Command::Retire(_)) => {
+                format!("~{line}")
+            }
+            _ => line,
+        }
+    }
+}
+
+/// Precomputed zipfian sampler over `0..n` (rank 0 most popular).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the inverse-CDF table for `n` ranks at the given exponent.
+    #[must_use]
+    pub fn new(n: usize, exponent: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(n.max(1));
+        let mut total = 0.0;
+        for rank in 0..n.max(1) {
+            total += 1.0 / ((rank + 1) as f64).powf(exponent);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Draws one node id.
+    pub fn sample(&self, rng: &mut Rng64) -> usize {
+        let total = *self.cumulative.last().expect("non-empty table");
+        let target = rng.next_f64() * total;
+        self.cumulative.partition_point(|&c| c < target).min(self.cumulative.len() - 1)
+    }
+}
+
+/// One workload event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Microseconds since trace start when the event fires.
+    pub at_us: u64,
+    /// The client connection that performs it.
+    pub client: u32,
+    /// What it does.
+    pub op: TraceOp,
+}
+
+/// An event's payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceOp {
+    /// A well-formed inference request.
+    Infer {
+        /// The request.
+        request: InferRequest,
+        /// Class / deadline options.
+        options: SubmitOptions,
+        /// Addressed tenant (`None` = default).
+        tenant: Option<String>,
+    },
+    /// A well-formed graph update.
+    Update {
+        /// The delta.
+        delta: GraphDelta,
+        /// Addressed tenant (`None` = default).
+        tenant: Option<String>,
+    },
+    /// A malformed (or chance-valid garbled) line the server must answer
+    /// without dropping the connection.
+    Malformed {
+        /// The raw line (no newline).
+        line: String,
+    },
+    /// A valid line dribbled out in chunks with pauses between them — a
+    /// slow-loris client the line assembler must tolerate.
+    SlowLoris {
+        /// The full line (no newline).
+        line: String,
+        /// Write chunks the line is split into.
+        chunks: usize,
+        /// Pause between chunks, microseconds.
+        pause_us: u64,
+    },
+}
+
+/// A generated (or decoded) workload: replayable, serializable,
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// The generating seed (informational once generated).
+    pub seed: u64,
+    /// Client-connection count.
+    pub clients: u32,
+    /// Events in generation order (`at_us` non-decreasing).
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Serializes the trace, one event per line. Infer/update payloads
+    /// reuse the wire protocol's own encoding, so the trace format
+    /// inherits its round-trip guarantees (hex `f64` bits and all);
+    /// malformed and slow-loris payloads are hex-wrapped so arbitrary
+    /// bytes survive.
+    #[must_use]
+    pub fn encode(&self) -> String {
+        let mut out = format!(
+            "blockgnn-trace v1 seed={} clients={} events={}\n",
+            self.seed,
+            self.clients,
+            self.events.len()
+        );
+        for event in &self.events {
+            let body = match &event.op {
+                TraceOp::Infer { request, options, tenant } => {
+                    format!("cmd {}", encode_infer(request, *options, tenant.as_deref()))
+                }
+                TraceOp::Update { delta, tenant } => {
+                    format!("cmd {}", encode_update(delta, tenant.as_deref()))
+                }
+                TraceOp::Malformed { line } => format!("malformed {}", hex_wrap(line)),
+                TraceOp::SlowLoris { line, chunks, pause_us } => {
+                    format!("slowloris {chunks} {pause_us} {}", hex_wrap(line))
+                }
+            };
+            out.push_str(&format!("{} {} {body}\n", event.at_us, event.client));
+        }
+        out
+    }
+
+    /// Decodes a serialized trace.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the first offending line.
+    pub fn decode(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty trace")?;
+        let rest = header.strip_prefix("blockgnn-trace v1 ").ok_or("bad trace header")?;
+        let mut seed = None;
+        let mut clients = None;
+        let mut count = None;
+        for word in rest.split_whitespace() {
+            match word.split_once('=') {
+                Some(("seed", v)) => seed = v.parse().ok(),
+                Some(("clients", v)) => clients = v.parse().ok(),
+                Some(("events", v)) => count = v.parse().ok(),
+                _ => return Err(format!("bad header field {word:?}")),
+            }
+        }
+        let (seed, clients, count): (u64, u32, usize) = (
+            seed.ok_or("header missing seed")?,
+            clients.ok_or("header missing clients")?,
+            count.ok_or("header missing events")?,
+        );
+        let mut events = Vec::with_capacity(count);
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let at_us: u64 = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| format!("bad event time in {line:?}"))?;
+            let client: u32 = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| format!("bad client id in {line:?}"))?;
+            let body = parts.next().ok_or_else(|| format!("truncated event {line:?}"))?;
+            let op = if let Some(cmd) = body.strip_prefix("cmd ") {
+                match parse_command(cmd).map_err(|e| format!("bad trace command: {e}"))? {
+                    Command::Infer(request, options, tenant) => {
+                        TraceOp::Infer { request, options, tenant }
+                    }
+                    Command::Update(delta, tenant) => TraceOp::Update { delta, tenant },
+                    other => return Err(format!("unsupported trace command {other:?}")),
+                }
+            } else if let Some(hex) = body.strip_prefix("malformed ") {
+                TraceOp::Malformed { line: hex_unwrap(hex)? }
+            } else if let Some(rest) = body.strip_prefix("slowloris ") {
+                let mut words = rest.splitn(3, ' ');
+                let chunks = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("bad slowloris chunks in {line:?}"))?;
+                let pause_us = words
+                    .next()
+                    .and_then(|w| w.parse().ok())
+                    .ok_or_else(|| format!("bad slowloris pause in {line:?}"))?;
+                let hex =
+                    words.next().ok_or_else(|| format!("truncated slowloris {line:?}"))?;
+                TraceOp::SlowLoris { line: hex_unwrap(hex)?, chunks, pause_us }
+            } else {
+                return Err(format!("unknown event body {body:?}"));
+            };
+            events.push(TraceEvent { at_us, client, op });
+        }
+        if events.len() != count {
+            return Err(format!(
+                "header claims {count} events but trace carries {}",
+                events.len()
+            ));
+        }
+        Ok(Self { seed, clients, events })
+    }
+}
+
+fn hex_wrap(s: &str) -> String {
+    if s.is_empty() {
+        return "-".into();
+    }
+    let mut out = String::with_capacity(s.len() * 2);
+    for b in s.as_bytes() {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+fn hex_unwrap(hex: &str) -> Result<String, String> {
+    if hex == "-" {
+        return Ok(String::new());
+    }
+    if !hex.len().is_multiple_of(2) {
+        return Err(format!("odd-length hex payload {hex:?}"));
+    }
+    let bytes: Result<Vec<u8>, _> =
+        (0..hex.len()).step_by(2).map(|i| u8::from_str_radix(&hex[i..i + 2], 16)).collect();
+    let bytes = bytes.map_err(|_| format!("bad hex payload {hex:?}"))?;
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Batching limits of the logical replay — the reference model of
+/// [`crate::ServerConfig`]'s batching knobs, in logical microseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayLimits {
+    /// Straggler window in logical microseconds: an infer joins the open
+    /// batch only if it arrives within this of the batch's first member.
+    pub window_us: u64,
+    /// Request cap per batch.
+    pub max_requests: usize,
+    /// Summed-target-node cap per batch.
+    pub max_nodes: usize,
+}
+
+impl Default for ReplayLimits {
+    /// Mirrors the server defaults: 500 µs window, 8 requests, 1024
+    /// nodes.
+    fn default() -> Self {
+        Self { window_us: 500, max_requests: 8, max_nodes: 1024 }
+    }
+}
+
+/// What a logical replay observed — every field deterministic for a
+/// given (trace, limits, engines) input, including the logits
+/// fingerprint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Infer events processed.
+    pub infers: usize,
+    /// Requests answered with logits.
+    pub served: usize,
+    /// Requests shed because their deadline predated their batch's
+    /// logical execution time.
+    pub shed_deadline: usize,
+    /// Requests the engine rejected (invalid nodes, …).
+    pub engine_errors: usize,
+    /// Malformed lines correctly rejected by the parser.
+    pub protocol_errors: usize,
+    /// Malformed lines that happened to parse (garbling left them
+    /// valid); they are counted, not executed.
+    pub accidental_valid: usize,
+    /// Events addressed to a tenant with no engine.
+    pub unknown_tenant: usize,
+    /// Updates applied.
+    pub updates: usize,
+    /// Updates the engine rejected.
+    pub failed_updates: usize,
+    /// Batches executed.
+    pub batches: usize,
+    /// Requests that shared another's execution (within-batch dedup).
+    pub deduped: usize,
+    /// batch size → number of batches of that size.
+    pub batch_size_counts: BTreeMap<usize, usize>,
+    /// Served requests per class (gold, silver, bronze).
+    pub class_served: [usize; NUM_CLASSES],
+    /// Order-sensitive FNV-1a over every served response's logits bits
+    /// (plus shape) — the "per-request logits bits" of the replay
+    /// contract in one word.
+    pub logits_fingerprint: u64,
+}
+
+impl ReplayReport {
+    fn fold_bits(&mut self, word: u64) {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        if self.logits_fingerprint == 0 {
+            self.logits_fingerprint = FNV_OFFSET;
+        }
+        self.logits_fingerprint ^= word;
+        self.logits_fingerprint = self.logits_fingerprint.wrapping_mul(FNV_PRIME);
+    }
+}
+
+/// One member of the open logical batch.
+struct PendingInfer {
+    request: InferRequest,
+    class: SloClass,
+    deadline_us: Option<u64>,
+    at_us: u64,
+}
+
+/// Replays a trace against in-process engines in **logical time** — the
+/// batcher's reference semantics with no wall clock, so two runs over
+/// the same inputs produce byte-identical [`ReplayReport`]s. `engines`
+/// maps tenant names (use [`crate::DEFAULT_TENANT`] for unqualified
+/// traffic) to freshly built engines; they are mutated in place (updates
+/// apply, caches warm).
+///
+/// Batching model: events are processed in time order (slow-loris
+/// deliveries shifted by their dribble duration); consecutive infers
+/// sharing one `(tenant, class)` lane coalesce while they arrive within
+/// `limits.window_us` of the batch's first member and under its caps.
+/// Updates are barriers — they flush the open batch, exactly like the
+/// real server's between-batches version swap. A batch executes at the
+/// logical time its last member arrived; members whose deadline predates
+/// that are shed typed.
+pub fn replay_logical(
+    engines: &mut BTreeMap<String, Engine>,
+    trace: &Trace,
+    limits: &ReplayLimits,
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    // Slow-loris lines deliver when their last chunk lands.
+    let mut ordered: Vec<(u64, &TraceEvent)> = trace
+        .events
+        .iter()
+        .map(|event| {
+            let shift = match &event.op {
+                TraceOp::SlowLoris { chunks, pause_us, .. } => *pause_us * (*chunks as u64),
+                _ => 0,
+            };
+            (event.at_us + shift, event)
+        })
+        .collect();
+    ordered.sort_by_key(|(at, event)| (*at, event.client));
+    let mut open: Vec<PendingInfer> = Vec::new();
+    let mut open_tenant = String::new();
+    let mut open_nodes = 0usize;
+    macro_rules! flush {
+        () => {
+            if !open.is_empty() {
+                let batch: Vec<PendingInfer> = std::mem::take(&mut open);
+                open_nodes = 0;
+                execute_batch(engines, &open_tenant, batch, &mut report);
+            }
+        };
+    }
+    for (at_us, event) in ordered {
+        let (request, options, tenant) = match &event.op {
+            TraceOp::Infer { request, options, tenant } => (request, *options, tenant),
+            TraceOp::Update { delta, tenant } => {
+                flush!();
+                let name = tenant.as_deref().unwrap_or(DEFAULT_TENANT);
+                match engines.get_mut(name) {
+                    Some(engine) => match engine.apply_delta(delta) {
+                        Ok(_) => report.updates += 1,
+                        Err(_) => report.failed_updates += 1,
+                    },
+                    None => report.unknown_tenant += 1,
+                }
+                continue;
+            }
+            TraceOp::Malformed { line } => {
+                match parse_command(line) {
+                    Ok(_) => report.accidental_valid += 1,
+                    Err(_) => report.protocol_errors += 1,
+                }
+                continue;
+            }
+            TraceOp::SlowLoris { line, .. } => {
+                // The line reassembles whole; from here it is an
+                // ordinary command delivered at its shifted time.
+                match parse_command(line) {
+                    Ok(Command::Infer(request, options, tenant)) => {
+                        push_infer(
+                            engines,
+                            &mut open,
+                            &mut open_tenant,
+                            &mut open_nodes,
+                            &mut report,
+                            request,
+                            options,
+                            tenant.as_deref(),
+                            at_us,
+                            limits,
+                        );
+                    }
+                    Ok(_) => report.accidental_valid += 1,
+                    Err(_) => report.protocol_errors += 1,
+                }
+                continue;
+            }
+        };
+        push_infer(
+            engines,
+            &mut open,
+            &mut open_tenant,
+            &mut open_nodes,
+            &mut report,
+            request.clone(),
+            options,
+            tenant.as_deref(),
+            at_us,
+            limits,
+        );
+    }
+    // The final partial batch executes at shutdown, like a real drain.
+    if !open.is_empty() {
+        let batch: Vec<PendingInfer> = std::mem::take(&mut open);
+        execute_batch(engines, &open_tenant, batch, &mut report);
+    }
+    report
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_infer(
+    engines: &mut BTreeMap<String, Engine>,
+    open: &mut Vec<PendingInfer>,
+    open_tenant: &mut String,
+    open_nodes: &mut usize,
+    report: &mut ReplayReport,
+    request: InferRequest,
+    options: SubmitOptions,
+    tenant: Option<&str>,
+    at_us: u64,
+    limits: &ReplayLimits,
+) {
+    report.infers += 1;
+    let name = tenant.unwrap_or(DEFAULT_TENANT);
+    if !engines.contains_key(name) {
+        report.unknown_tenant += 1;
+        return;
+    }
+    let nodes = request.nodes.len().max(1);
+    // Flush when this request cannot ride the open batch: different
+    // (tenant, class) lane, caps reached, or it arrived after the
+    // window closed.
+    let joins = !open.is_empty()
+        && *open_tenant == name
+        && open[0].class == options.class
+        && open.len() < limits.max_requests
+        && *open_nodes + nodes <= limits.max_nodes
+        && at_us.saturating_sub(open[0].at_us) <= limits.window_us;
+    if !joins && !open.is_empty() {
+        let batch: Vec<PendingInfer> = std::mem::take(open);
+        *open_nodes = 0;
+        execute_batch(engines, open_tenant, batch, report);
+    }
+    if open.is_empty() {
+        *open_tenant = name.to_string();
+    }
+    *open_nodes += nodes;
+    open.push(PendingInfer {
+        request,
+        class: options.class,
+        deadline_us: options.deadline.map(|d| d.as_micros() as u64),
+        at_us,
+    });
+}
+
+fn execute_batch(
+    engines: &mut BTreeMap<String, Engine>,
+    tenant: &str,
+    batch: Vec<PendingInfer>,
+    report: &mut ReplayReport,
+) {
+    let engine = engines.get_mut(tenant).expect("batch tenant has an engine");
+    // The batch executes at the logical time its last member arrived —
+    // the moment the window closed.
+    let exec_at = batch.iter().map(|p| p.at_us).max().unwrap_or(0);
+    // Real-server semantics: the deadline instant is enqueue + d, and a
+    // request is expired once execution time reaches it — a zero
+    // deadline always sheds, a millisecond one survives the window.
+    let (live, expired): (Vec<_>, Vec<_>) = batch
+        .into_iter()
+        .partition(|p| p.deadline_us.is_none_or(|d| exec_at < p.at_us.saturating_add(d)));
+    report.shed_deadline += expired.len();
+    if live.is_empty() {
+        return;
+    }
+    let requests: Vec<InferRequest> = live.iter().map(|p| p.request.clone()).collect();
+    let coalesced = engine.infer_coalesced(&requests);
+    report.batches += 1;
+    *report.batch_size_counts.entry(live.len()).or_insert(0) += 1;
+    report.deduped += coalesced.deduped;
+    for (pending, outcome) in live.iter().zip(coalesced.outcomes) {
+        match outcome {
+            Ok(outcome) => {
+                report.served += 1;
+                report.class_served[pending.class.index()] += 1;
+                report.fold_bits(outcome.logits.rows() as u64);
+                report.fold_bits(outcome.logits.cols() as u64);
+                for i in 0..outcome.logits.rows() {
+                    for v in outcome.logits.row(i) {
+                        report.fold_bits(v.to_bits());
+                    }
+                }
+            }
+            Err(_) => report.engine_errors += 1,
+        }
+    }
+}
+
+/// What a wall-clock TCP replay observed. Unlike [`ReplayReport`] this
+/// is timing-dependent; the invariants it checks are liveness ones —
+/// every line answered, typed errors only, no dropped connections.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficReport {
+    /// Events driven.
+    pub sent: usize,
+    /// `ok`/`pong` replies.
+    pub ok: usize,
+    /// Typed overload/deadline sheds.
+    pub shed: usize,
+    /// Other typed `err` replies (protocol, engine, unknown tenant…) —
+    /// the *expected* answer to adversarial lines.
+    pub typed_errors: usize,
+    /// Transport failures: dropped connections, unreadable replies. A
+    /// healthy server under adversarial load keeps this at **zero**.
+    pub transport_errors: usize,
+    /// Updates acknowledged.
+    pub updates_ok: usize,
+    /// Client-observed infer latency per class (gold, silver, bronze).
+    pub class_latency: [LatencyHistogram; NUM_CLASSES],
+}
+
+impl TrafficReport {
+    /// The p99 client-observed infer latency of one class.
+    #[must_use]
+    pub fn class_p99(&self, class: SloClass) -> Duration {
+        self.class_latency[class.index()].p99()
+    }
+
+    fn merge(&mut self, other: &TrafficReport) {
+        self.sent += other.sent;
+        self.ok += other.ok;
+        self.shed += other.shed;
+        self.typed_errors += other.typed_errors;
+        self.transport_errors += other.transport_errors;
+        self.updates_ok += other.updates_ok;
+        for (mine, theirs) in self.class_latency.iter_mut().zip(&other.class_latency) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// One raw client connection: line-oriented, but with byte-level write
+/// control so slow-loris and malformed traffic can cross as-is.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn send_slow(&mut self, line: &str, chunks: usize, pause_us: u64) -> std::io::Result<()> {
+        let bytes = line.as_bytes();
+        let step = bytes.len().div_ceil(chunks.max(1)).max(1);
+        for chunk in bytes.chunks(step) {
+            self.writer.write_all(chunk)?;
+            self.writer.flush()?;
+            std::thread::sleep(Duration::from_micros(pause_us));
+        }
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_reply(&mut self) -> std::io::Result<String> {
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(reply.trim_end().to_string())
+    }
+}
+
+/// Replays a trace against a live TCP front end: one real connection per
+/// trace client, each sleeping to its events' times and classifying
+/// every reply. The server is expected to answer *every* line —
+/// adversarial ones with typed `err` replies on a connection that stays
+/// open.
+///
+/// # Panics
+///
+/// Panics if a client cannot connect (the replies themselves never
+/// panic — failures land in
+/// [`TrafficReport::transport_errors`]).
+#[must_use]
+pub fn replay_tcp(addr: SocketAddr, trace: &Trace) -> TrafficReport {
+    let start = Instant::now();
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..trace.clients)
+            .map(|c| {
+                let events: Vec<&TraceEvent> =
+                    trace.events.iter().filter(|e| e.client == c).collect();
+                scope.spawn(move || {
+                    let mut report = TrafficReport::default();
+                    if events.is_empty() {
+                        return report;
+                    }
+                    let mut conn = RawConn::connect(addr).expect("replay client connects");
+                    for event in events {
+                        let due = Duration::from_micros(event.at_us);
+                        let elapsed = start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                        report.sent += 1;
+                        let sent_at = Instant::now();
+                        let (outcome, infer_class) = match &event.op {
+                            TraceOp::Infer { request, options, tenant } => (
+                                conn.send_line(&encode_infer(
+                                    request,
+                                    *options,
+                                    tenant.as_deref(),
+                                )),
+                                Some(options.class),
+                            ),
+                            TraceOp::Update { delta, tenant } => {
+                                (conn.send_line(&encode_update(delta, tenant.as_deref())), None)
+                            }
+                            TraceOp::Malformed { line } => (conn.send_line(line), None),
+                            TraceOp::SlowLoris { line, chunks, pause_us } => {
+                                (conn.send_slow(line, *chunks, *pause_us), None)
+                            }
+                        };
+                        if outcome.is_err() {
+                            report.transport_errors += 1;
+                            continue;
+                        }
+                        match conn.read_reply() {
+                            Ok(reply) => classify(&reply, infer_class, sent_at, &mut report),
+                            Err(_) => report.transport_errors += 1,
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay client thread")).collect::<Vec<_>>()
+    });
+    let mut merged = TrafficReport::default();
+    for r in &reports {
+        merged.merge(r);
+    }
+    merged
+}
+
+fn classify(
+    reply: &str,
+    infer_class: Option<SloClass>,
+    sent_at: Instant,
+    report: &mut TrafficReport,
+) {
+    if reply == "pong" || reply.starts_with("ok stats") || reply.starts_with("ok list") {
+        report.ok += 1;
+    } else if reply.starts_with("ok update") {
+        report.ok += 1;
+        report.updates_ok += 1;
+    } else if reply.starts_with("ok ") {
+        report.ok += 1;
+        if let Some(class) = infer_class {
+            report.class_latency[class.index()].record(sent_at.elapsed());
+        }
+    } else if reply.starts_with("err overloaded") || reply.starts_with("err deadline") {
+        report.shed += 1;
+    } else if reply.starts_with("err ") {
+        report.typed_errors += 1;
+    } else {
+        // An unparseable reply is as bad as a dropped connection.
+        report.transport_errors += 1;
+    }
+}
+
+/// A duplicate-heavy zipfian request pool for the closed-loop load
+/// generator: `pool_size` sampled requests whose target nodes follow a
+/// zipfian popularity law, so concurrent clients collide on the hot
+/// head — the mix the batcher's dedup exploits.
+#[must_use]
+pub fn zipfian_pool(
+    num_nodes: usize,
+    pool_size: usize,
+    s1: usize,
+    s2: usize,
+    exponent: f64,
+    seed: u64,
+) -> Vec<InferRequest> {
+    let mut rng = Rng64::new(seed);
+    let zipf = Zipf::new(num_nodes, exponent);
+    (0..pool_size.max(1))
+        .map(|_| {
+            let nodes = vec![zipf.sample(&mut rng), zipf.sample(&mut rng)];
+            InferRequest::sampled(nodes, s1, s2, rng.next_u64())
+        })
+        .collect()
+}
+
+/// The pinned adversarial spec the CI `workload-replay` lane (and the
+/// `blockgnn-client replay` subcommand) drive against a release binary:
+/// bursty arrivals, zipfian popularity, updates, malformed floods,
+/// slow-loris clients, and a deadline storm, all from one frozen seed.
+#[must_use]
+pub fn ci_adversarial_spec(num_nodes: usize) -> WorkloadSpec {
+    WorkloadSpec::new(0xC1AD_5EED, 400, num_nodes)
+        .with_arrival(ArrivalKind::Bursty, 700)
+        .with_clients(4)
+        .with_zipf(1.1)
+        .with_updates(40, 0)
+        .with_adversarial(80, 40, 60)
+}
+
+// Unit tests here cover the pieces with no server in the loop; the
+// end-to-end suites live in `tests/workloads.rs`.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_round_trip() {
+        let spec = ci_adversarial_spec(60).with_tenants(vec!["traffic".into()]);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "same spec → identical trace");
+        assert_eq!(a.encode(), b.encode(), "… and identical serialization");
+        let decoded = Trace::decode(&a.encode()).unwrap();
+        assert_eq!(decoded, a, "decode inverts encode exactly");
+        // The adversarial mix actually contains every op flavour.
+        let has = |f: fn(&TraceOp) -> bool| a.events.iter().any(|e| f(&e.op));
+        assert!(has(|op| matches!(op, TraceOp::Infer { .. })));
+        assert!(has(|op| matches!(op, TraceOp::Update { .. })));
+        assert!(has(|op| matches!(op, TraceOp::Malformed { .. })));
+        assert!(has(|op| matches!(op, TraceOp::SlowLoris { .. })));
+        // Times are non-decreasing (open-loop arrivals accumulate).
+        assert!(a.events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn zipf_skews_toward_the_head() {
+        let mut rng = Rng64::new(7);
+        let zipf = Zipf::new(100, 1.2);
+        let mut counts = [0usize; 100];
+        for _ in 0..4000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let head: usize = counts[..10].iter().sum();
+        let tail: usize = counts[90..].iter().sum();
+        assert!(
+            head > tail * 5,
+            "head ranks dominate a zipf(1.2) draw: head={head} tail={tail}"
+        );
+        assert!(counts[0] >= counts[50], "rank 0 beats rank 50");
+    }
+
+    #[test]
+    fn arrival_processes_shape_the_gaps() {
+        let base = WorkloadSpec::new(11, 400, 50);
+        let span = |arrival| {
+            let spec = base.clone().with_arrival(arrival, 300);
+            spec.generate().events.last().unwrap().at_us
+        };
+        let uniform = span(ArrivalKind::Uniform);
+        let bursty = span(ArrivalKind::Bursty);
+        // Bursty spends half its events at 8× the rate and half at ¼ of
+        // it, so its span is dominated by the lulls — much longer than
+        // uniform's.
+        assert!(
+            bursty > uniform,
+            "bursty lulls stretch the trace: bursty={bursty} uniform={uniform}"
+        );
+        // Malformed payloads can never assemble into lifecycle commands.
+        let adv = base.clone().with_adversarial(1000, 0, 0).generate();
+        for event in &adv.events {
+            if let TraceOp::Malformed { line } = &event.op {
+                assert!(!matches!(
+                    parse_command(line),
+                    Ok(Command::Shutdown | Command::Deploy(_) | Command::Retire(_))
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn class_mix_and_deadline_storms_materialize() {
+        let spec =
+            WorkloadSpec::new(3, 600, 40).with_class_mix([8, 1, 1]).with_adversarial(0, 0, 100);
+        let trace = spec.generate();
+        let mut gold = 0usize;
+        let mut storm = 0usize;
+        let mut total = 0usize;
+        for event in &trace.events {
+            if let TraceOp::Infer { options, .. } = &event.op {
+                total += 1;
+                if options.class == SloClass::Gold {
+                    gold += 1;
+                }
+                if options.deadline.is_some() {
+                    assert_eq!(options.class, SloClass::Bronze, "storms ride bronze");
+                    storm += 1;
+                }
+            }
+        }
+        assert!(gold * 2 > total, "8:1:1 mix makes gold the majority: {gold}/{total}");
+        assert!(storm > 20, "a 10% storm rate shows up: {storm}");
+    }
+}

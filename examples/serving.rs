@@ -11,7 +11,7 @@ use blockgnn::engine::{BackendKind, EngineBuilder, InferRequest};
 use blockgnn::gnn::ModelKind;
 use blockgnn::graph::datasets;
 use blockgnn::nn::Compression;
-use blockgnn::server::{Client, Server, ServerConfig, SubmitOptions, TcpServer};
+use blockgnn::server::{Client, Server, ServerConfig, SloClass, SubmitOptions, TcpServer};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -47,8 +47,10 @@ fn main() {
                 for i in 0..8u64 {
                     let node = ((c + i) * 131 % 1_970) as usize;
                     let request = InferRequest::sampled(vec![node, node + 1], 10, 5, i % 3);
+                    // Client 0 rides the gold lane; the rest are silver.
+                    let class = if c == 0 { SloClass::Gold } else { SloClass::Silver };
                     let response = client
-                        .infer_with(&request, SubmitOptions::priority(c as i32))
+                        .infer_with(&request, SubmitOptions::class(class))
                         .expect("request serves");
                     if i == 0 {
                         println!(

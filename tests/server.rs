@@ -12,7 +12,8 @@ use blockgnn::graph::datasets;
 use blockgnn::graph::delta::{GraphDelta, VersionedGraph};
 use blockgnn::nn::Compression;
 use blockgnn::server::{
-    Client, RemoteResponse, Server, ServerConfig, ServerError, SubmitOptions, TcpServer,
+    Client, RemoteResponse, Server, ServerConfig, ServerError, SloClass, SubmitOptions,
+    TcpServer,
 };
 use blockgnn_graph::Dataset;
 use proptest::prelude::*;
@@ -316,14 +317,18 @@ fn expired_deadlines_shed_with_typed_error() {
 }
 
 #[test]
-fn priorities_order_queued_requests() {
-    // Occupy a single worker, then race a low- and a high-priority
-    // request; the high-priority one must execute first. The setup
+fn classes_order_queued_requests() {
+    // Occupy a single worker, then race a bronze and a gold request;
+    // the gold one must execute first (both class lanes start at the
+    // same virtual time, and the tie breaks by class rank). The setup
     // itself is racy — if the worker finishes the blocker before both
     // submissions land, neither request ever queues and the attempt
-    // proves nothing — so degenerate attempts (low barely waited)
-    // retry on a fresh server, while a *genuine* inversion (low waited
-    // out the blocker, high waited even longer) fails immediately.
+    // proves nothing — so degenerate attempts (bronze barely waited)
+    // retry on a fresh server, while a *genuine* inversion (bronze
+    // waited out the blocker, gold waited even longer) fails
+    // immediately. The race-free re-test of the ordering itself is
+    // `queue::tests::classes_order_queued_requests_deterministically`,
+    // which drives the lanes directly with no worker in the loop.
     let dataset = dataset();
     let mut last = None;
     for _attempt in 0..5 {
@@ -334,28 +339,37 @@ fn priorities_order_queued_requests() {
         .expect("server starts");
         let handle = server.handle();
         let blocker = handle.submit(InferRequest::all_nodes()).expect("admitted");
-        let low = handle
-            .submit_with(InferRequest::sampled(vec![1], 4, 2, 1), SubmitOptions::priority(-5))
+        let bronze = handle
+            .submit_with(
+                InferRequest::sampled(vec![1], 4, 2, 1),
+                SubmitOptions::class(SloClass::Bronze),
+            )
             .expect("admitted");
-        let high = handle
-            .submit_with(InferRequest::sampled(vec![2], 4, 2, 1), SubmitOptions::priority(5))
+        // An explicit generous deadline so the gold default (200 ms)
+        // cannot shed the request while the blocker holds the worker on
+        // a slow machine.
+        let gold = handle
+            .submit_with(
+                InferRequest::sampled(vec![2], 4, 2, 1),
+                SubmitOptions::class(SloClass::Gold).with_deadline(Duration::from_secs(30)),
+            )
             .expect("admitted");
         blocker.wait().expect("serves");
-        let high_response = high.wait().expect("serves");
-        let low_response = low.wait().expect("serves");
+        let gold_response = gold.wait().expect("serves");
+        let bronze_response = bronze.wait().expect("serves");
         server.shutdown();
         // Queue time tells execution order under a single worker: the
-        // high-priority request must not have waited longer than the
-        // low-priority one that was submitted *before* it.
-        if high_response.queue_time <= low_response.queue_time {
+        // gold request must not have waited longer than the bronze one
+        // that was submitted *before* it.
+        if gold_response.queue_time <= bronze_response.queue_time {
             return;
         }
-        last = Some((high_response.queue_time, low_response.queue_time));
+        last = Some((gold_response.queue_time, bronze_response.queue_time));
         assert!(
-            low_response.queue_time < Duration::from_millis(1),
-            "priority inversion: high waited {:?}, low waited {:?}",
-            high_response.queue_time,
-            low_response.queue_time
+            bronze_response.queue_time < Duration::from_millis(1),
+            "class inversion: gold waited {:?}, bronze waited {:?}",
+            gold_response.queue_time,
+            bronze_response.queue_time
         );
     }
     panic!("every attempt degenerated (worker never stayed busy): last timings {last:?}");

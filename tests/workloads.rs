@@ -1,0 +1,223 @@
+//! Workload-harness integration tests: a seeded adversarial trace must
+//! replay **bit-identically** — same shed/dedup/batch-size counters and
+//! the same fingerprint over every served logit's bits across two runs
+//! on fresh engines, and again after a serialize/deserialize round trip
+//! — and a live TCP front end under the same adversarial mix (malformed
+//! floods, slow-loris clients, deadline storms) must answer every line
+//! with a typed reply on a connection that stays open.
+
+use blockgnn::engine::{BackendKind, Engine, InferRequest};
+use blockgnn::gnn::ModelKind;
+use blockgnn::server::workload::{
+    ci_adversarial_spec, replay_logical, replay_tcp, zipfian_pool, ArrivalKind, ReplayLimits,
+    Trace, TraceOp, WorkloadSpec,
+};
+use blockgnn::server::{
+    run_closed_loop, Client, LoadConfig, Server, ServerConfig, SloClass, SubmitOptions,
+    TcpServer, TenantSpec, DEFAULT_TENANT,
+};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The two-tenant roster the replay tests run against: the default
+/// tenant plus a weighted `traffic` tenant on a different dataset,
+/// model, and backend.
+fn roster() -> Vec<TenantSpec> {
+    vec![
+        TenantSpec::new(DEFAULT_TENANT, "cora-small", ModelKind::Gcn, BackendKind::Dense)
+            .hidden_dim(16)
+            .seed(5),
+        TenantSpec::new("traffic", "citeseer-small", ModelKind::GsPool, BackendKind::Dense)
+            .hidden_dim(16)
+            .seed(7)
+            .weight(3),
+    ]
+}
+
+/// Fresh engines for a logical replay — built identically every call,
+/// which is what lets two replays start from the same bits.
+fn engines() -> BTreeMap<String, Engine> {
+    roster()
+        .into_iter()
+        .map(|spec| {
+            let engine = spec.build_engine().expect("engine builds");
+            (spec.name.clone(), engine)
+        })
+        .collect()
+}
+
+/// The pinned adversarial spec of these tests: both tenants, every
+/// traffic flavour, node ids valid on both graphs.
+fn adversarial_spec() -> WorkloadSpec {
+    ci_adversarial_spec(60).with_tenants(vec![DEFAULT_TENANT.into(), "traffic".into()])
+}
+
+#[test]
+fn seeded_trace_replays_bit_identically() {
+    // The acceptance criterion of the whole harness: two logical
+    // replays of one seeded trace on independently built engines agree
+    // on *every* counter — sheds, dedups, batch sizes, per-class served
+    // — and on a fingerprint folded over every served logit's bits.
+    let trace = adversarial_spec().generate();
+    let limits = ReplayLimits::default();
+    let first = replay_logical(&mut engines(), &trace, &limits);
+    let second = replay_logical(&mut engines(), &trace, &limits);
+    assert_eq!(first, second, "two replays of one trace must match bit for bit");
+    // The trace actually exercised the machinery it claims to cover.
+    assert!(first.served > 100, "most traffic serves: {first:?}");
+    assert!(first.batches > 0 && first.logits_fingerprint != 0);
+    assert!(first.shed_deadline > 0, "the deadline storm sheds: {first:?}");
+    assert!(first.protocol_errors > 0, "malformed lines are rejected: {first:?}");
+    assert!(first.updates > 0, "updates apply: {first:?}");
+    assert_eq!(first.unknown_tenant, 0, "every event addresses a deployed tenant");
+    let by_size: usize = first.batch_size_counts.values().sum();
+    assert_eq!(by_size, first.batches, "batch histogram adds up");
+    assert!(
+        first.batch_size_counts.keys().any(|&s| s >= 2),
+        "bursts coalesce into multi-request batches: {:?}",
+        first.batch_size_counts
+    );
+    let by_class: usize = first.class_served.iter().sum();
+    assert_eq!(by_class, first.served, "class rollup adds up");
+    assert!(first.class_served.iter().all(|&c| c > 0), "all three classes served");
+}
+
+#[test]
+fn decoded_traces_replay_identically_to_their_originals() {
+    // Serialization is part of the replay contract: a trace that
+    // crossed a file (hex f64 bits and all) must drive the exact same
+    // execution as the in-memory original.
+    let trace = adversarial_spec().generate();
+    let decoded = Trace::decode(&trace.encode()).expect("round trip");
+    assert_eq!(decoded, trace);
+    let limits = ReplayLimits::default();
+    let original = replay_logical(&mut engines(), &trace, &limits);
+    let replayed = replay_logical(&mut engines(), &decoded, &limits);
+    assert_eq!(original, replayed, "a decoded trace replays bit-identically");
+}
+
+#[test]
+fn batching_limits_shape_logical_batches() {
+    // A single-tenant single-class burst coalesces up to the caps; a
+    // zero window serializes everything. Same trace, different limits.
+    let spec = WorkloadSpec::new(0xBA7C, 120, 50)
+        .with_arrival(ArrivalKind::Bursty, 400)
+        .with_class_mix([0, 1, 0]);
+    let trace = spec.generate();
+    for event in &trace.events {
+        if let TraceOp::Infer { options, .. } = &event.op {
+            assert_eq!(options.class, SloClass::Silver, "a zero-weight mix never draws");
+        }
+    }
+    let wide = replay_logical(
+        &mut engines(),
+        &trace,
+        &ReplayLimits { window_us: 5_000, max_requests: 8, max_nodes: 1024 },
+    );
+    let serial = replay_logical(
+        &mut engines(),
+        &trace,
+        &ReplayLimits { window_us: 0, max_requests: 8, max_nodes: 1024 },
+    );
+    assert!(
+        wide.batch_size_counts.keys().max() > serial.batch_size_counts.keys().max(),
+        "a wide window coalesces deeper than a zero one: wide={:?} serial={:?}",
+        wide.batch_size_counts,
+        serial.batch_size_counts
+    );
+    assert!(wide.batch_size_counts.keys().all(|&s| s <= 8), "request cap holds");
+    assert_eq!(serial.deduped, 0, "serialized traffic has nothing to dedup");
+    assert_eq!(wide.served + wide.engine_errors, serial.served + serial.engine_errors);
+}
+
+#[test]
+fn adversarial_tcp_replay_earns_typed_errors_on_live_connections() {
+    // The wall-clock half of the contract: drive the full adversarial
+    // trace — malformed floods, slow-loris dribbles, deadline storms,
+    // cross-tenant bursts — at a real TCP front end. Every line gets a
+    // reply, failures are typed, and no connection drops.
+    let specs = roster();
+    let server = Arc::new(
+        Server::start(
+            specs[0].build_engine().expect("default engine"),
+            ServerConfig::default()
+                .with_workers(2)
+                .with_batching(Duration::from_micros(500), 8),
+        )
+        .expect("server starts"),
+    );
+    for spec in &specs[1..] {
+        server.deploy(spec).expect("tenant deploys");
+    }
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+    let addr = front.local_addr();
+
+    let trace = adversarial_spec().generate();
+    let report = replay_tcp(addr, &trace);
+    assert_eq!(report.sent, trace.events.len(), "every event was driven");
+    assert_eq!(
+        report.transport_errors, 0,
+        "adversarial load never drops a connection: {report:?}"
+    );
+    assert!(report.ok > 0 && report.updates_ok > 0, "real traffic serves: {report:?}");
+    assert!(report.typed_errors > 0, "malformed lines earn typed err replies: {report:?}");
+    assert!(report.shed > 0, "the deadline storm sheds typed: {report:?}");
+    assert!(
+        report.class_latency[SloClass::Gold.index()].count() > 0,
+        "gold latency was observed"
+    );
+
+    // The server is still fully alive afterwards: a fresh client gets
+    // served, per-class telemetry rolled up, and shutdown is clean.
+    let mut client = Client::connect(addr).expect("post-replay client connects");
+    client
+        .infer_with(
+            &InferRequest::sampled(vec![1, 2], 4, 2, 9),
+            SubmitOptions::class(SloClass::Gold),
+        )
+        .expect("the server still serves after the storm");
+    let stats = client.stats().expect("stats");
+    assert!(stats.contains("class=gold:"), "per-class rollups in stats: {stats}");
+    client.shutdown().expect("clean shutdown");
+    let stats = front.run_until_shutdown();
+    assert!(stats.completed > 0);
+}
+
+#[test]
+fn zipfian_gold_load_rides_the_closed_loop_generator() {
+    // The load-generator path of the harness: a duplicate-heavy zipfian
+    // pool tagged gold drives the closed loop; everything serves and
+    // the gold rollup shows up in the stats line.
+    let pool = zipfian_pool(600, 16, 6, 3, 1.2, 42);
+    assert_eq!(pool.len(), 16);
+    let distinct: std::collections::BTreeSet<usize> = pool.iter().map(|r| r.nodes[0]).collect();
+    assert!(
+        distinct.len() < pool.len(),
+        "zipfian popularity collides on the hot head: {distinct:?}"
+    );
+
+    let spec = &roster()[0];
+    let server = Arc::new(
+        Server::start(
+            spec.build_engine().expect("engine builds"),
+            ServerConfig::default().with_workers(2),
+        )
+        .expect("server starts"),
+    );
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+    let addr = front.local_addr();
+    let report = run_closed_loop(
+        addr,
+        &LoadConfig::new(3, 10, pool).with_options(SubmitOptions::class(SloClass::Gold)),
+    );
+    assert_eq!(report.ok, report.sent, "gold zipfian load fully serves: {report:?}");
+    let mut client = Client::connect(addr).expect("client connects");
+    let stats = client.stats().expect("stats");
+    assert!(
+        stats.contains("class=gold:requests=30:completed=30:"),
+        "all 30 gold requests rolled up: {stats}"
+    );
+    client.shutdown().expect("clean shutdown");
+    front.run_until_shutdown();
+}
