@@ -17,7 +17,10 @@
 //! 1.0`). The `multi3` lane fans the same load across three co-resident
 //! tenants (distinct datasets × models × backends) in 2:1:1 weight
 //! proportion and records the per-tenant completion split the stride
-//! scheduler produced.
+//! scheduler produced. The `untraced8` lane re-runs `batch8` with the
+//! flight recorder off; `trace_overhead_ratio` is the best paired
+//! traced/untraced throughput ratio across rounds, and the CI guard
+//! requires it ≥ 0.98 — tracing on must cost under 2% throughput.
 
 use blockgnn_bench::json::{array, write_bench_file, JsonObject};
 use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
@@ -90,6 +93,7 @@ fn run_config(config: ServerConfig, label: &str) -> (String, f64) {
         .int("max_batch", config.max_batch_requests as u128)
         .int("window_us", config.batch_window.as_micros())
         .raw("adaptive", config.adaptive_window.to_string())
+        .raw("tracing", config.tracing.to_string())
         .int("workers", config.workers as u128)
         .int("ok", report.ok as u128)
         .num("qps", qps)
@@ -198,9 +202,11 @@ fn bench_server_load(_c: &mut Criterion) {
     let mut batch4_best: Option<(String, f64)> = None;
     let mut batch8_best: Option<(String, f64)> = None;
     let mut multi3_best: Option<(String, f64)> = None;
+    let mut untraced_best: Option<(String, f64)> = None;
     let mut batch4_gain = 0.0f64;
     let mut batch8_gain = 0.0f64;
     let mut multi3_ratio = 0.0f64;
+    let mut trace_overhead_ratio = 0.0f64;
     for round in 0..ROUNDS {
         let (u_row, u_qps) =
             run_config(ServerConfig::default().with_workers(2).unbatched(), "unbatched");
@@ -212,31 +218,48 @@ fn bench_server_load(_c: &mut Criterion) {
             ServerConfig::default().with_workers(2).with_batching(window, 8),
             "batch8",
         );
+        // The overhead pair: `batch8` runs with tracing on (the
+        // default); `untraced8` is the identical config with the
+        // recorder off, measured immediately after so the pair shares
+        // host conditions as closely as possible.
+        let (nt_row, nt_qps) = run_config(
+            ServerConfig::default()
+                .with_workers(2)
+                .with_batching(window, 8)
+                .with_tracing(false),
+            "untraced8",
+        );
         let (m3_row, m3_qps) = run_multi_tenant(
             ServerConfig::default().with_workers(2).with_batching(window, 8),
             "multi3",
         );
         println!(
-            "server_load round {round}: batch4 {:.2}x, batch8 {:.2}x, multi3/batch8 {:.2}x",
+            "server_load round {round}: batch4 {:.2}x, batch8 {:.2}x, multi3/batch8 {:.2}x, \
+             traced/untraced {:.3}x",
             b4_qps / u_qps,
             b8_qps / u_qps,
-            m3_qps / b8_qps
+            m3_qps / b8_qps,
+            b8_qps / nt_qps
         );
         batch4_gain = batch4_gain.max(b4_qps / u_qps);
         batch8_gain = batch8_gain.max(b8_qps / u_qps);
         multi3_ratio = multi3_ratio.max(m3_qps / b8_qps);
+        trace_overhead_ratio = trace_overhead_ratio.max(b8_qps / nt_qps);
         keep_best(&mut unbatched_best, (u_row, u_qps));
         keep_best(&mut batch4_best, (b4_row, b4_qps));
         keep_best(&mut batch8_best, (b8_row, b8_qps));
         keep_best(&mut multi3_best, (m3_row, m3_qps));
+        keep_best(&mut untraced_best, (nt_row, nt_qps));
     }
-    let rows: Vec<String> = [unbatched_best, batch4_best, batch8_best, multi3_best]
-        .into_iter()
-        .map(|best| best.expect("at least one round ran").0)
-        .collect();
+    let rows: Vec<String> =
+        [unbatched_best, batch4_best, batch8_best, multi3_best, untraced_best]
+            .into_iter()
+            .map(|best| best.expect("at least one round ran").0)
+            .collect();
     println!(
         "server_load gain (best paired round of {ROUNDS}): batch4 {batch4_gain:.2}x, \
-         batch8 {batch8_gain:.2}x, multi3/batch8 {multi3_ratio:.2}x"
+         batch8 {batch8_gain:.2}x, multi3/batch8 {multi3_ratio:.2}x, \
+         traced/untraced {trace_overhead_ratio:.3}x"
     );
     let doc = JsonObject::new()
         .string("bench", "server_load")
@@ -251,6 +274,7 @@ fn bench_server_load(_c: &mut Criterion) {
         .num("batch4_gain", batch4_gain)
         .num("batch8_gain", batch8_gain)
         .num("multi3_ratio", multi3_ratio)
+        .num("trace_overhead_ratio", trace_overhead_ratio)
         .render();
     let path = write_bench_file("server", &doc).expect("bench json writes");
     println!("wrote {}", path.display());

@@ -120,6 +120,22 @@ pub trait ExecutionBackend: Send {
         shape: RequestShape,
     ) -> BackendOutput;
 
+    /// [`ExecutionBackend::execute`] plus the wall-clock time the call
+    /// took — the per-stage timing hook the coalesced batcher records
+    /// into request traces. The default wraps `execute` with two clock
+    /// reads and changes nothing about the output, so tracing can never
+    /// perturb the computed logits.
+    fn execute_timed(
+        &mut self,
+        graph: &CsrGraph,
+        features: &Matrix,
+        shape: RequestShape,
+    ) -> (BackendOutput, std::time::Duration) {
+        let start = std::time::Instant::now();
+        let out = self.execute(graph, features, shape);
+        (out, start.elapsed())
+    }
+
     /// Forks an independent replica for another worker thread. Prepared
     /// weights/spectra are shared (`Arc`), per-call scratch state is not.
     fn fork(&self) -> Box<dyn ExecutionBackend>;

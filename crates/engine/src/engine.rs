@@ -508,6 +508,7 @@ impl Engine {
         // Unique sampled requests awaiting the merged execution.
         let mut sampled: Vec<(usize, SampledSubgraph, (usize, usize))> = Vec::new();
         let mut unique_executions = 0usize;
+        let mut timings = StageAccum::default();
         for (i, request) in requests.iter().enumerate() {
             if let Some(&leader) = leaders.get(request) {
                 followers.push((i, leader));
@@ -522,12 +523,15 @@ impl Engine {
             match request.mode {
                 RequestMode::FullGraph => {
                     unique_executions += 1;
+                    let start = Instant::now();
                     let mut outcome = self.full_graph_outcome(&epoch, &request.nodes);
+                    timings.add("full_graph", start.elapsed());
                     outcome.batch_size = batch_size;
                     outcomes[i] = Some(Ok(outcome));
                 }
                 RequestMode::Sampled { s1, s2, seed } => {
                     unique_executions += 1;
+                    let start = Instant::now();
                     let sub = SampledSubgraph::build(
                         &epoch.dataset.graph,
                         &request.nodes,
@@ -535,12 +539,13 @@ impl Engine {
                         s2,
                         seed,
                     );
+                    timings.add("sample", start.elapsed());
                     sampled.push((i, sub, (s1, s2)));
                 }
             }
         }
         let merged_universe_nodes =
-            self.execute_sampled_group(&epoch, requests, &mut outcomes, &sampled);
+            self.execute_sampled_group(&epoch, requests, &mut outcomes, &sampled, &mut timings);
         drop(leaders);
         let deduped = followers.len();
         for (i, leader) in followers {
@@ -570,6 +575,7 @@ impl Engine {
             unique_executions,
             deduped,
             merged_universe_nodes,
+            stage_timings: timings.entries,
         }
     }
 
@@ -583,6 +589,7 @@ impl Engine {
         requests: &[InferRequest],
         outcomes: &mut [Option<Result<ExecOutcome, EngineError>>],
         sampled: &[(usize, SampledSubgraph, (usize, usize))],
+        timings: &mut StageAccum,
     ) -> usize {
         let batch_size = requests.len();
         match sampled {
@@ -591,11 +598,17 @@ impl Engine {
                 // One unique sampled request: execute its sub-universe
                 // directly (bit-identical to the merged path, without
                 // copying the adjacency into a one-block merge).
+                let gather_start = Instant::now();
                 let local_features = sub.gather_features(&epoch.dataset.features);
+                timings.add("gather", gather_start.elapsed());
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: *fanouts };
-                let out = self.backend.execute(&sub.graph, &local_features, shape);
+                let (out, execute_time) =
+                    self.backend.execute_timed(&sub.graph, &local_features, shape);
+                timings.add("execute", execute_time);
+                let scatter_start = Instant::now();
                 let logits =
                     crate::request::sampled_rows(&out.logits, sub, &requests[*i].nodes);
+                timings.add("scatter", scatter_start.elapsed());
                 outcomes[*i] = Some(Ok(ExecOutcome {
                     logits,
                     sim: out.sim,
@@ -608,16 +621,23 @@ impl Engine {
                 sub.local_to_global.len()
             }
             many => {
+                let merge_start = Instant::now();
                 let subs: Vec<&SampledSubgraph> = many.iter().map(|(_, sub, _)| sub).collect();
                 let merged = MergedUniverse::build(&subs);
+                timings.add("merge", merge_start.elapsed());
+                let gather_start = Instant::now();
                 let merged_features = merged.gather_features(&epoch.dataset.features);
+                timings.add("gather", gather_start.elapsed());
                 // The merged call's own hardware charge describes the
                 // whole universe; it is discarded and each request is
                 // re-charged below on its own sub-universe shape, so
                 // per-response cost matches solo execution exactly.
                 let shape =
                     RequestShape { target_nodes: merged.total_targets, fanouts: many[0].2 };
-                let out = self.backend.execute(&merged.graph, &merged_features, shape);
+                let (out, execute_time) =
+                    self.backend.execute_timed(&merged.graph, &merged_features, shape);
+                timings.add("execute", execute_time);
+                let scatter_start = Instant::now();
                 let feature_dim = epoch.dataset.feature_dim();
                 let num_classes = out.logits.cols();
                 for (block, (i, sub, fanouts)) in many.iter().enumerate() {
@@ -642,6 +662,7 @@ impl Engine {
                         graph_version: epoch.version,
                     }));
                 }
+                timings.add("scatter", scatter_start.elapsed());
                 merged.universe.len()
             }
         }
@@ -666,6 +687,42 @@ pub struct CoalescedOutcome {
     /// Node count of the executed merged universe (0 when the batch had
     /// no sampled requests).
     pub merged_universe_nodes: usize,
+    /// Wall-clock breakdown of the batch's engine stages, in first-run
+    /// order (see [`StageTiming`]); stages that did not run for this
+    /// batch are absent. Recording is two clock reads per stage and
+    /// never touches the computed logits, so outcomes stay bit-identical
+    /// with or without a consumer.
+    pub stage_timings: Vec<StageTiming>,
+}
+
+/// Summed wall-clock time one named engine stage took across a coalesced
+/// batch. Stage names are stable: `"sample"` (two-hop subgraph
+/// materialization), `"full_graph"` (cache lookup or full-graph pass),
+/// `"merge"` ([`MergedUniverse::build`]), `"gather"` (feature
+/// gathering), `"execute"` (the backend call, via
+/// [`crate::ExecutionBackend::execute_timed`]), and `"scatter"`
+/// (per-request logits extraction and hardware re-charge).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stable stage name.
+    pub stage: &'static str,
+    /// Summed wall-clock duration across the batch.
+    pub elapsed: Duration,
+}
+
+/// Accumulates [`StageTiming`] entries, summing repeats of a stage.
+#[derive(Default)]
+struct StageAccum {
+    entries: Vec<StageTiming>,
+}
+
+impl StageAccum {
+    fn add(&mut self, stage: &'static str, elapsed: Duration) {
+        match self.entries.iter_mut().find(|e| e.stage == stage) {
+            Some(entry) => entry.elapsed += elapsed,
+            None => self.entries.push(StageTiming { stage, elapsed }),
+        }
+    }
 }
 
 impl std::fmt::Debug for Engine {

@@ -75,7 +75,7 @@ pub use backend::{
     BackendKind, BackendOutput, DenseBackend, ExecutionBackend, RequestShape,
     SimulatedAccelBackend, SpectralBackend,
 };
-pub use engine::{CoalescedOutcome, Engine, EngineBuilder, Session};
+pub use engine::{CoalescedOutcome, Engine, EngineBuilder, Session, StageTiming};
 pub use error::EngineError;
 pub use parallel::{
     ParallelEngine, ParallelSession, DEFAULT_MIN_SHARD_ROWS, DEFAULT_PART_BUDGET_BYTES,

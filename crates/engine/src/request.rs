@@ -114,6 +114,12 @@ pub struct InferResponse {
     /// never land mid-batch — in-flight requests finish on the version
     /// they started on.
     pub graph_version: u64,
+    /// Process-unique trace id the serving runtime assigned at
+    /// admission, correlating this answer with its recorded spans in the
+    /// flight recorder (`trace id=…` on the wire). Zero when the answer
+    /// was produced outside a traced serving path (direct
+    /// [`crate::Session`] callers, or a server with tracing disabled).
+    pub trace_id: u64,
 }
 
 /// The raw outcome of executing one request — everything about the
@@ -223,6 +229,9 @@ pub fn assemble_response(
         parts,
         batch_size,
         graph_version,
+        // Trace ids belong to the serving runtime: it stamps the id on
+        // the response after assembly, so direct sessions stay at 0.
+        trace_id: 0,
     };
     stats.record_response(&response);
     response

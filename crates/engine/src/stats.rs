@@ -13,9 +13,12 @@ const HISTOGRAM_BUCKETS: usize = 31;
 ///
 /// Bucket `i` counts samples in `[2^i, 2^(i+1))` µs (sub-µs samples land
 /// in bucket 0). Quantiles report the *upper edge* of the bucket where
-/// the cumulative count crosses the rank — a conservative estimate whose
-/// resolution is one octave, plenty for p50/p95/p99 trend tracking and
-/// cheap enough to merge across worker threads.
+/// the cumulative count crosses the rank, clamped into the exact
+/// observed `[min, max]` sample range — the octave resolution is plenty
+/// for p50/p95/p99 trend tracking, while the clamp keeps sparse
+/// populations honest (a single-sample class reports its one latency as
+/// every percentile, not a bucket upper bound up to 2× larger) and the
+/// histogram stays cheap enough to merge across worker threads.
 ///
 /// ```
 /// use blockgnn_engine::LatencyHistogram;
@@ -33,11 +36,16 @@ const HISTOGRAM_BUCKETS: usize = 31;
 pub struct LatencyHistogram {
     buckets: [u64; HISTOGRAM_BUCKETS],
     count: u64,
+    /// Smallest recorded sample in µs (`u64::MAX` while empty, so merge
+    /// can take a plain minimum).
+    min_micros: u64,
+    /// Largest recorded sample in µs (0 while empty).
+    max_micros: u64,
 }
 
 impl Default for LatencyHistogram {
     fn default() -> Self {
-        Self { buckets: [0; HISTOGRAM_BUCKETS], count: 0 }
+        Self { buckets: [0; HISTOGRAM_BUCKETS], count: 0, min_micros: u64::MAX, max_micros: 0 }
     }
 }
 
@@ -48,6 +56,9 @@ impl LatencyHistogram {
         let bucket = (127 - u128::leading_zeros(micros) as usize).min(HISTOGRAM_BUCKETS - 1);
         self.buckets[bucket] += 1;
         self.count += 1;
+        let clamped = micros.min(u128::from(u64::MAX)) as u64;
+        self.min_micros = self.min_micros.min(clamped);
+        self.max_micros = self.max_micros.max(clamped);
     }
 
     /// Number of recorded samples.
@@ -62,11 +73,26 @@ impl LatencyHistogram {
             *a += b;
         }
         self.count += other.count;
+        self.min_micros = self.min_micros.min(other.min_micros);
+        self.max_micros = self.max_micros.max(other.max_micros);
+    }
+
+    /// Smallest recorded sample (after the sub-µs clamp to 1 µs), or
+    /// `None` while empty.
+    #[must_use]
+    pub fn min(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_micros(self.min_micros))
+    }
+
+    /// Largest recorded sample, or `None` while empty.
+    #[must_use]
+    pub fn max(&self) -> Option<Duration> {
+        (self.count > 0).then(|| Duration::from_micros(self.max_micros))
     }
 
     /// The latency at quantile `q` (clamped to `[0, 1]`): the upper edge
-    /// of the bucket containing the `⌈q·count⌉`-th sample, or zero when
-    /// empty.
+    /// of the bucket containing the `⌈q·count⌉`-th sample, clamped into
+    /// the exact observed `[min, max]` range, or zero when empty.
     #[must_use]
     pub fn quantile(&self, q: f64) -> Duration {
         if self.count == 0 {
@@ -77,10 +103,13 @@ impl LatencyHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Duration::from_micros(1u64 << (i + 1).min(63));
+                let edge = 1u64 << (i + 1).min(63);
+                return Duration::from_micros(edge.clamp(self.min_micros, self.max_micros));
             }
         }
-        Duration::from_micros(1u64 << HISTOGRAM_BUCKETS)
+        Duration::from_micros(
+            (1u64 << HISTOGRAM_BUCKETS).clamp(self.min_micros, self.max_micros),
+        )
     }
 
     /// Median latency estimate.
@@ -258,6 +287,7 @@ mod tests {
             parts,
             batch_size: 1,
             graph_version: 0,
+            trace_id: 0,
         }
     }
 
@@ -324,9 +354,36 @@ mod tests {
         // p50 sits in the 100 µs octave [64, 128) → upper edge 128 µs.
         assert_eq!(h.p50(), Duration::from_micros(128));
         assert_eq!(h.p95(), Duration::from_micros(128));
-        // p99 reaches the 50 ms octave [32.768, 65.536) ms.
-        assert_eq!(h.p99(), Duration::from_micros(65_536));
+        // p99 reaches the 50 ms octave [32.768, 65.536) ms, but the
+        // reported value clamps to the exact observed maximum.
+        assert_eq!(h.p99(), Duration::from_millis(50));
+        assert_eq!(h.max(), Some(Duration::from_millis(50)));
+        assert_eq!(h.min(), Some(Duration::from_micros(100)));
         assert!(h.iter_buckets().count() == 2);
+    }
+
+    #[test]
+    fn quantiles_clamp_into_observed_range() {
+        // One sample: every percentile IS that sample, not the octave
+        // upper bound (a 300 µs request must not report p99 = 512 µs).
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(300));
+        assert_eq!(h.p50(), Duration::from_micros(300));
+        assert_eq!(h.p99(), Duration::from_micros(300));
+        // Two distant samples: p50 still cannot fall below the minimum.
+        h.record(Duration::from_micros(70_000));
+        assert!(h.p50() >= Duration::from_micros(300));
+        assert_eq!(h.p99(), Duration::from_micros(70_000));
+        // Empty stays quiet and merge carries the extremes across.
+        let empty = LatencyHistogram::default();
+        assert_eq!(empty.quantile(0.99), Duration::ZERO);
+        assert_eq!(empty.min(), None);
+        assert_eq!(empty.max(), None);
+        let mut merged = LatencyHistogram::default();
+        merged.merge(&h);
+        merged.merge(&empty);
+        assert_eq!(merged.min(), Some(Duration::from_micros(300)));
+        assert_eq!(merged.max(), Some(Duration::from_micros(70_000)));
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! blockgnn-client --addr HOST:PORT replay [--seed N] [--events N] [--nodes N]
 //!                 [--gold-deadline-ms D] [--trace FILE] [--save FILE]
 //!                 [--tenant NAME …]
+//! blockgnn-client --addr HOST:PORT metrics
+//! blockgnn-client --addr HOST:PORT trace [last=N | id=HEX | slow | export [--out FILE]]
 //! ```
 //!
 //! `infer` prints `ok rows=… preds=…` and exits 0 on success, `err …`
@@ -35,8 +37,11 @@
 //! every line earned a typed reply on an open connection and gold p99
 //! stayed under its deadline; `--trace` replays a saved trace file
 //! instead, `--save` writes the generated trace out for exact
-//! reproduction. `--tenant` omitted addresses the `default` tenant
-//! everywhere.
+//! reproduction. `metrics` dumps the Prometheus text exposition;
+//! `trace` queries the flight recorder (`last=N` newest-first, the
+//! default; `id=HEX` one request; `slow` the retained slow/shed/failed
+//! exemplars; `export` Chrome trace-event JSON, to stdout or `--out`).
+//! `--tenant` omitted addresses the `default` tenant everywhere.
 
 use blockgnn_engine::{GraphDelta, InferRequest};
 use blockgnn_server::tenant::{backend_kind_name, model_kind_name};
@@ -95,6 +100,8 @@ fn run() -> Result<(), String> {
         "list" => list(addr),
         "load" => load(addr, &rest),
         "replay" => replay(addr, &rest),
+        "metrics" => metrics(addr, &rest),
+        "trace" => trace(addr, &rest),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -116,7 +123,9 @@ fn usage() -> String {
      | load --clients N --requests N [--workload closed|zipfian] [--class C] [--zipf EXP] \
        [--pool N] [--s1 N] [--s2 N] [--nodes N] [--tenant NAME:WEIGHT ...] \
      | replay [--seed N] [--events N] [--nodes N] [--gold-deadline-ms D] [--trace FILE] \
-       [--save FILE] [--tenant NAME ...])"
+       [--save FILE] [--tenant NAME ...] \
+     | metrics \
+     | trace [last=N | id=HEX | slow | export [--out FILE]])"
         .into()
 }
 
@@ -323,6 +332,75 @@ fn infer(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
 
 fn parse<T: std::str::FromStr>(v: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("bad numeric value {v:?}"))
+}
+
+fn metrics(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    if !rest.is_empty() {
+        return Err(format!("metrics takes no arguments, got {rest:?}"));
+    }
+    let text = connect(addr)?.metrics().map_err(|e| format!("err {e}"))?;
+    println!("{text}");
+    Ok(())
+}
+
+fn trace(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    // The query words mirror the wire grammar (`last=N`, `id=HEX`,
+    // `slow`, `export`) so a CLI invocation reads like its protocol
+    // line; only `export` takes a flag (`--out FILE`).
+    let query = rest.first().map(String::as_str);
+    if rest.len() > 1 && query != Some("export") {
+        return Err(format!("trace takes one query word, got {rest:?}"));
+    }
+    let mut client = connect(addr)?;
+    match query {
+        None => print_lines(&client.trace_last(16).map_err(|e| format!("err {e}"))?),
+        Some(word) if word.starts_with("last=") => {
+            let n: usize = parse(&word["last=".len()..])?;
+            print_lines(&client.trace_last(n).map_err(|e| format!("err {e}"))?);
+        }
+        Some(word) if word.starts_with("id=") => {
+            let hex = &word["id=".len()..];
+            let id =
+                u64::from_str_radix(hex, 16).map_err(|_| format!("bad trace id {hex:?}"))?;
+            match client.trace_id(id).map_err(|e| format!("err {e}"))? {
+                Some(line) => println!("{line}"),
+                None => return Err(format!("trace {id:016x} not held by the recorder")),
+            }
+        }
+        Some("slow") => print_lines(&client.trace_slow().map_err(|e| format!("err {e}"))?),
+        Some("export") => {
+            let mut out: Option<String> = None;
+            let mut it = rest[1..].iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--out" => out = Some(it.next().ok_or("--out needs a path")?.clone()),
+                    other => return Err(format!("unknown trace export flag {other:?}")),
+                }
+            }
+            let json = client.trace_export().map_err(|e| format!("err {e}"))?;
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, json.as_bytes())
+                        .map_err(|e| format!("write {path:?}: {e}"))?;
+                    println!("ok wrote {path} bytes={}", json.len());
+                }
+                None => println!("{json}"),
+            }
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown trace query {other:?} (last=N | id=HEX | slow | export)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn print_lines(lines: &[String]) {
+    println!("traces={}", lines.len());
+    for line in lines {
+        println!("{line}");
+    }
 }
 
 fn load(addr: SocketAddr, rest: &[String]) -> Result<(), String> {

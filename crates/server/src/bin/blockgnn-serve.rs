@@ -7,7 +7,7 @@
 //!                [--addr HOST:PORT] [--workers N]
 //!                [--batch-window-us N] [--max-batch N]
 //!                [--queue-depth N] [--deadline-ms N]
-//!                [--device-budget BYTES]
+//!                [--device-budget BYTES] [--no-tracing]
 //!                [--tenant NAME=DATASET:MODEL:BACKEND]...
 //! ```
 //!
@@ -90,6 +90,7 @@ fn parse_args() -> Result<Args, String> {
             "--device-budget" => {
                 args.config.device_budget_bytes = Some(parse(&value(&flag)?)?);
             }
+            "--no-tracing" => args.config.tracing = false,
             "--tenant" => args.tenants.push(TenantSpec::parse_compact(&value(&flag)?)?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -114,7 +115,8 @@ fn main() -> ExitCode {
                  [--backend dense|spectral|simulated-accel] [--hidden N] [--block N] \
                  [--seed N] [--addr HOST:PORT] [--workers N] [--batch-window-us N] \
                  [--max-batch N] [--queue-depth N] [--deadline-ms N] \
-                 [--device-budget BYTES] [--tenant NAME=DATASET:MODEL:BACKEND]...",
+                 [--device-budget BYTES] [--no-tracing] \
+                 [--tenant NAME=DATASET:MODEL:BACKEND]...",
                 datasets::small_names().join("|"),
             );
             return ExitCode::from(2);

@@ -215,6 +215,83 @@ impl Client {
         })
     }
 
+    /// Sends a command whose reply is multi-line (`ok <verb> lines=N`
+    /// header + N body lines) and returns the body lines.
+    fn roundtrip_multi(&mut self, line: &str, verb: &str) -> Result<Vec<String>, ServerError> {
+        let header = self.roundtrip(line)?;
+        if header.starts_with("err ") {
+            return Err(parse_error(&header)?);
+        }
+        let count: usize = header
+            .strip_prefix(&format!("ok {verb} lines="))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                ServerError::Protocol(format!("expected ok {verb} lines=N, got {header:?}"))
+            })?;
+        let mut body = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ServerError::Io("server closed mid-reply".into()));
+            }
+            body.push(line.trim_end().to_string());
+        }
+        Ok(body)
+    }
+
+    /// Fetches the Prometheus-style metrics exposition (one string,
+    /// newline-separated, exactly as a scraper would see it).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, or [`ServerError::Protocol`] on a malformed
+    /// reply.
+    pub fn metrics(&mut self) -> Result<String, ServerError> {
+        Ok(self.roundtrip_multi("metrics", "metrics")?.join("\n"))
+    }
+
+    /// Fetches the most recent `n` trace records (one
+    /// [`crate::TraceRecord`] wire line each, newest first).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::metrics`].
+    pub fn trace_last(&mut self, n: usize) -> Result<Vec<String>, ServerError> {
+        self.roundtrip_multi(&format!("trace last={n}"), "trace")
+    }
+
+    /// Looks one trace up by id (the `trace_id` an infer reply carried).
+    /// `Ok(None)` when the flight recorder no longer holds it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::metrics`].
+    pub fn trace_id(&mut self, id: u64) -> Result<Option<String>, ServerError> {
+        Ok(self.roundtrip_multi(&format!("trace id={id:016x}"), "trace")?.pop())
+    }
+
+    /// Fetches the retained slow/shed/failed trace exemplars.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::metrics`].
+    pub fn trace_slow(&mut self) -> Result<Vec<String>, ServerError> {
+        self.roundtrip_multi("trace slow", "trace")
+    }
+
+    /// Exports everything the flight recorder holds as one line of
+    /// Chrome trace-event JSON (load in `chrome://tracing` / Perfetto).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::metrics`].
+    pub fn trace_export(&mut self) -> Result<String, ServerError> {
+        let mut lines = self.roundtrip_multi("trace export", "trace")?;
+        lines
+            .pop()
+            .ok_or_else(|| ServerError::Protocol("trace export returned an empty reply".into()))
+    }
+
     /// Asks the server to shut down cleanly.
     ///
     /// # Errors

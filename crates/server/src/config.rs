@@ -68,6 +68,13 @@ pub struct ServerConfig {
     /// expired empty halves it). On by default; off pins the window at
     /// [`ServerConfig::batch_window`] exactly.
     pub adaptive_window: bool,
+    /// Whether the flight recorder traces requests: trace-id
+    /// assignment, per-stage spans into the per-worker ring buffers,
+    /// and slow/shed/failed exemplar retention. On by default (the
+    /// recorder is bounded-memory and costs < 2% throughput — see the
+    /// `server_load` overhead lane); off makes every recording path a
+    /// no-op and responses carry `trace_id = 0`.
+    pub tracing: bool,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +96,7 @@ impl Default for ServerConfig {
                 ClassPolicy { weight: 1, deadline: None },
             ],
             adaptive_window: true,
+            tracing: true,
         }
     }
 }
@@ -149,6 +157,13 @@ impl ServerConfig {
     #[must_use]
     pub fn with_adaptive_window(mut self, adaptive: bool) -> Self {
         self.adaptive_window = adaptive;
+        self
+    }
+
+    /// Enables or disables request tracing (the flight recorder).
+    #[must_use]
+    pub fn with_tracing(mut self, tracing: bool) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -218,6 +233,8 @@ mod tests {
         assert_eq!(cfg.class_deadline(SloClass::Bronze), Some(Duration::from_secs(5)));
         assert_eq!(cfg.class_deadline(SloClass::Silver), Some(Duration::from_millis(100)));
         assert!(cfg.adaptive_window, "adaptive window defaults on");
+        assert!(cfg.tracing, "tracing defaults on");
+        assert!(!cfg.clone().with_tracing(false).tracing);
         assert!(!cfg.with_adaptive_window(false).adaptive_window);
     }
 }

@@ -54,6 +54,17 @@
 //!   counters *and* a fingerprint over every served logits bit — is
 //!   identical across runs, plus a wall-clock TCP replay for liveness
 //!   checks against a live front end.
+//! * **Observability** — request tracing and a
+//!   metrics surface: every admitted request gets a process-unique
+//!   trace id (stamped on its response), typed per-stage [`Span`]s land
+//!   in per-worker fixed-size **flight recorder** rings
+//!   (overwrite-oldest, bounded memory), slow/shed/failed requests are
+//!   retained as per-class exemplars, and the whole recorder exports as
+//!   Chrome trace-event JSON ([`chrome_trace_json`]). A typed
+//!   [`MetricsRegistry`] renders the live telemetry as Prometheus text
+//!   exposition; the `metrics` and `trace` protocol verbs put both on
+//!   the wire. Tracing is on by default and costs < 2% throughput
+//!   ([`ServerConfig::tracing`] is the off switch).
 //! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
 //!   [`protocol`] (logits cross as `f64` bit patterns, so remote
 //!   answers stay bit-identical); [`Client`] and the closed-loop
@@ -86,6 +97,7 @@
 mod client;
 mod config;
 mod error;
+mod observe;
 pub mod protocol;
 mod queue;
 #[allow(clippy::module_inception)]
@@ -98,6 +110,10 @@ pub mod workload;
 pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
 pub use config::{ClassPolicy, ServerConfig};
 pub use error::ServerError;
+pub use observe::{
+    chrome_trace_json, MetricKind, MetricsRegistry, Recorder, Span, TraceOutcome, TraceQuery,
+    TraceRecord, EXEMPLAR_CAPACITY, RING_CAPACITY, SLOW_THRESHOLD,
+};
 pub use protocol::{RemoteResponse, UpdateAck};
 pub use queue::{SloClass, SubmitOptions};
 pub use server::{Server, ServerHandle, Ticket};

@@ -1,0 +1,716 @@
+//! Observability: per-worker flight recorders, request traces, and a
+//! Prometheus-style metrics exposition built from the live telemetry.
+//!
+//! # Flight recorder
+//!
+//! Every admitted request gets a process-unique trace id at admission.
+//! As it moves through the serving pipeline, typed [`Span`]s are
+//! collected — admission, queued, batch assembly, each engine stage
+//! ([`blockgnn_engine::StageTiming`]), response write — and the
+//! finished [`TraceRecord`] lands in the serving worker's **ring
+//! buffer**: fixed capacity, single writer (one worker, one ring),
+//! overwrite-oldest. Memory is bounded and the last
+//! [`RING_CAPACITY`] requests per worker are always reconstructible,
+//! no matter how long the server has run.
+//!
+//! Interesting requests — shed, failed, or slower than their resolved
+//! deadline (or [`SLOW_THRESHOLD`] when they carry none) — are
+//! additionally promoted into a retained **exemplar buffer** keyed by
+//! [`SloClass`], so the worst offenders per class survive even after
+//! the rings have cycled past them.
+//!
+//! Span timestamps are offsets from the recorder's epoch (server
+//! start), which makes every record directly exportable as Chrome
+//! trace-event JSON ([`chrome_trace_json`]) — load it in
+//! `chrome://tracing` or Perfetto.
+//!
+//! # Metrics
+//!
+//! [`MetricsRegistry`] is a small typed counter/gauge/summary registry
+//! rendered as Prometheus text exposition. The server populates it on
+//! demand from the same telemetry snapshots the `stats` verb reads
+//! (per-tenant, per-class, and aggregate), labelled by `tenant`,
+//! `class`, and `backend` — nothing is double-counted, and the metric
+//! names are stable (CI greps them).
+
+use crate::queue::SloClass;
+use blockgnn_engine::LatencyHistogram;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-worker ring capacity: the last this-many requests served by each
+/// worker are always reconstructible.
+pub const RING_CAPACITY: usize = 256;
+
+/// Retained exemplars per SLO class (slow / shed / failed requests).
+pub const EXEMPLAR_CAPACITY: usize = 32;
+
+/// A completed request with no deadline counts as *slow* (and is
+/// promoted to the exemplar buffer) when its admission→response total
+/// exceeds this.
+pub const SLOW_THRESHOLD: Duration = Duration::from_millis(100);
+
+/// Per-request trace context assigned at admission and carried through
+/// the queue into the serving worker, where the full [`TraceRecord`]
+/// is assembled. `Copy` and two words wide — cheap enough to ride on
+/// every queue item even with tracing off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct TraceMeta {
+    /// The process-unique trace id (0 = untraced).
+    pub id: u64,
+    /// Offset of the admission start from the recorder epoch.
+    pub start: Duration,
+    /// How long admission took (validation + deadline resolution +
+    /// enqueue), measured in `submit_with`.
+    pub admission: Duration,
+}
+
+impl TraceMeta {
+    /// The inert meta a disabled recorder stamps on every request.
+    pub const UNTRACED: TraceMeta =
+        TraceMeta { id: 0, start: Duration::ZERO, admission: Duration::ZERO };
+}
+
+/// One timed pipeline stage of a traced request. `start`/`end` are
+/// offsets from the recorder's epoch (server start), so spans from
+/// different requests and workers share one timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stable stage name: `admission`, `queued`, `assembly`, an engine
+    /// stage (`sample`, `full_graph`, `merge`, `gather`, `execute`,
+    /// `scatter`), or `response_write`.
+    pub stage: &'static str,
+    /// Offset of the stage start from the recorder epoch.
+    pub start: Duration,
+    /// Offset of the stage end from the recorder epoch (`≥ start`).
+    pub end: Duration,
+}
+
+impl Span {
+    /// The stage's duration.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// How a traced request left the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOutcome {
+    /// Answered successfully.
+    Completed,
+    /// Failed in the engine.
+    Failed,
+    /// Shed at admission: the tenant's lane was full.
+    ShedOverload,
+    /// Shed at dequeue: the deadline passed while queued.
+    ShedDeadline,
+}
+
+impl TraceOutcome {
+    /// The stable wire spelling (`completed` / `failed` /
+    /// `shed_overload` / `shed_deadline`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceOutcome::Completed => "completed",
+            TraceOutcome::Failed => "failed",
+            TraceOutcome::ShedOverload => "shed_overload",
+            TraceOutcome::ShedDeadline => "shed_deadline",
+        }
+    }
+}
+
+/// Everything recorded about one request's trip through the serving
+/// pipeline. The last [`RING_CAPACITY`] per worker live in the flight
+/// recorder; slow/shed/failed ones also in the exemplar buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Process-unique id assigned at admission (also stamped on the
+    /// response as [`blockgnn_engine::InferResponse::trace_id`]).
+    pub trace_id: u64,
+    /// The tenant the request addressed.
+    pub tenant: String,
+    /// The request's SLO class.
+    pub class: SloClass,
+    /// How the request left the pipeline.
+    pub outcome: TraceOutcome,
+    /// Requests coalesced into the execution that served this one (0
+    /// for requests shed before execution).
+    pub batch_size: usize,
+    /// The typed spans, in start order.
+    pub spans: Vec<Span>,
+}
+
+impl TraceRecord {
+    /// Offset of the first span's start from the recorder epoch.
+    #[must_use]
+    pub fn start(&self) -> Duration {
+        self.spans.first().map_or(Duration::ZERO, |s| s.start)
+    }
+
+    /// Admission→response wall-clock total (last span end − first span
+    /// start).
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        let end = self.spans.iter().map(|s| s.end).max().unwrap_or(Duration::ZERO);
+        end.saturating_sub(self.start())
+    }
+
+    /// Renders the record as one wire line (the `trace` verb's body):
+    /// `id=HEX tenant=… class=… outcome=… batch=… start_us=… total_us=…
+    /// spans=stage:start_us:end_us;…`.
+    #[must_use]
+    pub fn wire_line(&self) -> String {
+        let mut line = format!(
+            "id={:016x} tenant={} class={} outcome={} batch={} start_us={} total_us={} spans=",
+            self.trace_id,
+            self.tenant,
+            self.class.name(),
+            self.outcome.name(),
+            self.batch_size,
+            self.start().as_micros(),
+            self.total().as_micros(),
+        );
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                line.push(';');
+            }
+            let _ = write!(
+                line,
+                "{}:{}:{}",
+                span.stage,
+                span.start.as_micros(),
+                span.end.as_micros()
+            );
+        }
+        line
+    }
+}
+
+/// One worker's fixed-capacity overwrite-oldest record store.
+struct Ring {
+    slots: VecDeque<TraceRecord>,
+}
+
+impl Ring {
+    fn push(&mut self, record: TraceRecord) {
+        if self.slots.len() == RING_CAPACITY {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(record);
+    }
+}
+
+/// The server-wide flight recorder: one single-writer ring per worker,
+/// a per-class exemplar buffer, and the trace-id source. All memory is
+/// bounded at construction — recording never allocates beyond the
+/// per-record spans.
+pub struct Recorder {
+    /// The common timeline origin every span offset is relative to.
+    epoch: Instant,
+    /// Trace-id source; ids start at 1 so 0 stays "untraced".
+    next_id: AtomicU64,
+    /// One ring per worker. Each ring has exactly one writer (its
+    /// worker); the mutex only arbitrates against readers, so workers
+    /// never contend with each other on the hot path.
+    rings: Vec<Mutex<Ring>>,
+    /// Slow/shed/failed exemplars, keyed by class, bounded per class.
+    exemplars: Mutex<BTreeMap<SloClass, VecDeque<TraceRecord>>>,
+    /// When false, every recording call is a no-op and ids stay 0 —
+    /// the off switch the overhead benchmark compares against.
+    enabled: bool,
+}
+
+impl Recorder {
+    /// A recorder with one ring per worker.
+    #[must_use]
+    pub fn new(workers: usize, enabled: bool) -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            rings: (0..workers.max(1))
+                .map(|_| Mutex::new(Ring { slots: VecDeque::with_capacity(RING_CAPACITY) }))
+                .collect(),
+            exemplars: Mutex::new(BTreeMap::new()),
+            enabled,
+        }
+    }
+
+    /// Whether tracing is on (a disabled recorder assigns id 0 and
+    /// records nothing).
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Assigns the next process-unique trace id (0 when disabled).
+    pub fn assign(&self) -> u64 {
+        if self.enabled {
+            self.next_id.fetch_add(1, Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Offset of `t` from the recorder's epoch (the span timeline).
+    #[must_use]
+    pub fn offset(&self, t: Instant) -> Duration {
+        t.saturating_duration_since(self.epoch)
+    }
+
+    /// Current offset of "now" from the epoch.
+    #[must_use]
+    pub fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    /// Records a finished request into worker `worker`'s ring,
+    /// promoting it to the exemplar buffer when it is interesting: a
+    /// non-completed outcome, or `slow` (the caller compares the total
+    /// against the request's resolved deadline, falling back to
+    /// [`SLOW_THRESHOLD`] when it carries none). No-op when disabled.
+    pub fn record(&self, worker: usize, record: TraceRecord, slow: bool) {
+        if !self.enabled {
+            return;
+        }
+        if record.outcome != TraceOutcome::Completed || slow {
+            self.promote(record.clone());
+        }
+        let ring = &self.rings[worker % self.rings.len()];
+        ring.lock().expect("flight-recorder ring").push(record);
+    }
+
+    /// Records a request shed before it reached any worker (overload at
+    /// admission) straight into the exemplar buffer. No-op when
+    /// disabled.
+    pub fn record_shed(&self, record: TraceRecord) {
+        if !self.enabled {
+            return;
+        }
+        self.promote(record);
+    }
+
+    fn promote(&self, record: TraceRecord) {
+        let mut exemplars = self.exemplars.lock().expect("exemplar buffer");
+        let slot = exemplars.entry(record.class).or_default();
+        if slot.len() == EXEMPLAR_CAPACITY {
+            slot.pop_front();
+        }
+        slot.push_back(record);
+    }
+
+    /// The most recent `n` records across every worker ring, newest
+    /// first (by trace id — ids are assigned monotonically).
+    #[must_use]
+    pub fn last(&self, n: usize) -> Vec<TraceRecord> {
+        let mut all: Vec<TraceRecord> = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().expect("flight-recorder ring").slots.iter().cloned());
+        }
+        all.sort_by_key(|r| std::cmp::Reverse(r.trace_id));
+        all.truncate(n);
+        all
+    }
+
+    /// Looks one trace up by id, searching the rings first, then the
+    /// exemplar buffer (a shed request only ever lives there).
+    #[must_use]
+    pub fn find(&self, trace_id: u64) -> Option<TraceRecord> {
+        for ring in &self.rings {
+            let ring = ring.lock().expect("flight-recorder ring");
+            if let Some(r) = ring.slots.iter().rev().find(|r| r.trace_id == trace_id) {
+                return Some(r.clone());
+            }
+        }
+        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        exemplars.values().flatten().find(|r| r.trace_id == trace_id).cloned()
+    }
+
+    /// The retained slow/shed/failed exemplars, gold first, newest last
+    /// within a class.
+    #[must_use]
+    pub fn exemplars(&self) -> Vec<TraceRecord> {
+        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        exemplars.values().flatten().cloned().collect()
+    }
+
+    /// Per-class exemplar occupancy (for the metrics exposition).
+    #[must_use]
+    pub fn exemplar_counts(&self) -> BTreeMap<SloClass, usize> {
+        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        exemplars.iter().map(|(c, v)| (*c, v.len())).collect()
+    }
+
+    /// Records currently held across every ring (≤ workers ×
+    /// [`RING_CAPACITY`]).
+    #[must_use]
+    pub fn recorded(&self) -> usize {
+        self.rings.iter().map(|r| r.lock().expect("flight-recorder ring").slots.len()).sum()
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("rings", &self.rings.len())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// A parsed `trace` protocol query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceQuery {
+    /// The most recent `n` records across all worker rings.
+    Last(usize),
+    /// One record by trace id.
+    Id(u64),
+    /// The retained slow/shed/failed exemplars.
+    Slow,
+    /// Every ring record plus exemplars as Chrome trace-event JSON.
+    Export,
+}
+
+/// Renders records as Chrome trace-event JSON (the "JSON array format"
+/// `chrome://tracing` and Perfetto load): one complete (`"ph":"X"`)
+/// event per span, microsecond timestamps on the recorder's epoch
+/// timeline, one thread lane per trace id. Tenant names and stage
+/// names are wire-charset-validated, so no JSON escaping is needed.
+#[must_use]
+pub fn chrome_trace_json(records: &[TraceRecord]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    for record in records {
+        for span in &record.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"tenant\":\"{}\",\
+                 \"class\":\"{}\",\"outcome\":\"{}\",\"batch\":{}}}}}",
+                span.stage,
+                record.outcome.name(),
+                span.start.as_micros(),
+                span.elapsed().as_micros(),
+                record.trace_id,
+                record.trace_id,
+                record.tenant,
+                record.class.name(),
+                record.outcome.name(),
+                record.batch_size,
+            );
+        }
+    }
+    out.push(']');
+    out
+}
+
+/// The exposition type of one metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// A monotonically increasing count.
+    Counter,
+    /// A point-in-time value.
+    Gauge,
+    /// A quantile summary (`{quantile="…"}` samples plus `_count`).
+    Summary,
+}
+
+impl MetricKind {
+    fn exposition_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Summary => "summary",
+        }
+    }
+}
+
+/// One labelled sample of a metric family.
+#[derive(Debug, Clone)]
+struct Sample {
+    /// Rendered label set (`{a="x",b="y"}`), empty for unlabelled.
+    labels: String,
+    value: f64,
+}
+
+/// One named metric family: a kind, a help line, and its samples.
+#[derive(Debug, Clone)]
+struct Family {
+    kind: MetricKind,
+    help: &'static str,
+    samples: Vec<Sample>,
+}
+
+/// A typed counter/gauge/summary registry rendered as Prometheus text
+/// exposition. Families render in registration order; samples within a
+/// family in insertion order — both deterministic, so the exposition
+/// is stable and greppable.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    families: Vec<(String, Family)>,
+}
+
+/// Renders a label set as `{k="v",…}` (empty string for no labels).
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn family(&mut self, name: &str, kind: MetricKind, help: &'static str) -> &mut Family {
+        if let Some(at) = self.families.iter().position(|(n, _)| n == name) {
+            let existing = &mut self.families[at].1;
+            debug_assert_eq!(existing.kind, kind, "metric {name} re-registered as {kind:?}");
+            existing
+        } else {
+            self.families.push((name.to_string(), Family { kind, help, samples: Vec::new() }));
+            &mut self.families.last_mut().expect("family just pushed").1
+        }
+    }
+
+    /// Adds a labelled counter sample.
+    pub fn counter(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        let labels = render_labels(labels);
+        self.family(name, MetricKind::Counter, help)
+            .samples
+            .push(Sample { labels, value: value as f64 });
+    }
+
+    /// Adds a labelled gauge sample.
+    pub fn gauge(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: f64,
+    ) {
+        let labels = render_labels(labels);
+        self.family(name, MetricKind::Gauge, help).samples.push(Sample { labels, value });
+    }
+
+    /// Adds a latency histogram as a quantile summary: `p50`/`p95`/`p99`
+    /// quantile samples in seconds plus a `_count` sample, all under the
+    /// given label set.
+    pub fn summary(
+        &mut self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        histogram: &LatencyHistogram,
+    ) {
+        for (q, v) in
+            [("0.5", histogram.p50()), ("0.95", histogram.p95()), ("0.99", histogram.p99())]
+        {
+            let mut quantiled: Vec<(&str, &str)> = labels.to_vec();
+            quantiled.push(("quantile", q));
+            let labels = render_labels(&quantiled);
+            self.family(name, MetricKind::Summary, help)
+                .samples
+                .push(Sample { labels, value: v.as_secs_f64() });
+        }
+        // `_count` rides in the same family (summary convention), so it
+        // renders under the family's TYPE line without re-registering.
+        let labels = render_labels(labels);
+        let count = histogram.count();
+        self.family(name, MetricKind::Summary, help)
+            .samples
+            .push(Sample { labels: format!("__count__{labels}"), value: count as f64 });
+    }
+
+    /// Renders the registry as Prometheus text exposition (`# HELP` /
+    /// `# TYPE` headers, one sample per line, trailing newline).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.exposition_name());
+            for sample in &family.samples {
+                if let Some(labels) = sample.labels.strip_prefix("__count__") {
+                    let _ = writeln!(out, "{name}_count{labels} {}", sample.value as u64);
+                } else if sample.value.fract() == 0.0 && sample.value.abs() < 1e15 {
+                    let _ = writeln!(out, "{name}{} {}", sample.labels, sample.value as i64);
+                } else {
+                    let _ = writeln!(out, "{name}{} {}", sample.labels, sample.value);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, class: SloClass, outcome: TraceOutcome, total_us: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id: id,
+            tenant: "default".into(),
+            class,
+            outcome,
+            batch_size: 1,
+            spans: vec![
+                Span {
+                    stage: "admission",
+                    start: Duration::from_micros(10),
+                    end: Duration::from_micros(12),
+                },
+                Span {
+                    stage: "queued",
+                    start: Duration::from_micros(12),
+                    end: Duration::from_micros(10 + total_us),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn rings_bound_memory_and_overwrite_oldest() {
+        let recorder = Recorder::new(1, true);
+        for i in 0..(RING_CAPACITY as u64 + 50) {
+            let id = recorder.assign();
+            assert_eq!(id, i + 1, "ids are dense and start at 1");
+            recorder.record(0, record(id, SloClass::Silver, TraceOutcome::Completed, 5), false);
+        }
+        assert_eq!(recorder.recorded(), RING_CAPACITY, "overwrite-oldest caps the ring");
+        let last = recorder.last(4);
+        assert_eq!(last.len(), 4);
+        assert_eq!(last[0].trace_id, RING_CAPACITY as u64 + 50, "newest first");
+        assert!(recorder.find(1).is_none(), "the oldest record was overwritten");
+        assert!(recorder.find(RING_CAPACITY as u64 + 50).is_some());
+        // A fast completed request earns no exemplar.
+        assert!(recorder.exemplars().is_empty());
+    }
+
+    #[test]
+    fn interesting_records_are_promoted_and_bounded_per_class() {
+        let recorder = Recorder::new(2, true);
+        // Slow completions, failures, and sheds are retained; the buffer
+        // is bounded per class.
+        for _ in 0..(EXEMPLAR_CAPACITY + 10) {
+            let id = recorder.assign();
+            recorder.record(
+                0,
+                record(id, SloClass::Gold, TraceOutcome::Completed, 500_000),
+                true,
+            );
+        }
+        let failed = recorder.assign();
+        recorder.record(1, record(failed, SloClass::Bronze, TraceOutcome::Failed, 5), false);
+        let shed = recorder.assign();
+        recorder.record_shed(record(shed, SloClass::Bronze, TraceOutcome::ShedOverload, 2));
+        let counts = recorder.exemplar_counts();
+        assert_eq!(counts[&SloClass::Gold], EXEMPLAR_CAPACITY, "per-class bound");
+        assert_eq!(counts[&SloClass::Bronze], 2, "failed + shed both promote");
+        // A shed request never reaches a ring but is still findable.
+        assert_eq!(recorder.find(shed).unwrap().outcome, TraceOutcome::ShedOverload);
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let recorder = Recorder::new(2, false);
+        assert_eq!(recorder.assign(), 0, "disabled tracing assigns id 0");
+        recorder.record(0, record(1, SloClass::Gold, TraceOutcome::Failed, 9), false);
+        recorder.record_shed(record(2, SloClass::Gold, TraceOutcome::ShedOverload, 9));
+        assert_eq!(recorder.recorded(), 0);
+        assert!(recorder.exemplars().is_empty());
+        assert!(recorder.last(10).is_empty());
+    }
+
+    #[test]
+    fn wire_lines_and_chrome_export_are_well_formed() {
+        let r = record(0xAB, SloClass::Gold, TraceOutcome::Completed, 40);
+        let line = r.wire_line();
+        assert!(line.starts_with("id=00000000000000ab tenant=default class=gold "), "{line}");
+        assert!(line.contains("outcome=completed batch=1 start_us=10 total_us=40"), "{line}");
+        assert!(line.ends_with("spans=admission:10:12;queued:12:50"), "{line}");
+        let json = chrome_trace_json(std::slice::from_ref(&r));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2, "one event per span");
+        assert!(json.contains("\"ts\":10,\"dur\":2"), "{json}");
+        assert!(json.contains("\"trace_id\":\"00000000000000ab\""), "{json}");
+        assert_eq!(chrome_trace_json(&[]), "[]");
+        // Span offsets are monotonic by construction of the record.
+        for pair in r.spans.windows(2) {
+            assert!(pair[0].start <= pair[1].start && pair[0].end <= pair[1].end);
+        }
+    }
+
+    #[test]
+    fn registry_renders_stable_prometheus_text() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter(
+            "blockgnn_requests_submitted_total",
+            "Requests offered to the admission queue",
+            &[("tenant", "default"), ("backend", "dense")],
+            42,
+        );
+        reg.counter(
+            "blockgnn_requests_submitted_total",
+            "Requests offered to the admission queue",
+            &[("tenant", "traffic"), ("backend", "spectral")],
+            7,
+        );
+        reg.gauge("blockgnn_uptime_seconds", "Server uptime", &[], 1.5);
+        let mut hist = LatencyHistogram::default();
+        hist.record(Duration::from_micros(300));
+        hist.record(Duration::from_micros(900));
+        reg.summary("blockgnn_latency_seconds", "Served latency", &[("class", "gold")], &hist);
+        let text = reg.render();
+        assert!(text.contains("# TYPE blockgnn_requests_submitted_total counter"), "{text}");
+        assert!(
+            text.contains(
+                "blockgnn_requests_submitted_total{tenant=\"default\",backend=\"dense\"} 42"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE blockgnn_uptime_seconds gauge"), "{text}");
+        assert!(text.contains("blockgnn_uptime_seconds 1.5"), "{text}");
+        assert!(text.contains("# TYPE blockgnn_latency_seconds summary"), "{text}");
+        assert!(
+            text.contains("blockgnn_latency_seconds{class=\"gold\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(text.contains("blockgnn_latency_seconds_count{class=\"gold\"} 2"), "{text}");
+        // The exposition is deterministic.
+        let again = {
+            let mut reg = MetricsRegistry::new();
+            reg.gauge("blockgnn_uptime_seconds", "Server uptime", &[], 1.5);
+            reg.render()
+        };
+        assert_eq!(again, "# HELP blockgnn_uptime_seconds Server uptime\n# TYPE blockgnn_uptime_seconds gauge\nblockgnn_uptime_seconds 1.5\n");
+    }
+}

@@ -3,13 +3,16 @@
 //! One request line in, one response line out, UTF-8, LF-terminated.
 //! Logits cross the wire as hexadecimal `f64::to_bits` words, so remote
 //! responses are **bit-identical** to in-process ones — the property the
-//! end-to-end parity tests assert through the socket.
+//! end-to-end parity tests assert through the socket. The two
+//! observability verbs (`metrics`, `trace`) are the only multi-line
+//! replies: their `ok … lines=N` header says exactly how many body
+//! lines follow, so clients always know when a reply ends.
 //!
 //! # Grammar
 //!
 //! ```text
 //! command   = infer | update | "ping" | stats | deploy | retire
-//!           | "list" | "shutdown"
+//!           | "list" | "metrics" | trace | "shutdown"
 //! infer     = "infer" ["@" tenant] SP target [SP option]*
 //! target    = "full" SP ("all" | nodes)
 //!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
@@ -28,6 +31,7 @@
 //!             [SP "block=" int] [SP "seed=" int]
 //! retire    = "retire" SP tenant
 //! tenant    = 1*(ALPHA / DIGIT / "-" / "_" / ".")
+//! trace     = "trace" [SP ("last=" int | "id=" hex64 | "slow" | "export")]
 //!
 //! reply     = "ok" SP infer-reply | "pong" | "ok stats " summary
 //!           | "ok update tenant=" tenant SP "version=" int
@@ -38,6 +42,8 @@
 //!           | "ok retire tenant=" tenant SP "requests=" int
 //!             SP "completed=" int SP "shed=" int
 //!           | "ok list tenants=" int (SP info)*
+//!           | "ok metrics lines=" int LF *(exposition-line LF)
+//!           | "ok trace lines=" int LF *(trace-line LF)
 //!           | "ok bye" | "err" SP kind SP message
 //! info      = tenant ":" model ":" backend ":" version ":" nodes
 //!             ":" weight ":" depth ":" resident
@@ -46,6 +52,7 @@
 //!               SP "parts=" int SP "batch=" int SP "version=" int
 //!               SP "tenant=" tenant SP "cycles=" int
 //!               SP "energy=" ("none" | hex64)
+//!               SP "trace=" hex64
 //!               SP "preds=" int ("," int)*
 //!               SP "logits=" row (";" row)*     row = hex64 ("," hex64)*
 //! kind      = "overloaded" | "deadline" | "shutting_down" | "canceled"
@@ -90,6 +97,11 @@ pub enum Command {
     Retire(String),
     /// Describe every deployed tenant.
     List,
+    /// Render the Prometheus-style metrics exposition.
+    Metrics,
+    /// Query the flight recorder (recent / by-id / slow exemplars /
+    /// Chrome trace-event export).
+    Trace(crate::observe::TraceQuery),
     /// Stop the server cleanly.
     Shutdown,
 }
@@ -124,6 +136,13 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         "infer" => parse_infer(&mut words, tenant),
         "update" => parse_update(&mut words, tenant),
         "deploy" => parse_deploy(&mut words),
+        "metrics" => {
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected word {extra:?} after metrics"));
+            }
+            Ok(Command::Metrics)
+        }
+        "trace" => parse_trace(&mut words),
         "retire" => {
             let name = words.next().ok_or("retire needs a tenant name")?;
             validate_tenant_name(name)?;
@@ -134,6 +153,37 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
         }
         other => Err(format!("unknown command {other:?}")),
     }
+}
+
+/// Default record count for a bare `trace` command.
+const TRACE_DEFAULT_LAST: usize = 16;
+
+fn parse_trace<'a>(words: &mut impl Iterator<Item = &'a str>) -> Result<Command, String> {
+    use crate::observe::TraceQuery;
+    let query = match words.next() {
+        None => TraceQuery::Last(TRACE_DEFAULT_LAST),
+        Some("slow") => TraceQuery::Slow,
+        Some("export") => TraceQuery::Export,
+        Some(word) => {
+            if let Some(n) = word.strip_prefix("last=") {
+                let n: usize =
+                    n.parse().map_err(|_| format!("bad count in {word:?} (last=N)"))?;
+                TraceQuery::Last(n)
+            } else if let Some(id) = word.strip_prefix("id=") {
+                let id = u64::from_str_radix(id, 16)
+                    .map_err(|_| format!("bad trace id in {word:?} (id=HEX)"))?;
+                TraceQuery::Id(id)
+            } else {
+                return Err(format!(
+                    "unknown trace query {word:?} (last=N | id=HEX | slow | export)"
+                ));
+            }
+        }
+    };
+    if let Some(extra) = words.next() {
+        return Err(format!("unexpected word {extra:?} after trace query"));
+    }
+    Ok(Command::Trace(query))
 }
 
 fn parse_infer<'a>(
@@ -678,6 +728,9 @@ pub struct RemoteResponse {
     pub sim_cycles: u64,
     /// Simulated energy in joules, when the backend models power.
     pub energy_joules: Option<f64>,
+    /// The request's flight-recorder trace id (0 when tracing is off) —
+    /// feed it to `trace id=HEX` to pull the per-stage span record.
+    pub trace_id: u64,
 }
 
 /// Renders a served response as an `ok` reply line (no newline),
@@ -705,6 +758,7 @@ pub fn encode_response(response: &InferResponse, tenant: &str) -> String {
         }
         None => line.push_str(" energy=none"),
     }
+    let _ = write!(line, " trace={:016x}", response.trace_id);
     line.push_str(" preds=");
     push_csv(&mut line, &response.predictions);
     line.push_str(" logits=");
@@ -742,6 +796,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
     let mut tenant = None;
     let mut cycles = None;
     let mut energy = None;
+    let mut trace_id = None;
     let mut preds = None;
     let mut logits_words = None;
     for word in body.split_whitespace() {
@@ -766,6 +821,7 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
                     Some(f64::from_bits(parse_hex64(value)?))
                 });
             }
+            "trace" => trace_id = Some(parse_hex64(value)?),
             "preds" => {
                 preds = Some(
                     value
@@ -809,6 +865,8 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
         tenant: tenant.ok_or_else(|| missing("tenant"))?,
         sim_cycles: cycles.ok_or_else(|| missing("cycles"))?,
         energy_joules: energy.ok_or_else(|| missing("energy"))?,
+        // Absent on replies from pre-tracing servers — 0 means untraced.
+        trace_id: trace_id.unwrap_or(0),
     })
 }
 
@@ -1081,8 +1139,11 @@ mod tests {
             parts: 1,
             batch_size: 4,
             graph_version: 17,
+            trace_id: 0xDEAD_BEEF,
         };
-        let remote = parse_response(&encode_response(&response, "traffic")).unwrap();
+        let line = encode_response(&response, "traffic");
+        assert!(line.contains(" trace=00000000deadbeef "), "{line}");
+        let remote = parse_response(&line).unwrap();
         assert_eq!(remote.logits, logits, "logits survive the wire bit-exactly");
         assert_eq!(remote.predictions, vec![2, 0]);
         assert_eq!(remote.queue_time, Duration::from_micros(10));
@@ -1092,7 +1153,11 @@ mod tests {
         assert_eq!(remote.graph_version, 17);
         assert_eq!(remote.tenant, "traffic", "replies echo the serving tenant");
         assert_eq!(remote.energy_joules, Some(1.25e-3));
+        assert_eq!(remote.trace_id, 0xDEAD_BEEF, "the trace id rides the reply");
         assert!(!remote.from_cache);
+        // A reply from a pre-tracing server (no trace=) still parses.
+        let stripped = line.replace(" trace=00000000deadbeef", "");
+        assert_eq!(parse_response(&stripped).unwrap().trace_id, 0);
     }
 
     #[test]
@@ -1211,6 +1276,14 @@ mod tests {
                 encode_deploy(&spec),
                 format!("retire fz{}", rng.next_below(8)),
                 "list".to_string(),
+                "metrics".to_string(),
+                // Observability verbs: every valid trace query shape.
+                match rng.next_below(4) {
+                    0 => "trace".to_string(),
+                    1 => format!("trace last={}", rng.next_below(64)),
+                    2 => format!("trace id={:016x}", rng.next_u64()),
+                    _ => ["trace slow", "trace export"][rng.next_below(2)].to_string(),
+                },
             ];
             for line in &lines {
                 parse_command(line).expect("well-formed encodings parse");
@@ -1256,6 +1329,38 @@ mod tests {
                 Command::Update(delta, _) => assert!(delta.is_empty()),
                 other => panic!("wrong command {other:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn metrics_and_trace_commands_parse_and_reject_malformed_args() {
+        use crate::observe::TraceQuery;
+        assert_eq!(parse_command("metrics").unwrap(), Command::Metrics);
+        assert_eq!(parse_command("trace").unwrap(), Command::Trace(TraceQuery::Last(16)));
+        assert_eq!(parse_command("trace last=5").unwrap(), Command::Trace(TraceQuery::Last(5)));
+        assert_eq!(
+            parse_command("trace id=00000000000000ff").unwrap(),
+            Command::Trace(TraceQuery::Id(0xFF))
+        );
+        assert_eq!(parse_command("trace id=ab").unwrap(), Command::Trace(TraceQuery::Id(0xAB)));
+        assert_eq!(parse_command("trace slow").unwrap(), Command::Trace(TraceQuery::Slow));
+        assert_eq!(parse_command("trace export").unwrap(), Command::Trace(TraceQuery::Export));
+        for bad in [
+            "metrics now",
+            "metrics@t",
+            "trace@t",
+            "trace last=",
+            "trace last=abc",
+            "trace last=-3",
+            "trace id=",
+            "trace id=zz",
+            "trace id=123q",
+            "trace fast",
+            "trace slow extra",
+            "trace export x",
+            "trace last=3 id=4",
+        ] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must be a protocol error");
         }
     }
 

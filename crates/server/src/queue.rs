@@ -43,6 +43,7 @@
 //! coalescing (which still dedups everything already queued).
 
 use crate::error::ServerError;
+use crate::observe::TraceMeta;
 use crate::tenant::Tenant;
 use blockgnn_engine::{InferRequest, InferResponse};
 use std::collections::{BTreeMap, VecDeque};
@@ -182,6 +183,9 @@ pub(crate) struct QueueItem {
     /// Absolute deadline, if any.
     pub deadline: Option<Instant>,
     pub enqueued_at: Instant,
+    /// Trace context assigned at admission (id 0 when tracing is off);
+    /// the serving worker finishes the span record from it.
+    pub trace: TraceMeta,
     /// One-shot reply channel back to the submitter.
     responder: SyncSender<Result<InferResponse, ServerError>>,
 }
@@ -306,6 +310,7 @@ impl RequestQueue {
         request: InferRequest,
         class: SloClass,
         deadline: Option<Instant>,
+        trace: TraceMeta,
         responder: SyncSender<Result<InferResponse, ServerError>>,
     ) -> Result<(), ServerError> {
         let mut inner = self.inner.lock().expect("queue lock");
@@ -338,6 +343,7 @@ impl RequestQueue {
             class,
             deadline,
             enqueued_at: Instant::now(),
+            trace,
             responder,
         });
         drop(inner);
@@ -542,7 +548,7 @@ mod tests {
     ) -> Result<(), ServerError> {
         // Dropping the receiver is fine: respond() ignores closed channels.
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(t), req(node), class, None, tx)
+        q.push(Arc::clone(t), req(node), class, None, TraceMeta::UNTRACED, tx)
     }
 
     const NO_BATCH: BatchLimits = BatchLimits {
@@ -786,8 +792,8 @@ mod tests {
         let a = tenant(0, 1, 16);
         let b = tenant(1, 1, 16);
         let (tx, rx) = sync_channel(4);
-        q.push(Arc::clone(&a), req(0), S, None, tx.clone()).unwrap();
-        q.push(Arc::clone(&a), req(1), SloClass::Gold, None, tx).unwrap();
+        q.push(Arc::clone(&a), req(0), S, None, TraceMeta::UNTRACED, tx.clone()).unwrap();
+        q.push(Arc::clone(&a), req(1), SloClass::Gold, None, TraceMeta::UNTRACED, tx).unwrap();
         push(&q, &b, 2, S).unwrap();
         q.purge_tenant(a.id);
         for _ in 0..2 {
@@ -805,8 +811,15 @@ mod tests {
         let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(&t), req(0), S, Some(Instant::now() + Duration::from_millis(5)), tx)
-            .unwrap();
+        q.push(
+            Arc::clone(&t),
+            req(0),
+            S,
+            Some(Instant::now() + Duration::from_millis(5)),
+            TraceMeta::UNTRACED,
+            tx,
+        )
+        .unwrap();
         let limits = BatchLimits {
             window: Duration::from_millis(250),
             max_requests: 8,
@@ -830,8 +843,15 @@ mod tests {
         let q = RequestQueue::new(WEIGHTS);
         let t = tenant(0, 1, 4);
         let (tx, _rx) = sync_channel(1);
-        q.push(Arc::clone(&t), req(0), S, Some(Instant::now() - Duration::from_millis(1)), tx)
-            .unwrap();
+        q.push(
+            Arc::clone(&t),
+            req(0),
+            S,
+            Some(Instant::now() - Duration::from_millis(1)),
+            TraceMeta::UNTRACED,
+            tx,
+        )
+        .unwrap();
         let batch = q.next_batch(NO_BATCH).unwrap();
         assert_eq!(batch.len(), 1, "expired items still surface to the executor");
         assert!(batch[0].expired(Instant::now()));

@@ -28,10 +28,15 @@
 
 use crate::config::ServerConfig;
 use crate::error::ServerError;
+use crate::observe::{
+    chrome_trace_json, MetricsRegistry, Recorder, Span, TraceMeta, TraceOutcome, TraceQuery,
+    TraceRecord, SLOW_THRESHOLD,
+};
 use crate::queue::{BatchLimits, QueueItem, RequestQueue, SubmitOptions};
 use crate::telemetry::{ServerStats, Telemetry};
 use crate::tenant::{
-    Tenant, TenantEngine, TenantInfo, TenantRegistry, TenantSpec, DEFAULT_TENANT,
+    backend_kind_name, Tenant, TenantEngine, TenantInfo, TenantRegistry, TenantSpec,
+    DEFAULT_TENANT,
 };
 use blockgnn_engine::{
     assemble_response, Engine, EngineError, GraphDelta, InferRequest, InferResponse,
@@ -41,7 +46,7 @@ use blockgnn_gnn::ModelKind;
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// A pending answer; blocks on [`Ticket::wait`].
 #[derive(Debug)]
@@ -74,6 +79,9 @@ pub struct Server {
     config: ServerConfig,
     /// The tenant unqualified requests address.
     default: Arc<Tenant>,
+    /// The flight recorder: trace-id source, per-worker rings, exemplar
+    /// buffer. Inert when [`ServerConfig::tracing`] is off.
+    recorder: Arc<Recorder>,
 }
 
 impl Server {
@@ -141,9 +149,11 @@ impl Server {
             max_nodes: config.max_batch_nodes.max(1),
             adaptive: config.adaptive_window,
         };
+        let recorder = Arc::new(Recorder::new(worker_threads, config.tracing));
         let workers = (0..worker_threads)
             .map(|i| {
                 let queue = Arc::clone(&queue);
+                let recorder = Arc::clone(&recorder);
                 std::thread::Builder::new()
                     .name(format!("blockgnn-worker-{i}"))
                     .spawn(move || {
@@ -152,14 +162,14 @@ impl Server {
                             // retire: the items hold the Arc.
                             let tenant = Arc::clone(&batch[0].tenant);
                             let mut engine = tenant.engines.checkout();
-                            serve_batch(&mut engine, batch, &tenant.telemetry);
+                            serve_batch(&mut engine, batch, &tenant.telemetry, &recorder, i);
                             tenant.engines.checkin(engine);
                         }
                     })
                     .expect("worker thread spawns")
             })
             .collect();
-        Self { queue, registry, workers: Mutex::new(workers), config, default }
+        Self { queue, registry, workers: Mutex::new(workers), config, default, recorder }
     }
 
     /// A submission handle on the `default` tenant (what unqualified
@@ -184,6 +194,7 @@ impl Server {
             registry: Arc::clone(&self.registry),
             tenant,
             config: self.config.clone(),
+            recorder: Arc::clone(&self.recorder),
         }
     }
 
@@ -323,6 +334,189 @@ impl Server {
         self.queue.depth()
     }
 
+    /// The flight recorder (trace-id source, per-worker rings, exemplar
+    /// buffer). Inert when [`ServerConfig::tracing`] is off.
+    #[must_use]
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Renders the full metrics exposition (Prometheus text format) from
+    /// the live telemetry: per-tenant counters labelled
+    /// `{tenant,backend}`, per-class counters and latency summaries
+    /// labelled `{tenant,class}`, aggregate summaries, and flight
+    /// recorder occupancy. Built on demand — nothing is double-counted
+    /// against the `stats` verb, which reads the same snapshots.
+    #[must_use]
+    pub fn metrics_text(&self) -> String {
+        let mut reg = MetricsRegistry::new();
+        let global = self.stats();
+        reg.gauge("blockgnn_uptime_seconds", "Seconds since the server started", &[], {
+            global.uptime.as_secs_f64()
+        });
+        reg.gauge("blockgnn_qps", "Completed requests per second of uptime", &[], global.qps());
+        reg.gauge(
+            "blockgnn_queue_depth",
+            "Requests currently queued across all tenants",
+            &[],
+            self.queue.depth() as f64,
+        );
+        for (name, tenant) in self.registry.snapshot().iter() {
+            let stats = tenant.stats();
+            let backend = backend_kind_name(tenant.backend_kind);
+            let labels: [(&str, &str); 2] = [("tenant", name.as_str()), ("backend", backend)];
+            reg.counter(
+                "blockgnn_requests_submitted_total",
+                "Requests offered to the admission queue (including shed ones)",
+                &labels,
+                stats.submitted as u64,
+            );
+            reg.counter(
+                "blockgnn_requests_completed_total",
+                "Requests answered successfully",
+                &labels,
+                stats.completed as u64,
+            );
+            reg.counter(
+                "blockgnn_requests_failed_total",
+                "Requests that failed in the engine",
+                &labels,
+                stats.failed as u64,
+            );
+            reg.counter(
+                "blockgnn_requests_shed_total",
+                "Requests shed (admission overload + queued-deadline expiry)",
+                &labels,
+                stats.shed() as u64,
+            );
+            reg.counter(
+                "blockgnn_batches_total",
+                "Coalesced executions run",
+                &labels,
+                stats.batches as u64,
+            );
+            reg.counter(
+                "blockgnn_deduped_total",
+                "Requests that shared an identical request's execution",
+                &labels,
+                stats.deduped as u64,
+            );
+            reg.counter(
+                "blockgnn_graph_updates_total",
+                "Graph deltas applied",
+                &labels,
+                stats.updates as u64,
+            );
+            reg.gauge(
+                "blockgnn_graph_version",
+                "Graph version currently being served",
+                &[("tenant", name.as_str())],
+                stats.graph_version as f64,
+            );
+            reg.gauge(
+                "blockgnn_tenant_queue_depth",
+                "Requests currently queued in the tenant's lanes",
+                &[("tenant", name.as_str())],
+                self.queue.depth_of(tenant.id) as f64,
+            );
+            for (class, rollup) in &stats.classes {
+                let labels: [(&str, &str); 2] =
+                    [("tenant", name.as_str()), ("class", class.name())];
+                reg.counter(
+                    "blockgnn_class_requests_total",
+                    "Requests offered per SLO class",
+                    &labels,
+                    rollup.submitted as u64,
+                );
+                reg.counter(
+                    "blockgnn_class_completed_total",
+                    "Requests answered per SLO class",
+                    &labels,
+                    rollup.completed as u64,
+                );
+                reg.counter(
+                    "blockgnn_class_shed_total",
+                    "Requests shed per SLO class",
+                    &labels,
+                    rollup.shed as u64,
+                );
+                reg.summary(
+                    "blockgnn_class_latency_seconds",
+                    "End-to-end served latency per SLO class",
+                    &labels,
+                    &rollup.latency,
+                );
+            }
+        }
+        reg.summary(
+            "blockgnn_latency_seconds",
+            "End-to-end served latency (queue + compute), all tenants",
+            &[],
+            &global.serve.latency_histogram,
+        );
+        reg.summary(
+            "blockgnn_queue_time_seconds",
+            "Time requests spent queued before execution",
+            &[],
+            &global.queue_time,
+        );
+        reg.summary(
+            "blockgnn_compute_time_seconds",
+            "Batch execution time requests rode on",
+            &[],
+            &global.compute_time,
+        );
+        reg.gauge(
+            "blockgnn_traces_recorded",
+            "Trace records currently held across the worker rings",
+            &[],
+            self.recorder.recorded() as f64,
+        );
+        for (class, count) in self.recorder.exemplar_counts() {
+            reg.gauge(
+                "blockgnn_trace_exemplars",
+                "Retained slow/shed/failed trace exemplars per SLO class",
+                &[("class", class.name())],
+                count as f64,
+            );
+        }
+        reg.render()
+    }
+
+    /// Answers a [`TraceQuery`] as wire lines (the `trace` verb's body):
+    /// one [`TraceRecord::wire_line`] per record, or — for
+    /// [`TraceQuery::Export`] — a single line of Chrome trace-event
+    /// JSON covering every ring record plus the retained exemplars.
+    #[must_use]
+    pub fn trace_lines(&self, query: TraceQuery) -> Vec<String> {
+        match query {
+            TraceQuery::Last(n) => {
+                self.recorder.last(n).iter().map(TraceRecord::wire_line).collect()
+            }
+            TraceQuery::Id(id) => {
+                self.recorder.find(id).map(|r| vec![r.wire_line()]).unwrap_or_default()
+            }
+            TraceQuery::Slow => {
+                self.recorder.exemplars().iter().map(TraceRecord::wire_line).collect()
+            }
+            TraceQuery::Export => vec![self.trace_export_json()],
+        }
+    }
+
+    /// Everything the flight recorder holds — ring records plus
+    /// exemplars, deduplicated by trace id, in id order — as Chrome
+    /// trace-event JSON (load in `chrome://tracing` or Perfetto).
+    #[must_use]
+    pub fn trace_export_json(&self) -> String {
+        let mut records = self.recorder.last(usize::MAX);
+        let seen: std::collections::HashSet<u64> = records.iter().map(|r| r.trace_id).collect();
+        records.extend(
+            self.recorder.exemplars().into_iter().filter(|r| !seen.contains(&r.trace_id)),
+        );
+        records.sort_by_key(|r| r.trace_id);
+        chrome_trace_json(&records)
+    }
+
     /// Stops admissions, drains what was already admitted, joins the
     /// workers, and returns the final telemetry. Idempotent.
     pub fn shutdown(&self) -> ServerStats {
@@ -362,6 +556,7 @@ pub struct ServerHandle {
     registry: Arc<TenantRegistry>,
     tenant: Arc<Tenant>,
     config: ServerConfig,
+    recorder: Arc<Recorder>,
 }
 
 impl ServerHandle {
@@ -398,6 +593,11 @@ impl ServerHandle {
         if self.tenant.is_retired() {
             return Err(ServerError::UnknownTenant { name: self.tenant.name.clone() });
         }
+        // Trace-id assignment is the first act of admission, so the
+        // admission span covers validation + deadline resolution. With
+        // tracing off the id is 0 and nothing else is touched.
+        let trace_id = self.recorder.assign();
+        let trace_start = if trace_id != 0 { self.recorder.now() } else { Duration::ZERO };
         self.tenant.telemetry.record_submitted(options.class);
         // Front-door validation with the engine's own validity rule, so
         // obviously bad requests fail at submission with a typed error
@@ -411,6 +611,20 @@ impl ServerHandle {
                 s.failed += 1;
                 s.class_mut(options.class).failed += 1;
             });
+            if trace_id != 0 {
+                self.recorder.record_shed(TraceRecord {
+                    trace_id,
+                    tenant: self.tenant.name.clone(),
+                    class: options.class,
+                    outcome: TraceOutcome::Failed,
+                    batch_size: 0,
+                    spans: vec![Span {
+                        stage: "admission",
+                        start: trace_start,
+                        end: self.recorder.now(),
+                    }],
+                });
+            }
             return Err(ServerError::Engine(e));
         }
         // Deadline precedence: the request's own, else its class's
@@ -420,11 +634,41 @@ impl ServerHandle {
             .or_else(|| self.config.class_deadline(options.class))
             .map(|d| Instant::now() + d);
         let (tx, rx) = sync_channel(1);
-        match self.queue.push(Arc::clone(&self.tenant), request, options.class, deadline, tx) {
+        let trace = if trace_id != 0 {
+            TraceMeta {
+                id: trace_id,
+                start: trace_start,
+                admission: self.recorder.now().saturating_sub(trace_start),
+            }
+        } else {
+            TraceMeta::UNTRACED
+        };
+        match self.queue.push(
+            Arc::clone(&self.tenant),
+            request,
+            options.class,
+            deadline,
+            trace,
+            tx,
+        ) {
             Ok(()) => Ok(Ticket { rx }),
             Err(e) => {
                 if matches!(e, ServerError::Overloaded { .. }) {
                     self.tenant.telemetry.record_shed_overload(options.class);
+                    if trace_id != 0 {
+                        self.recorder.record_shed(TraceRecord {
+                            trace_id,
+                            tenant: self.tenant.name.clone(),
+                            class: options.class,
+                            outcome: TraceOutcome::ShedOverload,
+                            batch_size: 0,
+                            spans: vec![Span {
+                                stage: "admission",
+                                start: trace.start,
+                                end: trace.start + trace.admission,
+                            }],
+                        });
+                    }
                 }
                 Err(e)
             }
@@ -561,12 +805,25 @@ impl std::fmt::Debug for ServerHandle {
 
 /// Executes one dequeued (single-tenant) batch: sheds expired requests,
 /// runs the rest as a coalesced execution, and delivers every answer.
-/// `telemetry` is the owning tenant's accumulator.
-fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Telemetry) {
+/// `telemetry` is the owning tenant's accumulator; finished trace
+/// records land in `recorder`'s ring for `worker` (this function is the
+/// ring's single writer).
+fn serve_batch(
+    engine: &mut TenantEngine,
+    batch: Vec<QueueItem>,
+    telemetry: &Telemetry,
+    recorder: &Recorder,
+    worker: usize,
+) {
     let exec_start = Instant::now();
     // Batches never span classes, so the whole batch's per-class
     // accounting lands in one rollup.
     let class = batch[0].class;
+    let tracing = recorder.enabled();
+    let tenant_name = if tracing { batch[0].tenant.name.clone() } else { String::new() };
+    // Offset of this batch's dequeue on the trace timeline: the end of
+    // every member's `queued` span and the start of `assembly`.
+    let exec_off = recorder.offset(exec_start);
     let (live, expired): (Vec<_>, Vec<_>) =
         batch.into_iter().partition(|item| !item.expired(exec_start));
     if !expired.is_empty() {
@@ -576,6 +833,27 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
         });
         for item in expired {
             let waited = exec_start.saturating_duration_since(item.enqueued_at);
+            if tracing && item.trace.id != 0 {
+                recorder.record(
+                    worker,
+                    TraceRecord {
+                        trace_id: item.trace.id,
+                        tenant: tenant_name.clone(),
+                        class,
+                        outcome: TraceOutcome::ShedDeadline,
+                        batch_size: 0,
+                        spans: vec![
+                            admission_span(&item.trace),
+                            Span {
+                                stage: "queued",
+                                start: recorder.offset(item.enqueued_at),
+                                end: exec_off,
+                            },
+                        ],
+                    },
+                    false,
+                );
+            }
             item.respond(Err(ServerError::DeadlineExceeded { waited }));
         }
     }
@@ -583,19 +861,40 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
         return;
     }
     let requests: Vec<InferRequest> = live.iter().map(|item| item.request.clone()).collect();
-    let (outcomes, deduped) = match engine {
+    // Batch assembly ends (and engine execution begins) here.
+    let assembly_off = recorder.offset(Instant::now());
+    let (outcomes, deduped, stage_timings) = match engine {
         TenantEngine::Forked(engine) => {
             let coalesced = engine.infer_coalesced(&requests);
-            (coalesced.outcomes, coalesced.deduped)
+            (coalesced.outcomes, coalesced.deduped, coalesced.stage_timings)
         }
         // The parallel engine shards each request across its own worker
         // pool; `start_parallel` forces batches of one, so the group is
         // a single request and nothing is deduplicated.
         TenantEngine::Parallel(engine) => {
-            (requests.iter().map(|r| engine.execute_request(r)).collect(), 0)
+            (requests.iter().map(|r| engine.execute_request(r)).collect(), 0, Vec::new())
         }
     };
+    let compute_end = Instant::now();
     let compute_time = exec_start.elapsed();
+    // Engine stage spans laid end-to-end from where assembly finished
+    // (stage timings are durations; the sequence reconstructs the
+    // timeline). The parallel engine reports no per-stage split — its
+    // whole execution becomes one `execute` span.
+    let stage_spans: Vec<Span> = if !tracing {
+        Vec::new()
+    } else if stage_timings.is_empty() {
+        vec![Span { stage: "execute", start: assembly_off, end: recorder.offset(compute_end) }]
+    } else {
+        let mut spans = Vec::with_capacity(stage_timings.len());
+        let mut cursor = assembly_off;
+        for timing in &stage_timings {
+            let end = cursor + timing.elapsed;
+            spans.push(Span { stage: timing.stage, start: cursor, end });
+            cursor = end;
+        }
+        spans
+    };
     // Assemble every answer into worker-local accumulators first, so
     // the shared telemetry lock is taken once, briefly — response
     // assembly (argmax over logits) must not serialize the worker pool.
@@ -605,6 +904,9 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
     let batch_size = live.len();
     let mut local = ServerStats::default();
     let mut deliveries = Vec::with_capacity(batch_size);
+    // Trace context outlives delivery (`respond` consumes the item), so
+    // records are assembled after the answers are on the wire.
+    let mut traces: Vec<(TraceMeta, Instant, Option<Instant>, TraceOutcome)> = Vec::new();
     for (item, outcome) in live.into_iter().zip(outcomes) {
         let queue_time = exec_start.saturating_duration_since(item.enqueued_at);
         match outcome {
@@ -615,13 +917,30 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
                 let rollup = local.class_mut(class);
                 rollup.completed += 1;
                 rollup.latency.record(queue_time + compute_time);
-                let response =
+                let mut response =
                     assemble_response(outcome, queue_time, compute_time, &mut local.serve);
+                response.trace_id = item.trace.id;
+                if tracing && item.trace.id != 0 {
+                    traces.push((
+                        item.trace,
+                        item.enqueued_at,
+                        item.deadline,
+                        TraceOutcome::Completed,
+                    ));
+                }
                 deliveries.push((item, Ok(response)));
             }
             Err(e) => {
                 local.failed += 1;
                 local.class_mut(class).failed += 1;
+                if tracing && item.trace.id != 0 {
+                    traces.push((
+                        item.trace,
+                        item.enqueued_at,
+                        item.deadline,
+                        TraceOutcome::Failed,
+                    ));
+                }
                 deliveries.push((item, Err(ServerError::Engine(e))));
             }
         }
@@ -639,7 +958,51 @@ fn serve_batch(engine: &mut TenantEngine, batch: Vec<QueueItem>, telemetry: &Tel
             stats.class_mut(*class).merge(rollup);
         }
     });
+    let write_start = Instant::now();
     for (item, answer) in deliveries {
         item.respond(answer);
     }
+    if traces.is_empty() {
+        return;
+    }
+    // Ring writes happen strictly after every answer is delivered —
+    // tracing never sits between a worker and a waiting caller.
+    let write_end = Instant::now();
+    let write_span = Span {
+        stage: "response_write",
+        start: recorder.offset(write_start),
+        end: recorder.offset(write_end),
+    };
+    for (meta, enqueued_at, deadline, outcome) in traces {
+        let mut spans = Vec::with_capacity(3 + stage_spans.len() + 1);
+        spans.push(admission_span(&meta));
+        spans.push(Span {
+            stage: "queued",
+            start: recorder.offset(enqueued_at),
+            end: exec_off,
+        });
+        spans.push(Span { stage: "assembly", start: exec_off, end: assembly_off });
+        spans.extend(stage_spans.iter().cloned());
+        spans.push(write_span.clone());
+        let record = TraceRecord {
+            trace_id: meta.id,
+            tenant: tenant_name.clone(),
+            class,
+            outcome,
+            batch_size,
+            spans,
+        };
+        // Slow = missed its own deadline; with none, the fixed
+        // threshold stands in.
+        let slow = match deadline {
+            Some(deadline) => write_end > deadline,
+            None => record.total() > SLOW_THRESHOLD,
+        };
+        recorder.record(worker, record, slow);
+    }
+}
+
+/// The admission span a [`TraceMeta`] carries through the queue.
+fn admission_span(meta: &TraceMeta) -> Span {
+    Span { stage: "admission", start: meta.start, end: meta.start + meta.admission }
 }

@@ -204,6 +204,29 @@ fn serve_connection(
                 Err(e) => encode_error(&e),
             },
             Ok(Command::List) => encode_list_reply(&server.tenants()),
+            // The observability verbs are the protocol's only multi-line
+            // replies: a `lines=N` header, then exactly N body lines —
+            // assembled as one string (the trailing write appends the
+            // final LF), so the reply hits the socket in one write.
+            Ok(Command::Metrics) => {
+                let body = server.metrics_text();
+                let lines = body.lines().count();
+                let mut reply = format!("ok metrics lines={lines}");
+                for line in body.lines() {
+                    reply.push('\n');
+                    reply.push_str(line);
+                }
+                reply
+            }
+            Ok(Command::Trace(query)) => {
+                let body = server.trace_lines(query);
+                let mut reply = format!("ok trace lines={}", body.len());
+                for line in &body {
+                    reply.push('\n');
+                    reply.push_str(line);
+                }
+                reply
+            }
             Err(msg) => encode_error(&ServerError::Protocol(msg)),
         };
         writer.write_all(reply.as_bytes())?;

@@ -213,7 +213,19 @@ impl ServerStats {
     /// retired tenants' final counters). `graph_version` and `uptime`
     /// are identity fields, not counters; the caller sets them on the
     /// merged snapshot.
+    ///
+    /// **Contract**: `other` must be a per-tenant snapshot, i.e. its
+    /// own [`ServerStats::tenants`] map must be empty. Per-tenant
+    /// rollups are *not* folded — absorbing an aggregate snapshot would
+    /// silently drop its `tenants` breakdown (and double-count its
+    /// summed counters on re-aggregation), so this is asserted in debug
+    /// builds.
     pub fn absorb(&mut self, other: &ServerStats) {
+        debug_assert!(
+            other.tenants.is_empty(),
+            "absorb takes per-tenant snapshots; aggregate snapshots \
+             (non-empty `tenants`) would lose their per-tenant rollups"
+        );
         self.serve.merge(&other.serve);
         self.queue_time.merge(&other.queue_time);
         self.compute_time.merge(&other.compute_time);
@@ -403,5 +415,102 @@ mod tests {
         let gold_at = line.find("class=gold:").unwrap();
         let bronze_at = line.find("class=bronze:").unwrap();
         assert!(gold_at < bronze_at, "{line}");
+    }
+
+    #[test]
+    #[should_panic(expected = "per-tenant snapshots")]
+    #[cfg(debug_assertions)]
+    fn absorbing_an_aggregate_snapshot_is_a_contract_violation() {
+        let mut aggregate = ServerStats::default();
+        aggregate.tenants.insert("t".into(), TenantRollup::default());
+        ServerStats::default().absorb(&aggregate);
+    }
+
+    /// Mid-flight snapshots must always be *internally* consistent, no
+    /// matter how the recording calls interleave across threads: every
+    /// terminal counter (completed/failed/shed) trails submission, and
+    /// the per-class counters sum exactly to their aggregates — each
+    /// recording path updates both sides under one lock acquisition.
+    #[test]
+    fn concurrent_snapshots_stay_internally_consistent() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 400;
+        let telemetry = Arc::new(Telemetry::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        // A reader thread snapshots continuously while writers hammer.
+        let reader = {
+            let telemetry = Arc::clone(&telemetry);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut checked = 0_usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = telemetry.snapshot();
+                    assert!(
+                        snap.completed + snap.failed + snap.shed() <= snap.submitted,
+                        "terminal counters outran submissions: {} + {} + {} > {}",
+                        snap.completed,
+                        snap.failed,
+                        snap.shed(),
+                        snap.submitted,
+                    );
+                    let by_class: usize = snap.classes.values().map(|c| c.submitted).sum();
+                    assert_eq!(by_class, snap.submitted, "class submissions sum to aggregate");
+                    let completed: usize = snap.classes.values().map(|c| c.completed).sum();
+                    assert_eq!(completed, snap.completed, "class completions sum to aggregate");
+                    let shed: usize = snap.classes.values().map(|c| c.shed).sum();
+                    assert_eq!(shed, snap.shed(), "class sheds sum to aggregate");
+                    let failed: usize = snap.classes.values().map(|c| c.failed).sum();
+                    assert_eq!(failed, snap.failed, "class failures sum to aggregate");
+                    checked += 1;
+                }
+                checked
+            })
+        };
+        let writers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let class = SloClass::ALL[(t + i) % SloClass::ALL.len()];
+                        // Submission always lands first (as in
+                        // `submit_with`), then one terminal outcome.
+                        telemetry.record_submitted(class);
+                        match i % 4 {
+                            0 => telemetry.record_shed_overload(class),
+                            1 => telemetry.with(|s| {
+                                s.failed += 1;
+                                s.class_mut(class).failed += 1;
+                            }),
+                            2 => telemetry.with(|s| {
+                                s.shed_deadline += 1;
+                                s.class_mut(class).shed += 1;
+                            }),
+                            _ => telemetry.with(|s| {
+                                s.completed += 1;
+                                let rollup = s.class_mut(class);
+                                rollup.completed += 1;
+                                rollup.latency.record(Duration::from_micros(50));
+                            }),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let checked = reader.join().unwrap();
+        assert!(checked > 0, "the reader actually raced the writers");
+        let final_snap = telemetry.snapshot();
+        assert_eq!(final_snap.submitted, THREADS * PER_THREAD);
+        assert_eq!(
+            final_snap.completed + final_snap.failed + final_snap.shed(),
+            THREADS * PER_THREAD,
+            "every request reached exactly one terminal state"
+        );
     }
 }

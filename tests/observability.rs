@@ -1,0 +1,349 @@
+//! Observability integration tests: every served request must be
+//! reconstructible from the flight recorder as a complete, monotonic
+//! span set; trace ids must ride responses end-to-end over TCP; the
+//! metrics exposition must carry the core series; the Chrome
+//! trace-event export must be loadable; and tracing off must be
+//! invisible (id 0, empty recorder) — the cheap path the overhead
+//! benchmark certifies.
+
+use blockgnn::engine::{BackendKind, Engine, EngineBuilder, InferRequest};
+use blockgnn::gnn::ModelKind;
+use blockgnn::graph::datasets;
+use blockgnn::server::{
+    Client, Server, ServerConfig, ServerError, SloClass, SubmitOptions, TcpServer,
+    TraceOutcome, TraceQuery, TraceRecord,
+};
+use blockgnn_graph::Dataset;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn dataset() -> Arc<Dataset> {
+    Arc::new(datasets::cora_like_small(23))
+}
+
+fn engine(dataset: &Arc<Dataset>) -> Engine {
+    EngineBuilder::new(ModelKind::Gcn, BackendKind::Dense)
+        .hidden_dim(16)
+        .seed(9)
+        .build(Arc::clone(dataset))
+        .expect("engine builds")
+}
+
+/// The pipeline stages every completed request's record must contain,
+/// in order of appearance.
+const PIPELINE_STAGES: [&str; 3] = ["admission", "queued", "assembly"];
+
+/// Asserts one completed record is a full, monotonic reconstruction of
+/// the request's trip: admission → queued → assembly → ≥1 engine stage
+/// → response_write, with non-decreasing span starts and every span's
+/// end at or after its start.
+fn assert_complete_span_set(record: &TraceRecord) {
+    let stages: Vec<&str> = record.spans.iter().map(|s| s.stage).collect();
+    for (i, want) in PIPELINE_STAGES.iter().enumerate() {
+        assert_eq!(stages.get(i), Some(want), "span layout of {stages:?}");
+    }
+    assert_eq!(stages.last(), Some(&"response_write"), "span layout of {stages:?}");
+    assert!(
+        stages.len() > PIPELINE_STAGES.len() + 1,
+        "at least one engine stage between assembly and response_write: {stages:?}"
+    );
+    for span in &record.spans {
+        assert!(span.end >= span.start, "span {} runs backwards", span.stage);
+    }
+    for pair in record.spans.windows(2) {
+        assert!(
+            pair[1].start >= pair[0].start,
+            "spans out of order: {} starts before {}",
+            pair[1].stage,
+            pair[0].stage
+        );
+    }
+    // The record's total covers every span.
+    let last_end = record.spans.iter().map(|s| s.end).max().unwrap();
+    assert_eq!(record.total(), last_end - record.start());
+}
+
+/// Polls the recorder for `id`: ring writes happen after the response
+/// is delivered to the caller, so an immediate lookup can lose the
+/// race even though the record always arrives.
+fn find_eventually(server: &Server, id: u64) -> Option<TraceRecord> {
+    for _ in 0..200 {
+        if let Some(record) = server.recorder().find(id) {
+            return Some(record);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    None
+}
+
+#[test]
+fn traced_requests_carry_complete_monotonic_span_sets() {
+    let dataset = dataset();
+    let server = Server::start(
+        engine(&dataset),
+        ServerConfig::default().with_workers(2).with_batching(Duration::from_micros(200), 4),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    let mut trace_ids = Vec::new();
+    for i in 0..12usize {
+        let request = if i % 3 == 0 {
+            InferRequest::full_graph(vec![i, i + 1])
+        } else {
+            InferRequest::sampled(vec![i, i + 7], 5, 3, i as u64)
+        };
+        let response = handle.infer(request).expect("request serves");
+        assert_ne!(response.trace_id, 0, "tracing on stamps a real id");
+        trace_ids.push(response.trace_id);
+    }
+    // Ids are process-unique and strictly increasing in admission order.
+    for pair in trace_ids.windows(2) {
+        assert!(pair[1] > pair[0], "ids grow monotonically: {trace_ids:?}");
+    }
+    // Every response's id resolves to a full record in the recorder.
+    // Records land in the ring strictly after the response is delivered
+    // (tracing never delays callers), so the very last one may still be
+    // in flight — poll briefly instead of racing the worker.
+    for &id in &trace_ids {
+        let record = find_eventually(&server, id).expect("recorder holds the trace");
+        assert_eq!(record.trace_id, id);
+        assert_eq!(record.outcome, TraceOutcome::Completed);
+        assert_eq!(record.tenant, "default");
+        assert!(record.batch_size >= 1);
+        assert_complete_span_set(&record);
+    }
+    // `last` sees them newest-first; the wire rendering matches.
+    let last = server.trace_lines(TraceQuery::Last(3));
+    assert_eq!(last.len(), 3);
+    assert!(last[0].contains(&format!("id={:016x}", trace_ids.last().unwrap())), "{last:?}");
+    // One-record lookup renders the same line.
+    let one = server.trace_lines(TraceQuery::Id(trace_ids[0]));
+    assert_eq!(one.len(), 1);
+    assert!(one[0].contains("outcome=completed"), "{one:?}");
+    // The Chrome export is one JSON array with one X event per span.
+    let json = server.trace_export_json();
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    let spans: usize =
+        trace_ids.iter().map(|&id| server.recorder().find(id).unwrap().spans.len()).sum();
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), spans, "one event per span");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "braces balance — the export is structurally sound"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn disabled_tracing_is_invisible() {
+    let dataset = dataset();
+    let server = Server::start(
+        engine(&dataset),
+        ServerConfig::default().with_workers(1).with_tracing(false),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    for _ in 0..4 {
+        let response = handle.infer(InferRequest::sampled(vec![1, 2], 4, 2, 7)).unwrap();
+        assert_eq!(response.trace_id, 0, "tracing off means id 0");
+    }
+    assert_eq!(server.recorder().recorded(), 0, "nothing lands in the rings");
+    assert!(server.trace_lines(TraceQuery::Last(16)).is_empty());
+    assert!(server.trace_lines(TraceQuery::Slow).is_empty());
+    assert_eq!(server.trace_export_json(), "[]");
+    // The metrics exposition still renders (it reads telemetry, which
+    // tracing does not gate).
+    let metrics = server.metrics_text();
+    assert!(metrics.contains("blockgnn_requests_completed_total"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn shed_requests_are_retained_as_exemplars() {
+    // One worker, a depth-2 queue, expensive uncached full-graph work:
+    // overload sheds must be promoted to the exemplar buffer even
+    // though they never reach a worker ring.
+    let dataset = Arc::new(datasets::pubmed_like_small(5));
+    let server = Server::start(
+        engine(&dataset),
+        ServerConfig::default().with_workers(1).with_max_queue_depth(2).unbatched(),
+    )
+    .expect("server starts");
+    let handle = server.handle();
+    let mut tickets = Vec::new();
+    let mut shed_ids = Vec::new();
+    for _ in 0..12 {
+        match handle.submit(InferRequest::all_nodes()) {
+            Ok(t) => tickets.push(t),
+            Err(ServerError::Overloaded { .. }) => shed_ids.push(()),
+            Err(other) => panic!("unexpected rejection {other:?}"),
+        }
+    }
+    assert!(!shed_ids.is_empty(), "the bounded queue must shed under burst");
+    for t in tickets {
+        t.wait().expect("admitted requests still serve");
+    }
+    let exemplars = server.recorder().exemplars();
+    let shed_records: Vec<_> =
+        exemplars.iter().filter(|r| r.outcome == TraceOutcome::ShedOverload).collect();
+    assert_eq!(shed_records.len(), shed_ids.len(), "every shed is an exemplar");
+    for record in shed_records {
+        assert_eq!(record.batch_size, 0, "shed before execution");
+        assert_eq!(record.spans.len(), 1, "only the admission span exists");
+        assert_eq!(record.spans[0].stage, "admission");
+    }
+    // A rejected-on-validation request is retained as a failure.
+    let err = handle.infer(InferRequest::sampled(vec![], 4, 2, 1)).unwrap_err();
+    assert!(matches!(err, ServerError::Engine(_)), "got {err:?}");
+    assert!(
+        server.recorder().exemplars().iter().any(|r| r.outcome == TraceOutcome::Failed),
+        "validation failures promote too"
+    );
+    // `trace slow` serves the exemplars over the query surface.
+    assert!(!server.trace_lines(TraceQuery::Slow).is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn tcp_metrics_and_trace_round_trip() {
+    let dataset = dataset();
+    let server = Arc::new(
+        Server::start(
+            engine(&dataset),
+            ServerConfig::default()
+                .with_workers(2)
+                .with_batching(Duration::from_micros(200), 4),
+        )
+        .expect("server starts"),
+    );
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+    let addr = front.local_addr();
+    let mut client = Client::connect(addr).expect("client connects");
+    let gold = SubmitOptions { class: SloClass::Gold, deadline: None };
+    let response = client
+        .infer_with(&InferRequest::sampled(vec![3, 4], 5, 3, 11), gold)
+        .expect("remote request serves");
+    assert_ne!(response.trace_id, 0, "the trace id rides the wire reply");
+    // By-id lookup through the protocol finds exactly that request
+    // (polling briefly: the ring write lands after response delivery).
+    let mut looked_up = None;
+    for _ in 0..200 {
+        looked_up = client.trace_id(response.trace_id).expect("trace lookup works");
+        if looked_up.is_some() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let line = looked_up.expect("the recorder still holds the trace");
+    assert!(line.starts_with(&format!("id={:016x} ", response.trace_id)), "{line}");
+    assert!(line.contains("tenant=default"), "{line}");
+    assert!(line.contains("class=gold"), "{line}");
+    assert!(line.contains("outcome=completed"), "{line}");
+    assert!(line.contains("spans=admission:"), "{line}");
+    // An unknown id is an empty (not error) reply.
+    assert_eq!(client.trace_id(0xFFFF_FFFF_FFFF).expect("query works"), None);
+    // `trace last` lists it newest-first.
+    let recent = client.trace_last(8).expect("trace last works");
+    assert!(!recent.is_empty());
+    assert!(recent[0].contains("id="), "{recent:?}");
+    // The export is one line of Chrome trace-event JSON.
+    let json = client.trace_export().expect("export works");
+    assert!(json.starts_with('[') && json.ends_with(']'), "{json}");
+    assert!(json.contains("\"ph\":\"X\""), "{json}");
+    assert!(json.contains(&format!("\"trace_id\":\"{:016x}\"", response.trace_id)), "{json}");
+    // The metrics exposition carries the core series with labels.
+    let metrics = client.metrics().expect("metrics works");
+    for name in [
+        "blockgnn_requests_submitted_total",
+        "blockgnn_requests_completed_total",
+        "blockgnn_requests_shed_total",
+        "blockgnn_uptime_seconds",
+        "blockgnn_latency_seconds",
+    ] {
+        assert!(metrics.contains(&format!("# TYPE {name} ")), "missing {name}: {metrics}");
+    }
+    assert!(
+        metrics.contains(
+            "blockgnn_requests_completed_total{tenant=\"default\",backend=\"dense\"}"
+        ),
+        "{metrics}"
+    );
+    assert!(metrics.contains("quantile=\"0.99\""), "{metrics}");
+    // The session carries on afterwards — multi-line replies must not
+    // desynchronize the connection.
+    client.ping().expect("connection still healthy");
+    front.stop();
+}
+
+#[test]
+fn malformed_observability_lines_earn_typed_errors_not_hangs() {
+    let dataset = dataset();
+    let server = Arc::new(
+        Server::start(engine(&dataset), ServerConfig::default().with_workers(1))
+            .expect("server starts"),
+    );
+    let front = TcpServer::bind(Arc::clone(&server), "127.0.0.1:0").expect("binds");
+    let addr = front.local_addr();
+    let stream = std::net::TcpStream::connect(addr).expect("connects");
+    stream.set_nodelay(true).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    fn send(
+        writer: &mut std::net::TcpStream,
+        reader: &mut BufReader<std::net::TcpStream>,
+        line: &str,
+    ) -> String {
+        writer.write_all(line.as_bytes()).unwrap();
+        writer.write_all(b"\n").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        reply.trim_end().to_string()
+    }
+    for bad in [
+        "trace last=",
+        "trace last=banana",
+        "trace id=",
+        "trace id=zzzz",
+        "trace sideways",
+        "trace slow now",
+        "trace export --all",
+        "metrics please",
+        "metrics@default",
+        "trace@default last=1",
+    ] {
+        let reply = send(&mut writer, &mut reader, bad);
+        assert!(reply.starts_with("err protocol "), "{bad:?} → {reply:?}");
+    }
+    // Valid queries still work on the same connection afterwards. Each
+    // multi-line reply advertises its body length; drain it so the
+    // connection stays in sync.
+    let reply = send(&mut writer, &mut reader, "trace last=2");
+    let lines: usize = reply
+        .strip_prefix("ok trace lines=")
+        .unwrap_or_else(|| panic!("unexpected reply {reply:?}"))
+        .parse()
+        .unwrap();
+    for _ in 0..lines {
+        let mut body = String::new();
+        reader.read_line(&mut body).unwrap();
+    }
+    let reply = send(&mut writer, &mut reader, "metrics");
+    let lines: usize = reply
+        .strip_prefix("ok metrics lines=")
+        .unwrap_or_else(|| panic!("unexpected reply {reply:?}"))
+        .parse()
+        .unwrap();
+    assert!(lines > 0, "the exposition is never empty");
+    for _ in 0..lines {
+        let mut body = String::new();
+        reader.read_line(&mut body).unwrap();
+    }
+    writer.write_all(b"ping\n").unwrap();
+    writer.flush().unwrap();
+    let mut pong = String::new();
+    reader.read_line(&mut pong).unwrap();
+    assert_eq!(pong.trim_end(), "pong");
+    front.stop();
+}
