@@ -21,6 +21,12 @@
 //! flight recorder off; `trace_overhead_ratio` is the best paired
 //! traced/untraced throughput ratio across rounds, and the CI guard
 //! requires it ≥ 0.98 — tracing on must cost under 2% throughput.
+//! The `faultfree8` lane re-runs `batch8` with a zero-rate `FaultPlan`
+//! armed: every injection point compiled into the serving path draws
+//! (and never fires), so `fault_overhead_ratio` — the best paired
+//! armed/disabled throughput ratio, CI-guarded ≥ 0.98 — proves the
+//! fault-injection hooks cost under 2% when a chaos plan is loaded,
+//! and effectively nothing when it is not.
 
 use blockgnn_bench::json::{array, write_bench_file, JsonObject};
 use blockgnn_engine::{BackendKind, EngineBuilder, InferRequest};
@@ -28,7 +34,8 @@ use blockgnn_gnn::ModelKind;
 use blockgnn_graph::datasets;
 use blockgnn_nn::Compression;
 use blockgnn_server::{
-    run_closed_loop, LoadConfig, Server, ServerConfig, TcpServer, TenantSpec, DEFAULT_TENANT,
+    run_closed_loop, FaultPlan, LoadConfig, Server, ServerConfig, TcpServer, TenantSpec,
+    DEFAULT_TENANT,
 };
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
@@ -94,6 +101,7 @@ fn run_config(config: ServerConfig, label: &str) -> (String, f64) {
         .int("window_us", config.batch_window.as_micros())
         .raw("adaptive", config.adaptive_window.to_string())
         .raw("tracing", config.tracing.to_string())
+        .raw("faults_armed", config.faults.is_some().to_string())
         .int("workers", config.workers as u128)
         .int("ok", report.ok as u128)
         .num("qps", qps)
@@ -203,10 +211,12 @@ fn bench_server_load(_c: &mut Criterion) {
     let mut batch8_best: Option<(String, f64)> = None;
     let mut multi3_best: Option<(String, f64)> = None;
     let mut untraced_best: Option<(String, f64)> = None;
+    let mut faultfree_best: Option<(String, f64)> = None;
     let mut batch4_gain = 0.0f64;
     let mut batch8_gain = 0.0f64;
     let mut multi3_ratio = 0.0f64;
     let mut trace_overhead_ratio = 0.0f64;
+    let mut fault_overhead_ratio = 0.0f64;
     for round in 0..ROUNDS {
         let (u_row, u_qps) =
             run_config(ServerConfig::default().with_workers(2).unbatched(), "unbatched");
@@ -229,37 +239,51 @@ fn bench_server_load(_c: &mut Criterion) {
                 .with_tracing(false),
             "untraced8",
         );
+        // The fault-injection pair: `faultfree8` is `batch8` with a
+        // zero-rate plan *armed* — every injection point draws its
+        // deterministic stream and never fires — paired against the
+        // plain `batch8` whose injector is a true no-op.
+        let (ff_row, ff_qps) = run_config(
+            ServerConfig::default()
+                .with_workers(2)
+                .with_batching(window, 8)
+                .with_faults(Some(FaultPlan::new(1))),
+            "faultfree8",
+        );
         let (m3_row, m3_qps) = run_multi_tenant(
             ServerConfig::default().with_workers(2).with_batching(window, 8),
             "multi3",
         );
         println!(
             "server_load round {round}: batch4 {:.2}x, batch8 {:.2}x, multi3/batch8 {:.2}x, \
-             traced/untraced {:.3}x",
+             traced/untraced {:.3}x, armed/disabled {:.3}x",
             b4_qps / u_qps,
             b8_qps / u_qps,
             m3_qps / b8_qps,
-            b8_qps / nt_qps
+            b8_qps / nt_qps,
+            ff_qps / b8_qps
         );
         batch4_gain = batch4_gain.max(b4_qps / u_qps);
         batch8_gain = batch8_gain.max(b8_qps / u_qps);
         multi3_ratio = multi3_ratio.max(m3_qps / b8_qps);
         trace_overhead_ratio = trace_overhead_ratio.max(b8_qps / nt_qps);
+        fault_overhead_ratio = fault_overhead_ratio.max(ff_qps / b8_qps);
         keep_best(&mut unbatched_best, (u_row, u_qps));
         keep_best(&mut batch4_best, (b4_row, b4_qps));
         keep_best(&mut batch8_best, (b8_row, b8_qps));
         keep_best(&mut multi3_best, (m3_row, m3_qps));
         keep_best(&mut untraced_best, (nt_row, nt_qps));
+        keep_best(&mut faultfree_best, (ff_row, ff_qps));
     }
     let rows: Vec<String> =
-        [unbatched_best, batch4_best, batch8_best, multi3_best, untraced_best]
+        [unbatched_best, batch4_best, batch8_best, multi3_best, untraced_best, faultfree_best]
             .into_iter()
             .map(|best| best.expect("at least one round ran").0)
             .collect();
     println!(
         "server_load gain (best paired round of {ROUNDS}): batch4 {batch4_gain:.2}x, \
          batch8 {batch8_gain:.2}x, multi3/batch8 {multi3_ratio:.2}x, \
-         traced/untraced {trace_overhead_ratio:.3}x"
+         traced/untraced {trace_overhead_ratio:.3}x, armed/disabled {fault_overhead_ratio:.3}x"
     );
     let doc = JsonObject::new()
         .string("bench", "server_load")
@@ -275,6 +299,7 @@ fn bench_server_load(_c: &mut Criterion) {
         .num("batch8_gain", batch8_gain)
         .num("multi3_ratio", multi3_ratio)
         .num("trace_overhead_ratio", trace_overhead_ratio)
+        .num("fault_overhead_ratio", fault_overhead_ratio)
         .render();
     let path = write_bench_file("server", &doc).expect("bench json writes");
     println!("wrote {}", path.display());

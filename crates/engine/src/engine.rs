@@ -17,7 +17,7 @@ use blockgnn_perf::coeffs::HardwareCoeffs;
 use blockgnn_perf::params::CirCoreParams;
 use blockgnn_perf::resources::DRAM_BYTES;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Configures and constructs an [`Engine`].
@@ -362,7 +362,7 @@ impl Engine {
     /// already invalidates it. Affects every [`Engine::fork`] replica —
     /// the cache is shared.
     pub fn clear_full_graph_cache(&self) {
-        *self.shared.cache.lock().expect("cache lock") = None;
+        *self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Forks an independent replica for another worker thread: the
@@ -442,7 +442,7 @@ impl Engine {
     /// rather than duplicate the work; a delta bumps the version, so a
     /// stale entry can never answer).
     fn full_graph_outcome(&mut self, epoch: &GraphEpoch, nodes: &[usize]) -> ExecOutcome {
-        let mut guard = self.shared.cache.lock().expect("cache lock");
+        let mut guard = self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner);
         let from_cache = matches!(&*guard, Some((v, _)) if *v == epoch.version);
         if !from_cache {
             let shape =
@@ -736,7 +736,7 @@ impl std::fmt::Debug for Engine {
             .field(
                 "full_graph_cached",
                 &matches!(
-                    &*self.shared.cache.lock().expect("cache lock"),
+                    &*self.shared.cache.lock().unwrap_or_else(PoisonError::into_inner),
                     Some((v, _)) if *v == epoch.version
                 ),
             )

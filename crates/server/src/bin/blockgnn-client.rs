@@ -1,7 +1,8 @@
 //! `blockgnn-client`: drive a `blockgnn-serve` instance.
 //!
 //! ```text
-//! blockgnn-client --addr HOST:PORT ping
+//! blockgnn-client --addr HOST:PORT [--timeout-ms T] ping
+//! blockgnn-client --addr HOST:PORT health
 //! blockgnn-client --addr HOST:PORT stats [--tenant NAME]
 //! blockgnn-client --addr HOST:PORT shutdown
 //! blockgnn-client --addr HOST:PORT infer --nodes 0,1,2
@@ -19,7 +20,7 @@
 //!                 [--tenant NAME:WEIGHT …]
 //! blockgnn-client --addr HOST:PORT replay [--seed N] [--events N] [--nodes N]
 //!                 [--gold-deadline-ms D] [--trace FILE] [--save FILE]
-//!                 [--tenant NAME …]
+//!                 [--retry N] [--tenant NAME …]
 //! blockgnn-client --addr HOST:PORT metrics
 //! blockgnn-client --addr HOST:PORT trace [last=N | id=HEX | slow | export [--out FILE]]
 //! ```
@@ -42,16 +43,31 @@
 //! default; `id=HEX` one request; `slow` the retained slow/shed/failed
 //! exemplars; `export` Chrome trace-event JSON, to stdout or `--out`).
 //! `--tenant` omitted addresses the `default` tenant everywhere.
+//! `--timeout-ms` (global) bounds connect/read/write on every command
+//! (default: the library's bounded `ClientTimeouts`). `health` prints
+//! the pool's liveness line and exits 1 while the pool is degraded —
+//! a shell-scriptable readiness probe. `replay --retry N` drives the
+//! resilient chaos driver: up to N attempts per event with reconnects
+//! and jittered backoff, so injected resets and worker crashes must
+//! all converge for the run to pass.
 
 use blockgnn_engine::{GraphDelta, InferRequest};
 use blockgnn_server::tenant::{backend_kind_name, model_kind_name};
-use blockgnn_server::workload::{ci_adversarial_spec, replay_tcp, zipfian_pool, Trace};
+use blockgnn_server::workload::{
+    ci_adversarial_spec, replay_tcp, replay_tcp_resilient, zipfian_pool, Trace,
+};
 use blockgnn_server::{
-    run_closed_loop, Client, LoadConfig, SloClass, SubmitOptions, TenantSpec,
+    run_closed_loop, Client, ClientTimeouts, LoadConfig, RetryPolicy, SloClass, SubmitOptions,
+    TenantSpec,
 };
 use std::net::SocketAddr;
 use std::process::ExitCode;
+use std::sync::OnceLock;
 use std::time::Duration;
+
+/// The global `--timeout-ms` override, set once during argument
+/// parsing and read by every `connect` call.
+static TIMEOUTS: OnceLock<ClientTimeouts> = OnceLock::new();
 
 fn main() -> ExitCode {
     match run() {
@@ -73,6 +89,10 @@ fn run() -> Result<(), String> {
         if word == "--addr" {
             let v = it.next().ok_or("--addr needs HOST:PORT")?;
             addr = Some(v.parse().map_err(|_| format!("bad address {v:?}"))?);
+        } else if word == "--timeout-ms" {
+            let v = it.next().ok_or("--timeout-ms needs a value")?;
+            let ms: u64 = v.parse().map_err(|_| format!("bad timeout {v:?}"))?;
+            let _ = TIMEOUTS.set(ClientTimeouts::all(Duration::from_millis(ms)));
         } else if command.is_none() {
             command = Some(word);
         } else {
@@ -87,6 +107,7 @@ fn run() -> Result<(), String> {
             println!("pong");
             Ok(())
         }
+        "health" => health(addr, &rest),
         "stats" => stats(addr, &rest),
         "shutdown" => {
             connect(addr)?.shutdown().map_err(|e| format!("err {e}"))?;
@@ -107,12 +128,28 @@ fn run() -> Result<(), String> {
 }
 
 fn connect(addr: SocketAddr) -> Result<Client, String> {
-    Client::connect(addr).map_err(|e| format!("err connect {addr}: {e}"))
+    let timeouts = TIMEOUTS.get().copied().unwrap_or_default();
+    Client::connect_with(addr, timeouts).map_err(|e| format!("err connect {addr}: {e}"))
+}
+
+fn health(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
+    if !rest.is_empty() {
+        return Err(format!("health takes no arguments, got {rest:?}"));
+    }
+    let report = connect(addr)?.health().map_err(|e| format!("err {e}"))?;
+    println!(
+        "ok health workers={} alive={} crashes={} restarts={} degraded={}",
+        report.workers, report.alive, report.crashes, report.restarts, report.degraded
+    );
+    if report.degraded {
+        return Err("pool is degraded (circuit breaker open)".into());
+    }
+    Ok(())
 }
 
 fn usage() -> String {
-    "usage: blockgnn-client --addr HOST:PORT \
-     (ping | stats [--tenant NAME] | shutdown \
+    "usage: blockgnn-client --addr HOST:PORT [--timeout-ms T] \
+     (ping | health | stats [--tenant NAME] | shutdown \
      | infer --nodes 0,1,2 [--sampled S1,S2,SEED | --full] [--class gold|silver|bronze] \
        [--deadline-ms D] [--tenant NAME] \
      | update [--add U:V,...] [--del U:V,...] [--feat NODE:F,F,...] [--new F,...;F,...] \
@@ -123,7 +160,7 @@ fn usage() -> String {
      | load --clients N --requests N [--workload closed|zipfian] [--class C] [--zipf EXP] \
        [--pool N] [--s1 N] [--s2 N] [--nodes N] [--tenant NAME:WEIGHT ...] \
      | replay [--seed N] [--events N] [--nodes N] [--gold-deadline-ms D] [--trace FILE] \
-       [--save FILE] [--tenant NAME ...] \
+       [--save FILE] [--retry N] [--tenant NAME ...] \
      | metrics \
      | trace [last=N | id=HEX | slow | export [--out FILE]])"
         .into()
@@ -483,6 +520,7 @@ fn replay(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     let mut trace_file: Option<String> = None;
     let mut save_file: Option<String> = None;
     let mut tenants: Vec<String> = Vec::new();
+    let mut retry: Option<u32> = None;
     let mut it = rest.iter();
     while let Some(flag) = it.next() {
         let v = it.next().ok_or(format!("{flag} needs a value"))?;
@@ -493,6 +531,7 @@ fn replay(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
             "--gold-deadline-ms" => gold_deadline_ms = parse(v)?,
             "--trace" => trace_file = Some(v.clone()),
             "--save" => save_file = Some(v.clone()),
+            "--retry" => retry = Some(parse(v)?),
             "--tenant" => tenants.push(v.clone()),
             other => return Err(format!("unknown replay flag {other:?}")),
         }
@@ -517,11 +556,20 @@ fn replay(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
     if let Some(path) = save_file {
         std::fs::write(&path, trace.encode()).map_err(|e| format!("write {path:?}: {e}"))?;
     }
-    let report = replay_tcp(addr, &trace);
+    let report = match retry {
+        // The chaos driver: injected resets and crashed workers must
+        // all converge within the retry budget for the run to pass.
+        Some(attempts) => replay_tcp_resilient(
+            addr,
+            &trace,
+            &RetryPolicy { attempts: attempts.max(1), ..RetryPolicy::default() },
+        ),
+        None => replay_tcp(addr, &trace),
+    };
     let gold_p99 = report.class_p99(SloClass::Gold);
     println!(
         "replay seed={} events={} sent={} ok={} shed={} typed_errors={} transport_errors={} \
-         updates_ok={} gold_p99_us={} silver_p99_us={} bronze_p99_us={}",
+         updates_ok={} retries={} gold_p99_us={} silver_p99_us={} bronze_p99_us={}",
         trace.seed,
         trace.events.len(),
         report.sent,
@@ -530,6 +578,7 @@ fn replay(addr: SocketAddr, rest: &[String]) -> Result<(), String> {
         report.typed_errors,
         report.transport_errors,
         report.updates_ok,
+        report.retries,
         gold_p99.as_micros(),
         report.class_p99(SloClass::Silver).as_micros(),
         report.class_p99(SloClass::Bronze).as_micros(),

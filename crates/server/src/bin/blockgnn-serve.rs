@@ -8,8 +8,13 @@
 //!                [--batch-window-us N] [--max-batch N]
 //!                [--queue-depth N] [--deadline-ms N]
 //!                [--device-budget BYTES] [--no-tracing]
+//!                [--faults SPEC]
 //!                [--tenant NAME=DATASET:MODEL:BACKEND]...
 //! ```
+//!
+//! `--faults` arms the deterministic fault injector for chaos runs —
+//! a comma-separated `key=value` spec (see `FaultPlan::parse`), e.g.
+//! `--faults seed=0xC4A0_5F17,panic=120,max_panics=6,reset=60`.
 //!
 //! The `--dataset`/`--model`/`--backend` triple becomes the `default`
 //! tenant; each repeatable `--tenant` deploys one more alongside it
@@ -22,7 +27,7 @@
 use blockgnn_engine::{BackendKind, EngineBuilder};
 use blockgnn_gnn::{Compression, ModelKind};
 use blockgnn_graph::datasets;
-use blockgnn_server::{Server, ServerConfig, TcpServer, TenantSpec};
+use blockgnn_server::{FaultPlan, Server, ServerConfig, TcpServer, TenantSpec};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -91,6 +96,12 @@ fn parse_args() -> Result<Args, String> {
                 args.config.device_budget_bytes = Some(parse(&value(&flag)?)?);
             }
             "--no-tracing" => args.config.tracing = false,
+            "--faults" => {
+                args.config.faults = Some(
+                    FaultPlan::parse(&value(&flag)?)
+                        .map_err(|e| format!("bad --faults spec: {e}"))?,
+                );
+            }
             "--tenant" => args.tenants.push(TenantSpec::parse_compact(&value(&flag)?)?),
             "--help" | "-h" => return Err("help".into()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -115,7 +126,7 @@ fn main() -> ExitCode {
                  [--backend dense|spectral|simulated-accel] [--hidden N] [--block N] \
                  [--seed N] [--addr HOST:PORT] [--workers N] [--batch-window-us N] \
                  [--max-batch N] [--queue-depth N] [--deadline-ms N] \
-                 [--device-budget BYTES] [--no-tracing] \
+                 [--device-budget BYTES] [--no-tracing] [--faults SPEC] \
                  [--tenant NAME=DATASET:MODEL:BACKEND]...",
                 datasets::small_names().join("|"),
             );

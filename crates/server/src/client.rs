@@ -2,46 +2,228 @@
 //! generator used by the throughput benchmark and the CI smoke test.
 
 use crate::error::ServerError;
+use crate::fault::splitmix;
 use crate::protocol::{
     encode_deploy, encode_infer, encode_stats, encode_update, parse_deploy_ack, parse_error,
-    parse_list_reply, parse_response, parse_update_ack, RemoteResponse, UpdateAck,
+    parse_health, parse_list_reply, parse_response, parse_update_ack, HealthReport,
+    RemoteResponse, UpdateAck,
 };
 use crate::queue::SubmitOptions;
 use crate::tenant::{TenantInfo, TenantSpec};
 use blockgnn_engine::{GraphDelta, InferRequest, LatencyHistogram};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
+
+/// Client-side transport deadlines. Every [`Client`] carries one: the
+/// default bounds every phase (no more indefinite blocking on a hung
+/// server); [`ClientTimeouts::none`] restores the old wait-forever
+/// behavior for debuggers and very slow links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientTimeouts {
+    /// TCP connect deadline.
+    pub connect: Option<Duration>,
+    /// Per-reply read deadline; expiry surfaces as a typed
+    /// [`ServerError::Timeout`].
+    pub read: Option<Duration>,
+    /// Per-request write deadline.
+    pub write: Option<Duration>,
+}
+
+impl Default for ClientTimeouts {
+    /// 5 s to connect, 30 s per reply, 10 s per write.
+    fn default() -> Self {
+        Self {
+            connect: Some(Duration::from_secs(5)),
+            read: Some(Duration::from_secs(30)),
+            write: Some(Duration::from_secs(10)),
+        }
+    }
+}
+
+impl ClientTimeouts {
+    /// No deadlines anywhere (block indefinitely, pre-timeout behavior).
+    #[must_use]
+    pub fn none() -> Self {
+        Self { connect: None, read: None, write: None }
+    }
+
+    /// One deadline applied to connect, read, and write alike.
+    #[must_use]
+    pub fn all(timeout: Duration) -> Self {
+        Self { connect: Some(timeout), read: Some(timeout), write: Some(timeout) }
+    }
+}
+
+/// Jittered-exponential-backoff retry policy for idempotent
+/// re-submission. Inference is pure per graph version, so a request
+/// that died to a crashed worker, a reset connection, or a timeout is
+/// safe to send again — the answer bits are identical whichever attempt
+/// lands (its trace id identifies re-submissions in the flight
+/// recorder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included; 1 = no retry).
+    pub attempts: u32,
+    /// Base backoff before the first retry; doubles per attempt.
+    pub base: Duration,
+    /// Cap on the grown backoff.
+    pub max: Duration,
+    /// Seed of the deterministic jitter stream (each sleep lands in
+    /// `[50%, 100%]` of the grown backoff).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    /// 5 attempts, 2 ms doubling to 200 ms, seed `0x5EED`.
+    fn default() -> Self {
+        Self {
+            attempts: 5,
+            base: Duration::from_millis(2),
+            max: Duration::from_millis(200),
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Whether an error is safe and useful to retry: transport failures
+    /// and timeouts (reconnect first), crashed workers (respawned behind
+    /// the reply), and overload sheds (backoff absorbs the burst).
+    /// Deadline sheds are final — the deadline has passed — and engine /
+    /// protocol / tenant errors are deterministic, so retrying cannot
+    /// help.
+    #[must_use]
+    pub fn retryable(error: &ServerError) -> bool {
+        matches!(
+            error,
+            ServerError::WorkerCrashed
+                | ServerError::Timeout { .. }
+                | ServerError::Io(_)
+                | ServerError::Overloaded { .. }
+        )
+    }
+
+    /// The jittered sleep before retry number `attempt` (0-based):
+    /// `base × 2^attempt` capped at `max`, scaled into `[50%, 100%]` by
+    /// the seeded jitter stream.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let grown = self.base.saturating_mul(1u32 << attempt.min(16)).min(self.max);
+        let jitter = splitmix(self.seed ^ u64::from(attempt)) % 512;
+        grown / 2 + grown.mul_f64(jitter as f64 / 1024.0)
+    }
+}
 
 /// A blocking client over one TCP connection.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The resolved peer, kept for reconnect-on-retry.
+    addr: SocketAddr,
+    timeouts: ClientTimeouts,
 }
 
 impl Client {
-    /// Connects to a serving front end.
+    /// Connects to a serving front end with the default
+    /// [`ClientTimeouts`] (bounded connect/read/write — a hung server
+    /// surfaces as a typed [`ServerError::Timeout`], never an indefinite
+    /// block).
     ///
     /// # Errors
     ///
     /// Propagates connection failures.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::connect_with(addr, ClientTimeouts::default())
+    }
+
+    /// Connects with explicit transport deadlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures (including connect-deadline
+    /// expiry).
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        timeouts: ClientTimeouts,
+    ) -> std::io::Result<Self> {
+        let mut last_err = None;
+        for candidate in addr.to_socket_addrs()? {
+            let connected = match timeouts.connect {
+                Some(deadline) => TcpStream::connect_timeout(&candidate, deadline),
+                None => TcpStream::connect(candidate),
+            };
+            match connected {
+                Ok(stream) => return Self::wrap(stream, candidate, timeouts),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn wrap(
+        stream: TcpStream,
+        addr: SocketAddr,
+        timeouts: ClientTimeouts,
+    ) -> std::io::Result<Self> {
         stream.set_nodelay(true)?;
+        stream.set_read_timeout(timeouts.read)?;
+        stream.set_write_timeout(timeouts.write)?;
         let writer = stream.try_clone()?;
-        Ok(Self { reader: BufReader::new(stream), writer })
+        Ok(Self { reader: BufReader::new(stream), writer, addr, timeouts })
+    }
+
+    /// The transport deadlines this client operates under.
+    #[must_use]
+    pub fn timeouts(&self) -> ClientTimeouts {
+        self.timeouts
+    }
+
+    /// Drops the connection and dials the same peer again (the retry
+    /// path's recovery from resets and timeouts, after which buffered
+    /// half-replies are gone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn reconnect(&mut self) -> std::io::Result<()> {
+        let stream = match self.timeouts.connect {
+            Some(deadline) => TcpStream::connect_timeout(&self.addr, deadline),
+            None => TcpStream::connect(self.addr),
+        }?;
+        *self = Self::wrap(stream, self.addr, self.timeouts)?;
+        Ok(())
+    }
+
+    /// Maps an I/O failure to the typed error surface: deadline expiry
+    /// (`WouldBlock`/`TimedOut`) becomes [`ServerError::Timeout`] with
+    /// the deadline that expired, everything else stays
+    /// [`ServerError::Io`].
+    fn transport_error(e: &std::io::Error, waited: Option<Duration>) -> ServerError {
+        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+            ServerError::Timeout { waited: waited.unwrap_or_default() }
+        } else {
+            ServerError::Io(e.to_string())
+        }
     }
 
     fn roundtrip(&mut self, line: &str) -> Result<String, ServerError> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
-        let mut reply = String::new();
-        let n = self.reader.read_line(&mut reply)?;
-        if n == 0 {
-            return Err(ServerError::Io("server closed the connection".into()));
+        let write = self
+            .writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush());
+        if let Err(e) = write {
+            return Err(Self::transport_error(&e, self.timeouts.write));
         }
-        Ok(reply.trim_end().to_string())
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err(ServerError::Io("server closed the connection".into())),
+            Ok(_) => Ok(reply.trim_end().to_string()),
+            Err(e) => Err(Self::transport_error(&e, self.timeouts.read)),
+        }
     }
 
     /// Sends one inference request to the default tenant and blocks for
@@ -89,6 +271,66 @@ impl Client {
             return Err(parse_error(&reply)?);
         }
         parse_response(&reply)
+    }
+
+    /// Submits an inference with idempotent retry under `policy`:
+    /// retryable failures ([`RetryPolicy::retryable`]) sleep the
+    /// policy's jittered backoff and re-submit; transport failures and
+    /// timeouts reconnect first (the old connection's state is suspect).
+    /// Safe because inference is pure per graph version — every attempt
+    /// computes the same bits.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's error once the budget is exhausted, or the
+    /// first non-retryable error.
+    pub fn infer_retry(
+        &mut self,
+        request: &InferRequest,
+        options: SubmitOptions,
+        tenant: Option<&str>,
+        policy: &RetryPolicy,
+    ) -> Result<RemoteResponse, ServerError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.infer_tenant(request, options, tenant) {
+                Ok(response) => return Ok(response),
+                Err(e)
+                    if attempt + 1 < policy.attempts.max(1) && RetryPolicy::retryable(&e) =>
+                {
+                    std::thread::sleep(policy.backoff(attempt));
+                    if matches!(e, ServerError::Io(_) | ServerError::Timeout { .. }) {
+                        // Reconnect failures are themselves retryable —
+                        // the server may be mid-respawn; keep burning
+                        // attempts until the budget runs out.
+                        while self.reconnect().is_err() {
+                            attempt += 1;
+                            if attempt + 1 >= policy.attempts.max(1) {
+                                return Err(e);
+                            }
+                            std::thread::sleep(policy.backoff(attempt));
+                        }
+                    }
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fetches the serving pool's health report (`health` verb):
+    /// worker liveness, crash/restart counters, and whether the circuit
+    /// breaker currently has the pool degraded.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn health(&mut self) -> Result<HealthReport, ServerError> {
+        let reply = self.roundtrip("health")?;
+        if reply.starts_with("err ") {
+            return Err(parse_error(&reply)?);
+        }
+        parse_health(&reply)
     }
 
     /// Applies a graph delta to the default tenant, blocking for the ack
@@ -231,10 +473,11 @@ impl Client {
         let mut body = Vec::with_capacity(count);
         for _ in 0..count {
             let mut line = String::new();
-            if self.reader.read_line(&mut line)? == 0 {
-                return Err(ServerError::Io("server closed mid-reply".into()));
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err(ServerError::Io("server closed mid-reply".into())),
+                Ok(_) => body.push(line.trim_end().to_string()),
+                Err(e) => return Err(Self::transport_error(&e, self.timeouts.read)),
             }
-            body.push(line.trim_end().to_string());
         }
         Ok(body)
     }

@@ -1,5 +1,6 @@
 //! Serving-runtime configuration.
 
+use crate::fault::FaultPlan;
 use crate::queue::{SloClass, NUM_CLASSES};
 use std::time::Duration;
 
@@ -75,6 +76,27 @@ pub struct ServerConfig {
     /// `server_load` overhead lane); off makes every recording path a
     /// no-op and responses carry `trace_id = 0`.
     pub tracing: bool,
+    /// Crashes within [`ServerConfig::breaker_window`] that open the
+    /// supervision circuit breaker and mark the pool degraded (brownout
+    /// shedding, `degraded=true` on `health`).
+    pub breaker_threshold: usize,
+    /// The sliding window the breaker counts crashes over.
+    pub breaker_window: Duration,
+    /// How long after the last crash the breaker stays open before the
+    /// pool is considered recovered.
+    pub breaker_cooldown: Duration,
+    /// Base backoff a crashed worker sleeps before respawning; doubles
+    /// per consecutive crash up to
+    /// [`ServerConfig::restart_backoff_max`] and resets after a clean
+    /// batch.
+    pub restart_backoff: Duration,
+    /// Cap on the exponential respawn backoff.
+    pub restart_backoff_max: Duration,
+    /// Deterministic fault plan injected into the compiled-in injection
+    /// points (engine-stage panics/latency/allocation failures, socket
+    /// resets/stalls). `None` (the default) leaves every injection point
+    /// a single-branch no-op.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -97,6 +119,12 @@ impl Default for ServerConfig {
             ],
             adaptive_window: true,
             tracing: true,
+            breaker_threshold: 3,
+            breaker_window: Duration::from_secs(10),
+            breaker_cooldown: Duration::from_secs(2),
+            restart_backoff: Duration::from_millis(5),
+            restart_backoff_max: Duration::from_millis(200),
+            faults: None,
         }
     }
 }
@@ -164,6 +192,38 @@ impl ServerConfig {
     #[must_use]
     pub fn with_tracing(mut self, tracing: bool) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Sets the supervision circuit breaker: `threshold` crashes within
+    /// `window` mark the pool degraded; `cooldown` after the last crash
+    /// closes the breaker again.
+    #[must_use]
+    pub fn with_breaker(
+        mut self,
+        threshold: usize,
+        window: Duration,
+        cooldown: Duration,
+    ) -> Self {
+        self.breaker_threshold = threshold.max(1);
+        self.breaker_window = window;
+        self.breaker_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the crashed-worker respawn backoff (base, doubling to cap).
+    #[must_use]
+    pub fn with_restart_backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.restart_backoff = base;
+        self.restart_backoff_max = max.max(base);
+        self
+    }
+
+    /// Loads a deterministic [`FaultPlan`] into the injection points
+    /// (`None` disables injection — the default).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
         self
     }
 

@@ -29,6 +29,19 @@ pub enum ServerError {
     },
     /// The server is shutting down and no longer admits requests.
     ShuttingDown,
+    /// The serving worker panicked mid-batch; every in-flight request of
+    /// that batch gets this typed reply instead of a dropped connection.
+    /// Inference is pure per graph version, so the request is safe to
+    /// re-submit — the supervisor respawns the worker behind it.
+    WorkerCrashed,
+    /// A client-side timeout: the configured connect/read/write deadline
+    /// passed with no reply. The request may or may not have executed;
+    /// re-submitting is safe because inference is pure per graph
+    /// version.
+    Timeout {
+        /// The deadline that expired.
+        waited: Duration,
+    },
     /// The serving worker disappeared before answering (only possible
     /// during an unclean teardown).
     Canceled,
@@ -77,6 +90,12 @@ impl fmt::Display for ServerError {
                 write!(f, "request shed: deadline passed after waiting {waited:?}")
             }
             ServerError::ShuttingDown => write!(f, "server is shutting down"),
+            ServerError::WorkerCrashed => {
+                write!(f, "serving worker crashed mid-batch; safe to re-submit")
+            }
+            ServerError::Timeout { waited } => {
+                write!(f, "request timed out after {waited:?}")
+            }
             ServerError::Canceled => write!(f, "serving worker dropped the request"),
             ServerError::UnknownTenant { name } => {
                 write!(f, "no tenant named {name:?} is deployed")
@@ -100,6 +119,12 @@ impl fmt::Display for ServerError {
 }
 
 impl Error for ServerError {}
+
+/// The client-side face of the serving errors. [`crate::Client`]
+/// surfaces the same typed enum the server replies with — plus the
+/// purely client-side [`ServerError::Timeout`] — so this alias names
+/// the contract without forking the type.
+pub type ClientError = ServerError;
 
 impl From<EngineError> for ServerError {
     fn from(e: EngineError) -> Self {

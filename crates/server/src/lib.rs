@@ -65,6 +65,21 @@
 //!   exposition; the `metrics` and `trace` protocol verbs put both on
 //!   the wire. Tracing is on by default and costs < 2% throughput
 //!   ([`ServerConfig::tracing`] is the off switch).
+//! * **Fault tolerance** — panic-isolated worker fault domains: a
+//!   panic mid-batch converts every in-flight request of that batch
+//!   into a typed [`ServerError::WorkerCrashed`] reply (the connection
+//!   survives), the crashed replica is respawned from
+//!   [`blockgnn_engine::Engine::fork`] under exponential backoff, and a
+//!   [`CircuitBreaker`] marks the pool degraded (≥K crashes in a
+//!   window), shedding bronze before silver before gold until the
+//!   cooldown passes. A seeded [`FaultPlan`] injects deterministic
+//!   panics / latency / allocation failures at engine stage boundaries
+//!   and resets / stalls at the socket layer ([`FaultInjector`] — a
+//!   no-op when disabled), the `health` verb reports
+//!   [`HealthReport`], and [`Client`] carries bounded
+//!   [`ClientTimeouts`] plus an idempotent jittered-backoff
+//!   [`RetryPolicy`] so chaos runs converge with zero transport
+//!   errors.
 //! * **A TCP front end** — [`TcpServer`] speaks the line protocol of
 //!   [`protocol`] (logits cross as `f64` bit patterns, so remote
 //!   answers stay bit-identical); [`Client`] and the closed-loop
@@ -97,6 +112,7 @@
 mod client;
 mod config;
 mod error;
+mod fault;
 mod observe;
 pub mod protocol;
 mod queue;
@@ -107,14 +123,17 @@ mod telemetry;
 pub mod tenant;
 pub mod workload;
 
-pub use client::{run_closed_loop, Client, LoadConfig, LoadReport};
+pub use client::{
+    run_closed_loop, Client, ClientTimeouts, LoadConfig, LoadReport, RetryPolicy,
+};
 pub use config::{ClassPolicy, ServerConfig};
-pub use error::ServerError;
+pub use error::{ClientError, ServerError};
+pub use fault::{CircuitBreaker, EngineFault, FaultInjector, FaultPlan, SocketFault};
 pub use observe::{
     chrome_trace_json, MetricKind, MetricsRegistry, Recorder, Span, TraceOutcome, TraceQuery,
     TraceRecord, EXEMPLAR_CAPACITY, RING_CAPACITY, SLOW_THRESHOLD,
 };
-pub use protocol::{RemoteResponse, UpdateAck};
+pub use protocol::{HealthReport, RemoteResponse, UpdateAck};
 pub use queue::{SloClass, SubmitOptions};
 pub use server::{Server, ServerHandle, Ticket};
 pub use tcp::TcpServer;

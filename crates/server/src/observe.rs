@@ -33,6 +33,7 @@
 //! `class`, and `backend` — nothing is double-counted, and the metric
 //! names are stable (CI greps them).
 
+use crate::fault::lock_recover;
 use crate::queue::SloClass;
 use blockgnn_engine::LatencyHistogram;
 use std::collections::BTreeMap;
@@ -109,11 +110,14 @@ pub enum TraceOutcome {
     ShedOverload,
     /// Shed at dequeue: the deadline passed while queued.
     ShedDeadline,
+    /// The serving worker panicked mid-batch; the request was answered
+    /// with a typed [`crate::ServerError::WorkerCrashed`].
+    Crashed,
 }
 
 impl TraceOutcome {
     /// The stable wire spelling (`completed` / `failed` /
-    /// `shed_overload` / `shed_deadline`).
+    /// `shed_overload` / `shed_deadline` / `crashed`).
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
@@ -121,6 +125,7 @@ impl TraceOutcome {
             TraceOutcome::Failed => "failed",
             TraceOutcome::ShedOverload => "shed_overload",
             TraceOutcome::ShedDeadline => "shed_deadline",
+            TraceOutcome::Crashed => "crashed",
         }
     }
 }
@@ -282,7 +287,7 @@ impl Recorder {
             self.promote(record.clone());
         }
         let ring = &self.rings[worker % self.rings.len()];
-        ring.lock().expect("flight-recorder ring").push(record);
+        lock_recover(ring).push(record);
     }
 
     /// Records a request shed before it reached any worker (overload at
@@ -296,7 +301,7 @@ impl Recorder {
     }
 
     fn promote(&self, record: TraceRecord) {
-        let mut exemplars = self.exemplars.lock().expect("exemplar buffer");
+        let mut exemplars = lock_recover(&self.exemplars);
         let slot = exemplars.entry(record.class).or_default();
         if slot.len() == EXEMPLAR_CAPACITY {
             slot.pop_front();
@@ -310,7 +315,7 @@ impl Recorder {
     pub fn last(&self, n: usize) -> Vec<TraceRecord> {
         let mut all: Vec<TraceRecord> = Vec::new();
         for ring in &self.rings {
-            all.extend(ring.lock().expect("flight-recorder ring").slots.iter().cloned());
+            all.extend(lock_recover(ring).slots.iter().cloned());
         }
         all.sort_by_key(|r| std::cmp::Reverse(r.trace_id));
         all.truncate(n);
@@ -322,12 +327,12 @@ impl Recorder {
     #[must_use]
     pub fn find(&self, trace_id: u64) -> Option<TraceRecord> {
         for ring in &self.rings {
-            let ring = ring.lock().expect("flight-recorder ring");
+            let ring = lock_recover(ring);
             if let Some(r) = ring.slots.iter().rev().find(|r| r.trace_id == trace_id) {
                 return Some(r.clone());
             }
         }
-        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        let exemplars = lock_recover(&self.exemplars);
         exemplars.values().flatten().find(|r| r.trace_id == trace_id).cloned()
     }
 
@@ -335,14 +340,14 @@ impl Recorder {
     /// within a class.
     #[must_use]
     pub fn exemplars(&self) -> Vec<TraceRecord> {
-        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        let exemplars = lock_recover(&self.exemplars);
         exemplars.values().flatten().cloned().collect()
     }
 
     /// Per-class exemplar occupancy (for the metrics exposition).
     #[must_use]
     pub fn exemplar_counts(&self) -> BTreeMap<SloClass, usize> {
-        let exemplars = self.exemplars.lock().expect("exemplar buffer");
+        let exemplars = lock_recover(&self.exemplars);
         exemplars.iter().map(|(c, v)| (*c, v.len())).collect()
     }
 
@@ -350,7 +355,7 @@ impl Recorder {
     /// [`RING_CAPACITY`]).
     #[must_use]
     pub fn recorded(&self) -> usize {
-        self.rings.iter().map(|r| r.lock().expect("flight-recorder ring").slots.len()).sum()
+        self.rings.iter().map(|r| lock_recover(r).slots.len()).sum()
     }
 }
 

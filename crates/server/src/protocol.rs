@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! command   = infer | update | "ping" | stats | deploy | retire
-//!           | "list" | "metrics" | trace | "shutdown"
+//!           | "list" | "metrics" | trace | "health" | "shutdown"
 //! infer     = "infer" ["@" tenant] SP target [SP option]*
 //! target    = "full" SP ("all" | nodes)
 //!           | "sampled" SP "s1=" int SP "s2=" int SP "seed=" int SP "nodes=" nodes
@@ -44,6 +44,8 @@
 //!           | "ok list tenants=" int (SP info)*
 //!           | "ok metrics lines=" int LF *(exposition-line LF)
 //!           | "ok trace lines=" int LF *(trace-line LF)
+//!           | "ok health workers=" int SP "alive=" int SP "crashes=" int
+//!             SP "restarts=" int SP "degraded=" ("true"|"false")
 //!           | "ok bye" | "err" SP kind SP message
 //! info      = tenant ":" model ":" backend ":" version ":" nodes
 //!             ":" weight ":" depth ":" resident
@@ -56,6 +58,7 @@
 //!               SP "preds=" int ("," int)*
 //!               SP "logits=" row (";" row)*     row = hex64 ("," hex64)*
 //! kind      = "overloaded" | "deadline" | "shutting_down" | "canceled"
+//!           | "worker_crashed" | "timeout"
 //!           | "bad_request" | "engine" | "protocol" | "io"
 //!           | "unknown_tenant" | "tenant_exists" | "tenant_budget"
 //! ```
@@ -102,6 +105,10 @@ pub enum Command {
     /// Query the flight recorder (recent / by-id / slow exemplars /
     /// Chrome trace-event export).
     Trace(crate::observe::TraceQuery),
+    /// One-line worker-pool health: alive count, crash/restart totals,
+    /// and whether the supervision circuit breaker marks the pool
+    /// degraded.
+    Health,
     /// Stop the server cleanly.
     Shutdown,
 }
@@ -141,6 +148,12 @@ pub fn parse_command(line: &str) -> Result<Command, String> {
                 return Err(format!("unexpected word {extra:?} after metrics"));
             }
             Ok(Command::Metrics)
+        }
+        "health" => {
+            if let Some(extra) = words.next() {
+                return Err(format!("unexpected word {extra:?} after health"));
+            }
+            Ok(Command::Health)
         }
         "trace" => parse_trace(&mut words),
         "retire" => {
@@ -870,6 +883,79 @@ pub fn parse_response(line: &str) -> Result<RemoteResponse, ServerError> {
     })
 }
 
+/// What the `health` verb reports: the worker pool's supervision state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthReport {
+    /// Configured worker count.
+    pub workers: usize,
+    /// Workers currently serving (dips while a crashed worker backs
+    /// off before its respawn).
+    pub alive: usize,
+    /// Lifetime worker crashes (panics caught by a fault domain).
+    pub crashes: u64,
+    /// Lifetime worker respawns.
+    pub restarts: u64,
+    /// Whether the circuit breaker currently marks the pool degraded
+    /// (brownout shedding active).
+    pub degraded: bool,
+}
+
+/// Renders a pool-health report as an `ok health` reply line (no
+/// newline).
+#[must_use]
+pub fn encode_health(health: &HealthReport) -> String {
+    format!(
+        "ok health workers={} alive={} crashes={} restarts={} degraded={}",
+        health.workers, health.alive, health.crashes, health.restarts, health.degraded
+    )
+}
+
+/// Parses an `ok health` reply back into a [`HealthReport`].
+///
+/// # Errors
+///
+/// [`ServerError::Protocol`] when the line does not match the grammar.
+pub fn parse_health(line: &str) -> Result<HealthReport, ServerError> {
+    let body = line.strip_prefix("ok health ").ok_or_else(|| {
+        ServerError::Protocol(format!("expected ok health reply, got {line:?}"))
+    })?;
+    let mut workers = None;
+    let mut alive = None;
+    let mut crashes = None;
+    let mut restarts = None;
+    let mut degraded = None;
+    for word in body.split_whitespace() {
+        let (key, value) = word
+            .split_once('=')
+            .ok_or_else(|| ServerError::Protocol(format!("bad field {word:?}")))?;
+        match key {
+            "workers" => workers = Some(parse_usize(value)?),
+            "alive" => alive = Some(parse_usize(value)?),
+            "crashes" => crashes = Some(parse_u64(value)?),
+            "restarts" => restarts = Some(parse_u64(value)?),
+            "degraded" => {
+                degraded = Some(match value {
+                    "true" => true,
+                    "false" => false,
+                    other => {
+                        return Err(ServerError::Protocol(format!("bad degraded {other:?}")));
+                    }
+                });
+            }
+            other => {
+                return Err(ServerError::Protocol(format!("unknown field {other:?}")));
+            }
+        }
+    }
+    Ok(HealthReport {
+        workers: workers.ok_or_else(|| missing("workers"))?,
+        alive: alive.ok_or_else(|| missing("alive"))?,
+        crashes: crashes.ok_or_else(|| missing("crashes"))?,
+        restarts: restarts.ok_or_else(|| missing("restarts"))?,
+        degraded: degraded.ok_or_else(|| missing("degraded"))?,
+    })
+}
+
 fn missing(field: &str) -> ServerError {
     ServerError::Protocol(format!("reply missing {field}"))
 }
@@ -894,6 +980,8 @@ pub fn encode_error(error: &ServerError) -> String {
         ServerError::DeadlineExceeded { .. } => "deadline",
         ServerError::ShuttingDown => "shutting_down",
         ServerError::Canceled => "canceled",
+        ServerError::WorkerCrashed => "worker_crashed",
+        ServerError::Timeout { .. } => "timeout",
         ServerError::UnknownTenant { .. } => "unknown_tenant",
         ServerError::TenantExists { .. } => "tenant_exists",
         ServerError::TenantBudget { .. } => "tenant_budget",
@@ -933,6 +1021,8 @@ pub fn parse_error(line: &str) -> Result<ServerError, ServerError> {
         "deadline" => ServerError::DeadlineExceeded { waited: Duration::ZERO },
         "shutting_down" => ServerError::ShuttingDown,
         "canceled" => ServerError::Canceled,
+        "worker_crashed" => ServerError::WorkerCrashed,
+        "timeout" => ServerError::Timeout { waited: Duration::ZERO },
         "unknown_tenant" => ServerError::UnknownTenant { name: message.to_string() },
         "tenant_exists" => ServerError::TenantExists { name: message.to_string() },
         "tenant_budget" => {
@@ -1277,6 +1367,7 @@ mod tests {
                 format!("retire fz{}", rng.next_below(8)),
                 "list".to_string(),
                 "metrics".to_string(),
+                "health".to_string(),
                 // Observability verbs: every valid trace query shape.
                 match rng.next_below(4) {
                     0 => "trace".to_string(),
@@ -1303,6 +1394,19 @@ mod tests {
                 .map(|_| (rng.next_below(94) + 33) as u8 as char)
                 .collect();
             let _ = parse_command(&noise);
+            // Fault-plan specs ride the same robustness bar: the valid
+            // CI spec parses, and truncated / garbled / noise variants
+            // must come back `Err`, never panic.
+            let spec = "seed=0xC4A05F17,panic=120,max_panics=6,latency=40,latency_us=400,\
+                        alloc=20,reset=60,max_resets=8,stall=20,stall_us=800";
+            crate::fault::FaultPlan::parse(spec).expect("the CI chaos spec parses");
+            let cut = rng.next_below(spec.len() + 1);
+            let _ = crate::fault::FaultPlan::parse(&spec[..cut]);
+            let mut garbled = spec.as_bytes().to_vec();
+            let at = rng.next_below(garbled.len());
+            garbled[at] = (rng.next_below(94) + 33) as u8;
+            let _ = crate::fault::FaultPlan::parse(&String::from_utf8_lossy(&garbled));
+            let _ = crate::fault::FaultPlan::parse(&noise);
         }
     }
 
@@ -1365,6 +1469,25 @@ mod tests {
     }
 
     #[test]
+    fn health_commands_and_replies_round_trip() {
+        assert_eq!(parse_command("health").unwrap(), Command::Health);
+        for bad in ["health now", "health@t", "healthy", "health degraded"] {
+            assert!(parse_command(bad).is_err(), "{bad:?} must be a protocol error");
+        }
+        let report =
+            HealthReport { workers: 2, alive: 1, crashes: 3, restarts: 2, degraded: true };
+        let line = encode_health(&report);
+        assert_eq!(line, "ok health workers=2 alive=1 crashes=3 restarts=2 degraded=true");
+        assert_eq!(parse_health(&line).unwrap(), report);
+        assert!(parse_health("ok health workers=2 alive=2").is_err(), "missing fields");
+        assert!(parse_health(
+            "ok health workers=2 alive=2 crashes=0 restarts=0 degraded=maybe"
+        )
+        .is_err());
+        assert!(parse_health("err io nope").is_err());
+    }
+
+    #[test]
     fn errors_round_trip_to_kind() {
         let shed = ServerError::Overloaded { depth: 9, max_depth: 9 };
         assert!(matches!(
@@ -1388,5 +1511,16 @@ mod tests {
         assert_eq!(parse_error(&encode_error(&dup)).unwrap(), dup);
         let fat = ServerError::TenantBudget { needed: 10, budget: 5 };
         assert_eq!(parse_error(&encode_error(&fat)).unwrap(), fat);
+        // The fault-domain kinds: a crashed worker's typed reply and the
+        // client-side timeout both round-trip to their kind.
+        assert_eq!(
+            parse_error(&encode_error(&ServerError::WorkerCrashed)).unwrap(),
+            ServerError::WorkerCrashed
+        );
+        let slow = ServerError::Timeout { waited: Duration::from_millis(250) };
+        assert!(matches!(
+            parse_error(&encode_error(&slow)).unwrap(),
+            ServerError::Timeout { .. }
+        ));
     }
 }

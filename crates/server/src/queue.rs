@@ -43,12 +43,14 @@
 //! coalescing (which still dedups everything already queued).
 
 use crate::error::ServerError;
+use crate::fault::lock_recover;
 use crate::observe::TraceMeta;
 use crate::tenant::Tenant;
 use blockgnn_engine::{InferRequest, InferResponse};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::SyncSender;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Pass-value increment for a weight-1 lane per dequeued request.
@@ -277,6 +279,23 @@ pub(crate) struct RequestQueue {
     /// Per-class scheduling weights (indexed by [`SloClass::index`]),
     /// composed multiplicatively with tenant weights.
     class_weights: [u64; NUM_CLASSES],
+    /// Brownout flag, set by the supervisor while the crash circuit
+    /// breaker is open: admission caps ladder down by class (bronze to
+    /// 1/4 of the tenant depth, silver to 1/2, gold untouched), shedding
+    /// best-effort traffic first through the typed `Overloaded` path.
+    degraded: AtomicBool,
+}
+
+/// The brownout ladder: one class's effective share of a tenant's depth
+/// cap while the pool is degraded. Bronze sheds before silver before
+/// gold; a floor of 1 keeps every class probeable so recovery is
+/// observable from any lane.
+fn degraded_depth_cap(max_depth: usize, class: SloClass) -> usize {
+    match class {
+        SloClass::Gold => max_depth,
+        SloClass::Silver => (max_depth / 2).max(1),
+        SloClass::Bronze => (max_depth / 4).max(1),
+    }
 }
 
 /// Limits a batch-forming dequeue; mirrors the batching fields of
@@ -297,12 +316,25 @@ impl RequestQueue {
             inner: Mutex::new(Inner { window_scale: WINDOW_SCALE_FULL, ..Inner::default() }),
             available: Condvar::new(),
             class_weights: class_weights.map(|w| u64::from(w.max(1))),
+            degraded: AtomicBool::new(false),
         }
+    }
+
+    /// Enters or leaves brownout mode (set by the supervisor while the
+    /// crash circuit breaker is open / once it closes).
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Release);
+    }
+
+    /// Whether the queue is currently shedding by the brownout ladder.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Acquire)
     }
 
     /// Admits one request into its `(tenant, class)` lane, or sheds it:
     /// `Overloaded` when the tenant is at its depth cap (summed across
-    /// classes), `ShuttingDown` after [`RequestQueue::close`]. Never
+    /// classes; the cap ladders down by class while the pool is
+    /// degraded), `ShuttingDown` after [`RequestQueue::close`]. Never
     /// blocks.
     pub fn push(
         &self,
@@ -313,7 +345,8 @@ impl RequestQueue {
         trace: TraceMeta,
         responder: SyncSender<Result<InferResponse, ServerError>>,
     ) -> Result<(), ServerError> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let degraded = self.is_degraded();
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(ServerError::ShuttingDown);
         }
@@ -328,8 +361,10 @@ impl RequestQueue {
             max_depth: tenant.max_queue_depth,
         });
         let depth = lanes.depth();
-        if depth >= lanes.max_depth {
-            return Err(ServerError::Overloaded { depth, max_depth: lanes.max_depth });
+        let max_depth =
+            if degraded { degraded_depth_cap(lanes.max_depth, class) } else { lanes.max_depth };
+        if depth >= max_depth {
+            return Err(ServerError::Overloaded { depth, max_depth });
         }
         let lane = &mut lanes.classes[class.index()];
         if lane.items.is_empty() {
@@ -362,7 +397,7 @@ impl RequestQueue {
     /// scale halves on holds that expire empty and doubles on holds a
     /// straggler joined (see the module docs).
     pub fn next_batch(&self, limits: BatchLimits) -> Option<Vec<QueueItem>> {
-        let mut inner = self.inner.lock().expect("queue lock");
+        let mut inner = lock_recover(&self.inner);
         let (tenant_id, class_idx, first) = loop {
             if let Some((id, c)) = inner.runnable() {
                 let lane = inner.lane_mut(id, c).expect("runnable lane exists");
@@ -376,7 +411,7 @@ impl RequestQueue {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).expect("queue lock");
+            inner = self.available.wait(inner).unwrap_or_else(PoisonError::into_inner);
         };
         let mut nodes = first.request.nodes.len().max(1);
         let window = if limits.adaptive {
@@ -432,8 +467,10 @@ impl RequestQueue {
                     break;
                 }
                 waited = true;
-                let (guard, timeout) =
-                    self.available.wait_timeout(inner, hold_until - now).expect("queue lock");
+                let (guard, timeout) = self
+                    .available
+                    .wait_timeout(inner, hold_until - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 inner = guard;
                 let lane_empty = inner
                     .lane_mut(tenant_id, class_idx)
@@ -465,7 +502,7 @@ impl RequestQueue {
     /// Stops admissions; queued requests still drain through
     /// [`RequestQueue::next_batch`], after which workers see `None`.
     pub fn close(&self) {
-        self.inner.lock().expect("queue lock").closed = true;
+        lock_recover(&self.inner).closed = true;
         self.available.notify_all();
     }
 
@@ -474,7 +511,7 @@ impl RequestQueue {
     /// dequeued into a batch are unaffected (the batch holds its own
     /// `Arc<Tenant>`).
     pub fn purge_tenant(&self, tenant_id: u64) {
-        let lanes = self.inner.lock().expect("queue lock").lanes.remove(&tenant_id);
+        let lanes = lock_recover(&self.inner).lanes.remove(&tenant_id);
         if let Some(lanes) = lanes {
             for lane in lanes.classes {
                 for item in lane.items {
@@ -487,25 +524,19 @@ impl RequestQueue {
 
     /// Requests currently queued, across all lanes.
     pub fn depth(&self) -> usize {
-        self.inner.lock().expect("queue lock").depth()
+        lock_recover(&self.inner).depth()
     }
 
     /// Requests currently queued in one tenant's lanes.
     pub fn depth_of(&self, tenant_id: u64) -> usize {
-        self.inner
-            .lock()
-            .expect("queue lock")
-            .lanes
-            .get(&tenant_id)
-            .map_or(0, TenantLanes::depth)
+        lock_recover(&self.inner).lanes.get(&tenant_id).map_or(0, TenantLanes::depth)
     }
 
     /// The adaptive straggler-window scale, as a fraction of the full
     /// configured window (1.0 = full, 1/64 = collapsed probe).
     #[cfg(test)]
     pub fn window_fraction(&self) -> f64 {
-        f64::from(self.inner.lock().expect("queue lock").window_scale)
-            / f64::from(WINDOW_SCALE_FULL)
+        f64::from(lock_recover(&self.inner).window_scale) / f64::from(WINDOW_SCALE_FULL)
     }
 }
 
@@ -855,6 +886,38 @@ mod tests {
         let batch = q.next_batch(NO_BATCH).unwrap();
         assert_eq!(batch.len(), 1, "expired items still surface to the executor");
         assert!(batch[0].expired(Instant::now()));
+    }
+
+    #[test]
+    fn brownout_sheds_bronze_before_silver_before_gold() {
+        let q = RequestQueue::new(WEIGHTS);
+        let t = tenant(0, 1, 8);
+        q.set_degraded(true);
+        assert!(q.is_degraded());
+        // Bronze's cap ladders down to 8/4 = 2.
+        push(&q, &t, 0, SloClass::Bronze).unwrap();
+        push(&q, &t, 1, SloClass::Bronze).unwrap();
+        let err = push(&q, &t, 2, SloClass::Bronze).unwrap_err();
+        assert_eq!(err, ServerError::Overloaded { depth: 2, max_depth: 2 });
+        // Silver still admits up to 8/2 = 4 (summed tenant depth).
+        push(&q, &t, 3, S).unwrap();
+        push(&q, &t, 4, S).unwrap();
+        let err = push(&q, &t, 5, S).unwrap_err();
+        assert_eq!(err, ServerError::Overloaded { depth: 4, max_depth: 4 });
+        // Gold keeps the full cap of 8.
+        for i in 0..4 {
+            push(&q, &t, 10 + i, SloClass::Gold).unwrap();
+        }
+        let err = push(&q, &t, 20, SloClass::Gold).unwrap_err();
+        assert_eq!(err, ServerError::Overloaded { depth: 8, max_depth: 8 });
+        // Recovery restores every class's full share.
+        q.set_degraded(false);
+        while q.depth() > 0 {
+            let _ = q.next_batch(NO_BATCH).unwrap();
+        }
+        push(&q, &t, 30, SloClass::Bronze).unwrap();
+        push(&q, &t, 31, SloClass::Bronze).unwrap();
+        push(&q, &t, 32, SloClass::Bronze).unwrap();
     }
 
     #[test]

@@ -28,10 +28,12 @@
 
 use crate::config::ServerConfig;
 use crate::error::ServerError;
+use crate::fault::{lock_recover, CircuitBreaker, EngineFault, FaultInjector};
 use crate::observe::{
     chrome_trace_json, MetricsRegistry, Recorder, Span, TraceMeta, TraceOutcome, TraceQuery,
     TraceRecord, SLOW_THRESHOLD,
 };
+use crate::protocol::HealthReport;
 use crate::queue::{BatchLimits, QueueItem, RequestQueue, SubmitOptions};
 use crate::telemetry::{ServerStats, Telemetry};
 use crate::tenant::{
@@ -43,10 +45,111 @@ use blockgnn_engine::{
     ParallelEngine,
 };
 use blockgnn_gnn::ModelKind;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Shared crash/restart accounting for the worker pool: who is alive,
+/// how often workers have panicked, and whether the crash circuit
+/// breaker currently has the pool marked degraded.
+///
+/// Workers are *self-healing in place*: a panic mid-batch is caught at
+/// the batch boundary (the thread never dies), so "alive" here means
+/// "serving", and a worker sitting out its respawn backoff counts as
+/// down until [`PoolHealth::record_restart`] brings it back.
+pub(crate) struct PoolHealth {
+    /// Configured pool size (what `alive` recovers to).
+    workers: usize,
+    /// Workers currently serving (dips while a crashed worker backs
+    /// off).
+    alive: AtomicUsize,
+    /// Lifetime worker panics caught at the batch boundary.
+    crashes: AtomicU64,
+    /// Lifetime respawns (one per crash once the backoff elapses).
+    restarts: AtomicU64,
+    /// ≥ threshold crashes inside the window open the breaker; the pool
+    /// is degraded (brownout shedding) until the cooldown passes.
+    breaker: Mutex<CircuitBreaker>,
+}
+
+impl PoolHealth {
+    fn new(workers: usize, config: &ServerConfig) -> Self {
+        Self {
+            workers,
+            alive: AtomicUsize::new(workers),
+            crashes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            breaker: Mutex::new(CircuitBreaker::new(
+                config.breaker_threshold,
+                config.breaker_window,
+                config.breaker_cooldown,
+            )),
+        }
+    }
+
+    /// Books one caught panic: the worker leaves the serving set, the
+    /// breaker counts the crash, and the queue enters brownout if it
+    /// opens.
+    fn record_crash(&self, queue: &RequestQueue) {
+        self.alive.fetch_sub(1, Ordering::AcqRel);
+        self.crashes.fetch_add(1, Ordering::Relaxed);
+        if lock_recover(&self.breaker).record_crash(Instant::now()) {
+            queue.set_degraded(true);
+        }
+    }
+
+    /// Books the respawn after the backoff: the worker rejoins the
+    /// serving set on a fresh engine fork.
+    fn record_restart(&self, queue: &RequestQueue) {
+        self.alive.fetch_add(1, Ordering::AcqRel);
+        self.restarts.fetch_add(1, Ordering::Relaxed);
+        self.refresh(queue);
+    }
+
+    /// Re-evaluates the breaker, clearing (or re-asserting) brownout.
+    fn refresh(&self, queue: &RequestQueue) {
+        let open = lock_recover(&self.breaker).is_open(Instant::now());
+        queue.set_degraded(open);
+    }
+
+    /// Cheap per-batch poll: only consults the breaker while degraded,
+    /// so the healthy hot path stays one atomic load.
+    fn tick(&self, queue: &RequestQueue) {
+        if queue.is_degraded() {
+            self.refresh(queue);
+        }
+    }
+
+    fn report(&self, queue: &RequestQueue) -> HealthReport {
+        self.refresh(queue);
+        HealthReport {
+            workers: self.workers,
+            alive: self.alive.load(Ordering::Acquire),
+            crashes: self.crashes.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            degraded: queue.is_degraded(),
+        }
+    }
+
+    /// Stamps the health identity fields onto an aggregate stats
+    /// snapshot.
+    fn stamp(&self, stats: &mut ServerStats, queue: &RequestQueue) {
+        stats.workers_alive = self.alive.load(Ordering::Acquire);
+        stats.worker_crashes = self.crashes.load(Ordering::Relaxed);
+        stats.restarts = self.restarts.load(Ordering::Relaxed);
+        stats.degraded = queue.is_degraded();
+    }
+}
+
+/// The respawn backoff for the n-th consecutive crash (1-based):
+/// `base × 2^(n−1)`, capped at `max`.
+fn restart_backoff(consecutive: u32, base: Duration, max: Duration) -> Duration {
+    let doubled = base.saturating_mul(1u32 << consecutive.saturating_sub(1).min(16));
+    doubled.min(max)
+}
 
 /// A pending answer; blocks on [`Ticket::wait`].
 #[derive(Debug)]
@@ -82,6 +185,12 @@ pub struct Server {
     /// The flight recorder: trace-id source, per-worker rings, exemplar
     /// buffer. Inert when [`ServerConfig::tracing`] is off.
     recorder: Arc<Recorder>,
+    /// Crash/restart accounting + the circuit breaker (shared with every
+    /// worker's supervision loop).
+    health: Arc<PoolHealth>,
+    /// The deterministic fault injector ([`ServerConfig::faults`]); a
+    /// single-branch no-op when no plan is loaded.
+    injector: FaultInjector,
 }
 
 impl Server {
@@ -150,26 +259,78 @@ impl Server {
             adaptive: config.adaptive_window,
         };
         let recorder = Arc::new(Recorder::new(worker_threads, config.tracing));
+        let health = Arc::new(PoolHealth::new(worker_threads, &config));
+        let injector =
+            config.faults.clone().map_or_else(FaultInjector::disabled, FaultInjector::new);
+        let backoff = (config.restart_backoff, config.restart_backoff_max);
         let workers = (0..worker_threads)
             .map(|i| {
                 let queue = Arc::clone(&queue);
                 let recorder = Arc::clone(&recorder);
+                let health = Arc::clone(&health);
+                let injector = injector.clone();
                 std::thread::Builder::new()
                     .name(format!("blockgnn-worker-{i}"))
                     .spawn(move || {
+                        // Consecutive-crash streak driving the
+                        // exponential backoff; a clean batch resets it.
+                        let mut streak = 0u32;
                         while let Some(batch) = queue.next_batch(limits) {
                             // The batch's tenant survives a concurrent
                             // retire: the items hold the Arc.
                             let tenant = Arc::clone(&batch[0].tenant);
                             let mut engine = tenant.engines.checkout();
-                            serve_batch(&mut engine, batch, &tenant.telemetry, &recorder, i);
-                            tenant.engines.checkin(engine);
+                            let crashed = serve_batch(
+                                &mut engine,
+                                batch,
+                                &tenant.telemetry,
+                                &recorder,
+                                i,
+                                &injector,
+                            );
+                            if crashed {
+                                // The replica may hold arbitrary state
+                                // from the interrupted execution:
+                                // replace it with a fresh fork (prepared
+                                // weights and the versioned graph are
+                                // Arc-shared immutable/epoch state, so
+                                // the fork serves identical bits) and
+                                // the pool never shrinks. The parallel
+                                // engine cannot fork; its snapshot state
+                                // is untouched by a request panic.
+                                let replacement = match &engine {
+                                    TenantEngine::Forked(e) => {
+                                        Some(TenantEngine::Forked(e.fork()))
+                                    }
+                                    TenantEngine::Parallel(_) => None,
+                                };
+                                tenant.engines.checkin(replacement.unwrap_or(engine));
+                                health.record_crash(&queue);
+                                streak += 1;
+                                std::thread::sleep(restart_backoff(
+                                    streak, backoff.0, backoff.1,
+                                ));
+                                health.record_restart(&queue);
+                            } else {
+                                streak = 0;
+                                tenant.engines.checkin(engine);
+                                health.tick(&queue);
+                            }
                         }
                     })
                     .expect("worker thread spawns")
             })
             .collect();
-        Self { queue, registry, workers: Mutex::new(workers), config, default, recorder }
+        Self {
+            queue,
+            registry,
+            workers: Mutex::new(workers),
+            config,
+            default,
+            recorder,
+            health,
+            injector,
+        }
     }
 
     /// A submission handle on the `default` tenant (what unqualified
@@ -195,6 +356,7 @@ impl Server {
             tenant,
             config: self.config.clone(),
             recorder: Arc::clone(&self.recorder),
+            health: Arc::clone(&self.health),
         }
     }
 
@@ -325,7 +487,29 @@ impl Server {
     /// top-level `graph_version` mirrors the `default` tenant.
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.registry.global_stats(&self.queue)
+        let mut stats = self.registry.global_stats(&self.queue);
+        self.health.stamp(&mut stats, &self.queue);
+        stats
+    }
+
+    /// The worker pool's health: configured size, workers currently
+    /// serving (a crashed worker counts as down while it sits out its
+    /// respawn backoff), lifetime crash/restart counters, and whether
+    /// the crash circuit breaker has the pool degraded (brownout
+    /// shedding). Calling this re-evaluates the breaker, so a pool whose
+    /// cooldown has passed reports `degraded=false` here even with no
+    /// traffic to tick it over.
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        self.health.report(&self.queue)
+    }
+
+    /// The deterministic fault injector (a no-op handle unless
+    /// [`ServerConfig::faults`] loaded a plan). The TCP layer draws its
+    /// socket faults from here so one seed covers both sites.
+    #[must_use]
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.injector
     }
 
     /// Requests currently queued, across all tenants.
@@ -360,6 +544,30 @@ impl Server {
             "Requests currently queued across all tenants",
             &[],
             self.queue.depth() as f64,
+        );
+        reg.gauge(
+            "blockgnn_workers_alive",
+            "Workers currently serving (a crashed worker is down until its respawn backoff elapses)",
+            &[],
+            global.workers_alive as f64,
+        );
+        reg.counter(
+            "blockgnn_worker_crashes_total",
+            "Worker panics caught at the batch boundary",
+            &[],
+            global.worker_crashes,
+        );
+        reg.counter(
+            "blockgnn_worker_restarts_total",
+            "Crashed-worker respawns (fresh engine fork after backoff)",
+            &[],
+            global.restarts,
+        );
+        reg.gauge(
+            "blockgnn_pool_degraded",
+            "1 while the crash circuit breaker has the pool in brownout, else 0",
+            &[],
+            if global.degraded { 1.0 } else { 0.0 },
         );
         for (name, tenant) in self.registry.snapshot().iter() {
             let stats = tenant.stats();
@@ -521,7 +729,7 @@ impl Server {
     /// workers, and returns the final telemetry. Idempotent.
     pub fn shutdown(&self) -> ServerStats {
         self.queue.close();
-        let handles: Vec<_> = self.workers.lock().expect("worker registry").drain(..).collect();
+        let handles: Vec<_> = lock_recover(&self.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -557,6 +765,7 @@ pub struct ServerHandle {
     tenant: Arc<Tenant>,
     config: ServerConfig,
     recorder: Arc<Recorder>,
+    health: Arc<PoolHealth>,
 }
 
 impl ServerHandle {
@@ -753,7 +962,9 @@ impl ServerHandle {
     /// [`ServerHandle::tenant_stats`]).
     #[must_use]
     pub fn stats(&self) -> ServerStats {
-        self.registry.global_stats(&self.queue)
+        let mut stats = self.registry.global_stats(&self.queue);
+        self.health.stamp(&mut stats, &self.queue);
+        stats
     }
 
     /// This tenant's private telemetry snapshot.
@@ -808,13 +1019,23 @@ impl std::fmt::Debug for ServerHandle {
 /// `telemetry` is the owning tenant's accumulator; finished trace
 /// records land in `recorder`'s ring for `worker` (this function is the
 /// ring's single writer).
+///
+/// The engine execution (and only it) runs inside a `catch_unwind`
+/// fault domain: a panic there — the engine's own or one injected by
+/// `injector` — converts every live request of the batch into a typed
+/// [`ServerError::WorkerCrashed`] reply (the connection never drops),
+/// books the crash in telemetry, pushes a `crashed` exemplar per traced
+/// request, and returns `true` so the worker loop can swap the replica
+/// and back off. Shedding and reply delivery stay outside the unwind
+/// boundary — they own the queue items and must run exactly once.
 fn serve_batch(
     engine: &mut TenantEngine,
     batch: Vec<QueueItem>,
     telemetry: &Telemetry,
     recorder: &Recorder,
     worker: usize,
-) {
+    injector: &FaultInjector,
+) -> bool {
     let exec_start = Instant::now();
     // Batches never span classes, so the whole batch's per-class
     // accounting lands in one rollup.
@@ -858,21 +1079,92 @@ fn serve_batch(
         }
     }
     if live.is_empty() {
-        return;
+        return false;
     }
     let requests: Vec<InferRequest> = live.iter().map(|item| item.request.clone()).collect();
     // Batch assembly ends (and engine execution begins) here.
     let assembly_off = recorder.offset(Instant::now());
-    let (outcomes, deduped, stage_timings) = match engine {
-        TenantEngine::Forked(engine) => {
-            let coalesced = engine.infer_coalesced(&requests);
-            (coalesced.outcomes, coalesced.deduped, coalesced.stage_timings)
+    // The engine-stage injection point, compiled into the real path: a
+    // drawn Panic unwinds exactly like an engine bug would, Latency
+    // stalls the execution, AllocFail turns the whole batch into typed
+    // engine errors without crossing the fault domain.
+    let injected = injector.engine_fault();
+    if injected == EngineFault::AllocFail {
+        telemetry.with(|s| {
+            s.failed += live.len();
+            s.class_mut(class).failed += live.len();
+        });
+        for item in live {
+            item.respond(Err(ServerError::RemoteEngine(
+                "injected allocation failure at engine stage boundary".into(),
+            )));
         }
-        // The parallel engine shards each request across its own worker
-        // pool; `start_parallel` forces batches of one, so the group is
-        // a single request and nothing is deduplicated.
-        TenantEngine::Parallel(engine) => {
-            (requests.iter().map(|r| engine.execute_request(r)).collect(), 0, Vec::new())
+        return false;
+    }
+    // Only the engine execution sits inside the unwind boundary; the
+    // queue items stay outside it, so every in-flight request can still
+    // be answered (typed) after a panic. `AssertUnwindSafe` is sound
+    // here because a crashed replica is discarded, never reused — the
+    // worker loop forks a replacement from the Arc-shared prepared
+    // state.
+    let executed = catch_unwind(AssertUnwindSafe(|| {
+        match injected {
+            EngineFault::Panic => panic!("injected fault: engine stage panic"),
+            EngineFault::Latency(pause) => std::thread::sleep(pause),
+            EngineFault::None | EngineFault::AllocFail => {}
+        }
+        match engine {
+            TenantEngine::Forked(engine) => {
+                let coalesced = engine.infer_coalesced(&requests);
+                (coalesced.outcomes, coalesced.deduped, coalesced.stage_timings)
+            }
+            // The parallel engine shards each request across its own
+            // worker pool; `start_parallel` forces batches of one, so
+            // the group is a single request and nothing is
+            // deduplicated.
+            TenantEngine::Parallel(engine) => {
+                (requests.iter().map(|r| engine.execute_request(r)).collect(), 0, Vec::new())
+            }
+        }
+    }));
+    let (outcomes, deduped, stage_timings) = match executed {
+        Ok(result) => result,
+        Err(_) => {
+            // The fault domain tripped: every in-flight request of this
+            // batch gets exactly one typed reply — never a dropped
+            // connection — and a `crashed` exemplar survives in the
+            // flight recorder.
+            let crash_off = recorder.offset(Instant::now());
+            telemetry.with(|s| {
+                s.failed += live.len();
+                s.class_mut(class).failed += live.len();
+            });
+            for item in live {
+                if tracing && item.trace.id != 0 {
+                    recorder.record(
+                        worker,
+                        TraceRecord {
+                            trace_id: item.trace.id,
+                            tenant: tenant_name.clone(),
+                            class,
+                            outcome: TraceOutcome::Crashed,
+                            batch_size: requests.len(),
+                            spans: vec![
+                                admission_span(&item.trace),
+                                Span {
+                                    stage: "queued",
+                                    start: recorder.offset(item.enqueued_at),
+                                    end: exec_off,
+                                },
+                                Span { stage: "execute", start: assembly_off, end: crash_off },
+                            ],
+                        },
+                        false,
+                    );
+                }
+                item.respond(Err(ServerError::WorkerCrashed));
+            }
+            return true;
         }
     };
     let compute_end = Instant::now();
@@ -963,7 +1255,7 @@ fn serve_batch(
         item.respond(answer);
     }
     if traces.is_empty() {
-        return;
+        return false;
     }
     // Ring writes happen strictly after every answer is delivered —
     // tracing never sits between a worker and a waiting caller.
@@ -1000,6 +1292,7 @@ fn serve_batch(
         };
         recorder.record(worker, record, slow);
     }
+    false
 }
 
 /// The admission span a [`TraceMeta`] carries through the queue.

@@ -9,9 +9,10 @@
 //! thread, and shuts the serving runtime down cleanly.
 
 use crate::error::ServerError;
+use crate::fault::SocketFault;
 use crate::protocol::{
-    encode_deploy_ack, encode_error, encode_list_reply, encode_response, encode_retire_ack,
-    encode_update_ack, parse_command, Command,
+    encode_deploy_ack, encode_error, encode_health, encode_list_reply, encode_response,
+    encode_retire_ack, encode_update_ack, parse_command, Command,
 };
 use crate::server::{Server, ServerHandle};
 use crate::telemetry::ServerStats;
@@ -163,8 +164,18 @@ fn serve_connection(
         }
     };
     while let Some(line) = read_line_stoppable(&mut reader, &mut partial, stop)? {
+        // The socket-layer injection point: one deterministic draw per
+        // command line. A Reset drops the connection before any reply
+        // (what a peer sees as ECONNRESET / EOF — the client's retry
+        // path must absorb it); a Stall delays the reply.
+        match server.fault_injector().socket_fault() {
+            SocketFault::None => {}
+            SocketFault::Reset => return Ok(()),
+            SocketFault::Stall(pause) => std::thread::sleep(pause),
+        }
         let reply = match parse_command(line.trim()) {
             Ok(Command::Ping) => "pong".to_string(),
+            Ok(Command::Health) => encode_health(&server.health()),
             Ok(Command::Stats(None)) => format!("ok stats {}", server.stats().summary()),
             Ok(Command::Stats(Some(name))) => match server.tenant_stats(&name) {
                 Ok(stats) => format!("ok stats {}", stats.summary()),

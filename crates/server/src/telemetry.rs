@@ -2,6 +2,7 @@
 //! per-SLO-class latency rollups, and the batch-size distribution,
 //! snapshotted as [`ServerStats`].
 
+use crate::fault::lock_recover;
 use crate::queue::SloClass;
 use blockgnn_engine::{LatencyHistogram, ServeStats};
 use std::collections::BTreeMap;
@@ -51,6 +52,19 @@ pub struct ServerStats {
     pub graph_version: u64,
     /// Time since the server started.
     pub uptime: Duration,
+    /// Workers currently serving — an identity field set on aggregate
+    /// snapshots (dips while a crashed worker backs off before
+    /// respawning).
+    pub workers_alive: usize,
+    /// Lifetime worker crashes (panics caught by a fault domain) — an
+    /// identity field set on aggregate snapshots.
+    pub worker_crashes: u64,
+    /// Lifetime worker respawns — an identity field set on aggregate
+    /// snapshots.
+    pub restarts: u64,
+    /// Whether the supervision circuit breaker marked the pool degraded
+    /// when this snapshot was taken (brownout shedding active).
+    pub degraded: bool,
     /// Per-tenant rollups, keyed by tenant name — populated only on
     /// aggregate snapshots of a multi-tenant server ([`crate::Server::stats`]);
     /// empty on per-tenant snapshots and single-telemetry accumulators.
@@ -300,6 +314,11 @@ impl ServerStats {
         );
         {
             use std::fmt::Write as _;
+            let _ = write!(
+                line,
+                " workers_alive={} worker_crashes={} restarts={} degraded={}",
+                self.workers_alive, self.worker_crashes, self.restarts, self.degraded
+            );
             for (class, rollup) in &self.classes {
                 let _ = write!(line, " class={}:{}", class.name(), rollup.summary_fields());
             }
@@ -335,27 +354,29 @@ impl Telemetry {
     }
 
     pub fn snapshot(&self) -> ServerStats {
-        let mut stats = self.inner.lock().expect("telemetry lock").clone();
+        let mut stats = lock_recover(&self.inner).clone();
         stats.uptime = self.started.elapsed();
         stats
     }
 
     pub fn record_submitted(&self, class: SloClass) {
-        let mut stats = self.inner.lock().expect("telemetry lock");
+        let mut stats = lock_recover(&self.inner);
         stats.submitted += 1;
         stats.class_mut(class).submitted += 1;
     }
 
     pub fn record_shed_overload(&self, class: SloClass) {
-        let mut stats = self.inner.lock().expect("telemetry lock");
+        let mut stats = lock_recover(&self.inner);
         stats.shed_overload += 1;
         stats.class_mut(class).shed += 1;
     }
 
     /// Runs `f` under the telemetry lock — how workers fold in a whole
-    /// batch with one lock acquisition.
+    /// batch with one lock acquisition. The lock recovers from poison: a
+    /// panicking neighbor must never wedge telemetry (counters are
+    /// append-only, so a poisoned guard is still consistent).
     pub fn with<R>(&self, f: impl FnOnce(&mut ServerStats) -> R) -> R {
-        f(&mut self.inner.lock().expect("telemetry lock"))
+        f(&mut lock_recover(&self.inner))
     }
 }
 

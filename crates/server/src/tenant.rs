@@ -20,13 +20,14 @@
 //! [`ServerError::TenantBudget`].
 
 use crate::error::ServerError;
+use crate::fault::lock_recover;
 use crate::queue::RequestQueue;
 use crate::telemetry::{ServerStats, Telemetry};
 use blockgnn_engine::{BackendKind, Engine, GraphHandle, ParallelEngine};
 use blockgnn_gnn::ModelKind;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// The tenant every unqualified (`infer` without `@tenant`) request
@@ -269,18 +270,18 @@ impl EnginePool {
 
     /// Takes a replica for one batch.
     pub fn checkout(&self) -> TenantEngine {
-        let mut idle = self.idle.lock().expect("engine pool lock");
+        let mut idle = lock_recover(&self.idle);
         loop {
             if let Some(engine) = idle.pop() {
                 return engine;
             }
-            idle = self.returned.wait(idle).expect("engine pool lock");
+            idle = self.returned.wait(idle).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Returns a replica after a batch.
     pub fn checkin(&self, engine: TenantEngine) {
-        self.idle.lock().expect("engine pool lock").push(engine);
+        lock_recover(&self.idle).push(engine);
         self.returned.notify_one();
     }
 }
@@ -491,7 +492,7 @@ impl TenantRegistry {
     /// The current tenant map (an `Arc` clone; never blocks on deploys
     /// longer than the swap itself).
     pub fn snapshot(&self) -> Arc<BTreeMap<String, Arc<Tenant>>> {
-        Arc::clone(&self.map.lock().expect("tenant map lock"))
+        Arc::clone(&lock_recover(&self.map))
     }
 
     /// Looks up one tenant by name.
@@ -511,7 +512,7 @@ impl TenantRegistry {
     /// [`ServerError::TenantBudget`] when the deploy would overflow the
     /// device budget.
     pub fn deploy(&self, tenant: Tenant) -> Result<Arc<Tenant>, ServerError> {
-        let mut map = self.map.lock().expect("tenant map lock");
+        let mut map = lock_recover(&self.map);
         if map.contains_key(&tenant.name) {
             return Err(ServerError::TenantExists { name: tenant.name });
         }
@@ -546,7 +547,7 @@ impl TenantRegistry {
             return Err(ServerError::Protocol("the default tenant cannot be retired".into()));
         }
         let tenant = {
-            let mut map = self.map.lock().expect("tenant map lock");
+            let mut map = lock_recover(&self.map);
             let Some(tenant) = map.get(name).cloned() else {
                 return Err(ServerError::UnknownTenant { name: name.to_string() });
             };
@@ -558,7 +559,7 @@ impl TenantRegistry {
         tenant.retired.store(true, Ordering::Release);
         queue.purge_tenant(tenant.id);
         let finals = tenant.stats();
-        self.retired_stats.lock().expect("retired stats lock").absorb(&finals);
+        lock_recover(&self.retired_stats).absorb(&finals);
         Ok(finals)
     }
 
@@ -569,7 +570,7 @@ impl TenantRegistry {
     /// the single-tenant summary contract intact.
     pub fn global_stats(&self, queue: &RequestQueue) -> ServerStats {
         let map = self.snapshot();
-        let mut global = self.retired_stats.lock().expect("retired stats lock").clone();
+        let mut global = lock_recover(&self.retired_stats).clone();
         // `updates` of the default tenant is what the single-tenant
         // summary reported before multi-tenancy; keep absorbing every
         // tenant's into the total, but source version from the default.

@@ -871,6 +871,10 @@ pub struct TrafficReport {
     pub transport_errors: usize,
     /// Updates acknowledged.
     pub updates_ok: usize,
+    /// Attempts recovered by the resilient driver (reconnect + re-send
+    /// after a reset, or re-submit after a crashed-worker reply). Plain
+    /// [`replay_tcp`] never retries, so there this stays zero.
+    pub retries: usize,
     /// Client-observed infer latency per class (gold, silver, bronze).
     pub class_latency: [LatencyHistogram; NUM_CLASSES],
 }
@@ -889,6 +893,7 @@ impl TrafficReport {
         self.typed_errors += other.typed_errors;
         self.transport_errors += other.transport_errors;
         self.updates_ok += other.updates_ok;
+        self.retries += other.retries;
         for (mine, theirs) in self.class_latency.iter_mut().zip(&other.class_latency) {
             mine.merge(theirs);
         }
@@ -1011,6 +1016,131 @@ pub fn replay_tcp(addr: SocketAddr, trace: &Trace) -> TrafficReport {
         merged.merge(r);
     }
     merged
+}
+
+/// [`replay_tcp`] with graceful-degradation recovery: the chaos-lane
+/// driver. Each event gets up to [`RetryPolicy::attempts`](crate::client::RetryPolicy) tries —
+/// a dropped/reset connection redials and re-sends, a
+/// `err worker_crashed` reply re-submits on the intact connection, with
+/// the policy's jittered backoff between tries. Only *unrecovered*
+/// failures land in [`TrafficReport::transport_errors`]; every recovery
+/// increments [`TrafficReport::retries`].
+///
+/// Re-sending is exactly-once in effect: the server's socket-fault
+/// injection point fires *before* command dispatch, so a reset command
+/// was never processed, and a crashed worker never published its
+/// batch's responses — inference is pure per graph version besides.
+///
+/// # Panics
+///
+/// Panics only if a replay thread itself panics; connection failures
+/// are consumed by the retry budget.
+#[must_use]
+pub fn replay_tcp_resilient(
+    addr: SocketAddr,
+    trace: &Trace,
+    policy: &crate::client::RetryPolicy,
+) -> TrafficReport {
+    let start = Instant::now();
+    let reports = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..trace.clients)
+            .map(|c| {
+                let events: Vec<&TraceEvent> =
+                    trace.events.iter().filter(|e| e.client == c).collect();
+                scope.spawn(move || {
+                    let mut report = TrafficReport::default();
+                    let mut conn: Option<RawConn> = None;
+                    for event in events {
+                        let due = Duration::from_micros(event.at_us);
+                        let elapsed = start.elapsed();
+                        if due > elapsed {
+                            std::thread::sleep(due - elapsed);
+                        }
+                        report.sent += 1;
+                        // The wire line is fixed per event, so every
+                        // retry re-sends byte-identical input. Slow-loris
+                        // chunking only shapes the first try — retries
+                        // are about delivery, not adversarial pacing.
+                        let (line, infer_class, slow) = match &event.op {
+                            TraceOp::Infer { request, options, tenant } => (
+                                encode_infer(request, *options, tenant.as_deref()),
+                                Some(options.class),
+                                None,
+                            ),
+                            TraceOp::Update { delta, tenant } => {
+                                (encode_update(delta, tenant.as_deref()), None, None)
+                            }
+                            TraceOp::Malformed { line } => (line.clone(), None, None),
+                            TraceOp::SlowLoris { line, chunks, pause_us } => {
+                                (line.clone(), None, Some((*chunks, *pause_us)))
+                            }
+                        };
+                        let budget = policy.attempts.max(1);
+                        let mut attempt = 0u32;
+                        loop {
+                            let sent_at = Instant::now();
+                            let step = drive_once(&mut conn, addr, &line, slow, attempt);
+                            match step {
+                                Ok(reply)
+                                    if reply.starts_with("err worker_crashed")
+                                        && attempt + 1 < budget =>
+                                {
+                                    report.retries += 1;
+                                    std::thread::sleep(policy.backoff(attempt));
+                                    attempt += 1;
+                                }
+                                Ok(reply) => {
+                                    classify(&reply, infer_class, sent_at, &mut report);
+                                    break;
+                                }
+                                Err(()) if attempt + 1 < budget => {
+                                    // Transport state is suspect — redial.
+                                    conn = None;
+                                    report.retries += 1;
+                                    std::thread::sleep(policy.backoff(attempt));
+                                    attempt += 1;
+                                }
+                                Err(()) => {
+                                    report.transport_errors += 1;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    report
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay client thread")).collect::<Vec<_>>()
+    });
+    let mut merged = TrafficReport::default();
+    for r in &reports {
+        merged.merge(r);
+    }
+    merged
+}
+
+/// One attempt of the resilient driver: (re)connect if needed, send the
+/// line (slow-loris chunked only on the first try), read one reply. Any
+/// I/O failure collapses to `Err(())` — the caller's retry budget deals
+/// with it.
+fn drive_once(
+    conn: &mut Option<RawConn>,
+    addr: SocketAddr,
+    line: &str,
+    slow: Option<(usize, u64)>,
+    attempt: u32,
+) -> Result<String, ()> {
+    if conn.is_none() {
+        *conn = Some(RawConn::connect(addr).map_err(|_| ())?);
+    }
+    let c = conn.as_mut().expect("connection just ensured");
+    let sent = match (slow, attempt) {
+        (Some((chunks, pause_us)), 0) => c.send_slow(line, chunks, pause_us),
+        _ => c.send_line(line),
+    };
+    sent.map_err(|_| ())?;
+    c.read_reply().map_err(|_| ())
 }
 
 fn classify(
