@@ -431,6 +431,7 @@ impl Engine {
                     parts: 1,
                     batch_size: 1,
                     graph_version: epoch.version,
+                    hot_rows: 0,
                 })
             }
         }
@@ -470,6 +471,7 @@ impl Engine {
             parts: usize::from(!from_cache),
             batch_size: 1,
             graph_version: epoch.version,
+            hot_rows: 0,
         }
     }
 
@@ -617,6 +619,7 @@ impl Engine {
                     parts: 1,
                     batch_size,
                     graph_version: epoch.version,
+                    hot_rows: 0,
                 }));
                 sub.local_to_global.len()
             }
@@ -660,6 +663,7 @@ impl Engine {
                         parts: 1,
                         batch_size,
                         graph_version: epoch.version,
+                        hot_rows: 0,
                     }));
                 }
                 timings.add("scatter", scatter_start.elapsed());

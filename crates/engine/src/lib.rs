@@ -78,7 +78,8 @@ pub use backend::{
 pub use engine::{CoalescedOutcome, Engine, EngineBuilder, Session, StageTiming};
 pub use error::EngineError;
 pub use parallel::{
-    ParallelEngine, ParallelSession, DEFAULT_MIN_SHARD_ROWS, DEFAULT_PART_BUDGET_BYTES,
+    ParallelEngine, ParallelSession, DEFAULT_HOT_CACHE_BYTES, DEFAULT_MIN_SHARD_ROWS,
+    DEFAULT_PART_BUDGET_BYTES,
 };
 pub use request::{
     assemble_response, validate_request, ExecOutcome, InferRequest, InferResponse, RequestMode,

@@ -10,7 +10,11 @@
 //! weights and cached spectra are `Arc`-shared, see
 //! [`blockgnn_nn::ExecMode`]), and executes the model's row-parallel
 //! inference stages over a [`std::thread::scope`] pool with a barrier
-//! between stages.
+//! between stages. Cut placement follows a
+//! [`PartitionStrategy`] — degree-balanced by default, so power-law
+//! graphs stop handing one worker all the hubs (the load imbalance that
+//! made early parallel rows *lose* to sequential); the achieved balance
+//! is reported via [`ParallelEngine::partition_balance`].
 //!
 //! # Why stages instead of running the whole model per part
 //!
@@ -27,23 +31,40 @@
 //! bit-identical in practice, since each row's FFTs see the same
 //! inputs).
 //!
+//! # Hot-vertex aggregation cache
+//!
+//! Row-granular staging also makes per-row result caching expressible —
+//! something the sequential engine's monolithic `forward` cannot do.
+//! Full-graph stage inputs are canonical (stage 0 reads the dataset
+//! features, stage `s` reads the merged stage `s − 1` output), so a hub
+//! vertex's stage row is a pure function of the graph version. The
+//! engine keeps the stage rows of the highest-degree vertices (up to
+//! [`DEFAULT_HOT_CACHE_BYTES`]) in a version-keyed cache shared across
+//! the whole engine family — forks and re-conversions reuse it like the
+//! full-graph logits cache — and copies them instead of re-aggregating.
+//! `apply_delta` invalidates strictly before publishing the new epoch.
+//! Sampled requests never touch the cache: their sub-universe inputs are
+//! batch-dependent, not canonical.
+//!
 //! Per-part hardware cost is still accounted the §IV-C way: the
-//! simulated accelerator charges each part's target nodes separately and
-//! the per-part [`SimReport`]s merge by summation
-//! ([`SimReport::merge`] — cycles combine as in the paper's two-sub-graph
-//! Reddit evaluation, energy sums), reproducing the sequential report
-//! exactly.
+//! simulated accelerator charges each part's *computed* target nodes
+//! separately (rows served from the hot cache cost the hardware nothing,
+//! exactly like logits-cache hits) and the per-part [`SimReport`]s merge
+//! by summation ([`SimReport::merge`] — cycles combine as in the paper's
+//! two-sub-graph Reddit evaluation, energy sums), reproducing the
+//! sequential report exactly on cold caches.
 
 use crate::backend::{BackendKind, BackendOutput, ExecutionBackend, RequestShape};
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::request::{ExecOutcome, InferRequest, InferResponse, RequestMode};
 use crate::stats::ServeStats;
+use crate::versioned::HotVertexCache;
 use blockgnn_accel::SimReport;
 use blockgnn_gnn::sampled::SampledSubgraph;
 use blockgnn_gnn::ModelKind;
-use blockgnn_graph::partition::{partition_contiguous, GraphPart};
-use blockgnn_graph::{CsrGraph, Dataset};
+use blockgnn_graph::partition::{partition_balance, GraphPart, PartitionStrategy};
+use blockgnn_graph::{CompressedCsr, CsrGraph, Dataset};
 use blockgnn_linalg::Matrix;
 use blockgnn_perf::resources::NODE_FEATURE_BUFFER_BYTES;
 use std::sync::Arc;
@@ -56,24 +77,47 @@ pub const DEFAULT_PART_BUDGET_BYTES: usize = NODE_FEATURE_BUFFER_BYTES / 2;
 
 /// Sampled requests with at least this many unique target nodes are
 /// sharded across workers; smaller micro-batches run on one worker
-/// (their sub-universes are too small to amortize the fan-out).
+/// (their sub-universes are too small to amortize the fan-out). The
+/// threshold is compared against the **unique** target count (the
+/// sampled sub-universe's interned batch length), not the raw request
+/// length — a request of 100 duplicates of one node is a 1-row batch.
 pub const DEFAULT_MIN_SHARD_ROWS: usize = 32;
+
+/// Default hot-vertex cache budget: the other bank of the §IV-B
+/// Node-Feature Buffer (cached aggregation rows are reused feature-like
+/// state, so they are accounted against feature storage, not weights).
+pub const DEFAULT_HOT_CACHE_BYTES: usize = NODE_FEATURE_BUFFER_BYTES / 2;
 
 impl Engine {
     /// Converts this engine into a [`ParallelEngine`] with `workers`
-    /// worker threads. The existing backend becomes worker 0 and is
-    /// forked `workers − 1` times; forks share the prepared weights and
-    /// cached spectra behind `Arc`s, so the conversion is cheap in
-    /// memory. The full graph is partitioned once, into the smallest
-    /// contiguous split that is at least `workers` parts **and** fits
-    /// every part's resident features (targets + one-hop halo, at the
-    /// backend's [`BackendKind::bytes_per_feature`] scalar width) in
+    /// worker threads and the default (degree-balanced) partition
+    /// strategy. The existing backend becomes worker 0 and is forked
+    /// `workers − 1` times; forks share the prepared weights and cached
+    /// spectra behind `Arc`s, so the conversion is cheap in memory. The
+    /// full graph is partitioned once, into the smallest split that is
+    /// at least `workers` parts **and** fits every part's resident
+    /// features (targets + one-hop halo, at the backend's
+    /// [`BackendKind::bytes_per_feature`] scalar width) in
     /// [`DEFAULT_PART_BUDGET_BYTES`].
     ///
     /// # Errors
     ///
     /// [`EngineError::NoWorkers`] if `workers` is zero.
     pub fn into_parallel(self, workers: usize) -> Result<ParallelEngine, EngineError> {
+        self.into_parallel_with(workers, PartitionStrategy::default())
+    }
+
+    /// Like [`Engine::into_parallel`], with an explicit cut-placement
+    /// strategy (see [`PartitionStrategy`]).
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::NoWorkers`] if `workers` is zero.
+    pub fn into_parallel_with(
+        self,
+        workers: usize,
+        strategy: PartitionStrategy,
+    ) -> Result<ParallelEngine, EngineError> {
         if workers == 0 {
             return Err(EngineError::NoWorkers);
         }
@@ -85,12 +129,15 @@ impl Engine {
         // The parallel engine freezes the graph at the current version:
         // its partition plan cannot absorb later deltas, so it takes a
         // snapshot (dataset + version + any cache entry for exactly
-        // this version) and serves it immutably.
+        // this version) and serves it immutably. The hot-vertex cache
+        // stays attached to the *shared* family state, so forks and
+        // later conversions reuse (and a family delta invalidates) it.
         let epoch = self.shared.epoch();
         let full_graph_cache = match &*self.shared.cache.lock().expect("cache lock") {
             Some((v, out)) if *v == epoch.version => Some(out.clone()),
             _ => None,
         };
+        let compressed = CompressedCsr::encode(&epoch.dataset.graph);
         let mut engine = ParallelEngine {
             dataset: Arc::clone(&epoch.dataset),
             graph_version: epoch.version,
@@ -100,8 +147,14 @@ impl Engine {
             fanouts: self.fanouts,
             part_budget_bytes: DEFAULT_PART_BUDGET_BYTES,
             min_shard_rows: DEFAULT_MIN_SHARD_ROWS,
+            strategy,
             parts: Vec::new(),
+            part_balance: 1.0,
             full_graph_cache,
+            hot: Arc::clone(&self.shared.hot),
+            hot_flags: Vec::new(),
+            hot_cache_bytes: DEFAULT_HOT_CACHE_BYTES,
+            compressed,
             weight_bytes: self.weight_bytes,
         };
         engine.replan_parts();
@@ -140,10 +193,24 @@ pub struct ParallelEngine {
     fanouts: (usize, usize),
     part_budget_bytes: usize,
     min_shard_rows: usize,
+    /// Cut-placement strategy for the full-graph plan and sampled
+    /// sub-universe shards.
+    strategy: PartitionStrategy,
     /// The full graph's partition plan, computed once (the graph and the
     /// budget are fixed for the engine's lifetime).
     parts: Vec<GraphPart>,
+    /// Load-balance factor of `parts` (max part work / mean part work).
+    part_balance: f64,
     full_graph_cache: Option<BackendOutput>,
+    /// Family-shared hot-vertex aggregation cache (see module docs).
+    hot: Arc<HotVertexCache>,
+    /// `hot_flags[v]`: whether node `v` qualifies for hot caching (a
+    /// top-degree node within the cache byte budget).
+    hot_flags: Vec<bool>,
+    hot_cache_bytes: usize,
+    /// Delta-varint compressed adjacency of the frozen snapshot; the
+    /// device-residency layout big graphs are accounted (and shipped) in.
+    compressed: CompressedCsr,
     /// Packed spectral footprint carried over from the source [`Engine`]
     /// for aggregate residency accounting.
     weight_bytes: usize,
@@ -180,6 +247,12 @@ impl ParallelEngine {
         self.graph_version
     }
 
+    /// The cut-placement strategy in force.
+    #[must_use]
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
     /// The frozen snapshot's device-residency footprint under the
     /// §IV-B/§IV-C accounting (packed weight spectra plus the snapshot's
     /// node features at the backend's scalar width) — same contract as
@@ -191,6 +264,31 @@ impl ParallelEngine {
             + self.dataset.num_nodes()
                 * self.dataset.feature_dim()
                 * self.backend_kind.bytes_per_feature()
+    }
+
+    /// What must actually be resident on device at any instant under the
+    /// §IV-C *streaming* model: the packed weights, the compressed
+    /// adjacency (delta-varint column indices plus a `u32` row table),
+    /// and the **largest single part's** feature window (targets + halo
+    /// at the backend's scalar width) — parts stream through the feature
+    /// buffer one at a time, so the peak is the max, not the sum. This
+    /// is the number the ≥10×-pubmed big-graph demo checks against the
+    /// §IV-B budget.
+    #[must_use]
+    pub fn device_resident_bytes(&self) -> usize {
+        let width = self.plan_width();
+        let bytes = self.backend_kind.bytes_per_feature();
+        let peak_part =
+            self.parts.iter().map(|p| p.feature_bytes(width, bytes)).max().unwrap_or(0);
+        self.weight_bytes + self.compressed.resident_bytes() + peak_part
+    }
+
+    /// On-device bytes of the compressed adjacency; compare against
+    /// [`blockgnn_graph::CsrGraph::adjacency_bytes`] of the served graph
+    /// for the compression win.
+    #[must_use]
+    pub fn compressed_adjacency_bytes(&self) -> usize {
+        self.compressed.resident_bytes()
     }
 
     /// Partition-parallel engines serve a frozen snapshot: the shard
@@ -212,12 +310,28 @@ impl ParallelEngine {
         &self.parts
     }
 
+    /// Load-balance factor of the full-graph plan: the maximum part's
+    /// work (node cost + degree per node) over the mean part's. `1.0`
+    /// is perfect; see [`blockgnn_graph::partition::partition_balance`].
+    #[must_use]
+    pub fn partition_balance(&self) -> f64 {
+        self.part_balance
+    }
+
     /// Overrides the per-part feature-residency budget (bytes) and
     /// re-partitions. See [`DEFAULT_PART_BUDGET_BYTES`] for the default
     /// and the root README for how to choose a value.
     #[must_use]
     pub fn with_part_budget(mut self, budget_bytes: usize) -> Self {
         self.part_budget_bytes = budget_bytes;
+        self.replan_parts();
+        self
+    }
+
+    /// Overrides the cut-placement strategy and re-partitions.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: PartitionStrategy) -> Self {
+        self.strategy = strategy;
         self.replan_parts();
         self
     }
@@ -230,11 +344,36 @@ impl ParallelEngine {
         self
     }
 
+    /// Overrides the hot-vertex cache byte budget (0 disables the cache)
+    /// and recomputes which vertices qualify. See
+    /// [`DEFAULT_HOT_CACHE_BYTES`].
+    #[must_use]
+    pub fn with_hot_cache_bytes(mut self, bytes: usize) -> Self {
+        self.hot_cache_bytes = bytes;
+        self.recompute_hot_flags();
+        self
+    }
+
     /// Drops the full-graph logits cache so the next full-graph request
     /// recomputes (benchmarking hook, like
-    /// [`Engine::clear_full_graph_cache`]).
+    /// [`Engine::clear_full_graph_cache`]). The hot-vertex cache is
+    /// deliberately left warm — it models steady-state serving, and
+    /// [`ParallelEngine::clear_hot_cache`] exists for cold-start
+    /// measurements.
     pub fn clear_full_graph_cache(&mut self) {
         self.full_graph_cache = None;
+    }
+
+    /// Drops every hot-vertex row (family-wide — the cache is shared).
+    pub fn clear_hot_cache(&mut self) {
+        self.hot.invalidate_to(self.graph_version);
+    }
+
+    /// Rows currently held by the family's hot-vertex cache, across all
+    /// stages (introspection hook).
+    #[must_use]
+    pub fn hot_cached_rows(&self) -> usize {
+        self.hot.cached_rows()
     }
 
     /// Opens a serving session.
@@ -244,17 +383,57 @@ impl ParallelEngine {
     }
 
     /// Recomputes the full-graph partition plan (see
-    /// [`ParallelEngine::plan_parts`]).
+    /// [`ParallelEngine::plan_parts`]) and the hot-vertex flags.
     fn replan_parts(&mut self) {
         self.parts = self.plan_parts(&self.dataset.graph);
+        self.part_balance =
+            partition_balance(&self.dataset.graph, &self.parts, self.plan_width());
+        self.recompute_hot_flags();
     }
 
-    /// Plans a partition of `graph`: a contiguous split with at least
-    /// one part per worker whose parts all fit the memory budget. The
-    /// resident width is the widest row any inference stage materializes
-    /// (stage outputs can be wider than the input features, e.g.
-    /// G-GCN's `[p ‖ q ‖ h]` transform rows). Applied to the full graph
-    /// at construction and to each sharded sampled sub-universe — a
+    /// The widest row any inference stage materializes (stage outputs
+    /// can be wider than the input features, e.g. G-GCN's `[p ‖ q ‖ h]`
+    /// transform rows) — the per-node width residency planning uses.
+    fn plan_width(&self) -> usize {
+        let feature_dim = self.dataset.feature_dim();
+        let backend = &self.workers[0];
+        (0..backend.num_stages())
+            .map(|s| backend.stage_width(s, feature_dim))
+            .max()
+            .unwrap_or(feature_dim)
+            .max(feature_dim)
+    }
+
+    /// Marks the top-degree vertices whose cached stage rows fit the
+    /// byte budget. Rows are host-side f64 (8 B/scalar) across every
+    /// stage width; ties broken by node id for determinism.
+    fn recompute_hot_flags(&mut self) {
+        let n = self.dataset.num_nodes();
+        self.hot_flags = vec![false; n];
+        if self.hot_cache_bytes == 0 || n == 0 {
+            return;
+        }
+        let feature_dim = self.dataset.feature_dim();
+        let backend = &self.workers[0];
+        let per_node_bytes: usize =
+            (0..backend.num_stages()).map(|s| backend.stage_width(s, feature_dim) * 8).sum();
+        if per_node_bytes == 0 {
+            return;
+        }
+        let graph = &self.dataset.graph;
+        let mut by_degree: Vec<u32> = (0..n as u32).collect();
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(graph.degree(v as usize)), v));
+        let capacity = self.hot_cache_bytes / per_node_bytes;
+        for &v in by_degree.iter().take(capacity) {
+            self.hot_flags[v as usize] = true;
+        }
+    }
+
+    /// Plans a partition of `graph`: a split (cuts placed by the
+    /// engine's [`PartitionStrategy`]) with at least one part per worker
+    /// whose parts all fit the memory budget. The resident width is
+    /// [`ParallelEngine::plan_width`]. Applied to the full graph at
+    /// construction and to each sharded sampled sub-universe — a
     /// per-request cost, so `k` is found by geometric escalation from
     /// the halo-free pigeonhole bound (a bounded number of partition
     /// passes) rather than the exact-smallest-`k` linear scan of
@@ -262,13 +441,7 @@ impl ParallelEngine {
     /// fit, not minimality, is what the serving path needs.
     fn plan_parts(&self, graph: &CsrGraph) -> Vec<GraphPart> {
         let n = graph.num_nodes().max(1);
-        let feature_dim = self.dataset.feature_dim();
-        let backend = &self.workers[0];
-        let width = (0..backend.num_stages())
-            .map(|s| backend.stage_width(s, feature_dim))
-            .max()
-            .unwrap_or(feature_dim)
-            .max(feature_dim);
+        let width = self.plan_width();
         let bytes = self.backend_kind.bytes_per_feature();
         let per_node = width * bytes;
         let budget = self.part_budget_bytes;
@@ -282,7 +455,7 @@ impl ParallelEngine {
         };
         let mut k = self.workers.len().max(floor).min(n);
         loop {
-            let parts = partition_contiguous(graph, k);
+            let parts = self.strategy.partition(graph, k, width);
             // An impossible budget degrades to single-node parts (k = n)
             // rather than refusing to serve: the budget steers, the
             // engine still answers.
@@ -307,7 +480,8 @@ impl ParallelEngine {
         &mut self,
         request: &InferRequest,
     ) -> Result<ExecOutcome, EngineError> {
-        let (logits, sim, energy_joules, from_cache, parts) = self.run_request(request)?;
+        let (logits, sim, energy_joules, from_cache, parts, hot_rows) =
+            self.run_request(request)?;
         Ok(ExecOutcome {
             logits,
             sim,
@@ -316,6 +490,7 @@ impl ParallelEngine {
             parts,
             batch_size: 1,
             graph_version: self.graph_version,
+            hot_rows,
         })
     }
 
@@ -325,26 +500,52 @@ impl ParallelEngine {
     fn run_request(
         &mut self,
         request: &InferRequest,
-    ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool, usize), EngineError> {
+    ) -> Result<(Matrix, Option<SimReport>, Option<f64>, bool, usize, usize), EngineError> {
         crate::request::validate_request(request, self.dataset.num_nodes())?;
         match request.mode {
             RequestMode::FullGraph => {
                 let from_cache = self.full_graph_cache.is_some();
+                let mut hot_rows = 0usize;
                 if !from_cache {
-                    let logits = run_staged(
-                        &mut self.workers,
-                        &self.dataset.graph,
-                        &self.dataset.features,
-                        &self.parts,
-                    );
-                    let (sim, energy) = merge_part_charges(
-                        self.workers[0].as_ref(),
-                        self.dataset.graph.num_arcs(),
-                        self.dataset.feature_dim(),
-                        self.dataset.num_classes,
-                        self.fanouts,
-                        self.parts.iter().map(|p| p.nodes.len()),
-                    );
+                    let n = self.dataset.num_nodes();
+                    let (logits, sim, energy) =
+                        if self.workers.len() == 1 && self.parts.len() == 1 {
+                            // Degenerate plan: thin sequential wrapper — the
+                            // monolithic forward, no staging, no threads.
+                            let shape = RequestShape { target_nodes: n, fanouts: self.fanouts };
+                            let out = self.workers[0].execute(
+                                &self.dataset.graph,
+                                &self.dataset.features,
+                                shape,
+                            );
+                            (out.logits, out.sim, out.energy_joules)
+                        } else {
+                            let hot_ctx = HotContext {
+                                cache: &self.hot,
+                                version: self.graph_version,
+                                flags: &self.hot_flags,
+                            };
+                            let run = run_staged(
+                                &mut self.workers,
+                                &self.dataset.graph,
+                                &self.dataset.features,
+                                &self.parts,
+                                Some(&hot_ctx),
+                            );
+                            hot_rows = run.hot_rows;
+                            // Rows served from the hot cache cost the
+                            // hardware nothing (same contract as logits-cache
+                            // hits): only computed targets are charged.
+                            let (sim, energy) = merge_part_charges(
+                                self.workers[0].as_ref(),
+                                self.dataset.graph.num_arcs(),
+                                self.dataset.feature_dim(),
+                                self.dataset.num_classes,
+                                self.fanouts,
+                                run.computed_per_part.into_iter(),
+                            );
+                            (run.logits, sim, energy)
+                        };
                     self.full_graph_cache =
                         Some(BackendOutput { logits, sim, energy_joules: energy });
                 }
@@ -357,47 +558,54 @@ impl ParallelEngine {
                 } else {
                     (cached.sim.clone(), cached.energy_joules, self.parts.len())
                 };
-                Ok((logits, sim, energy, from_cache, parts))
+                Ok((logits, sim, energy, from_cache, parts, hot_rows))
             }
             RequestMode::Sampled { s1, s2, seed } => {
                 let sub =
                     SampledSubgraph::build(&self.dataset.graph, &request.nodes, s1, s2, seed);
                 let local_features = sub.gather_features(&self.dataset.features);
                 let shape = RequestShape { target_nodes: sub.batch_len, fanouts: (s1, s2) };
-                let (full, sim, energy, parts) = if sub.batch_len < self.min_shard_rows
-                    || self.workers.len() == 1
-                {
-                    // Micro-batch: one worker runs the whole sub-universe.
-                    let out = self.workers[0].execute(&sub.graph, &local_features, shape);
-                    (out.logits, out.sim, out.energy_joules, 1)
-                } else {
-                    // Large batch: shard the sub-universe's rows under
-                    // the same worker-count + memory-budget plan as the
-                    // full graph. Targets occupy the local prefix
-                    // `0..batch_len`, so a part's charged target count
-                    // is its overlap with that prefix (halo-ring rows
-                    // cost the hardware nothing — the per-node cycle
-                    // model already prices each target's full two-hop
-                    // aggregation).
-                    let sub_parts = self.plan_parts(&sub.graph);
-                    let logits =
-                        run_staged(&mut self.workers, &sub.graph, &local_features, &sub_parts);
-                    let part_targets = sub_parts.iter().map(|p| {
-                        p.nodes.iter().filter(|&&v| (v as usize) < sub.batch_len).count()
-                    });
-                    let (sim, energy) = merge_part_charges(
-                        self.workers[0].as_ref(),
-                        sub.graph.num_arcs(),
-                        local_features.cols(),
-                        self.dataset.num_classes,
-                        (s1, s2),
-                        part_targets,
-                    );
-                    let k = sub_parts.len();
-                    (logits, sim, energy, k)
-                };
+                let (full, sim, energy, parts) =
+                    if sub.batch_len < self.min_shard_rows || self.workers.len() == 1 {
+                        // Micro-batch: one worker runs the whole sub-universe.
+                        let out = self.workers[0].execute(&sub.graph, &local_features, shape);
+                        (out.logits, out.sim, out.energy_joules, 1)
+                    } else {
+                        // Large batch: shard the sub-universe's rows under
+                        // the same worker-count + memory-budget plan as the
+                        // full graph. The hot-vertex cache does NOT apply —
+                        // sub-universe stage inputs depend on the batch's
+                        // sampled edges, not the canonical full-graph
+                        // features. Targets occupy the local prefix
+                        // `0..batch_len`, so a part's charged target count
+                        // is its overlap with that prefix (halo-ring rows
+                        // cost the hardware nothing — the per-node cycle
+                        // model already prices each target's full two-hop
+                        // aggregation).
+                        let sub_parts = self.plan_parts(&sub.graph);
+                        let run = run_staged(
+                            &mut self.workers,
+                            &sub.graph,
+                            &local_features,
+                            &sub_parts,
+                            None,
+                        );
+                        let part_targets = sub_parts.iter().map(|p| {
+                            p.nodes.iter().filter(|&&v| (v as usize) < sub.batch_len).count()
+                        });
+                        let (sim, energy) = merge_part_charges(
+                            self.workers[0].as_ref(),
+                            sub.graph.num_arcs(),
+                            local_features.cols(),
+                            self.dataset.num_classes,
+                            (s1, s2),
+                            part_targets,
+                        );
+                        let k = sub_parts.len();
+                        (run.logits, sim, energy, k)
+                    };
                 let logits = crate::request::sampled_rows(&full, &sub, &request.nodes);
-                Ok((logits, sim, energy, false, parts))
+                Ok((logits, sim, energy, false, parts, 0))
             }
         }
     }
@@ -411,64 +619,162 @@ impl std::fmt::Debug for ParallelEngine {
             .field("dataset", &self.dataset.name)
             .field("graph_version", &self.graph_version)
             .field("workers", &self.workers.len())
+            .field("strategy", &self.strategy)
             .field("parts", &self.parts.len())
+            .field("part_balance", &self.part_balance)
             .field("full_graph_cached", &self.full_graph_cache.is_some())
+            .field("hot_cached_rows", &self.hot.cached_rows())
             .finish()
     }
 }
 
+/// Hot-vertex cache wiring for one staged run (full-graph path only).
+struct HotContext<'a> {
+    cache: &'a HotVertexCache,
+    version: u64,
+    flags: &'a [bool],
+}
+
+/// Result of one staged execution.
+struct StagedRun {
+    logits: Matrix,
+    /// Row-copies served from the hot-vertex cache, summed over stages.
+    hot_rows: usize,
+    /// Per part, how many of its target nodes were computed in at least
+    /// one stage (the hardware-charged count; fully-cached nodes are 0).
+    computed_per_part: Vec<usize>,
+}
+
 /// Executes the model's inference stages over `parts`, fanning each
 /// stage's parts out to the worker pool and merging the output rows
-/// (row-aligned by global node id) before the next stage starts.
+/// (row-aligned by global node id) before the next stage starts. With a
+/// [`HotContext`], rows of flagged vertices whose cached stage output
+/// matches the graph version are copied instead of computed, and freshly
+/// computed flagged rows are published back — bit-identical either way,
+/// because cached rows were produced by the very same `execute_stage`
+/// over the same canonical inputs.
+///
+/// Degenerate plans skip the thread pool entirely: one part (nothing to
+/// fan out) or one worker (nothing to fan out *to*) runs inline on the
+/// caller thread, paying neither spawn nor merge-barrier overhead.
 fn run_staged(
     workers: &mut [Box<dyn ExecutionBackend>],
     graph: &CsrGraph,
     features: &Matrix,
     parts: &[GraphPart],
-) -> Matrix {
+    hot: Option<&HotContext>,
+) -> StagedRun {
     let n = graph.num_nodes();
     let num_workers = workers.len();
     let num_stages = workers[0].num_stages();
     let feature_dim = features.cols();
+    let inline = parts.len() == 1 || num_workers == 1;
     let mut merged: Option<Matrix> = None;
+    let mut hot_rows = 0usize;
+    let mut computed_any = vec![false; n];
     for stage in 0..num_stages {
         let width = workers[0].stage_width(stage, feature_dim);
+        let snapshot = hot.map(|h| h.cache.stage_snapshot(h.version, num_stages, stage));
         let input: &Matrix = merged.as_ref().unwrap_or(features);
         let mut out = Matrix::zeros(n, width);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(num_workers);
-            for (w, backend) in workers.iter_mut().enumerate() {
-                // Round-robin assignment: contiguous parts are near-equal
-                // in size, so stride-W interleaving balances the load.
-                let assigned: Vec<&GraphPart> =
-                    parts.iter().skip(w).step_by(num_workers).collect();
-                if assigned.is_empty() {
+        // Split every part's targets into cache hits and compute rows;
+        // copy the hits up front (they only depend on the cache, not on
+        // this stage's compute).
+        let mut compute_rows: Vec<Vec<u32>> = Vec::with_capacity(parts.len());
+        for part in parts {
+            let mut compute = Vec::with_capacity(part.nodes.len());
+            for &v in &part.nodes {
+                let cached = hot.zip(snapshot.as_ref()).and_then(|(h, snap)| {
+                    if h.flags[v as usize] {
+                        snap.get(&v).filter(|row| row.len() == width)
+                    } else {
+                        None
+                    }
+                });
+                match cached {
+                    Some(row) => {
+                        out.row_mut(v as usize).copy_from_slice(row);
+                        hot_rows += 1;
+                    }
+                    None => compute.push(v),
+                }
+            }
+            compute_rows.push(compute);
+        }
+        if inline {
+            let backend = &mut workers[0];
+            backend.prepare_graph(graph);
+            for rows in &compute_rows {
+                if rows.is_empty() {
                     continue;
                 }
-                handles.push(scope.spawn(move || {
-                    // Per-graph precomputation happens inside the worker
-                    // (in parallel, not serially on the caller thread);
-                    // it is idempotent, so later stages hit a warm cache.
-                    backend.prepare_graph(graph);
-                    assigned
-                        .into_iter()
-                        .map(|part| {
-                            (part, backend.execute_stage(stage, graph, input, &part.nodes))
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for handle in handles {
-                for (part, rows) in handle.join().expect("worker thread panicked") {
-                    for (i, &v) in part.nodes.iter().enumerate() {
-                        out.row_mut(v as usize).copy_from_slice(rows.row(i));
-                    }
+                let result = backend.execute_stage(stage, graph, input, rows);
+                for (i, &v) in rows.iter().enumerate() {
+                    out.row_mut(v as usize).copy_from_slice(result.row(i));
                 }
             }
-        });
+        } else {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_workers);
+                for (w, backend) in workers.iter_mut().enumerate() {
+                    // Round-robin assignment: degree-balanced parts are
+                    // near-equal in work, so stride-W interleaving
+                    // balances the load.
+                    let assigned: Vec<&Vec<u32>> =
+                        compute_rows.iter().skip(w).step_by(num_workers).collect();
+                    if assigned.iter().all(|rows| rows.is_empty()) {
+                        continue;
+                    }
+                    handles.push(scope.spawn(move || {
+                        // Per-graph precomputation happens inside the
+                        // worker (in parallel, not serially on the caller
+                        // thread); it is idempotent, so later stages hit
+                        // a warm cache.
+                        backend.prepare_graph(graph);
+                        assigned
+                            .into_iter()
+                            .filter(|rows| !rows.is_empty())
+                            .map(|rows| {
+                                (rows, backend.execute_stage(stage, graph, input, rows))
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                for handle in handles {
+                    for (rows, result) in handle.join().expect("worker thread panicked") {
+                        for (i, &v) in rows.iter().enumerate() {
+                            out.row_mut(v as usize).copy_from_slice(result.row(i));
+                        }
+                    }
+                }
+            });
+        }
+        // Publish freshly computed rows of flagged vertices for the next
+        // request (one lock per stage), and record who was computed for
+        // the hardware charge.
+        let mut publish: Vec<(u32, Vec<f64>)> = Vec::new();
+        for rows in &compute_rows {
+            for &v in rows {
+                computed_any[v as usize] = true;
+                if hot.is_some_and(|h| h.flags[v as usize]) {
+                    publish.push((v, out.row(v as usize).to_vec()));
+                }
+            }
+        }
+        if let Some(h) = hot {
+            h.cache.publish(h.version, num_stages, stage, publish);
+        }
         merged = Some(out);
     }
-    merged.expect("models have at least one stage")
+    let computed_per_part = parts
+        .iter()
+        .map(|p| p.nodes.iter().filter(|&&v| computed_any[v as usize]).count())
+        .collect();
+    StagedRun {
+        logits: merged.expect("models have at least one stage"),
+        hot_rows,
+        computed_per_part,
+    }
 }
 
 /// Charges each part's target nodes on the hardware model and merges

@@ -120,6 +120,11 @@ pub struct InferResponse {
     /// was produced outside a traced serving path (direct
     /// [`crate::Session`] callers, or a server with tracing disabled).
     pub trace_id: u64,
+    /// Stage-output rows served from the parallel engine's hot-vertex
+    /// aggregation cache instead of being recomputed (summed over
+    /// stages; 0 on sequential engines, cache hits, and sampled
+    /// requests).
+    pub hot_rows: usize,
 }
 
 /// The raw outcome of executing one request — everything about the
@@ -145,6 +150,8 @@ pub struct ExecOutcome {
     /// Graph version the execution resolved (see
     /// [`InferResponse::graph_version`]).
     pub graph_version: u64,
+    /// Hot-vertex cache row hits (see [`InferResponse::hot_rows`]).
+    pub hot_rows: usize,
 }
 
 /// Rejects requests naming nodes outside the served graph.
@@ -213,6 +220,7 @@ pub fn assemble_response(
         parts,
         batch_size,
         graph_version,
+        hot_rows,
     } = outcome;
     let predictions: Vec<usize> = (0..logits.rows())
         .map(|i| argmax(logits.row(i)).expect("logits rows are non-empty"))
@@ -232,6 +240,7 @@ pub fn assemble_response(
         // Trace ids belong to the serving runtime: it stamps the id on
         // the response after assembly, so direct sessions stay at 0.
         trace_id: 0,
+        hot_rows,
     };
     stats.record_response(&response);
     response

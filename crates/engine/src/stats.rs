@@ -174,6 +174,9 @@ pub struct ServeStats {
     /// Graph parts executed across all requests (0 per cache hit, 1 per
     /// unpartitioned execution, `k` per partition-parallel execution).
     pub parts_executed: usize,
+    /// Stage-output rows served from the parallel engine's hot-vertex
+    /// aggregation cache instead of being recomputed.
+    pub hot_rows_served: usize,
 }
 
 impl ServeStats {
@@ -191,6 +194,7 @@ impl ServeStats {
         self.max_latency = self.max_latency.max(response.latency);
         self.latency_histogram.record(response.latency);
         self.parts_executed += response.parts;
+        self.hot_rows_served += response.hot_rows;
         if response.from_cache {
             self.full_graph_cache_hits += 1;
         } else {
@@ -217,6 +221,7 @@ impl ServeStats {
         self.simulated_cycles += other.simulated_cycles;
         self.simulated_energy_joules += other.simulated_energy_joules;
         self.parts_executed += other.parts_executed;
+        self.hot_rows_served += other.hot_rows_served;
     }
 
     /// Serving throughput in nodes per second of summed per-request
@@ -288,6 +293,7 @@ mod tests {
             batch_size: 1,
             graph_version: 0,
             trace_id: 0,
+            hot_rows: 0,
         }
     }
 

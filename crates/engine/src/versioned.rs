@@ -27,8 +27,113 @@
 use crate::backend::BackendOutput;
 use crate::error::EngineError;
 use blockgnn_graph::{Dataset, GraphDelta, VersionedGraph};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Version-keyed cache of per-stage aggregated feature rows for
+/// high-degree hub vertices, shared across an engine family like the
+/// full-graph logits cache.
+///
+/// Staged full-graph execution recomputes every hub's aggregation on
+/// every request even though hub rows dominate the work on power-law
+/// graphs. This cache keeps the computed stage outputs of a bounded set
+/// of hot vertices; a staged run copies cached rows instead of
+/// re-aggregating them. Correctness rests on two facts: (1) a stage
+/// row's value is a pure function of (graph version, stage, input
+/// matrix), and full-graph stage inputs are canonical (stage 0 reads the
+/// dataset features, stage `s` reads the full merged stage `s − 1`
+/// output); (2) entries are **version-keyed with strict invalidation** —
+/// [`HotVertexCache::invalidate_to`] runs inside `apply_delta` before
+/// the new epoch is published, and a publish from an engine still
+/// holding a stale version is rejected, so a delta can never see or
+/// leave stale rows.
+#[derive(Debug, Default)]
+pub(crate) struct HotVertexCache {
+    inner: Mutex<HotState>,
+}
+
+#[derive(Debug, Default)]
+struct HotState {
+    /// Version the cached rows belong to; `None` until first use.
+    version: Option<u64>,
+    /// One map per model stage: node id → that node's stage-output row.
+    /// `Arc` so staged runs snapshot a stage map without holding the
+    /// lock while computing.
+    stages: Vec<Arc<HashMap<u32, Vec<f64>>>>,
+}
+
+impl HotVertexCache {
+    /// Snapshot of the cached rows for `stage` at `version`; empty when
+    /// the cache holds a different version (or nothing yet).
+    pub fn stage_snapshot(
+        &self,
+        version: u64,
+        num_stages: usize,
+        stage: usize,
+    ) -> Arc<HashMap<u32, Vec<f64>>> {
+        let state = self.inner.lock().expect("hot cache lock");
+        if state.version == Some(version) && state.stages.len() == num_stages {
+            if let Some(map) = state.stages.get(stage) {
+                return Arc::clone(map);
+            }
+        }
+        Arc::new(HashMap::new())
+    }
+
+    /// Publishes freshly computed rows for `stage` at `version`. Adopts
+    /// the version when the cache is empty; merges when it matches;
+    /// **rejects silently** when it differs — an engine that resolved an
+    /// older epoch (a delta landed mid-run) must not poison the cache,
+    /// and the invalidated cache must not resurrect pre-delta rows.
+    pub fn publish(
+        &self,
+        version: u64,
+        num_stages: usize,
+        stage: usize,
+        rows: Vec<(u32, Vec<f64>)>,
+    ) {
+        if rows.is_empty() {
+            return;
+        }
+        let mut state = self.inner.lock().expect("hot cache lock");
+        match state.version {
+            None => {
+                state.version = Some(version);
+                state.stages = (0..num_stages).map(|_| Arc::new(HashMap::new())).collect();
+            }
+            Some(v) if v == version => {
+                if state.stages.len() != num_stages {
+                    state.stages = (0..num_stages).map(|_| Arc::new(HashMap::new())).collect();
+                }
+            }
+            Some(_) => return,
+        }
+        let Some(slot) = state.stages.get_mut(stage) else {
+            return;
+        };
+        let map = Arc::make_mut(slot);
+        for (node, row) in rows {
+            map.insert(node, row);
+        }
+    }
+
+    /// Drops every cached row and pins the cache to `new_version`, so a
+    /// straggler publish from an engine still computing against the old
+    /// version is rejected. Runs inside `apply_delta` before the new
+    /// epoch is visible.
+    pub fn invalidate_to(&self, new_version: u64) {
+        let mut state = self.inner.lock().expect("hot cache lock");
+        state.version = Some(new_version);
+        state.stages.clear();
+    }
+
+    /// Total cached rows across all stages (test/introspection hook).
+    pub fn cached_rows(&self) -> usize {
+        let state = self.inner.lock().expect("hot cache lock");
+        state.stages.iter().map(|m| m.len()).sum()
+    }
+}
 
 /// One immutable serving snapshot: what a micro-batch executes against.
 #[derive(Debug)]
@@ -73,6 +178,10 @@ pub(crate) struct SharedGraphState {
     /// of contending on the epoch lock with every worker.
     node_count: AtomicUsize,
     residency: Option<ResidencyPolicy>,
+    /// Hot-vertex aggregation cache shared by every parallel engine of
+    /// the family (see [`HotVertexCache`]); invalidated by
+    /// [`SharedGraphState::apply_delta`] like the logits cache.
+    pub(crate) hot: Arc<HotVertexCache>,
 }
 
 impl SharedGraphState {
@@ -85,6 +194,7 @@ impl SharedGraphState {
             cache: Mutex::new(None),
             node_count,
             residency,
+            hot: Arc::new(HotVertexCache::default()),
         }
     }
 
@@ -166,6 +276,9 @@ impl SharedGraphState {
             name: template.dataset.name.clone(),
         });
         let epoch = Arc::new(GraphEpoch { dataset, version });
+        // Strict invalidation *before* the new epoch is visible: no
+        // reader can pair post-delta structure with pre-delta hot rows.
+        self.hot.invalidate_to(version);
         *self.current.lock().expect("epoch lock") = Arc::clone(&epoch);
         self.node_count.store(epoch.dataset.num_nodes(), Ordering::Release);
         // The cache is version-keyed (correct without this), but the old

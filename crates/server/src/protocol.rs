@@ -1230,6 +1230,7 @@ mod tests {
             batch_size: 4,
             graph_version: 17,
             trace_id: 0xDEAD_BEEF,
+            hot_rows: 0,
         };
         let line = encode_response(&response, "traffic");
         assert!(line.contains(" trace=00000000deadbeef "), "{line}");

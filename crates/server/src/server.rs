@@ -627,6 +627,21 @@ impl Server {
                 &[("tenant", name.as_str())],
                 self.queue.depth_of(tenant.id) as f64,
             );
+            if stats.part_balance > 0.0 {
+                reg.gauge(
+                    "blockgnn_partition_balance",
+                    "Partition load-balance factor of the tenant's full-graph plan \
+                     (max part work / mean part work; 1.0 is perfect)",
+                    &[("tenant", name.as_str())],
+                    stats.part_balance,
+                );
+            }
+            reg.counter(
+                "blockgnn_hot_rows_served_total",
+                "Stage rows served from the hot-vertex aggregation cache",
+                &labels,
+                stats.serve.hot_rows_served as u64,
+            );
             for (class, rollup) in &stats.classes {
                 let labels: [(&str, &str); 2] =
                     [("tenant", name.as_str()), ("class", class.name())];

@@ -65,6 +65,11 @@ pub struct ServerStats {
     /// Whether the supervision circuit breaker marked the pool degraded
     /// when this snapshot was taken (brownout shedding active).
     pub degraded: bool,
+    /// Partition load-balance factor of the served engine's full-graph
+    /// plan (max part work / mean part work; `1.0` is a perfect split).
+    /// `0.0` when no partition-parallel engine is serving. Aggregate
+    /// snapshots report the worst (largest) factor across tenants.
+    pub part_balance: f64,
     /// Per-tenant rollups, keyed by tenant name — populated only on
     /// aggregate snapshots of a multi-tenant server ([`crate::Server::stats`]);
     /// empty on per-tenant snapshots and single-telemetry accumulators.
@@ -255,6 +260,9 @@ impl ServerStats {
         }
         self.updates += other.updates;
         self.failed_updates += other.failed_updates;
+        // Not a counter: the aggregate reports the worst imbalance any
+        // tenant's plan carries.
+        self.part_balance = self.part_balance.max(other.part_balance);
         for (class, rollup) in &other.classes {
             self.classes.entry(*class).or_default().merge(rollup);
         }
@@ -318,6 +326,11 @@ impl ServerStats {
                 line,
                 " workers_alive={} worker_crashes={} restarts={} degraded={}",
                 self.workers_alive, self.worker_crashes, self.restarts, self.degraded
+            );
+            let _ = write!(
+                line,
+                " hot_rows={} part_balance={:.2}",
+                self.serve.hot_rows_served, self.part_balance
             );
             for (class, rollup) in &self.classes {
                 let _ = write!(line, " class={}:{}", class.name(), rollup.summary_fields());

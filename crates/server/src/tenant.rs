@@ -317,6 +317,9 @@ pub(crate) struct Tenant {
     /// This tenant's private accumulator; the server's aggregate stats
     /// sum these across tenants.
     pub telemetry: Telemetry,
+    /// Partition load-balance factor of a parallel engine's full-graph
+    /// plan (0.0 for sequential tenants — no partition plan to judge).
+    part_balance: f64,
 }
 
 impl Tenant {
@@ -359,6 +362,7 @@ impl Tenant {
             feature_bytes_per_node,
             retired: AtomicBool::new(false),
             telemetry: Telemetry::new(),
+            part_balance: 0.0,
         }
     }
 
@@ -381,6 +385,7 @@ impl Tenant {
                 * backend_kind.bytes_per_feature();
         let feature_bytes_per_node =
             engine.dataset().feature_dim() * backend_kind.bytes_per_feature();
+        let part_balance = engine.partition_balance();
         Self {
             id,
             name: name.to_string(),
@@ -396,6 +401,7 @@ impl Tenant {
             feature_bytes_per_node,
             retired: AtomicBool::new(false),
             telemetry: Telemetry::new(),
+            part_balance,
         }
     }
 
@@ -426,10 +432,12 @@ impl Tenant {
         self.retired.load(Ordering::Acquire)
     }
 
-    /// This tenant's telemetry snapshot, stamped with its own version.
+    /// This tenant's telemetry snapshot, stamped with its own version
+    /// and partition-balance factor.
     pub fn stats(&self) -> ServerStats {
         let mut stats = self.telemetry.snapshot();
         stats.graph_version = self.version();
+        stats.part_balance = self.part_balance;
         stats
     }
 }

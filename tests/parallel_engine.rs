@@ -5,11 +5,12 @@
 //! overlapping halos, and merged hardware reports.
 
 use blockgnn::engine::{
-    BackendKind, Engine, EngineBuilder, EngineError, InferRequest, ParallelEngine,
+    BackendKind, Engine, EngineBuilder, EngineError, GraphDelta, InferRequest, ParallelEngine,
 };
 use blockgnn::gnn::ModelKind;
-use blockgnn::graph::{datasets, Dataset};
+use blockgnn::graph::{datasets, Dataset, PartitionStrategy};
 use blockgnn::nn::Compression;
+use proptest::prelude::*;
 use std::sync::Arc;
 
 fn task() -> Arc<Dataset> {
@@ -246,6 +247,136 @@ fn parallel_beats_sequential_wall_clock_when_cores_allow() {
 }
 
 #[test]
+fn hot_vertex_cache_serves_hub_rows_bit_identically_in_steady_state() {
+    // Steady-state serving: the first full-graph pass publishes the hub
+    // vertices' stage rows; after the logits cache is dropped, the next
+    // pass copies those rows instead of re-aggregating — and the merged
+    // logits must still be bit-identical to the sequential engine.
+    let ds = task();
+    let request = InferRequest::all_nodes();
+    let sequential = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .session()
+        .infer(&request)
+        .expect("serves");
+    let mut parallel = parallel_for(ModelKind::Gcn, BackendKind::Dense, &ds, 4);
+    let cold = parallel.session().infer(&request).expect("serves");
+    assert_eq!(cold.hot_rows, 0, "nothing is cached before the first pass");
+    assert!(parallel.hot_cached_rows() > 0, "the first pass publishes hub rows");
+    parallel.clear_full_graph_cache();
+    let mut session = parallel.session();
+    let warm = session.infer(&request).expect("serves");
+    assert!(!warm.from_cache, "the logits cache was cleared; this is a real pass");
+    assert!(warm.hot_rows > 0, "hub rows must come from the hot-vertex cache");
+    assert_eq!(
+        warm.logits.linf_distance(&sequential.logits),
+        0.0,
+        "cached rows must be bit-identical to recomputed ones"
+    );
+    assert_eq!(warm.predictions, sequential.predictions);
+    let stats = session.finish();
+    assert_eq!(stats.hot_rows_served, warm.hot_rows, "stats must count cache hits");
+}
+
+#[test]
+fn zero_hot_cache_budget_disables_caching_without_changing_results() {
+    let ds = task();
+    let request = InferRequest::all_nodes();
+    let sequential = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .session()
+        .infer(&request)
+        .expect("serves");
+    let mut parallel =
+        parallel_for(ModelKind::Gcn, BackendKind::Dense, &ds, 4).with_hot_cache_bytes(0);
+    parallel.session().infer(&request).expect("serves");
+    assert_eq!(parallel.hot_cached_rows(), 0, "a zero budget publishes nothing");
+    parallel.clear_full_graph_cache();
+    let second = parallel.session().infer(&request).expect("serves");
+    assert_eq!(second.hot_rows, 0, "disabled cache must never serve rows");
+    assert_eq!(second.logits.linf_distance(&sequential.logits), 0.0);
+}
+
+#[test]
+fn hot_cache_is_shared_across_forks_of_one_engine_family() {
+    // The cache rides the family's shared state (like the logits cache):
+    // a fork converted to its own parallel engine sees rows published by
+    // a sibling and serves them on its very first pass.
+    let ds = task();
+    let request = InferRequest::all_nodes();
+    let reference = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .session()
+        .infer(&request)
+        .expect("serves");
+    let source = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds);
+    let fork = source.fork();
+    let mut first = source.into_parallel(4).expect("workers");
+    first.session().infer(&request).expect("serves");
+    assert!(first.hot_cached_rows() > 0);
+    let mut sibling = fork.into_parallel(4).expect("workers");
+    let warm = sibling.session().infer(&request).expect("serves");
+    assert!(!warm.from_cache);
+    assert!(warm.hot_rows > 0, "the sibling's first pass rides the family cache");
+    assert_eq!(warm.logits.linf_distance(&reference.logits), 0.0);
+}
+
+#[test]
+fn family_delta_invalidates_the_hot_cache_strictly() {
+    // A graph delta anywhere in the family must wipe the cache *before*
+    // the new epoch publishes: the frozen parallel snapshot keeps
+    // serving version 0 results, but never from stale (or future) rows.
+    let ds = task();
+    let request = InferRequest::all_nodes();
+    let reference = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .session()
+        .infer(&request)
+        .expect("serves");
+    let source = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds);
+    let handle = source.graph_handle();
+    let mut parallel = source.into_parallel(4).expect("workers");
+    parallel.session().infer(&request).expect("serves");
+    assert!(parallel.hot_cached_rows() > 0);
+    let n = ds.num_nodes();
+    handle.apply_delta(&GraphDelta::new().add_edge(0, n - 1)).expect("applies");
+    assert_eq!(parallel.hot_cached_rows(), 0, "the delta wipes the family cache");
+    parallel.clear_full_graph_cache();
+    let recomputed = parallel.session().infer(&request).expect("serves");
+    assert_eq!(recomputed.hot_rows, 0, "stale rows must not be served");
+    assert_eq!(recomputed.graph_version, 0, "the snapshot stays frozen at version 0");
+    assert_eq!(
+        recomputed.logits.linf_distance(&reference.logits),
+        0.0,
+        "the frozen snapshot must recompute its own version's answer"
+    );
+    assert_eq!(
+        parallel.hot_cached_rows(),
+        0,
+        "version-0 rows must not be re-published into the version-1 cache"
+    );
+}
+
+#[test]
+fn degree_balanced_is_the_default_and_reports_plan_balance() {
+    let ds = task();
+    let request = InferRequest::all_nodes();
+    let sequential = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .session()
+        .infer(&request)
+        .expect("serves");
+    let mut balanced = parallel_for(ModelKind::Gcn, BackendKind::Dense, &ds, 4);
+    assert_eq!(balanced.strategy(), PartitionStrategy::DegreeBalanced);
+    assert!(balanced.partition_balance() >= 1.0, "balance is max/mean work");
+    let mut contiguous = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+        .into_parallel_with(4, PartitionStrategy::Contiguous)
+        .expect("workers");
+    assert_eq!(contiguous.strategy(), PartitionStrategy::Contiguous);
+    assert!(contiguous.partition_balance() >= 1.0);
+    // Cut placement is a performance knob, never a correctness one.
+    for engine in [&mut balanced, &mut contiguous] {
+        let answer = engine.session().infer(&request).expect("serves");
+        assert_eq!(answer.logits.linf_distance(&sequential.logits), 0.0);
+    }
+}
+
+#[test]
 fn memory_budget_forces_finer_partitions_than_the_worker_count() {
     // A tight §IV-B-style budget must drive k above the worker count,
     // with every part's resident features (targets + halo) inside it.
@@ -261,5 +392,39 @@ fn memory_budget_forces_finer_partitions_than_the_worker_count() {
                 <= 48 * 1024,
             "part residency exceeds the budget"
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    // Sharding pins on the *unique* interned target count, not the raw
+    // request length: a batch of duplicates is a tiny sub-universe and
+    // must stay on one worker — and answer exactly like the sequential
+    // sampled path either way.
+    #[test]
+    fn prop_sampled_sharding_counts_unique_targets_not_raw_length(
+        base in proptest::collection::vec(0usize..200, 4..12),
+        copies in 8usize..16,
+    ) {
+        let ds = Arc::new(datasets::cora_like_small(6));
+        let n = ds.num_nodes();
+        let mut nodes = Vec::new();
+        for _ in 0..copies {
+            nodes.extend(base.iter().map(|&v| v % n));
+        }
+        prop_assert!(nodes.len() >= 32, "raw length clears the shard threshold");
+        let request = InferRequest::sampled(nodes, 6, 4, 17);
+        let sequential = engine_for(ModelKind::Gcn, BackendKind::Dense, &ds)
+            .session()
+            .infer(&request)
+            .expect("serves");
+        let mut parallel = parallel_for(ModelKind::Gcn, BackendKind::Dense, &ds, 4);
+        let sharded = parallel.session().infer(&request).expect("serves");
+        prop_assert_eq!(
+            sharded.parts, 1,
+            "at most 11 unique targets is below the 32-row threshold"
+        );
+        prop_assert_eq!(sharded.logits.linf_distance(&sequential.logits), 0.0);
+        prop_assert_eq!(sharded.predictions, sequential.predictions);
     }
 }
